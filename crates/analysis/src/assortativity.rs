@@ -1,0 +1,65 @@
+//! Degree assortativity (Newman's degree-degree Pearson correlation).
+
+use datasynth_tables::EdgeTable;
+
+/// Pearson correlation of the degrees at the two ends of each edge,
+/// treating the graph as undirected (each edge contributes both
+/// orientations). Returns `None` when degenerate (no edges, or zero
+/// variance — e.g. regular graphs).
+pub fn degree_assortativity(edges: &EdgeTable, n: u64) -> Option<f64> {
+    if edges.is_empty() {
+        return None;
+    }
+    let deg = edges.degrees(n);
+    let mut sum_xy = 0.0;
+    let mut sum_x = 0.0;
+    let mut sum_x2 = 0.0;
+    let mut m2 = 0.0; // number of ordered endpoint pairs
+    for (t, h) in edges.iter() {
+        let (dt, dh) = (f64::from(deg[t as usize]), f64::from(deg[h as usize]));
+        // Both orientations.
+        sum_xy += 2.0 * dt * dh;
+        sum_x += dt + dh;
+        sum_x2 += dt * dt + dh * dh;
+        m2 += 2.0;
+    }
+    let mean = sum_x / m2;
+    let var = sum_x2 / m2 - mean * mean;
+    if var <= 1e-12 {
+        return None;
+    }
+    Some((sum_xy / m2 - mean * mean) / var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_is_disassortative() {
+        let et = EdgeTable::from_pairs("e", (1..6u64).map(|i| (0, i)));
+        let r = degree_assortativity(&et, 6).unwrap();
+        assert!((r - -1.0).abs() < 1e-9, "star r = {r}");
+    }
+
+    #[test]
+    fn regular_graph_is_degenerate() {
+        // Cycle: every degree 2, zero variance.
+        let et = EdgeTable::from_pairs("e", [(0u64, 1u64), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(degree_assortativity(&et, 4), None);
+    }
+
+    #[test]
+    fn empty_graph_is_none() {
+        assert_eq!(degree_assortativity(&EdgeTable::new("e"), 3), None);
+    }
+
+    #[test]
+    fn two_stars_joined_at_leaves_positive_correlation() {
+        // Perfectly assortative: two disjoint edges between degree-1 pairs
+        // and a triangle among degree-2 nodes.
+        let et = EdgeTable::from_pairs("e", [(0u64, 1u64), (2, 3), (4, 5), (5, 6), (6, 4)]);
+        let r = degree_assortativity(&et, 7).unwrap();
+        assert!((r - 1.0).abs() < 1e-9, "r = {r}");
+    }
+}

@@ -1,0 +1,159 @@
+//! Clustering coefficients: local, average, global (transitivity), and the
+//! per-degree profile that BTER/Darwini-style generators target.
+
+use datasynth_prng::SplitMix64;
+use datasynth_tables::Csr;
+
+/// Local clustering coefficient of one node (0 for degree < 2).
+/// `csr` must have sorted neighborhoods.
+pub fn local_clustering(csr: &Csr, v: u64) -> f64 {
+    let neigh = csr.neighbors(v);
+    let mut distinct: Vec<u64> = neigh.iter().copied().filter(|&u| u != v).collect();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let d = distinct.len();
+    if d < 2 {
+        return 0.0;
+    }
+    let mut links = 0u64;
+    for (i, &a) in distinct.iter().enumerate() {
+        for &b in &distinct[i + 1..] {
+            if csr.has_edge_sorted(a, b) {
+                links += 1;
+            }
+        }
+    }
+    2.0 * links as f64 / (d as f64 * (d as f64 - 1.0))
+}
+
+/// Average local clustering coefficient over all nodes, exactly when the
+/// graph is small, otherwise over `sample_cap` nodes chosen uniformly with
+/// the supplied stream.
+pub fn average_clustering(csr: &Csr, sample_cap: usize, rng: &mut SplitMix64) -> f64 {
+    let n = csr.num_nodes();
+    if n == 0 {
+        return 0.0;
+    }
+    let total: f64;
+    let count: f64;
+    if (n as usize) <= sample_cap {
+        total = (0..n).map(|v| local_clustering(csr, v)).sum();
+        count = n as f64;
+    } else {
+        let sample = rng.sample_indices(n, sample_cap);
+        total = sample.iter().map(|&v| local_clustering(csr, v)).sum();
+        count = sample.len() as f64;
+    }
+    total / count
+}
+
+/// Mean local clustering per degree: `out[k] = (avg cc of degree-k nodes)`;
+/// `None` entries mean no node of that degree exists. Exact computation —
+/// intended for validation at test scale.
+pub fn clustering_by_degree(csr: &Csr) -> Vec<Option<f64>> {
+    let n = csr.num_nodes();
+    let max_deg = (0..n).map(|v| csr.degree(v)).max().unwrap_or(0) as usize;
+    let mut sums = vec![0.0; max_deg + 1];
+    let mut counts = vec![0u64; max_deg + 1];
+    for v in 0..n {
+        let d = csr.degree(v) as usize;
+        sums[d] += local_clustering(csr, v);
+        counts[d] += 1;
+    }
+    sums.into_iter()
+        .zip(counts)
+        .map(|(s, c)| if c == 0 { None } else { Some(s / c as f64) })
+        .collect()
+}
+
+/// Global transitivity: `3 * triangles / open triads`. Exact; O(Σ d²).
+pub fn transitivity(csr: &Csr) -> f64 {
+    let n = csr.num_nodes();
+    let mut closed = 0u64; // ordered closed wedges (6 per triangle)
+    let mut wedges = 0u64; // ordered wedges (2 per unordered wedge)
+    for v in 0..n {
+        let mut neigh: Vec<u64> = csr
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&u| u != v)
+            .collect();
+        neigh.sort_unstable();
+        neigh.dedup();
+        let d = neigh.len() as u64;
+        if d < 2 {
+            continue;
+        }
+        wedges += d * (d - 1);
+        for (i, &a) in neigh.iter().enumerate() {
+            for &b in &neigh[i + 1..] {
+                if csr.has_edge_sorted(a, b) {
+                    closed += 2;
+                }
+            }
+        }
+    }
+    if wedges == 0 {
+        0.0
+    } else {
+        closed as f64 / wedges as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasynth_tables::EdgeTable;
+
+    fn csr_of(pairs: &[(u64, u64)], n: u64) -> Csr {
+        let et = EdgeTable::from_pairs("e", pairs.iter().copied());
+        let mut csr = Csr::undirected(&et, n);
+        csr.sort_neighborhoods();
+        csr
+    }
+
+    #[test]
+    fn triangle_is_fully_clustered() {
+        let csr = csr_of(&[(0, 1), (1, 2), (0, 2)], 3);
+        for v in 0..3 {
+            assert!((local_clustering(&csr, v) - 1.0).abs() < 1e-12);
+        }
+        assert!((transitivity(&csr) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_has_no_clustering() {
+        let csr = csr_of(&[(0, 1), (1, 2)], 3);
+        assert_eq!(local_clustering(&csr, 1), 0.0);
+        assert_eq!(transitivity(&csr), 0.0);
+    }
+
+    #[test]
+    fn paw_graph_values() {
+        // Triangle 0-1-2 plus pendant 3 attached to 2.
+        let csr = csr_of(&[(0, 1), (1, 2), (0, 2), (2, 3)], 4);
+        assert!((local_clustering(&csr, 0) - 1.0).abs() < 1e-12);
+        assert!((local_clustering(&csr, 2) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(local_clustering(&csr, 3), 0.0);
+        // 1 triangle, wedges: d(0)=2 -> 2, d(1)=2 -> 2, d(2)=3 -> 6, total 10 ordered.
+        assert!((transitivity(&csr) - 6.0 / 10.0).abs() < 1e-12);
+        let by_deg = clustering_by_degree(&csr);
+        assert!((by_deg[2].unwrap() - 1.0).abs() < 1e-12);
+        assert!((by_deg[3].unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_agrees_with_exact_on_small_graph() {
+        let csr = csr_of(&[(0, 1), (1, 2), (0, 2), (2, 3)], 4);
+        let mut rng = SplitMix64::new(1);
+        let exact = average_clustering(&csr, 100, &mut rng);
+        let expected = (1.0 + 1.0 + 1.0 / 3.0 + 0.0) / 4.0;
+        assert!((exact - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_loops_are_ignored() {
+        let csr = csr_of(&[(0, 0), (0, 1), (1, 2), (0, 2)], 3);
+        assert!((local_clustering(&csr, 0) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,126 @@
+//! Community-structure metrics: modularity of a partition and normalized
+//! mutual information between two partitions.
+
+use datasynth_tables::EdgeTable;
+
+/// Newman modularity `Q` of `partition` (one label per node) on the
+/// undirected graph. Self-loops are handled with the standard convention.
+pub fn modularity(edges: &EdgeTable, n: u64, partition: &[u32]) -> f64 {
+    assert_eq!(partition.len() as u64, n, "one label per node");
+    let m = edges.len() as f64;
+    if m == 0.0 {
+        return 0.0;
+    }
+    let k = partition.iter().copied().max().map_or(0, |x| x as usize + 1);
+    let mut intra = vec![0.0f64; k]; // edges fully inside community c
+    let mut deg_sum = vec![0.0f64; k]; // total degree of community c
+    for (t, h) in edges.iter() {
+        let (ct, ch) = (partition[t as usize] as usize, partition[h as usize] as usize);
+        deg_sum[ct] += 1.0;
+        deg_sum[ch] += 1.0;
+        if ct == ch {
+            intra[ct] += 1.0;
+        }
+    }
+    (0..k)
+        .map(|c| intra[c] / m - (deg_sum[c] / (2.0 * m)).powi(2))
+        .sum()
+}
+
+/// Normalized mutual information between two partitions of the same node
+/// set, `2 I(A;B) / (H(A) + H(B))`; 1 for identical partitions (up to label
+/// permutation), ~0 for independent ones. Returns 1 when both partitions
+/// are trivial (zero entropy).
+pub fn normalized_mutual_information(a: &[u32], b: &[u32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "partitions over the same nodes");
+    let n = a.len() as f64;
+    if a.is_empty() {
+        return 1.0;
+    }
+    let ka = a.iter().copied().max().unwrap_or(0) as usize + 1;
+    let kb = b.iter().copied().max().unwrap_or(0) as usize + 1;
+    let mut joint = vec![0u64; ka * kb];
+    let mut ca = vec![0u64; ka];
+    let mut cb = vec![0u64; kb];
+    for (&x, &y) in a.iter().zip(b) {
+        joint[x as usize * kb + y as usize] += 1;
+        ca[x as usize] += 1;
+        cb[y as usize] += 1;
+    }
+    let entropy = |counts: &[u64]| -> f64 {
+        counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / n;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let ha = entropy(&ca);
+    let hb = entropy(&cb);
+    if ha + hb == 0.0 {
+        return 1.0; // both trivial: identical by convention
+    }
+    let mut mi = 0.0;
+    for x in 0..ka {
+        for y in 0..kb {
+            let c = joint[x * kb + y];
+            if c > 0 {
+                let pxy = c as f64 / n;
+                let px = ca[x] as f64 / n;
+                let py = cb[y] as f64 / n;
+                mi += pxy * (pxy / (px * py)).ln();
+            }
+        }
+    }
+    2.0 * mi / (ha + hb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modularity_of_two_cliques() {
+        // Two triangles joined by one edge; the natural split scores high.
+        let et = EdgeTable::from_pairs(
+            "e",
+            [(0u64, 1u64), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        );
+        let good = modularity(&et, 6, &[0, 0, 0, 1, 1, 1]);
+        let bad = modularity(&et, 6, &[0, 1, 0, 1, 0, 1]);
+        assert!(good > 0.3, "good split {good}");
+        assert!(bad < good, "mixed split {bad} must be worse");
+    }
+
+    #[test]
+    fn single_community_has_zero_modularity() {
+        let et = EdgeTable::from_pairs("e", [(0u64, 1u64), (1, 2)]);
+        let q = modularity(&et, 3, &[0, 0, 0]);
+        assert!(q.abs() < 1e-12, "q = {q}");
+    }
+
+    #[test]
+    fn nmi_identity_and_permutation() {
+        let a = [0u32, 0, 1, 1, 2, 2];
+        let b = [2u32, 2, 0, 0, 1, 1]; // same partition, relabelled
+        assert!((normalized_mutual_information(&a, &a) - 1.0).abs() < 1e-12);
+        assert!((normalized_mutual_information(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmi_of_unrelated_partitions_is_low() {
+        // a splits by half, b alternates: independent for this size.
+        let a = [0u32, 0, 0, 0, 1, 1, 1, 1];
+        let b = [0u32, 1, 0, 1, 0, 1, 0, 1];
+        let nmi = normalized_mutual_information(&a, &b);
+        assert!(nmi < 0.05, "nmi {nmi}");
+    }
+
+    #[test]
+    fn nmi_trivial_partitions() {
+        let a = [0u32; 5];
+        assert_eq!(normalized_mutual_information(&a, &a), 1.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Connected components via union-find with path halving.
+
+use datasynth_tables::EdgeTable;
+
+/// Component labels for nodes `0..n`, relabelled densely from 0 in order of
+/// first appearance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentLabels {
+    /// `labels[v]` = component id of node `v`.
+    pub labels: Vec<u32>,
+    /// Number of components.
+    pub count: u32,
+}
+
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp; // path halving
+            x = gp;
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Attach the larger root id under the smaller for determinism.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi as usize] = lo;
+        }
+    }
+}
+
+/// Compute connected components of the undirected graph on `n` nodes.
+pub fn connected_components(edges: &EdgeTable, n: u64) -> ComponentLabels {
+    let mut uf = UnionFind::new(n as usize);
+    for (t, h) in edges.iter() {
+        uf.union(t as u32, h as u32);
+    }
+    let mut remap = std::collections::HashMap::new();
+    let mut labels = Vec::with_capacity(n as usize);
+    for v in 0..n as u32 {
+        let root = uf.find(v);
+        let next = remap.len() as u32;
+        let label = *remap.entry(root).or_insert(next);
+        labels.push(label);
+    }
+    ComponentLabels {
+        count: remap.len() as u32,
+        labels,
+    }
+}
+
+/// Size of the largest connected component (0 for an empty graph).
+pub fn largest_component_size(edges: &EdgeTable, n: u64) -> u64 {
+    let comps = connected_components(edges, n);
+    let mut sizes = vec![0u64; comps.count as usize];
+    for &l in &comps.labels {
+        sizes[l as usize] += 1;
+    }
+    sizes.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_components() {
+        let et = EdgeTable::from_pairs("e", [(0u64, 1u64), (1, 2), (3, 4)]);
+        let c = connected_components(&et, 5);
+        assert_eq!(c.count, 2);
+        assert_eq!(c.labels[0], c.labels[1]);
+        assert_eq!(c.labels[1], c.labels[2]);
+        assert_eq!(c.labels[3], c.labels[4]);
+        assert_ne!(c.labels[0], c.labels[3]);
+        assert_eq!(largest_component_size(&et, 5), 3);
+    }
+
+    #[test]
+    fn isolated_nodes_are_singletons() {
+        let et = EdgeTable::new("e");
+        let c = connected_components(&et, 4);
+        assert_eq!(c.count, 4);
+        assert_eq!(largest_component_size(&et, 4), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let et = EdgeTable::new("e");
+        let c = connected_components(&et, 0);
+        assert_eq!(c.count, 0);
+        assert_eq!(largest_component_size(&et, 0), 0);
+    }
+
+    #[test]
+    fn labels_are_dense_and_first_seen_ordered() {
+        let et = EdgeTable::from_pairs("e", [(2u64, 3u64)]);
+        let c = connected_components(&et, 4);
+        assert_eq!(c.labels, vec![0, 1, 2, 2]);
+    }
+
+    #[test]
+    fn chain_collapses_to_one() {
+        let et = EdgeTable::from_pairs("e", (0..99u64).map(|i| (i, i + 1)));
+        let c = connected_components(&et, 100);
+        assert_eq!(c.count, 1);
+    }
+}

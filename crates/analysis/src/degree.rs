@@ -1,0 +1,128 @@
+//! Degree distributions and power-law fitting.
+
+/// Summary statistics of a degree sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: u32,
+    /// Maximum degree.
+    pub max: u32,
+    /// Mean degree.
+    pub mean: f64,
+    /// Variance of the degree sequence.
+    pub variance: f64,
+}
+
+impl DegreeStats {
+    /// Compute from a degree sequence; `None` when empty.
+    pub fn from_degrees(degrees: &[u32]) -> Option<Self> {
+        if degrees.is_empty() {
+            return None;
+        }
+        let n = degrees.len() as f64;
+        let mean = degrees.iter().map(|&d| f64::from(d)).sum::<f64>() / n;
+        let variance = degrees
+            .iter()
+            .map(|&d| (f64::from(d) - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        Some(Self {
+            min: *degrees.iter().min().expect("nonempty"),
+            max: *degrees.iter().max().expect("nonempty"),
+            mean,
+            variance,
+        })
+    }
+}
+
+/// Histogram of degrees: `hist[k]` = number of nodes with degree `k`.
+pub fn degree_histogram(degrees: &[u32]) -> Vec<u64> {
+    let max = degrees.iter().copied().max().unwrap_or(0) as usize;
+    let mut hist = vec![0u64; max + 1];
+    for &d in degrees {
+        hist[d as usize] += 1;
+    }
+    hist
+}
+
+/// Complementary CDF `P(D >= k)` for `k = 0..=max`.
+pub fn ccdf(degrees: &[u32]) -> Vec<f64> {
+    let hist = degree_histogram(degrees);
+    let n = degrees.len() as f64;
+    let mut out = vec![0.0; hist.len()];
+    let mut tail = 0u64;
+    for k in (0..hist.len()).rev() {
+        tail += hist[k];
+        out[k] = tail as f64 / n;
+    }
+    out
+}
+
+/// Discrete maximum-likelihood estimate of the power-law exponent `alpha`
+/// for degrees `>= kmin` (Clauset-Shalizi-Newman's continuous approximation
+/// `1 + n / Σ ln(d_i / (kmin - 0.5))`). Returns `None` when fewer than two
+/// qualifying observations exist.
+pub fn power_law_alpha_mle(degrees: &[u32], kmin: u32) -> Option<f64> {
+    assert!(kmin >= 1);
+    let xmin = f64::from(kmin) - 0.5;
+    let mut n = 0u64;
+    let mut log_sum = 0.0;
+    for &d in degrees {
+        if d >= kmin {
+            n += 1;
+            log_sum += (f64::from(d) / xmin).ln();
+        }
+    }
+    if n < 2 || log_sum <= 0.0 {
+        return None;
+    }
+    Some(1.0 + n as f64 / log_sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasynth_prng::dist::{DiscretePowerLaw, Sampler};
+    use datasynth_prng::SplitMix64;
+
+    #[test]
+    fn stats_basics() {
+        let s = DegreeStats::from_degrees(&[1, 2, 3, 4]).unwrap();
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.variance - 1.25).abs() < 1e-12);
+        assert!(DegreeStats::from_degrees(&[]).is_none());
+    }
+
+    #[test]
+    fn histogram_counts() {
+        assert_eq!(degree_histogram(&[0, 2, 2, 3]), vec![1, 0, 2, 1]);
+        assert_eq!(degree_histogram(&[]), vec![0]);
+    }
+
+    #[test]
+    fn ccdf_monotone_from_one() {
+        let c = ccdf(&[1, 1, 2, 5]);
+        assert!((c[0] - 1.0).abs() < 1e-12);
+        for w in c.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+        assert!((c[5] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mle_recovers_planted_exponent() {
+        let d = DiscretePowerLaw::new(2.5, 1, 10_000);
+        let mut rng = SplitMix64::new(1);
+        let degrees: Vec<u32> = (0..200_000).map(|_| d.sample(&mut rng) as u32).collect();
+        let alpha = power_law_alpha_mle(&degrees, 5).unwrap();
+        assert!((alpha - 2.5).abs() < 0.1, "alpha {alpha}");
+    }
+
+    #[test]
+    fn mle_needs_data() {
+        assert_eq!(power_law_alpha_mle(&[1], 1), None);
+        assert_eq!(power_law_alpha_mle(&[1, 1, 1], 5), None);
+    }
+}

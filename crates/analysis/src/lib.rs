@@ -1,0 +1,24 @@
+//! Structural analysis of generated graphs.
+//!
+//! The paper's requirements section (§2) enumerates the structural
+//! characteristics a generator must be able to reproduce — degree
+//! distribution, clustering coefficient, connected components, diameter,
+//! assortativity, community structure. This crate measures all of them, so
+//! tests and benchmarks can check that each structure generator actually
+//! delivers what it promises, and so matching quality can be quantified.
+
+mod assortativity;
+mod clustering;
+mod communities;
+mod components;
+mod degree;
+mod paths;
+mod stats;
+
+pub use assortativity::degree_assortativity;
+pub use clustering::{average_clustering, clustering_by_degree, local_clustering, transitivity};
+pub use communities::{modularity, normalized_mutual_information};
+pub use components::{connected_components, largest_component_size, ComponentLabels};
+pub use degree::{ccdf, degree_histogram, power_law_alpha_mle, DegreeStats};
+pub use paths::{bfs_distances, estimate_diameter, mean_distance_sampled};
+pub use stats::{hellinger_distance, ks_distance, l1_distance, Summary};

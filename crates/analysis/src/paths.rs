@@ -1,0 +1,115 @@
+//! Shortest-path measurements: BFS, pseudo-diameter, sampled mean distance.
+
+use datasynth_prng::SplitMix64;
+use datasynth_tables::Csr;
+
+/// BFS distances from `source` (`u32::MAX` = unreachable).
+pub fn bfs_distances(csr: &Csr, source: u64) -> Vec<u32> {
+    let n = csr.num_nodes() as usize;
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        for &u in csr.neighbors(v) {
+            if dist[u as usize] == u32::MAX {
+                dist[u as usize] = dv + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Lower-bound diameter estimate by the double-sweep heuristic (exact on
+/// trees; a tight lower bound in practice). Returns 0 for empty graphs.
+pub fn estimate_diameter(csr: &Csr, rng: &mut SplitMix64) -> u32 {
+    let n = csr.num_nodes();
+    if n == 0 {
+        return 0;
+    }
+    let start = rng.next_below(n);
+    let d1 = bfs_distances(csr, start);
+    let far = farthest_reachable(&d1).unwrap_or(start);
+    let d2 = bfs_distances(csr, far);
+    d2.iter().copied().filter(|&d| d != u32::MAX).max().unwrap_or(0)
+}
+
+fn farthest_reachable(dist: &[u32]) -> Option<u64> {
+    dist.iter()
+        .enumerate()
+        .filter(|(_, &d)| d != u32::MAX)
+        .max_by_key(|(_, &d)| d)
+        .map(|(i, _)| i as u64)
+}
+
+/// Mean pairwise distance estimated from `samples` BFS sources (unreachable
+/// pairs are skipped). `None` if nothing is reachable.
+pub fn mean_distance_sampled(csr: &Csr, samples: usize, rng: &mut SplitMix64) -> Option<f64> {
+    let n = csr.num_nodes();
+    if n == 0 {
+        return None;
+    }
+    let mut total = 0u64;
+    let mut count = 0u64;
+    for _ in 0..samples {
+        let s = rng.next_below(n);
+        for (v, &d) in bfs_distances(csr, s).iter().enumerate() {
+            if d != u32::MAX && v as u64 != s {
+                total += u64::from(d);
+                count += 1;
+            }
+        }
+    }
+    (count > 0).then(|| total as f64 / count as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasynth_tables::EdgeTable;
+
+    fn path_graph(n: u64) -> Csr {
+        let et = EdgeTable::from_pairs("e", (0..n - 1).map(|i| (i, i + 1)));
+        Csr::undirected(&et, n)
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let csr = path_graph(5);
+        assert_eq!(bfs_distances(&csr, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&csr, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let et = EdgeTable::from_pairs("e", [(0u64, 1u64)]);
+        let csr = Csr::undirected(&et, 3);
+        assert_eq!(bfs_distances(&csr, 0)[2], u32::MAX);
+    }
+
+    #[test]
+    fn double_sweep_finds_path_diameter() {
+        let csr = path_graph(10);
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(estimate_diameter(&csr, &mut rng), 9);
+    }
+
+    #[test]
+    fn mean_distance_on_triangle() {
+        let et = EdgeTable::from_pairs("e", [(0u64, 1u64), (1, 2), (0, 2)]);
+        let csr = Csr::undirected(&et, 3);
+        let mut rng = SplitMix64::new(2);
+        let mean = mean_distance_sampled(&csr, 10, &mut rng).unwrap();
+        assert!((mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_cases() {
+        let csr = Csr::undirected(&EdgeTable::new("e"), 0);
+        let mut rng = SplitMix64::new(3);
+        assert_eq!(estimate_diameter(&csr, &mut rng), 0);
+        assert_eq!(mean_distance_sampled(&csr, 4, &mut rng), None);
+    }
+}

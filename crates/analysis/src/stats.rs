@@ -1,0 +1,120 @@
+//! Distribution distances and descriptive statistics.
+//!
+//! Matching quality in the paper is judged visually (expected vs observed
+//! CDF); we quantify the same comparison with standard distances so tests
+//! and benchmark tables can assert on it.
+
+/// L1 (total variation × 2) distance between two discrete distributions
+/// given as aligned probability vectors.
+pub fn l1_distance(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "aligned supports required");
+    p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum()
+}
+
+/// Kolmogorov–Smirnov distance: max absolute difference between the two
+/// running CDFs of aligned probability vectors.
+pub fn ks_distance(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "aligned supports required");
+    let mut cp = 0.0;
+    let mut cq = 0.0;
+    let mut worst: f64 = 0.0;
+    for (a, b) in p.iter().zip(q) {
+        cp += a;
+        cq += b;
+        worst = worst.max((cp - cq).abs());
+    }
+    worst
+}
+
+/// Hellinger distance between aligned probability vectors, in `[0, 1]`.
+pub fn hellinger_distance(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "aligned supports required");
+    let s: f64 = p
+        .iter()
+        .zip(q)
+        .map(|(a, b)| (a.sqrt() - b.sqrt()).powi(2))
+        .sum();
+    (s / 2.0).sqrt()
+}
+
+/// Five-number-style summary of a sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Median (lower-middle for even counts).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Compute from a sample; `None` when empty or containing NaN.
+    pub fn from_samples(xs: &[f64]) -> Option<Self> {
+        if xs.is_empty() || xs.iter().any(|x| x.is_nan()) {
+            return None;
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Some(Self {
+            count: xs.len(),
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            mean,
+            std_dev: var.sqrt(),
+            median: sorted[(sorted.len() - 1) / 2],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_distributions_have_zero_distance() {
+        let p = [0.25, 0.25, 0.5];
+        assert_eq!(l1_distance(&p, &p), 0.0);
+        assert_eq!(ks_distance(&p, &p), 0.0);
+        assert_eq!(hellinger_distance(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn disjoint_distributions_are_maximal() {
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        assert!((l1_distance(&p, &q) - 2.0).abs() < 1e-12);
+        assert!((ks_distance(&p, &q) - 1.0).abs() < 1e-12);
+        assert!((hellinger_distance(&p, &q) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_is_cdf_based() {
+        // Mass moved to an adjacent cell: KS sees the cumulative gap.
+        let p = [0.5, 0.5, 0.0];
+        let q = [0.5, 0.0, 0.5];
+        assert!((ks_distance(&p, &q) - 0.5).abs() < 1e-12);
+        assert!((l1_distance(&p, &q) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::from_samples(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.median, 2.0);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!(Summary::from_samples(&[]).is_none());
+        assert!(Summary::from_samples(&[f64::NAN]).is_none());
+    }
+}

@@ -1,0 +1,55 @@
+//! SBM-Part and LDG throughput (nodes per second) — the cost center behind
+//! the paper's timing claim.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datasynth_matching::evaluate::{empirical_jpd, geometric_group_sizes};
+use datasynth_matching::{ldg_partition, sbm_part_with, MatchInput, SbmPartConfig, ScoreScheme};
+use datasynth_prng::SplitMix64;
+use datasynth_structure::{LfrGenerator, StructureGenerator};
+use datasynth_tables::Csr;
+
+fn bench_matching(c: &mut Criterion) {
+    let n: u64 = 20_000;
+    let k = 16;
+    let edges = LfrGenerator::paper_defaults().run(n, &mut SplitMix64::new(1));
+    let csr = Csr::undirected(&edges, n);
+    let sizes = geometric_group_sizes(n, k, 0.4);
+    let mut order: Vec<u64> = (0..n).collect();
+    SplitMix64::new(2).shuffle(&mut order);
+    let truth = ldg_partition(&csr, &sizes, &order);
+    let jpd = empirical_jpd(&truth, &edges, k);
+    let input = MatchInput {
+        group_sizes: &sizes,
+        jpd: &jpd,
+        csr: &csr,
+        num_edges: edges.len(),
+    };
+
+    let mut group = c.benchmark_group("matching_lfr20k_k16");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n));
+
+    group.bench_function("ldg", |b| {
+        b.iter(|| black_box(ldg_partition(&csr, &sizes, &order)))
+    });
+
+    for scheme in [
+        ScoreScheme::RawCounts,
+        ScoreScheme::Density,
+        ScoreScheme::RelativeDeficit,
+    ] {
+        let config = SbmPartConfig {
+            scheme,
+            no_capacity_penalty: false,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("sbm_part", format!("{scheme:?}")),
+            &config,
+            |b, cfg| b.iter(|| black_box(sbm_part_with(&input, &order, *cfg))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! End-to-end pipeline throughput: the running example per generated
+//! element, plus property-generation scaling with thread count.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datasynth_core::DataSynth;
+
+const SCHEMA: &str = r#"
+graph social {
+  node Person [count = 5000] {
+    country: text = dictionary("countries");
+    sex: text = categorical("M": 0.5, "F": 0.5);
+    name: text = first_names() given (country, sex);
+    creationDate: date = date_between("2010-01-01", "2013-01-01");
+  }
+  node Message {
+    topic: text = dictionary("topics");
+    text: text = sentence_about(5, 12) given (topic);
+  }
+  edge knows: Person -- Person {
+    structure = lfr(avg_degree = 10, max_degree = 30);
+    correlate country with homophily(0.8);
+    creationDate: date = date_after(30) given (source.creationDate, target.creationDate);
+  }
+  edge creates: Person -> Message [one_to_many] {
+    structure = one_to_many(dist = "geometric", p = 0.4);
+  }
+}
+"#;
+
+const PROPS_ONLY: &str = r#"
+graph wide {
+  node Row [count = 50000] {
+    a: text = dictionary("countries");
+    s: text = categorical("M": 1, "F": 1);
+    b: long = uniform(0, 1000000);
+    c: double = normal(0, 1);
+    d: text = first_names() given (a, s);
+    e: date = date_between("2000-01-01", "2020-12-31");
+  }
+}
+"#;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+
+    group.bench_function("running_example_5k_persons", |b| {
+        let gen = DataSynth::from_dsl(SCHEMA).unwrap().with_seed(7);
+        b.iter(|| black_box(gen.generate().unwrap()))
+    });
+
+    group.throughput(Throughput::Elements(50_000 * 5));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("property_gen_250k_values", threads),
+            &threads,
+            |b, &t| {
+                let gen = DataSynth::from_dsl(PROPS_ONLY)
+                    .unwrap()
+                    .with_seed(7)
+                    .with_threads(t);
+                b.iter(|| black_box(gen.generate().unwrap()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

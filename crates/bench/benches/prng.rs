@@ -1,0 +1,102 @@
+//! Micro-benchmarks for the PRNG layer: raw draw throughput is what bounds
+//! "in-place" property generation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use datasynth_prng::dist::{AliasTable, Categorical, Sampler, Zipf};
+use datasynth_prng::{Philox2x64, SkipSeed, SplitMix64, TableStream};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prng");
+    group.throughput(Throughput::Elements(1024));
+
+    group.bench_function("splitmix64_sequential_1k", |b| {
+        let mut rng = SplitMix64::new(1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1024 {
+                acc ^= rng.next_u64();
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("skipseed_random_access_1k", |b| {
+        let skip = SkipSeed::new(1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1024u64 {
+                acc ^= skip.at(black_box(i * 7919));
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("philox_random_access_1k", |b| {
+        let g = Philox2x64::new(1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1024u64 {
+                acc ^= g.at_single(black_box(i * 7919));
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("table_stream_substreams_1k", |b| {
+        let s = TableStream::derive(1, "Person.name");
+        b.iter(|| {
+            let mut acc = 0u64;
+            for id in 0..1024u64 {
+                let mut sub = s.substream(id);
+                acc ^= sub.next_u64();
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("samplers");
+    group.throughput(Throughput::Elements(1024));
+
+    let categorical = Categorical::new(&(1..=64).map(f64::from).collect::<Vec<_>>());
+    group.bench_function("categorical_64_binary_search", |b| {
+        let mut rng = SplitMix64::new(2);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..1024 {
+                acc ^= categorical.sample(&mut rng);
+            }
+            black_box(acc)
+        })
+    });
+
+    let alias = AliasTable::new(&(1..=64).map(f64::from).collect::<Vec<_>>());
+    group.bench_function("alias_64_constant_time", |b| {
+        let mut rng = SplitMix64::new(2);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..1024 {
+                acc ^= alias.sample(&mut rng);
+            }
+            black_box(acc)
+        })
+    });
+
+    let zipf = Zipf::new(1.2, 100_000);
+    group.bench_function("zipf_exact_100k", |b| {
+        let mut rng = SplitMix64::new(3);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1024 {
+                acc ^= zipf.sample(&mut rng);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators, bench_samplers);
+criterion_main!(benches);

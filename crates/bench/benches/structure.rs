@@ -1,0 +1,42 @@
+//! Structure generator throughput (edges per second per model).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datasynth_prng::SplitMix64;
+use datasynth_structure::{
+    BarabasiAlbert, BterGenerator, CcProfile, DegreeDist, Gnp, LfrGenerator, RmatGenerator,
+    StructureGenerator, WattsStrogatz,
+};
+
+fn bench_structure(c: &mut Criterion) {
+    let n: u64 = 10_000;
+    let mut group = c.benchmark_group("structure_10k_nodes");
+    group.sample_size(10);
+
+    let generators: Vec<(&str, Box<dyn StructureGenerator + Send + Sync>)> = vec![
+        ("rmat_ef16", Box::new(RmatGenerator::graph500())),
+        ("lfr_paper", Box::new(LfrGenerator::paper_defaults())),
+        (
+            "bter_pl",
+            Box::new(BterGenerator::new(
+                DegreeDist::PowerLaw(datasynth_prng::dist::DiscretePowerLaw::new(2.0, 2, 60)),
+                CcProfile::Constant(0.3),
+            )),
+        ),
+        ("erdos_renyi_p2e-3", Box::new(Gnp::new(0.002))),
+        ("barabasi_albert_m3", Box::new(BarabasiAlbert::new(3))),
+        ("watts_strogatz_k6", Box::new(WattsStrogatz::new(6, 0.1))),
+    ];
+
+    for (name, g) in &generators {
+        // Estimate edge count once for throughput accounting.
+        let m = g.run(n, &mut SplitMix64::new(1)).len();
+        group.throughput(Throughput::Elements(m));
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter(|| black_box(g.run(n, &mut SplitMix64::new(1))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_structure);
+criterion_main!(benches);

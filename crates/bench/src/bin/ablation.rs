@@ -1,0 +1,121 @@
+//! Ablation study over SBM-Part's design choices (the knobs the paper
+//! leaves open): raw-count vs density-normalized scoring, the LDG capacity
+//! penalty, stream order, and the random-matching floor.
+//!
+//! ```sh
+//! cargo run --release -p datasynth-bench --bin ablation [--full] [--seed N]
+//! ```
+
+use datasynth_bench::{result_row, run_matching_experiment, CliOptions, GraphKind, Matcher};
+use datasynth_matching::evaluate::{compare_jpds, empirical_jpd, geometric_group_sizes};
+use datasynth_matching::{
+    ldg_partition, refine_assignment, sbm_part_with, MatchInput, SbmPartConfig, ScoreScheme,
+};
+use datasynth_prng::SplitMix64;
+use datasynth_tables::Csr;
+
+fn main() {
+    let opts = CliOptions::from_args();
+    let (lfr_n, rmat_scale) = if opts.full { (1_000_000, 22) } else { (50_000, 16) };
+    let k = 16;
+
+    println!("=== Ablation: scoring scheme x capacity penalty (k = {k}) ===");
+    let configs = [
+        ("raw counts, capacity", SbmPartConfig { scheme: ScoreScheme::RawCounts, no_capacity_penalty: false }),
+        ("raw counts, no capacity", SbmPartConfig { scheme: ScoreScheme::RawCounts, no_capacity_penalty: true }),
+        ("density, capacity", SbmPartConfig { scheme: ScoreScheme::Density, no_capacity_penalty: false }),
+        ("density, no capacity", SbmPartConfig { scheme: ScoreScheme::Density, no_capacity_penalty: true }),
+        ("rel-deficit, capacity", SbmPartConfig { scheme: ScoreScheme::RelativeDeficit, no_capacity_penalty: false }),
+        ("rel-deficit, no capacity", SbmPartConfig { scheme: ScoreScheme::RelativeDeficit, no_capacity_penalty: true }),
+    ];
+    for kind in [GraphKind::Lfr { n: lfr_n }, GraphKind::Rmat { scale: rmat_scale }] {
+        for (label, config) in configs {
+            let r = run_matching_experiment(kind, k, opts.seed, Matcher::SbmPart(config));
+            println!("{label:<26} {}", result_row(&r));
+        }
+        let r = run_matching_experiment(kind, k, opts.seed, Matcher::Random);
+        println!("{:<26} {}", "random matching", result_row(&r));
+        println!();
+    }
+
+    println!("=== Ablation: stream order (LFR, default config) ===");
+    let kind = GraphKind::Lfr { n: lfr_n };
+    let n = kind.num_nodes();
+    let edges = kind.generate(opts.seed);
+    let csr = Csr::undirected(&edges, n);
+    let sizes = geometric_group_sizes(n, k, 0.4);
+    let mut order: Vec<u64> = (0..n).collect();
+    SplitMix64::new(opts.seed ^ 0x5151).shuffle(&mut order);
+    let truth = ldg_partition(&csr, &sizes, &order);
+    let expected = empirical_jpd(&truth, &edges, k);
+    let input = MatchInput {
+        group_sizes: &sizes,
+        jpd: &expected,
+        csr: &csr,
+        num_edges: edges.len(),
+    };
+    let config = SbmPartConfig::default();
+
+    let mut orders: Vec<(&str, Vec<u64>)> = Vec::new();
+    let mut random_order: Vec<u64> = (0..n).collect();
+    SplitMix64::new(opts.seed ^ 0xACDC).shuffle(&mut random_order);
+    orders.push(("random (paper)", random_order));
+    orders.push(("natural id order", (0..n).collect()));
+    orders.push(("bfs order", bfs_order(&csr)));
+    orders.push(("degree descending", {
+        let mut o: Vec<u64> = (0..n).collect();
+        o.sort_by_key(|&v| std::cmp::Reverse(csr.degree(v)));
+        o
+    }));
+    for (label, order) in orders {
+        let result = sbm_part_with(&input, &order, config);
+        let observed = empirical_jpd(&result.group_of, &edges, k);
+        let cmp = compare_jpds(&expected, &observed);
+        println!(
+            "{label:<20} L1={:.4}  KS={:.4}  diag {:.3}->{:.3}",
+            cmp.l1, cmp.ks, cmp.expected_diagonal, cmp.observed_diagonal
+        );
+    }
+
+    println!("\n=== Extension: swap-refinement after SBM-Part (paper future work) ===");
+    let mut order3: Vec<u64> = (0..n).collect();
+    SplitMix64::new(opts.seed ^ 0xACDC).shuffle(&mut order3);
+    let mut assign = sbm_part_with(&input, &order3, config).group_of;
+    for (label, attempts) in [("no refinement", 0u64), ("2n swaps", 2 * n), ("10n swaps", 10 * n)] {
+        let mut refined = assign.clone();
+        let mut rng = SplitMix64::new(opts.seed ^ 0x0F0F);
+        let stats = refine_assignment(&input, &mut refined, attempts, &mut rng);
+        let observed = empirical_jpd(&refined, &edges, k);
+        let cmp = compare_jpds(&expected, &observed);
+        println!(
+            "{label:<16} accepted={:<7} L1={:.4}  KS={:.4}  diag {:.3}->{:.3}",
+            stats.accepted, cmp.l1, cmp.ks, cmp.expected_diagonal, cmp.observed_diagonal
+        );
+    }
+    let _ = &mut assign;
+}
+
+/// BFS from node 0 (appending unreached nodes in id order).
+fn bfs_order(csr: &Csr) -> Vec<u64> {
+    let n = csr.num_nodes();
+    let mut seen = vec![false; n as usize];
+    let mut order = Vec::with_capacity(n as usize);
+    let mut queue = std::collections::VecDeque::new();
+    for root in 0..n {
+        if seen[root as usize] {
+            continue;
+        }
+        seen[root as usize] = true;
+        queue.push_back(root);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &u in csr.neighbors(v) {
+                if !seen[u as usize] {
+                    seen[u as usize] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    order
+}

@@ -1,0 +1,55 @@
+//! **Figure 3**: expected vs observed CDF of `P(X,Y)` after SBM-Part, for
+//! LFR and RMAT graphs of increasing size at a fixed number of property
+//! values (k = 16).
+//!
+//! Paper grid: LFR {10k, 100k, 1M} nodes; RMAT scales {18, 20, 22}.
+//! Default run uses a laptop-scale grid (LFR {10k, 50k, 100k}; RMAT
+//! {14, 16, 18}); pass `--full` for the paper's exact sizes.
+//!
+//! ```sh
+//! cargo run --release -p datasynth-bench --bin fig3 [--full] [--seed N] [--csv-dir DIR]
+//! ```
+
+use datasynth_bench::{
+    maybe_write_csv, result_row, run_matching_experiment, CliOptions, GraphKind, Matcher,
+};
+use datasynth_matching::SbmPartConfig;
+
+fn main() {
+    let opts = CliOptions::from_args();
+    let k = 16usize;
+    let (lfr_sizes, rmat_scales): (Vec<u64>, Vec<u32>) = if opts.full {
+        (vec![10_000, 100_000, 1_000_000], vec![18, 20, 22])
+    } else {
+        (vec![10_000, 50_000, 100_000], vec![14, 16, 18])
+    };
+
+    println!("== Figure 3: matching quality vs graph size (k = {k}) ==");
+    println!("(CDF distances between expected and observed P(X,Y); lower = curves overlap)\n");
+    for &n in &lfr_sizes {
+        let r = run_matching_experiment(
+            GraphKind::Lfr { n },
+            k,
+            opts.seed,
+            Matcher::SbmPart(SbmPartConfig::default()),
+        );
+        maybe_write_csv(&opts, &format!("fig3_lfr_{n}_{k}"), &r);
+        println!("{}", result_row(&r));
+    }
+    println!();
+    for &scale in &rmat_scales {
+        let r = run_matching_experiment(
+            GraphKind::Rmat { scale },
+            k,
+            opts.seed,
+            Matcher::SbmPart(SbmPartConfig::default()),
+        );
+        maybe_write_csv(&opts, &format!("fig3_rmat_{scale}_{k}"), &r);
+        println!("{}", result_row(&r));
+    }
+
+    println!("\npaper-shape checks:");
+    println!("  * LFR quality roughly size-invariant (L1 stays flat across sizes)");
+    println!("  * the head of the CDF (diagonal, X = Y entries) is reproduced on both families");
+    println!("  * every row beats random matching by an order of magnitude (see `ablation`)");
+}

@@ -1,0 +1,69 @@
+//! **Timing claim** (§4.2, last paragraph): the paper reports ≈1100 s for
+//! SBM-Part on the largest problem — RMAT-22 (67M generated edges) with 64
+//! values, single thread, "no optimizations of any kind".
+//!
+//! This binary reproduces the measurement as a scale sweep: single-threaded
+//! SBM-Part wall time and throughput per (scale, k). Default sweep tops out
+//! at RMAT-18; `--full` runs the paper's exact RMAT-22 / k = 64 cell.
+//!
+//! ```sh
+//! cargo run --release -p datasynth-bench --bin timing [--full] [--seed N]
+//! ```
+
+use std::time::Instant;
+
+use datasynth_bench::{CliOptions, GraphKind};
+use datasynth_matching::evaluate::{empirical_jpd, geometric_group_sizes};
+use datasynth_matching::{ldg_partition, sbm_part, MatchInput};
+use datasynth_prng::SplitMix64;
+use datasynth_tables::Csr;
+
+fn main() {
+    let opts = CliOptions::from_args();
+    let cells: Vec<(u32, usize)> = if opts.full {
+        vec![(18, 16), (20, 16), (22, 16), (22, 4), (22, 64)]
+    } else {
+        vec![(14, 16), (16, 16), (18, 16), (18, 4), (18, 64)]
+    };
+
+    println!("== SBM-Part runtime (single thread) ==");
+    println!("paper reference point: RMAT-22, 67M edges, k = 64  ->  ~1100 s on a 2014 Xeon\n");
+    println!(
+        "{:<10} {:>4} {:>12} {:>10} {:>14} {:>14}",
+        "graph", "k", "edges", "seconds", "edges/s", "nodes/s"
+    );
+    for (scale, k) in cells {
+        let kind = GraphKind::Rmat { scale };
+        let n = kind.num_nodes();
+        let edges = kind.generate(opts.seed);
+        let csr = Csr::undirected(&edges, n);
+        let sizes = geometric_group_sizes(n, k, 0.4);
+        let mut order: Vec<u64> = (0..n).collect();
+        SplitMix64::new(opts.seed ^ 0x5151).shuffle(&mut order);
+        let truth = ldg_partition(&csr, &sizes, &order);
+        let expected = empirical_jpd(&truth, &edges, k);
+        let mut order2: Vec<u64> = (0..n).collect();
+        SplitMix64::new(opts.seed ^ 0xACDC).shuffle(&mut order2);
+
+        let input = MatchInput {
+            group_sizes: &sizes,
+            jpd: &expected,
+            csr: &csr,
+            num_edges: edges.len(),
+        };
+        let start = Instant::now();
+        let result = sbm_part(&input, &order2);
+        let secs = start.elapsed().as_secs_f64();
+        // Keep the result alive so the measurement cannot be elided.
+        assert_eq!(result.group_of.len() as u64, n);
+        println!(
+            "{:<10} {:>4} {:>12} {:>10.2} {:>14.0} {:>14.0}",
+            kind.label(),
+            k,
+            edges.len(),
+            secs,
+            edges.len() as f64 / secs,
+            n as f64 / secs
+        );
+    }
+}

@@ -1,0 +1,240 @@
+//! Shared experiment harness for the paper-reproduction benchmarks.
+//!
+//! Every binary in this crate regenerates one table or figure of the paper
+//! (see DESIGN.md for the index). The harness implements the §4.2 protocol:
+//!
+//! 1. generate a graph with LFR or RMAT,
+//! 2. fabricate ground-truth groups by partitioning it with LDG into `k`
+//!    geometric-sized groups,
+//! 3. measure the resulting joint distribution `P(X,Y)` — the *expected*
+//!    distribution,
+//! 4. run a matcher (SBM-Part, or a baseline) from scratch against that
+//!    target, and
+//! 5. compare expected vs observed CDFs.
+
+use std::time::Instant;
+
+use datasynth_matching::evaluate::{
+    compare_jpds, empirical_jpd, geometric_group_sizes, CdfComparison,
+};
+use datasynth_matching::{
+    ldg_partition, random_matching, sbm_part_with, Jpd, MatchInput, SbmPartConfig,
+};
+use datasynth_prng::SplitMix64;
+use datasynth_structure::{LfrGenerator, RmatGenerator, StructureGenerator};
+use datasynth_tables::{Csr, EdgeTable};
+
+/// Which generator produced the experiment graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphKind {
+    /// LFR with the paper's parameters, `n` nodes.
+    Lfr {
+        /// Node count.
+        n: u64,
+    },
+    /// RMAT at Graph-500 defaults, `scale` (n = 2^scale).
+    Rmat {
+        /// log2 of the node count.
+        scale: u32,
+    },
+}
+
+impl GraphKind {
+    /// Label used in report rows (matches the paper's figure captions).
+    pub fn label(&self) -> String {
+        match self {
+            GraphKind::Lfr { n } => format!("LFR({})", human(*n)),
+            GraphKind::Rmat { scale } => format!("RMAT({scale})"),
+        }
+    }
+
+    /// Node count of the generated graph.
+    pub fn num_nodes(&self) -> u64 {
+        match self {
+            GraphKind::Lfr { n } => *n,
+            GraphKind::Rmat { scale } => 1u64 << scale,
+        }
+    }
+
+    /// Generate the edge table.
+    pub fn generate(&self, seed: u64) -> EdgeTable {
+        let mut rng = SplitMix64::new(seed);
+        match self {
+            GraphKind::Lfr { n } => LfrGenerator::paper_defaults().run(*n, &mut rng),
+            GraphKind::Rmat { scale } => RmatGenerator::graph500().run_scale(*scale, &mut rng),
+        }
+    }
+}
+
+fn human(n: u64) -> String {
+    if n >= 1_000_000 && n.is_multiple_of(1_000_000) {
+        format!("{}M", n / 1_000_000)
+    } else if n >= 1_000 && n.is_multiple_of(1_000) {
+        format!("{}k", n / 1_000)
+    } else {
+        n.to_string()
+    }
+}
+
+/// Which matcher to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Matcher {
+    /// SBM-Part with a configuration.
+    SbmPart(SbmPartConfig),
+    /// Uniform random matching (the "no correlation" baseline).
+    Random,
+}
+
+/// Result of one experiment cell.
+#[derive(Debug)]
+pub struct ExperimentResult {
+    /// Graph label (e.g. `LFR(100k)`).
+    pub graph: String,
+    /// Number of distinct property values `k`.
+    pub k: usize,
+    /// Edges in the structure graph.
+    pub num_edges: u64,
+    /// Expected-vs-observed comparison.
+    pub comparison: CdfComparison,
+    /// Wall time of the matching step only.
+    pub match_seconds: f64,
+}
+
+/// Run the §4.2 protocol for one `(graph, k)` cell.
+pub fn run_matching_experiment(
+    kind: GraphKind,
+    k: usize,
+    seed: u64,
+    matcher: Matcher,
+) -> ExperimentResult {
+    let n = kind.num_nodes();
+    let edges = kind.generate(seed);
+    // RMAT graphs contain self-loops/duplicates; the matching protocol
+    // (like the paper) works on the generated table as-is — LDG and
+    // SBM-Part consume the undirected adjacency, which tolerates both.
+    let csr = Csr::undirected(&edges, n);
+
+    // Ground truth: LDG partition into geometric-sized groups.
+    let sizes = geometric_group_sizes(n, k, 0.4);
+    let mut order: Vec<u64> = (0..n).collect();
+    SplitMix64::new(seed ^ 0x5151).shuffle(&mut order);
+    let truth = ldg_partition(&csr, &sizes, &order);
+    let expected = empirical_jpd(&truth, &edges, k);
+
+    // Matching from scratch, random stream order (paper protocol).
+    let mut order2: Vec<u64> = (0..n).collect();
+    SplitMix64::new(seed ^ 0xACDC).shuffle(&mut order2);
+    let start = Instant::now();
+    let group_of = match matcher {
+        Matcher::SbmPart(config) => {
+            let input = MatchInput {
+                group_sizes: &sizes,
+                jpd: &expected,
+                csr: &csr,
+                num_edges: edges.len(),
+            };
+            sbm_part_with(&input, &order2, config).group_of
+        }
+        Matcher::Random => random_matching(&sizes, n, seed ^ 0xF00D).group_of,
+    };
+    let match_seconds = start.elapsed().as_secs_f64();
+    let observed = empirical_jpd(&group_of, &edges, k);
+
+    ExperimentResult {
+        graph: kind.label(),
+        k,
+        num_edges: edges.len(),
+        comparison: compare_jpds(&expected, &observed),
+        match_seconds,
+    }
+}
+
+/// Render a result as one row of the report tables.
+pub fn result_row(r: &ExperimentResult) -> String {
+    format!(
+        "{:<12} k={:<3} m={:<10} L1={:.4}  KS={:.4}  Hellinger={:.4}  diag {:.3}->{:.3}  match {:.2}s",
+        r.graph,
+        r.k,
+        r.num_edges,
+        r.comparison.l1,
+        r.comparison.ks,
+        r.comparison.hellinger,
+        r.comparison.expected_diagonal,
+        r.comparison.observed_diagonal,
+        r.match_seconds
+    )
+}
+
+/// Render the expected/observed CDF series of a result as CSV lines
+/// (`pair_rank,...`) — the exact data behind one panel of Figures 3/4.
+pub fn cdf_series_csv(r: &ExperimentResult) -> String {
+    let mut out =
+        String::from("pair_rank,i,j,expected_pmf,observed_pmf,expected_cdf,observed_cdf\n");
+    for (rank, p) in r.comparison.pairs.iter().enumerate() {
+        out.push_str(&format!(
+            "{rank},{},{},{:.6},{:.6},{:.6},{:.6}\n",
+            p.i,
+            p.j,
+            p.expected,
+            p.observed,
+            r.comparison.expected_cdf[rank],
+            r.comparison.observed_cdf[rank]
+        ));
+    }
+    out
+}
+
+/// Parse `--full` / `--seed N` / `--csv-dir D` flags shared by the figure
+/// binaries.
+pub struct CliOptions {
+    /// Run at the paper's full scale (LFR 1M, RMAT 22).
+    pub full: bool,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Optional directory to drop per-panel CDF CSV files into.
+    pub csv_dir: Option<std::path::PathBuf>,
+}
+
+impl CliOptions {
+    /// Parse from `std::env::args`.
+    pub fn from_args() -> Self {
+        let mut opts = CliOptions {
+            full: false,
+            seed: 42,
+            csv_dir: None,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--full" => opts.full = true,
+                "--seed" => {
+                    opts.seed = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--seed takes an integer");
+                }
+                "--csv-dir" => {
+                    opts.csv_dir = Some(args.next().expect("--csv-dir takes a path").into());
+                }
+                other => panic!("unknown flag {other:?} (known: --full, --seed N, --csv-dir D)"),
+            }
+        }
+        opts
+    }
+}
+
+/// Write a panel's CDF series when `--csv-dir` was given.
+pub fn maybe_write_csv(opts: &CliOptions, name: &str, r: &ExperimentResult) {
+    if let Some(dir) = &opts.csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+        let path = dir.join(format!("{name}.csv"));
+        std::fs::write(&path, cdf_series_csv(r)).expect("write csv");
+    }
+}
+
+/// The independent-matching diagonal mass for a JPD — a reference line for
+/// reports.
+pub fn independent_diagonal(jpd: &Jpd) -> f64 {
+    let marginal = jpd.marginal();
+    marginal.iter().map(|w| w * w).sum()
+}

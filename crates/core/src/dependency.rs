@@ -1,0 +1,379 @@
+//! Dependency analysis (§4.2): turn a schema into a topologically ordered
+//! task list. "From the dependencies analysis we get a dependency graph,
+//! which we traverse to preserve the dependencies between the tasks."
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use datasynth_schema::{Cardinality, DepRef, Schema};
+
+use crate::error::PipelineError;
+
+/// One pipeline task.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Task {
+    /// Resolve the instance count of a node type.
+    NodeCount(String),
+    /// Generate one node property table.
+    NodeProperty(String, String),
+    /// Generate the structure (raw edge table) of an edge type.
+    Structure(String),
+    /// Match structure node ids to property-table ids (and relabel).
+    Match(String),
+    /// Generate one edge property table.
+    EdgeProperty(String, String),
+}
+
+impl std::fmt::Display for Task {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Task::NodeCount(t) => write!(f, "count({t})"),
+            Task::NodeProperty(t, p) => write!(f, "property({t}.{p})"),
+            Task::Structure(e) => write!(f, "structure({e})"),
+            Task::Match(e) => write!(f, "match({e})"),
+            Task::EdgeProperty(e, p) => write!(f, "property({e}.{p})"),
+        }
+    }
+}
+
+/// A topologically ordered execution plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutionPlan {
+    /// Tasks in a dependency-respecting order.
+    pub tasks: Vec<Task>,
+}
+
+impl ExecutionPlan {
+    /// Position of a task (for tests and diagnostics).
+    pub fn position(&self, task: &Task) -> Option<usize> {
+        self.tasks.iter().position(|t| t == task)
+    }
+}
+
+/// How a node type's count will be obtained (resolved during analysis so
+/// cycles surface here, not at run time).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CountSource {
+    /// `[count = N]` in the schema.
+    Explicit(u64),
+    /// Target side of a 1→1 / 1→* edge: count comes from the generated
+    /// structure of that edge.
+    FromStructure(String),
+    /// Source side of an edge with `[count = M]`: count comes from
+    /// `getNumNodes(M)` of that edge's structure generator (no task dep —
+    /// the inverse sizing is a pure function).
+    FromEdgeCount(String),
+}
+
+/// Analysis output: the plan plus the count resolution per node type.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Ordered tasks.
+    pub plan: ExecutionPlan,
+    /// Count source per node type.
+    pub count_sources: BTreeMap<String, CountSource>,
+}
+
+/// Analyze a schema into an execution plan. Fails on underdetermined or
+/// ambiguous sizing and on dependency cycles.
+pub fn analyze(schema: &Schema) -> Result<Analysis, PipelineError> {
+    let mut count_sources: BTreeMap<String, CountSource> = BTreeMap::new();
+
+    // 1. Resolve where every node count comes from.
+    for node in &schema.nodes {
+        if let Some(c) = node.count {
+            count_sources.insert(node.name.clone(), CountSource::Explicit(c));
+        }
+    }
+    for edge in &schema.edges {
+        let derives_target = matches!(
+            edge.cardinality,
+            Cardinality::OneToMany | Cardinality::OneToOne
+        );
+        if !derives_target {
+            continue;
+        }
+        match count_sources.get(&edge.target) {
+            None => {
+                count_sources.insert(
+                    edge.target.clone(),
+                    CountSource::FromStructure(edge.name.clone()),
+                );
+            }
+            Some(CountSource::FromStructure(other)) => {
+                return Err(PipelineError::Sizing(format!(
+                    "node type {:?} count derivable from both {other:?} and {:?}; \
+                     give it an explicit [count = N] to disambiguate",
+                    edge.target, edge.name
+                )));
+            }
+            // An explicit count wins; the runner checks endpoint ranges.
+            Some(_) => {}
+        }
+    }
+    for edge in &schema.edges {
+        if edge.count.is_some() && !count_sources.contains_key(&edge.source) {
+            count_sources.insert(
+                edge.source.clone(),
+                CountSource::FromEdgeCount(edge.name.clone()),
+            );
+        }
+    }
+    for node in &schema.nodes {
+        if !count_sources.contains_key(&node.name) {
+            return Err(PipelineError::Sizing(format!(
+                "cannot determine the number of {:?} instances: give it a [count = N], \
+                 make it the target of a 1-to-many edge, or give such an edge a count",
+                node.name
+            )));
+        }
+    }
+
+    // 2. Build the task DAG.
+    let mut deps: BTreeMap<Task, BTreeSet<Task>> = BTreeMap::new();
+    let mut add = |task: Task, dep: Option<Task>| {
+        let entry = deps.entry(task).or_default();
+        if let Some(d) = dep {
+            entry.insert(d);
+        }
+    };
+
+    for node in &schema.nodes {
+        let count_task = Task::NodeCount(node.name.clone());
+        match &count_sources[&node.name] {
+            CountSource::Explicit(_) | CountSource::FromEdgeCount(_) => {
+                add(count_task.clone(), None);
+            }
+            CountSource::FromStructure(e) => {
+                add(count_task.clone(), Some(Task::Structure(e.clone())));
+            }
+        }
+        for prop in &node.properties {
+            let t = Task::NodeProperty(node.name.clone(), prop.name.clone());
+            add(t.clone(), Some(count_task.clone()));
+            for dep in &prop.dependencies {
+                if let DepRef::Own(q) = dep {
+                    add(
+                        t.clone(),
+                        Some(Task::NodeProperty(node.name.clone(), q.clone())),
+                    );
+                }
+            }
+        }
+    }
+
+    for edge in &schema.edges {
+        let s_task = Task::Structure(edge.name.clone());
+        // Structure always needs the source count to size `run(n)`. This
+        // cannot cycle: a count derived from this edge's declared count
+        // (`FromEdgeCount`) is a pure function of the generator spec, so
+        // its NodeCount task has no dependency on the Structure task.
+        add(
+            s_task.clone(),
+            Some(Task::NodeCount(edge.source.clone())),
+        );
+        // Structure needs the target count too for endpoint validation,
+        // except when this very edge defines it.
+        if !matches!(&count_sources[&edge.target], CountSource::FromStructure(e) if e == &edge.name)
+            && edge.target != edge.source
+        {
+            add(
+                s_task.clone(),
+                Some(Task::NodeCount(edge.target.clone())),
+            );
+        }
+
+        let m_task = Task::Match(edge.name.clone());
+        add(m_task.clone(), Some(s_task.clone()));
+        add(m_task.clone(), Some(Task::NodeCount(edge.source.clone())));
+        add(m_task.clone(), Some(Task::NodeCount(edge.target.clone())));
+        if let Some(corr) = &edge.correlation {
+            add(
+                m_task.clone(),
+                Some(Task::NodeProperty(edge.source.clone(), corr.property.clone())),
+            );
+        }
+
+        for prop in &edge.properties {
+            let t = Task::EdgeProperty(edge.name.clone(), prop.name.clone());
+            add(t.clone(), Some(m_task.clone()));
+            for dep in &prop.dependencies {
+                match dep {
+                    DepRef::Own(q) => add(
+                        t.clone(),
+                        Some(Task::EdgeProperty(edge.name.clone(), q.clone())),
+                    ),
+                    DepRef::Source(q) => add(
+                        t.clone(),
+                        Some(Task::NodeProperty(edge.source.clone(), q.clone())),
+                    ),
+                    DepRef::Target(q) => add(
+                        t.clone(),
+                        Some(Task::NodeProperty(edge.target.clone(), q.clone())),
+                    ),
+                }
+            }
+        }
+    }
+
+    // 3. Kahn's algorithm (deterministic via BTree ordering).
+    let mut in_degree: BTreeMap<&Task, usize> = deps.keys().map(|t| (t, 0)).collect();
+    for ds in deps.values() {
+        for d in ds {
+            if !deps.contains_key(d) {
+                return Err(PipelineError::Invalid(format!(
+                    "internal: task {d} referenced but never defined"
+                )));
+            }
+        }
+    }
+    let mut dependents: BTreeMap<&Task, Vec<&Task>> = BTreeMap::new();
+    for (t, ds) in &deps {
+        for d in ds {
+            dependents.entry(d).or_default().push(t);
+            *in_degree.get_mut(t).expect("all tasks registered") += 1;
+        }
+    }
+    let mut ready: BTreeSet<&Task> = in_degree
+        .iter()
+        .filter(|(_, &d)| d == 0)
+        .map(|(&t, _)| t)
+        .collect();
+    let mut order = Vec::with_capacity(deps.len());
+    while let Some(&t) = ready.iter().next() {
+        ready.remove(t);
+        order.push(t.clone());
+        if let Some(ds) = dependents.get(t) {
+            for &d in ds {
+                let e = in_degree.get_mut(d).expect("registered");
+                *e -= 1;
+                if *e == 0 {
+                    ready.insert(d);
+                }
+            }
+        }
+    }
+    if order.len() != deps.len() {
+        let stuck: Vec<String> = in_degree
+            .iter()
+            .filter(|(_, &d)| d > 0)
+            .map(|(t, _)| t.to_string())
+            .collect();
+        return Err(PipelineError::Sizing(format!(
+            "cyclic dependencies between tasks: {}",
+            stuck.join(", ")
+        )));
+    }
+
+    Ok(Analysis {
+        plan: ExecutionPlan { tasks: order },
+        count_sources,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasynth_schema::parse_schema;
+
+    const EXAMPLE: &str = r#"
+graph social {
+  node Person [count = 100] {
+    country: text = dictionary("countries");
+    sex: text = categorical("M": 0.5, "F": 0.5);
+    name: text = first_names() given (country, sex);
+    creationDate: date = date_between("2010-01-01", "2013-01-01");
+  }
+  node Message {
+    topic: text = dictionary("topics");
+  }
+  edge knows: Person -- Person {
+    structure = lfr();
+    correlate country with homophily(0.8);
+    creationDate: date = date_after(30) given (source.creationDate, target.creationDate);
+  }
+  edge creates: Person -> Message [one_to_many] {
+    structure = one_to_many(dist = "geometric", p = 0.4);
+  }
+}
+"#;
+
+    #[test]
+    fn message_count_comes_from_creates_structure() {
+        let schema = parse_schema(EXAMPLE).unwrap();
+        let analysis = analyze(&schema).unwrap();
+        assert_eq!(
+            analysis.count_sources["Message"],
+            CountSource::FromStructure("creates".into())
+        );
+        let plan = &analysis.plan;
+        let s = plan
+            .position(&Task::Structure("creates".into()))
+            .expect("structure task");
+        let c = plan
+            .position(&Task::NodeCount("Message".into()))
+            .expect("count task");
+        let p = plan
+            .position(&Task::NodeProperty("Message".into(), "topic".into()))
+            .expect("property task");
+        assert!(s < c && c < p, "creates -> count -> topic");
+    }
+
+    #[test]
+    fn match_runs_after_correlated_property() {
+        let schema = parse_schema(EXAMPLE).unwrap();
+        let analysis = analyze(&schema).unwrap();
+        let plan = &analysis.plan;
+        let country = plan
+            .position(&Task::NodeProperty("Person".into(), "country".into()))
+            .unwrap();
+        let m = plan.position(&Task::Match("knows".into())).unwrap();
+        let edge_prop = plan
+            .position(&Task::EdgeProperty("knows".into(), "creationDate".into()))
+            .unwrap();
+        assert!(country < m && m < edge_prop);
+    }
+
+    #[test]
+    fn property_dependency_ordering_within_a_type() {
+        let schema = parse_schema(EXAMPLE).unwrap();
+        let analysis = analyze(&schema).unwrap();
+        let plan = &analysis.plan;
+        let country = plan
+            .position(&Task::NodeProperty("Person".into(), "country".into()))
+            .unwrap();
+        let name = plan
+            .position(&Task::NodeProperty("Person".into(), "name".into()))
+            .unwrap();
+        assert!(country < name);
+    }
+
+    #[test]
+    fn underdetermined_count_is_an_error() {
+        let schema =
+            parse_schema("graph g { node A { x: long = counter(); } }").unwrap();
+        let err = analyze(&schema).unwrap_err();
+        assert!(err.to_string().contains("cannot determine"));
+    }
+
+    #[test]
+    fn edge_count_sizes_the_source() {
+        let src = r#"graph g {
+            node A { x: long = counter(); }
+            edge e: A -- A [count = 5000] { structure = lfr(); }
+        }"#;
+        let schema = parse_schema(src).unwrap();
+        let analysis = analyze(&schema).unwrap();
+        assert_eq!(
+            analysis.count_sources["A"],
+            CountSource::FromEdgeCount("e".into())
+        );
+    }
+
+    #[test]
+    fn plan_covers_every_declared_artifact() {
+        let schema = parse_schema(EXAMPLE).unwrap();
+        let analysis = analyze(&schema).unwrap();
+        // 2 counts + 5 node props + 2 structures + 2 matches + 1 edge prop.
+        assert_eq!(analysis.plan.tasks.len(), 2 + 5 + 2 + 2 + 1);
+    }
+}

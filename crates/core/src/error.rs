@@ -1,0 +1,82 @@
+//! The pipeline's unified error type.
+
+use std::fmt;
+
+/// Anything that can go wrong between a DSL string and a generated graph.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Schema parse/validation error.
+    Schema(datasynth_schema::SchemaError),
+    /// Property generator construction failed.
+    PropertyRegistry(datasynth_props::RegistryError),
+    /// Structure generator construction failed.
+    StructureBuild(datasynth_structure::BuildError),
+    /// A property generator failed at generation time.
+    Generation(datasynth_props::GenError),
+    /// Table access failed (internal invariant breach).
+    Table(datasynth_tables::TableError),
+    /// Instance counts could not be resolved.
+    Sizing(String),
+    /// Everything else (with context).
+    Invalid(String),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Schema(e) => write!(f, "schema error: {e}"),
+            PipelineError::PropertyRegistry(e) => write!(f, "property generator: {e}"),
+            PipelineError::StructureBuild(e) => write!(f, "structure generator: {e}"),
+            PipelineError::Generation(e) => write!(f, "generation failed: {e}"),
+            PipelineError::Table(e) => write!(f, "table error: {e}"),
+            PipelineError::Sizing(msg) => write!(f, "sizing error: {msg}"),
+            PipelineError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<datasynth_schema::SchemaError> for PipelineError {
+    fn from(e: datasynth_schema::SchemaError) -> Self {
+        PipelineError::Schema(e)
+    }
+}
+
+impl From<datasynth_props::RegistryError> for PipelineError {
+    fn from(e: datasynth_props::RegistryError) -> Self {
+        PipelineError::PropertyRegistry(e)
+    }
+}
+
+impl From<datasynth_structure::BuildError> for PipelineError {
+    fn from(e: datasynth_structure::BuildError) -> Self {
+        PipelineError::StructureBuild(e)
+    }
+}
+
+impl From<datasynth_props::GenError> for PipelineError {
+    fn from(e: datasynth_props::GenError) -> Self {
+        PipelineError::Generation(e)
+    }
+}
+
+impl From<datasynth_tables::TableError> for PipelineError {
+    fn from(e: datasynth_tables::TableError) -> Self {
+        PipelineError::Table(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefixes_the_source() {
+        let e = PipelineError::Sizing("Person has no count".into());
+        assert!(e.to_string().starts_with("sizing error:"));
+        let e: PipelineError =
+            datasynth_schema::SchemaError::general("bad").into();
+        assert!(e.to_string().contains("schema error"));
+    }
+}

@@ -1,0 +1,242 @@
+//! Joint probability distributions over edge-endpoint property values.
+//!
+//! Convention: a [`Jpd`] over `k` values is a symmetric `k × k` matrix of
+//! *ordered-pair* mass summing to 1. The mass of observing the unordered
+//! pair `{i, j}` on a random edge is `2·p[i][j]` for `i ≠ j` and `p[i][i]`
+//! on the diagonal, so unordered masses also sum to 1.
+
+/// A symmetric joint distribution over `k` property values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Jpd {
+    k: usize,
+    p: Vec<f64>, // row-major k×k, symmetric, sums to 1
+}
+
+impl Jpd {
+    /// Build from a symmetric non-negative matrix (normalized internally).
+    pub fn from_matrix(rows: &[Vec<f64>]) -> Self {
+        let k = rows.len();
+        assert!(k > 0, "empty JPD");
+        let mut p = Vec::with_capacity(k * k);
+        for row in rows {
+            assert_eq!(row.len(), k, "square matrix required");
+            for &v in row {
+                assert!(v >= 0.0 && v.is_finite(), "bad mass {v}");
+                p.push(v);
+            }
+        }
+        for i in 0..k {
+            for j in 0..k {
+                assert!(
+                    (p[i * k + j] - p[j * k + i]).abs() < 1e-9,
+                    "matrix must be symmetric"
+                );
+            }
+        }
+        let total: f64 = p.iter().sum();
+        assert!(total > 0.0, "all-zero JPD");
+        for v in &mut p {
+            *v /= total;
+        }
+        Self { k, p }
+    }
+
+    /// Uniform over all ordered pairs.
+    pub fn uniform(k: usize) -> Self {
+        Self::from_matrix(&vec![vec![1.0; k]; k])
+    }
+
+    /// Homophilous JPD: `diag_mass` of the total sits on the diagonal
+    /// (spread by `group_weights`), the rest off-diagonal proportional to
+    /// `w_i · w_j` — the "Persons from the same country are more likely to
+    /// know each other" shape.
+    pub fn homophilous(group_weights: &[f64], diag_mass: f64) -> Self {
+        let k = group_weights.len();
+        assert!(k > 0 && (0.0..=1.0).contains(&diag_mass));
+        let wsum: f64 = group_weights.iter().sum();
+        let w: Vec<f64> = group_weights.iter().map(|x| x / wsum).collect();
+        let mut rows = vec![vec![0.0; k]; k];
+        let off_norm: f64 = (0..k)
+            .flat_map(|i| (0..k).map(move |j| (i, j)))
+            .filter(|(i, j)| i != j)
+            .map(|(i, j)| w[i] * w[j])
+            .sum();
+        for i in 0..k {
+            rows[i][i] = diag_mass * w[i];
+            for j in 0..k {
+                if i != j && off_norm > 0.0 {
+                    rows[i][j] = (1.0 - diag_mass) * w[i] * w[j] / off_norm;
+                }
+            }
+        }
+        // Symmetrize exactly (w[i]w[j] already is, up to fp noise).
+        #[allow(clippy::needless_range_loop)] // matrix (i, j) indexing
+        for i in 0..k {
+            for j in (i + 1)..k {
+                let m = 0.5 * (rows[i][j] + rows[j][i]);
+                rows[i][j] = m;
+                rows[j][i] = m;
+            }
+        }
+        Self::from_matrix(&rows)
+    }
+
+    /// Build from observed *unordered* edge counts (`counts[i][j]` for
+    /// `i <= j`; entries below the diagonal are ignored).
+    pub fn from_unordered_counts(counts: &[Vec<f64>]) -> Self {
+        let k = counts.len();
+        let mut rows = vec![vec![0.0; k]; k];
+        for i in 0..k {
+            for j in i..k {
+                let c = counts[i][j];
+                assert!(c >= 0.0, "negative count");
+                if i == j {
+                    rows[i][i] = c;
+                } else {
+                    rows[i][j] = c / 2.0;
+                    rows[j][i] = c / 2.0;
+                }
+            }
+        }
+        Self::from_matrix(&rows)
+    }
+
+    /// Number of property values.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Ordered-pair mass `p(i, j)`.
+    #[inline]
+    pub fn ordered_mass(&self, i: usize, j: usize) -> f64 {
+        self.p[i * self.k + j]
+    }
+
+    /// Mass of the unordered pair `{i, j}`.
+    #[inline]
+    pub fn unordered_mass(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            self.ordered_mass(i, i)
+        } else {
+            2.0 * self.ordered_mass(i, j)
+        }
+    }
+
+    /// Marginal distribution of a single endpoint.
+    pub fn marginal(&self) -> Vec<f64> {
+        (0..self.k)
+            .map(|i| (0..self.k).map(|j| self.ordered_mass(i, j)).sum())
+            .collect()
+    }
+
+    /// Expected edge counts per unordered pair for a graph of `m` edges:
+    /// the paper's target matrix `W` (upper triangle, flattened row-major).
+    pub fn target_counts(&self, m: u64) -> Vec<f64> {
+        let k = self.k;
+        let mut w = Vec::with_capacity(k * (k + 1) / 2);
+        for i in 0..k {
+            for j in i..k {
+                w.push(m as f64 * self.unordered_mass(i, j));
+            }
+        }
+        w
+    }
+
+    /// All unordered pairs `(i, j, mass)` sorted by decreasing mass — the
+    /// x-axis ordering of the paper's CDF figures.
+    pub fn pairs_by_mass_desc(&self) -> Vec<(usize, usize, f64)> {
+        let mut pairs = Vec::with_capacity(self.k * (self.k + 1) / 2);
+        for i in 0..self.k {
+            for j in i..self.k {
+                pairs.push((i, j, self.unordered_mass(i, j)));
+            }
+        }
+        pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("no NaN").then(a.0.cmp(&b.0).then(a.1.cmp(&b.1))));
+        pairs
+    }
+
+    /// Fraction of mass on the diagonal (homophily strength).
+    pub fn diagonal_mass(&self) -> f64 {
+        (0..self.k).map(|i| self.ordered_mass(i, i)).sum()
+    }
+}
+
+/// Index of unordered pair `(i, j)` (`i <= j`) in an upper-triangle
+/// flattening of a `k × k` matrix.
+#[inline]
+pub(crate) fn upper_index(k: usize, i: usize, j: usize) -> usize {
+    debug_assert!(i <= j && j < k);
+    i * k - i * (i + 1) / 2 + j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_and_masses() {
+        let jpd = Jpd::from_matrix(&[vec![2.0, 1.0], vec![1.0, 4.0]]);
+        let mut total = 0.0;
+        for i in 0..2 {
+            for j in i..2 {
+                total += jpd.unordered_mass(i, j);
+            }
+        }
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((jpd.ordered_mass(0, 0) - 0.25).abs() < 1e-12);
+        assert!((jpd.unordered_mass(0, 1) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn homophilous_puts_mass_on_diagonal() {
+        let jpd = Jpd::homophilous(&[1.0, 1.0, 2.0], 0.8);
+        assert!((jpd.diagonal_mass() - 0.8).abs() < 1e-9);
+        // Heavier group gets more diagonal mass.
+        assert!(jpd.ordered_mass(2, 2) > jpd.ordered_mass(0, 0));
+        let marg = jpd.marginal();
+        assert!((marg.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_unordered_counts_roundtrip() {
+        // 6 edges within group 0, 4 across.
+        let jpd = Jpd::from_unordered_counts(&[vec![6.0, 4.0], vec![0.0, 0.0]]);
+        assert!((jpd.unordered_mass(0, 0) - 0.6).abs() < 1e-12);
+        assert!((jpd.unordered_mass(0, 1) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn target_counts_sum_to_m() {
+        let jpd = Jpd::homophilous(&[1.0, 2.0, 3.0, 4.0], 0.5);
+        let w = jpd.target_counts(1000);
+        assert!((w.iter().sum::<f64>() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pairs_sorted_desc() {
+        let jpd = Jpd::homophilous(&[3.0, 1.0], 0.9);
+        let pairs = jpd.pairs_by_mass_desc();
+        assert_eq!(pairs.len(), 3);
+        assert!(pairs[0].2 >= pairs[1].2 && pairs[1].2 >= pairs[2].2);
+        assert_eq!((pairs[0].0, pairs[0].1), (0, 0), "heavy diagonal first");
+    }
+
+    #[test]
+    fn upper_index_is_a_bijection() {
+        let k = 7;
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..k {
+            for j in i..k {
+                assert!(seen.insert(upper_index(k, i, j)));
+            }
+        }
+        assert_eq!(seen.len(), k * (k + 1) / 2);
+        assert_eq!(seen.iter().max(), Some(&(k * (k + 1) / 2 - 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn rejects_asymmetry() {
+        Jpd::from_matrix(&[vec![1.0, 2.0], vec![3.0, 1.0]]);
+    }
+}

@@ -1,0 +1,129 @@
+//! LDG streaming graph partitioning (Stanton & Kliot, KDD'12): each
+//! arriving node goes to the partition holding most of its already-seen
+//! neighbors, weighted by remaining capacity.
+
+use datasynth_tables::Csr;
+
+/// Partition nodes into groups with the given capacities. `order` is the
+/// stream order (a permutation of `0..n`); `csr` must be the undirected
+/// adjacency. Returns one group label per node.
+///
+/// Placement rule: `argmax_t |N(v) ∩ t| · (1 − s_t/q_t)` over groups with
+/// free capacity, ties broken by lowest fill ratio then lowest index.
+pub fn ldg_partition(csr: &Csr, capacities: &[u64], order: &[u64]) -> Vec<u32> {
+    let n = csr.num_nodes() as usize;
+    let k = capacities.len();
+    assert!(k > 0, "no partitions");
+    assert_eq!(order.len(), n, "order must cover all nodes");
+    let total: u64 = capacities.iter().sum();
+    assert!(total >= n as u64, "capacities below node count");
+
+    let mut assign = vec![u32::MAX; n];
+    let mut sizes = vec![0u64; k];
+    // Scratch: neighbor counts per group, plus the touched list.
+    let mut counts = vec![0u64; k];
+    let mut touched: Vec<u32> = Vec::with_capacity(64);
+
+    for &v in order {
+        for &u in csr.neighbors(v) {
+            let g = assign[u as usize];
+            if g != u32::MAX {
+                if counts[g as usize] == 0 {
+                    touched.push(g);
+                }
+                counts[g as usize] += 1;
+            }
+        }
+        let mut best: Option<(f64, f64, u32)> = None; // (-score, fill, group)
+        for t in 0..k as u32 {
+            if sizes[t as usize] >= capacities[t as usize] {
+                continue;
+            }
+            let fill = sizes[t as usize] as f64 / capacities[t as usize] as f64;
+            let score = counts[t as usize] as f64 * (1.0 - fill);
+            let key = (-score, fill, t);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
+        }
+        let (_, _, t) = best.expect("capacity left by invariant");
+        assign[v as usize] = t;
+        sizes[t as usize] += 1;
+        for g in touched.drain(..) {
+            counts[g as usize] = 0;
+        }
+    }
+    assign
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasynth_prng::SplitMix64;
+    use datasynth_tables::EdgeTable;
+
+    fn two_cliques() -> (EdgeTable, u64) {
+        // Two K5s joined by a single bridge.
+        let mut et = EdgeTable::new("e");
+        for base in [0u64, 5] {
+            for a in 0..5 {
+                for b in (a + 1)..5 {
+                    et.push(base + a, base + b);
+                }
+            }
+        }
+        et.push(4, 5);
+        (et, 10)
+    }
+
+    #[test]
+    fn recovers_two_cliques() {
+        let (et, n) = two_cliques();
+        let csr = Csr::undirected(&et, n);
+        let mut order: Vec<u64> = (0..n).collect();
+        SplitMix64::new(3).shuffle(&mut order);
+        let assign = ldg_partition(&csr, &[5, 5], &order);
+        // Within each clique, all labels equal.
+        for clique in [0..5u64, 5..10u64] {
+            let labels: std::collections::HashSet<u32> =
+                clique.map(|v| assign[v as usize]).collect();
+            assert_eq!(labels.len(), 1, "clique split: {assign:?}");
+        }
+        assert_ne!(assign[0], assign[9]);
+    }
+
+    #[test]
+    fn capacities_are_exact() {
+        let (et, n) = two_cliques();
+        let csr = Csr::undirected(&et, n);
+        let order: Vec<u64> = (0..n).collect();
+        let caps = [3u64, 3, 4];
+        let assign = ldg_partition(&csr, &caps, &order);
+        let mut sizes = [0u64; 3];
+        for &a in &assign {
+            sizes[a as usize] += 1;
+        }
+        assert_eq!(sizes, caps);
+    }
+
+    #[test]
+    fn isolated_nodes_spread_by_balance() {
+        let et = EdgeTable::new("e");
+        let csr = Csr::undirected(&et, 9);
+        let order: Vec<u64> = (0..9).collect();
+        let assign = ldg_partition(&csr, &[3, 3, 3], &order);
+        let mut sizes = [0u64; 3];
+        for &a in &assign {
+            sizes[a as usize] += 1;
+        }
+        assert_eq!(sizes, [3, 3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacities below node count")]
+    fn rejects_insufficient_capacity() {
+        let et = EdgeTable::new("e");
+        let csr = Csr::undirected(&et, 5);
+        ldg_partition(&csr, &[2, 2], &(0..5).collect::<Vec<_>>());
+    }
+}

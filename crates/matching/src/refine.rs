@@ -1,0 +1,278 @@
+//! Local-search refinement of a matching — the paper's future work:
+//! *"Further study is required, including ... optimization strategies"*.
+//!
+//! [`refine_assignment`] improves a finished SBM-Part (or any) assignment
+//! with randomized swap local search: pick two nodes in different groups,
+//! swap their groups if that reduces the L1 distance between the realized
+//! edge-count matrix and the target `W`. Swaps preserve all group sizes by
+//! construction, so the hard capacity constraints survive. Each evaluation
+//! is O(deg(u) + deg(v)).
+
+use datasynth_prng::SplitMix64;
+use datasynth_tables::Csr;
+
+use crate::jpd::upper_index;
+use crate::sbm_part::MatchInput;
+
+/// Outcome of a refinement run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefineStats {
+    /// Swap candidates evaluated.
+    pub attempted: u64,
+    /// Swaps accepted.
+    pub accepted: u64,
+    /// L1 distance between realized and target edge counts before
+    /// refinement, normalized by the edge count.
+    pub l1_before: f64,
+    /// Same, after refinement.
+    pub l1_after: f64,
+}
+
+#[inline]
+fn canon_index(k: usize, a: usize, b: usize) -> usize {
+    if a <= b {
+        upper_index(k, a, b)
+    } else {
+        upper_index(k, b, a)
+    }
+}
+
+/// Refine `group_of` in place with `attempts` random swap evaluations.
+pub fn refine_assignment(
+    input: &MatchInput<'_>,
+    group_of: &mut [u32],
+    attempts: u64,
+    rng: &mut SplitMix64,
+) -> RefineStats {
+    let n = input.csr.num_nodes();
+    let k = input.group_sizes.len();
+    assert_eq!(group_of.len() as u64, n, "assignment covers all nodes");
+
+    let target = input.jpd.target_counts(input.num_edges);
+    // Realized unordered edge counts per group pair (each edge once;
+    // self-loops appear twice in the undirected CSR, hence the halving).
+    let mut current = vec![0.0f64; target.len()];
+    for v in 0..n {
+        let gv = group_of[v as usize] as usize;
+        for &u in input.csr.neighbors(v) {
+            if u >= v {
+                let gu = group_of[u as usize] as usize;
+                current[canon_index(k, gv, gu)] += if u == v { 0.5 } else { 1.0 };
+            }
+        }
+    }
+
+    let m = input.num_edges.max(1) as f64;
+    let l1 = |cur: &[f64]| -> f64 {
+        cur.iter()
+            .zip(&target)
+            .map(|(x, w)| (x - w).abs())
+            .sum::<f64>()
+            / m
+    };
+    let l1_before = l1(&current);
+
+    let mut accepted = 0u64;
+    // Scratch: per-candidate entry deltas (index, delta), duplicates folded.
+    let mut deltas: Vec<(usize, f64)> = Vec::with_capacity(128);
+
+    for _ in 0..attempts {
+        let a = rng.next_below(n);
+        let b = rng.next_below(n);
+        let (ga, gb) = (group_of[a as usize] as usize, group_of[b as usize] as usize);
+        if ga == gb || a == b {
+            continue;
+        }
+        deltas.clear();
+        // Moving a: ga -> gb, b: gb -> ga. Edges between a and b map
+        // (ga, gb) -> (gb, ga): the same unordered entry — invariant.
+        push_move_deltas(input.csr, group_of, k, a, b, ga, gb, &mut deltas);
+        push_move_deltas(input.csr, group_of, k, b, a, gb, ga, &mut deltas);
+        fold_duplicates(&mut deltas);
+
+        let mut gain = 0.0;
+        for &(idx, d) in &deltas {
+            let before = (current[idx] - target[idx]).abs();
+            let after = (current[idx] + d - target[idx]).abs();
+            gain += before - after;
+        }
+        if gain > 1e-12 {
+            for &(idx, d) in &deltas {
+                current[idx] += d;
+            }
+            group_of.swap(a as usize, b as usize);
+            accepted += 1;
+        }
+    }
+
+    RefineStats {
+        attempted: attempts,
+        accepted,
+        l1_before,
+        l1_after: l1(&current),
+    }
+}
+
+/// Entry deltas from moving `node` from `from` to `to`, ignoring edges to
+/// `partner` (swap-invariant) and self-loops (their entry `(g,g)` moves to
+/// `(g',g')`, handled here too).
+#[allow(clippy::too_many_arguments)]
+fn push_move_deltas(
+    csr: &Csr,
+    group_of: &[u32],
+    k: usize,
+    node: u64,
+    partner: u64,
+    from: usize,
+    to: usize,
+    deltas: &mut Vec<(usize, f64)>,
+) {
+    let mut self_loops = 0.0;
+    for &w in csr.neighbors(node) {
+        if w == partner {
+            continue;
+        }
+        if w == node {
+            self_loops += 0.5; // two CSR entries per loop = one edge
+            continue;
+        }
+        let gw = group_of[w as usize] as usize;
+        deltas.push((canon_index(k, from, gw), -1.0));
+        deltas.push((canon_index(k, to, gw), 1.0));
+    }
+    if self_loops > 0.0 {
+        deltas.push((canon_index(k, from, from), -self_loops));
+        deltas.push((canon_index(k, to, to), self_loops));
+    }
+}
+
+fn fold_duplicates(deltas: &mut Vec<(usize, f64)>) {
+    deltas.sort_unstable_by_key(|&(idx, _)| idx);
+    let mut w = 0usize;
+    for r in 0..deltas.len() {
+        if w > 0 && deltas[w - 1].0 == deltas[r].0 {
+            deltas[w - 1].1 += deltas[r].1;
+        } else {
+            deltas[w] = deltas[r];
+            w += 1;
+        }
+    }
+    deltas.truncate(w);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::empirical_jpd;
+    use crate::{random_matching, Jpd};
+    use datasynth_tables::EdgeTable;
+
+    fn two_cliques() -> (EdgeTable, u64) {
+        let mut et = EdgeTable::new("e");
+        for base in [0u64, 8] {
+            for a in 0..8 {
+                for b in (a + 1)..8 {
+                    et.push(base + a, base + b);
+                }
+            }
+        }
+        et.push(0, 8); // one bridge
+        (et, 16)
+    }
+
+    #[test]
+    fn refinement_repairs_a_random_assignment() {
+        let (et, n) = two_cliques();
+        let csr = Csr::undirected(&et, n);
+        let jpd = Jpd::from_matrix(&[vec![0.5, 0.01], vec![0.01, 0.5]]);
+        let sizes = [8u64, 8];
+        let input = MatchInput {
+            group_sizes: &sizes,
+            jpd: &jpd,
+            csr: &csr,
+            num_edges: et.len(),
+        };
+        let mut assign = random_matching(&sizes, n, 3).group_of;
+        let mut rng = SplitMix64::new(4);
+        let stats = refine_assignment(&input, &mut assign, 5000, &mut rng);
+        assert!(stats.accepted > 0, "{stats:?}");
+        assert!(
+            stats.l1_after < 0.3 * stats.l1_before,
+            "L1 {} -> {}",
+            stats.l1_before,
+            stats.l1_after
+        );
+        // The planted cliques must be (almost) recovered.
+        let observed = empirical_jpd(&assign, &et, 2);
+        assert!(observed.diagonal_mass() > 0.9, "{observed:?}");
+    }
+
+    #[test]
+    fn group_sizes_are_invariant_under_refinement() {
+        let (et, n) = two_cliques();
+        let csr = Csr::undirected(&et, n);
+        let jpd = Jpd::uniform(4);
+        let sizes = [2u64, 4, 4, 6];
+        let input = MatchInput {
+            group_sizes: &sizes,
+            jpd: &jpd,
+            csr: &csr,
+            num_edges: et.len(),
+        };
+        let mut assign = random_matching(&sizes, n, 7).group_of;
+        let mut rng = SplitMix64::new(8);
+        refine_assignment(&input, &mut assign, 2000, &mut rng);
+        let mut got = [0u64; 4];
+        for &g in assign.iter() {
+            got[g as usize] += 1;
+        }
+        assert_eq!(got, sizes);
+    }
+
+    #[test]
+    fn objective_never_worsens() {
+        let (et, n) = two_cliques();
+        let csr = Csr::undirected(&et, n);
+        let jpd = Jpd::homophilous(&[1.0, 1.0], 0.7);
+        let sizes = [8u64, 8];
+        let input = MatchInput {
+            group_sizes: &sizes,
+            jpd: &jpd,
+            csr: &csr,
+            num_edges: et.len(),
+        };
+        let mut assign = random_matching(&sizes, n, 11).group_of;
+        let mut rng = SplitMix64::new(12);
+        let stats = refine_assignment(&input, &mut assign, 1000, &mut rng);
+        assert!(stats.l1_after <= stats.l1_before + 1e-9);
+        // The maintained counts must agree with a from-scratch recount.
+        let recount = refine_assignment(&input, &mut assign.clone(), 0, &mut rng);
+        assert!(
+            (recount.l1_before - stats.l1_after).abs() < 1e-9,
+            "incremental {} vs recount {}",
+            stats.l1_after,
+            recount.l1_before
+        );
+    }
+
+    #[test]
+    fn self_loops_are_handled() {
+        let mut et = EdgeTable::from_pairs("e", [(0u64, 0u64), (1, 1), (0, 2), (1, 3)]);
+        et.push(2, 3);
+        let csr = Csr::undirected(&et, 4);
+        let jpd = Jpd::uniform(2);
+        let sizes = [2u64, 2];
+        let input = MatchInput {
+            group_sizes: &sizes,
+            jpd: &jpd,
+            csr: &csr,
+            num_edges: et.len(),
+        };
+        let mut assign = vec![0u32, 0, 1, 1];
+        let mut rng = SplitMix64::new(13);
+        let stats = refine_assignment(&input, &mut assign, 500, &mut rng);
+        // Verify the invariant: incremental counts match recount.
+        let recount = refine_assignment(&input, &mut assign.clone(), 0, &mut rng);
+        assert!((recount.l1_before - stats.l1_after).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,31 @@
+//! Deterministic, randomly-accessible pseudo-random number generation for
+//! in-place data generation.
+//!
+//! DataSynth (like Myriad before it) regenerates any property value from its
+//! instance `id` alone: each property table owns a *skip-seed* PRNG `r` with
+//! an O(1) `r(id)` operation, and the property generator is a pure function
+//! of `(id, r(id), deps...)`. This crate provides:
+//!
+//! * [`SplitMix64`] — a fast sequential generator with O(1) jump,
+//! * [`SkipSeed`] — the random-access view (`at(i)` returns the *i*-th draw),
+//! * [`Philox2x64`] — a counter-based generator used where higher stream
+//!   quality matters (structure generation),
+//! * [`TableStream`] — per-table independent streams derived from a master
+//!   seed and a table label,
+//! * [`dist`] — inverse-transform samplers (uniform, categorical, zipf,
+//!   geometric, bounded power-law, normal, exponential, empirical).
+//!
+//! Everything in this crate is free of I/O and global state, and fully
+//! deterministic: the same seed always produces the same sequence on every
+//! platform.
+
+pub mod dist;
+mod hash;
+mod philox;
+mod splitmix;
+mod stream;
+
+pub use hash::{fnv1a_64, fx_mix, mix64, seed_from_label};
+pub use philox::Philox2x64;
+pub use splitmix::{SkipSeed, SplitMix64, GOLDEN_GAMMA};
+pub use stream::TableStream;

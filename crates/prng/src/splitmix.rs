@@ -1,0 +1,254 @@
+//! SplitMix64: a tiny, fast generator whose state advances by a fixed
+//! constant, which makes *jumping* to the `i`-th draw an O(1) operation —
+//! exactly the "PRNG with skip seed" the paper borrows from Myriad.
+
+use crate::hash::mix64;
+
+/// Weyl-sequence increment (odd, irrational-ratio constant).
+pub const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Sequential SplitMix64 generator.
+///
+/// The canonical use inside DataSynth is as a *per-instance sub-stream*:
+/// seed it with `SkipSeed::at(id)` and draw as many values as a property
+/// generator needs for that one instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator; two generators with equal seeds are identical.
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        mix64(self.state)
+    }
+
+    /// Next draw in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        crate::dist::u64_to_unit_f64(self.next_u64())
+    }
+
+    /// Uniform integer in `[0, bound)` via Lemire's multiply-shift method
+    /// (unbiased; the rejection loop triggers with probability < 2^-32 for
+    /// any realistic bound).
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below(0)");
+        loop {
+            let x = self.next_u64();
+            let m = u128::from(x) * u128::from(bound);
+            let lo = m as u64;
+            if lo >= bound || lo >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    #[inline]
+    pub fn next_range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        if lo == 0 && hi == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.next_below(hi - lo + 1)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    #[inline]
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Jump the stream forward by `n` draws in O(1).
+    #[inline]
+    pub fn jump(&mut self, n: u64) {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA.wrapping_mul(n));
+    }
+
+    /// Fisher–Yates shuffle driven by this stream (deterministic).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// Sample `k` distinct indices out of `[0, n)` without replacement
+    /// (Floyd's algorithm; O(k) expected work, deterministic order-insensitive
+    /// set, returned sorted).
+    pub fn sample_indices(&mut self, n: u64, k: usize) -> Vec<u64> {
+        assert!(k as u64 <= n, "cannot sample {k} of {n}");
+        let mut chosen = std::collections::HashSet::with_capacity(k);
+        let mut out = Vec::with_capacity(k);
+        for j in (n - k as u64)..n {
+            let t = self.next_below(j + 1);
+            let v = if chosen.contains(&t) { j } else { t };
+            chosen.insert(v);
+            out.push(v);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Split off an independent child generator (splittable PRNG).
+    #[inline]
+    pub fn split(&mut self) -> SplitMix64 {
+        SplitMix64::new(mix64(self.next_u64()))
+    }
+}
+
+/// Random-access ("skip seed") view over a SplitMix64 stream: `at(i)` is the
+/// value the sequential generator would produce as its `i`-th draw, computed
+/// in O(1). This implements the paper's `r : (i: Long) -> Long`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkipSeed {
+    seed: u64,
+}
+
+impl SkipSeed {
+    /// Wrap a seed; equal seeds give identical streams.
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// The `i`-th draw of the stream, in O(1).
+    #[inline]
+    pub fn at(&self, i: u64) -> u64 {
+        mix64(
+            self.seed
+                .wrapping_add(GOLDEN_GAMMA.wrapping_mul(i.wrapping_add(1))),
+        )
+    }
+
+    /// A sequential sub-stream rooted at draw `i`; lets one instance consume
+    /// arbitrarily many random values while staying regenerable from `i`.
+    #[inline]
+    pub fn substream(&self, i: u64) -> SplitMix64 {
+        SplitMix64::new(self.at(i))
+    }
+
+    /// Underlying seed (for persistence / debugging).
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skip_seed_matches_sequential() {
+        let skip = SkipSeed::new(0xDEAD_BEEF);
+        let mut seq = SplitMix64::new(0xDEAD_BEEF);
+        for i in 0..1000 {
+            assert_eq!(skip.at(i), seq.next_u64(), "draw {i}");
+        }
+    }
+
+    #[test]
+    fn jump_equals_discarding() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..123 {
+            a.next_u64();
+        }
+        b.jump(123);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn next_below_is_in_range_and_covers() {
+        let mut rng = SplitMix64::new(1);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = rng.next_below(7) as usize;
+            assert!(v < 7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = SplitMix64::new(99);
+        for _ in 0..10_000 {
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn next_f64_mean_is_half() {
+        let mut rng = SplitMix64::new(5);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.next_f64()).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_deterministic() {
+        let mut v1: Vec<u32> = (0..100).collect();
+        let mut v2: Vec<u32> = (0..100).collect();
+        SplitMix64::new(3).shuffle(&mut v1);
+        SplitMix64::new(3).shuffle(&mut v2);
+        assert_eq!(v1, v2);
+        let mut sorted = v1.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v1, (0..100).collect::<Vec<_>>(), "should actually permute");
+    }
+
+    #[test]
+    fn sample_indices_distinct_in_range() {
+        let mut rng = SplitMix64::new(11);
+        let sample = rng.sample_indices(1000, 50);
+        assert_eq!(sample.len(), 50);
+        assert!(sample.windows(2).all(|w| w[0] < w[1]), "sorted & distinct");
+        assert!(sample.iter().all(|&v| v < 1000));
+    }
+
+    #[test]
+    fn sample_indices_full_population() {
+        let mut rng = SplitMix64::new(11);
+        let sample = rng.sample_indices(10, 10);
+        assert_eq!(sample, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_streams_are_uncorrelated_enough() {
+        let mut parent = SplitMix64::new(42);
+        let mut a = parent.split();
+        let mut b = parent.split();
+        let equal = (0..1000).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(equal, 0);
+    }
+
+    #[test]
+    fn range_inclusive_hits_both_ends() {
+        let mut rng = SplitMix64::new(4);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..2000 {
+            match rng.next_range_inclusive(10, 13) {
+                10 => lo_seen = true,
+                13 => hi_seen = true,
+                v => assert!((10..=13).contains(&v)),
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+}

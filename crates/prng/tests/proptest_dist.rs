@@ -1,0 +1,114 @@
+//! Property-based tests on the sampling library's invariants.
+
+use proptest::prelude::*;
+
+use datasynth_prng::dist::{
+    geometric_pmf, AliasTable, BoundedPareto, DiscretePowerLaw, Geometric, Sampler, Zipf,
+};
+use datasynth_prng::{mix64, seed_from_label, SplitMix64};
+
+proptest! {
+    /// Zipf pmf is a probability distribution for any parameters.
+    #[test]
+    fn zipf_pmf_normalizes(s in 0.2f64..3.0, n in 1u64..200) {
+        let z = Zipf::new(s, n);
+        let total: f64 = (1..=n).map(|k| z.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "sum {total}");
+    }
+
+    /// Discrete power-law samples stay within their declared support.
+    #[test]
+    fn power_law_support(seed: u64, exp in 1.1f64..3.5, kmin in 1u64..10, span in 1u64..100) {
+        let d = DiscretePowerLaw::new(exp, kmin, kmin + span);
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..64 {
+            let v = d.sample(&mut rng);
+            prop_assert!((kmin..=kmin + span).contains(&v));
+        }
+    }
+
+    /// Bounded Pareto quantile is monotone and within bounds for any shape.
+    #[test]
+    fn pareto_quantile_monotone(exp in 1.01f64..4.0, kmin in 0.5f64..10.0, mult in 1.1f64..50.0) {
+        let d = BoundedPareto::new(exp, kmin, kmin * mult);
+        let mut last = 0.0f64;
+        for i in 0..=20 {
+            let q = d.quantile(i as f64 / 20.0 * 0.999);
+            prop_assert!(q >= kmin - 1e-9 && q <= kmin * mult + 1e-9);
+            prop_assert!(q + 1e-12 >= last);
+            last = q;
+        }
+    }
+
+    /// Geometric pmf terms are non-increasing and bounded by p.
+    #[test]
+    fn geometric_pmf_shape(p in 0.01f64..1.0, i in 0u64..200) {
+        let now = geometric_pmf(p, i);
+        let next = geometric_pmf(p, i + 1);
+        prop_assert!(now <= p + 1e-12);
+        prop_assert!(next <= now + 1e-12);
+    }
+
+    /// Geometric samples for high p concentrate at zero.
+    #[test]
+    fn geometric_high_p(seed: u64) {
+        let d = Geometric::new(0.95);
+        let mut rng = SplitMix64::new(seed);
+        let zeros = (0..100).filter(|_| d.sample(&mut rng) == 0).count();
+        prop_assert!(zeros > 75, "zeros {zeros}");
+    }
+
+    /// Alias table draws stay on the support for arbitrary weights.
+    #[test]
+    fn alias_on_support(
+        seed: u64,
+        weights in prop::collection::vec(0.001f64..1000.0, 1..100),
+    ) {
+        let table = AliasTable::new(&weights);
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..64 {
+            prop_assert!(table.sample(&mut rng) < weights.len());
+            prop_assert!(table.index_from_u64(rng.next_u64()) < weights.len());
+        }
+    }
+
+    /// mix64 is injective under xor-shift perturbations of the input.
+    #[test]
+    fn mix64_distinguishes(a: u64, b: u64) {
+        prop_assume!(a != b);
+        prop_assert_ne!(mix64(a), mix64(b));
+    }
+
+    /// Jump-ahead equals step-by-step discarding for any distance.
+    #[test]
+    fn jump_consistency(seed: u64, skip in 0u64..5_000) {
+        let mut a = SplitMix64::new(seed);
+        let mut b = SplitMix64::new(seed);
+        for _ in 0..skip {
+            a.next_u64();
+        }
+        b.jump(skip);
+        prop_assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    /// Label-derived seeds never collide with the raw master seed stream
+    /// for differing labels (streams must be independent).
+    #[test]
+    fn label_streams_differ(master: u64, suffix in "[a-z]{1,8}") {
+        let a = seed_from_label(master, "Person.name");
+        let b = seed_from_label(master, &format!("Person.{suffix}"));
+        prop_assume!(suffix != "name");
+        prop_assert_ne!(a, b);
+    }
+
+    /// sample_indices returns sorted distinct in-range values of length k.
+    #[test]
+    fn sample_indices_contract(seed: u64, n in 1u64..2_000, frac in 0.0f64..1.0) {
+        let k = ((n as f64 * frac) as usize).min(n as usize);
+        let mut rng = SplitMix64::new(seed);
+        let picks = rng.sample_indices(n, k);
+        prop_assert_eq!(picks.len(), k);
+        prop_assert!(picks.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(picks.iter().all(|&v| v < n));
+    }
+}

@@ -1,0 +1,183 @@
+//! Trivial generators: constants, counters, uuids, booleans.
+
+use datasynth_prng::SplitMix64;
+use datasynth_tables::{Value, ValueType};
+
+use crate::{GenError, PropertyGenerator};
+
+/// Emits the same value for every instance.
+#[derive(Debug, Clone)]
+pub struct ConstantGen {
+    value: Value,
+}
+
+impl ConstantGen {
+    /// Create from a non-null value.
+    pub fn new(value: Value) -> Self {
+        assert!(value.value_type().is_some(), "constant cannot be null");
+        Self { value }
+    }
+}
+
+impl PropertyGenerator for ConstantGen {
+    fn name(&self) -> &'static str {
+        "constant"
+    }
+
+    fn value_type(&self) -> ValueType {
+        self.value.value_type().expect("checked at construction")
+    }
+
+    fn generate(&self, _id: u64, _rng: &mut SplitMix64, _deps: &[Value]) -> Result<Value, GenError> {
+        Ok(self.value.clone())
+    }
+}
+
+/// Emits `start + id` — user-controlled sequential identifiers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CounterGen {
+    start: i64,
+}
+
+impl CounterGen {
+    /// Create with an offset.
+    pub fn new(start: i64) -> Self {
+        Self { start }
+    }
+}
+
+impl PropertyGenerator for CounterGen {
+    fn name(&self) -> &'static str {
+        "counter"
+    }
+
+    fn value_type(&self) -> ValueType {
+        ValueType::Long
+    }
+
+    fn generate(&self, id: u64, _rng: &mut SplitMix64, _deps: &[Value]) -> Result<Value, GenError> {
+        Ok(Value::Long(self.start.wrapping_add(id as i64)))
+    }
+}
+
+/// Deterministic UUID-shaped identifiers derived from `(id, r(id))` — the
+/// paper's "user-controlled uuids that can be correlated with other
+/// properties such as the time".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UuidGen;
+
+impl PropertyGenerator for UuidGen {
+    fn name(&self) -> &'static str {
+        "uuid"
+    }
+
+    fn value_type(&self) -> ValueType {
+        ValueType::Text
+    }
+
+    fn generate(&self, id: u64, rng: &mut SplitMix64, _deps: &[Value]) -> Result<Value, GenError> {
+        let hi = rng.next_u64();
+        let lo = id; // embed the id: uuids order like creation time
+        let bytes_hi = hi.to_be_bytes();
+        let bytes_lo = lo.to_be_bytes();
+        Ok(Value::Text(format!(
+            "{:02x}{:02x}{:02x}{:02x}-{:02x}{:02x}-4{:01x}{:02x}-{:02x}{:02x}-{:02x}{:02x}{:02x}{:02x}{:02x}{:02x}",
+            bytes_hi[0],
+            bytes_hi[1],
+            bytes_hi[2],
+            bytes_hi[3],
+            bytes_hi[4],
+            bytes_hi[5],
+            bytes_hi[6] & 0x0F,
+            bytes_hi[7],
+            (bytes_lo[0] & 0x3F) | 0x80,
+            bytes_lo[1],
+            bytes_lo[2],
+            bytes_lo[3],
+            bytes_lo[4],
+            bytes_lo[5],
+            bytes_lo[6],
+            bytes_lo[7],
+        )))
+    }
+}
+
+/// Bernoulli booleans.
+#[derive(Debug, Clone, Copy)]
+pub struct BoolGen {
+    p: f64,
+}
+
+impl BoolGen {
+    /// Create with `P(true) = p`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p out of range");
+        Self { p }
+    }
+}
+
+impl PropertyGenerator for BoolGen {
+    fn name(&self) -> &'static str {
+        "bool"
+    }
+
+    fn value_type(&self) -> ValueType {
+        ValueType::Bool
+    }
+
+    fn generate(&self, _id: u64, rng: &mut SplitMix64, _deps: &[Value]) -> Result<Value, GenError> {
+        Ok(Value::Bool(rng.next_bool(self.p)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasynth_prng::TableStream;
+
+    #[test]
+    fn constant_repeats() {
+        let g = ConstantGen::new(Value::Text("x".into()));
+        let s = TableStream::derive(1, "t");
+        let mut rng = s.substream(0);
+        assert_eq!(g.generate(0, &mut rng, &[]).unwrap(), Value::Text("x".into()));
+        assert_eq!(g.value_type(), ValueType::Text);
+    }
+
+    #[test]
+    fn counter_offsets() {
+        let g = CounterGen::new(100);
+        let s = TableStream::derive(1, "t");
+        let mut rng = s.substream(5);
+        assert_eq!(g.generate(5, &mut rng, &[]).unwrap(), Value::Long(105));
+    }
+
+    #[test]
+    fn uuid_shape_and_uniqueness() {
+        let g = UuidGen;
+        let s = TableStream::derive(1, "t");
+        let mut seen = std::collections::HashSet::new();
+        for id in 0..1000 {
+            let mut rng = s.substream(id);
+            let v = g.generate(id, &mut rng, &[]).unwrap();
+            let text = v.as_text().unwrap().to_owned();
+            assert_eq!(text.len(), 36);
+            assert_eq!(text.matches('-').count(), 4);
+            assert!(seen.insert(text));
+        }
+    }
+
+    #[test]
+    fn bool_frequency() {
+        let g = BoolGen::new(0.25);
+        let s = TableStream::derive(1, "t");
+        let trues = (0..10_000)
+            .filter(|&id| {
+                let mut rng = s.substream(id);
+                g.generate(id, &mut rng, &[]).unwrap() == Value::Bool(true)
+            })
+            .count();
+        let frac = trues as f64 / 10_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "frac {frac}");
+    }
+}

@@ -1,0 +1,226 @@
+//! Conditional dictionaries: `P(value | dep values)`, the running
+//! example's `Person.name` correlated with `country` and `sex`.
+
+use std::collections::HashMap;
+
+use datasynth_prng::dist::{Categorical, Sampler};
+use datasynth_prng::SplitMix64;
+use datasynth_tables::{Value, ValueType};
+
+use crate::error::need_deps;
+use crate::{GenError, PropertyGenerator};
+
+/// Maps dependency values to a table key.
+type KeyFn = Box<dyn Fn(&[Value]) -> String + Send + Sync>;
+
+/// Dictionary keyed by the rendered dependency tuple. A `fallback`
+/// vocabulary (optional) serves keys with no dedicated entry.
+pub struct ConditionalDictionary {
+    registry_name: &'static str,
+    arity: usize,
+    tables: HashMap<String, (Vec<String>, Categorical)>,
+    fallback: Option<(Vec<String>, Categorical)>,
+    key_fn: KeyFn,
+}
+
+impl std::fmt::Debug for ConditionalDictionary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConditionalDictionary")
+            .field("registry_name", &self.registry_name)
+            .field("arity", &self.arity)
+            .field("keys", &self.tables.len())
+            .finish()
+    }
+}
+
+fn table_of(entries: &[(&str, f64)]) -> (Vec<String>, Categorical) {
+    let weights: Vec<f64> = entries.iter().map(|(_, w)| *w).collect();
+    (
+        entries.iter().map(|(e, _)| (*e).to_owned()).collect(),
+        Categorical::new(&weights),
+    )
+}
+
+impl ConditionalDictionary {
+    /// Build from `(key, vocabulary)` pairs; the key is the `|`-joined
+    /// rendering of the dependency values.
+    pub fn new(arity: usize, entries: &[(&str, &[(&str, f64)])]) -> Self {
+        assert!(arity >= 1, "conditional dictionary needs dependencies");
+        assert!(!entries.is_empty(), "no conditional entries");
+        let tables = entries
+            .iter()
+            .map(|(k, es)| ((*k).to_owned(), table_of(es)))
+            .collect();
+        Self {
+            registry_name: "conditional_dictionary",
+            arity,
+            tables,
+            fallback: None,
+            key_fn: Box::new(default_key),
+        }
+    }
+
+    /// Provide a vocabulary for unknown keys.
+    pub fn with_fallback(mut self, entries: &[(&str, f64)]) -> Self {
+        self.fallback = Some(table_of(entries));
+        self
+    }
+
+    /// Override how dependency values map to table keys.
+    pub fn with_key_fn(
+        mut self,
+        key_fn: impl Fn(&[Value]) -> String + Send + Sync + 'static,
+    ) -> Self {
+        self.key_fn = Box::new(key_fn);
+        self
+    }
+
+    /// The built-in given-name dictionary conditioned on
+    /// `(country, sex)` — sex is matched on its first letter (`M`/`F`),
+    /// country through its cultural region.
+    pub fn first_names() -> Self {
+        let mut entries: Vec<(String, Vec<(&str, f64)>)> = Vec::new();
+        for (region, names) in crate::data::MALE_NAMES {
+            entries.push((
+                format!("{region}|M"),
+                names.iter().map(|&n| (n, 1.0)).collect(),
+            ));
+        }
+        for (region, names) in crate::data::FEMALE_NAMES {
+            entries.push((
+                format!("{region}|F"),
+                names.iter().map(|&n| (n, 1.0)).collect(),
+            ));
+        }
+        let borrowed: Vec<(&str, &[(&str, f64)])> = entries
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_slice()))
+            .collect();
+        let mut dict = Self::new(2, &borrowed);
+        dict.registry_name = "first_names";
+        dict.key_fn = Box::new(|deps: &[Value]| {
+            let country = deps[0].as_text().unwrap_or("");
+            let sex = deps[1]
+                .as_text()
+                .and_then(|s| s.chars().next())
+                .map(|c| c.to_ascii_uppercase())
+                .unwrap_or('M');
+            format!("{}|{}", crate::data::region_of(country), sex)
+        });
+        dict
+    }
+
+    /// Number of distinct condition keys.
+    pub fn key_count(&self) -> usize {
+        self.tables.len()
+    }
+}
+
+fn default_key(deps: &[Value]) -> String {
+    let mut key = String::new();
+    for (i, d) in deps.iter().enumerate() {
+        if i > 0 {
+            key.push('|');
+        }
+        key.push_str(&d.render());
+    }
+    key
+}
+
+impl PropertyGenerator for ConditionalDictionary {
+    fn name(&self) -> &'static str {
+        self.registry_name
+    }
+
+    fn value_type(&self) -> ValueType {
+        ValueType::Text
+    }
+
+    fn arity(&self) -> usize {
+        self.arity
+    }
+
+    fn generate(&self, _id: u64, rng: &mut SplitMix64, deps: &[Value]) -> Result<Value, GenError> {
+        need_deps(self.registry_name, deps, self.arity)?;
+        let key = (self.key_fn)(&deps[..self.arity]);
+        let (entries, dist) = self
+            .tables
+            .get(&key)
+            .or(self.fallback.as_ref())
+            .ok_or_else(|| GenError::BadDependencyValue {
+                generator: self.registry_name,
+                value: key.clone(),
+            })?;
+        Ok(Value::Text(entries[dist.sample(rng)].clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasynth_prng::TableStream;
+
+    #[test]
+    fn names_respect_country_and_sex() {
+        let g = ConditionalDictionary::first_names();
+        let s = TableStream::derive(1, "names");
+        let spanish_female: Vec<&str> = crate::data::FEMALE_NAMES
+            .iter()
+            .find(|(r, _)| *r == "hispanic")
+            .map(|(_, names)| names.to_vec())
+            .unwrap();
+        for id in 0..200 {
+            let mut rng = s.substream(id);
+            let v = g
+                .generate(
+                    id,
+                    &mut rng,
+                    &[Value::Text("Spain".into()), Value::Text("F".into())],
+                )
+                .unwrap();
+            let name = v.as_text().unwrap().to_owned();
+            assert!(
+                spanish_female.contains(&name.as_str()),
+                "{name} is not a hispanic female name"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_tables_and_fallback() {
+        let g = ConditionalDictionary::new(1, &[("hot", &[("fire", 1.0)])])
+            .with_fallback(&[("meh", 1.0)]);
+        let s = TableStream::derive(2, "x");
+        let mut rng = s.substream(0);
+        assert_eq!(
+            g.generate(0, &mut rng, &[Value::Text("hot".into())]).unwrap(),
+            Value::Text("fire".into())
+        );
+        assert_eq!(
+            g.generate(0, &mut rng, &[Value::Text("cold".into())]).unwrap(),
+            Value::Text("meh".into())
+        );
+    }
+
+    #[test]
+    fn unknown_key_without_fallback_errors() {
+        let g = ConditionalDictionary::new(1, &[("a", &[("x", 1.0)])]);
+        let s = TableStream::derive(2, "x");
+        let mut rng = s.substream(0);
+        assert!(matches!(
+            g.generate(0, &mut rng, &[Value::Text("b".into())]),
+            Err(GenError::BadDependencyValue { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_deps_error() {
+        let g = ConditionalDictionary::first_names();
+        let s = TableStream::derive(2, "x");
+        let mut rng = s.substream(0);
+        assert!(matches!(
+            g.generate(0, &mut rng, &[]),
+            Err(GenError::MissingDependency { .. })
+        ));
+    }
+}

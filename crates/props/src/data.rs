@@ -1,0 +1,201 @@
+//! Embedded sample dictionaries.
+//!
+//! The paper's PGs load dictionaries in `initialize` ("e.g. a filename to
+//! load a dictionary"). We embed compact but realistic samples so examples
+//! and tests run hermetically; users can always construct
+//! [`DictionaryGen`](crate::DictionaryGen) /
+//! [`ConditionalDictionary`](crate::ConditionalDictionary) from their own
+//! data.
+
+/// Countries with rough relative population weights (the running example's
+/// "Person's country follows a distribution similar to that found in real
+/// life").
+pub const COUNTRIES: &[(&str, f64)] = &[
+    ("China", 1412.0),
+    ("India", 1408.0),
+    ("United States", 333.0),
+    ("Indonesia", 274.0),
+    ("Pakistan", 231.0),
+    ("Brazil", 214.0),
+    ("Nigeria", 213.0),
+    ("Bangladesh", 169.0),
+    ("Russia", 143.0),
+    ("Mexico", 127.0),
+    ("Japan", 125.0),
+    ("Philippines", 114.0),
+    ("Egypt", 109.0),
+    ("Vietnam", 98.0),
+    ("Germany", 83.0),
+    ("Turkey", 85.0),
+    ("France", 68.0),
+    ("United Kingdom", 67.0),
+    ("Italy", 59.0),
+    ("South Korea", 52.0),
+    ("Spain", 47.0),
+    ("Argentina", 46.0),
+    ("Poland", 38.0),
+    ("Canada", 38.0),
+    ("Morocco", 37.0),
+    ("Ukraine", 36.0),
+    ("Australia", 26.0),
+    ("Netherlands", 18.0),
+    ("Chile", 19.0),
+    ("Sweden", 10.0),
+    ("Portugal", 10.0),
+    ("Greece", 10.0),
+    ("Czechia", 11.0),
+    ("Hungary", 10.0),
+    ("Austria", 9.0),
+    ("Switzerland", 9.0),
+    ("Denmark", 6.0),
+    ("Finland", 6.0),
+    ("Norway", 5.0),
+    ("Ireland", 5.0),
+];
+
+/// Cultural region of each country, used to pick plausible names.
+pub fn region_of(country: &str) -> &'static str {
+    match country {
+        "China" | "Japan" | "South Korea" | "Vietnam" | "Philippines" | "Indonesia" => "east_asia",
+        "India" | "Pakistan" | "Bangladesh" => "south_asia",
+        "United States" | "United Kingdom" | "Canada" | "Australia" | "Ireland" => "anglo",
+        "Brazil" | "Portugal" => "luso",
+        "Mexico" | "Spain" | "Argentina" | "Chile" => "hispanic",
+        "Russia" | "Ukraine" | "Poland" | "Czechia" | "Hungary" => "slavic",
+        "Germany" | "Austria" | "Switzerland" | "Netherlands" => "germanic",
+        "France" => "french",
+        "Italy" | "Greece" => "mediterranean",
+        "Nigeria" | "Egypt" | "Morocco" | "Turkey" => "africa_mena",
+        "Sweden" | "Denmark" | "Finland" | "Norway" => "nordic",
+        _ => "anglo",
+    }
+}
+
+/// Male given names per region.
+pub const MALE_NAMES: &[(&str, &[&str])] = &[
+    ("east_asia", &["Wei", "Hiroshi", "Min-jun", "Duc", "Jose Maria", "Budi", "Jian", "Takeshi"]),
+    ("south_asia", &["Arjun", "Rahul", "Imran", "Ravi", "Sanjay", "Amit", "Faisal", "Vikram"]),
+    ("anglo", &["James", "John", "William", "Oliver", "Jack", "Liam", "Noah", "Thomas"]),
+    ("luso", &["João", "Pedro", "Miguel", "Tiago", "Rafael", "Bruno", "Diogo", "André"]),
+    ("hispanic", &["Santiago", "Mateo", "Diego", "Javier", "Carlos", "Alejandro", "Pablo", "Luis"]),
+    ("slavic", &["Ivan", "Dmitri", "Aleksandr", "Pavel", "Mikhail", "Jan", "Tomasz", "Andrei"]),
+    ("germanic", &["Lukas", "Felix", "Maximilian", "Jonas", "Paul", "Finn", "Daan", "Lars"]),
+    ("french", &["Gabriel", "Louis", "Raphaël", "Jules", "Adam", "Lucas", "Léo", "Hugo"]),
+    ("mediterranean", &["Francesco", "Alessandro", "Lorenzo", "Matteo", "Giorgos", "Nikos", "Luca", "Marco"]),
+    ("africa_mena", &["Mohamed", "Ahmed", "Youssef", "Omar", "Chinedu", "Emeka", "Mustafa", "Ali"]),
+    ("nordic", &["Erik", "Lars", "Mikael", "Johan", "Anders", "Henrik", "Olav", "Magnus"]),
+];
+
+/// Female given names per region.
+pub const FEMALE_NAMES: &[(&str, &[&str])] = &[
+    ("east_asia", &["Mei", "Yuki", "Seo-yeon", "Linh", "Maria Clara", "Siti", "Xiu", "Sakura"]),
+    ("south_asia", &["Priya", "Ananya", "Fatima", "Aisha", "Deepika", "Kavya", "Zara", "Meera"]),
+    ("anglo", &["Olivia", "Emma", "Charlotte", "Amelia", "Sophie", "Grace", "Emily", "Lily"]),
+    ("luso", &["Maria", "Ana", "Beatriz", "Mariana", "Carolina", "Inês", "Sofia", "Leonor"]),
+    ("hispanic", &["Sofía", "Valentina", "Isabella", "Camila", "Lucía", "Elena", "Carmen", "Paula"]),
+    ("slavic", &["Anastasia", "Olga", "Natalia", "Irina", "Katarzyna", "Anna", "Svetlana", "Ekaterina"]),
+    ("germanic", &["Mia", "Hannah", "Emilia", "Lena", "Marie", "Clara", "Julia", "Sanne"]),
+    ("french", &["Jade", "Louise", "Alice", "Chloé", "Inès", "Léa", "Manon", "Camille"]),
+    ("mediterranean", &["Giulia", "Sofia", "Aurora", "Martina", "Eleni", "Chiara", "Francesca", "Elena"]),
+    ("africa_mena", &["Fatma", "Amina", "Layla", "Zainab", "Chioma", "Ngozi", "Yasmin", "Mariam"]),
+    ("nordic", &["Alma", "Freja", "Ingrid", "Astrid", "Maja", "Elsa", "Saga", "Sigrid"]),
+];
+
+/// Family names per region.
+pub const SURNAMES: &[(&str, &[&str])] = &[
+    ("east_asia", &["Wang", "Tanaka", "Kim", "Nguyen", "Santos", "Wijaya", "Chen", "Sato"]),
+    ("south_asia", &["Sharma", "Patel", "Khan", "Singh", "Gupta", "Kumar", "Ahmed", "Iyer"]),
+    ("anglo", &["Smith", "Jones", "Taylor", "Brown", "Wilson", "Murphy", "Walker", "White"]),
+    ("luso", &["Silva", "Santos", "Ferreira", "Pereira", "Oliveira", "Costa", "Rodrigues", "Almeida"]),
+    ("hispanic", &["García", "Rodríguez", "Martínez", "López", "González", "Hernández", "Pérez", "Sánchez"]),
+    ("slavic", &["Ivanov", "Petrov", "Nowak", "Kowalski", "Smirnov", "Novák", "Horváth", "Volkov"]),
+    ("germanic", &["Müller", "Schmidt", "Schneider", "Fischer", "Weber", "Meyer", "de Vries", "Wagner"]),
+    ("french", &["Martin", "Bernard", "Dubois", "Thomas", "Robert", "Richard", "Petit", "Durand"]),
+    ("mediterranean", &["Rossi", "Russo", "Ferrari", "Esposito", "Papadopoulos", "Bianchi", "Romano", "Colombo"]),
+    ("africa_mena", &["Mohamed", "Hassan", "Okafor", "Adeyemi", "Yılmaz", "Kaya", "El-Sayed", "Demir"]),
+    ("nordic", &["Hansen", "Johansson", "Andersson", "Nielsen", "Korhonen", "Larsen", "Berg", "Lindberg"]),
+];
+
+/// Discussion topics with zipf-ish weights.
+pub const TOPICS: &[(&str, f64)] = &[
+    ("music", 10.0),
+    ("sports", 9.0),
+    ("movies", 8.0),
+    ("politics", 7.0),
+    ("technology", 7.0),
+    ("travel", 6.0),
+    ("food", 6.0),
+    ("gaming", 5.0),
+    ("fashion", 4.0),
+    ("science", 4.0),
+    ("books", 3.0),
+    ("photography", 3.0),
+    ("fitness", 3.0),
+    ("art", 2.0),
+    ("history", 2.0),
+    ("economics", 2.0),
+    ("gardening", 1.0),
+    ("astronomy", 1.0),
+    ("chess", 1.0),
+    ("cooking", 3.0),
+    ("cycling", 2.0),
+    ("hiking", 2.0),
+    ("theatre", 1.0),
+    ("poetry", 1.0),
+];
+
+/// Filler vocabulary for synthetic message text.
+pub const WORDS: &[&str] = &[
+    "the", "of", "and", "to", "in", "is", "it", "that", "was", "for", "on", "are", "with", "as",
+    "at", "be", "this", "have", "from", "or", "had", "by", "but", "some", "what", "there", "we",
+    "can", "out", "other", "were", "all", "your", "when", "up", "use", "how", "said", "each",
+    "she", "which", "their", "time", "will", "way", "about", "many", "then", "them", "would",
+    "like", "so", "these", "her", "long", "make", "thing", "see", "him", "two", "has", "look",
+    "more", "day", "could", "go", "come", "did", "my", "no", "most", "who", "over", "know",
+    "than", "call", "first", "people", "side", "been", "now", "find", "new", "great",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_country_has_a_name_region() {
+        for (country, _) in COUNTRIES {
+            let region = region_of(country);
+            assert!(
+                MALE_NAMES.iter().any(|(r, _)| *r == region),
+                "{country} -> {region} missing in MALE_NAMES"
+            );
+            assert!(
+                FEMALE_NAMES.iter().any(|(r, _)| *r == region),
+                "{country} -> {region} missing in FEMALE_NAMES"
+            );
+        }
+    }
+
+    #[test]
+    fn every_region_has_surnames() {
+        for (country, _) in COUNTRIES {
+            let region = region_of(country);
+            assert!(
+                SURNAMES.iter().any(|(r, _)| *r == region),
+                "{country} -> {region} missing in SURNAMES"
+            );
+        }
+    }
+
+    #[test]
+    fn weights_are_positive() {
+        assert!(COUNTRIES.iter().all(|(_, w)| *w > 0.0));
+        assert!(TOPICS.iter().all(|(_, w)| *w > 0.0));
+    }
+
+    #[test]
+    fn no_duplicate_countries() {
+        let mut seen = std::collections::HashSet::new();
+        for (c, _) in COUNTRIES {
+            assert!(seen.insert(*c), "duplicate {c}");
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Date generators, including the running example's constraint that an
+//! edge's `creationDate` exceeds the `creationDate` of both endpoints.
+
+use datasynth_prng::SplitMix64;
+use datasynth_tables::{parse_date, Value, ValueType};
+
+use crate::error::need_deps;
+use crate::{GenError, PropertyGenerator};
+
+/// Uniform dates in `[from, to]` (inclusive, epoch days).
+#[derive(Debug, Clone, Copy)]
+pub struct DateBetween {
+    from: i64,
+    to: i64,
+}
+
+impl DateBetween {
+    /// Create from epoch-day bounds.
+    pub fn new(from: i64, to: i64) -> Self {
+        assert!(from <= to, "empty date range");
+        Self { from, to }
+    }
+
+    /// Create from ISO-8601 strings; `None` when either fails to parse.
+    pub fn parse(from: &str, to: &str) -> Option<Self> {
+        let (f, t) = (parse_date(from)?, parse_date(to)?);
+        (f <= t).then(|| Self::new(f, t))
+    }
+}
+
+impl PropertyGenerator for DateBetween {
+    fn name(&self) -> &'static str {
+        "date_between"
+    }
+
+    fn value_type(&self) -> ValueType {
+        ValueType::Date
+    }
+
+    fn generate(&self, _id: u64, rng: &mut SplitMix64, _deps: &[Value]) -> Result<Value, GenError> {
+        let span = (self.to - self.from) as u64 + 1;
+        Ok(Value::Date(self.from + rng.next_below(span) as i64))
+    }
+}
+
+/// A date strictly greater than every `Date`/`Long` dependency: the
+/// `knows.creationDate > creationDate of both Persons` constraint. The gap
+/// is `1 + Uniform(0, spread_days)`.
+#[derive(Debug, Clone, Copy)]
+pub struct DateAfterDeps {
+    arity: usize,
+    spread_days: u64,
+}
+
+impl DateAfterDeps {
+    /// Create; `arity` dependencies expected, result within `spread_days`
+    /// after the latest of them.
+    pub fn new(arity: usize, spread_days: u64) -> Self {
+        assert!(arity >= 1, "needs at least one dependency");
+        Self { arity, spread_days }
+    }
+}
+
+impl PropertyGenerator for DateAfterDeps {
+    fn name(&self) -> &'static str {
+        "date_after"
+    }
+
+    fn value_type(&self) -> ValueType {
+        ValueType::Date
+    }
+
+    fn arity(&self) -> usize {
+        self.arity
+    }
+
+    fn generate(&self, _id: u64, rng: &mut SplitMix64, deps: &[Value]) -> Result<Value, GenError> {
+        need_deps("date_after", deps, self.arity)?;
+        let mut latest = i64::MIN;
+        for (position, dep) in deps.iter().take(self.arity).enumerate() {
+            let day = dep.as_long().ok_or(GenError::WrongDependencyType {
+                generator: "date_after",
+                position,
+                expected: ValueType::Date,
+            })?;
+            latest = latest.max(day);
+        }
+        let gap = 1 + rng.next_below(self.spread_days.max(1)) as i64;
+        Ok(Value::Date(latest + gap))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasynth_prng::TableStream;
+
+    #[test]
+    fn date_between_bounds_and_iso_parse() {
+        let g = DateBetween::parse("2010-01-01", "2013-01-01").unwrap();
+        let s = TableStream::derive(1, "d");
+        let (lo, hi) = (parse_date("2010-01-01").unwrap(), parse_date("2013-01-01").unwrap());
+        for id in 0..2000 {
+            let mut rng = s.substream(id);
+            let v = g.generate(id, &mut rng, &[]).unwrap();
+            let d = v.as_long().unwrap();
+            assert!((lo..=hi).contains(&d));
+        }
+        assert!(DateBetween::parse("bad", "2013-01-01").is_none());
+    }
+
+    #[test]
+    fn date_after_exceeds_both_endpoints() {
+        let g = DateAfterDeps::new(2, 30);
+        let s = TableStream::derive(1, "d");
+        for id in 0..500 {
+            let mut rng = s.substream(id);
+            let a = Value::Date(100 + (id % 50) as i64);
+            let b = Value::Date(120 - (id % 20) as i64);
+            let hi = a.as_long().unwrap().max(b.as_long().unwrap());
+            let v = g.generate(id, &mut rng, &[a, b]).unwrap();
+            let d = v.as_long().unwrap();
+            assert!(d > hi, "id {id}: {d} <= {hi}");
+            assert!(d <= hi + 30);
+        }
+    }
+
+    #[test]
+    fn date_after_rejects_missing_or_mistyped_deps() {
+        let g = DateAfterDeps::new(2, 10);
+        let s = TableStream::derive(1, "d");
+        let mut rng = s.substream(0);
+        assert!(matches!(
+            g.generate(0, &mut rng, &[Value::Date(1)]),
+            Err(GenError::MissingDependency { .. })
+        ));
+        assert!(matches!(
+            g.generate(0, &mut rng, &[Value::Date(1), Value::Text("x".into())]),
+            Err(GenError::WrongDependencyType { position: 1, .. })
+        ));
+    }
+}

@@ -1,0 +1,115 @@
+//! Weighted dictionary generators: draw a string from a weighted
+//! vocabulary by inverse transform.
+
+use datasynth_prng::dist::{Categorical, Sampler};
+use datasynth_prng::SplitMix64;
+use datasynth_tables::{Value, ValueType};
+
+use crate::{GenError, PropertyGenerator};
+
+/// Weighted string dictionary.
+#[derive(Debug, Clone)]
+pub struct DictionaryGen {
+    registry_name: &'static str,
+    entries: Vec<String>,
+    dist: Categorical,
+}
+
+impl DictionaryGen {
+    /// Build from `(entry, weight)` pairs.
+    pub fn new(pairs: &[(&str, f64)]) -> Self {
+        Self::with_registry_name("dictionary", pairs)
+    }
+
+    /// Build with an explicit registry name (used by named built-ins).
+    pub fn with_registry_name(registry_name: &'static str, pairs: &[(&str, f64)]) -> Self {
+        assert!(!pairs.is_empty(), "empty dictionary");
+        let weights: Vec<f64> = pairs.iter().map(|(_, w)| *w).collect();
+        Self {
+            registry_name,
+            entries: pairs.iter().map(|(e, _)| (*e).to_owned()).collect(),
+            dist: Categorical::new(&weights),
+        }
+    }
+
+    /// Uniformly weighted dictionary.
+    pub fn uniform(entries: &[&str]) -> Self {
+        let pairs: Vec<(&str, f64)> = entries.iter().map(|&e| (e, 1.0)).collect();
+        Self::new(&pairs)
+    }
+
+    /// The built-in country dictionary (population-weighted).
+    pub fn countries() -> Self {
+        Self::with_registry_name("countries", crate::data::COUNTRIES)
+    }
+
+    /// The built-in topic dictionary.
+    pub fn topics() -> Self {
+        Self::with_registry_name("topics", crate::data::TOPICS)
+    }
+
+    /// Entries in declaration order.
+    pub fn entries(&self) -> &[String] {
+        &self.entries
+    }
+
+    /// Probability of one entry.
+    pub fn probability_of(&self, entry: &str) -> f64 {
+        self.entries
+            .iter()
+            .position(|e| e == entry)
+            .map_or(0.0, |i| self.dist.probability(i))
+    }
+}
+
+impl PropertyGenerator for DictionaryGen {
+    fn name(&self) -> &'static str {
+        self.registry_name
+    }
+
+    fn value_type(&self) -> ValueType {
+        ValueType::Text
+    }
+
+    fn generate(&self, _id: u64, rng: &mut SplitMix64, _deps: &[Value]) -> Result<Value, GenError> {
+        Ok(Value::Text(self.entries[self.dist.sample(rng)].clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasynth_prng::TableStream;
+
+    #[test]
+    fn frequencies_track_weights() {
+        let g = DictionaryGen::new(&[("a", 8.0), ("b", 2.0)]);
+        let s = TableStream::derive(1, "t");
+        let mut a_count = 0u32;
+        for id in 0..20_000 {
+            let mut rng = s.substream(id);
+            if g.generate(id, &mut rng, &[]).unwrap() == Value::Text("a".into()) {
+                a_count += 1;
+            }
+        }
+        let frac = f64::from(a_count) / 20_000.0;
+        assert!((frac - 0.8).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn builtin_dictionaries_are_wired() {
+        let countries = DictionaryGen::countries();
+        assert!(countries.probability_of("China") > countries.probability_of("Norway"));
+        let topics = DictionaryGen::topics();
+        assert!(topics.probability_of("music") > 0.0);
+        assert_eq!(topics.probability_of("not-a-topic"), 0.0);
+    }
+
+    #[test]
+    fn uniform_is_uniform() {
+        let g = DictionaryGen::uniform(&["x", "y", "z", "w"]);
+        for e in g.entries() {
+            assert!((g.probability_of(e) - 0.25).abs() < 1e-12);
+        }
+    }
+}

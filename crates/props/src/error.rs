@@ -1,0 +1,94 @@
+//! Property-generation errors.
+
+use std::fmt;
+
+use datasynth_tables::ValueType;
+
+/// Errors a [`PropertyGenerator`](crate::PropertyGenerator) can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenError {
+    /// Fewer dependency values than the generator's arity.
+    MissingDependency {
+        /// Generator name.
+        generator: &'static str,
+        /// Expected dependency count.
+        expected: usize,
+        /// Received dependency count.
+        got: usize,
+    },
+    /// A dependency value has the wrong type.
+    WrongDependencyType {
+        /// Generator name.
+        generator: &'static str,
+        /// Position of the offending dependency.
+        position: usize,
+        /// Expected type.
+        expected: ValueType,
+    },
+    /// A dependency value is outside the generator's domain
+    /// (e.g. an unknown dictionary key).
+    BadDependencyValue {
+        /// Generator name.
+        generator: &'static str,
+        /// Rendered offending value.
+        value: String,
+    },
+}
+
+impl fmt::Display for GenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenError::MissingDependency {
+                generator,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{generator}: expected {expected} dependency values, got {got}"
+            ),
+            GenError::WrongDependencyType {
+                generator,
+                position,
+                expected,
+            } => write!(
+                f,
+                "{generator}: dependency {position} must be of type {expected}"
+            ),
+            GenError::BadDependencyValue { generator, value } => {
+                write!(f, "{generator}: dependency value {value:?} not in domain")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
+
+pub(crate) fn need_deps(
+    generator: &'static str,
+    deps: &[datasynth_tables::Value],
+    expected: usize,
+) -> Result<(), GenError> {
+    if deps.len() < expected {
+        return Err(GenError::MissingDependency {
+            generator,
+            expected,
+            got: deps.len(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_generator() {
+        let e = GenError::MissingDependency {
+            generator: "conditional_names",
+            expected: 2,
+            got: 0,
+        };
+        assert!(e.to_string().contains("conditional_names"));
+    }
+}

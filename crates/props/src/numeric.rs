@@ -1,0 +1,217 @@
+//! Numeric property generators wrapping the sampling library.
+
+use datasynth_prng::dist::{Geometric, Normal, Sampler, UniformF64, UniformU64, Zipf};
+use datasynth_prng::SplitMix64;
+use datasynth_tables::{Value, ValueType};
+
+use crate::{GenError, PropertyGenerator};
+
+/// Uniform integers in `[lo, hi]`.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformLongGen {
+    dist: UniformU64,
+    offset: i64,
+}
+
+impl UniformLongGen {
+    /// Create over the inclusive signed range.
+    pub fn new(lo: i64, hi: i64) -> Self {
+        assert!(lo <= hi, "empty range");
+        Self {
+            dist: UniformU64::new(0, (hi - lo) as u64),
+            offset: lo,
+        }
+    }
+}
+
+impl PropertyGenerator for UniformLongGen {
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+
+    fn value_type(&self) -> ValueType {
+        ValueType::Long
+    }
+
+    fn generate(&self, _id: u64, rng: &mut SplitMix64, _deps: &[Value]) -> Result<Value, GenError> {
+        Ok(Value::Long(self.offset + self.dist.sample(rng) as i64))
+    }
+}
+
+/// Uniform doubles in `[lo, hi)`.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformDoubleGen {
+    dist: UniformF64,
+}
+
+impl UniformDoubleGen {
+    /// Create over the half-open real range.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        Self {
+            dist: UniformF64::new(lo, hi),
+        }
+    }
+}
+
+impl PropertyGenerator for UniformDoubleGen {
+    fn name(&self) -> &'static str {
+        "uniform_double"
+    }
+
+    fn value_type(&self) -> ValueType {
+        ValueType::Double
+    }
+
+    fn generate(&self, _id: u64, rng: &mut SplitMix64, _deps: &[Value]) -> Result<Value, GenError> {
+        Ok(Value::Double(self.dist.sample(rng)))
+    }
+}
+
+/// Zipf-distributed ranks in `1..=n` (popularity-style values).
+#[derive(Debug, Clone)]
+pub struct ZipfGen {
+    dist: Zipf,
+}
+
+impl ZipfGen {
+    /// Create with exponent `s` over `n` ranks.
+    pub fn new(s: f64, n: u64) -> Self {
+        Self {
+            dist: Zipf::new(s, n),
+        }
+    }
+}
+
+impl PropertyGenerator for ZipfGen {
+    fn name(&self) -> &'static str {
+        "zipf"
+    }
+
+    fn value_type(&self) -> ValueType {
+        ValueType::Long
+    }
+
+    fn generate(&self, _id: u64, rng: &mut SplitMix64, _deps: &[Value]) -> Result<Value, GenError> {
+        Ok(Value::Long(self.dist.sample(rng) as i64))
+    }
+}
+
+/// Normally distributed doubles.
+#[derive(Debug, Clone, Copy)]
+pub struct NormalGen {
+    dist: Normal,
+}
+
+impl NormalGen {
+    /// Create with mean and standard deviation.
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        Self {
+            dist: Normal::new(mean, std_dev),
+        }
+    }
+}
+
+impl PropertyGenerator for NormalGen {
+    fn name(&self) -> &'static str {
+        "normal"
+    }
+
+    fn value_type(&self) -> ValueType {
+        ValueType::Double
+    }
+
+    fn generate(&self, _id: u64, rng: &mut SplitMix64, _deps: &[Value]) -> Result<Value, GenError> {
+        Ok(Value::Double(self.dist.sample(rng)))
+    }
+}
+
+/// Geometrically distributed longs (counts with a long tail).
+#[derive(Debug, Clone, Copy)]
+pub struct GeometricGen {
+    dist: Geometric,
+}
+
+impl GeometricGen {
+    /// Create with success probability `p`.
+    pub fn new(p: f64) -> Self {
+        Self {
+            dist: Geometric::new(p),
+        }
+    }
+}
+
+impl PropertyGenerator for GeometricGen {
+    fn name(&self) -> &'static str {
+        "geometric"
+    }
+
+    fn value_type(&self) -> ValueType {
+        ValueType::Long
+    }
+
+    fn generate(&self, _id: u64, rng: &mut SplitMix64, _deps: &[Value]) -> Result<Value, GenError> {
+        Ok(Value::Long(self.dist.sample(rng) as i64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasynth_prng::TableStream;
+
+    fn column<G: PropertyGenerator>(g: &G, n: u64) -> Vec<Value> {
+        let s = TableStream::derive(3, "num");
+        (0..n)
+            .map(|id| {
+                let mut rng = s.substream(id);
+                g.generate(id, &mut rng, &[]).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn uniform_long_negative_ranges() {
+        let g = UniformLongGen::new(-10, -1);
+        for v in column(&g, 1000) {
+            let x = v.as_long().unwrap();
+            assert!((-10..=-1).contains(&x));
+        }
+    }
+
+    #[test]
+    fn zipf_rank_one_dominates() {
+        let g = ZipfGen::new(1.3, 100);
+        let ones = column(&g, 5000)
+            .iter()
+            .filter(|v| v.as_long() == Some(1))
+            .count();
+        assert!(ones > 500, "rank 1 count {ones}");
+    }
+
+    #[test]
+    fn normal_mean() {
+        let g = NormalGen::new(10.0, 2.0);
+        let vals = column(&g, 20_000);
+        let mean: f64 = vals.iter().map(|v| v.as_double().unwrap()).sum::<f64>() / 20_000.0;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn geometric_zero_heavy() {
+        let g = GeometricGen::new(0.5);
+        let zeros = column(&g, 10_000)
+            .iter()
+            .filter(|v| v.as_long() == Some(0))
+            .count();
+        assert!((zeros as f64 / 10_000.0 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn uniform_double_bounds() {
+        let g = UniformDoubleGen::new(1.5, 2.5);
+        for v in column(&g, 1000) {
+            let x = v.as_double().unwrap();
+            assert!((1.5..2.5).contains(&x));
+        }
+    }
+}

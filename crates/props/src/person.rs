@@ -1,0 +1,216 @@
+//! Composite person-identity generators: surnames, full names and e-mail
+//! addresses derived from other properties — the kind of cross-property
+//! consistency the schema requirement asks for ("the name of a Person is
+//! clearly correlated with the sex and the country").
+
+use datasynth_prng::SplitMix64;
+use datasynth_tables::{Value, ValueType};
+
+use crate::error::need_deps;
+use crate::{ConditionalDictionary, GenError, PropertyGenerator};
+
+/// Family names conditioned on `country` (through its cultural region).
+#[derive(Debug)]
+pub struct SurnameGen {
+    inner: ConditionalDictionary,
+}
+
+impl SurnameGen {
+    /// Create; expects one dependency: the country.
+    pub fn new() -> Self {
+        let mut entries: Vec<(String, Vec<(&str, f64)>)> = Vec::new();
+        for (region, names) in crate::data::SURNAMES {
+            entries.push((
+                (*region).to_owned(),
+                names.iter().map(|&n| (n, 1.0)).collect(),
+            ));
+        }
+        let borrowed: Vec<(&str, &[(&str, f64)])> = entries
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_slice()))
+            .collect();
+        let inner = ConditionalDictionary::new(1, &borrowed).with_key_fn(|deps: &[Value]| {
+            crate::data::region_of(deps[0].as_text().unwrap_or("")).to_owned()
+        });
+        Self { inner }
+    }
+}
+
+impl Default for SurnameGen {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PropertyGenerator for SurnameGen {
+    fn name(&self) -> &'static str {
+        "surnames"
+    }
+
+    fn value_type(&self) -> ValueType {
+        ValueType::Text
+    }
+
+    fn arity(&self) -> usize {
+        1
+    }
+
+    fn generate(&self, id: u64, rng: &mut SplitMix64, deps: &[Value]) -> Result<Value, GenError> {
+        need_deps("surnames", deps, 1)?;
+        self.inner.generate(id, rng, deps)
+    }
+}
+
+/// Full name `"<given> <family>"` from two text dependencies (typically
+/// `name` and `surname`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullNameGen;
+
+impl PropertyGenerator for FullNameGen {
+    fn name(&self) -> &'static str {
+        "full_name"
+    }
+
+    fn value_type(&self) -> ValueType {
+        ValueType::Text
+    }
+
+    fn arity(&self) -> usize {
+        2
+    }
+
+    fn generate(&self, _id: u64, _rng: &mut SplitMix64, deps: &[Value]) -> Result<Value, GenError> {
+        need_deps("full_name", deps, 2)?;
+        Ok(Value::Text(format!(
+            "{} {}",
+            deps[0].render(),
+            deps[1].render()
+        )))
+    }
+}
+
+/// Unique e-mail address from a name dependency: `ascii(name).id@domain`.
+/// Embedding the id guarantees uniqueness without coordination — the same
+/// trick the paper describes for uuids.
+#[derive(Debug, Clone)]
+pub struct EmailGen {
+    domains: Vec<String>,
+}
+
+impl EmailGen {
+    /// Create with a list of candidate domains.
+    pub fn new(domains: &[&str]) -> Self {
+        assert!(!domains.is_empty(), "need at least one domain");
+        Self {
+            domains: domains.iter().map(|d| (*d).to_owned()).collect(),
+        }
+    }
+}
+
+impl Default for EmailGen {
+    fn default() -> Self {
+        Self::new(&["example.com", "mail.example.org", "post.example.net"])
+    }
+}
+
+fn ascii_slug(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            'a'..='z' | '0'..='9' => out.push(ch),
+            'A'..='Z' => out.push(ch.to_ascii_lowercase()),
+            ' ' | '-' | '.' | '\'' => out.push('.'),
+            _ => {} // drop accents and other non-ascii outright
+        }
+    }
+    if out.is_empty() {
+        out.push('u');
+    }
+    out
+}
+
+impl PropertyGenerator for EmailGen {
+    fn name(&self) -> &'static str {
+        "email"
+    }
+
+    fn value_type(&self) -> ValueType {
+        ValueType::Text
+    }
+
+    fn arity(&self) -> usize {
+        1
+    }
+
+    fn generate(&self, id: u64, rng: &mut SplitMix64, deps: &[Value]) -> Result<Value, GenError> {
+        need_deps("email", deps, 1)?;
+        let domain = &self.domains[rng.next_below(self.domains.len() as u64) as usize];
+        Ok(Value::Text(format!(
+            "{}.{id}@{domain}",
+            ascii_slug(&deps[0].render())
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasynth_prng::TableStream;
+
+    #[test]
+    fn surnames_follow_region() {
+        let g = SurnameGen::new();
+        let s = TableStream::derive(1, "t");
+        let hispanic: Vec<&str> = crate::data::SURNAMES
+            .iter()
+            .find(|(r, _)| *r == "hispanic")
+            .map(|(_, ns)| ns.to_vec())
+            .unwrap();
+        for id in 0..100 {
+            let mut rng = s.substream(id);
+            let v = g
+                .generate(id, &mut rng, &[Value::Text("Mexico".into())])
+                .unwrap();
+            assert!(hispanic.contains(&v.as_text().unwrap()));
+        }
+    }
+
+    #[test]
+    fn full_name_concatenates() {
+        let g = FullNameGen;
+        let s = TableStream::derive(1, "t");
+        let mut rng = s.substream(0);
+        let v = g
+            .generate(
+                0,
+                &mut rng,
+                &[Value::Text("Ana".into()), Value::Text("García".into())],
+            )
+            .unwrap();
+        assert_eq!(v.as_text().unwrap(), "Ana García");
+    }
+
+    #[test]
+    fn emails_are_unique_and_ascii() {
+        let g = EmailGen::default();
+        let s = TableStream::derive(1, "t");
+        let mut seen = std::collections::HashSet::new();
+        for id in 0..500 {
+            let mut rng = s.substream(id);
+            let v = g
+                .generate(id, &mut rng, &[Value::Text("José Müller".into())])
+                .unwrap();
+            let email = v.as_text().unwrap().to_owned();
+            assert!(email.is_ascii(), "{email}");
+            assert!(email.contains('@'));
+            assert!(email.starts_with("jos.mller."), "{email}");
+            assert!(seen.insert(email));
+        }
+    }
+
+    #[test]
+    fn slug_handles_empty_and_symbols() {
+        assert_eq!(ascii_slug("你好"), "u");
+        assert_eq!(ascii_slug("Mary-Jane O'Neil"), "mary.jane.o.neil");
+    }
+}

@@ -1,0 +1,351 @@
+//! Name-based property generator construction — the DSL's
+//! `property = generator(args...)` clauses resolve here.
+
+use std::fmt;
+
+use datasynth_tables::Value;
+
+use crate::{
+    BoolGen, ConditionalDictionary, ConstantGen, CounterGen, DateAfterDeps, DateBetween,
+    DictionaryGen, EmailGen, FullNameGen, GeometricGen, NormalGen, PropertyGenerator,
+    SentenceGen, SurnameGen, TemplateGen, UniformDoubleGen, UniformLongGen, UuidGen, ZipfGen,
+};
+
+/// One argument of a generator call in the DSL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GenArg {
+    /// Numeric literal.
+    Num(f64),
+    /// String literal.
+    Text(String),
+    /// `"label": weight` pair (categorical entries).
+    Weighted(String, f64),
+}
+
+/// Errors from [`build_property_generator`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegistryError {
+    /// No generator with this name.
+    UnknownGenerator(String),
+    /// Wrong argument shape for the named generator.
+    BadArgs {
+        /// Generator name.
+        generator: &'static str,
+        /// What was expected.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::UnknownGenerator(n) => write!(f, "unknown property generator {n}"),
+            RegistryError::BadArgs {
+                generator,
+                expected,
+            } => write!(f, "{generator}: expected arguments {expected}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// Canonical generator names (for diagnostics and docs).
+pub const PROPERTY_GENERATOR_NAMES: &[&str] = &[
+    "constant",
+    "counter",
+    "uuid",
+    "bool",
+    "uniform",
+    "uniform_double",
+    "zipf",
+    "normal",
+    "geometric",
+    "categorical",
+    "dictionary",
+    "first_names",
+    "surnames",
+    "full_name",
+    "email",
+    "date_between",
+    "date_after",
+    "sentence",
+    "sentence_about",
+    "template",
+];
+
+fn num(args: &[GenArg], i: usize) -> Option<f64> {
+    match args.get(i)? {
+        GenArg::Num(v) => Some(*v),
+        _ => None,
+    }
+}
+
+fn text(args: &[GenArg], i: usize) -> Option<&str> {
+    match args.get(i)? {
+        GenArg::Text(s) => Some(s),
+        _ => None,
+    }
+}
+
+/// Build a property generator from its DSL name and arguments.
+/// `arity` is the number of declared dependencies (`given (...)` clause).
+pub fn build_property_generator(
+    name: &str,
+    args: &[GenArg],
+    arity: usize,
+) -> Result<Box<dyn PropertyGenerator>, RegistryError> {
+    let bad = |generator: &'static str, expected: &'static str| RegistryError::BadArgs {
+        generator,
+        expected,
+    };
+    Ok(match name {
+        "constant" => {
+            let value = match args.first() {
+                Some(GenArg::Num(v)) if v.fract() == 0.0 => Value::Long(*v as i64),
+                Some(GenArg::Num(v)) => Value::Double(*v),
+                Some(GenArg::Text(s)) => Value::Text(s.clone()),
+                _ => return Err(bad("constant", "(value)")),
+            };
+            Box::new(ConstantGen::new(value))
+        }
+        "counter" => Box::new(CounterGen::new(num(args, 0).unwrap_or(0.0) as i64)),
+        "uuid" => Box::new(UuidGen),
+        "bool" => {
+            let p = num(args, 0).unwrap_or(0.5);
+            if !(0.0..=1.0).contains(&p) {
+                return Err(bad("bool", "(p in [0,1])"));
+            }
+            Box::new(BoolGen::new(p))
+        }
+        "uniform" => {
+            let (lo, hi) = match (num(args, 0), num(args, 1)) {
+                (Some(lo), Some(hi)) if lo <= hi => (lo as i64, hi as i64),
+                _ => return Err(bad("uniform", "(lo, hi) with lo <= hi")),
+            };
+            Box::new(UniformLongGen::new(lo, hi))
+        }
+        "uniform_double" => {
+            let (lo, hi) = match (num(args, 0), num(args, 1)) {
+                (Some(lo), Some(hi)) if lo < hi => (lo, hi),
+                _ => return Err(bad("uniform_double", "(lo, hi) with lo < hi")),
+            };
+            Box::new(UniformDoubleGen::new(lo, hi))
+        }
+        "zipf" => {
+            let s = num(args, 0).unwrap_or(1.0);
+            let n = num(args, 1).unwrap_or(1000.0);
+            if s <= 0.0 || n < 1.0 {
+                return Err(bad("zipf", "(exponent > 0, n >= 1)"));
+            }
+            Box::new(ZipfGen::new(s, n as u64))
+        }
+        "normal" => {
+            let mean = num(args, 0).unwrap_or(0.0);
+            let sd = num(args, 1).unwrap_or(1.0);
+            if sd < 0.0 {
+                return Err(bad("normal", "(mean, std_dev >= 0)"));
+            }
+            Box::new(NormalGen::new(mean, sd))
+        }
+        "geometric" => {
+            let p = num(args, 0).unwrap_or(0.5);
+            if !(p > 0.0 && p <= 1.0) {
+                return Err(bad("geometric", "(p in (0,1])"));
+            }
+            Box::new(GeometricGen::new(p))
+        }
+        "categorical" => {
+            let pairs: Vec<(String, f64)> = args
+                .iter()
+                .filter_map(|a| match a {
+                    GenArg::Weighted(label, w) => Some((label.clone(), *w)),
+                    _ => None,
+                })
+                .collect();
+            if pairs.is_empty() {
+                return Err(bad("categorical", "(\"label\": weight, ...)"));
+            }
+            let borrowed: Vec<(&str, f64)> =
+                pairs.iter().map(|(l, w)| (l.as_str(), *w)).collect();
+            Box::new(DictionaryGen::with_registry_name("categorical", &borrowed))
+        }
+        "dictionary" => match text(args, 0) {
+            Some("countries") => Box::new(DictionaryGen::countries()),
+            Some("topics") => Box::new(DictionaryGen::topics()),
+            Some(other) => {
+                return Err(if other.is_empty() {
+                    bad("dictionary", "(\"countries\" | \"topics\")")
+                } else {
+                    RegistryError::UnknownGenerator(format!("dictionary {other:?}"))
+                })
+            }
+            None => return Err(bad("dictionary", "(\"countries\" | \"topics\")")),
+        },
+        "first_names" => {
+            if arity != 2 {
+                return Err(bad("first_names", "given (country, sex)"));
+            }
+            Box::new(ConditionalDictionary::first_names())
+        }
+        "surnames" => {
+            if arity != 1 {
+                return Err(bad("surnames", "given (country)"));
+            }
+            Box::new(SurnameGen::new())
+        }
+        "full_name" => {
+            if arity != 2 {
+                return Err(bad("full_name", "given (given_name, family_name)"));
+            }
+            Box::new(FullNameGen)
+        }
+        "email" => {
+            if arity != 1 {
+                return Err(bad("email", "given (name)"));
+            }
+            let domains: Vec<String> = args
+                .iter()
+                .filter_map(|a| match a {
+                    GenArg::Text(s) => Some(s.clone()),
+                    _ => None,
+                })
+                .collect();
+            if domains.is_empty() {
+                Box::new(EmailGen::default())
+            } else {
+                let borrowed: Vec<&str> = domains.iter().map(String::as_str).collect();
+                Box::new(EmailGen::new(&borrowed))
+            }
+        }
+        "date_between" => {
+            let (from, to) = match (text(args, 0), text(args, 1)) {
+                (Some(f), Some(t)) => (f, t),
+                _ => return Err(bad("date_between", "(\"YYYY-MM-DD\", \"YYYY-MM-DD\")")),
+            };
+            match DateBetween::parse(from, to) {
+                Some(g) => Box::new(g),
+                None => return Err(bad("date_between", "valid, ordered ISO dates")),
+            }
+        }
+        "date_after" => {
+            if arity == 0 {
+                return Err(bad("date_after", "given (at least one date property)"));
+            }
+            let spread = num(args, 0).unwrap_or(365.0);
+            if spread < 1.0 {
+                return Err(bad("date_after", "(spread_days >= 1)"));
+            }
+            Box::new(DateAfterDeps::new(arity, spread as u64))
+        }
+        "sentence" => {
+            let lo = num(args, 0).unwrap_or(5.0).max(1.0) as u64;
+            let hi = num(args, 1).unwrap_or(20.0).max(lo as f64) as u64;
+            Box::new(SentenceGen::new(lo, hi))
+        }
+        "sentence_about" => {
+            if arity != 1 {
+                return Err(bad("sentence_about", "given (topic)"));
+            }
+            let lo = num(args, 0).unwrap_or(5.0).max(1.0) as u64;
+            let hi = num(args, 1).unwrap_or(20.0).max(lo as f64) as u64;
+            Box::new(SentenceGen::about_topic(lo, hi))
+        }
+        "template" => match text(args, 0) {
+            Some(t) => Box::new(TemplateGen::new(t, arity)),
+            None => return Err(bad("template", "(\"...{0}...{id}...\")")),
+        },
+        other => return Err(RegistryError::UnknownGenerator(other.to_owned())),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasynth_prng::TableStream;
+
+    fn build(name: &str, args: &[GenArg], arity: usize) -> Box<dyn PropertyGenerator> {
+        build_property_generator(name, args, arity)
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+    }
+
+    #[test]
+    fn all_zero_dep_generators_build_and_run() {
+        let cases: Vec<(&str, Vec<GenArg>)> = vec![
+            ("constant", vec![GenArg::Text("x".into())]),
+            ("counter", vec![]),
+            ("uuid", vec![]),
+            ("bool", vec![GenArg::Num(0.3)]),
+            ("uniform", vec![GenArg::Num(0.0), GenArg::Num(9.0)]),
+            ("uniform_double", vec![GenArg::Num(0.0), GenArg::Num(1.0)]),
+            ("zipf", vec![GenArg::Num(1.5), GenArg::Num(100.0)]),
+            ("normal", vec![GenArg::Num(0.0), GenArg::Num(1.0)]),
+            ("geometric", vec![GenArg::Num(0.4)]),
+            (
+                "categorical",
+                vec![
+                    GenArg::Weighted("M".into(), 0.5),
+                    GenArg::Weighted("F".into(), 0.5),
+                ],
+            ),
+            ("dictionary", vec![GenArg::Text("countries".into())]),
+            (
+                "date_between",
+                vec![
+                    GenArg::Text("2010-01-01".into()),
+                    GenArg::Text("2013-01-01".into()),
+                ],
+            ),
+            ("sentence", vec![GenArg::Num(3.0), GenArg::Num(5.0)]),
+        ];
+        let stream = TableStream::derive(1, "reg");
+        for (name, args) in cases {
+            let g = build(name, &args, 0);
+            let mut rng = stream.substream(0);
+            let v = g.generate(0, &mut rng, &[]).unwrap();
+            assert!(v.value_type().is_some(), "{name} produced null");
+        }
+    }
+
+    #[test]
+    fn dependent_generators_declare_arity() {
+        let g = build("first_names", &[], 2);
+        assert_eq!(g.arity(), 2);
+        let g = build("surnames", &[], 1);
+        assert_eq!(g.arity(), 1);
+        let g = build("full_name", &[], 2);
+        assert_eq!(g.arity(), 2);
+        let g = build("email", &[GenArg::Text("corp.example".into())], 1);
+        assert_eq!(g.arity(), 1);
+        let g = build("date_after", &[GenArg::Num(30.0)], 2);
+        assert_eq!(g.arity(), 2);
+        let g = build("sentence_about", &[], 1);
+        assert_eq!(g.arity(), 1);
+        let g = build("template", &[GenArg::Text("{0}!".into())], 1);
+        assert_eq!(g.arity(), 1);
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        assert!(matches!(
+            build_property_generator("nope", &[], 0),
+            Err(RegistryError::UnknownGenerator(_))
+        ));
+        assert!(matches!(
+            build_property_generator("uniform", &[GenArg::Num(5.0), GenArg::Num(1.0)], 0),
+            Err(RegistryError::BadArgs { .. })
+        ));
+        assert!(matches!(
+            build_property_generator("first_names", &[], 0),
+            Err(RegistryError::BadArgs { .. })
+        ));
+        assert!(matches!(
+            build_property_generator("date_between", &[GenArg::Text("x".into())], 0),
+            Err(RegistryError::BadArgs { .. })
+        ));
+        assert!(matches!(
+            build_property_generator("categorical", &[GenArg::Num(1.0)], 0),
+            Err(RegistryError::BadArgs { .. })
+        ));
+    }
+}

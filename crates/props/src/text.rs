@@ -1,0 +1,173 @@
+//! Synthetic text: sentences from the embedded vocabulary, optionally
+//! seeded with a topic dependency (the running example's `Message.text`
+//! given `Message.topic`).
+
+use datasynth_prng::SplitMix64;
+use datasynth_tables::{Value, ValueType};
+
+use crate::error::need_deps;
+use crate::{GenError, PropertyGenerator};
+
+/// Generates a sentence of `min..=max` filler words; when `topic_arity`
+/// is 1, the first dependency's text is woven into the sentence.
+#[derive(Debug, Clone)]
+pub struct SentenceGen {
+    min_words: u64,
+    max_words: u64,
+    topic_arity: usize,
+}
+
+impl SentenceGen {
+    /// Sentence with no dependencies.
+    pub fn new(min_words: u64, max_words: u64) -> Self {
+        assert!(min_words >= 1 && min_words <= max_words, "bad word range");
+        Self {
+            min_words,
+            max_words,
+            topic_arity: 0,
+        }
+    }
+
+    /// Sentence mentioning its (single) dependency value.
+    pub fn about_topic(min_words: u64, max_words: u64) -> Self {
+        let mut g = Self::new(min_words, max_words);
+        g.topic_arity = 1;
+        g
+    }
+}
+
+impl PropertyGenerator for SentenceGen {
+    fn name(&self) -> &'static str {
+        "sentence"
+    }
+
+    fn value_type(&self) -> ValueType {
+        ValueType::Text
+    }
+
+    fn arity(&self) -> usize {
+        self.topic_arity
+    }
+
+    fn generate(&self, _id: u64, rng: &mut SplitMix64, deps: &[Value]) -> Result<Value, GenError> {
+        need_deps("sentence", deps, self.topic_arity)?;
+        let words = crate::data::WORDS;
+        let len = rng.next_range_inclusive(self.min_words, self.max_words);
+        let mut out = String::with_capacity(len as usize * 6);
+        let topic_pos = if self.topic_arity == 1 {
+            Some(rng.next_below(len))
+        } else {
+            None
+        };
+        for i in 0..len {
+            if i > 0 {
+                out.push(' ');
+            }
+            if Some(i) == topic_pos {
+                out.push_str(&deps[0].render());
+            } else {
+                out.push_str(words[rng.next_below(words.len() as u64) as usize]);
+            }
+        }
+        Ok(Value::Text(out))
+    }
+}
+
+/// Formats dependencies into a template: `{0}`, `{1}`, ... are replaced by
+/// the rendered dependency values, `{id}` by the instance id.
+#[derive(Debug, Clone)]
+pub struct TemplateGen {
+    template: String,
+    arity: usize,
+}
+
+impl TemplateGen {
+    /// Create from a template string; arity is the number of distinct
+    /// `{k}` placeholders expected as dependencies.
+    pub fn new(template: impl Into<String>, arity: usize) -> Self {
+        Self {
+            template: template.into(),
+            arity,
+        }
+    }
+}
+
+impl PropertyGenerator for TemplateGen {
+    fn name(&self) -> &'static str {
+        "template"
+    }
+
+    fn value_type(&self) -> ValueType {
+        ValueType::Text
+    }
+
+    fn arity(&self) -> usize {
+        self.arity
+    }
+
+    fn generate(&self, id: u64, _rng: &mut SplitMix64, deps: &[Value]) -> Result<Value, GenError> {
+        need_deps("template", deps, self.arity)?;
+        let mut out = self.template.replace("{id}", &id.to_string());
+        for (i, dep) in deps.iter().enumerate().take(self.arity) {
+            out = out.replace(&format!("{{{i}}}"), &dep.render());
+        }
+        Ok(Value::Text(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasynth_prng::TableStream;
+
+    #[test]
+    fn sentence_length_bounds() {
+        let g = SentenceGen::new(3, 7);
+        let s = TableStream::derive(1, "text");
+        for id in 0..300 {
+            let mut rng = s.substream(id);
+            let v = g.generate(id, &mut rng, &[]).unwrap();
+            let count = v.as_text().unwrap().split(' ').count();
+            assert!((3..=7).contains(&count), "{count} words");
+        }
+    }
+
+    #[test]
+    fn topic_sentence_mentions_topic() {
+        let g = SentenceGen::about_topic(4, 8);
+        let s = TableStream::derive(1, "text");
+        for id in 0..100 {
+            let mut rng = s.substream(id);
+            let v = g
+                .generate(id, &mut rng, &[Value::Text("astronomy".into())])
+                .unwrap();
+            assert!(
+                v.as_text().unwrap().contains("astronomy"),
+                "missing topic in {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn template_substitution() {
+        let g = TemplateGen::new("user-{id}: {0} from {1}", 2);
+        let s = TableStream::derive(1, "t");
+        let mut rng = s.substream(42);
+        let v = g
+            .generate(
+                42,
+                &mut rng,
+                &[Value::Text("Ana".into()), Value::Text("Spain".into())],
+            )
+            .unwrap();
+        assert_eq!(v.as_text().unwrap(), "user-42: Ana from Spain");
+    }
+
+    #[test]
+    fn template_missing_deps() {
+        let g = TemplateGen::new("{0}", 1);
+        let s = TableStream::derive(1, "t");
+        let mut rng = s.substream(0);
+        assert!(g.generate(0, &mut rng, &[]).is_err());
+    }
+}

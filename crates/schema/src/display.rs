@@ -1,0 +1,161 @@
+//! Pretty-print a schema back into DSL text (round-trips with the parser).
+
+use std::fmt::Write as _;
+
+use crate::model::{EdgeType, GeneratorSpec, NodeType, PropertyDef, Schema, SpecArg};
+
+impl Schema {
+    /// Render as canonical DSL text.
+    pub fn to_dsl(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "graph {} {{", self.name);
+        for node in &self.nodes {
+            render_node(&mut out, node);
+        }
+        for edge in &self.edges {
+            render_edge(&mut out, edge);
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn render_node(out: &mut String, node: &NodeType) {
+    let _ = write!(out, "  node {}", node.name);
+    if let Some(c) = node.count {
+        let _ = write!(out, " [count = {c}]");
+    }
+    out.push_str(" {\n");
+    for prop in &node.properties {
+        render_property(out, prop);
+    }
+    out.push_str("  }\n");
+}
+
+fn render_edge(out: &mut String, edge: &EdgeType) {
+    let link = if edge.directed { "->" } else { "--" };
+    let _ = write!(
+        out,
+        "  edge {}: {} {} {} [{}",
+        edge.name,
+        edge.source,
+        link,
+        edge.target,
+        edge.cardinality.keyword()
+    );
+    if let Some(c) = edge.count {
+        let _ = write!(out, ", count = {c}");
+    }
+    out.push_str("] {\n");
+    if let Some(s) = &edge.structure {
+        let _ = writeln!(out, "    structure = {};", render_call(s));
+    }
+    if let Some(c) = &edge.correlation {
+        let _ = writeln!(
+            out,
+            "    correlate {} with {};",
+            c.property,
+            render_call(&c.jpd)
+        );
+    }
+    for prop in &edge.properties {
+        render_property(out, prop);
+    }
+    out.push_str("  }\n");
+}
+
+fn render_property(out: &mut String, prop: &PropertyDef) {
+    let _ = write!(
+        out,
+        "    {}: {} = {}",
+        prop.name,
+        prop.value_type.keyword(),
+        render_call(&prop.generator)
+    );
+    if !prop.dependencies.is_empty() {
+        let deps: Vec<String> = prop.dependencies.iter().map(|d| d.render()).collect();
+        let _ = write!(out, " given ({})", deps.join(", "));
+    }
+    out.push_str(";\n");
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn render_call(spec: &GeneratorSpec) -> String {
+    let mut s = spec.name.clone();
+    s.push('(');
+    for (i, arg) in spec.args.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        match arg {
+            SpecArg::Num(v) => {
+                let _ = write!(s, "{v}");
+            }
+            SpecArg::Text(t) => {
+                let _ = write!(s, "\"{}\"", escape(t));
+            }
+            SpecArg::Weighted(label, w) => {
+                let _ = write!(s, "\"{}\": {w}", escape(label));
+            }
+            SpecArg::Named(k, v) => {
+                let _ = write!(s, "{k} = {v}");
+            }
+            SpecArg::NamedText(k, v) => {
+                let _ = write!(s, "{k} = \"{}\"", escape(v));
+            }
+        }
+    }
+    s.push(')');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_schema;
+
+    const SRC: &str = r#"graph social {
+  node Person [count = 100] {
+    country: text = dictionary("countries");
+    sex: text = categorical("M": 0.5, "F": 0.5);
+    name: text = first_names() given (country, sex);
+  }
+  edge knows: Person -- Person [many_to_many] {
+    structure = lfr(avg_degree = 20);
+    correlate country with homophily(0.8);
+    since: date = date_after(30) given (source.country, target.country);
+  }
+}"#;
+
+    #[test]
+    fn dsl_roundtrip_is_stable() {
+        // The running example's date deps are dates, not countries — adjust
+        // for a self-contained source. Parse → print → parse → compare.
+        let src = SRC.replace(
+            "given (source.country, target.country)",
+            "given (source.country)",
+        );
+        // date_after on a text dep would fail generation but parses; the
+        // schema level only checks existence.
+        let schema1 = parse_schema(&src).unwrap();
+        let printed = schema1.to_dsl();
+        let schema2 = parse_schema(&printed).unwrap();
+        assert_eq!(schema1, schema2, "printed DSL:\n{printed}");
+    }
+
+    #[test]
+    fn printing_includes_all_clauses() {
+        let schema = parse_schema(&SRC.replace(
+            "given (source.country, target.country)",
+            "given (source.country)",
+        ))
+        .unwrap();
+        let text = schema.to_dsl();
+        assert!(text.contains("correlate country with homophily(0.8)"));
+        assert!(text.contains("structure = lfr(avg_degree = 20)"));
+        assert!(text.contains("categorical(\"M\": 0.5, \"F\": 0.5)"));
+        assert!(text.contains("[count = 100]"));
+    }
+}

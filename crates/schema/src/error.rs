@@ -1,0 +1,57 @@
+//! Schema errors with source positions.
+
+use std::fmt;
+
+/// An error raised while lexing, parsing or validating a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line (0 when the error has no position, e.g. validation).
+    pub line: u32,
+    /// 1-based column.
+    pub column: u32,
+}
+
+impl SchemaError {
+    /// Error with a position.
+    pub fn at(message: impl Into<String>, line: u32, column: u32) -> Self {
+        Self {
+            message: message.into(),
+            line,
+            column,
+        }
+    }
+
+    /// Position-free error (validation).
+    pub fn general(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            line: 0,
+            column: 0,
+        }
+    }
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "{}:{}: {}", self.line, self.column, self.message)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position_when_present() {
+        assert_eq!(SchemaError::at("oops", 3, 7).to_string(), "3:7: oops");
+        assert_eq!(SchemaError::general("oops").to_string(), "oops");
+    }
+}

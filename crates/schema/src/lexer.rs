@@ -1,0 +1,323 @@
+//! Hand-rolled lexer for the schema DSL.
+
+use crate::error::SchemaError;
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Numeric literal.
+    Num(f64),
+    /// Quoted string literal (unescaped).
+    Str(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// `.`
+    Dot,
+    /// `->`
+    Arrow,
+    /// `--`
+    DashDash,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Kind and payload.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub column: u32,
+}
+
+/// Tokenize DSL source. `//` comments run to end of line.
+pub fn lex(src: &str) -> Result<Vec<Token>, SchemaError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let (mut line, mut col) = (1u32, 1u32);
+    let mut push = |tok: Tok, line: u32, col: u32| out.push(Token { tok, line, column: col });
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let (tl, tc) = (line, col);
+        match c {
+            '\n' => {
+                line += 1;
+                col = 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                col += 1;
+                i += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '{' => {
+                push(Tok::LBrace, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            '}' => {
+                push(Tok::RBrace, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            '(' => {
+                push(Tok::LParen, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            ')' => {
+                push(Tok::RParen, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            '[' => {
+                push(Tok::LBracket, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            ']' => {
+                push(Tok::RBracket, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            ':' => {
+                push(Tok::Colon, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            ';' => {
+                push(Tok::Semi, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            ',' => {
+                push(Tok::Comma, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            '=' => {
+                push(Tok::Eq, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            '.' => {
+                push(Tok::Dot, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            '-' => {
+                match bytes.get(i + 1) {
+                    Some(&b'>') => {
+                        push(Tok::Arrow, tl, tc);
+                        i += 2;
+                        col += 2;
+                    }
+                    Some(&b'-') => {
+                        push(Tok::DashDash, tl, tc);
+                        i += 2;
+                        col += 2;
+                    }
+                    Some(b) if b.is_ascii_digit() => {
+                        // Negative number literal.
+                        let (num, len) = lex_number(&src[i..], tl, tc)?;
+                        push(Tok::Num(num), tl, tc);
+                        i += len;
+                        col += len as u32;
+                    }
+                    _ => {
+                        return Err(SchemaError::at("stray '-'", tl, tc));
+                    }
+                }
+            }
+            '"' => {
+                let mut s = String::new();
+                let mut j = i + 1;
+                let mut closed = false;
+                while j < bytes.len() {
+                    match bytes[j] as char {
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
+                        '\n' => break,
+                        '\\' if bytes.get(j + 1) == Some(&b'"') => {
+                            s.push('"');
+                            j += 2;
+                        }
+                        '\\' if bytes.get(j + 1) == Some(&b'\\') => {
+                            s.push('\\');
+                            j += 2;
+                        }
+                        ch => {
+                            s.push(ch);
+                            j += 1;
+                        }
+                    }
+                }
+                if !closed {
+                    return Err(SchemaError::at("unterminated string", tl, tc));
+                }
+                let consumed = j + 1 - i;
+                push(Tok::Str(s), tl, tc);
+                i += consumed;
+                col += consumed as u32;
+            }
+            c if c.is_ascii_digit() => {
+                let (num, len) = lex_number(&src[i..], tl, tc)?;
+                push(Tok::Num(num), tl, tc);
+                i += len;
+                col += len as u32;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let ch = bytes[i] as char;
+                    if ch.is_alphanumeric() || ch == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &src[start..i];
+                col += (i - start) as u32;
+                push(Tok::Ident(text.to_owned()), tl, tc);
+            }
+            other => {
+                return Err(SchemaError::at(format!("unexpected character {other:?}"), tl, tc));
+            }
+        }
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        line,
+        column: col,
+    });
+    Ok(out)
+}
+
+fn lex_number(rest: &str, line: u32, col: u32) -> Result<(f64, usize), SchemaError> {
+    let bytes = rest.as_bytes();
+    let mut len = 0usize;
+    if bytes.first() == Some(&b'-') {
+        len += 1;
+    }
+    let mut seen_dot = false;
+    while len < bytes.len() {
+        match bytes[len] {
+            b'0'..=b'9' | b'_' => len += 1,
+            b'.' if !seen_dot && bytes.get(len + 1).is_some_and(u8::is_ascii_digit) => {
+                seen_dot = true;
+                len += 1;
+            }
+            _ => break,
+        }
+    }
+    let text: String = rest[..len].chars().filter(|&c| c != '_').collect();
+    text.parse::<f64>()
+        .map(|v| (v, len))
+        .map_err(|_| SchemaError::at(format!("bad number {text:?}"), line, col))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("node Person { }"),
+            vec![
+                Tok::Ident("node".into()),
+                Tok::Ident("Person".into()),
+                Tok::LBrace,
+                Tok::RBrace,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn arrows_and_dashes() {
+        assert_eq!(
+            kinds("Person -> Message -- x"),
+            vec![
+                Tok::Ident("Person".into()),
+                Tok::Arrow,
+                Tok::Ident("Message".into()),
+                Tok::DashDash,
+                Tok::Ident("x".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_including_underscores_and_negatives() {
+        assert_eq!(
+            kinds("10_000 0.4 -3.5"),
+            vec![Tok::Num(10_000.0), Tok::Num(0.4), Tok::Num(-3.5), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""hello \"there\"""#),
+            vec![Tok::Str("hello \"there\"".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a // comment\nb"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!((toks[1].line, toks[1].column), (2, 3));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("#").is_err());
+        let e = lex("x\n  @").unwrap_err();
+        assert_eq!((e.line, e.column), (2, 3));
+    }
+}

@@ -1,0 +1,49 @@
+//! The DataSynth schema model and DSL.
+//!
+//! The paper's pipeline starts from a schema "expressed in a domain
+//! specific language (DSL), that allows expressing all the needs identified
+//! by the schema, structural, distributions and scale factor requirements"
+//! (§4). The paper deliberately leaves the DSL's design open; this crate
+//! defines a concrete one. The running example looks like:
+//!
+//! ```text
+//! graph social {
+//!   node Person [count = 10000] {
+//!     country: text = dictionary("countries");
+//!     sex: text = categorical("M": 0.5, "F": 0.5);
+//!     name: text = first_names() given (country, sex);
+//!     creationDate: date = date_between("2010-01-01", "2013-01-01");
+//!   }
+//!   node Message {
+//!     topic: text = dictionary("topics");
+//!     text: text = sentence_about(5, 20) given (topic);
+//!   }
+//!   edge knows: Person -- Person [many_to_many] {
+//!     structure = lfr(avg_degree = 20, max_degree = 50, mixing = 0.1);
+//!     correlate country with homophily(0.8);
+//!     creationDate: date = date_after(30)
+//!         given (source.creationDate, target.creationDate);
+//!   }
+//!   edge creates: Person -> Message [one_to_many] {
+//!     structure = one_to_many(dist = "zipf", exponent = 1.5, max = 100);
+//!   }
+//! }
+//! ```
+//!
+//! [`parse_schema`] turns DSL text into a validated [`Schema`];
+//! [`Schema::to_dsl`] pretty-prints it back (the two round-trip).
+
+mod display;
+mod error;
+mod lexer;
+mod model;
+mod parser;
+mod validate;
+
+pub use error::SchemaError;
+pub use model::{
+    Cardinality, CorrelationSpec, DepRef, EdgeType, GeneratorSpec, NodeType, PropertyDef, Schema,
+    SpecArg,
+};
+pub use parser::parse_schema;
+pub use validate::validate_schema;

@@ -1,0 +1,252 @@
+//! Schema data model: what the DSL parses into and the pipeline consumes.
+
+use datasynth_tables::ValueType;
+
+/// Edge cardinality (the paper's `*→*`, `1→*`, `1→1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Cardinality {
+    /// Bijection between source and target instances.
+    OneToOne,
+    /// Each target instance has exactly one source (e.g. `creates`).
+    OneToMany,
+    /// Unrestricted (e.g. `knows`).
+    #[default]
+    ManyToMany,
+}
+
+impl Cardinality {
+    /// DSL keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            Cardinality::OneToOne => "one_to_one",
+            Cardinality::OneToMany => "one_to_many",
+            Cardinality::ManyToMany => "many_to_many",
+        }
+    }
+
+    /// Parse a DSL keyword.
+    pub fn from_keyword(kw: &str) -> Option<Self> {
+        Some(match kw {
+            "one_to_one" => Cardinality::OneToOne,
+            "one_to_many" => Cardinality::OneToMany,
+            "many_to_many" => Cardinality::ManyToMany,
+            _ => return None,
+        })
+    }
+}
+
+/// One argument of a generator/structure/correlation call.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum SpecArg {
+    /// Positional number: `uniform(0, 100)`.
+    Num(f64),
+    /// Positional string: `dictionary("countries")`.
+    Text(String),
+    /// Weighted label: `categorical("M": 0.5, ...)`.
+    Weighted(String, f64),
+    /// Named number: `lfr(avg_degree = 20)`.
+    Named(String, f64),
+    /// Named string: `one_to_many(dist = "zipf")`.
+    NamedText(String, String),
+}
+
+/// A call to a pluggable generator: name plus arguments.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GeneratorSpec {
+    /// Registry name.
+    pub name: String,
+    /// Arguments in call order.
+    pub args: Vec<SpecArg>,
+}
+
+impl GeneratorSpec {
+    /// Spec with no arguments.
+    pub fn bare(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            args: Vec::new(),
+        }
+    }
+
+    /// Look up a named numeric argument.
+    pub fn named_num(&self, key: &str) -> Option<f64> {
+        self.args.iter().find_map(|a| match a {
+            SpecArg::Named(k, v) if k == key => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// Look up a named string argument.
+    pub fn named_text(&self, key: &str) -> Option<&str> {
+        self.args.iter().find_map(|a| match a {
+            SpecArg::NamedText(k, v) if k == key => Some(v.as_str()),
+            _ => None,
+        })
+    }
+}
+
+/// A dependency reference in a `given (...)` clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum DepRef {
+    /// Property of the same node/edge type.
+    Own(String),
+    /// Property of the edge's source node (edge properties only).
+    Source(String),
+    /// Property of the edge's target node (edge properties only).
+    Target(String),
+}
+
+impl DepRef {
+    /// DSL rendering.
+    pub fn render(&self) -> String {
+        match self {
+            DepRef::Own(p) => p.clone(),
+            DepRef::Source(p) => format!("source.{p}"),
+            DepRef::Target(p) => format!("target.{p}"),
+        }
+    }
+}
+
+/// A property declaration.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PropertyDef {
+    /// Property name.
+    pub name: String,
+    /// Column type.
+    pub value_type: ValueType,
+    /// Generator call.
+    pub generator: GeneratorSpec,
+    /// Declared dependencies (`given (...)`).
+    pub dependencies: Vec<DepRef>,
+}
+
+/// A node type declaration.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NodeType {
+    /// Type name.
+    pub name: String,
+    /// Explicit instance count (`[count = N]`), if any.
+    pub count: Option<u64>,
+    /// Properties in declaration order.
+    pub properties: Vec<PropertyDef>,
+}
+
+impl NodeType {
+    /// Look up a property by name.
+    pub fn property(&self, name: &str) -> Option<&PropertyDef> {
+        self.properties.iter().find(|p| p.name == name)
+    }
+}
+
+/// A property–structure correlation clause.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CorrelationSpec {
+    /// The (source-type) node property whose values correlate with the
+    /// structure.
+    pub property: String,
+    /// The target JPD: `homophily(diag)`, `uniform()`, ...
+    pub jpd: GeneratorSpec,
+}
+
+/// An edge type declaration.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EdgeType {
+    /// Edge type name.
+    pub name: String,
+    /// Source node type.
+    pub source: String,
+    /// Target node type.
+    pub target: String,
+    /// Whether the DSL used `--` (undirected rendering) or `->`.
+    pub directed: bool,
+    /// Cardinality.
+    pub cardinality: Cardinality,
+    /// Explicit edge count (`[count = N]`), if any.
+    pub count: Option<u64>,
+    /// Structure generator (`structure = ...`); defaults applied by the
+    /// pipeline when absent.
+    pub structure: Option<GeneratorSpec>,
+    /// Property–structure correlation, if declared.
+    pub correlation: Option<CorrelationSpec>,
+    /// Edge properties in declaration order.
+    pub properties: Vec<PropertyDef>,
+}
+
+/// A full schema.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Schema {
+    /// Graph name.
+    pub name: String,
+    /// Node types in declaration order.
+    pub nodes: Vec<NodeType>,
+    /// Edge types in declaration order.
+    pub edges: Vec<EdgeType>,
+}
+
+impl Schema {
+    /// Look up a node type by name.
+    pub fn node_type(&self, name: &str) -> Option<&NodeType> {
+        self.nodes.iter().find(|n| n.name == name)
+    }
+
+    /// Look up an edge type by name.
+    pub fn edge_type(&self, name: &str) -> Option<&EdgeType> {
+        self.edges.iter().find(|e| e.name == name)
+    }
+
+    /// Number of property tables the schema implies (the paper counts
+    /// eight for the running example).
+    pub fn property_table_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.properties.len()).sum::<usize>()
+            + self.edges.iter().map(|e| e.properties.len()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinality_keywords_roundtrip() {
+        for c in [
+            Cardinality::OneToOne,
+            Cardinality::OneToMany,
+            Cardinality::ManyToMany,
+        ] {
+            assert_eq!(Cardinality::from_keyword(c.keyword()), Some(c));
+        }
+        assert_eq!(Cardinality::from_keyword("n_to_m"), None);
+    }
+
+    #[test]
+    fn generator_spec_lookups() {
+        let spec = GeneratorSpec {
+            name: "lfr".into(),
+            args: vec![
+                SpecArg::Named("avg_degree".into(), 20.0),
+                SpecArg::NamedText("mode".into(), "fast".into()),
+            ],
+        };
+        assert_eq!(spec.named_num("avg_degree"), Some(20.0));
+        assert_eq!(spec.named_num("missing"), None);
+        assert_eq!(spec.named_text("mode"), Some("fast"));
+    }
+
+    #[test]
+    fn dep_ref_rendering() {
+        assert_eq!(DepRef::Own("country".into()).render(), "country");
+        assert_eq!(
+            DepRef::Source("creationDate".into()).render(),
+            "source.creationDate"
+        );
+    }
+}

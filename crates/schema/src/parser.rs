@@ -1,0 +1,436 @@
+//! Recursive-descent parser for the schema DSL.
+
+use datasynth_tables::ValueType;
+
+use crate::error::SchemaError;
+use crate::lexer::{lex, Tok, Token};
+use crate::model::{
+    Cardinality, CorrelationSpec, DepRef, EdgeType, GeneratorSpec, NodeType, PropertyDef, Schema,
+    SpecArg,
+};
+use crate::validate::validate_schema;
+
+/// Parse and validate a schema from DSL text.
+pub fn parse_schema(src: &str) -> Result<Schema, SchemaError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let schema = p.schema()?;
+    validate_schema(&schema)?;
+    Ok(schema)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_here(&self, msg: impl Into<String>) -> SchemaError {
+        let t = self.peek();
+        SchemaError::at(msg, t.line, t.column)
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<(), SchemaError> {
+        if &self.peek().tok == tok {
+            self.next();
+            Ok(())
+        } else {
+            Err(self.err_here(format!("expected {what}, found {:?}", self.peek().tok)))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, SchemaError> {
+        match self.peek().tok.clone() {
+            Tok::Ident(s) => {
+                self.next();
+                Ok(s)
+            }
+            other => Err(self.err_here(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), SchemaError> {
+        match &self.peek().tok {
+            Tok::Ident(s) if s == kw => {
+                self.next();
+                Ok(())
+            }
+            other => Err(self.err_here(format!("expected keyword {kw:?}, found {other:?}"))),
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().tok, Tok::Ident(s) if s == kw)
+    }
+
+    fn schema(&mut self) -> Result<Schema, SchemaError> {
+        self.keyword("graph")?;
+        let name = self.ident("graph name")?;
+        self.expect(&Tok::LBrace, "'{'")?;
+        let mut nodes = Vec::new();
+        let mut edges = Vec::new();
+        loop {
+            if self.peek_keyword("node") {
+                nodes.push(self.node_type()?);
+            } else if self.peek_keyword("edge") {
+                edges.push(self.edge_type()?);
+            } else if self.peek().tok == Tok::RBrace {
+                self.next();
+                break;
+            } else {
+                return Err(self.err_here("expected 'node', 'edge' or '}'"));
+            }
+        }
+        if self.peek().tok != Tok::Eof {
+            return Err(self.err_here("trailing input after closing '}'"));
+        }
+        Ok(Schema { name, nodes, edges })
+    }
+
+    /// `[count = N]` and similar bracketed attributes.
+    fn attributes(&mut self) -> Result<(Option<u64>, Option<Cardinality>), SchemaError> {
+        let mut count = None;
+        let mut cardinality = None;
+        while self.peek().tok == Tok::LBracket {
+            self.next();
+            loop {
+                let key = self.ident("attribute")?;
+                match key.as_str() {
+                    "count" => {
+                        self.expect(&Tok::Eq, "'='")?;
+                        match self.next().tok {
+                            Tok::Num(v) if v >= 0.0 && v.fract() == 0.0 => {
+                                count = Some(v as u64);
+                            }
+                            _ => return Err(self.err_here("count must be a nonnegative integer")),
+                        }
+                    }
+                    kw => match Cardinality::from_keyword(kw) {
+                        Some(c) => cardinality = Some(c),
+                        None => {
+                            return Err(self.err_here(format!("unknown attribute {kw:?}")));
+                        }
+                    },
+                }
+                if self.peek().tok == Tok::Comma {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+            self.expect(&Tok::RBracket, "']'")?;
+        }
+        Ok((count, cardinality))
+    }
+
+    fn node_type(&mut self) -> Result<NodeType, SchemaError> {
+        self.keyword("node")?;
+        let name = self.ident("node type name")?;
+        let (count, cardinality) = self.attributes()?;
+        if cardinality.is_some() {
+            return Err(self.err_here("cardinality attribute is only valid on edges"));
+        }
+        self.expect(&Tok::LBrace, "'{'")?;
+        let mut properties = Vec::new();
+        while self.peek().tok != Tok::RBrace {
+            properties.push(self.property(false)?);
+        }
+        self.next(); // consume '}'
+        Ok(NodeType {
+            name,
+            count,
+            properties,
+        })
+    }
+
+    fn edge_type(&mut self) -> Result<EdgeType, SchemaError> {
+        self.keyword("edge")?;
+        let name = self.ident("edge type name")?;
+        self.expect(&Tok::Colon, "':'")?;
+        let source = self.ident("source node type")?;
+        let directed = match self.next().tok {
+            Tok::Arrow => true,
+            Tok::DashDash => false,
+            other => {
+                return Err(self.err_here(format!("expected '->' or '--', found {other:?}")));
+            }
+        };
+        let target = self.ident("target node type")?;
+        let (count, cardinality) = self.attributes()?;
+        self.expect(&Tok::LBrace, "'{'")?;
+        let mut structure = None;
+        let mut correlation = None;
+        let mut properties = Vec::new();
+        while self.peek().tok != Tok::RBrace {
+            if self.peek_keyword("structure") {
+                self.next();
+                self.expect(&Tok::Eq, "'='")?;
+                structure = Some(self.generator_call()?);
+                self.expect(&Tok::Semi, "';'")?;
+            } else if self.peek_keyword("correlate") {
+                self.next();
+                let property = self.ident("property name")?;
+                self.keyword("with")?;
+                let jpd = self.generator_call()?;
+                self.expect(&Tok::Semi, "';'")?;
+                correlation = Some(CorrelationSpec { property, jpd });
+            } else {
+                properties.push(self.property(true)?);
+            }
+        }
+        self.next(); // consume '}'
+        Ok(EdgeType {
+            name,
+            source,
+            target,
+            directed,
+            cardinality: cardinality.unwrap_or_default(),
+            count,
+            structure,
+            correlation,
+            properties,
+        })
+    }
+
+    fn property(&mut self, is_edge: bool) -> Result<PropertyDef, SchemaError> {
+        let name = self.ident("property name")?;
+        self.expect(&Tok::Colon, "':'")?;
+        let ty_name = self.ident("value type")?;
+        let value_type = ValueType::from_keyword(&ty_name)
+            .ok_or_else(|| self.err_here(format!("unknown type {ty_name:?}")))?;
+        self.expect(&Tok::Eq, "'='")?;
+        let generator = self.generator_call()?;
+        let mut dependencies = Vec::new();
+        if self.peek_keyword("given") {
+            self.next();
+            self.expect(&Tok::LParen, "'('")?;
+            loop {
+                dependencies.push(self.dep_ref(is_edge)?);
+                if self.peek().tok == Tok::Comma {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+            self.expect(&Tok::RParen, "')'")?;
+        }
+        self.expect(&Tok::Semi, "';'")?;
+        Ok(PropertyDef {
+            name,
+            value_type,
+            generator,
+            dependencies,
+        })
+    }
+
+    fn dep_ref(&mut self, is_edge: bool) -> Result<DepRef, SchemaError> {
+        let first = self.ident("dependency")?;
+        if self.peek().tok == Tok::Dot {
+            self.next();
+            let prop = self.ident("property name")?;
+            if !is_edge {
+                return Err(
+                    self.err_here("source./target. dependencies are only valid on edge properties")
+                );
+            }
+            return match first.as_str() {
+                "source" => Ok(DepRef::Source(prop)),
+                "target" => Ok(DepRef::Target(prop)),
+                other => Err(self.err_here(format!(
+                    "dependency qualifier must be 'source' or 'target', found {other:?}"
+                ))),
+            };
+        }
+        Ok(DepRef::Own(first))
+    }
+
+    fn generator_call(&mut self) -> Result<GeneratorSpec, SchemaError> {
+        let name = self.ident("generator name")?;
+        let mut args = Vec::new();
+        if self.peek().tok == Tok::LParen {
+            self.next();
+            if self.peek().tok != Tok::RParen {
+                loop {
+                    args.push(self.spec_arg()?);
+                    if self.peek().tok == Tok::Comma {
+                        self.next();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(&Tok::RParen, "')'")?;
+        }
+        Ok(GeneratorSpec { name, args })
+    }
+
+    fn spec_arg(&mut self) -> Result<SpecArg, SchemaError> {
+        match self.peek().tok.clone() {
+            Tok::Num(v) => {
+                self.next();
+                Ok(SpecArg::Num(v))
+            }
+            Tok::Str(s) => {
+                self.next();
+                if self.peek().tok == Tok::Colon {
+                    self.next();
+                    match self.next().tok {
+                        Tok::Num(w) => Ok(SpecArg::Weighted(s, w)),
+                        _ => Err(self.err_here("expected weight after ':'")),
+                    }
+                } else {
+                    Ok(SpecArg::Text(s))
+                }
+            }
+            Tok::Ident(key) => {
+                self.next();
+                self.expect(&Tok::Eq, "'=' (named argument)")?;
+                match self.next().tok {
+                    Tok::Num(v) => Ok(SpecArg::Named(key, v)),
+                    Tok::Str(s) => Ok(SpecArg::NamedText(key, s)),
+                    other => {
+                        Err(self.err_here(format!("expected value after '=', found {other:?}")))
+                    }
+                }
+            }
+            other => Err(self.err_here(format!("expected argument, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full running example from Figure 1.
+    pub(crate) const RUNNING_EXAMPLE: &str = r#"
+graph social {
+  node Person [count = 1000] {
+    country: text = dictionary("countries");
+    sex: text = categorical("M": 0.5, "F": 0.5);
+    name: text = first_names() given (country, sex);
+    interest: text = dictionary("topics");
+    creationDate: date = date_between("2010-01-01", "2013-01-01");
+  }
+  node Message {
+    topic: text = dictionary("topics");
+    text: text = sentence_about(5, 20) given (topic);
+  }
+  edge knows: Person -- Person [many_to_many] {
+    structure = lfr(avg_degree = 20, max_degree = 50, mixing = 0.1);
+    correlate country with homophily(0.8);
+    creationDate: date = date_after(30) given (source.creationDate, target.creationDate);
+  }
+  edge creates: Person -> Message [one_to_many] {
+    structure = one_to_many(dist = "zipf", exponent = 1.5, max = 100);
+    creationDate: date = date_after(365) given (source.creationDate);
+  }
+}
+"#;
+
+    #[test]
+    fn parses_the_running_example() {
+        let schema = parse_schema(RUNNING_EXAMPLE).unwrap();
+        assert_eq!(schema.name, "social");
+        assert_eq!(schema.nodes.len(), 2);
+        assert_eq!(schema.edges.len(), 2);
+        let person = schema.node_type("Person").unwrap();
+        assert_eq!(person.count, Some(1000));
+        assert_eq!(person.properties.len(), 5);
+        let name = person.property("name").unwrap();
+        assert_eq!(
+            name.dependencies,
+            vec![DepRef::Own("country".into()), DepRef::Own("sex".into())]
+        );
+        let knows = schema.edge_type("knows").unwrap();
+        assert!(!knows.directed);
+        assert_eq!(knows.cardinality, Cardinality::ManyToMany);
+        assert_eq!(
+            knows.correlation.as_ref().unwrap().property,
+            "country"
+        );
+        assert_eq!(
+            knows.structure.as_ref().unwrap().named_num("avg_degree"),
+            Some(20.0)
+        );
+        let creates = schema.edge_type("creates").unwrap();
+        assert!(creates.directed);
+        assert_eq!(creates.cardinality, Cardinality::OneToMany);
+        assert_eq!(
+            creates.properties[0].dependencies,
+            vec![DepRef::Source("creationDate".into())]
+        );
+        // The paper counts 8 property tables for this schema.
+        assert_eq!(schema.property_table_count(), 5 + 2 + 1 + 1);
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse_schema("graph g {\n  blah\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("node"));
+    }
+
+    #[test]
+    fn rejects_cardinality_on_nodes() {
+        let err =
+            parse_schema("graph g { node A [one_to_one] { x: long = counter(); } }").unwrap_err();
+        assert!(err.message.contains("only valid on edges"));
+    }
+
+    #[test]
+    fn rejects_qualified_deps_on_node_properties() {
+        let src = r#"graph g {
+            node A { x: long = counter(); y: long = counter() given (source.x); }
+        }"#;
+        let err = parse_schema(src).unwrap_err();
+        assert!(err.message.contains("only valid on edge properties"));
+    }
+
+    #[test]
+    fn rejects_unknown_type() {
+        let err = parse_schema("graph g { node A { x: blob = counter(); } }").unwrap_err();
+        assert!(err.message.contains("unknown type"));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let err = parse_schema("graph g { } extra").unwrap_err();
+        assert!(err.message.contains("trailing"));
+    }
+
+    #[test]
+    fn weighted_and_named_args() {
+        let src = r#"graph g {
+            node A {
+                s: text = categorical("a": 1, "b": 2.5);
+            }
+            edge e: A -- A {
+                structure = rmat(a = 0.57, edge_factor = 8);
+            }
+        }"#;
+        let schema = parse_schema(src).unwrap();
+        let s = &schema.nodes[0].properties[0].generator;
+        assert_eq!(
+            s.args,
+            vec![
+                SpecArg::Weighted("a".into(), 1.0),
+                SpecArg::Weighted("b".into(), 2.5)
+            ]
+        );
+        let e = schema.edges[0].structure.as_ref().unwrap();
+        assert_eq!(e.named_num("edge_factor"), Some(8.0));
+    }
+}

@@ -1,0 +1,319 @@
+//! Semantic validation: name uniqueness, dependency resolution, acyclicity
+//! — everything the dependency analysis (§4.2) needs to hold before the
+//! pipeline runs.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::error::SchemaError;
+use crate::model::{Cardinality, DepRef, EdgeType, NodeType, Schema};
+
+/// Validate a parsed schema. Returns the first problem found.
+pub fn validate_schema(schema: &Schema) -> Result<(), SchemaError> {
+    let mut node_names = HashSet::new();
+    for node in &schema.nodes {
+        if !node_names.insert(&node.name) {
+            return Err(SchemaError::general(format!(
+                "duplicate node type {:?}",
+                node.name
+            )));
+        }
+        validate_node_properties(node)?;
+    }
+    let mut edge_names = HashSet::new();
+    for edge in &schema.edges {
+        if !edge_names.insert(&edge.name) {
+            return Err(SchemaError::general(format!(
+                "duplicate edge type {:?}",
+                edge.name
+            )));
+        }
+        if node_names.contains(&edge.name) {
+            return Err(SchemaError::general(format!(
+                "edge type {:?} collides with a node type name",
+                edge.name
+            )));
+        }
+        validate_edge(schema, edge)?;
+    }
+    Ok(())
+}
+
+fn validate_node_properties(node: &NodeType) -> Result<(), SchemaError> {
+    let mut names = HashSet::new();
+    for prop in &node.properties {
+        if !names.insert(&prop.name) {
+            return Err(SchemaError::general(format!(
+                "duplicate property {}.{}",
+                node.name, prop.name
+            )));
+        }
+        for dep in &prop.dependencies {
+            match dep {
+                DepRef::Own(p) => {
+                    if node.property(p).is_none() {
+                        return Err(SchemaError::general(format!(
+                            "{}.{} depends on unknown property {:?}",
+                            node.name, prop.name, p
+                        )));
+                    }
+                }
+                _ => {
+                    return Err(SchemaError::general(format!(
+                        "{}.{} uses a source./target. dependency outside an edge",
+                        node.name, prop.name
+                    )));
+                }
+            }
+        }
+    }
+    detect_cycles(node)?;
+    Ok(())
+}
+
+/// DFS 3-color cycle detection over a node type's own-property deps.
+fn detect_cycles(node: &NodeType) -> Result<(), SchemaError> {
+    let index: HashMap<&str, usize> = node
+        .properties
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.name.as_str(), i))
+        .collect();
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color = vec![Color::White; node.properties.len()];
+    fn visit(
+        node: &NodeType,
+        index: &HashMap<&str, usize>,
+        color: &mut [Color],
+        i: usize,
+    ) -> Result<(), SchemaError> {
+        color[i] = Color::Gray;
+        for dep in &node.properties[i].dependencies {
+            if let DepRef::Own(p) = dep {
+                let j = index[p.as_str()];
+                match color[j] {
+                    Color::Gray => {
+                        return Err(SchemaError::general(format!(
+                            "dependency cycle through {}.{}",
+                            node.name, node.properties[j].name
+                        )));
+                    }
+                    Color::White => visit(node, index, color, j)?,
+                    Color::Black => {}
+                }
+            }
+        }
+        color[i] = Color::Black;
+        Ok(())
+    }
+    for i in 0..node.properties.len() {
+        if color[i] == Color::White {
+            visit(node, &index, &mut color, i)?;
+        }
+    }
+    Ok(())
+}
+
+fn validate_edge(schema: &Schema, edge: &EdgeType) -> Result<(), SchemaError> {
+    let source = schema.node_type(&edge.source).ok_or_else(|| {
+        SchemaError::general(format!(
+            "edge {:?} references unknown source type {:?}",
+            edge.name, edge.source
+        ))
+    })?;
+    let target = schema.node_type(&edge.target).ok_or_else(|| {
+        SchemaError::general(format!(
+            "edge {:?} references unknown target type {:?}",
+            edge.name, edge.target
+        ))
+    })?;
+    if edge.cardinality == Cardinality::ManyToMany
+        && edge.source != edge.target
+        && edge.structure.is_none()
+    {
+        return Err(SchemaError::general(format!(
+            "edge {:?}: many-to-many edges between different types need an explicit structure",
+            edge.name
+        )));
+    }
+    if let Some(corr) = &edge.correlation {
+        if edge.source != edge.target {
+            return Err(SchemaError::general(format!(
+                "edge {:?}: DSL correlations require both endpoints of type {:?}; \
+                 use the bipartite matching API for mixed-type edges",
+                edge.name, edge.source
+            )));
+        }
+        if source.property(&corr.property).is_none() {
+            return Err(SchemaError::general(format!(
+                "edge {:?} correlates on unknown property {}.{}",
+                edge.name, edge.source, corr.property
+            )));
+        }
+    }
+    let mut names = HashSet::new();
+    for prop in &edge.properties {
+        if !names.insert(&prop.name) {
+            return Err(SchemaError::general(format!(
+                "duplicate property {}.{}",
+                edge.name, prop.name
+            )));
+        }
+        for dep in &prop.dependencies {
+            match dep {
+                DepRef::Own(p) => {
+                    if !edge.properties.iter().any(|q| &q.name == p) {
+                        return Err(SchemaError::general(format!(
+                            "{}.{} depends on unknown edge property {:?}",
+                            edge.name, prop.name, p
+                        )));
+                    }
+                    if p == &prop.name {
+                        return Err(SchemaError::general(format!(
+                            "{}.{} depends on itself",
+                            edge.name, prop.name
+                        )));
+                    }
+                }
+                DepRef::Source(p) => {
+                    if source.property(p).is_none() {
+                        return Err(SchemaError::general(format!(
+                            "{}.{} depends on unknown property {}.{}",
+                            edge.name, prop.name, edge.source, p
+                        )));
+                    }
+                }
+                DepRef::Target(p) => {
+                    if target.property(p).is_none() {
+                        return Err(SchemaError::general(format!(
+                            "{}.{} depends on unknown property {}.{}",
+                            edge.name, prop.name, edge.target, p
+                        )));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_schema;
+
+    fn expect_error(src: &str, needle: &str) {
+        let err = parse_schema(src).unwrap_err();
+        assert!(
+            err.message.contains(needle),
+            "expected {needle:?} in {:?}",
+            err.message
+        );
+    }
+
+    #[test]
+    fn duplicate_node_type() {
+        expect_error(
+            "graph g { node A { x: long = counter(); } node A { y: long = counter(); } }",
+            "duplicate node type",
+        );
+    }
+
+    #[test]
+    fn duplicate_property() {
+        expect_error(
+            "graph g { node A { x: long = counter(); x: long = counter(); } }",
+            "duplicate property",
+        );
+    }
+
+    #[test]
+    fn unknown_dependency() {
+        expect_error(
+            "graph g { node A { x: long = counter() given (ghost); } }",
+            "unknown property",
+        );
+    }
+
+    #[test]
+    fn dependency_cycle() {
+        expect_error(
+            "graph g { node A { x: long = counter() given (y); y: long = counter() given (x); } }",
+            "cycle",
+        );
+    }
+
+    #[test]
+    fn self_dependency_counts_as_cycle() {
+        expect_error(
+            "graph g { node A { x: long = counter() given (x); } }",
+            "cycle",
+        );
+    }
+
+    #[test]
+    fn unknown_endpoint_type() {
+        expect_error(
+            "graph g { node A { x: long = counter(); } edge e: A -- B { } }",
+            "unknown target type",
+        );
+        expect_error(
+            "graph g { node A { x: long = counter(); } edge e: Z -- A { } }",
+            "unknown source type",
+        );
+    }
+
+    #[test]
+    fn correlation_needs_same_types() {
+        let src = r#"graph g {
+            node A { c: text = dictionary("countries"); }
+            node B { t: text = dictionary("topics"); }
+            edge e: A -> B [one_to_many] { correlate c with homophily(0.5); }
+        }"#;
+        expect_error(src, "both endpoints");
+    }
+
+    #[test]
+    fn correlation_property_must_exist() {
+        let src = r#"graph g {
+            node A { c: text = dictionary("countries"); }
+            edge e: A -- A { correlate ghost with homophily(0.5); }
+        }"#;
+        expect_error(src, "unknown property");
+    }
+
+    #[test]
+    fn mixed_type_many_to_many_needs_structure() {
+        let src = r#"graph g {
+            node A { x: long = counter(); }
+            node B { y: long = counter(); }
+            edge e: A -- B [many_to_many] { }
+        }"#;
+        expect_error(src, "explicit structure");
+    }
+
+    #[test]
+    fn edge_dep_on_endpoint_properties_validates() {
+        let src = r#"graph g {
+            node A { d: date = date_between("2020-01-01", "2021-01-01"); }
+            edge e: A -- A {
+                since: date = date_after(10) given (source.d, target.d);
+            }
+        }"#;
+        assert!(parse_schema(src).is_ok());
+    }
+
+    #[test]
+    fn edge_self_dependency_rejected() {
+        let src = r#"graph g {
+            node A { x: long = counter(); }
+            edge e: A -- A {
+                w: long = counter() given (w);
+            }
+        }"#;
+        expect_error(src, "depends on itself");
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based round-trip tests: arbitrary schemas survive
+//! pretty-printing and re-parsing unchanged.
+
+use proptest::prelude::*;
+
+use datasynth_schema::{
+    parse_schema, Cardinality, CorrelationSpec, DepRef, EdgeType, GeneratorSpec, NodeType,
+    PropertyDef, Schema, SpecArg,
+};
+use datasynth_tables::ValueType;
+
+const RESERVED: &[&str] = &[
+    "graph", "node", "edge", "structure", "correlate", "with", "given", "count",
+];
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-zA-Z0-9_]{0,10}".prop_filter("reserved word", |s| !RESERVED.contains(&s.as_str()))
+}
+
+fn spec_arg() -> impl Strategy<Value = SpecArg> {
+    prop_oneof![
+        (-1000.0f64..1000.0).prop_map(|v| SpecArg::Num((v * 100.0).round() / 100.0)),
+        "[a-zA-Z0-9 _.-]{0,12}".prop_map(SpecArg::Text),
+        ("[a-zA-Z]{1,8}", 0.01f64..100.0)
+            .prop_map(|(l, w)| SpecArg::Weighted(l, (w * 100.0).round() / 100.0)),
+        (ident(), -100.0f64..100.0)
+            .prop_map(|(k, v)| SpecArg::Named(k, (v * 100.0).round() / 100.0)),
+        (ident(), "[a-z0-9_]{0,10}").prop_map(|(k, v)| SpecArg::NamedText(k, v)),
+    ]
+}
+
+fn generator_spec() -> impl Strategy<Value = GeneratorSpec> {
+    (ident(), prop::collection::vec(spec_arg(), 0..4))
+        .prop_map(|(name, args)| GeneratorSpec { name, args })
+}
+
+fn value_type() -> impl Strategy<Value = ValueType> {
+    prop_oneof![
+        Just(ValueType::Bool),
+        Just(ValueType::Long),
+        Just(ValueType::Double),
+        Just(ValueType::Text),
+        Just(ValueType::Date),
+    ]
+}
+
+/// A node type with uniquely named properties and valid own-deps
+/// (each property may depend only on earlier ones — acyclic by
+/// construction).
+fn node_type(name: String) -> impl Strategy<Value = NodeType> {
+    let props = prop::collection::vec((generator_spec(), value_type()), 1..5);
+    (props, prop::option::of(0u64..1_000_000)).prop_map(move |(specs, count)| {
+        let mut properties: Vec<PropertyDef> = Vec::new();
+        for (i, (generator, vt)) in specs.into_iter().enumerate() {
+            let dependencies = if i > 0 && i % 2 == 0 {
+                vec![DepRef::Own(format!("p{}", i - 1))]
+            } else {
+                Vec::new()
+            };
+            properties.push(PropertyDef {
+                name: format!("p{i}"),
+                value_type: vt,
+                generator,
+                dependencies,
+            });
+        }
+        NodeType {
+            name: name.clone(),
+            count,
+            properties,
+        }
+    })
+}
+
+fn schema() -> impl Strategy<Value = Schema> {
+    (
+        node_type("TypeA".to_owned()),
+        node_type("TypeB".to_owned()),
+        generator_spec(),
+        prop::option::of(generator_spec()),
+        prop_oneof![
+            Just(Cardinality::OneToOne),
+            Just(Cardinality::OneToMany),
+            Just(Cardinality::ManyToMany),
+        ],
+        any::<bool>(),
+    )
+        .prop_map(|(a, b, structure, corr_jpd, cardinality, directed)| {
+            let correlation = corr_jpd.map(|jpd| CorrelationSpec {
+                property: a.properties[0].name.clone(),
+                jpd,
+            });
+            let edge = EdgeType {
+                name: "link".to_owned(),
+                source: "TypeA".to_owned(),
+                target: "TypeA".to_owned(), // same-type so correlation is legal
+                directed,
+                cardinality,
+                count: None,
+                structure: Some(structure),
+                correlation,
+                properties: vec![PropertyDef {
+                    name: "weight".to_owned(),
+                    value_type: ValueType::Double,
+                    generator: GeneratorSpec::bare("normal"),
+                    dependencies: vec![DepRef::Source(a.properties[0].name.clone())],
+                }],
+            };
+            Schema {
+                name: "generated".to_owned(),
+                nodes: vec![a, b],
+                edges: vec![edge],
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// print -> parse is the identity on arbitrary (valid) schemas.
+    #[test]
+    fn dsl_roundtrip(s in schema()) {
+        let printed = s.to_dsl();
+        let reparsed = parse_schema(&printed)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n--- printed ---\n{printed}")))?;
+        prop_assert_eq!(s, reparsed, "printed:\n{}", printed);
+    }
+
+    /// The printer always emits parseable text even for exotic-but-legal
+    /// string arguments (escaping).
+    #[test]
+    fn string_args_escape(text in "[ -~]{0,20}") {
+        let s = Schema {
+            name: "g".into(),
+            nodes: vec![NodeType {
+                name: "A".into(),
+                count: Some(1),
+                properties: vec![PropertyDef {
+                    name: "x".into(),
+                    value_type: ValueType::Text,
+                    generator: GeneratorSpec {
+                        name: "constant".into(),
+                        args: vec![SpecArg::Text(text)],
+                    },
+                    dependencies: vec![],
+                }],
+            }],
+            edges: vec![],
+        };
+        let printed = s.to_dsl();
+        let reparsed = parse_schema(&printed)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{printed}")))?;
+        prop_assert_eq!(s, reparsed);
+    }
+}

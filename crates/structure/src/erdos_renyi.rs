@@ -1,0 +1,204 @@
+//! Erdős–Rényi random graphs: `G(n, p)` with geometric skip sampling and
+//! `G(n, m)` with distinct-pair sampling.
+
+use datasynth_prng::SplitMix64;
+use datasynth_tables::EdgeTable;
+
+use crate::{Capabilities, StructureGenerator};
+
+/// `G(n, p)`: every unordered pair is an edge independently with
+/// probability `p`. Sampling skips over non-edges geometrically, so the
+/// cost is O(m), not O(n²).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gnp {
+    p: f64,
+}
+
+impl Gnp {
+    /// Create with edge probability `p ∈ [0, 1]`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p out of range: {p}");
+        Self { p }
+    }
+
+    fn pair_from_index(idx: u64) -> (u64, u64) {
+        // Inverse of idx = h(h-1)/2 + t for 0 <= t < h.
+        let h = ((1.0 + (1.0 + 8.0 * idx as f64).sqrt()) / 2.0).floor() as u64;
+        // Guard against float rounding at large indices.
+        let h = if h * (h - 1) / 2 > idx { h - 1 } else { h };
+        let h = if (h + 1) * h / 2 <= idx { h + 1 } else { h };
+        let t = idx - h * (h - 1) / 2;
+        (t, h)
+    }
+}
+
+impl StructureGenerator for Gnp {
+    fn name(&self) -> &'static str {
+        "erdos_renyi"
+    }
+
+    fn run(&self, n: u64, rng: &mut SplitMix64) -> EdgeTable {
+        let mut et = EdgeTable::new("erdos_renyi");
+        if n < 2 || self.p <= 0.0 {
+            return et;
+        }
+        let total_pairs = n * (n - 1) / 2;
+        if self.p >= 1.0 {
+            for h in 1..n {
+                for t in 0..h {
+                    et.push(t, h);
+                }
+            }
+            return et;
+        }
+        // Geometric skips over the linearized pair index.
+        let log_q = (1.0 - self.p).ln();
+        let mut idx: i128 = -1;
+        loop {
+            let u = rng.next_f64();
+            let skip = ((1.0 - u).ln() / log_q).floor() as i128 + 1;
+            idx += skip.max(1);
+            if idx >= total_pairs as i128 {
+                break;
+            }
+            let (t, h) = Self::pair_from_index(idx as u64);
+            et.push(t, h);
+        }
+        et
+    }
+
+    fn num_nodes_for_edges(&self, num_edges: u64) -> u64 {
+        if self.p <= 0.0 {
+            return 0;
+        }
+        // m = p n(n-1)/2  =>  n ≈ (1 + sqrt(1 + 8m/p)) / 2.
+        let m = num_edges as f64;
+        ((1.0 + (1.0 + 8.0 * m / self.p).sqrt()) / 2.0).round() as u64
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            scalable: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// `G(n, m)`: exactly `m` distinct edges drawn uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gnm {
+    m: u64,
+}
+
+impl Gnm {
+    /// Create with edge count `m`.
+    pub fn new(m: u64) -> Self {
+        Self { m }
+    }
+}
+
+impl StructureGenerator for Gnm {
+    fn name(&self) -> &'static str {
+        "gnm"
+    }
+
+    fn run(&self, n: u64, rng: &mut SplitMix64) -> EdgeTable {
+        let mut et = EdgeTable::with_capacity("gnm", self.m as usize);
+        if n < 2 {
+            return et;
+        }
+        let total_pairs = n * (n - 1) / 2;
+        let m = self.m.min(total_pairs);
+        let mut chosen = std::collections::HashSet::with_capacity(m as usize);
+        while (chosen.len() as u64) < m {
+            let idx = rng.next_below(total_pairs);
+            if chosen.insert(idx) {
+                let (t, h) = Gnp::pair_from_index(idx);
+                et.push(t, h);
+            }
+        }
+        et
+    }
+
+    fn num_nodes_for_edges(&self, num_edges: u64) -> u64 {
+        // Any n with enough pairs works; pick the density of sqrt scaling.
+        (((num_edges * 2) as f64).sqrt().ceil() as u64).max(2)
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            scalable: true,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_index_roundtrip() {
+        let mut idx = 0u64;
+        for h in 1..40u64 {
+            for t in 0..h {
+                assert_eq!(Gnp::pair_from_index(idx), (t, h), "idx {idx}");
+                idx += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn gnp_edge_count_concentrates() {
+        let g = Gnp::new(0.01);
+        let mut rng = SplitMix64::new(1);
+        let n = 1000u64;
+        let et = g.run(n, &mut rng);
+        let expected = 0.01 * (n * (n - 1) / 2) as f64;
+        let got = et.len() as f64;
+        assert!(
+            (got - expected).abs() < 5.0 * expected.sqrt(),
+            "{got} vs {expected}"
+        );
+        // All edges valid and canonical.
+        for (t, h) in et.iter() {
+            assert!(t < h && h < n);
+        }
+    }
+
+    #[test]
+    fn gnp_p_one_is_complete() {
+        let et = Gnp::new(1.0).run(5, &mut SplitMix64::new(2));
+        assert_eq!(et.len(), 10);
+    }
+
+    #[test]
+    fn gnp_p_zero_is_empty() {
+        assert!(Gnp::new(0.0).run(100, &mut SplitMix64::new(3)).is_empty());
+    }
+
+    #[test]
+    fn gnp_sizing_inverse() {
+        let g = Gnp::new(0.5);
+        let n = g.num_nodes_for_edges(1000);
+        let pairs = (n * (n - 1) / 2) as f64;
+        assert!((pairs * 0.5 - 1000.0).abs() / 1000.0 < 0.1);
+    }
+
+    #[test]
+    fn gnm_exact_count_distinct() {
+        let g = Gnm::new(200);
+        let et = g.run(100, &mut SplitMix64::new(4));
+        assert_eq!(et.len(), 200);
+        let mut c = et.clone();
+        c.canonicalize_undirected();
+        assert_eq!(c.dedup(), 0);
+    }
+
+    #[test]
+    fn gnm_caps_at_complete_graph() {
+        let g = Gnm::new(1000);
+        let et = g.run(5, &mut SplitMix64::new(5));
+        assert_eq!(et.len(), 10);
+    }
+}

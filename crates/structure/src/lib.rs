@@ -1,0 +1,69 @@
+//! Structure Generators (SGs).
+//!
+//! The paper treats graph structure generation as pluggable: an SG exposes
+//! `initialize(...)` (here: a constructor), `run(n) -> EdgeTable`, and
+//! `getNumNodes(numEdges)` so the scale can be specified in edges. This
+//! crate implements the generators the paper discusses — **RMAT** and
+//! **LFR** (used in its evaluation), **BTER** (highlighted as the richest
+//! tunable model) — plus the classic models any benchmarking toolbox needs
+//! (Erdős–Rényi, Barabási–Albert, Watts–Strogatz, planted SBM) and the
+//! cardinality-constrained attachment generators used for 1→1 / 1→*
+//! edge types such as the running example's `creates`.
+
+mod attachment;
+mod barabasi_albert;
+mod bter;
+mod capabilities;
+mod darwini;
+mod degree_seq;
+mod degree_sequence;
+mod erdos_renyi;
+mod factory;
+mod lfr;
+mod params;
+mod rmat;
+mod sbm;
+mod watts_strogatz;
+
+pub use attachment::{DegreeDist, OneToManyGenerator, OneToOneGenerator};
+pub use barabasi_albert::BarabasiAlbert;
+pub use bter::{BterGenerator, CcProfile};
+pub use capabilities::Capabilities;
+pub use darwini::DarwiniGenerator;
+pub use degree_seq::{chung_lu, configuration_model, even_out_degree_sum, ConfigModelOptions};
+pub use degree_sequence::DegreeSequenceGenerator;
+pub use erdos_renyi::{Gnm, Gnp};
+pub use factory::{build_generator, BuildError, GENERATOR_NAMES};
+pub use lfr::{LfrGenerator, LfrParams};
+pub use params::{ParamValue, Params};
+pub use rmat::RmatGenerator;
+pub use sbm::PlantedSbm;
+pub use watts_strogatz::WattsStrogatz;
+
+use datasynth_prng::SplitMix64;
+use datasynth_tables::EdgeTable;
+
+/// A pluggable graph structure generator (the paper's SG interface).
+pub trait StructureGenerator {
+    /// Identifier used by the DSL and reports.
+    fn name(&self) -> &'static str;
+
+    /// Generate the edges of a graph over nodes `0..n`, drawing randomness
+    /// from `rng` (the paper's SGs carry internal state; we take the stream
+    /// explicitly so generation stays deterministic and replayable).
+    fn run(&self, n: u64, rng: &mut SplitMix64) -> EdgeTable;
+
+    /// Number of nodes to pass to [`Self::run`] so the resulting edge table
+    /// has approximately `num_edges` edges (the paper's `getNumNodes`).
+    fn num_nodes_for_edges(&self, num_edges: u64) -> u64;
+
+    /// What this generator can reproduce (drives the Table 1 report).
+    fn capabilities(&self) -> Capabilities;
+}
+
+/// Ground-truth-carrying generation: generators that plant a community
+/// structure (LFR, SBM) can also return the labels they planted.
+pub trait PlantedPartition: StructureGenerator {
+    /// Generate edges together with the planted community label per node.
+    fn run_with_partition(&self, n: u64, rng: &mut SplitMix64) -> (EdgeTable, Vec<u32>);
+}

@@ -1,0 +1,131 @@
+//! Loosely-typed parameter bags, the bridge between the DSL's
+//! `generator(name = value, ...)` syntax and concrete generator
+//! constructors.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A single parameter value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamValue {
+    /// Numeric parameter (integers are carried exactly up to 2^53).
+    Num(f64),
+    /// String parameter.
+    Text(String),
+}
+
+/// Named parameters for a generator, as parsed from the DSL.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Params {
+    map: BTreeMap<String, ParamValue>,
+}
+
+impl Params {
+    /// Empty bag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a numeric parameter (builder style).
+    pub fn with_num(mut self, key: &str, value: f64) -> Self {
+        self.map.insert(key.to_owned(), ParamValue::Num(value));
+        self
+    }
+
+    /// Insert a string parameter (builder style).
+    pub fn with_text(mut self, key: &str, value: &str) -> Self {
+        self.map
+            .insert(key.to_owned(), ParamValue::Text(value.to_owned()));
+        self
+    }
+
+    /// Insert any value.
+    pub fn insert(&mut self, key: impl Into<String>, value: ParamValue) {
+        self.map.insert(key.into(), value);
+    }
+
+    /// Numeric lookup.
+    pub fn get_f64(&self, key: &str) -> Option<f64> {
+        match self.map.get(key)? {
+            ParamValue::Num(v) => Some(*v),
+            ParamValue::Text(_) => None,
+        }
+    }
+
+    /// Numeric lookup with default.
+    pub fn f64_or(&self, key: &str, default: f64) -> f64 {
+        self.get_f64(key).unwrap_or(default)
+    }
+
+    /// Integer lookup (rejects non-integral numerics).
+    pub fn get_u64(&self, key: &str) -> Option<u64> {
+        let v = self.get_f64(key)?;
+        (v >= 0.0 && v.fract() == 0.0).then_some(v as u64)
+    }
+
+    /// Integer lookup with default.
+    pub fn u64_or(&self, key: &str, default: u64) -> u64 {
+        self.get_u64(key).unwrap_or(default)
+    }
+
+    /// String lookup.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        match self.map.get(key)? {
+            ParamValue::Text(s) => Some(s),
+            ParamValue::Num(_) => None,
+        }
+    }
+
+    /// Whether a key is present.
+    pub fn contains(&self, key: &str) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Iterate entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &ParamValue)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+impl fmt::Display for Params {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (k, v) in &self.map {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            match v {
+                ParamValue::Num(n) => write!(f, "{k} = {n}")?,
+                ParamValue::Text(s) => write!(f, "{k} = \"{s}\"")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_lookups() {
+        let p = Params::new()
+            .with_num("scale", 18.0)
+            .with_num("mixing", 0.1)
+            .with_text("mode", "simple");
+        assert_eq!(p.get_u64("scale"), Some(18));
+        assert_eq!(p.get_f64("mixing"), Some(0.1));
+        assert_eq!(p.get_u64("mixing"), None, "fractional is not u64");
+        assert_eq!(p.get_str("mode"), Some("simple"));
+        assert_eq!(p.get_f64("mode"), None);
+        assert_eq!(p.u64_or("missing", 7), 7);
+        assert!(p.contains("scale"));
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let p = Params::new().with_num("b", 2.0).with_text("a", "x");
+        assert_eq!(p.to_string(), "a = \"x\", b = 2");
+    }
+}

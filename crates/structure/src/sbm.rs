@@ -1,0 +1,265 @@
+//! Planted Stochastic Block Model.
+//!
+//! SBM-Part assumes the target correlation is SBM-shaped; generating *from*
+//! a planted SBM gives matching tests a ground truth where the optimal
+//! assignment (and its score) is known.
+
+use datasynth_prng::SplitMix64;
+use datasynth_tables::EdgeTable;
+
+use crate::{Capabilities, PlantedPartition, StructureGenerator};
+
+/// SBM with explicit group sizes and a full inter-group edge-probability
+/// matrix (symmetric; the diagonal is within-group density).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlantedSbm {
+    sizes: Vec<u64>,
+    density: Vec<Vec<f64>>,
+}
+
+impl PlantedSbm {
+    /// Create from group sizes and a `k × k` symmetric density matrix.
+    pub fn new(sizes: Vec<u64>, density: Vec<Vec<f64>>) -> Self {
+        let k = sizes.len();
+        assert!(k > 0, "need at least one group");
+        assert_eq!(density.len(), k, "square matrix required");
+        for row in &density {
+            assert_eq!(row.len(), k, "square matrix required");
+            for &p in row {
+                assert!((0.0..=1.0).contains(&p), "density out of range");
+            }
+        }
+        #[allow(clippy::needless_range_loop)] // matrix (i, j) indexing
+        for i in 0..k {
+            for j in 0..k {
+                assert!(
+                    (density[i][j] - density[j][i]).abs() < 1e-12,
+                    "matrix must be symmetric"
+                );
+            }
+        }
+        Self { sizes, density }
+    }
+
+    /// Homophilous shorthand: `k` equal groups, `p_intra` inside,
+    /// `p_inter` across.
+    pub fn homophilous(k: usize, group_size: u64, p_intra: f64, p_inter: f64) -> Self {
+        let density = (0..k)
+            .map(|i| {
+                (0..k)
+                    .map(|j| if i == j { p_intra } else { p_inter })
+                    .collect()
+            })
+            .collect();
+        Self::new(vec![group_size; k], density)
+    }
+
+    /// Planted group sizes.
+    pub fn sizes(&self) -> &[u64] {
+        &self.sizes
+    }
+
+    /// Total nodes across groups.
+    pub fn total_nodes(&self) -> u64 {
+        self.sizes.iter().sum()
+    }
+
+    fn labels(&self) -> Vec<u32> {
+        let mut labels = Vec::with_capacity(self.total_nodes() as usize);
+        for (g, &s) in self.sizes.iter().enumerate() {
+            labels.extend(std::iter::repeat_n(g as u32, s as usize));
+        }
+        labels
+    }
+
+    /// Expected edge count.
+    pub fn expected_edges(&self) -> f64 {
+        let k = self.sizes.len();
+        let mut total = 0.0;
+        for i in 0..k {
+            for j in i..k {
+                let pairs = if i == j {
+                    (self.sizes[i] * self.sizes[i].saturating_sub(1)) as f64 / 2.0
+                } else {
+                    (self.sizes[i] * self.sizes[j]) as f64
+                };
+                total += pairs * self.density[i][j];
+            }
+        }
+        total
+    }
+}
+
+impl StructureGenerator for PlantedSbm {
+    fn name(&self) -> &'static str {
+        "sbm"
+    }
+
+    /// `n` is ignored — the planted sizes define the node count (the trait
+    /// is still useful so SBM plugs into the same pipeline slots).
+    fn run(&self, _n: u64, rng: &mut SplitMix64) -> EdgeTable {
+        self.run_with_partition(0, rng).0
+    }
+
+    fn num_nodes_for_edges(&self, _num_edges: u64) -> u64 {
+        self.total_nodes()
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            communities: true,
+            ..Default::default()
+        }
+    }
+}
+
+impl PlantedPartition for PlantedSbm {
+    fn run_with_partition(&self, _n: u64, rng: &mut SplitMix64) -> (EdgeTable, Vec<u32>) {
+        let labels = self.labels();
+        let offsets: Vec<u64> = {
+            let mut acc = 0;
+            self.sizes
+                .iter()
+                .map(|&s| {
+                    let off = acc;
+                    acc += s;
+                    off
+                })
+                .collect()
+        };
+        let mut et = EdgeTable::with_capacity("sbm", self.expected_edges() as usize);
+        let k = self.sizes.len();
+        for i in 0..k {
+            for j in i..k {
+                let p = self.density[i][j];
+                if p <= 0.0 {
+                    continue;
+                }
+                if i == j {
+                    sample_block_diag(&mut et, offsets[i], self.sizes[i], p, rng);
+                } else {
+                    sample_block_cross(
+                        &mut et,
+                        offsets[i],
+                        self.sizes[i],
+                        offsets[j],
+                        self.sizes[j],
+                        p,
+                        rng,
+                    );
+                }
+            }
+        }
+        (et, labels)
+    }
+}
+
+/// Geometric skip sampling over the `s·(s-1)/2` pairs of one group.
+fn sample_block_diag(et: &mut EdgeTable, off: u64, s: u64, p: f64, rng: &mut SplitMix64) {
+    if s < 2 {
+        return;
+    }
+    let total = s * (s - 1) / 2;
+    visit_sampled_indices(total, p, rng, |idx| {
+        let h = ((1.0 + (1.0 + 8.0 * idx as f64).sqrt()) / 2.0).floor() as u64;
+        let h = if h * (h - 1) / 2 > idx { h - 1 } else { h };
+        let h = if (h + 1) * h / 2 <= idx { h + 1 } else { h };
+        let t = idx - h * (h - 1) / 2;
+        et.push(off + t, off + h);
+    });
+}
+
+/// Geometric skip sampling over the `s1·s2` cross pairs of two groups.
+fn sample_block_cross(
+    et: &mut EdgeTable,
+    off1: u64,
+    s1: u64,
+    off2: u64,
+    s2: u64,
+    p: f64,
+    rng: &mut SplitMix64,
+) {
+    visit_sampled_indices(s1 * s2, p, rng, |idx| {
+        et.push(off1 + idx / s2, off2 + idx % s2);
+    });
+}
+
+fn visit_sampled_indices(total: u64, p: f64, rng: &mut SplitMix64, mut f: impl FnMut(u64)) {
+    if p >= 1.0 {
+        for idx in 0..total {
+            f(idx);
+        }
+        return;
+    }
+    let log_q = (1.0 - p).ln();
+    let mut idx: i128 = -1;
+    loop {
+        let u = rng.next_f64();
+        let skip = ((1.0 - u).ln() / log_q).floor() as i128 + 1;
+        idx += skip.max(1);
+        if idx >= total as i128 {
+            return;
+        }
+        f(idx as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasynth_analysis::modularity;
+
+    #[test]
+    fn labels_follow_sizes() {
+        let sbm = PlantedSbm::homophilous(3, 10, 0.5, 0.01);
+        let (_, labels) = sbm.run_with_partition(0, &mut SplitMix64::new(1));
+        assert_eq!(labels.len(), 30);
+        assert_eq!(labels[0], 0);
+        assert_eq!(labels[10], 1);
+        assert_eq!(labels[29], 2);
+    }
+
+    #[test]
+    fn edge_count_near_expectation() {
+        let sbm = PlantedSbm::homophilous(4, 100, 0.2, 0.01);
+        let (et, _) = sbm.run_with_partition(0, &mut SplitMix64::new(2));
+        let expected = sbm.expected_edges();
+        let got = et.len() as f64;
+        assert!(
+            (got - expected).abs() < 6.0 * expected.sqrt(),
+            "{got} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn homophily_shows_in_modularity() {
+        let sbm = PlantedSbm::homophilous(4, 50, 0.4, 0.01);
+        let (et, labels) = sbm.run_with_partition(0, &mut SplitMix64::new(3));
+        let q = modularity(&et, 200, &labels);
+        assert!(q > 0.5, "planted split modularity {q}");
+    }
+
+    #[test]
+    fn asymmetric_sizes_and_zero_blocks() {
+        let sbm = PlantedSbm::new(
+            vec![5, 20],
+            vec![vec![1.0, 0.0], vec![0.0, 0.1]],
+        );
+        let (et, labels) = sbm.run_with_partition(0, &mut SplitMix64::new(4));
+        assert_eq!(labels.len(), 25);
+        // Group 0 is a complete K5 = 10 edges; no cross edges at all.
+        let cross = et
+            .iter()
+            .filter(|&(t, h)| labels[t as usize] != labels[h as usize])
+            .count();
+        assert_eq!(cross, 0);
+        let k5 = et.iter().filter(|&(t, h)| t < 5 && h < 5).count();
+        assert_eq!(k5, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn rejects_asymmetric_matrix() {
+        PlantedSbm::new(vec![2, 2], vec![vec![0.1, 0.2], vec![0.3, 0.1]]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests over the structure generators' invariants.
+
+use proptest::prelude::*;
+
+use datasynth_prng::SplitMix64;
+use datasynth_structure::{
+    build_generator, configuration_model, even_out_degree_sum, BarabasiAlbert,
+    ConfigModelOptions, LfrGenerator, LfrParams, Params, PlantedPartition, RmatGenerator,
+    StructureGenerator, WattsStrogatz,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The configuration model never exceeds any node's requested degree
+    /// and never emits self-loops or duplicates under default options.
+    #[test]
+    fn config_model_respects_degrees(
+        seed: u64,
+        degrees in prop::collection::vec(0u32..12, 4..120),
+    ) {
+        let mut d = degrees.clone();
+        even_out_degree_sum(&mut d);
+        let mut rng = SplitMix64::new(seed);
+        let et = configuration_model(&d, ConfigModelOptions::default(), &mut rng);
+        let got = et.degrees(d.len() as u64);
+        for (v, (&g, &want)) in got.iter().zip(&d).enumerate() {
+            prop_assert!(g <= want, "node {v}: {g} > {want}");
+        }
+        let mut c = et.clone();
+        c.canonicalize_undirected();
+        prop_assert_eq!(c.dedup(), 0);
+        prop_assert!(et.iter().all(|(t, h)| t != h));
+    }
+
+    /// RMAT respects arbitrary (non power of two) node counts.
+    #[test]
+    fn rmat_endpoints_in_range(seed: u64, n in 2u64..3_000) {
+        let g = RmatGenerator::new(0.57, 0.19, 0.19, 4, false);
+        let et = g.run(n, &mut SplitMix64::new(seed));
+        prop_assert_eq!(et.len(), 4 * n);
+        prop_assert!(et.iter().all(|(t, h)| t < n && h < n));
+    }
+
+    /// LFR always produces a simple graph whose planted labels are dense
+    /// and whose realized mean degree tracks the requested one.
+    #[test]
+    fn lfr_invariants(seed: u64, mixing in 0.05f64..0.5, n in 300u64..1_200) {
+        let g = LfrGenerator::new(LfrParams {
+            average_degree: 8.0,
+            max_degree: 24,
+            mixing,
+            min_community: 8,
+            max_community: 48,
+            ..LfrParams::default()
+        });
+        let (et, labels) = g.run_with_partition(n, &mut SplitMix64::new(seed));
+        prop_assert_eq!(labels.len() as u64, n);
+        let k = labels.iter().copied().max().unwrap() as usize + 1;
+        // Labels dense: every community inhabited.
+        let mut seen = vec![false; k];
+        for &l in &labels {
+            seen[l as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        // Simple graph.
+        prop_assert!(et.iter().all(|(t, h)| t != h && t < n && h < n));
+        let mut c = et.clone();
+        c.canonicalize_undirected();
+        prop_assert_eq!(c.dedup(), 0);
+        // Mean degree in a sane band around the target.
+        let mean = 2.0 * et.len() as f64 / n as f64;
+        prop_assert!((5.0..11.0).contains(&mean), "mean degree {mean}");
+    }
+
+    /// Watts–Strogatz at any rewiring rate keeps the graph simple.
+    #[test]
+    fn ws_simple(seed: u64, beta in 0.0f64..1.0, n in 10u64..500) {
+        let et = WattsStrogatz::new(4, beta).run(n, &mut SplitMix64::new(seed));
+        prop_assert!(et.iter().all(|(t, h)| t != h && t < n && h < n));
+        let mut c = et.clone();
+        c.canonicalize_undirected();
+        prop_assert_eq!(c.dedup(), 0);
+    }
+
+    /// Barabási–Albert stays connected for any m.
+    #[test]
+    fn ba_connected(seed: u64, m in 1u64..6, n in 10u64..600) {
+        let et = BarabasiAlbert::new(m).run(n, &mut SplitMix64::new(seed));
+        prop_assert_eq!(datasynth_analysis::largest_component_size(&et, n), n);
+    }
+
+    /// `num_nodes_for_edges` inverts `run` to within 30% for every
+    /// registered generator with defaults.
+    #[test]
+    fn sizing_roundtrip(seed: u64, target_m in 2_000u64..20_000) {
+        for name in ["rmat", "lfr", "barabasi_albert", "watts_strogatz"] {
+            let g = build_generator(name, &Params::new()).unwrap();
+            let n = g.num_nodes_for_edges(target_m);
+            let m = g.run(n, &mut SplitMix64::new(seed)).len() as f64;
+            let rel = (m - target_m as f64).abs() / target_m as f64;
+            prop_assert!(rel < 0.3, "{name}: asked {target_m}, got {m}");
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Compressed sparse row adjacency, the neighborhood view used by the
+//! matching and analysis algorithms.
+
+use crate::edge_table::EdgeTable;
+
+/// CSR adjacency over nodes `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<u64>,
+    neighbors: Vec<u64>,
+}
+
+impl Csr {
+    /// Build the *undirected* view: every edge appears in both endpoint
+    /// lists (a self-loop appears twice in its node's list).
+    pub fn undirected(edges: &EdgeTable, n: u64) -> Self {
+        let mut deg = vec![0u64; n as usize];
+        for (t, h) in edges.iter() {
+            deg[t as usize] += 1;
+            deg[h as usize] += 1;
+        }
+        let mut csr = Self::from_degree_counts(&deg);
+        let mut cursor: Vec<u64> = csr.offsets[..n as usize].to_vec();
+        for (t, h) in edges.iter() {
+            csr.neighbors[cursor[t as usize] as usize] = h;
+            cursor[t as usize] += 1;
+            csr.neighbors[cursor[h as usize] as usize] = t;
+            cursor[h as usize] += 1;
+        }
+        csr
+    }
+
+    /// Build the *directed* (out-adjacency) view.
+    pub fn directed(edges: &EdgeTable, n: u64) -> Self {
+        let mut deg = vec![0u64; n as usize];
+        for &t in edges.tails() {
+            deg[t as usize] += 1;
+        }
+        let mut csr = Self::from_degree_counts(&deg);
+        let mut cursor: Vec<u64> = csr.offsets[..n as usize].to_vec();
+        for (t, h) in edges.iter() {
+            csr.neighbors[cursor[t as usize] as usize] = h;
+            cursor[t as usize] += 1;
+        }
+        csr
+    }
+
+    fn from_degree_counts(deg: &[u64]) -> Self {
+        let mut offsets = Vec::with_capacity(deg.len() + 1);
+        let mut acc = 0u64;
+        offsets.push(0);
+        for &d in deg {
+            acc += d;
+            offsets.push(acc);
+        }
+        Self {
+            neighbors: vec![0; acc as usize],
+            offsets,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> u64 {
+        (self.offsets.len() - 1) as u64
+    }
+
+    /// Total adjacency entries (2m for undirected, m for directed).
+    pub fn num_entries(&self) -> u64 {
+        self.neighbors.len() as u64
+    }
+
+    /// Neighbor list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: u64) -> &[u64] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+
+    /// Degree of `v` in this view.
+    #[inline]
+    pub fn degree(&self, v: u64) -> u64 {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Sort every adjacency list (enables binary-searched `has_edge`).
+    pub fn sort_neighborhoods(&mut self) {
+        for v in 0..self.num_nodes() {
+            let lo = self.offsets[v as usize] as usize;
+            let hi = self.offsets[v as usize + 1] as usize;
+            self.neighbors[lo..hi].sort_unstable();
+        }
+    }
+
+    /// Membership test; requires [`Self::sort_neighborhoods`] first for
+    /// correctness of the binary search.
+    #[inline]
+    pub fn has_edge_sorted(&self, u: u64, v: u64) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> EdgeTable {
+        EdgeTable::from_pairs("e", [(0u64, 1u64), (1, 2), (0, 2)])
+    }
+
+    #[test]
+    fn undirected_lists_both_directions() {
+        let csr = Csr::undirected(&triangle(), 3);
+        assert_eq!(csr.num_nodes(), 3);
+        assert_eq!(csr.num_entries(), 6);
+        for v in 0..3 {
+            assert_eq!(csr.degree(v), 2, "node {v}");
+        }
+        let mut n0 = csr.neighbors(0).to_vec();
+        n0.sort_unstable();
+        assert_eq!(n0, vec![1, 2]);
+    }
+
+    #[test]
+    fn directed_lists_out_only() {
+        let csr = Csr::directed(&triangle(), 3);
+        assert_eq!(csr.num_entries(), 3);
+        assert_eq!(csr.degree(0), 2);
+        assert_eq!(csr.degree(2), 0);
+    }
+
+    #[test]
+    fn isolated_nodes_have_empty_lists() {
+        let et = EdgeTable::from_pairs("e", [(0u64, 1u64)]);
+        let csr = Csr::undirected(&et, 4);
+        assert_eq!(csr.degree(2), 0);
+        assert_eq!(csr.degree(3), 0);
+        assert!(csr.neighbors(3).is_empty());
+    }
+
+    #[test]
+    fn self_loop_appears_twice() {
+        let et = EdgeTable::from_pairs("e", [(1u64, 1u64)]);
+        let csr = Csr::undirected(&et, 2);
+        assert_eq!(csr.neighbors(1), &[1, 1]);
+    }
+
+    #[test]
+    fn sorted_membership() {
+        let mut csr = Csr::undirected(&triangle(), 3);
+        csr.sort_neighborhoods();
+        assert!(csr.has_edge_sorted(0, 1));
+        assert!(csr.has_edge_sorted(2, 0));
+        assert!(!csr.has_edge_sorted(0, 0));
+    }
+
+    #[test]
+    fn degree_sum_equals_entries() {
+        let et = EdgeTable::from_pairs("e", [(0u64, 1), (0, 2), (3, 1), (2, 2)]);
+        let csr = Csr::undirected(&et, 4);
+        let sum: u64 = (0..4).map(|v| csr.degree(v)).sum();
+        assert_eq!(sum, csr.num_entries());
+    }
+}

@@ -1,0 +1,107 @@
+//! Civil-calendar date arithmetic (proleptic Gregorian), dependency-free.
+//!
+//! Dates are stored as `i64` days since 1970-01-01. Conversions use Howard
+//! Hinnant's `days_from_civil` algorithm, exact over ±5 million years.
+
+/// Days since the epoch for a `(year, month, day)` civil date.
+pub fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    debug_assert!((1..=12).contains(&m), "month {m}");
+    debug_assert!((1..=31).contains(&d), "day {d}");
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u64; // [0, 399]
+    let mp = u64::from((m + 9) % 12); // March = 0
+    let doy = (153 * mp + 2) / 5 + u64::from(d) - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe as i64 - 719_468
+}
+
+/// Civil `(year, month, day)` for days since the epoch.
+pub fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Format as ISO-8601 `YYYY-MM-DD`.
+pub fn format_date(days: i64) -> String {
+    let (y, m, d) = civil_from_days(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Parse an ISO-8601 `YYYY-MM-DD` string into epoch days.
+pub fn parse_date(s: &str) -> Option<i64> {
+    let mut parts = s.splitn(3, '-');
+    let y: i64 = parts.next()?.parse().ok()?;
+    let m: u32 = parts.next()?.parse().ok()?;
+    let d: u32 = parts.next()?.parse().ok()?;
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    let days = days_from_civil(y, m, d);
+    // Round-trip to reject impossible dates like Feb 30.
+    if civil_from_days(days) == (y, m, d) {
+        Some(days)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+    }
+
+    #[test]
+    fn known_dates() {
+        assert_eq!(days_from_civil(2000, 3, 1), 11_017);
+        assert_eq!(days_from_civil(2017, 4, 3), 17_259); // the paper's arXiv date
+        assert_eq!(format_date(17_259), "2017-04-03");
+    }
+
+    #[test]
+    fn roundtrip_over_a_wide_range() {
+        for days in (-1_000_000..1_000_000).step_by(997) {
+            let (y, m, d) = civil_from_days(days);
+            assert_eq!(days_from_civil(y, m, d), days, "at {days}");
+        }
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(parse_date("2000-02-29").is_some(), "400-year leap");
+        assert!(parse_date("1900-02-29").is_none(), "100-year non-leap");
+        assert!(parse_date("2020-02-29").is_some(), "4-year leap");
+        assert!(parse_date("2021-02-29").is_none());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(parse_date(""), None);
+        assert_eq!(parse_date("2020-13-01"), None);
+        assert_eq!(parse_date("2020-00-10"), None);
+        assert_eq!(parse_date("2020-02-30"), None);
+        assert_eq!(parse_date("20200230"), None);
+        assert_eq!(parse_date("x-y-z"), None);
+    }
+
+    #[test]
+    fn parse_format_roundtrip() {
+        for s in ["1970-01-01", "1999-12-31", "2024-02-29"] {
+            let days = parse_date(s).unwrap();
+            assert_eq!(format_date(days), s);
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Edge Tables: `[id, tailId, headId]`, struct-of-arrays.
+
+/// An Edge Table for one edge type. Edge `i` connects `tail(i) → head(i)`;
+/// node ids are type-local (`0..n` for the endpoint types).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EdgeTable {
+    name: String,
+    tails: Vec<u64>,
+    heads: Vec<u64>,
+}
+
+impl EdgeTable {
+    /// Create an empty table.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            tails: Vec::new(),
+            heads: Vec::new(),
+        }
+    }
+
+    /// Create with pre-allocated capacity.
+    pub fn with_capacity(name: impl Into<String>, cap: usize) -> Self {
+        Self {
+            name: name.into(),
+            tails: Vec::with_capacity(cap),
+            heads: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Build from `(tail, head)` pairs.
+    pub fn from_pairs(name: impl Into<String>, pairs: impl IntoIterator<Item = (u64, u64)>) -> Self {
+        let iter = pairs.into_iter();
+        let mut et = Self::with_capacity(name, iter.size_hint().0);
+        for (t, h) in iter {
+            et.push(t, h);
+        }
+        et
+    }
+
+    /// Edge type name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> u64 {
+        self.tails.len() as u64
+    }
+
+    /// True when there are no edges.
+    pub fn is_empty(&self) -> bool {
+        self.tails.is_empty()
+    }
+
+    /// Append an edge; its id is the previous length.
+    #[inline]
+    pub fn push(&mut self, tail: u64, head: u64) {
+        self.tails.push(tail);
+        self.heads.push(head);
+    }
+
+    /// Tail endpoint of edge `i`.
+    #[inline]
+    pub fn tail(&self, i: u64) -> u64 {
+        self.tails[i as usize]
+    }
+
+    /// Head endpoint of edge `i`.
+    #[inline]
+    pub fn head(&self, i: u64) -> u64 {
+        self.heads[i as usize]
+    }
+
+    /// Both endpoints of edge `i`.
+    #[inline]
+    pub fn edge(&self, i: u64) -> (u64, u64) {
+        (self.tail(i), self.head(i))
+    }
+
+    /// Iterate over `(tail, head)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.tails.iter().copied().zip(self.heads.iter().copied())
+    }
+
+    /// Raw tail column.
+    pub fn tails(&self) -> &[u64] {
+        &self.tails
+    }
+
+    /// Raw head column.
+    pub fn heads(&self) -> &[u64] {
+        &self.heads
+    }
+
+    /// Largest node id mentioned, or `None` when empty.
+    pub fn max_node_id(&self) -> Option<u64> {
+        self.iter().map(|(t, h)| t.max(h)).max()
+    }
+
+    /// Undirected degree of every node in `0..n` (self-loops count twice,
+    /// matching the usual convention).
+    pub fn degrees(&self, n: u64) -> Vec<u32> {
+        let mut deg = vec![0u32; n as usize];
+        for (t, h) in self.iter() {
+            deg[t as usize] += 1;
+            deg[h as usize] += 1;
+        }
+        deg
+    }
+
+    /// Out-degree (by tail) of every node in `0..n`.
+    pub fn out_degrees(&self, n: u64) -> Vec<u32> {
+        let mut deg = vec![0u32; n as usize];
+        for &t in &self.tails {
+            deg[t as usize] += 1;
+        }
+        deg
+    }
+
+    /// In-degree (by head) of every node in `0..n`.
+    pub fn in_degrees(&self, n: u64) -> Vec<u32> {
+        let mut deg = vec![0u32; n as usize];
+        for &h in &self.heads {
+            deg[h as usize] += 1;
+        }
+        deg
+    }
+
+    /// Drop self-loops in place; returns how many were removed.
+    pub fn remove_self_loops(&mut self) -> u64 {
+        let before = self.tails.len();
+        let mut w = 0;
+        for r in 0..self.tails.len() {
+            if self.tails[r] != self.heads[r] {
+                self.tails[w] = self.tails[r];
+                self.heads[w] = self.heads[r];
+                w += 1;
+            }
+        }
+        self.tails.truncate(w);
+        self.heads.truncate(w);
+        (before - w) as u64
+    }
+
+    /// Orient every edge so `tail <= head` (canonical form for undirected
+    /// graphs; lets [`Self::dedup`] catch `(a,b)`/`(b,a)` duplicates).
+    pub fn canonicalize_undirected(&mut self) {
+        for i in 0..self.tails.len() {
+            if self.tails[i] > self.heads[i] {
+                std::mem::swap(&mut self.tails[i], &mut self.heads[i]);
+            }
+        }
+    }
+
+    /// Sort edges by `(tail, head)` and remove exact duplicates; returns the
+    /// number removed. Edge ids are renumbered densely.
+    pub fn dedup(&mut self) -> u64 {
+        let before = self.tails.len();
+        let mut pairs: Vec<(u64, u64)> = self.iter().collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        self.tails.clear();
+        self.heads.clear();
+        for (t, h) in pairs {
+            self.tails.push(t);
+            self.heads.push(h);
+        }
+        (before - self.tails.len()) as u64
+    }
+
+    /// Append all edges of `other` (ids continue densely).
+    pub fn extend_from(&mut self, other: &EdgeTable) {
+        self.tails.extend_from_slice(&other.tails);
+        self.heads.extend_from_slice(&other.heads);
+    }
+
+    /// Relabel both endpoints through a mapping (`new = map[old]`).
+    /// Panics if an endpoint is out of range for the mapping.
+    pub fn relabel(&mut self, map: &[u64]) {
+        for t in &mut self.tails {
+            *t = map[*t as usize];
+        }
+        for h in &mut self.heads {
+            *h = map[*h as usize];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn et(pairs: &[(u64, u64)]) -> EdgeTable {
+        EdgeTable::from_pairs("e", pairs.iter().copied())
+    }
+
+    #[test]
+    fn push_and_access() {
+        let t = et(&[(0, 1), (1, 2)]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.edge(0), (0, 1));
+        assert_eq!(t.tail(1), 1);
+        assert_eq!(t.head(1), 2);
+        assert_eq!(t.max_node_id(), Some(2));
+    }
+
+    #[test]
+    fn degrees_undirected() {
+        let t = et(&[(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(t.degrees(3), vec![2, 2, 2]);
+        assert_eq!(t.out_degrees(3), vec![2, 1, 0]);
+        assert_eq!(t.in_degrees(3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn self_loop_counts_twice_in_degree() {
+        let t = et(&[(0, 0)]);
+        assert_eq!(t.degrees(1), vec![2]);
+    }
+
+    #[test]
+    fn remove_self_loops_preserves_order() {
+        let mut t = et(&[(0, 1), (2, 2), (1, 2), (3, 3)]);
+        assert_eq!(t.remove_self_loops(), 2);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn canonicalize_and_dedup_collapse_reverse_duplicates() {
+        let mut t = et(&[(1, 0), (0, 1), (2, 1), (1, 2), (0, 1)]);
+        t.canonicalize_undirected();
+        let removed = t.dedup();
+        assert_eq!(removed, 3);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn dedup_keeps_distinct_directed_edges() {
+        let mut t = et(&[(1, 0), (0, 1)]);
+        assert_eq!(t.dedup(), 0);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn relabel_applies_mapping() {
+        let mut t = et(&[(0, 1), (1, 2)]);
+        t.relabel(&[10, 20, 30]);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![(10, 20), (20, 30)]);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = EdgeTable::new("x");
+        assert!(t.is_empty());
+        assert_eq!(t.max_node_id(), None);
+        assert_eq!(t.degrees(0), Vec::<u32>::new());
+    }
+}

@@ -1,0 +1,107 @@
+//! CSV directory export: one wide file per node type (`id` + all
+//! properties) and one per edge type (`id,tail,head` + all properties).
+
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use super::{csv_escape, Exporter};
+use crate::PropertyGraph;
+
+/// CSV exporter; see module docs for the layout.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CsvExporter;
+
+impl Exporter for CsvExporter {
+    fn export(&self, graph: &PropertyGraph, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        for (node_type, count) in graph.node_types() {
+            let mut w = BufWriter::new(File::create(dir.join(format!("{node_type}.csv")))?);
+            let props: Vec<_> = graph.node_properties_of(node_type).collect();
+            write!(w, "id")?;
+            for (name, _) in &props {
+                write!(w, ",{}", csv_escape(name))?;
+            }
+            writeln!(w)?;
+            for id in 0..count {
+                write!(w, "{id}")?;
+                for (_, table) in &props {
+                    let v = table.value(id).map_err(io::Error::other)?;
+                    write!(w, ",{}", csv_escape(&v.render()))?;
+                }
+                writeln!(w)?;
+            }
+            w.flush()?;
+        }
+        for (edge_type, _meta, table) in graph.edge_types() {
+            let mut w = BufWriter::new(File::create(dir.join(format!("{edge_type}.csv")))?);
+            let props: Vec<_> = graph.edge_properties_of(edge_type).collect();
+            write!(w, "id,tail,head")?;
+            for (name, _) in &props {
+                write!(w, ",{}", csv_escape(name))?;
+            }
+            writeln!(w)?;
+            for id in 0..table.len() {
+                let (t, h) = table.edge(id);
+                write!(w, "{id},{t},{h}")?;
+                for (_, ptable) in &props {
+                    let v = ptable.value(id).map_err(io::Error::other)?;
+                    write!(w, ",{}", csv_escape(&v.render()))?;
+                }
+                writeln!(w)?;
+            }
+            w.flush()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EdgeTable, PropertyTable, Value, ValueType};
+
+    fn graph() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        g.add_node_type("Person", 2);
+        g.insert_node_property(
+            "Person",
+            "name",
+            PropertyTable::from_values(
+                "Person.name",
+                ValueType::Text,
+                ["Ann, A.", "Bob"].map(Value::from),
+            )
+            .unwrap(),
+        );
+        g.insert_edge_table(
+            "knows",
+            "Person",
+            "Person",
+            EdgeTable::from_pairs("knows", [(0u64, 1u64)]),
+        );
+        g.insert_edge_property(
+            "knows",
+            "since",
+            PropertyTable::from_values("knows.since", ValueType::Date, [Value::Date(0)]).unwrap(),
+        );
+        g
+    }
+
+    #[test]
+    fn writes_expected_files_and_rows() {
+        let dir = std::env::temp_dir().join(format!("ds-csv-test-{}", std::process::id()));
+        CsvExporter.export(&graph(), &dir).unwrap();
+        let person = std::fs::read_to_string(dir.join("Person.csv")).unwrap();
+        let mut lines = person.lines();
+        assert_eq!(lines.next(), Some("id,name"));
+        assert_eq!(lines.next(), Some("0,\"Ann, A.\""), "comma field quoted");
+        assert_eq!(lines.next(), Some("1,Bob"));
+        let knows = std::fs::read_to_string(dir.join("knows.csv")).unwrap();
+        assert_eq!(
+            knows.lines().collect::<Vec<_>>(),
+            vec!["id,tail,head,since", "0,0,1,1970-01-01"]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

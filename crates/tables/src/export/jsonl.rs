@@ -1,0 +1,110 @@
+//! JSON-lines export: one object per instance, one file per type.
+
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use super::{json_escape, Exporter};
+use crate::{PropertyGraph, Value};
+
+/// JSONL exporter: `<Type>.jsonl` per node type, `<edge>.jsonl` per edge
+/// type; each line is a self-contained JSON object.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JsonlExporter;
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Long(x) => out.push_str(&x.to_string()),
+        Value::Double(x) => {
+            if x.is_finite() {
+                out.push_str(&x.to_string());
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Text(_) | Value::Date(_) => {
+            out.push('"');
+            out.push_str(&json_escape(&v.render()));
+            out.push('"');
+        }
+    }
+}
+
+impl Exporter for JsonlExporter {
+    fn export(&self, graph: &PropertyGraph, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let mut line = String::new();
+        for (node_type, count) in graph.node_types() {
+            let mut w = BufWriter::new(File::create(dir.join(format!("{node_type}.jsonl")))?);
+            let props: Vec<_> = graph.node_properties_of(node_type).collect();
+            for id in 0..count {
+                line.clear();
+                line.push_str("{\"id\":");
+                line.push_str(&id.to_string());
+                for (name, table) in &props {
+                    line.push_str(",\"");
+                    line.push_str(&json_escape(name));
+                    line.push_str("\":");
+                    let v = table.value(id).map_err(io::Error::other)?;
+                    write_value(&mut line, &v);
+                }
+                line.push('}');
+                writeln!(w, "{line}")?;
+            }
+            w.flush()?;
+        }
+        for (edge_type, meta, table) in graph.edge_types() {
+            let mut w = BufWriter::new(File::create(dir.join(format!("{edge_type}.jsonl")))?);
+            let props: Vec<_> = graph.edge_properties_of(edge_type).collect();
+            for id in 0..table.len() {
+                let (t, h) = table.edge(id);
+                line.clear();
+                line.push_str(&format!(
+                    "{{\"id\":{id},\"tail\":{t},\"head\":{h},\"source\":\"{}\",\"target\":\"{}\"",
+                    json_escape(&meta.source),
+                    json_escape(&meta.target)
+                ));
+                for (name, ptable) in &props {
+                    line.push_str(",\"");
+                    line.push_str(&json_escape(name));
+                    line.push_str("\":");
+                    let v = ptable.value(id).map_err(io::Error::other)?;
+                    write_value(&mut line, &v);
+                }
+                line.push('}');
+                writeln!(w, "{line}")?;
+            }
+            w.flush()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EdgeTable, PropertyTable, ValueType};
+
+    #[test]
+    fn emits_valid_lines() {
+        let mut g = PropertyGraph::new();
+        g.add_node_type("T", 1);
+        g.insert_node_property(
+            "T",
+            "label",
+            PropertyTable::from_values("T.label", ValueType::Text, ["a\"b"].map(Value::from))
+                .unwrap(),
+        );
+        g.insert_edge_table("e", "T", "T", EdgeTable::from_pairs("e", [(0u64, 0u64)]));
+        let dir = std::env::temp_dir().join(format!("ds-jsonl-test-{}", std::process::id()));
+        JsonlExporter.export(&g, &dir).unwrap();
+        let nodes = std::fs::read_to_string(dir.join("T.jsonl")).unwrap();
+        assert_eq!(nodes.trim(), r#"{"id":0,"label":"a\"b"}"#);
+        let edges = std::fs::read_to_string(dir.join("e.jsonl")).unwrap();
+        assert!(edges.contains("\"tail\":0"));
+        assert!(edges.contains("\"source\":\"T\""));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

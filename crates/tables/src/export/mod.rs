@@ -1,0 +1,79 @@
+//! Exporters: persist a [`PropertyGraph`] to disk.
+//!
+//! The paper lists *"connectors for integrating the framework with
+//! production-level technologies such as databases and cluster storages"*
+//! among its requirements. We provide the two interchange formats everything
+//! else can ingest — CSV directories and JSON-lines — behind a common
+//! [`Exporter`] trait so users can plug their own sinks.
+
+mod csv;
+mod jsonl;
+
+pub use csv::CsvExporter;
+pub use jsonl::JsonlExporter;
+
+use std::io;
+use std::path::Path;
+
+use crate::PropertyGraph;
+
+/// A sink that persists a whole property graph.
+pub trait Exporter {
+    /// Write `graph` under directory `dir` (created if missing).
+    fn export(&self, graph: &PropertyGraph, dir: &Path) -> io::Result<()>;
+}
+
+/// Escape a CSV field per RFC 4180 (quote when it contains separators).
+pub(crate) fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        let mut out = String::with_capacity(field.len() + 2);
+        out.push('"');
+        for ch in field.chars() {
+            if ch == '"' {
+                out.push('"');
+            }
+            out.push(ch);
+        }
+        out.push('"');
+        out
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Escape a JSON string body (without surrounding quotes).
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_escape_passthrough_and_quoting() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_escape("line\nbreak"), "\"line\nbreak\"");
+    }
+
+    #[test]
+    fn json_escape_specials() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("tab\there"), "tab\\there");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

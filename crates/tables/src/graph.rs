@@ -1,0 +1,301 @@
+//! The [`PropertyGraph`] container: everything one generation run produces.
+
+use std::collections::BTreeMap;
+
+use crate::edge_table::EdgeTable;
+use crate::property_table::PropertyTable;
+
+/// Endpoint metadata for an edge type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeMeta {
+    /// Source node type name.
+    pub source: String,
+    /// Target node type name.
+    pub target: String,
+}
+
+/// A complete generated property graph: node counts, one [`PropertyTable`]
+/// per `<type, property>`, one [`EdgeTable`] per edge type (plus its
+/// endpoint metadata), keyed by name. `BTreeMap`s keep iteration — and thus
+/// exports — deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct PropertyGraph {
+    node_counts: BTreeMap<String, u64>,
+    node_properties: BTreeMap<String, BTreeMap<String, PropertyTable>>,
+    edge_tables: BTreeMap<String, (EdgeMeta, EdgeTable)>,
+    edge_properties: BTreeMap<String, BTreeMap<String, PropertyTable>>,
+}
+
+impl PropertyGraph {
+    /// Create an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a node type with its instance count.
+    pub fn add_node_type(&mut self, name: impl Into<String>, count: u64) {
+        self.node_counts.insert(name.into(), count);
+    }
+
+    /// Instance count of a node type.
+    pub fn node_count(&self, node_type: &str) -> Option<u64> {
+        self.node_counts.get(node_type).copied()
+    }
+
+    /// All node types with their counts.
+    pub fn node_types(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.node_counts.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Attach a property table to a node type.
+    pub fn insert_node_property(
+        &mut self,
+        node_type: impl Into<String>,
+        property: impl Into<String>,
+        table: PropertyTable,
+    ) {
+        self.node_properties
+            .entry(node_type.into())
+            .or_default()
+            .insert(property.into(), table);
+    }
+
+    /// Look up a node property table.
+    pub fn node_property(&self, node_type: &str, property: &str) -> Option<&PropertyTable> {
+        self.node_properties.get(node_type)?.get(property)
+    }
+
+    /// All properties of a node type, in name order.
+    pub fn node_properties_of(
+        &self,
+        node_type: &str,
+    ) -> impl Iterator<Item = (&str, &PropertyTable)> {
+        self.node_properties
+            .get(node_type)
+            .into_iter()
+            .flat_map(|m| m.iter().map(|(k, v)| (k.as_str(), v)))
+    }
+
+    /// Attach an edge table with endpoint metadata.
+    pub fn insert_edge_table(
+        &mut self,
+        name: impl Into<String>,
+        source: impl Into<String>,
+        target: impl Into<String>,
+        table: EdgeTable,
+    ) {
+        self.edge_tables.insert(
+            name.into(),
+            (
+                EdgeMeta {
+                    source: source.into(),
+                    target: target.into(),
+                },
+                table,
+            ),
+        );
+    }
+
+    /// Look up an edge table.
+    pub fn edges(&self, edge_type: &str) -> Option<&EdgeTable> {
+        self.edge_tables.get(edge_type).map(|(_, t)| t)
+    }
+
+    /// Endpoint metadata of an edge type.
+    pub fn edge_meta(&self, edge_type: &str) -> Option<&EdgeMeta> {
+        self.edge_tables.get(edge_type).map(|(m, _)| m)
+    }
+
+    /// All edge types, in name order.
+    pub fn edge_types(&self) -> impl Iterator<Item = (&str, &EdgeMeta, &EdgeTable)> {
+        self.edge_tables
+            .iter()
+            .map(|(k, (m, t))| (k.as_str(), m, t))
+    }
+
+    /// Attach an edge property table.
+    pub fn insert_edge_property(
+        &mut self,
+        edge_type: impl Into<String>,
+        property: impl Into<String>,
+        table: PropertyTable,
+    ) {
+        self.edge_properties
+            .entry(edge_type.into())
+            .or_default()
+            .insert(property.into(), table);
+    }
+
+    /// Look up an edge property table.
+    pub fn edge_property(&self, edge_type: &str, property: &str) -> Option<&PropertyTable> {
+        self.edge_properties.get(edge_type)?.get(property)
+    }
+
+    /// All properties of an edge type, in name order.
+    pub fn edge_properties_of(
+        &self,
+        edge_type: &str,
+    ) -> impl Iterator<Item = (&str, &PropertyTable)> {
+        self.edge_properties
+            .get(edge_type)
+            .into_iter()
+            .flat_map(|m| m.iter().map(|(k, v)| (k.as_str(), v)))
+    }
+
+    /// Total nodes across types.
+    pub fn total_nodes(&self) -> u64 {
+        self.node_counts.values().sum()
+    }
+
+    /// Total edges across types.
+    pub fn total_edges(&self) -> u64 {
+        self.edge_tables.values().map(|(_, t)| t.len()).sum()
+    }
+
+    /// Structural consistency check: every property table matches its
+    /// type's instance count; every edge endpoint is within range.
+    /// Returns a list of violations (empty = consistent).
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for (nt, props) in &self.node_properties {
+            match self.node_counts.get(nt) {
+                None => problems.push(format!("properties for undeclared node type {nt}")),
+                Some(&n) => {
+                    for (p, table) in props {
+                        if table.len() != n {
+                            problems.push(format!(
+                                "{nt}.{p} has {} rows, expected {n}",
+                                table.len()
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        for (et, (meta, table)) in &self.edge_tables {
+            let src_n = self.node_counts.get(&meta.source);
+            let dst_n = self.node_counts.get(&meta.target);
+            match (src_n, dst_n) {
+                (Some(&sn), Some(&dn)) => {
+                    for (i, (t, h)) in table.iter().enumerate() {
+                        if t >= sn || h >= dn {
+                            problems.push(format!(
+                                "{et} edge {i} = ({t},{h}) out of range ({sn} x {dn})"
+                            ));
+                            break; // one sample per table is enough
+                        }
+                    }
+                }
+                _ => problems.push(format!("{et} references undeclared endpoint types")),
+            }
+            if let Some(props) = self.edge_properties.get(et) {
+                for (p, ptable) in props {
+                    if ptable.len() != table.len() {
+                        problems.push(format!(
+                            "{et}.{p} has {} rows, expected {}",
+                            ptable.len(),
+                            table.len()
+                        ));
+                    }
+                }
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{Value, ValueType};
+
+    fn sample_graph() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        g.add_node_type("Person", 3);
+        g.add_node_type("Message", 2);
+        g.insert_node_property(
+            "Person",
+            "country",
+            PropertyTable::from_values(
+                "Person.country",
+                ValueType::Text,
+                ["ES", "FR", "ES"].map(Value::from),
+            )
+            .unwrap(),
+        );
+        g.insert_edge_table(
+            "knows",
+            "Person",
+            "Person",
+            EdgeTable::from_pairs("knows", [(0u64, 1u64), (1, 2)]),
+        );
+        g.insert_edge_table(
+            "creates",
+            "Person",
+            "Message",
+            EdgeTable::from_pairs("creates", [(0u64, 0u64), (2, 1)]),
+        );
+        g
+    }
+
+    #[test]
+    fn lookups_work() {
+        let g = sample_graph();
+        assert_eq!(g.node_count("Person"), Some(3));
+        assert_eq!(g.node_count("Absent"), None);
+        assert_eq!(g.edges("knows").unwrap().len(), 2);
+        assert_eq!(g.edge_meta("creates").unwrap().target, "Message");
+        assert_eq!(g.total_nodes(), 5);
+        assert_eq!(g.total_edges(), 4);
+        assert!(g
+            .node_property("Person", "country")
+            .is_some());
+    }
+
+    #[test]
+    fn valid_graph_validates() {
+        assert!(sample_graph().validate().is_empty());
+    }
+
+    #[test]
+    fn length_mismatch_is_reported() {
+        let mut g = sample_graph();
+        g.insert_node_property(
+            "Person",
+            "sex",
+            PropertyTable::from_values("Person.sex", ValueType::Text, ["M"].map(Value::from))
+                .unwrap(),
+        );
+        let problems = g.validate();
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("Person.sex"));
+    }
+
+    #[test]
+    fn out_of_range_endpoint_is_reported() {
+        let mut g = sample_graph();
+        g.insert_edge_table(
+            "bad",
+            "Person",
+            "Message",
+            EdgeTable::from_pairs("bad", [(0u64, 7u64)]),
+        );
+        assert!(g.validate().iter().any(|p| p.contains("bad")));
+    }
+
+    #[test]
+    fn undeclared_types_are_reported() {
+        let mut g = PropertyGraph::new();
+        g.insert_edge_table("e", "A", "B", EdgeTable::new("e"));
+        assert!(!g.validate().is_empty());
+    }
+
+    #[test]
+    fn iteration_is_sorted_and_complete() {
+        let g = sample_graph();
+        let edge_names: Vec<&str> = g.edge_types().map(|(n, _, _)| n).collect();
+        assert_eq!(edge_names, vec!["creates", "knows"]);
+        let node_names: Vec<&str> = g.node_types().map(|(n, _)| n).collect();
+        assert_eq!(node_names, vec!["Message", "Person"]);
+    }
+}

@@ -1,0 +1,30 @@
+//! The DataSynth data model: distributed-table-shaped storage for property
+//! graphs.
+//!
+//! The paper (§4.1) stores everything in two kinds of tables:
+//!
+//! * a **Property Table** (PT) — `[id: Long, value: T]` — one per
+//!   `<node type, property>` and `<edge type, property>` pair, and
+//! * an **Edge Table** (ET) — `[id: Long, tailId: Long, headId: Long]` — one
+//!   per edge type,
+//!
+//! with ids dense in `0..n` *per type*. This crate implements both as
+//! columnar in-memory tables ([`PropertyTable`], [`EdgeTable`]), a CSR
+//! adjacency view ([`Csr`]) for algorithms that need neighborhoods, the
+//! [`PropertyGraph`] container that owns a full generated dataset, and
+//! CSV/JSONL exporters.
+
+mod csr;
+mod date;
+mod edge_table;
+pub mod export;
+mod graph;
+mod property_table;
+mod value;
+
+pub use csr::Csr;
+pub use date::{civil_from_days, days_from_civil, format_date, parse_date};
+pub use edge_table::EdgeTable;
+pub use graph::{EdgeMeta, PropertyGraph};
+pub use property_table::{Column, PropertyTable};
+pub use value::{TableError, Value, ValueType};

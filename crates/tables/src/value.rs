@@ -1,0 +1,248 @@
+//! Property values and their types.
+
+use std::fmt;
+
+/// The type of a property column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ValueType {
+    /// Boolean.
+    Bool,
+    /// 64-bit signed integer.
+    Long,
+    /// 64-bit float.
+    Double,
+    /// UTF-8 string.
+    Text,
+    /// Calendar date, stored as days since 1970-01-01.
+    Date,
+}
+
+impl ValueType {
+    /// DSL keyword for the type.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            ValueType::Bool => "bool",
+            ValueType::Long => "long",
+            ValueType::Double => "double",
+            ValueType::Text => "text",
+            ValueType::Date => "date",
+        }
+    }
+
+    /// Parse a DSL keyword.
+    pub fn from_keyword(kw: &str) -> Option<Self> {
+        Some(match kw {
+            "bool" => ValueType::Bool,
+            "long" => ValueType::Long,
+            "double" => ValueType::Double,
+            "text" | "string" => ValueType::Text,
+            "date" => ValueType::Date,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// A single property value.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Value {
+    /// Absent value.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Long(i64),
+    /// 64-bit float.
+    Double(f64),
+    /// UTF-8 string.
+    Text(String),
+    /// Days since the Unix epoch.
+    Date(i64),
+}
+
+impl Value {
+    /// The value's type, or `None` for `Null`.
+    pub fn value_type(&self) -> Option<ValueType> {
+        Some(match self {
+            Value::Null => return None,
+            Value::Bool(_) => ValueType::Bool,
+            Value::Long(_) => ValueType::Long,
+            Value::Double(_) => ValueType::Double,
+            Value::Text(_) => ValueType::Text,
+            Value::Date(_) => ValueType::Date,
+        })
+    }
+
+    /// Integer view (`Long` and `Date` qualify).
+    pub fn as_long(&self) -> Option<i64> {
+        match self {
+            Value::Long(v) | Value::Date(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Float view (`Double` or lossless from `Long`).
+    pub fn as_double(&self) -> Option<f64> {
+        match self {
+            Value::Double(v) => Some(*v),
+            Value::Long(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Render for export: dates in ISO-8601, floats via `{}`, nulls empty.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::Bool(b) => b.to_string(),
+            Value::Long(v) => v.to_string(),
+            Value::Double(v) => v.to_string(),
+            Value::Text(s) => s.clone(),
+            Value::Date(d) => crate::date::format_date(*d),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Long(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// Errors produced by table operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// A value of the wrong type was pushed into a typed column.
+    TypeMismatch {
+        /// Column type.
+        expected: ValueType,
+        /// Offending value's type (`None` = null).
+        got: Option<ValueType>,
+    },
+    /// Access past the end of a table.
+    OutOfBounds {
+        /// Requested id.
+        id: u64,
+        /// Table length.
+        len: u64,
+    },
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::TypeMismatch { expected, got } => match got {
+                Some(g) => write!(f, "type mismatch: column is {expected}, value is {g}"),
+                None => write!(f, "type mismatch: column is {expected}, value is null"),
+            },
+            TableError::OutOfBounds { id, len } => {
+                write!(f, "id {id} out of bounds for table of length {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_roundtrip_through_keywords() {
+        for t in [
+            ValueType::Bool,
+            ValueType::Long,
+            ValueType::Double,
+            ValueType::Text,
+            ValueType::Date,
+        ] {
+            assert_eq!(ValueType::from_keyword(t.keyword()), Some(t));
+        }
+        assert_eq!(ValueType::from_keyword("string"), Some(ValueType::Text));
+        assert_eq!(ValueType::from_keyword("int"), None);
+    }
+
+    #[test]
+    fn value_views() {
+        assert_eq!(Value::Long(5).as_long(), Some(5));
+        assert_eq!(Value::Date(10).as_long(), Some(10));
+        assert_eq!(Value::Double(2.5).as_double(), Some(2.5));
+        assert_eq!(Value::Long(2).as_double(), Some(2.0));
+        assert_eq!(Value::Text("x".into()).as_text(), Some("x"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Text("x".into()).as_long(), None);
+        assert_eq!(Value::Null.value_type(), None);
+    }
+
+    #[test]
+    fn render_formats() {
+        assert_eq!(Value::Null.render(), "");
+        assert_eq!(Value::Long(-3).render(), "-3");
+        assert_eq!(Value::Date(0).render(), "1970-01-01");
+        assert_eq!(Value::Bool(false).render(), "false");
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = TableError::TypeMismatch {
+            expected: ValueType::Long,
+            got: Some(ValueType::Text),
+        };
+        assert!(e.to_string().contains("long"));
+        assert!(e.to_string().contains("text"));
+    }
+}

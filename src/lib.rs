@@ -1,0 +1,57 @@
+//! # DataSynth-rs
+//!
+//! A property graph generator for benchmarking, reproducing Prat-Pérez et
+//! al., *"Towards a property graph generator for benchmarking"* (2017).
+//!
+//! DataSynth generates property graphs from a schema: node and edge types
+//! with typed properties, pluggable structure generators (LFR, RMAT, BTER,
+//! …), deterministic in-place property generation (any value is a pure
+//! function of its instance id and the master seed), and — the paper's core
+//! contribution — **SBM-Part** matching, which assigns property values to
+//! structure nodes so that a target joint distribution `P(X,Y)` over edge
+//! endpoints is preserved.
+//!
+//! ```no_run
+//! use datasynth::prelude::*;
+//!
+//! let generator = DataSynth::from_dsl(r#"
+//!     graph quick {
+//!       node Person [count = 10000] {
+//!         country: text = dictionary("countries");
+//!       }
+//!       edge knows: Person -- Person {
+//!         structure = lfr(avg_degree = 20, max_degree = 50, mixing = 0.1);
+//!         correlate country with homophily(0.8);
+//!       }
+//!     }
+//! "#).unwrap().with_seed(42);
+//! let graph = generator.generate().unwrap();
+//! CsvExporter.export(&graph, std::path::Path::new("out")).unwrap();
+//! ```
+//!
+//! The sub-crates are re-exported under short names:
+//!
+//! * [`prng`] — skip-seed PRNGs and inverse-transform samplers,
+//! * [`tables`] — property tables, edge tables, CSR, exporters,
+//! * [`structure`] — graph structure generators,
+//! * [`props`] — property generators and sample dictionaries,
+//! * [`schema`] — the DSL,
+//! * [`matching`] — SBM-Part, LDG, JPDs, evaluation,
+//! * [`analysis`] — structural graph metrics,
+//! * [`core`] — the pipeline.
+
+pub use datasynth_analysis as analysis;
+pub use datasynth_core as core;
+pub use datasynth_matching as matching;
+pub use datasynth_prng as prng;
+pub use datasynth_props as props;
+pub use datasynth_schema as schema;
+pub use datasynth_structure as structure;
+pub use datasynth_tables as tables;
+
+pub use datasynth_core::{DataSynth, ExecutionPlan, PipelineError, Task};
+
+/// One-stop imports.
+pub mod prelude {
+    pub use datasynth_core::prelude::*;
+}

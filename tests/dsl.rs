@@ -1,0 +1,90 @@
+//! Integration: DSL parse → pretty-print → parse → generate round-trips.
+
+use datasynth::prelude::*;
+use datasynth::schema::parse_schema;
+
+const SCHEMA: &str = r#"
+graph roundtrip {
+  node Person [count = 400] {
+    country: text = dictionary("countries");
+    sex: text = categorical("M": 0.45, "F": 0.55);
+    name: text = first_names() given (country, sex);
+    joined: date = date_between("2015-06-01", "2020-06-01");
+  }
+  node Group {
+    topic: text = dictionary("topics");
+  }
+  edge member: Person -> Group [one_to_many] {
+    structure = one_to_many(dist = "uniform", min = 0, max = 3);
+    since: date = date_after(400) given (source.joined);
+  }
+  edge knows: Person -- Person [many_to_many] {
+    structure = watts_strogatz(k = 6, beta = 0.2);
+    correlate country with homophily(0.6);
+  }
+}
+"#;
+
+#[test]
+fn printed_dsl_reparses_to_the_same_schema() {
+    let schema = parse_schema(SCHEMA).unwrap();
+    let printed = schema.to_dsl();
+    let reparsed = parse_schema(&printed).unwrap();
+    assert_eq!(schema, reparsed, "printed:\n{printed}");
+}
+
+#[test]
+fn printed_dsl_generates_identical_graphs() {
+    let schema = parse_schema(SCHEMA).unwrap();
+    let printed = schema.to_dsl();
+    let a = DataSynth::new(schema).unwrap().with_seed(5).generate().unwrap();
+    let b = DataSynth::from_dsl(&printed)
+        .unwrap()
+        .with_seed(5)
+        .generate()
+        .unwrap();
+    assert_eq!(
+        a.node_property("Person", "name"),
+        b.node_property("Person", "name")
+    );
+    assert_eq!(a.edges("knows"), b.edges("knows"));
+    assert_eq!(a.edges("member"), b.edges("member"));
+    assert_eq!(
+        a.edge_property("member", "since"),
+        b.edge_property("member", "since")
+    );
+}
+
+#[test]
+fn parser_rejects_all_documented_error_classes() {
+    // Syntax error.
+    assert!(DataSynth::from_dsl("graph g {").is_err());
+    // Unknown type.
+    assert!(DataSynth::from_dsl("graph g { node A { x: blob = counter(); } }").is_err());
+    // Unknown dependency.
+    assert!(DataSynth::from_dsl(
+        "graph g { node A [count = 5] { x: long = counter() given (ghost); } }"
+    )
+    .is_err());
+    // Cycle.
+    assert!(DataSynth::from_dsl(
+        "graph g { node A [count = 5] { x: long = counter() given (y); y: long = counter() given (x); } }"
+    )
+    .is_err());
+}
+
+#[test]
+fn unknown_generators_fail_at_generate_time_with_context() {
+    let src = r#"graph g {
+        node A [count = 5] { x: text = warp_field(); }
+    }"#;
+    let err = DataSynth::from_dsl(src).unwrap().generate().unwrap_err();
+    assert!(err.to_string().contains("warp_field"), "{err}");
+
+    let src = r#"graph g {
+        node A [count = 5] { x: long = counter(); }
+        edge e: A -- A { structure = quantum_foam(); }
+    }"#;
+    let err = DataSynth::from_dsl(src).unwrap().generate().unwrap_err();
+    assert!(err.to_string().contains("quantum_foam"), "{err}");
+}

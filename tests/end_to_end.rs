@@ -1,0 +1,139 @@
+//! Cross-crate integration: the full running example through the umbrella
+//! crate, exports included.
+
+use datasynth::prelude::*;
+
+const SCHEMA: &str = r#"
+graph social {
+  node Person [count = 3000] {
+    country: text = dictionary("countries");
+    sex: text = categorical("M": 0.5, "F": 0.5);
+    name: text = first_names() given (country, sex);
+    interest: text = dictionary("topics");
+    creationDate: date = date_between("2010-01-01", "2013-01-01");
+  }
+  node Message {
+    topic: text = dictionary("topics");
+    text: text = sentence_about(5, 15) given (topic);
+  }
+  edge knows: Person -- Person [many_to_many] {
+    structure = lfr(avg_degree = 12, max_degree = 40, mixing = 0.1);
+    correlate country with homophily(0.8);
+    creationDate: date = date_after(90) given (source.creationDate, target.creationDate);
+  }
+  edge creates: Person -> Message [one_to_many] {
+    structure = one_to_many(dist = "zipf", exponent = 1.5, max = 40);
+    creationDate: date = date_after(800) given (source.creationDate);
+  }
+}
+"#;
+
+fn generate(seed: u64) -> PropertyGraph {
+    DataSynth::from_dsl(SCHEMA)
+        .unwrap()
+        .with_seed(seed)
+        .generate()
+        .unwrap()
+}
+
+#[test]
+fn full_running_example_is_consistent() {
+    let graph = generate(2017);
+    assert!(graph.validate().is_empty());
+    assert_eq!(graph.node_count("Person"), Some(3000));
+    let messages = graph.node_count("Message").unwrap();
+    assert_eq!(messages, graph.edges("creates").unwrap().len());
+    assert!(messages > 0, "zipf out-degrees must produce messages");
+    // The paper's §4.1 counts eight PTs (it counts creationDate on only
+    // one of the two edge types); our schema declares it on both => 9.
+    let node_props: usize = ["country", "sex", "name", "interest", "creationDate"]
+        .iter()
+        .filter(|p| graph.node_property("Person", p).is_some())
+        .count()
+        + ["topic", "text"]
+            .iter()
+            .filter(|p| graph.node_property("Message", p).is_some())
+            .count();
+    let edge_props = usize::from(graph.edge_property("knows", "creationDate").is_some())
+        + usize::from(graph.edge_property("creates", "creationDate").is_some());
+    assert_eq!(node_props + edge_props, 9);
+}
+
+#[test]
+fn all_figure1_constraints_hold() {
+    let graph = generate(2017);
+    let knows = graph.edges("knows").unwrap();
+    let p_date = graph.node_property("Person", "creationDate").unwrap();
+    let k_date = graph.edge_property("knows", "creationDate").unwrap();
+    // knows.creationDate greater than the creationDate of both Persons.
+    for i in 0..knows.len() {
+        let (t, h) = knows.edge(i);
+        let bound = p_date.value(t).unwrap().as_long().unwrap()
+            .max(p_date.value(h).unwrap().as_long().unwrap());
+        assert!(k_date.value(i).unwrap().as_long().unwrap() > bound);
+    }
+    // creates.creationDate greater than the creator's creationDate.
+    let creates = graph.edges("creates").unwrap();
+    let c_date = graph.edge_property("creates", "creationDate").unwrap();
+    for i in 0..creates.len() {
+        let t = creates.tail(i);
+        assert!(
+            c_date.value(i).unwrap().as_long().unwrap()
+                > p_date.value(t).unwrap().as_long().unwrap()
+        );
+    }
+    // Message text mentions its topic.
+    let topic = graph.node_property("Message", "topic").unwrap();
+    let text = graph.node_property("Message", "text").unwrap();
+    for id in 0..graph.node_count("Message").unwrap().min(300) {
+        let t = topic.value(id).unwrap().render();
+        assert!(text.value(id).unwrap().render().contains(&t));
+    }
+}
+
+#[test]
+fn exports_are_deterministic_and_complete() {
+    let dir_a = std::env::temp_dir().join(format!("ds-it-a-{}", std::process::id()));
+    let dir_b = std::env::temp_dir().join(format!("ds-it-b-{}", std::process::id()));
+    CsvExporter.export(&generate(5), &dir_a).unwrap();
+    CsvExporter.export(&generate(5), &dir_b).unwrap();
+    for file in ["Person.csv", "Message.csv", "knows.csv", "creates.csv"] {
+        let a = std::fs::read(dir_a.join(file)).unwrap();
+        let b = std::fs::read(dir_b.join(file)).unwrap();
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "{file} must be byte-identical across runs");
+    }
+    // Row counts match declared/inferred instance counts (+1 header).
+    let graph = generate(5);
+    let person_rows = std::fs::read_to_string(dir_a.join("Person.csv"))
+        .unwrap()
+        .lines()
+        .count() as u64;
+    assert_eq!(person_rows, graph.node_count("Person").unwrap() + 1);
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
+}
+
+#[test]
+fn jsonl_export_lines_parse_as_objects() {
+    let graph = generate(9);
+    let dir = std::env::temp_dir().join(format!("ds-it-j-{}", std::process::id()));
+    JsonlExporter.export(&graph, &dir).unwrap();
+    let content = std::fs::read_to_string(dir.join("Person.jsonl")).unwrap();
+    for line in content.lines().take(50) {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"country\":"));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = generate(1);
+    let b = generate(2);
+    assert_ne!(
+        a.node_property("Person", "country"),
+        b.node_property("Person", "country")
+    );
+    assert_ne!(a.edges("knows"), b.edges("knows"));
+}

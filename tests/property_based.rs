@@ -1,0 +1,140 @@
+//! Property-based tests (proptest) over cross-crate invariants.
+
+use proptest::prelude::*;
+
+use datasynth::matching::evaluate::geometric_group_sizes;
+use datasynth::matching::{assignment_to_mapping, Jpd};
+use datasynth::prng::dist::{Categorical, Sampler};
+use datasynth::prng::{SkipSeed, SplitMix64};
+use datasynth::structure::{Gnp, StructureGenerator};
+use datasynth::tables::{format_date, parse_date, Csr, EdgeTable};
+
+proptest! {
+    /// Skip-seed random access equals sequential generation at any index.
+    #[test]
+    fn skipseed_matches_sequential(seed: u64, idx in 0u64..10_000) {
+        let skip = SkipSeed::new(seed);
+        let mut seq = SplitMix64::new(seed);
+        for _ in 0..idx {
+            seq.next_u64();
+        }
+        prop_assert_eq!(skip.at(idx), seq.next_u64());
+    }
+
+    /// `next_below` respects its bound for arbitrary seeds and bounds.
+    #[test]
+    fn next_below_in_range(seed: u64, bound in 1u64..u64::MAX) {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..16 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+
+    /// Shuffle always yields a permutation.
+    #[test]
+    fn shuffle_is_permutation(seed: u64, n in 0usize..200) {
+        let mut v: Vec<usize> = (0..n).collect();
+        SplitMix64::new(seed).shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Date formatting and parsing round-trip from year 0 to year ~7400
+    /// (ISO rendering of negative years is out of scope for the parser).
+    #[test]
+    fn date_roundtrip(days in -719_528i64..2_000_000) {
+        let s = format_date(days);
+        prop_assert_eq!(parse_date(&s), Some(days));
+    }
+
+    /// Categorical sampling stays on the declared support.
+    #[test]
+    fn categorical_on_support(
+        seed: u64,
+        weights in prop::collection::vec(0.01f64..100.0, 1..40),
+    ) {
+        let dist = Categorical::new(&weights);
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..32 {
+            prop_assert!(dist.sample(&mut rng) < weights.len());
+        }
+    }
+
+    /// The paper's geometric group sizes always partition n exactly, with
+    /// no empty group.
+    #[test]
+    fn geometric_sizes_partition(n in 64u64..100_000, k in 1usize..64) {
+        prop_assume!(n >= k as u64);
+        let sizes = geometric_group_sizes(n, k, 0.4);
+        prop_assert_eq!(sizes.len(), k);
+        prop_assert_eq!(sizes.iter().sum::<u64>(), n);
+        prop_assert!(sizes.iter().all(|&s| s >= 1));
+    }
+
+    /// assignment_to_mapping is a bijection for any consistent assignment.
+    #[test]
+    fn mapping_is_bijection(labels in prop::collection::vec(0u32..8, 1..300)) {
+        let k = 8usize;
+        let mut sizes = vec![0u64; k];
+        for &l in &labels {
+            sizes[l as usize] += 1;
+        }
+        let mapping = assignment_to_mapping(&labels, &sizes);
+        let mut sorted = mapping.clone();
+        sorted.sort_unstable();
+        let expected: Vec<u64> = (0..labels.len() as u64).collect();
+        prop_assert_eq!(sorted, expected);
+    }
+
+    /// Any nonnegative symmetric matrix normalizes into a valid JPD whose
+    /// unordered masses sum to 1.
+    #[test]
+    fn jpd_normalizes(k in 1usize..12, seed: u64) {
+        let mut rng = SplitMix64::new(seed);
+        let mut rows = vec![vec![0.0f64; k]; k];
+        let mut any = false;
+        #[allow(clippy::needless_range_loop)] // matrix (i, j) indexing
+        for i in 0..k {
+            for j in i..k {
+                let v = rng.next_f64();
+                rows[i][j] = v;
+                rows[j][i] = v;
+                any = any || v > 0.0;
+            }
+        }
+        prop_assume!(any);
+        let jpd = Jpd::from_matrix(&rows);
+        let mut total = 0.0;
+        for i in 0..k {
+            for j in i..k {
+                total += jpd.unordered_mass(i, j);
+            }
+        }
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    /// G(n,p) output is always canonical, in range, and duplicate-free.
+    #[test]
+    fn gnp_always_simple(seed: u64, n in 2u64..300, p in 0.0f64..0.2) {
+        let et = Gnp::new(p).run(n, &mut SplitMix64::new(seed));
+        let mut seen = std::collections::HashSet::new();
+        for (t, h) in et.iter() {
+            prop_assert!(t < h && h < n);
+            prop_assert!(seen.insert((t, h)));
+        }
+    }
+
+    /// CSR degree sums always equal twice the edge count (undirected).
+    #[test]
+    fn csr_degree_sum(seed: u64, n in 1u64..200, m in 0usize..500) {
+        let mut rng = SplitMix64::new(seed);
+        let et = EdgeTable::from_pairs(
+            "e",
+            (0..m).map(|_| (rng.next_below(n), rng.next_below(n))),
+        );
+        let csr = Csr::undirected(&et, n);
+        let total: u64 = (0..n).map(|v| csr.degree(v)).sum();
+        prop_assert_eq!(total, 2 * et.len());
+    }
+}

@@ -1,0 +1,109 @@
+//! Integration: the scale-factor requirement — all the ways the paper says
+//! a graph's size can be specified (§2 Scale Factor, §4.2 sizing walk-through).
+
+use datasynth::prelude::*;
+
+#[test]
+fn node_count_drives_everything() {
+    let src = r#"graph g {
+        node A [count = 1234] { x: long = counter(); }
+        edge e: A -- A { structure = lfr(avg_degree = 6, max_degree = 20, min_community = 5, max_community = 40); }
+    }"#;
+    let g = DataSynth::from_dsl(src).unwrap().generate().unwrap();
+    assert_eq!(g.node_count("A"), Some(1234));
+    let m = g.edges("e").unwrap().len() as f64;
+    assert!((m - 1234.0 * 3.0).abs() / m < 0.25, "m = {m}");
+}
+
+#[test]
+fn edge_count_sizes_the_source_via_get_num_nodes() {
+    // The paper: "the user could be interested in specifying the scale of
+    // the graph in terms of the number of edges ... DataSynth would use the
+    // getNumNodes method".
+    let src = r#"graph g {
+        node A { x: long = counter(); }
+        edge e: A -- A [count = 32768] { structure = rmat(edge_factor = 8); }
+    }"#;
+    let g = DataSynth::from_dsl(src).unwrap().generate().unwrap();
+    assert_eq!(g.node_count("A"), Some(4096));
+    assert_eq!(g.edges("e").unwrap().len(), 32768);
+}
+
+#[test]
+fn one_to_many_chain_infers_downstream_counts() {
+    // Person -> Message is the paper's worked example: Message count comes
+    // from the size of the creates structure.
+    let src = r#"graph g {
+        node Person [count = 700] { x: long = counter(); }
+        node Message { y: long = counter(); }
+        node Reaction { z: long = counter(); }
+        edge creates: Person -> Message [one_to_many] {
+            structure = one_to_many(dist = "constant", k = 3);
+        }
+        edge reacts: Message -> Reaction [one_to_many] {
+            structure = one_to_many(dist = "constant", k = 2);
+        }
+    }"#;
+    let g = DataSynth::from_dsl(src).unwrap().generate().unwrap();
+    assert_eq!(g.node_count("Message"), Some(2100));
+    assert_eq!(g.node_count("Reaction"), Some(4200), "two-hop inference");
+    // Every Message has exactly one creator; every Reaction one Message.
+    let creates = g.edges("creates").unwrap();
+    assert_eq!(creates.in_degrees(2100), vec![1u32; 2100]);
+}
+
+#[test]
+fn underdetermined_schemas_fail_with_guidance() {
+    let src = r#"graph g { node A { x: long = counter(); } }"#;
+    let err = DataSynth::from_dsl(src).unwrap().generate().unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("cannot determine"), "{msg}");
+    assert!(msg.contains("count"), "{msg}");
+}
+
+#[test]
+fn ambiguous_derivations_fail() {
+    let src = r#"graph g {
+        node A [count = 10] { x: long = counter(); }
+        node B { y: long = counter(); }
+        edge e1: A -> B [one_to_many] { structure = one_to_many(dist = "constant", k = 1); }
+        edge e2: A -> B [one_to_many] { structure = one_to_many(dist = "constant", k = 2); }
+    }"#;
+    let err = DataSynth::from_dsl(src).unwrap().generate().unwrap_err();
+    assert!(err.to_string().contains("derivable from both"), "{err}");
+}
+
+#[test]
+fn explicit_count_wins_over_derivation() {
+    let src = r#"graph g {
+        node A [count = 10] { x: long = counter(); }
+        node B [count = 100] { y: long = counter(); }
+        edge e: A -> B [one_to_many] { structure = one_to_many(dist = "constant", k = 2); }
+    }"#;
+    let g = DataSynth::from_dsl(src).unwrap().generate().unwrap();
+    // B keeps its declared count; edge heads (20 of them) fit inside it.
+    assert_eq!(g.node_count("B"), Some(100));
+    assert_eq!(g.edges("e").unwrap().len(), 20);
+    assert!(g.validate().is_empty());
+}
+
+#[test]
+fn plan_is_inspectable_and_ordered() {
+    let src = r#"graph g {
+        node Person [count = 50] { c: text = dictionary("countries"); }
+        node Message { t: text = dictionary("topics"); }
+        edge creates: Person -> Message [one_to_many] {
+            structure = one_to_many(dist = "constant", k = 1);
+        }
+    }"#;
+    let plan = DataSynth::from_dsl(src).unwrap().plan().unwrap();
+    let pos = |needle: &str| {
+        plan.tasks
+            .iter()
+            .position(|t| t.to_string() == needle)
+            .unwrap_or_else(|| panic!("missing task {needle}"))
+    };
+    assert!(pos("count(Person)") < pos("structure(creates)"));
+    assert!(pos("structure(creates)") < pos("count(Message)"));
+    assert!(pos("count(Message)") < pos("property(Message.t)"));
+}
