@@ -11,11 +11,18 @@ pub fn modularity(edges: &EdgeTable, n: u64, partition: &[u32]) -> f64 {
     if m == 0.0 {
         return 0.0;
     }
-    let k = partition.iter().copied().max().map_or(0, |x| x as usize + 1);
+    let k = partition
+        .iter()
+        .copied()
+        .max()
+        .map_or(0, |x| x as usize + 1);
     let mut intra = vec![0.0f64; k]; // edges fully inside community c
     let mut deg_sum = vec![0.0f64; k]; // total degree of community c
     for (t, h) in edges.iter() {
-        let (ct, ch) = (partition[t as usize] as usize, partition[h as usize] as usize);
+        let (ct, ch) = (
+            partition[t as usize] as usize,
+            partition[h as usize] as usize,
+        );
         deg_sum[ct] += 1.0;
         deg_sum[ch] += 1.0;
         if ct == ch {

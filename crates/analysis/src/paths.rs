@@ -33,7 +33,11 @@ pub fn estimate_diameter(csr: &Csr, rng: &mut SplitMix64) -> u32 {
     let d1 = bfs_distances(csr, start);
     let far = farthest_reachable(&d1).unwrap_or(start);
     let d2 = bfs_distances(csr, far);
-    d2.iter().copied().filter(|&d| d != u32::MAX).max().unwrap_or(0)
+    d2.iter()
+        .copied()
+        .filter(|&d| d != u32::MAX)
+        .max()
+        .unwrap_or(0)
 }
 
 fn farthest_reachable(dist: &[u32]) -> Option<u64> {

@@ -1,0 +1,53 @@
+//! Workload-generation throughput: schema-template derivation plus
+//! parameter curation over a freshly generated graph.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use datasynth_core::DataSynth;
+use datasynth_workload::{derive_templates, WorkloadGenerator};
+
+const SCHEMA: &str = r#"
+graph bench {
+  node Person [count = 5000] {
+    country: text = dictionary("countries");
+    age: long = uniform(18, 90);
+  }
+  node Message {
+    topic: text = dictionary("topics");
+  }
+  edge knows: Person -- Person {
+    structure = lfr(avg_degree = 10, max_degree = 30);
+    correlate country with homophily(0.8);
+  }
+  edge creates: Person -> Message [one_to_many] {
+    structure = one_to_many(dist = "geometric", p = 0.4);
+  }
+}
+"#;
+
+fn bench_workload(c: &mut Criterion) {
+    let generator = DataSynth::from_dsl(SCHEMA).unwrap().with_seed(7);
+    let schema = generator.schema().clone();
+    let graph = generator.generate().unwrap();
+
+    let mut group = c.benchmark_group("workload");
+    group.sample_size(10);
+
+    group.bench_function("derive_templates", |b| {
+        b.iter(|| black_box(derive_templates(&schema)))
+    });
+
+    group.throughput(Throughput::Elements(200));
+    group.bench_function("generate_200_queries", |b| {
+        b.iter(|| {
+            let wl = WorkloadGenerator::new(&schema, &graph)
+                .with_seed(7)
+                .generate(200)
+                .unwrap();
+            black_box(wl)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_workload);
+criterion_main!(benches);

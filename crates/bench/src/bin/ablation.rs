@@ -16,19 +16,62 @@ use datasynth_tables::Csr;
 
 fn main() {
     let opts = CliOptions::from_args();
-    let (lfr_n, rmat_scale) = if opts.full { (1_000_000, 22) } else { (50_000, 16) };
+    let (lfr_n, rmat_scale) = if opts.full {
+        (1_000_000, 22)
+    } else {
+        (50_000, 16)
+    };
     let k = 16;
 
     println!("=== Ablation: scoring scheme x capacity penalty (k = {k}) ===");
     let configs = [
-        ("raw counts, capacity", SbmPartConfig { scheme: ScoreScheme::RawCounts, no_capacity_penalty: false }),
-        ("raw counts, no capacity", SbmPartConfig { scheme: ScoreScheme::RawCounts, no_capacity_penalty: true }),
-        ("density, capacity", SbmPartConfig { scheme: ScoreScheme::Density, no_capacity_penalty: false }),
-        ("density, no capacity", SbmPartConfig { scheme: ScoreScheme::Density, no_capacity_penalty: true }),
-        ("rel-deficit, capacity", SbmPartConfig { scheme: ScoreScheme::RelativeDeficit, no_capacity_penalty: false }),
-        ("rel-deficit, no capacity", SbmPartConfig { scheme: ScoreScheme::RelativeDeficit, no_capacity_penalty: true }),
+        (
+            "raw counts, capacity",
+            SbmPartConfig {
+                scheme: ScoreScheme::RawCounts,
+                no_capacity_penalty: false,
+            },
+        ),
+        (
+            "raw counts, no capacity",
+            SbmPartConfig {
+                scheme: ScoreScheme::RawCounts,
+                no_capacity_penalty: true,
+            },
+        ),
+        (
+            "density, capacity",
+            SbmPartConfig {
+                scheme: ScoreScheme::Density,
+                no_capacity_penalty: false,
+            },
+        ),
+        (
+            "density, no capacity",
+            SbmPartConfig {
+                scheme: ScoreScheme::Density,
+                no_capacity_penalty: true,
+            },
+        ),
+        (
+            "rel-deficit, capacity",
+            SbmPartConfig {
+                scheme: ScoreScheme::RelativeDeficit,
+                no_capacity_penalty: false,
+            },
+        ),
+        (
+            "rel-deficit, no capacity",
+            SbmPartConfig {
+                scheme: ScoreScheme::RelativeDeficit,
+                no_capacity_penalty: true,
+            },
+        ),
     ];
-    for kind in [GraphKind::Lfr { n: lfr_n }, GraphKind::Rmat { scale: rmat_scale }] {
+    for kind in [
+        GraphKind::Lfr { n: lfr_n },
+        GraphKind::Rmat { scale: rmat_scale },
+    ] {
         for (label, config) in configs {
             let r = run_matching_experiment(kind, k, opts.seed, Matcher::SbmPart(config));
             println!("{label:<26} {}", result_row(&r));
@@ -81,7 +124,11 @@ fn main() {
     let mut order3: Vec<u64> = (0..n).collect();
     SplitMix64::new(opts.seed ^ 0xACDC).shuffle(&mut order3);
     let mut assign = sbm_part_with(&input, &order3, config).group_of;
-    for (label, attempts) in [("no refinement", 0u64), ("2n swaps", 2 * n), ("10n swaps", 10 * n)] {
+    for (label, attempts) in [
+        ("no refinement", 0u64),
+        ("2n swaps", 2 * n),
+        ("10n swaps", 10 * n),
+    ] {
         let mut refined = assign.clone();
         let mut rng = SplitMix64::new(opts.seed ^ 0x0F0F);
         let stats = refine_assignment(&input, &mut refined, attempts, &mut rng);

@@ -51,12 +51,21 @@ fn main() {
     );
 
     println!("== Table 1 (paper original, for comparison) ==\n");
-    println!("{:<18} structure: dd, cc; property values + correlations; node+edge scale; scalable", "LDBC-SNB");
-    println!("{:<18} schema: node/edge props, 1-1 & 1-* cardinality; dd; node scale; scalable; language", "Myriad");
+    println!(
+        "{:<18} structure: dd, cc; property values + correlations; node+edge scale; scalable",
+        "LDBC-SNB"
+    );
+    println!(
+        "{:<18} schema: node/edge props, 1-1 & 1-* cardinality; dd; node scale; scalable; language",
+        "Myriad"
+    );
     println!("{:<18} structure: pl dd; node scale; scalable", "RMat");
     println!("{:<18} structure: pl dd, communities; node scale", "LFR");
     println!("{:<18} structure: dd, accd; node scale; scalable", "BTER");
-    println!("{:<18} structure: dd, ccdd; node scale; scalable", "Darwini");
+    println!(
+        "{:<18} structure: dd, ccdd; node scale; scalable",
+        "Darwini"
+    );
     println!(
         "\nDataSynth-rs itself covers the full requirement matrix: schema (node/edge types,\n\
          properties, cardinalities), structure (via the generators above), distributions\n\

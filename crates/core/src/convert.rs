@@ -139,10 +139,13 @@ mod tests {
     #[test]
     fn jpd_specs() {
         let freqs = [10u64, 30, 60];
-        let homo = build_jpd(&GeneratorSpec {
-            name: "homophily".into(),
-            args: vec![SpecArg::Num(0.7)],
-        }, &freqs)
+        let homo = build_jpd(
+            &GeneratorSpec {
+                name: "homophily".into(),
+                args: vec![SpecArg::Num(0.7)],
+            },
+            &freqs,
+        )
         .unwrap();
         assert!((homo.diagonal_mass() - 0.7).abs() < 1e-9);
         let unif = build_jpd(&GeneratorSpec::bare("uniform"), &freqs).unwrap();

@@ -167,19 +167,13 @@ pub fn analyze(schema: &Schema) -> Result<Analysis, PipelineError> {
         // cannot cycle: a count derived from this edge's declared count
         // (`FromEdgeCount`) is a pure function of the generator spec, so
         // its NodeCount task has no dependency on the Structure task.
-        add(
-            s_task.clone(),
-            Some(Task::NodeCount(edge.source.clone())),
-        );
+        add(s_task.clone(), Some(Task::NodeCount(edge.source.clone())));
         // Structure needs the target count too for endpoint validation,
         // except when this very edge defines it.
         if !matches!(&count_sources[&edge.target], CountSource::FromStructure(e) if e == &edge.name)
             && edge.target != edge.source
         {
-            add(
-                s_task.clone(),
-                Some(Task::NodeCount(edge.target.clone())),
-            );
+            add(s_task.clone(), Some(Task::NodeCount(edge.target.clone())));
         }
 
         let m_task = Task::Match(edge.name.clone());
@@ -189,7 +183,10 @@ pub fn analyze(schema: &Schema) -> Result<Analysis, PipelineError> {
         if let Some(corr) = &edge.correlation {
             add(
                 m_task.clone(),
-                Some(Task::NodeProperty(edge.source.clone(), corr.property.clone())),
+                Some(Task::NodeProperty(
+                    edge.source.clone(),
+                    corr.property.clone(),
+                )),
             );
         }
 
@@ -349,8 +346,7 @@ graph social {
 
     #[test]
     fn underdetermined_count_is_an_error() {
-        let schema =
-            parse_schema("graph g { node A { x: long = counter(); } }").unwrap();
+        let schema = parse_schema("graph g { node A { x: long = counter(); } }").unwrap();
         let err = analyze(&schema).unwrap_err();
         assert!(err.to_string().contains("cannot determine"));
     }

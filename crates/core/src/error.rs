@@ -75,8 +75,7 @@ mod tests {
     fn display_prefixes_the_source() {
         let e = PipelineError::Sizing("Person has no count".into());
         assert!(e.to_string().starts_with("sizing error:"));
-        let e: PipelineError =
-            datasynth_schema::SchemaError::general("bad").into();
+        let e: PipelineError = datasynth_schema::SchemaError::general("bad").into();
         assert!(e.to_string().contains("schema error"));
     }
 }

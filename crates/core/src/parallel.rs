@@ -1,4 +1,4 @@
-//! Chunked parallel generation with crossbeam scoped threads.
+//! Chunked parallel generation with std scoped threads.
 //!
 //! Because every value is a pure function of `(seed, id)`, the id space can
 //! be split into arbitrary chunks and generated on any worker — this is the
@@ -30,20 +30,19 @@ where
         .filter(|r| !r.is_empty())
         .collect();
 
-    let results = crossbeam::thread::scope(|scope| {
+    let results = std::thread::scope(|scope| {
         let handles: Vec<_> = ranges
             .into_iter()
             .map(|range| {
                 let f = &f;
-                scope.spawn(move |_| f(range))
+                scope.spawn(move || f(range))
             })
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("worker panicked"))
             .collect::<Result<Vec<Vec<T>>, PipelineError>>()
-    })
-    .expect("scope panicked")?;
+    })?;
 
     let mut out = Vec::with_capacity(n as usize);
     for part in results {

@@ -2,9 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use datasynth_matching::{
-    assignment_to_mapping_with_ids, sbm_part, MatchInput,
-};
+use datasynth_matching::{assignment_to_mapping_with_ids, sbm_part, MatchInput};
 use datasynth_prng::{seed_from_label, SplitMix64, TableStream};
 use datasynth_props::{build_property_generator, PropertyGenerator};
 use datasynth_schema::{
@@ -215,7 +213,10 @@ impl RunState<'_> {
         let edge = self.edge_def(edge_name);
         let sg = self.build_structure_generator(edge)?;
         let n = self.counts[&edge.source];
-        let mut rng = SplitMix64::new(seed_from_label(self.seed, &format!("structure.{edge_name}")));
+        let mut rng = SplitMix64::new(seed_from_label(
+            self.seed,
+            &format!("structure.{edge_name}"),
+        ));
         let et = sg.run(n, &mut rng);
         self.raw_structures.insert(edge_name.to_owned(), et);
         Ok(())
@@ -497,10 +498,7 @@ graph social {
         // smaller than the biggest country group — the paper observes the
         // same structure-dependence.)
         let total: f64 = freqs.iter().map(|(_, c)| *c as f64).sum();
-        let independent: f64 = freqs
-            .iter()
-            .map(|(_, c)| (*c as f64 / total).powi(2))
-            .sum();
+        let independent: f64 = freqs.iter().map(|(_, c)| (*c as f64 / total).powi(2)).sum();
         assert!(
             diag > 2.2 * independent && diag > 0.3,
             "observed diagonal {diag}, independent baseline {independent}"

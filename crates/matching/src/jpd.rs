@@ -151,7 +151,11 @@ impl Jpd {
                 pairs.push((i, j, self.unordered_mass(i, j)));
             }
         }
-        pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("no NaN").then(a.0.cmp(&b.0).then(a.1.cmp(&b.1))));
+        pairs.sort_by(|a, b| {
+            b.2.partial_cmp(&a.2)
+                .expect("no NaN")
+                .then(a.0.cmp(&b.0).then(a.1.cmp(&b.1)))
+        });
         pairs
     }
 

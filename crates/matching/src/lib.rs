@@ -25,9 +25,7 @@ mod matcher;
 mod refine;
 mod sbm_part;
 
-pub use bipartite::{
-    empirical_bipartite_jpd, sbm_part_bipartite, BipartiteInput, BipartiteResult,
-};
+pub use bipartite::{empirical_bipartite_jpd, sbm_part_bipartite, BipartiteInput, BipartiteResult};
 pub use jpd::Jpd;
 pub use ldg::ldg_partition;
 pub use matcher::{

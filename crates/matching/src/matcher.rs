@@ -80,8 +80,7 @@ pub fn random_matching(group_sizes: &[u64], num_nodes: u64, seed: u64) -> MatchR
 
 /// Materialize the matched property column: `out[node] = pt[mapping[node]]`.
 pub fn apply_mapping(pt: &PropertyTable, mapping: &[u64]) -> Result<PropertyTable, TableError> {
-    let values: Result<Vec<Value>, TableError> =
-        mapping.iter().map(|&id| pt.value(id)).collect();
+    let values: Result<Vec<Value>, TableError> = mapping.iter().map(|&id| pt.value(id)).collect();
     PropertyTable::from_values(pt.name().to_owned(), pt.value_type(), values?)
 }
 
@@ -142,8 +141,7 @@ mod tests {
 
     #[test]
     fn apply_mapping_out_of_range_errors() {
-        let pt =
-            PropertyTable::from_values("p", ValueType::Long, [1i64].map(Value::from)).unwrap();
+        let pt = PropertyTable::from_values("p", ValueType::Long, [1i64].map(Value::from)).unwrap();
         assert!(apply_mapping(&pt, &[5]).is_err());
     }
 }

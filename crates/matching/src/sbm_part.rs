@@ -70,11 +70,7 @@ pub fn sbm_part(input: &MatchInput<'_>, order: &[u64]) -> MatchResult {
 }
 
 /// Run SBM-Part with explicit configuration.
-pub fn sbm_part_with(
-    input: &MatchInput<'_>,
-    order: &[u64],
-    config: SbmPartConfig,
-) -> MatchResult {
+pub fn sbm_part_with(input: &MatchInput<'_>, order: &[u64], config: SbmPartConfig) -> MatchResult {
     let n = input.csr.num_nodes() as usize;
     let k = input.group_sizes.len();
     assert_eq!(input.jpd.k(), k, "JPD arity must match group count");
@@ -287,14 +283,9 @@ mod tests {
         let random = crate::matcher::random_matching(&sizes, n, 1);
         let observed_smart = empirical_jpd(&smart.group_of, &et, jpd.k());
         let observed_random = empirical_jpd(&random.group_of, &et, jpd.k());
-        let err_smart = datasynth_analysis::l1_distance(
-            &flatten(&jpd),
-            &flatten(&observed_smart),
-        );
-        let err_random = datasynth_analysis::l1_distance(
-            &flatten(&jpd),
-            &flatten(&observed_random),
-        );
+        let err_smart = datasynth_analysis::l1_distance(&flatten(&jpd), &flatten(&observed_smart));
+        let err_random =
+            datasynth_analysis::l1_distance(&flatten(&jpd), &flatten(&observed_random));
         assert!(
             err_smart < 0.5 * err_random,
             "SBM-Part {err_smart} vs random {err_random}"

@@ -1,0 +1,707 @@
+//! Inverse-transform samplers over [`SplitMix64`] draws.
+//!
+//! Every distribution here is sampled by pure inverse transform (or alias
+//! lookup) from independent uniform draws, so the value sequence depends
+//! only on the RNG state — the determinism the in-place generation scheme
+//! relies on.
+
+use crate::splitmix::SplitMix64;
+
+/// Map a raw draw to the unit interval `[0, 1)` using the top 53 bits.
+#[inline]
+pub fn u64_to_unit_f64(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A distribution that can draw one value per call.
+pub trait Sampler {
+    /// The sampled type.
+    type Output;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut SplitMix64) -> Self::Output;
+}
+
+// ---------------------------------------------------------------------------
+// Uniform.
+// ---------------------------------------------------------------------------
+
+/// Uniform integers in the inclusive range `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformU64 {
+    lo: u64,
+    hi: u64,
+}
+
+impl UniformU64 {
+    /// Inclusive bounds (`lo <= hi`).
+    pub fn new(lo: u64, hi: u64) -> Self {
+        assert!(lo <= hi, "uniform bounds inverted: [{lo}, {hi}]");
+        Self { lo, hi }
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> u64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> u64 {
+        self.hi
+    }
+}
+
+impl Sampler for UniformU64 {
+    type Output = u64;
+    fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        rng.next_range_inclusive(self.lo, self.hi)
+    }
+}
+
+/// Uniform floats in `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformF64 {
+    lo: f64,
+    hi: f64,
+}
+
+impl UniformF64 {
+    /// Half-open bounds (`lo <= hi`).
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "uniform bounds inverted: [{lo}, {hi})");
+        Self { lo, hi }
+    }
+}
+
+impl Sampler for UniformF64 {
+    type Output = f64;
+    fn sample(&self, rng: &mut SplitMix64) -> f64 {
+        self.lo + rng.next_f64() * (self.hi - self.lo)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Zipf.
+// ---------------------------------------------------------------------------
+
+/// Zipf over ranks `1..=n` with exponent `s`: `P(k) ∝ k^-s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    s: f64,
+    n: u64,
+    /// `cdf[i]` = P(K <= i+1); length n.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Exponent `s > 0`, support `1..=n`.
+    pub fn new(s: f64, n: u64) -> Self {
+        assert!(n >= 1, "zipf needs a nonempty support");
+        assert!(s > 0.0 && s.is_finite(), "zipf exponent must be positive");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { s, n, cdf }
+    }
+
+    /// Support size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Exponent.
+    pub fn s(&self) -> f64 {
+        self.s
+    }
+
+    /// Probability of rank `k` (0 outside `1..=n`).
+    pub fn pmf(&self, k: u64) -> f64 {
+        if k < 1 || k > self.n {
+            return 0.0;
+        }
+        let i = (k - 1) as usize;
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+}
+
+impl Sampler for Zipf {
+    type Output = u64;
+    fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        let u = rng.next_f64();
+        (self.cdf.partition_point(|&c| c < u) as u64 + 1).min(self.n)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Truncated discrete power law.
+// ---------------------------------------------------------------------------
+
+/// Discrete power law `P(k) ∝ k^-alpha` truncated to `kmin..=kmax`.
+#[derive(Debug, Clone)]
+pub struct DiscretePowerLaw {
+    kmin: u64,
+    kmax: u64,
+    mean: f64,
+    /// `cdf[i]` = P(K <= kmin + i).
+    cdf: Vec<f64>,
+}
+
+impl DiscretePowerLaw {
+    /// Exponent `alpha`, inclusive support `kmin..=kmax` (`1 <= kmin <= kmax`).
+    pub fn new(alpha: f64, kmin: u64, kmax: u64) -> Self {
+        assert!(kmin >= 1 && kmin <= kmax, "bad support [{kmin}, {kmax}]");
+        let mut cdf = Vec::with_capacity((kmax - kmin + 1) as usize);
+        let mut acc = 0.0f64;
+        let mut weighted = 0.0f64;
+        for k in kmin..=kmax {
+            let w = (k as f64).powf(-alpha);
+            acc += w;
+            weighted += k as f64 * w;
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self {
+            kmin,
+            kmax,
+            mean: weighted / total,
+            cdf,
+        }
+    }
+
+    /// Lower support bound.
+    pub fn kmin(&self) -> u64 {
+        self.kmin
+    }
+
+    /// Upper support bound.
+    pub fn kmax(&self) -> u64 {
+        self.kmax
+    }
+
+    /// Expected value.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Probability of `k` (0 outside the support).
+    pub fn pmf(&self, k: u64) -> f64 {
+        if k < self.kmin || k > self.kmax {
+            return 0.0;
+        }
+        let i = (k - self.kmin) as usize;
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+}
+
+impl Sampler for DiscretePowerLaw {
+    type Output = u64;
+    fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        let u = rng.next_f64();
+        (self.kmin + self.cdf.partition_point(|&c| c < u) as u64).min(self.kmax)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Geometric.
+// ---------------------------------------------------------------------------
+
+/// `P(X = k) = p (1-p)^k` for `k = 0, 1, 2, ...`.
+pub fn geometric_pmf(p: f64, k: u64) -> f64 {
+    p * (1.0 - p).powi(k.min(i32::MAX as u64) as i32)
+}
+
+/// Geometric distribution on `0, 1, 2, ...` with success probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Geometric {
+    p: f64,
+}
+
+impl Geometric {
+    /// `0 < p <= 1`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "geometric p out of (0, 1]: {p}");
+        Self { p }
+    }
+
+    /// Success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl Sampler for Geometric {
+    type Output = u64;
+    fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        if self.p >= 1.0 {
+            return 0;
+        }
+        // Inverse transform: floor(ln(1-u) / ln(1-p)).
+        let u = rng.next_f64();
+        let k = (1.0 - u).ln() / (1.0 - self.p).ln();
+        if k.is_finite() {
+            k.floor().max(0.0) as u64
+        } else {
+            0
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded Pareto (continuous).
+// ---------------------------------------------------------------------------
+
+/// Continuous Pareto truncated to `[lo, hi]` with shape `alpha`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundedPareto {
+    alpha: f64,
+    lo: f64,
+    hi: f64,
+}
+
+impl BoundedPareto {
+    /// Shape `alpha > 0`, bounds `0 < lo <= hi`.
+    pub fn new(alpha: f64, lo: f64, hi: f64) -> Self {
+        assert!(alpha > 0.0, "pareto shape must be positive");
+        assert!(0.0 < lo && lo <= hi, "bad pareto bounds [{lo}, {hi}]");
+        Self { alpha, lo, hi }
+    }
+
+    /// Construct with shape `alpha` and upper bound `hi`, solving for the
+    /// lower bound so the distribution's mean is `target_mean` (how LFR
+    /// turns an *average* degree plus a *max* degree into a sampler).
+    /// `None` when no lower bound in `(0, hi]` achieves the target.
+    pub fn with_floor_mean(alpha: f64, hi: f64, target_mean: f64) -> Option<Self> {
+        let positive = alpha > 0.0 && hi > 0.0 && target_mean > 0.0;
+        if !positive || target_mean > hi {
+            return None;
+        }
+        let mean_for = |lo: f64| Self::new(alpha, lo, hi).mean_numeric();
+        let mut lo = hi * 1e-9;
+        let mut hi_bound = hi;
+        if mean_for(lo) > target_mean {
+            return None;
+        }
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi_bound);
+            if mean_for(mid) < target_mean {
+                lo = mid;
+            } else {
+                hi_bound = mid;
+            }
+        }
+        Some(Self::new(alpha, 0.5 * (lo + hi_bound), hi))
+    }
+
+    /// Mean by midpoint integration of the quantile (robust across the
+    /// `alpha = 1` special case of the closed form).
+    fn mean_numeric(&self) -> f64 {
+        const STEPS: u32 = 2048;
+        (0..STEPS)
+            .map(|i| self.quantile((i as f64 + 0.5) / STEPS as f64))
+            .sum::<f64>()
+            / STEPS as f64
+    }
+
+    /// Inverse CDF: monotone from `lo` (u = 0) to `hi` (u = 1).
+    pub fn quantile(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0);
+        let la = self.lo.powf(self.alpha);
+        let ha = self.hi.powf(self.alpha);
+        // F^-1(u) = (H^a L^a / (H^a - u (H^a - L^a)))^(1/a)
+        let denom = ha - u * (ha - la);
+        if denom <= 0.0 {
+            return self.hi;
+        }
+        ((ha * la) / denom)
+            .powf(1.0 / self.alpha)
+            .clamp(self.lo, self.hi)
+    }
+}
+
+impl Sampler for BoundedPareto {
+    type Output = f64;
+    fn sample(&self, rng: &mut SplitMix64) -> f64 {
+        self.quantile(rng.next_f64())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Normal.
+// ---------------------------------------------------------------------------
+
+/// Gaussian via Box–Muller (two uniform draws per sample).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Mean and (nonnegative) standard deviation.
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(std_dev >= 0.0, "negative std dev {std_dev}");
+        Self { mean, std_dev }
+    }
+}
+
+impl Sampler for Normal {
+    type Output = f64;
+    fn sample(&self, rng: &mut SplitMix64) -> f64 {
+        // Avoid u1 = 0 for the logarithm.
+        let u1 = (rng.next_u64() >> 11).max(1) as f64 / (1u64 << 53) as f64;
+        let u2 = rng.next_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Empirical.
+// ---------------------------------------------------------------------------
+
+/// A distribution learned from observed `(value, weight)` pairs.
+#[derive(Debug, Clone)]
+pub struct Empirical {
+    values: Vec<u64>,
+    /// `cdf[i]` = P(V <= values[i]) after normalization.
+    cdf: Vec<f64>,
+    mean: f64,
+}
+
+impl Empirical {
+    /// From a weighted histogram (weights need not be normalized).
+    pub fn from_histogram(hist: &[(u64, f64)]) -> Self {
+        assert!(!hist.is_empty(), "empty histogram");
+        let total: f64 = hist.iter().map(|&(_, w)| w).sum();
+        assert!(total > 0.0, "histogram weights sum to zero");
+        let mut values = Vec::with_capacity(hist.len());
+        let mut cdf = Vec::with_capacity(hist.len());
+        let mut acc = 0.0;
+        let mut mean = 0.0;
+        for &(v, w) in hist {
+            assert!(w >= 0.0, "negative weight {w}");
+            acc += w / total;
+            mean += v as f64 * w / total;
+            values.push(v);
+            cdf.push(acc);
+        }
+        Self { values, cdf, mean }
+    }
+
+    /// From raw observations (each weighted 1).
+    pub fn from_observations(obs: &[u64]) -> Self {
+        assert!(!obs.is_empty(), "no observations");
+        let mut counts = std::collections::BTreeMap::new();
+        for &v in obs {
+            *counts.entry(v).or_insert(0.0f64) += 1.0;
+        }
+        let hist: Vec<(u64, f64)> = counts.into_iter().collect();
+        Self::from_histogram(&hist)
+    }
+
+    /// Expected value.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+}
+
+impl Sampler for Empirical {
+    type Output = u64;
+    fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        let u = rng.next_f64();
+        let i = self.cdf.partition_point(|&c| c < u);
+        self.values[i.min(self.values.len() - 1)]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Categorical + alias table.
+// ---------------------------------------------------------------------------
+
+/// Categorical over indices `0..weights.len()` by cumulative inverse
+/// transform (O(log n) per draw, cheap to build).
+#[derive(Debug, Clone)]
+pub struct Categorical {
+    cdf: Vec<f64>,
+}
+
+impl Categorical {
+    /// Nonnegative weights, at least one positive.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "no categories");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights sum to zero");
+        let mut cdf = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w >= 0.0, "negative weight {w}");
+            acc += w / total;
+            cdf.push(acc);
+        }
+        Self { cdf }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when there are no categories (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Probability of category `i` (0 out of range).
+    pub fn probability(&self, i: usize) -> f64 {
+        if i >= self.cdf.len() {
+            return 0.0;
+        }
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+
+    /// Category for a unit-interval position (for skip-seed driven draws).
+    pub fn index_from_unit(&self, u: f64) -> usize {
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+impl Sampler for Categorical {
+    type Output = usize;
+    fn sample(&self, rng: &mut SplitMix64) -> usize {
+        self.index_from_unit(rng.next_f64())
+    }
+}
+
+/// Walker alias table: O(n) build, O(1) per draw.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Nonnegative weights, at least one positive.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "no categories");
+        let n = weights.len();
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights sum to zero");
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        let mut prob = vec![1.0f64; n];
+        let mut alias: Vec<usize> = (0..n).collect();
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Leftovers (numerical slack) keep probability 1.
+        Self { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when there are no categories (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// O(1) category from a single raw draw (slot from the high bits,
+    /// threshold from the low bits).
+    pub fn index_from_u64(&self, x: u64) -> usize {
+        let n = self.prob.len() as u64;
+        let slot = (((x >> 32) * n) >> 32) as usize;
+        let u = (x & 0xFFFF_FFFF) as f64 / (1u64 << 32) as f64;
+        if u < self.prob[slot] {
+            slot
+        } else {
+            self.alias[slot]
+        }
+    }
+}
+
+impl Sampler for AliasTable {
+    type Output = usize;
+    fn sample(&self, rng: &mut SplitMix64) -> usize {
+        self.index_from_u64(rng.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn histogram(samples: impl Iterator<Item = u64>, len: usize) -> Vec<u64> {
+        let mut h = vec![0u64; len];
+        for s in samples {
+            h[s as usize] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn uniform_u64_covers_inclusive_range() {
+        let d = UniformU64::new(3, 7);
+        let mut rng = SplitMix64::new(1);
+        let h = histogram((0..10_000).map(|_| d.sample(&mut rng)), 8);
+        assert_eq!(h[0] + h[1] + h[2], 0);
+        for (k, &count) in h.iter().enumerate().take(8).skip(3) {
+            assert!(count > 1500, "k={k} count {count}");
+        }
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one_and_is_decreasing() {
+        let z = Zipf::new(1.2, 50);
+        let total: f64 = (1..=50).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for k in 1..50 {
+            assert!(z.pmf(k) >= z.pmf(k + 1));
+        }
+        assert_eq!(z.pmf(0), 0.0);
+        assert_eq!(z.pmf(51), 0.0);
+    }
+
+    #[test]
+    fn zipf_sample_frequency_tracks_pmf() {
+        let z = Zipf::new(1.0, 10);
+        let mut rng = SplitMix64::new(2);
+        let n = 100_000;
+        let h = histogram((0..n).map(|_| z.sample(&mut rng)), 11);
+        let f1 = h[1] as f64 / n as f64;
+        assert!((f1 - z.pmf(1)).abs() < 0.01, "f1 {f1} pmf {}", z.pmf(1));
+    }
+
+    #[test]
+    fn power_law_support_and_mean() {
+        let d = DiscretePowerLaw::new(2.0, 2, 60);
+        let mut rng = SplitMix64::new(3);
+        let mut sum = 0.0;
+        let n = 50_000;
+        for _ in 0..n {
+            let v = d.sample(&mut rng);
+            assert!((2..=60).contains(&v));
+            sum += v as f64;
+        }
+        assert!((sum / n as f64 - d.mean()).abs() < 0.1);
+    }
+
+    #[test]
+    fn geometric_pmf_and_sampling_agree() {
+        let p = 0.4;
+        let g = Geometric::new(p);
+        let mut rng = SplitMix64::new(4);
+        let n = 100_000;
+        let zeros = (0..n).filter(|_| g.sample(&mut rng) == 0).count();
+        assert!((zeros as f64 / n as f64 - geometric_pmf(p, 0)).abs() < 0.01);
+    }
+
+    #[test]
+    fn bounded_pareto_endpoints() {
+        let d = BoundedPareto::new(1.5, 2.0, 50.0);
+        assert!((d.quantile(0.0) - 2.0).abs() < 1e-9);
+        assert!((d.quantile(1.0) - 50.0).abs() < 1e-9);
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..1000 {
+            let v = d.sample(&mut rng);
+            assert!((2.0..=50.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(10.0, 2.0);
+        let mut rng = SplitMix64::new(6);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn empirical_reproduces_histogram() {
+        let e = Empirical::from_histogram(&[(2, 9.0), (10, 1.0)]);
+        assert!((e.mean() - 2.8).abs() < 1e-12);
+        let mut rng = SplitMix64::new(7);
+        let n = 50_000;
+        let tens = (0..n).filter(|_| e.sample(&mut rng) == 10).count();
+        assert!((tens as f64 / n as f64 - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn empirical_from_observations() {
+        let e = Empirical::from_observations(&[1, 1, 1, 5]);
+        assert!((e.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn categorical_and_alias_agree_on_distribution() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let cat = Categorical::new(&weights);
+        let alias = AliasTable::new(&weights);
+        let mut rng = SplitMix64::new(8);
+        let n = 100_000;
+        let hc = histogram((0..n).map(|_| cat.sample(&mut rng) as u64), 4);
+        let ha = histogram((0..n).map(|_| alias.sample(&mut rng) as u64), 4);
+        for i in 0..4 {
+            let expect = weights[i] / 10.0;
+            assert!((hc[i] as f64 / n as f64 - expect).abs() < 0.01, "cat {i}");
+            assert!((ha[i] as f64 / n as f64 - expect).abs() < 0.01, "alias {i}");
+        }
+    }
+
+    #[test]
+    fn alias_single_category() {
+        let a = AliasTable::new(&[42.0]);
+        let mut rng = SplitMix64::new(9);
+        assert_eq!(a.sample(&mut rng), 0);
+        assert_eq!(a.index_from_u64(u64::MAX), 0);
+    }
+
+    #[test]
+    fn unit_interval_mapping() {
+        assert_eq!(u64_to_unit_f64(0), 0.0);
+        let almost_one = u64_to_unit_f64(u64::MAX);
+        assert!(almost_one < 1.0 && almost_one > 0.999_999);
+    }
+}

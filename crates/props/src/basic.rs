@@ -28,7 +28,12 @@ impl PropertyGenerator for ConstantGen {
         self.value.value_type().expect("checked at construction")
     }
 
-    fn generate(&self, _id: u64, _rng: &mut SplitMix64, _deps: &[Value]) -> Result<Value, GenError> {
+    fn generate(
+        &self,
+        _id: u64,
+        _rng: &mut SplitMix64,
+        _deps: &[Value],
+    ) -> Result<Value, GenError> {
         Ok(self.value.clone())
     }
 }
@@ -140,7 +145,10 @@ mod tests {
         let g = ConstantGen::new(Value::Text("x".into()));
         let s = TableStream::derive(1, "t");
         let mut rng = s.substream(0);
-        assert_eq!(g.generate(0, &mut rng, &[]).unwrap(), Value::Text("x".into()));
+        assert_eq!(
+            g.generate(0, &mut rng, &[]).unwrap(),
+            Value::Text("x".into())
+        );
         assert_eq!(g.value_type(), ValueType::Text);
     }
 

@@ -193,11 +193,13 @@ mod tests {
         let s = TableStream::derive(2, "x");
         let mut rng = s.substream(0);
         assert_eq!(
-            g.generate(0, &mut rng, &[Value::Text("hot".into())]).unwrap(),
+            g.generate(0, &mut rng, &[Value::Text("hot".into())])
+                .unwrap(),
             Value::Text("fire".into())
         );
         assert_eq!(
-            g.generate(0, &mut rng, &[Value::Text("cold".into())]).unwrap(),
+            g.generate(0, &mut rng, &[Value::Text("cold".into())])
+                .unwrap(),
             Value::Text("meh".into())
         );
     }

@@ -73,47 +73,317 @@ pub fn region_of(country: &str) -> &'static str {
 
 /// Male given names per region.
 pub const MALE_NAMES: &[(&str, &[&str])] = &[
-    ("east_asia", &["Wei", "Hiroshi", "Min-jun", "Duc", "Jose Maria", "Budi", "Jian", "Takeshi"]),
-    ("south_asia", &["Arjun", "Rahul", "Imran", "Ravi", "Sanjay", "Amit", "Faisal", "Vikram"]),
-    ("anglo", &["James", "John", "William", "Oliver", "Jack", "Liam", "Noah", "Thomas"]),
-    ("luso", &["João", "Pedro", "Miguel", "Tiago", "Rafael", "Bruno", "Diogo", "André"]),
-    ("hispanic", &["Santiago", "Mateo", "Diego", "Javier", "Carlos", "Alejandro", "Pablo", "Luis"]),
-    ("slavic", &["Ivan", "Dmitri", "Aleksandr", "Pavel", "Mikhail", "Jan", "Tomasz", "Andrei"]),
-    ("germanic", &["Lukas", "Felix", "Maximilian", "Jonas", "Paul", "Finn", "Daan", "Lars"]),
-    ("french", &["Gabriel", "Louis", "Raphaël", "Jules", "Adam", "Lucas", "Léo", "Hugo"]),
-    ("mediterranean", &["Francesco", "Alessandro", "Lorenzo", "Matteo", "Giorgos", "Nikos", "Luca", "Marco"]),
-    ("africa_mena", &["Mohamed", "Ahmed", "Youssef", "Omar", "Chinedu", "Emeka", "Mustafa", "Ali"]),
-    ("nordic", &["Erik", "Lars", "Mikael", "Johan", "Anders", "Henrik", "Olav", "Magnus"]),
+    (
+        "east_asia",
+        &[
+            "Wei",
+            "Hiroshi",
+            "Min-jun",
+            "Duc",
+            "Jose Maria",
+            "Budi",
+            "Jian",
+            "Takeshi",
+        ],
+    ),
+    (
+        "south_asia",
+        &[
+            "Arjun", "Rahul", "Imran", "Ravi", "Sanjay", "Amit", "Faisal", "Vikram",
+        ],
+    ),
+    (
+        "anglo",
+        &[
+            "James", "John", "William", "Oliver", "Jack", "Liam", "Noah", "Thomas",
+        ],
+    ),
+    (
+        "luso",
+        &[
+            "João", "Pedro", "Miguel", "Tiago", "Rafael", "Bruno", "Diogo", "André",
+        ],
+    ),
+    (
+        "hispanic",
+        &[
+            "Santiago",
+            "Mateo",
+            "Diego",
+            "Javier",
+            "Carlos",
+            "Alejandro",
+            "Pablo",
+            "Luis",
+        ],
+    ),
+    (
+        "slavic",
+        &[
+            "Ivan",
+            "Dmitri",
+            "Aleksandr",
+            "Pavel",
+            "Mikhail",
+            "Jan",
+            "Tomasz",
+            "Andrei",
+        ],
+    ),
+    (
+        "germanic",
+        &[
+            "Lukas",
+            "Felix",
+            "Maximilian",
+            "Jonas",
+            "Paul",
+            "Finn",
+            "Daan",
+            "Lars",
+        ],
+    ),
+    (
+        "french",
+        &[
+            "Gabriel", "Louis", "Raphaël", "Jules", "Adam", "Lucas", "Léo", "Hugo",
+        ],
+    ),
+    (
+        "mediterranean",
+        &[
+            "Francesco",
+            "Alessandro",
+            "Lorenzo",
+            "Matteo",
+            "Giorgos",
+            "Nikos",
+            "Luca",
+            "Marco",
+        ],
+    ),
+    (
+        "africa_mena",
+        &[
+            "Mohamed", "Ahmed", "Youssef", "Omar", "Chinedu", "Emeka", "Mustafa", "Ali",
+        ],
+    ),
+    (
+        "nordic",
+        &[
+            "Erik", "Lars", "Mikael", "Johan", "Anders", "Henrik", "Olav", "Magnus",
+        ],
+    ),
 ];
 
 /// Female given names per region.
 pub const FEMALE_NAMES: &[(&str, &[&str])] = &[
-    ("east_asia", &["Mei", "Yuki", "Seo-yeon", "Linh", "Maria Clara", "Siti", "Xiu", "Sakura"]),
-    ("south_asia", &["Priya", "Ananya", "Fatima", "Aisha", "Deepika", "Kavya", "Zara", "Meera"]),
-    ("anglo", &["Olivia", "Emma", "Charlotte", "Amelia", "Sophie", "Grace", "Emily", "Lily"]),
-    ("luso", &["Maria", "Ana", "Beatriz", "Mariana", "Carolina", "Inês", "Sofia", "Leonor"]),
-    ("hispanic", &["Sofía", "Valentina", "Isabella", "Camila", "Lucía", "Elena", "Carmen", "Paula"]),
-    ("slavic", &["Anastasia", "Olga", "Natalia", "Irina", "Katarzyna", "Anna", "Svetlana", "Ekaterina"]),
-    ("germanic", &["Mia", "Hannah", "Emilia", "Lena", "Marie", "Clara", "Julia", "Sanne"]),
-    ("french", &["Jade", "Louise", "Alice", "Chloé", "Inès", "Léa", "Manon", "Camille"]),
-    ("mediterranean", &["Giulia", "Sofia", "Aurora", "Martina", "Eleni", "Chiara", "Francesca", "Elena"]),
-    ("africa_mena", &["Fatma", "Amina", "Layla", "Zainab", "Chioma", "Ngozi", "Yasmin", "Mariam"]),
-    ("nordic", &["Alma", "Freja", "Ingrid", "Astrid", "Maja", "Elsa", "Saga", "Sigrid"]),
+    (
+        "east_asia",
+        &[
+            "Mei",
+            "Yuki",
+            "Seo-yeon",
+            "Linh",
+            "Maria Clara",
+            "Siti",
+            "Xiu",
+            "Sakura",
+        ],
+    ),
+    (
+        "south_asia",
+        &[
+            "Priya", "Ananya", "Fatima", "Aisha", "Deepika", "Kavya", "Zara", "Meera",
+        ],
+    ),
+    (
+        "anglo",
+        &[
+            "Olivia",
+            "Emma",
+            "Charlotte",
+            "Amelia",
+            "Sophie",
+            "Grace",
+            "Emily",
+            "Lily",
+        ],
+    ),
+    (
+        "luso",
+        &[
+            "Maria", "Ana", "Beatriz", "Mariana", "Carolina", "Inês", "Sofia", "Leonor",
+        ],
+    ),
+    (
+        "hispanic",
+        &[
+            "Sofía",
+            "Valentina",
+            "Isabella",
+            "Camila",
+            "Lucía",
+            "Elena",
+            "Carmen",
+            "Paula",
+        ],
+    ),
+    (
+        "slavic",
+        &[
+            "Anastasia",
+            "Olga",
+            "Natalia",
+            "Irina",
+            "Katarzyna",
+            "Anna",
+            "Svetlana",
+            "Ekaterina",
+        ],
+    ),
+    (
+        "germanic",
+        &[
+            "Mia", "Hannah", "Emilia", "Lena", "Marie", "Clara", "Julia", "Sanne",
+        ],
+    ),
+    (
+        "french",
+        &[
+            "Jade", "Louise", "Alice", "Chloé", "Inès", "Léa", "Manon", "Camille",
+        ],
+    ),
+    (
+        "mediterranean",
+        &[
+            "Giulia",
+            "Sofia",
+            "Aurora",
+            "Martina",
+            "Eleni",
+            "Chiara",
+            "Francesca",
+            "Elena",
+        ],
+    ),
+    (
+        "africa_mena",
+        &[
+            "Fatma", "Amina", "Layla", "Zainab", "Chioma", "Ngozi", "Yasmin", "Mariam",
+        ],
+    ),
+    (
+        "nordic",
+        &[
+            "Alma", "Freja", "Ingrid", "Astrid", "Maja", "Elsa", "Saga", "Sigrid",
+        ],
+    ),
 ];
 
 /// Family names per region.
 pub const SURNAMES: &[(&str, &[&str])] = &[
-    ("east_asia", &["Wang", "Tanaka", "Kim", "Nguyen", "Santos", "Wijaya", "Chen", "Sato"]),
-    ("south_asia", &["Sharma", "Patel", "Khan", "Singh", "Gupta", "Kumar", "Ahmed", "Iyer"]),
-    ("anglo", &["Smith", "Jones", "Taylor", "Brown", "Wilson", "Murphy", "Walker", "White"]),
-    ("luso", &["Silva", "Santos", "Ferreira", "Pereira", "Oliveira", "Costa", "Rodrigues", "Almeida"]),
-    ("hispanic", &["García", "Rodríguez", "Martínez", "López", "González", "Hernández", "Pérez", "Sánchez"]),
-    ("slavic", &["Ivanov", "Petrov", "Nowak", "Kowalski", "Smirnov", "Novák", "Horváth", "Volkov"]),
-    ("germanic", &["Müller", "Schmidt", "Schneider", "Fischer", "Weber", "Meyer", "de Vries", "Wagner"]),
-    ("french", &["Martin", "Bernard", "Dubois", "Thomas", "Robert", "Richard", "Petit", "Durand"]),
-    ("mediterranean", &["Rossi", "Russo", "Ferrari", "Esposito", "Papadopoulos", "Bianchi", "Romano", "Colombo"]),
-    ("africa_mena", &["Mohamed", "Hassan", "Okafor", "Adeyemi", "Yılmaz", "Kaya", "El-Sayed", "Demir"]),
-    ("nordic", &["Hansen", "Johansson", "Andersson", "Nielsen", "Korhonen", "Larsen", "Berg", "Lindberg"]),
+    (
+        "east_asia",
+        &[
+            "Wang", "Tanaka", "Kim", "Nguyen", "Santos", "Wijaya", "Chen", "Sato",
+        ],
+    ),
+    (
+        "south_asia",
+        &[
+            "Sharma", "Patel", "Khan", "Singh", "Gupta", "Kumar", "Ahmed", "Iyer",
+        ],
+    ),
+    (
+        "anglo",
+        &[
+            "Smith", "Jones", "Taylor", "Brown", "Wilson", "Murphy", "Walker", "White",
+        ],
+    ),
+    (
+        "luso",
+        &[
+            "Silva",
+            "Santos",
+            "Ferreira",
+            "Pereira",
+            "Oliveira",
+            "Costa",
+            "Rodrigues",
+            "Almeida",
+        ],
+    ),
+    (
+        "hispanic",
+        &[
+            "García",
+            "Rodríguez",
+            "Martínez",
+            "López",
+            "González",
+            "Hernández",
+            "Pérez",
+            "Sánchez",
+        ],
+    ),
+    (
+        "slavic",
+        &[
+            "Ivanov", "Petrov", "Nowak", "Kowalski", "Smirnov", "Novák", "Horváth", "Volkov",
+        ],
+    ),
+    (
+        "germanic",
+        &[
+            "Müller",
+            "Schmidt",
+            "Schneider",
+            "Fischer",
+            "Weber",
+            "Meyer",
+            "de Vries",
+            "Wagner",
+        ],
+    ),
+    (
+        "french",
+        &[
+            "Martin", "Bernard", "Dubois", "Thomas", "Robert", "Richard", "Petit", "Durand",
+        ],
+    ),
+    (
+        "mediterranean",
+        &[
+            "Rossi",
+            "Russo",
+            "Ferrari",
+            "Esposito",
+            "Papadopoulos",
+            "Bianchi",
+            "Romano",
+            "Colombo",
+        ],
+    ),
+    (
+        "africa_mena",
+        &[
+            "Mohamed", "Hassan", "Okafor", "Adeyemi", "Yılmaz", "Kaya", "El-Sayed", "Demir",
+        ],
+    ),
+    (
+        "nordic",
+        &[
+            "Hansen",
+            "Johansson",
+            "Andersson",
+            "Nielsen",
+            "Korhonen",
+            "Larsen",
+            "Berg",
+            "Lindberg",
+        ],
+    ),
 ];
 
 /// Discussion topics with zipf-ish weights.
@@ -151,8 +421,8 @@ pub const WORDS: &[&str] = &[
     "can", "out", "other", "were", "all", "your", "when", "up", "use", "how", "said", "each",
     "she", "which", "their", "time", "will", "way", "about", "many", "then", "them", "would",
     "like", "so", "these", "her", "long", "make", "thing", "see", "him", "two", "has", "look",
-    "more", "day", "could", "go", "come", "did", "my", "no", "most", "who", "over", "know",
-    "than", "call", "first", "people", "side", "been", "now", "find", "new", "great",
+    "more", "day", "could", "go", "come", "did", "my", "no", "most", "who", "over", "know", "than",
+    "call", "first", "people", "side", "been", "now", "find", "new", "great",
 ];
 
 #[cfg(test)]

@@ -99,7 +99,10 @@ mod tests {
     fn date_between_bounds_and_iso_parse() {
         let g = DateBetween::parse("2010-01-01", "2013-01-01").unwrap();
         let s = TableStream::derive(1, "d");
-        let (lo, hi) = (parse_date("2010-01-01").unwrap(), parse_date("2013-01-01").unwrap());
+        let (lo, hi) = (
+            parse_date("2010-01-01").unwrap(),
+            parse_date("2013-01-01").unwrap(),
+        );
         for id in 0..2000 {
             let mut rng = s.substream(id);
             let v = g.generate(id, &mut rng, &[]).unwrap();

@@ -12,9 +12,9 @@
 //! conditional dictionaries (`name | country, sex`), and synthetic text —
 //! plus embedded sample dictionaries and a name-based registry for the DSL.
 
-pub mod data;
 mod basic;
 mod conditional;
+pub mod data;
 mod date;
 mod dictionary;
 mod error;

@@ -7,8 +7,8 @@ use datasynth_tables::Value;
 
 use crate::{
     BoolGen, ConditionalDictionary, ConstantGen, CounterGen, DateAfterDeps, DateBetween,
-    DictionaryGen, EmailGen, FullNameGen, GeometricGen, NormalGen, PropertyGenerator,
-    SentenceGen, SurnameGen, TemplateGen, UniformDoubleGen, UniformLongGen, UuidGen, ZipfGen,
+    DictionaryGen, EmailGen, FullNameGen, GeometricGen, NormalGen, PropertyGenerator, SentenceGen,
+    SurnameGen, TemplateGen, UniformDoubleGen, UniformLongGen, UuidGen, ZipfGen,
 };
 
 /// One argument of a generator call in the DSL.
@@ -166,8 +166,7 @@ pub fn build_property_generator(
             if pairs.is_empty() {
                 return Err(bad("categorical", "(\"label\": weight, ...)"));
             }
-            let borrowed: Vec<(&str, f64)> =
-                pairs.iter().map(|(l, w)| (l.as_str(), *w)).collect();
+            let borrowed: Vec<(&str, f64)> = pairs.iter().map(|(l, w)| (l.as_str(), *w)).collect();
             Box::new(DictionaryGen::with_registry_name("categorical", &borrowed))
         }
         "dictionary" => match text(args, 0) {
@@ -265,8 +264,7 @@ mod tests {
     use datasynth_prng::TableStream;
 
     fn build(name: &str, args: &[GenArg], arity: usize) -> Box<dyn PropertyGenerator> {
-        build_property_generator(name, args, arity)
-            .unwrap_or_else(|e| panic!("{name}: {e}"))
+        build_property_generator(name, args, arity).unwrap_or_else(|e| panic!("{name}: {e}"))
     }
 
     #[test]

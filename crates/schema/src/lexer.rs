@@ -58,7 +58,13 @@ pub fn lex(src: &str) -> Result<Vec<Token>, SchemaError> {
     let bytes = src.as_bytes();
     let mut i = 0usize;
     let (mut line, mut col) = (1u32, 1u32);
-    let mut push = |tok: Tok, line: u32, col: u32| out.push(Token { tok, line, column: col });
+    let mut push = |tok: Tok, line: u32, col: u32| {
+        out.push(Token {
+            tok,
+            line,
+            column: col,
+        })
+    };
 
     while i < bytes.len() {
         let c = bytes[i] as char;
@@ -211,7 +217,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>, SchemaError> {
                 push(Tok::Ident(text.to_owned()), tl, tc);
             }
             other => {
-                return Err(SchemaError::at(format!("unexpected character {other:?}"), tl, tc));
+                return Err(SchemaError::at(
+                    format!("unexpected character {other:?}"),
+                    tl,
+                    tc,
+                ));
             }
         }
     }

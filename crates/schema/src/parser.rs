@@ -357,10 +357,7 @@ graph social {
         let knows = schema.edge_type("knows").unwrap();
         assert!(!knows.directed);
         assert_eq!(knows.cardinality, Cardinality::ManyToMany);
-        assert_eq!(
-            knows.correlation.as_ref().unwrap().property,
-            "country"
-        );
+        assert_eq!(knows.correlation.as_ref().unwrap().property, "country");
         assert_eq!(
             knows.structure.as_ref().unwrap().named_num("avg_degree"),
             Some(20.0)

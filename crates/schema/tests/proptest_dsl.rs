@@ -10,7 +10,14 @@ use datasynth_schema::{
 use datasynth_tables::ValueType;
 
 const RESERVED: &[&str] = &[
-    "graph", "node", "edge", "structure", "correlate", "with", "given", "count",
+    "graph",
+    "node",
+    "edge",
+    "structure",
+    "correlate",
+    "with",
+    "given",
+    "count",
 ];
 
 fn ident() -> impl Strategy<Value = String> {

@@ -7,9 +7,7 @@
 //! count is exactly the inferred instance count of the target type — this
 //! is how DataSynth answers "how many Messages do I need?".
 
-use datasynth_prng::dist::{
-    DiscretePowerLaw, Empirical, Geometric, Sampler, UniformU64, Zipf,
-};
+use datasynth_prng::dist::{DiscretePowerLaw, Empirical, Geometric, Sampler, UniformU64, Zipf};
 use datasynth_prng::SplitMix64;
 use datasynth_tables::EdgeTable;
 

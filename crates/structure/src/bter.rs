@@ -177,10 +177,7 @@ mod tests {
     use datasynth_tables::Csr;
 
     fn power_law_bter(cc: CcProfile) -> BterGenerator {
-        BterGenerator::new(
-            DegreeDist::PowerLaw(DiscretePowerLaw::new(2.0, 2, 60)),
-            cc,
-        )
+        BterGenerator::new(DegreeDist::PowerLaw(DiscretePowerLaw::new(2.0, 2, 60)), cc)
     }
 
     #[test]
@@ -230,7 +227,10 @@ mod tests {
 
     #[test]
     fn simple_graph_output() {
-        let g = power_law_bter(CcProfile::ExponentialDecay { c0: 0.8, scale: 15.0 });
+        let g = power_law_bter(CcProfile::ExponentialDecay {
+            c0: 0.8,
+            scale: 15.0,
+        });
         let et = g.run(1000, &mut SplitMix64::new(5));
         for (t, h) in et.iter() {
             assert!(t < h);
@@ -241,7 +241,10 @@ mod tests {
 
     #[test]
     fn cc_profile_shapes() {
-        let decay = CcProfile::ExponentialDecay { c0: 0.9, scale: 10.0 };
+        let decay = CcProfile::ExponentialDecay {
+            c0: 0.9,
+            scale: 10.0,
+        };
         assert!(decay.at(2) > decay.at(20));
         let table = CcProfile::Table(vec![0.0, 0.5, 0.25]);
         assert_eq!(table.at(1), 0.5);

@@ -49,9 +49,8 @@ pub fn configuration_model(
     opts: ConfigModelOptions,
     rng: &mut SplitMix64,
 ) -> EdgeTable {
-    let mut stubs: Vec<u64> = Vec::with_capacity(
-        degrees.iter().map(|&d| d as usize).sum::<usize>(),
-    );
+    let mut stubs: Vec<u64> =
+        Vec::with_capacity(degrees.iter().map(|&d| d as usize).sum::<usize>());
     for (v, &d) in degrees.iter().enumerate() {
         stubs.extend(std::iter::repeat_n(v as u64, d as usize));
     }
@@ -70,8 +69,7 @@ pub fn configuration_model(
         let mut bad: Vec<usize> = Vec::new();
         for i in 0..tails.len() {
             let is_loop = opts.forbid_self_loops && tails[i] == heads[i];
-            let is_dup =
-                opts.forbid_multi_edges && !seen.insert(edge_key(tails[i], heads[i]));
+            let is_dup = opts.forbid_multi_edges && !seen.insert(edge_key(tails[i], heads[i]));
             if is_loop || is_dup {
                 bad.push(i);
             }
@@ -192,11 +190,7 @@ mod tests {
         let mut rng = SplitMix64::new(4);
         let et = chung_lu(&weights, 300, &mut rng);
         let deg = et.degrees(100);
-        assert!(
-            deg[0] > 50,
-            "hub degree {} should dominate",
-            deg[0]
-        );
+        assert!(deg[0] > 50, "hub degree {} should dominate", deg[0]);
         for (t, h) in et.iter() {
             assert_ne!(t, h);
         }

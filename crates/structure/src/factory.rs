@@ -7,9 +7,9 @@ use datasynth_prng::dist::{DiscretePowerLaw, Geometric, UniformU64, Zipf};
 
 use crate::bter::CcProfile;
 use crate::{
-    BarabasiAlbert, BterGenerator, DarwiniGenerator, DegreeDist, Gnm, Gnp, LfrGenerator,
-    LfrParams, OneToManyGenerator, OneToOneGenerator, Params, PlantedSbm, RmatGenerator,
-    StructureGenerator, WattsStrogatz,
+    BarabasiAlbert, BterGenerator, DarwiniGenerator, DegreeDist, Gnm, Gnp, LfrGenerator, LfrParams,
+    OneToManyGenerator, OneToOneGenerator, Params, PlantedSbm, RmatGenerator, StructureGenerator,
+    WattsStrogatz,
 };
 
 /// Errors from [`build_generator`].
@@ -69,10 +69,7 @@ pub const GENERATOR_NAMES: &[&str] = &[
     "one_to_one",
 ];
 
-fn degree_dist_from(
-    generator: &'static str,
-    params: &Params,
-) -> Result<DegreeDist, BuildError> {
+fn degree_dist_from(generator: &'static str, params: &Params) -> Result<DegreeDist, BuildError> {
     let kind = params.get_str("dist").unwrap_or("power_law");
     let bad = |param: &'static str, reason: &str| BuildError::BadParam {
         generator,
@@ -190,12 +187,10 @@ pub fn build_generator(
             ))
         }
         "erdos_renyi" | "gnp" => {
-            let p = params
-                .get_f64("p")
-                .ok_or(BuildError::MissingParam {
-                    generator: "erdos_renyi",
-                    param: "p",
-                })?;
+            let p = params.get_f64("p").ok_or(BuildError::MissingParam {
+                generator: "erdos_renyi",
+                param: "p",
+            })?;
             if !(0.0..=1.0).contains(&p) {
                 return Err(BuildError::BadParam {
                     generator: "erdos_renyi",
@@ -212,9 +207,7 @@ pub fn build_generator(
             })?;
             Box::new(Gnm::new(m))
         }
-        "barabasi_albert" | "ba" => {
-            Box::new(BarabasiAlbert::new(params.u64_or("m", 3).max(1)))
-        }
+        "barabasi_albert" | "ba" => Box::new(BarabasiAlbert::new(params.u64_or("m", 3).max(1))),
         "watts_strogatz" | "ws" => {
             let k = params.u64_or("k", 4);
             if k < 2 || k % 2 == 1 {
@@ -224,7 +217,10 @@ pub fn build_generator(
                     reason: "must be even and >= 2".into(),
                 });
             }
-            Box::new(WattsStrogatz::new(k, params.f64_or("beta", 0.1).clamp(0.0, 1.0)))
+            Box::new(WattsStrogatz::new(
+                k,
+                params.f64_or("beta", 0.1).clamp(0.0, 1.0),
+            ))
         }
         "sbm" => {
             let k = params.u64_or("groups", 4).max(1) as usize;
@@ -236,9 +232,9 @@ pub fn build_generator(
                 params.f64_or("p_inter", 0.01).clamp(0.0, 1.0),
             ))
         }
-        "degree_sequence" | "configuration_model" => Box::new(
-            crate::DegreeSequenceGenerator::new(degree_dist_from("degree_sequence", params)?),
-        ),
+        "degree_sequence" | "configuration_model" => Box::new(crate::DegreeSequenceGenerator::new(
+            degree_dist_from("degree_sequence", params)?,
+        )),
         "one_to_many" => Box::new(OneToManyGenerator::new(degree_dist_from(
             "one_to_many",
             params,
@@ -272,8 +268,7 @@ mod tests {
             if name == "gnm" {
                 params = params.with_num("m", 100.0);
             }
-            let g = build_generator(name, &params)
-                .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+            let g = build_generator(name, &params).unwrap_or_else(|e| panic!("{name} failed: {e}"));
             let et = g.run(64, &mut SplitMix64::new(1));
             // SBM ignores n; everything must at least produce a table.
             assert!(!et.is_empty() || name == "one_to_many", "{name} empty");

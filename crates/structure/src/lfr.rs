@@ -78,9 +78,12 @@ impl LfrGenerator {
 
     fn sample_degrees(&self, n: u64, rng: &mut SplitMix64) -> Vec<u32> {
         let p = &self.params;
-        let pareto =
-            BoundedPareto::with_floor_mean(p.degree_exponent, p.max_degree as f64, p.average_degree)
-                .expect("degree target within range");
+        let pareto = BoundedPareto::with_floor_mean(
+            p.degree_exponent,
+            p.max_degree as f64,
+            p.average_degree,
+        )
+        .expect("degree target within range");
         (0..n)
             .map(|_| {
                 let d = pareto.sample(rng).floor() as u64;
@@ -380,8 +383,9 @@ pub(crate) fn constrained_pairing(
         }
     }
 
-    let final_bad: std::collections::HashSet<usize> =
-        mark_invalid(tails, heads, &forbid, canon).into_iter().collect();
+    let final_bad: std::collections::HashSet<usize> = mark_invalid(tails, heads, &forbid, canon)
+        .into_iter()
+        .collect();
     tails
         .iter()
         .zip(heads.iter())

@@ -199,7 +199,10 @@ mod tests {
         let et = g.run(n, &mut SplitMix64::new(5));
         let deg = et.degrees(n);
         let low: u64 = deg[..(n / 4) as usize].iter().map(|&d| u64::from(d)).sum();
-        let high: u64 = deg[(3 * n / 4) as usize..].iter().map(|&d| u64::from(d)).sum();
+        let high: u64 = deg[(3 * n / 4) as usize..]
+            .iter()
+            .map(|&d| u64::from(d))
+            .sum();
         assert!(low > 3 * high, "low {low} vs high {high}");
     }
 }

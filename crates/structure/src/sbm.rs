@@ -241,10 +241,7 @@ mod tests {
 
     #[test]
     fn asymmetric_sizes_and_zero_blocks() {
-        let sbm = PlantedSbm::new(
-            vec![5, 20],
-            vec![vec![1.0, 0.0], vec![0.0, 0.1]],
-        );
+        let sbm = PlantedSbm::new(vec![5, 20], vec![vec![1.0, 0.0], vec![0.0, 0.1]]);
         let (et, labels) = sbm.run_with_partition(0, &mut SplitMix64::new(4));
         assert_eq!(labels.len(), 25);
         // Group 0 is a complete K5 = 10 edges; no cross edges at all.

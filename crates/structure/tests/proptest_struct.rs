@@ -4,9 +4,9 @@ use proptest::prelude::*;
 
 use datasynth_prng::SplitMix64;
 use datasynth_structure::{
-    build_generator, configuration_model, even_out_degree_sum, BarabasiAlbert,
-    ConfigModelOptions, LfrGenerator, LfrParams, Params, PlantedPartition, RmatGenerator,
-    StructureGenerator, WattsStrogatz,
+    build_generator, configuration_model, even_out_degree_sum, BarabasiAlbert, ConfigModelOptions,
+    LfrGenerator, LfrParams, Params, PlantedPartition, RmatGenerator, StructureGenerator,
+    WattsStrogatz,
 };
 
 proptest! {

@@ -29,7 +29,10 @@ impl EdgeTable {
     }
 
     /// Build from `(tail, head)` pairs.
-    pub fn from_pairs(name: impl Into<String>, pairs: impl IntoIterator<Item = (u64, u64)>) -> Self {
+    pub fn from_pairs(
+        name: impl Into<String>,
+        pairs: impl IntoIterator<Item = (u64, u64)>,
+    ) -> Self {
         let iter = pairs.into_iter();
         let mut et = Self::with_capacity(name, iter.size_hint().0);
         for (t, h) in iter {

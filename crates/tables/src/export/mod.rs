@@ -41,8 +41,10 @@ pub(crate) fn csv_escape(field: &str) -> String {
     }
 }
 
-/// Escape a JSON string body (without surrounding quotes).
-pub(crate) fn json_escape(s: &str) -> String {
+/// Escape a JSON string body (without surrounding quotes). Public so
+/// downstream emitters of hand-rolled JSON (e.g. the workload manifest)
+/// share one escaping implementation.
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for ch in s.chars() {
         match ch {

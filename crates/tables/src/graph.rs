@@ -163,10 +163,8 @@ impl PropertyGraph {
                 Some(&n) => {
                     for (p, table) in props {
                         if table.len() != n {
-                            problems.push(format!(
-                                "{nt}.{p} has {} rows, expected {n}",
-                                table.len()
-                            ));
+                            problems
+                                .push(format!("{nt}.{p} has {} rows, expected {n}", table.len()));
                         }
                     }
                 }
@@ -247,9 +245,7 @@ mod tests {
         assert_eq!(g.edge_meta("creates").unwrap().target, "Message");
         assert_eq!(g.total_nodes(), 5);
         assert_eq!(g.total_edges(), 4);
-        assert!(g
-            .node_property("Person", "country")
-            .is_some());
+        assert!(g.node_property("Person", "country").is_some());
     }
 
     #[test]

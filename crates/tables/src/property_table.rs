@@ -260,24 +260,23 @@ mod tests {
 
     #[test]
     fn value_frequencies_counts_in_first_seen_order() {
-        let pt = PropertyTable::from_values(
-            "p",
-            ValueType::Text,
-            ["b", "a", "b", "b"].map(Value::from),
-        )
-        .unwrap();
+        let pt =
+            PropertyTable::from_values("p", ValueType::Text, ["b", "a", "b", "b"].map(Value::from))
+                .unwrap();
         let freq = pt.value_frequencies();
         assert_eq!(
             freq,
-            vec![(Value::Text("b".into()), 3), (Value::Text("a".into()), 2 - 1)]
+            vec![
+                (Value::Text("b".into()), 3),
+                (Value::Text("a".into()), 2 - 1)
+            ]
         );
     }
 
     #[test]
     fn typed_slice_views() {
-        let pt =
-            PropertyTable::from_values("x", ValueType::Long, [1i64, 2, 3].map(Value::from))
-                .unwrap();
+        let pt = PropertyTable::from_values("x", ValueType::Long, [1i64, 2, 3].map(Value::from))
+            .unwrap();
         assert_eq!(pt.longs(), Some(&[1i64, 2, 3][..]));
         assert_eq!(pt.texts(), None);
     }

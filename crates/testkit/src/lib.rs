@@ -1,0 +1,688 @@
+//! A minimal, dependency-free stand-in for the [`proptest`] crate.
+//!
+//! The build environment has no access to a crates registry, so the real
+//! `proptest` cannot be vendored. This crate implements the subset of its
+//! API that the workspace's property-based tests use — the `proptest!`
+//! macro, `Strategy` with `prop_map`/`prop_filter`, tuple strategies,
+//! `prop_oneof!`, `Just`, `prop::option::of`, `prop::collection::vec`,
+//! `any::<T>()`, and simple `[class]{lo,hi}` string patterns — on top of a
+//! deterministic SplitMix64 generator. No shrinking is performed: a failing
+//! case reports its inputs via the assertion message and the case seed.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Default number of cases per property when no config is given.
+pub const DEFAULT_CASES: u32 = 64;
+
+// ---------------------------------------------------------------------------
+// RNG (self-contained SplitMix64 so the shim depends on nothing).
+// ---------------------------------------------------------------------------
+
+/// The deterministic RNG handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded constructor.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform draw below `bound` (`bound > 0`).
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        // Modulo bias is irrelevant for test-input generation.
+        self.next_u64() % bound
+    }
+}
+
+/// FNV-1a, used to derive per-test seeds from the test name.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Test-case plumbing.
+// ---------------------------------------------------------------------------
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// Hard failure: the property is violated.
+    Fail(String),
+    /// The inputs did not satisfy a `prop_assume!`; the case is skipped.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Construct a failure.
+    pub fn fail(msg: impl fmt::Display) -> Self {
+        TestCaseError::Fail(msg.to_string())
+    }
+
+    /// Construct a rejection.
+    pub fn reject(msg: impl fmt::Display) -> Self {
+        TestCaseError::Reject(msg.to_string())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// Result type the `proptest!` body desugars to.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Per-property configuration (only `cases` is honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: DEFAULT_CASES,
+        }
+    }
+}
+
+/// Driver called by the generated test fn: runs `f` until `cases` cases
+/// pass, panicking on the first failure. Rejections are retried up to a cap.
+pub fn run_cases(
+    name: &str,
+    config: &ProptestConfig,
+    mut f: impl FnMut(&mut TestRng) -> TestCaseResult,
+) {
+    let base = fnv1a(name.as_bytes());
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut attempt = 0u64;
+    let max_rejects = config.cases.max(16) * 16;
+    while passed < config.cases {
+        let mut rng = TestRng::new(base ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        match f(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "proptest {name}: too many rejected cases ({rejected})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest {name}: case {attempt} failed: {msg}")
+            }
+        }
+        attempt += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategies.
+// ---------------------------------------------------------------------------
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map the generated value.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred` (regenerating up to a cap).
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// `prop_filter` adapter.
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter {:?} rejected 1000 candidates", self.whence)
+    }
+}
+
+/// Constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A boxed strategy, used by `prop_oneof!`.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Box a strategy (helper keeping `prop_oneof!` inference simple).
+pub fn boxed<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+    Box::new(s)
+}
+
+/// Uniform choice among alternatives; backs `prop_oneof!`.
+pub struct OneOf<T> {
+    choices: Vec<BoxedStrategy<T>>,
+}
+
+/// Build a [`OneOf`].
+pub fn one_of<T>(choices: Vec<BoxedStrategy<T>>) -> OneOf<T> {
+    assert!(!choices.is_empty(), "prop_oneof! needs alternatives");
+    OneOf { choices }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.next_below(self.choices.len() as u64) as usize;
+        self.choices[i].generate(rng)
+    }
+}
+
+// Numeric range strategies.
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (u128::from(rng.next_u64()) % span) as i128;
+                (self.start as i128 + draw) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        self.start + (rng.next_f64() as f32) * (self.end - self.start)
+    }
+}
+
+// Tuple strategies up to arity 6.
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+// ---------------------------------------------------------------------------
+// String pattern strategies: `&str` is interpreted as a regex subset of the
+// form `[class]{lo,hi} [class]{lo,hi} ...` (repetition optional, `{0,n}`
+// style only), e.g. `"[a-z][a-zA-Z0-9_]{0,10}"`.
+// ---------------------------------------------------------------------------
+
+struct Atom {
+    chars: Vec<char>,
+    lo: usize,
+    hi: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        assert_eq!(
+            chars[i], '[',
+            "unsupported pattern {pattern:?}: expected '[' at {i}"
+        );
+        i += 1;
+        let mut class = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                let (a, b) = (chars[i], chars[i + 2]);
+                assert!(a <= b, "bad range {a}-{b} in pattern {pattern:?}");
+                for c in a..=b {
+                    class.push(c);
+                }
+                i += 3;
+            } else {
+                class.push(chars[i]);
+                i += 1;
+            }
+        }
+        assert!(i < chars.len(), "unterminated class in pattern {pattern:?}");
+        i += 1; // skip ']'
+        let (mut lo, mut hi) = (1usize, 1usize);
+        if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated repetition")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (l, h) = body
+                .split_once(',')
+                .unwrap_or((body.as_str(), body.as_str()));
+            lo = l.trim().parse().expect("repetition lower bound");
+            hi = h.trim().parse().expect("repetition upper bound");
+            i = close + 1;
+        }
+        assert!(!class.is_empty() && lo <= hi, "bad pattern {pattern:?}");
+        atoms.push(Atom {
+            chars: class,
+            lo,
+            hi,
+        });
+    }
+    atoms
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(self) {
+            let n = atom.lo + rng.next_below((atom.hi - atom.lo + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(atom.chars[rng.next_below(atom.chars.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Arbitrary + any::<T>().
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.next_f64()
+    }
+}
+
+/// Strategy over a type's whole domain.
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the [`Arbitrary`] strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+// ---------------------------------------------------------------------------
+// Collection / option strategy modules (reached as `prop::collection::vec`).
+// ---------------------------------------------------------------------------
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vector of `element` values with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let n = self.size.start + rng.next_below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Option<S::Value>`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `None` half the time, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros.
+// ---------------------------------------------------------------------------
+
+/// Bind the argument list of a property to generated values.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __bind_args {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $name:ident in $strat:expr $(, $($rest:tt)*)?) => {
+        let $name = $crate::Strategy::generate(&($strat), $rng);
+        $crate::__bind_args!($rng $(, $($rest)*)?);
+    };
+    ($rng:ident, $name:ident : $ty:ty $(, $($rest:tt)*)?) => {
+        let $name: $ty = $crate::Arbitrary::arbitrary($rng);
+        $crate::__bind_args!($rng $(, $($rest)*)?);
+    };
+}
+
+/// The `proptest!` block: each contained `#[test] fn name(args) { .. }`
+/// becomes a regular test running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    // With a leading `#![proptest_config(..)]`.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (($cfg:expr);) => {};
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident($($args:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            $crate::run_cases(stringify!($name), &config, |rng| {
+                $crate::__bind_args!(rng, $($args)*);
+                let run = || -> $crate::TestCaseResult {
+                    $body
+                    Ok(())
+                };
+                run()
+            });
+        }
+        $crate::__proptest_impl!(($cfg); $($rest)*);
+    };
+}
+
+/// Fallible assertion: fails the current case without panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fallible equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, "{:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::TestCaseError::fail(format!(
+                "{:?} != {:?}: {}", a, b, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Fallible inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "{:?} == {:?}", a, b);
+    }};
+}
+
+/// Reject the current case (it is retried with fresh inputs).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::one_of(vec![$($crate::boxed($strategy)),+])
+    };
+}
+
+/// One-stop imports mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_generation_respects_class_and_length() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..200 {
+            let s = "[a-z][a-zA-Z0-9_]{0,10}".generate(&mut rng);
+            assert!((1..=11).contains(&s.len()), "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn printable_ascii_range_pattern() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..100 {
+            let s = "[ -~]{0,20}".generate(&mut rng);
+            assert!(s.len() <= 20);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(11);
+        for _ in 0..1000 {
+            let v = (5u64..17).generate(&mut rng);
+            assert!((5..17).contains(&v));
+            let f = (-2.0f64..3.0).generate(&mut rng);
+            assert!((-2.0..3.0).contains(&f));
+            let i = (-10i64..-2).generate(&mut rng);
+            assert!((-10..-2).contains(&i));
+        }
+    }
+
+    #[test]
+    fn one_of_and_map_compose() {
+        let s = prop_oneof![
+            (0u64..10).prop_map(|v| v as i64),
+            (100u64..110).prop_map(|v| v as i64),
+        ];
+        let mut rng = TestRng::new(1);
+        let mut low = false;
+        let mut high = false;
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((0..10).contains(&v) || (100..110).contains(&v));
+            low |= v < 10;
+            high |= v >= 100;
+        }
+        assert!(low && high, "both branches should be exercised");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a: Vec<u64> = {
+            let mut rng = TestRng::new(42);
+            (0..10).map(|_| rng.next_u64()).collect()
+        };
+        let mut rng = TestRng::new(42);
+        let b: Vec<u64> = (0..10).map(|_| rng.next_u64()).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,554 @@
+//! Parameter curation: sample real node ids and property values from the
+//! generated tables, estimate each candidate's result size from degree
+//! statistics, and bin candidates so every query instance lands in its
+//! template's selectivity class.
+
+use datasynth_analysis::DegreeStats;
+use datasynth_prng::TableStream;
+use datasynth_tables::{PropertyGraph, Value};
+
+use crate::error::WorkloadError;
+use crate::template::{QueryTemplate, SelectivityClass, TemplateKind};
+
+/// Cap on sampled id candidates per template.
+const MAX_CANDIDATES: u64 = 256;
+
+/// One curated parameter value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamValue {
+    /// A node id (type-local, `0..n`).
+    Id(u64),
+    /// A property value.
+    Value(Value),
+}
+
+impl ParamValue {
+    /// Render for the JSON manifest (unquoted).
+    pub fn render(&self) -> String {
+        match self {
+            ParamValue::Id(i) => i.to_string(),
+            ParamValue::Value(v) => v.render(),
+        }
+    }
+
+    /// True when the manifest/queries must quote this as a string.
+    pub fn is_textual(&self) -> bool {
+        matches!(
+            self,
+            ParamValue::Value(Value::Text(_)) | ParamValue::Value(Value::Date(_))
+        )
+    }
+}
+
+/// A named, curated parameter binding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CuratedParam {
+    /// Parameter name (`id`, `value`).
+    pub name: String,
+    /// Curated value.
+    pub value: ParamValue,
+}
+
+/// One full parameter binding for a template, with its cardinality
+/// estimate and the selectivity band it was drawn from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Binding {
+    /// Parameters in template order.
+    pub params: Vec<CuratedParam>,
+    /// Estimated result rows for this binding.
+    pub expected_rows: u64,
+    /// `[lo, hi]` estimated-row band of the bin the binding came from.
+    pub band: (u64, u64),
+}
+
+/// A candidate parameter with its result-size estimate.
+struct Candidate {
+    value: ParamValue,
+    est: u64,
+}
+
+/// Shared, lazily built degree vectors keyed by `(edge, directed)`.
+type DegreeCache =
+    std::cell::RefCell<std::collections::BTreeMap<(String, bool), std::rc::Rc<Vec<u32>>>>;
+
+/// Shared value-frequency tables keyed by `(node_type, property)`.
+type FrequencyCache = std::cell::RefCell<
+    std::collections::BTreeMap<(String, String), std::rc::Rc<Vec<(Value, u64)>>>,
+>;
+
+/// Curates parameters for templates against one generated graph.
+pub struct Curator<'a> {
+    graph: &'a PropertyGraph,
+    seed: u64,
+    /// Degree vectors are O(E) to build and shared by every template
+    /// touching the same edge type (Expand1/Expand2/CommunityAgg plus
+    /// each Path2 pair), so cache them per `(edge, directed)`.
+    degree_cache: DegreeCache,
+    /// Value frequencies are O(n) scans shared by PropertyScan and
+    /// CommunityAgg over the same property (and by the redistribution
+    /// pass calling `bindings` again), so cache them too.
+    frequency_cache: FrequencyCache,
+}
+
+impl<'a> Curator<'a> {
+    /// Curate from `graph` under `seed` (independent streams are derived
+    /// per template, so template order does not matter).
+    pub fn new(graph: &'a PropertyGraph, seed: u64) -> Self {
+        Self {
+            graph,
+            seed,
+            degree_cache: Default::default(),
+            frequency_cache: Default::default(),
+        }
+    }
+
+    /// Produce `count` curated bindings for `template`. Returns an empty
+    /// vector when the graph has no candidates (e.g. an empty node type);
+    /// errors when the template references tables the graph lacks.
+    pub fn bindings(
+        &self,
+        template: &QueryTemplate,
+        count: usize,
+    ) -> Result<Vec<Binding>, WorkloadError> {
+        let stream = TableStream::derive(self.seed, &format!("workload.{}", template.id));
+        let candidates = self.candidates(template, &stream)?;
+        Ok(select(candidates, template.selectivity, count, &stream))
+    }
+
+    fn node_count(&self, node_type: &str) -> Result<u64, WorkloadError> {
+        self.graph
+            .node_count(node_type)
+            .ok_or_else(|| WorkloadError::MissingNodeType(node_type.to_owned()))
+    }
+
+    /// Per-node degree vector for an edge type viewed from its source
+    /// side. Full degrees only apply to undirected same-type edges; for
+    /// everything else — directed, or undirected across two types, where
+    /// head ids live in the *target* type's id space — only the tail side
+    /// counts neighbors reachable from a source node.
+    fn source_degrees(
+        &self,
+        edge: &str,
+        directed: bool,
+    ) -> Result<std::rc::Rc<Vec<u32>>, WorkloadError> {
+        let key = (edge.to_owned(), directed);
+        if let Some(cached) = self.degree_cache.borrow().get(&key) {
+            return Ok(cached.clone());
+        }
+        let table = self
+            .graph
+            .edges(edge)
+            .ok_or_else(|| WorkloadError::MissingEdgeType(edge.to_owned()))?;
+        let meta = self.graph.edge_meta(edge).expect("meta exists with table");
+        let n = self.node_count(&meta.source)?;
+        let deg = std::rc::Rc::new(if !directed && meta.source == meta.target {
+            table.degrees(n)
+        } else {
+            table.out_degrees(n)
+        });
+        self.degree_cache.borrow_mut().insert(key, deg.clone());
+        Ok(deg)
+    }
+
+    fn value_frequencies(
+        &self,
+        node_type: &str,
+        property: &str,
+    ) -> Result<std::rc::Rc<Vec<(Value, u64)>>, WorkloadError> {
+        let key = (node_type.to_owned(), property.to_owned());
+        if let Some(cached) = self.frequency_cache.borrow().get(&key) {
+            return Ok(cached.clone());
+        }
+        let table = self
+            .graph
+            .node_property(node_type, property)
+            .ok_or_else(|| {
+                WorkloadError::MissingProperty(node_type.to_owned(), property.to_owned())
+            })?;
+        let freqs = std::rc::Rc::new(table.value_frequencies());
+        self.frequency_cache.borrow_mut().insert(key, freqs.clone());
+        Ok(freqs)
+    }
+
+    fn candidates(
+        &self,
+        template: &QueryTemplate,
+        stream: &TableStream,
+    ) -> Result<Vec<Candidate>, WorkloadError> {
+        match &template.kind {
+            TemplateKind::PointLookup { node_type } => {
+                let n = self.node_count(node_type)?;
+                Ok(sample_ids(n, stream)
+                    .into_iter()
+                    .map(|id| Candidate {
+                        value: ParamValue::Id(id),
+                        est: 1,
+                    })
+                    .collect())
+            }
+            TemplateKind::Expand1 {
+                edge,
+                source,
+                directed,
+                ..
+            } => {
+                let n = self.node_count(source)?;
+                let deg = self.source_degrees(edge, *directed)?;
+                Ok(id_candidates_by_degree(n, &deg, 1.0, stream))
+            }
+            TemplateKind::Expand2 {
+                edge,
+                node_type,
+                directed,
+            } => {
+                let n = self.node_count(node_type)?;
+                let deg = self.source_degrees(edge, *directed)?;
+                // Second hop multiplies by the mean degree.
+                let mean = DegreeStats::from_degrees(&deg).map_or(0.0, |s| s.mean);
+                Ok(id_candidates_by_degree(n, &deg, mean, stream))
+            }
+            TemplateKind::Path2 {
+                first_edge,
+                second_edge,
+                start,
+                mid,
+                first_directed,
+                second_directed,
+                ..
+            } => {
+                let n = self.node_count(start)?;
+                let deg1 = self.source_degrees(first_edge, *first_directed)?;
+                let mid_n = self.node_count(mid)?;
+                let deg2 = self.source_degrees(second_edge, *second_directed)?;
+                debug_assert_eq!(deg2.len() as u64, mid_n);
+                let mean2 = DegreeStats::from_degrees(&deg2).map_or(0.0, |s| s.mean);
+                Ok(id_candidates_by_degree(n, &deg1, mean2, stream))
+            }
+            TemplateKind::PropertyScan {
+                node_type,
+                property,
+            } => {
+                let freqs = self.value_frequencies(node_type, property)?;
+                Ok(sampled_indices(freqs.len(), stream)
+                    .into_iter()
+                    .map(|i| {
+                        let (v, freq) = &freqs[i];
+                        Candidate {
+                            value: ParamValue::Value(v.clone()),
+                            est: *freq,
+                        }
+                    })
+                    .collect())
+            }
+            TemplateKind::CommunityAgg {
+                edge,
+                node_type,
+                property,
+                directed,
+            } => {
+                let freqs = self.value_frequencies(node_type, property)?;
+                let deg = self.source_degrees(edge, *directed)?;
+                let mean = DegreeStats::from_degrees(&deg).map_or(0.0, |s| s.mean);
+                // Result rows ~ community size x mean degree (edges touched
+                // before the group-by collapses them).
+                Ok(sampled_indices(freqs.len(), stream)
+                    .into_iter()
+                    .map(|i| {
+                        let (v, freq) = &freqs[i];
+                        Candidate {
+                            value: ParamValue::Value(v.clone()),
+                            est: (*freq as f64 * mean).round() as u64,
+                        }
+                    })
+                    .collect())
+            }
+        }
+    }
+}
+
+/// Up to [`MAX_CANDIDATES`] distinct ids in `0..n`, deterministic in the
+/// stream (and independent of visit order).
+fn sample_ids(n: u64, stream: &TableStream) -> Vec<u64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let want = n.min(MAX_CANDIDATES) as usize;
+    if n <= MAX_CANDIDATES {
+        return (0..n).collect();
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    let mut out = Vec::with_capacity(want);
+    let mut i = 0u64;
+    while out.len() < want && i < 16 * MAX_CANDIDATES {
+        let id = stream.value(i) % n;
+        if seen.insert(id) {
+            out.push(id);
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Up to [`MAX_CANDIDATES`] distinct indices into a candidate list of
+/// `len` items — the value-pool analogue of [`sample_ids`], so
+/// high-cardinality properties (uuid-like text, continuous doubles) don't
+/// force cloning and sorting millions of values per template.
+fn sampled_indices(len: usize, stream: &TableStream) -> Vec<usize> {
+    sample_ids(len as u64, stream)
+        .into_iter()
+        .map(|i| i as usize)
+        .collect()
+}
+
+fn id_candidates_by_degree(
+    n: u64,
+    degrees: &[u32],
+    fanout: f64,
+    stream: &TableStream,
+) -> Vec<Candidate> {
+    sample_ids(n, stream)
+        .into_iter()
+        .map(|id| {
+            let d = f64::from(degrees[id as usize]);
+            Candidate {
+                value: ParamValue::Id(id),
+                est: (d * fanout.max(1.0)).round() as u64,
+            }
+        })
+        .collect()
+}
+
+/// Sort candidates by estimate, split into point/medium/scan terciles,
+/// and draw `count` bindings from the tercile matching `class`.
+fn select(
+    mut candidates: Vec<Candidate>,
+    class: SelectivityClass,
+    count: usize,
+    stream: &TableStream,
+) -> Vec<Binding> {
+    if candidates.is_empty() || count == 0 {
+        return Vec::new();
+    }
+    candidates.sort_by(|a, b| {
+        a.est
+            .cmp(&b.est)
+            .then_with(|| a.value.render().cmp(&b.value.render()))
+    });
+    let len = candidates.len();
+    let (lo, hi) = match class {
+        SelectivityClass::Point => (0, len.div_ceil(3)),
+        SelectivityClass::Medium => (len / 3, (2 * len).div_ceil(3)),
+        SelectivityClass::Scan => (2 * len / 3, len),
+    };
+    let bin = &candidates[lo..hi.max(lo + 1).min(len)];
+    let band = (bin[0].est, bin[bin.len() - 1].est);
+    // A stream index far past the id-sampling range decorrelates the
+    // starting offset from the candidate draws.
+    let offset = stream.value(u64::MAX / 2) as usize % bin.len();
+    (0..count)
+        .map(|i| {
+            let c = &bin[(offset + i) % bin.len()];
+            Binding {
+                params: vec![CuratedParam {
+                    name: match c.value {
+                        ParamValue::Id(_) => "id".to_owned(),
+                        ParamValue::Value(_) => "value".to_owned(),
+                    },
+                    value: c.value.clone(),
+                }],
+                expected_rows: c.est,
+                band,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasynth_tables::{EdgeTable, PropertyTable, ValueType};
+
+    fn graph() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        g.add_node_type("Person", 6);
+        g.insert_node_property(
+            "Person",
+            "country",
+            PropertyTable::from_values(
+                "Person.country",
+                ValueType::Text,
+                ["ES", "ES", "ES", "FR", "FR", "DE"].map(Value::from),
+            )
+            .unwrap(),
+        );
+        // Degrees (directed out): 0 -> 3 edges, 1 -> 2, 2 -> 1, rest 0.
+        g.insert_edge_table(
+            "knows",
+            "Person",
+            "Person",
+            EdgeTable::from_pairs(
+                "knows",
+                [(0u64, 1u64), (0, 2), (0, 3), (1, 2), (1, 4), (2, 5)],
+            ),
+        );
+        g
+    }
+
+    fn template(kind: TemplateKind) -> QueryTemplate {
+        QueryTemplate {
+            id: format!("{}:test", kind.keyword()),
+            selectivity: kind.selectivity(),
+            kind,
+        }
+    }
+
+    #[test]
+    fn point_lookup_bindings_are_single_row() {
+        let g = graph();
+        let c = Curator::new(&g, 42);
+        let t = template(TemplateKind::PointLookup {
+            node_type: "Person".into(),
+        });
+        let bindings = c.bindings(&t, 4).unwrap();
+        assert_eq!(bindings.len(), 4);
+        for b in &bindings {
+            assert_eq!(b.expected_rows, 1);
+            assert!(matches!(b.params[0].value, ParamValue::Id(id) if id < 6));
+        }
+    }
+
+    #[test]
+    fn scan_class_picks_frequent_values() {
+        let g = graph();
+        let c = Curator::new(&g, 42);
+        let mut t = template(TemplateKind::PropertyScan {
+            node_type: "Person".into(),
+            property: "country".into(),
+        });
+        t.selectivity = SelectivityClass::Scan;
+        let bindings = c.bindings(&t, 3).unwrap();
+        for b in &bindings {
+            // The most frequent value is ES (3 of 6 rows).
+            assert_eq!(
+                b.params[0].value,
+                ParamValue::Value(Value::Text("ES".into()))
+            );
+            assert_eq!(b.expected_rows, 3);
+        }
+    }
+
+    #[test]
+    fn point_class_picks_rare_values() {
+        let g = graph();
+        let c = Curator::new(&g, 42);
+        let mut t = template(TemplateKind::PropertyScan {
+            node_type: "Person".into(),
+            property: "country".into(),
+        });
+        t.selectivity = SelectivityClass::Point;
+        let bindings = c.bindings(&t, 2).unwrap();
+        for b in &bindings {
+            assert_eq!(
+                b.params[0].value,
+                ParamValue::Value(Value::Text("DE".into()))
+            );
+            assert_eq!(b.expected_rows, 1);
+        }
+    }
+
+    #[test]
+    fn expansion_estimates_use_degrees() {
+        let g = graph();
+        let c = Curator::new(&g, 7);
+        let mut t = template(TemplateKind::Expand1 {
+            edge: "knows".into(),
+            source: "Person".into(),
+            target: "Person".into(),
+            directed: true,
+        });
+        t.selectivity = SelectivityClass::Scan;
+        let bindings = c.bindings(&t, 1).unwrap();
+        // The scan tercile of out-degrees {0,0,0,1,2,3} holds the hubs.
+        assert!(bindings[0].expected_rows >= 2);
+    }
+
+    #[test]
+    fn bindings_are_seed_deterministic() {
+        let g = graph();
+        let t = template(TemplateKind::Expand1 {
+            edge: "knows".into(),
+            source: "Person".into(),
+            target: "Person".into(),
+            directed: false,
+        });
+        let a = Curator::new(&g, 1).bindings(&t, 5).unwrap();
+        let b = Curator::new(&g, 1).bindings(&t, 5).unwrap();
+        assert_eq!(a, b);
+        let c = Curator::new(&g, 2).bindings(&t, 5).unwrap();
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn missing_tables_are_reported() {
+        let g = graph();
+        let c = Curator::new(&g, 1);
+        let t = template(TemplateKind::PointLookup {
+            node_type: "Ghost".into(),
+        });
+        assert!(matches!(
+            c.bindings(&t, 1),
+            Err(WorkloadError::MissingNodeType(_))
+        ));
+        let t = template(TemplateKind::PropertyScan {
+            node_type: "Person".into(),
+            property: "ghost".into(),
+        });
+        assert!(matches!(
+            c.bindings(&t, 1),
+            Err(WorkloadError::MissingProperty(..))
+        ));
+    }
+
+    #[test]
+    fn undirected_cross_type_edge_does_not_mix_id_spaces() {
+        // 3 People, 50 Reviews: head ids exceed the Person id space, so
+        // a full-degree count over n_source would index out of bounds.
+        let mut g = PropertyGraph::new();
+        g.add_node_type("Person", 3);
+        g.add_node_type("Review", 50);
+        g.insert_edge_table(
+            "writes",
+            "Person",
+            "Review",
+            EdgeTable::from_pairs("writes", (0..50u64).map(|r| (r % 3, r))),
+        );
+        let c = Curator::new(&g, 5);
+        let t = template(TemplateKind::Expand1 {
+            edge: "writes".into(),
+            source: "Person".into(),
+            target: "Review".into(),
+            directed: false, // DSL `--` between two different types
+        });
+        let bindings = c.bindings(&t, 3).unwrap();
+        assert_eq!(bindings.len(), 3);
+        for b in &bindings {
+            // Out-degrees are 17 or 16; a mixed-space count would differ.
+            assert!((16..=17).contains(&b.expected_rows), "{b:?}");
+        }
+    }
+
+    #[test]
+    fn band_brackets_every_estimate() {
+        let g = graph();
+        let c = Curator::new(&g, 3);
+        let t = template(TemplateKind::Expand1 {
+            edge: "knows".into(),
+            source: "Person".into(),
+            target: "Person".into(),
+            directed: true,
+        });
+        for b in c.bindings(&t, 8).unwrap() {
+            assert!(b.band.0 <= b.expected_rows && b.expected_rows <= b.band.1);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Workload-generation errors.
+
+use std::fmt;
+
+/// Anything that can go wrong deriving or curating a workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// The graph lacks a node type a template references.
+    MissingNodeType(String),
+    /// The graph lacks an edge type a template references.
+    MissingEdgeType(String),
+    /// The graph lacks a property table a template references.
+    MissingProperty(String, String),
+    /// A malformed `--query-mix` specification.
+    BadMix(String),
+    /// The schema derives no templates (no node or edge types).
+    NoTemplates,
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::MissingNodeType(t) => {
+                write!(f, "graph has no node type {t:?}")
+            }
+            WorkloadError::MissingEdgeType(e) => {
+                write!(f, "graph has no edge type {e:?}")
+            }
+            WorkloadError::MissingProperty(t, p) => {
+                write!(f, "graph has no property table {t}.{p}")
+            }
+            WorkloadError::BadMix(msg) => write!(f, "bad query mix: {msg}"),
+            WorkloadError::NoTemplates => {
+                write!(f, "schema derives no query templates")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}

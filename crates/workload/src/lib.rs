@@ -1,0 +1,166 @@
+//! Schema-driven query-workload generation.
+//!
+//! A property graph generator is only a *benchmark* generator when the
+//! graphs come with something to run against them (gMark derives query
+//! workloads from the same schema that shapes the graph; SP²Bench ships
+//! parameterized query mixes with curated bindings). This crate is that
+//! missing half for DataSynth:
+//!
+//! 1. **Templates** ([`derive_templates`]) — walk the schema's node and
+//!    edge types and derive pattern templates: point lookups, 1-hop and
+//!    2-hop neighborhood expansions, property-filtered scans, two-edge
+//!    path queries, and aggregation over structure-correlated communities.
+//!    Each template carries a selectivity class (point / medium / scan).
+//! 2. **Parameter curation** ([`Curator`]) — sample real node ids and
+//!    property values from the generated tables, estimate each
+//!    candidate's result size from `crates/analysis` degree statistics,
+//!    and bin candidates so instances land in their template's
+//!    selectivity class. All sampling runs on seeded `crates/prng`
+//!    streams: the same master seed always yields the same workload.
+//! 3. **Rendering** ([`render_cypher`], [`render_gremlin`]) — serialize
+//!    every instantiated query to Cypher and Gremlin text, plus a
+//!    `workload.json` manifest (template id, params, expected-cardinality
+//!    band) via [`Workload::write_to`].
+//!
+//! ```no_run
+//! use datasynth_schema::parse_schema;
+//! use datasynth_workload::WorkloadGenerator;
+//! # let schema = parse_schema("graph g { node A [count = 10] { x: long = uniform(0, 9); } }").unwrap();
+//! # let graph = datasynth_tables::PropertyGraph::new();
+//! let workload = WorkloadGenerator::new(&schema, &graph)
+//!     .with_seed(42)
+//!     .generate(100)
+//!     .unwrap();
+//! workload.write_to(std::path::Path::new("queries")).unwrap();
+//! ```
+
+mod curate;
+mod error;
+mod manifest;
+mod mix;
+mod render;
+mod template;
+
+pub use curate::{Binding, CuratedParam, Curator, ParamValue};
+pub use error::WorkloadError;
+pub use manifest::{QueryInstance, Workload};
+pub use mix::QueryMix;
+pub use render::{render_cypher, render_gremlin};
+pub use template::{derive_templates, QueryTemplate, SelectivityClass, TemplateKind};
+
+use datasynth_schema::Schema;
+use datasynth_tables::PropertyGraph;
+
+/// End-to-end workload generation: derive templates from the schema,
+/// apportion a query budget over them by mix, curate parameters from the
+/// graph, and render both dialects.
+pub struct WorkloadGenerator<'a> {
+    schema: &'a Schema,
+    graph: &'a PropertyGraph,
+    seed: u64,
+    mix: QueryMix,
+}
+
+impl<'a> WorkloadGenerator<'a> {
+    /// Generator over one schema + generated graph pair.
+    pub fn new(schema: &'a Schema, graph: &'a PropertyGraph) -> Self {
+        Self {
+            schema,
+            graph,
+            seed: 42,
+            mix: QueryMix::uniform(),
+        }
+    }
+
+    /// Set the master seed (default 42). Use the same seed that generated
+    /// the graph to make graph + workload one reproducible artifact.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the query mix (default: uniform over derived kinds).
+    pub fn with_mix(mut self, mix: QueryMix) -> Self {
+        self.mix = mix;
+        self
+    }
+
+    /// Generate `count` queries. Templates whose candidate pool is empty
+    /// (e.g. a node type that resolved to zero instances) forfeit their
+    /// quota, which is redistributed over the templates that did produce
+    /// bindings — the workload only falls short of `count` when *no*
+    /// template has candidates.
+    pub fn generate(&self, count: usize) -> Result<Workload, WorkloadError> {
+        let templates = derive_templates(self.schema);
+        if templates.is_empty() {
+            return Err(WorkloadError::NoTemplates);
+        }
+        let quotas = self.mix.apportion(&templates, count)?;
+        let curator = Curator::new(self.graph, self.seed);
+        let mut per_template: Vec<Vec<crate::curate::Binding>> = Vec::new();
+        for (template, quota) in templates.iter().zip(&quotas) {
+            per_template.push(if *quota == 0 {
+                Vec::new()
+            } else {
+                curator.bindings(template, *quota)?
+            });
+        }
+
+        // Redistribute quota forfeited by empty candidate pools. Backfill
+        // targets are templates the mix does not exclude whose pool is
+        // non-empty — including ones the rounding gave zero quota, which
+        // must be probed.
+        let produced: usize = per_template.iter().map(Vec::len).sum();
+        if produced < count {
+            let mut eligible: Vec<usize> = Vec::new();
+            for (i, template) in templates.iter().enumerate() {
+                if self.mix.weight(template.kind.keyword()) <= 0.0 {
+                    continue;
+                }
+                if !per_template[i].is_empty() || !curator.bindings(template, 1)?.is_empty() {
+                    eligible.push(i);
+                }
+            }
+            if !eligible.is_empty() {
+                // Re-apportion the shortfall by the same mix weights so the
+                // delivered kind ratios track the request as closely as the
+                // surviving templates allow.
+                let eligible_templates: Vec<QueryTemplate> =
+                    eligible.iter().map(|&i| templates[i].clone()).collect();
+                let extra = self
+                    .mix
+                    .apportion_lenient(&eligible_templates, count - produced)?;
+                for (&i, &add) in eligible.iter().zip(&extra) {
+                    if add == 0 {
+                        continue;
+                    }
+                    let have = per_template[i].len();
+                    // bindings(k) is a prefix of bindings(k + n): asking
+                    // for more and keeping the tail continues the draw.
+                    let more = curator.bindings(&templates[i], have + add)?;
+                    per_template[i].extend(more.into_iter().skip(have));
+                }
+            }
+        }
+
+        let mut queries = Vec::with_capacity(count);
+        for (template, bindings) in templates.iter().zip(per_template) {
+            for binding in bindings {
+                let id = format!("q{:04}", queries.len() + 1);
+                queries.push(QueryInstance {
+                    id,
+                    template: template.id.clone(),
+                    cypher: render_cypher(template, &binding),
+                    gremlin: render_gremlin(template, &binding),
+                    binding,
+                });
+            }
+        }
+        Ok(Workload {
+            schema_name: self.schema.name.clone(),
+            seed: self.seed,
+            templates,
+            queries,
+        })
+    }
+}

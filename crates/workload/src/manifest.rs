@@ -1,0 +1,269 @@
+//! The generated workload and its on-disk form: one `.cypher` and one
+//! `.gremlin` file per query under `cypher/` and `gremlin/`, plus a
+//! `workload.json` manifest binding template ids, curated parameters, and
+//! expected-cardinality bands together.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+use datasynth_tables::export::json_escape;
+
+use crate::curate::Binding;
+use crate::template::QueryTemplate;
+
+/// One instantiated query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryInstance {
+    /// Stable instance id (`q0001`, ...).
+    pub id: String,
+    /// Id of the template this instantiates.
+    pub template: String,
+    /// The curated binding (parameters + cardinality estimate).
+    pub binding: Binding,
+    /// Rendered Cypher text.
+    pub cypher: String,
+    /// Rendered Gremlin text.
+    pub gremlin: String,
+}
+
+/// A complete generated workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Schema (graph) name the workload targets.
+    pub schema_name: String,
+    /// Master seed it was generated under.
+    pub seed: u64,
+    /// Derived templates, in derivation order (including ones the mix
+    /// assigned zero queries).
+    pub templates: Vec<QueryTemplate>,
+    /// Instantiated queries, in template order.
+    pub queries: Vec<QueryInstance>,
+}
+
+impl Workload {
+    /// Distinct template kinds that actually produced queries.
+    pub fn instantiated_kinds(&self) -> Vec<&'static str> {
+        let mut kinds: Vec<&'static str> = Vec::new();
+        for q in &self.queries {
+            if let Some(t) = self.templates.iter().find(|t| t.id == q.template) {
+                let kw = t.kind.keyword();
+                if !kinds.contains(&kw) {
+                    kinds.push(kw);
+                }
+            }
+        }
+        kinds.sort_unstable();
+        kinds
+    }
+
+    /// Serialize the manifest as pretty-printed JSON.
+    pub fn manifest_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!(
+            "  \"schema\": \"{}\",\n",
+            json_escape(&self.schema_name)
+        ));
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str(&format!("  \"query_count\": {},\n", self.queries.len()));
+        s.push_str("  \"templates\": [\n");
+        for (i, t) in self.templates.iter().enumerate() {
+            // Small candidate bins cycle, so a template can repeat
+            // parameter bindings; surface that so consumers know how many
+            // of a template's queries are genuinely distinct probes.
+            let mut total = 0usize;
+            let mut distinct = std::collections::BTreeSet::new();
+            for q in self.queries.iter().filter(|q| q.template == t.id) {
+                total += 1;
+                distinct.insert(
+                    q.binding
+                        .params
+                        .iter()
+                        .map(|p| p.value.render())
+                        .collect::<Vec<_>>()
+                        .join("\u{1f}"),
+                );
+            }
+            s.push_str(&format!(
+                "    {{\"id\": \"{}\", \"kind\": \"{}\", \"selectivity\": \"{}\", \
+                 \"queries\": {total}, \"distinct_bindings\": {}}}{}\n",
+                json_escape(&t.id),
+                t.kind.keyword(),
+                t.selectivity.keyword(),
+                distinct.len(),
+                if i + 1 < self.templates.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"queries\": [\n");
+        for (i, q) in self.queries.iter().enumerate() {
+            let params: Vec<String> = q
+                .binding
+                .params
+                .iter()
+                .map(|p| {
+                    let rendered = p.value.render();
+                    if p.value.is_textual() {
+                        format!(
+                            "\"{}\": \"{}\"",
+                            json_escape(&p.name),
+                            json_escape(&rendered)
+                        )
+                    } else {
+                        format!("\"{}\": {}", json_escape(&p.name), rendered)
+                    }
+                })
+                .collect();
+            s.push_str(&format!(
+                "    {{\"id\": \"{}\", \"template\": \"{}\", \"params\": {{{}}}, \
+                 \"expected_rows\": {}, \"cardinality_band\": [{}, {}], \
+                 \"cypher\": \"cypher/{}.cypher\", \"gremlin\": \"gremlin/{}.gremlin\"}}{}\n",
+                json_escape(&q.id),
+                json_escape(&q.template),
+                params.join(", "),
+                q.binding.expected_rows,
+                q.binding.band.0,
+                q.binding.band.1,
+                json_escape(&q.id),
+                json_escape(&q.id),
+                if i + 1 < self.queries.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n");
+        s.push_str("}\n");
+        s
+    }
+
+    /// Write the workload under `dir`: `workload.json` plus one file per
+    /// query in `cypher/` and `gremlin/`. Creates directories as needed;
+    /// the two query directories are cleared first so a rerun with a
+    /// smaller `--queries` cannot leave stale files the manifest no
+    /// longer describes.
+    pub fn write_to(&self, dir: &Path) -> io::Result<()> {
+        let cypher_dir = dir.join("cypher");
+        let gremlin_dir = dir.join("gremlin");
+        for d in [&cypher_dir, &gremlin_dir] {
+            if d.is_dir() {
+                fs::remove_dir_all(d)?;
+            }
+            fs::create_dir_all(d)?;
+        }
+        for q in &self.queries {
+            let mut f = fs::File::create(cypher_dir.join(format!("{}.cypher", q.id)))?;
+            writeln!(f, "{}", q.cypher)?;
+            let mut f = fs::File::create(gremlin_dir.join(format!("{}.gremlin", q.id)))?;
+            writeln!(f, "{}", q.gremlin)?;
+        }
+        fs::write(dir.join("workload.json"), self.manifest_json())?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curate::{CuratedParam, ParamValue};
+    use crate::template::{SelectivityClass, TemplateKind};
+    use datasynth_tables::Value;
+
+    fn sample() -> Workload {
+        let template = QueryTemplate {
+            id: "point_lookup:Person".into(),
+            kind: TemplateKind::PointLookup {
+                node_type: "Person".into(),
+            },
+            selectivity: SelectivityClass::Point,
+        };
+        Workload {
+            schema_name: "social".into(),
+            seed: 42,
+            templates: vec![template],
+            queries: vec![QueryInstance {
+                id: "q0001".into(),
+                template: "point_lookup:Person".into(),
+                binding: Binding {
+                    params: vec![
+                        CuratedParam {
+                            name: "id".into(),
+                            value: ParamValue::Id(7),
+                        },
+                        CuratedParam {
+                            name: "value".into(),
+                            value: ParamValue::Value(Value::Text("a\"b".into())),
+                        },
+                    ],
+                    expected_rows: 1,
+                    band: (1, 3),
+                },
+                cypher: "MATCH (n) RETURN n;".into(),
+                gremlin: "g.V()".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn manifest_contains_all_sections() {
+        let json = sample().manifest_json();
+        assert!(json.contains("\"schema\": \"social\""));
+        assert!(json.contains("\"seed\": 42"));
+        assert!(json.contains("\"query_count\": 1"));
+        assert!(json.contains("\"id\": \"point_lookup:Person\""));
+        assert!(json.contains("\"selectivity\": \"point\""));
+        assert!(json.contains("\"queries\": 1, \"distinct_bindings\": 1"));
+        assert!(json.contains("\"id\": 7"));
+        assert!(json.contains("\"value\": \"a\\\"b\""), "{json}");
+        assert!(json.contains("\"cardinality_band\": [1, 3]"));
+        assert!(json.contains("\"cypher\": \"cypher/q0001.cypher\""));
+    }
+
+    #[test]
+    fn write_to_emits_per_query_files() {
+        let dir =
+            std::env::temp_dir().join(format!("datasynth-workload-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        sample().write_to(&dir).unwrap();
+        assert!(dir.join("workload.json").is_file());
+        assert_eq!(
+            fs::read_to_string(dir.join("cypher/q0001.cypher")).unwrap(),
+            "MATCH (n) RETURN n;\n"
+        );
+        assert_eq!(
+            fs::read_to_string(dir.join("gremlin/q0001.gremlin")).unwrap(),
+            "g.V()\n"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rewrite_clears_stale_query_files() {
+        let dir =
+            std::env::temp_dir().join(format!("datasynth-workload-stale-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut w = sample();
+        w.write_to(&dir).unwrap();
+        assert!(dir.join("cypher/q0001.cypher").is_file());
+        // A smaller rerun must not leave the old files behind.
+        w.queries.clear();
+        w.write_to(&dir).unwrap();
+        assert!(!dir.join("cypher/q0001.cypher").exists());
+        assert!(!dir.join("gremlin/q0001.gremlin").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn instantiated_kinds_dedup() {
+        let w = sample();
+        assert_eq!(w.instantiated_kinds(), vec!["point_lookup"]);
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

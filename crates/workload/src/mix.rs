@@ -1,0 +1,254 @@
+//! Query-mix specification: how the requested query count is apportioned
+//! across template kinds.
+
+use std::collections::BTreeMap;
+
+use crate::error::WorkloadError;
+use crate::template::QueryTemplate;
+
+/// The recognized kind keys (canonical names plus CLI-friendly aliases).
+const KINDS: &[(&str, &str)] = &[
+    ("point_lookup", "point"),
+    ("expand_1hop", "expand1"),
+    ("expand_2hop", "expand2"),
+    ("property_scan", "scan"),
+    ("path_2", "path"),
+    ("community_agg", "agg"),
+];
+
+fn canonical(key: &str) -> Option<&'static str> {
+    KINDS
+        .iter()
+        .find(|(canon, alias)| *canon == key || *alias == key)
+        .map(|(canon, _)| *canon)
+}
+
+/// Relative weights per template kind. An empty mix weights every kind
+/// equally.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryMix {
+    weights: BTreeMap<&'static str, f64>,
+}
+
+impl QueryMix {
+    /// Uniform mix over whatever kinds the schema derives.
+    pub fn uniform() -> Self {
+        Self::default()
+    }
+
+    /// Parse `kind:weight,kind:weight` (e.g. `point:2,expand1:5,scan:1`).
+    /// Kinds accept canonical (`expand_1hop`) or alias (`expand1`) names;
+    /// omitted kinds get weight 0 when any are given.
+    pub fn parse(spec: &str) -> Result<Self, WorkloadError> {
+        let mut weights = BTreeMap::new();
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, w) = part
+                .split_once(':')
+                .ok_or_else(|| WorkloadError::BadMix(format!("missing ':' in {part:?}")))?;
+            let kind = canonical(key.trim())
+                .ok_or_else(|| WorkloadError::BadMix(format!("unknown kind {key:?}")))?;
+            let weight: f64 = w
+                .trim()
+                .parse()
+                .map_err(|_| WorkloadError::BadMix(format!("bad weight {w:?}")))?;
+            if weight < 0.0 || !weight.is_finite() {
+                return Err(WorkloadError::BadMix(format!(
+                    "weight in {part:?} must be a finite, nonnegative number"
+                )));
+            }
+            if weights.insert(kind, weight).is_some() {
+                return Err(WorkloadError::BadMix(format!("kind {key:?} given twice")));
+            }
+        }
+        if weights.is_empty() {
+            // An empty spec would silently behave as the uniform mix —
+            // reject it so e.g. an unset shell variable fails loudly.
+            return Err(WorkloadError::BadMix(
+                "empty mix specification (expected kind:weight[,kind:weight...])".into(),
+            ));
+        }
+        Ok(Self { weights })
+    }
+
+    /// Weight of one kind under this mix.
+    pub fn weight(&self, kind_keyword: &str) -> f64 {
+        if self.weights.is_empty() {
+            1.0
+        } else {
+            self.weights.get(kind_keyword).copied().unwrap_or(0.0)
+        }
+    }
+
+    /// Deterministically apportion `total` queries over `templates` by
+    /// largest remainder: each kind gets its weight share, split evenly
+    /// over the kind's templates. Errors when the mix zeroes every
+    /// derived kind.
+    pub fn apportion(
+        &self,
+        templates: &[QueryTemplate],
+        total: usize,
+    ) -> Result<Vec<usize>, WorkloadError> {
+        if templates.is_empty() || total == 0 {
+            return Ok(vec![0; templates.len()]);
+        }
+        let mut kind_count: BTreeMap<&str, usize> = BTreeMap::new();
+        for t in templates {
+            *kind_count.entry(t.kind.keyword()).or_default() += 1;
+        }
+        // A kind the user positively weighted but the schema cannot derive
+        // would silently vanish from the delivered mix; fail loudly.
+        for (kind, w) in &self.weights {
+            if *w > 0.0 && !kind_count.contains_key(kind) {
+                return Err(WorkloadError::BadMix(format!(
+                    "kind {kind:?} has weight {w} but the schema derives no such templates"
+                )));
+            }
+        }
+        self.apportion_within(templates, total, kind_count)
+    }
+
+    /// Apportion over a template subset without the unmatched-kind check —
+    /// used when redistributing quota forfeited by empty candidate pools,
+    /// where some weighted kinds legitimately have no surviving templates.
+    pub(crate) fn apportion_lenient(
+        &self,
+        templates: &[QueryTemplate],
+        total: usize,
+    ) -> Result<Vec<usize>, WorkloadError> {
+        if templates.is_empty() || total == 0 {
+            return Ok(vec![0; templates.len()]);
+        }
+        let mut kind_count: BTreeMap<&str, usize> = BTreeMap::new();
+        for t in templates {
+            *kind_count.entry(t.kind.keyword()).or_default() += 1;
+        }
+        self.apportion_within(templates, total, kind_count)
+    }
+
+    fn apportion_within(
+        &self,
+        templates: &[QueryTemplate],
+        total: usize,
+        kind_count: BTreeMap<&str, usize>,
+    ) -> Result<Vec<usize>, WorkloadError> {
+        let weights: Vec<f64> = templates
+            .iter()
+            .map(|t| {
+                let kw = t.kind.keyword();
+                self.weight(kw) / kind_count[kw] as f64
+            })
+            .collect();
+        let sum: f64 = weights.iter().sum();
+        if sum <= 0.0 {
+            return Err(WorkloadError::BadMix(
+                "mix assigns zero weight to every derived template kind".into(),
+            ));
+        }
+        let quotas: Vec<f64> = weights.iter().map(|w| total as f64 * w / sum).collect();
+        let mut counts: Vec<usize> = quotas.iter().map(|q| q.floor() as usize).collect();
+        let assigned: usize = counts.iter().sum();
+        // Distribute the remainder by descending fractional part, index
+        // order breaking ties.
+        let mut order: Vec<usize> = (0..templates.len()).collect();
+        order.sort_by(|&a, &b| {
+            let fa = quotas[a] - quotas[a].floor();
+            let fb = quotas[b] - quotas[b].floor();
+            fb.partial_cmp(&fa).unwrap().then(a.cmp(&b))
+        });
+        for &i in order.iter().take(total - assigned) {
+            counts[i] += 1;
+        }
+        Ok(counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::{SelectivityClass, TemplateKind};
+
+    fn templates() -> Vec<QueryTemplate> {
+        let kinds = vec![
+            TemplateKind::PointLookup {
+                node_type: "A".into(),
+            },
+            TemplateKind::PointLookup {
+                node_type: "B".into(),
+            },
+            TemplateKind::Expand1 {
+                edge: "e".into(),
+                source: "A".into(),
+                target: "A".into(),
+                directed: false,
+            },
+        ];
+        kinds
+            .into_iter()
+            .enumerate()
+            .map(|(i, kind)| QueryTemplate {
+                id: format!("t{i}"),
+                selectivity: SelectivityClass::Point,
+                kind,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn uniform_mix_balances_kinds_not_templates() {
+        let counts = QueryMix::uniform().apportion(&templates(), 100).unwrap();
+        assert_eq!(counts.iter().sum::<usize>(), 100);
+        // point_lookup (2 templates) and expand_1hop (1 template) each get
+        // half: 25/25/50.
+        assert_eq!(counts, vec![25, 25, 50]);
+    }
+
+    #[test]
+    fn parse_accepts_aliases_and_zeroes_omitted() {
+        let mix = QueryMix::parse("point:3, expand1:1").unwrap();
+        assert_eq!(mix.weight("point_lookup"), 3.0);
+        assert_eq!(mix.weight("expand_1hop"), 1.0);
+        assert_eq!(mix.weight("property_scan"), 0.0);
+        let counts = mix.apportion(&templates(), 8).unwrap();
+        assert_eq!(counts, vec![3, 3, 2]);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(QueryMix::parse("nope:1").is_err());
+        assert!(QueryMix::parse("point").is_err());
+        assert!(QueryMix::parse("point:x").is_err());
+        assert!(QueryMix::parse("point:-1").is_err());
+        assert!(QueryMix::parse("point:NaN").is_err());
+        assert!(QueryMix::parse("point:inf").is_err());
+        assert!(QueryMix::parse("").is_err());
+        assert!(QueryMix::parse(",").is_err());
+        let err = QueryMix::parse("point:5,point:1").unwrap_err();
+        assert!(err.to_string().contains("twice"), "{err}");
+    }
+
+    #[test]
+    fn zero_total_weight_is_an_error() {
+        let mix = QueryMix::parse("scan:1").unwrap(); // no scan templates here
+        assert!(mix.apportion(&templates(), 10).is_err());
+    }
+
+    #[test]
+    fn unmatched_positive_kind_is_an_error_even_with_matches() {
+        // point matches, agg does not: the user's 50% agg request cannot
+        // be honored, so it must fail rather than silently degrade.
+        let mix = QueryMix::parse("point:1,agg:1").unwrap();
+        let err = mix.apportion(&templates(), 10).unwrap_err();
+        assert!(err.to_string().contains("community_agg"), "{err}");
+    }
+
+    #[test]
+    fn apportion_is_exact_and_deterministic() {
+        let mix = QueryMix::parse("point:1,expand1:2").unwrap();
+        for total in [1usize, 7, 99, 100] {
+            let a = mix.apportion(&templates(), total).unwrap();
+            let b = mix.apportion(&templates(), total).unwrap();
+            assert_eq!(a, b);
+            assert_eq!(a.iter().sum::<usize>(), total);
+        }
+    }
+}

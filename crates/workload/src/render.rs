@@ -1,0 +1,372 @@
+//! Render instantiated query templates to Cypher and Gremlin text.
+//!
+//! Parameters are inlined as literals (the manifest keeps them separately
+//! for engines that prefer prepared statements). Node ids are the
+//! *type-local* dense ids the exporters write into each type's `id`
+//! column, so `id(n)`/`has('id', ...)` refer to that property after
+//! import.
+
+use crate::curate::{Binding, ParamValue};
+use crate::template::{QueryTemplate, TemplateKind};
+
+/// Escape a single-quoted string literal (shared by both dialects).
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('\'');
+    for ch in s.chars() {
+        match ch {
+            '\'' => out.push_str("\\'"),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('\'');
+    out
+}
+
+fn literal(p: &ParamValue) -> String {
+    if p.is_textual() {
+        quote(&p.render())
+    } else {
+        p.render()
+    }
+}
+
+fn param<'b>(binding: &'b Binding, name: &str) -> &'b ParamValue {
+    &binding
+        .params
+        .iter()
+        .find(|p| p.name == name)
+        .unwrap_or_else(|| panic!("binding lacks parameter {name:?}"))
+        .value
+}
+
+/// Cypher relationship arrow for an edge, by direction.
+fn cy_rel(edge: &str, directed: bool, hops: u8) -> String {
+    let var = if hops == 2 {
+        format!("[:{edge}*2]")
+    } else {
+        format!("[:{edge}]")
+    };
+    if directed {
+        format!("-{var}->")
+    } else {
+        format!("-{var}-")
+    }
+}
+
+/// Gremlin traversal step for an edge, by direction.
+fn gr_step(edge: &str, directed: bool) -> String {
+    if directed {
+        format!(".out({})", quote(edge))
+    } else {
+        format!(".both({})", quote(edge))
+    }
+}
+
+/// Render one instantiated template to Cypher.
+pub fn render_cypher(template: &QueryTemplate, binding: &Binding) -> String {
+    match &template.kind {
+        TemplateKind::PointLookup { node_type } => {
+            let id = literal(param(binding, "id"));
+            format!("MATCH (n:{node_type}) WHERE n.id = {id} RETURN n;")
+        }
+        TemplateKind::Expand1 {
+            edge,
+            source,
+            target,
+            directed,
+        } => {
+            let id = literal(param(binding, "id"));
+            let rel = cy_rel(edge, *directed, 1);
+            format!("MATCH (n:{source}){rel}(m:{target}) WHERE n.id = {id} RETURN m;")
+        }
+        TemplateKind::Expand2 {
+            edge,
+            node_type,
+            directed,
+        } => {
+            let id = literal(param(binding, "id"));
+            let rel = cy_rel(edge, *directed, 2);
+            format!(
+                "MATCH (n:{node_type}){rel}(m:{node_type}) WHERE n.id = {id} \
+                 RETURN DISTINCT m;"
+            )
+        }
+        TemplateKind::PropertyScan {
+            node_type,
+            property,
+        } => {
+            let value = literal(param(binding, "value"));
+            format!("MATCH (n:{node_type}) WHERE n.{property} = {value} RETURN count(n);")
+        }
+        TemplateKind::Path2 {
+            first_edge,
+            second_edge,
+            start,
+            mid,
+            end,
+            first_directed,
+            second_directed,
+        } => {
+            let id = literal(param(binding, "id"));
+            let r1 = cy_rel(first_edge, *first_directed, 1);
+            let r2 = cy_rel(second_edge, *second_directed, 1);
+            format!(
+                "MATCH (a:{start}){r1}(b:{mid}){r2}(c:{end}) WHERE a.id = {id} \
+                 RETURN c;"
+            )
+        }
+        TemplateKind::CommunityAgg {
+            edge,
+            node_type,
+            property,
+            directed,
+        } => {
+            let value = literal(param(binding, "value"));
+            let rel = cy_rel(edge, *directed, 1);
+            format!(
+                "MATCH (n:{node_type}){rel}(m:{node_type}) WHERE n.{property} = {value} \
+                 RETURN m.{property} AS grp, count(*) AS cnt ORDER BY cnt DESC;"
+            )
+        }
+    }
+}
+
+/// Render one instantiated template to Gremlin.
+pub fn render_gremlin(template: &QueryTemplate, binding: &Binding) -> String {
+    match &template.kind {
+        TemplateKind::PointLookup { node_type } => {
+            let id = literal(param(binding, "id"));
+            format!("g.V().hasLabel({}).has('id', {id})", quote(node_type))
+        }
+        TemplateKind::Expand1 {
+            edge,
+            source,
+            directed,
+            ..
+        } => {
+            let id = literal(param(binding, "id"));
+            format!(
+                "g.V().hasLabel({}).has('id', {id}){}",
+                quote(source),
+                gr_step(edge, *directed)
+            )
+        }
+        TemplateKind::Expand2 {
+            edge,
+            node_type,
+            directed,
+        } => {
+            let id = literal(param(binding, "id"));
+            let step = gr_step(edge, *directed);
+            if *directed {
+                // `.out().out()` cannot backtrack in a simple graph, and
+                // Cypher's `[:e*2]->` does include the start vertex when
+                // reciprocal edges exist — so no start-vertex filter here.
+                format!(
+                    "g.V().hasLabel({}).has('id', {id}){step}{step}.dedup()",
+                    quote(node_type)
+                )
+            } else {
+                // `where(neq('n'))` excludes the start vertex a
+                // `both().both()` walk backtracks to, matching Cypher's
+                // relationship-uniqueness semantics on simple graphs.
+                format!(
+                    "g.V().hasLabel({}).has('id', {id}).as('n'){step}{step}.where(neq('n')).dedup()",
+                    quote(node_type)
+                )
+            }
+        }
+        TemplateKind::PropertyScan {
+            node_type,
+            property,
+        } => {
+            let value = literal(param(binding, "value"));
+            format!(
+                "g.V().hasLabel({}).has({}, {value}).count()",
+                quote(node_type),
+                quote(property)
+            )
+        }
+        TemplateKind::Path2 {
+            first_edge,
+            second_edge,
+            start,
+            first_directed,
+            second_directed,
+            ..
+        } => {
+            let id = literal(param(binding, "id"));
+            format!(
+                "g.V().hasLabel({}).has('id', {id}){}{}",
+                quote(start),
+                gr_step(first_edge, *first_directed),
+                gr_step(second_edge, *second_directed)
+            )
+        }
+        TemplateKind::CommunityAgg {
+            edge,
+            node_type,
+            property,
+            directed,
+        } => {
+            let value = literal(param(binding, "value"));
+            format!(
+                "g.V().hasLabel({}).has({}, {value}){}.groupCount().by({})",
+                quote(node_type),
+                quote(property),
+                gr_step(edge, *directed),
+                quote(property)
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curate::CuratedParam;
+    use crate::template::SelectivityClass;
+    use datasynth_tables::Value;
+
+    fn binding(params: Vec<(&str, ParamValue)>) -> Binding {
+        Binding {
+            params: params
+                .into_iter()
+                .map(|(name, value)| CuratedParam {
+                    name: name.into(),
+                    value,
+                })
+                .collect(),
+            expected_rows: 1,
+            band: (1, 1),
+        }
+    }
+
+    fn template(kind: TemplateKind) -> QueryTemplate {
+        QueryTemplate {
+            id: format!("{}:test", kind.keyword()),
+            selectivity: SelectivityClass::Point,
+            kind,
+        }
+    }
+
+    #[test]
+    fn point_lookup_renders_both_dialects() {
+        let t = template(TemplateKind::PointLookup {
+            node_type: "Person".into(),
+        });
+        let b = binding(vec![("id", ParamValue::Id(42))]);
+        assert_eq!(
+            render_cypher(&t, &b),
+            "MATCH (n:Person) WHERE n.id = 42 RETURN n;"
+        );
+        assert_eq!(
+            render_gremlin(&t, &b),
+            "g.V().hasLabel('Person').has('id', 42)"
+        );
+    }
+
+    #[test]
+    fn undirected_expansion_uses_both() {
+        let t = template(TemplateKind::Expand1 {
+            edge: "knows".into(),
+            source: "Person".into(),
+            target: "Person".into(),
+            directed: false,
+        });
+        let b = binding(vec![("id", ParamValue::Id(7))]);
+        assert!(render_cypher(&t, &b).contains("-[:knows]-(m:Person)"));
+        assert!(render_gremlin(&t, &b).contains(".both('knows')"));
+    }
+
+    #[test]
+    fn directed_expansion_uses_out() {
+        let t = template(TemplateKind::Expand1 {
+            edge: "creates".into(),
+            source: "Person".into(),
+            target: "Message".into(),
+            directed: true,
+        });
+        let b = binding(vec![("id", ParamValue::Id(7))]);
+        assert!(render_cypher(&t, &b).contains("-[:creates]->(m:Message)"));
+        assert!(render_gremlin(&t, &b).contains(".out('creates')"));
+    }
+
+    #[test]
+    fn text_values_are_quoted_and_escaped() {
+        let t = template(TemplateKind::PropertyScan {
+            node_type: "Person".into(),
+            property: "country".into(),
+        });
+        let b = binding(vec![(
+            "value",
+            ParamValue::Value(Value::Text("O'Brien".into())),
+        )]);
+        let cy = render_cypher(&t, &b);
+        assert!(cy.contains("n.country = 'O\\'Brien'"), "{cy}");
+        let gr = render_gremlin(&t, &b);
+        assert!(gr.contains("'O\\'Brien'"), "{gr}");
+    }
+
+    #[test]
+    fn numeric_values_are_bare() {
+        let t = template(TemplateKind::PropertyScan {
+            node_type: "Person".into(),
+            property: "age".into(),
+        });
+        let b = binding(vec![("value", ParamValue::Value(Value::Long(30)))]);
+        assert!(render_cypher(&t, &b).contains("n.age = 30 "));
+        assert!(render_gremlin(&t, &b).contains("has('age', 30)"));
+    }
+
+    #[test]
+    fn two_hop_renders_star_and_double_step() {
+        let t = template(TemplateKind::Expand2 {
+            edge: "knows".into(),
+            node_type: "Person".into(),
+            directed: false,
+        });
+        let b = binding(vec![("id", ParamValue::Id(3))]);
+        assert!(render_cypher(&t, &b).contains("[:knows*2]"));
+        let gr = render_gremlin(&t, &b);
+        assert_eq!(gr.matches(".both('knows')").count(), 2, "{gr}");
+        assert!(
+            gr.ends_with(".where(neq('n')).dedup()"),
+            "the start vertex must be excluded, as in Cypher: {gr}"
+        );
+
+        // Directed walks cannot backtrack, and Cypher keeps the start
+        // vertex reachable over reciprocal edges — no filter.
+        let td = template(TemplateKind::Expand2 {
+            edge: "follows".into(),
+            node_type: "Person".into(),
+            directed: true,
+        });
+        let gd = render_gremlin(&td, &b);
+        assert_eq!(gd.matches(".out('follows')").count(), 2, "{gd}");
+        assert!(!gd.contains("neq"), "{gd}");
+        assert!(gd.ends_with(".dedup()"));
+    }
+
+    #[test]
+    fn path_chains_two_edges() {
+        let t = template(TemplateKind::Path2 {
+            first_edge: "knows".into(),
+            second_edge: "creates".into(),
+            start: "Person".into(),
+            mid: "Person".into(),
+            end: "Message".into(),
+            first_directed: false,
+            second_directed: true,
+        });
+        let b = binding(vec![("id", ParamValue::Id(5))]);
+        let cy = render_cypher(&t, &b);
+        assert!(
+            cy.contains("-[:knows]-(b:Person)-[:creates]->(c:Message)"),
+            "{cy}"
+        );
+    }
+}

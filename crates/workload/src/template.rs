@@ -1,0 +1,321 @@
+//! Query-template derivation: walk the schema's node and edge types and
+//! emit the pattern templates the benchmark workload instantiates.
+
+use datasynth_schema::Schema;
+
+use std::fmt;
+
+/// How many rows a query instance is expected to touch/return.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SelectivityClass {
+    /// A handful of rows (key lookups, low-degree expansions).
+    Point,
+    /// A bounded intermediate result (typical neighborhoods, mid-frequency
+    /// predicates).
+    Medium,
+    /// A large fraction of a type (hubs, frequent values, aggregations).
+    Scan,
+}
+
+impl SelectivityClass {
+    /// Manifest keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            SelectivityClass::Point => "point",
+            SelectivityClass::Medium => "medium",
+            SelectivityClass::Scan => "scan",
+        }
+    }
+}
+
+impl fmt::Display for SelectivityClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// The shape of one derived query template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemplateKind {
+    /// Fetch one node of `node_type` by id.
+    PointLookup {
+        /// Node type to look up.
+        node_type: String,
+    },
+    /// 1-hop neighborhood of a bound source node along `edge`.
+    Expand1 {
+        /// Edge type name.
+        edge: String,
+        /// Source node type.
+        source: String,
+        /// Target node type.
+        target: String,
+        /// Whether the edge is directed (`->` in the DSL).
+        directed: bool,
+    },
+    /// 2-hop neighborhood along a same-type `edge` (source == target).
+    Expand2 {
+        /// Edge type name.
+        edge: String,
+        /// The (single) endpoint node type.
+        node_type: String,
+        /// Whether the edge is directed.
+        directed: bool,
+    },
+    /// Count nodes of `node_type` filtered by equality on `property`.
+    PropertyScan {
+        /// Node type to scan.
+        node_type: String,
+        /// Property filtered on.
+        property: String,
+    },
+    /// Two-edge path from a bound start node across distinct edge types.
+    Path2 {
+        /// First edge type.
+        first_edge: String,
+        /// Second edge type.
+        second_edge: String,
+        /// Start node type (source of `first_edge`).
+        start: String,
+        /// Middle node type (target of `first_edge` = source of
+        /// `second_edge`).
+        mid: String,
+        /// End node type (target of `second_edge`).
+        end: String,
+        /// Whether `first_edge` is directed.
+        first_directed: bool,
+        /// Whether `second_edge` is directed.
+        second_directed: bool,
+    },
+    /// Group-by aggregation over the neighborhood of one "community"
+    /// (all nodes sharing the structure-correlated property value).
+    CommunityAgg {
+        /// Edge type whose correlation defines the communities.
+        edge: String,
+        /// The (single) endpoint node type.
+        node_type: String,
+        /// The structure-correlated property.
+        property: String,
+        /// Whether the edge is directed.
+        directed: bool,
+    },
+}
+
+impl TemplateKind {
+    /// Manifest keyword for the kind (also the `--query-mix` key).
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            TemplateKind::PointLookup { .. } => "point_lookup",
+            TemplateKind::Expand1 { .. } => "expand_1hop",
+            TemplateKind::Expand2 { .. } => "expand_2hop",
+            TemplateKind::PropertyScan { .. } => "property_scan",
+            TemplateKind::Path2 { .. } => "path_2",
+            TemplateKind::CommunityAgg { .. } => "community_agg",
+        }
+    }
+
+    /// The selectivity class instances of this kind are curated toward.
+    pub fn selectivity(&self) -> SelectivityClass {
+        match self {
+            TemplateKind::PointLookup { .. } => SelectivityClass::Point,
+            TemplateKind::Expand1 { .. } => SelectivityClass::Medium,
+            TemplateKind::Expand2 { .. } => SelectivityClass::Scan,
+            TemplateKind::PropertyScan { .. } => SelectivityClass::Medium,
+            TemplateKind::Path2 { .. } => SelectivityClass::Medium,
+            TemplateKind::CommunityAgg { .. } => SelectivityClass::Scan,
+        }
+    }
+}
+
+/// One derived template: a stable id, the pattern shape, and the
+/// selectivity class its parameters are curated toward.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryTemplate {
+    /// Stable identifier, e.g. `expand_1hop:knows`.
+    pub id: String,
+    /// Pattern shape.
+    pub kind: TemplateKind,
+    /// Curation target.
+    pub selectivity: SelectivityClass,
+}
+
+impl QueryTemplate {
+    fn new(kind: TemplateKind, discriminator: &str) -> Self {
+        Self {
+            id: format!("{}:{}", kind.keyword(), discriminator),
+            selectivity: kind.selectivity(),
+            kind,
+        }
+    }
+}
+
+/// Derive the workload templates implied by a schema, in deterministic
+/// (declaration) order:
+///
+/// * a point lookup per node type,
+/// * a 1-hop expansion per edge type,
+/// * a 2-hop expansion per same-type edge type,
+/// * a property-filtered scan per `(node type, property)`,
+/// * a two-edge path per composable ordered pair of distinct edge types,
+/// * a community aggregation per structure-correlated edge type.
+pub fn derive_templates(schema: &Schema) -> Vec<QueryTemplate> {
+    let mut out = Vec::new();
+
+    for node in &schema.nodes {
+        out.push(QueryTemplate::new(
+            TemplateKind::PointLookup {
+                node_type: node.name.clone(),
+            },
+            &node.name,
+        ));
+        for prop in &node.properties {
+            out.push(QueryTemplate::new(
+                TemplateKind::PropertyScan {
+                    node_type: node.name.clone(),
+                    property: prop.name.clone(),
+                },
+                &format!("{}.{}", node.name, prop.name),
+            ));
+        }
+    }
+
+    for edge in &schema.edges {
+        out.push(QueryTemplate::new(
+            TemplateKind::Expand1 {
+                edge: edge.name.clone(),
+                source: edge.source.clone(),
+                target: edge.target.clone(),
+                directed: edge.directed,
+            },
+            &edge.name,
+        ));
+        if edge.source == edge.target {
+            out.push(QueryTemplate::new(
+                TemplateKind::Expand2 {
+                    edge: edge.name.clone(),
+                    node_type: edge.source.clone(),
+                    directed: edge.directed,
+                },
+                &edge.name,
+            ));
+        }
+        if let Some(corr) = &edge.correlation {
+            // Correlations are only legal on same-type edges; the property
+            // lives on the (source) node type.
+            out.push(QueryTemplate::new(
+                TemplateKind::CommunityAgg {
+                    edge: edge.name.clone(),
+                    node_type: edge.source.clone(),
+                    property: corr.property.clone(),
+                    directed: edge.directed,
+                },
+                &edge.name,
+            ));
+        }
+    }
+
+    for first in &schema.edges {
+        for second in &schema.edges {
+            if first.name == second.name || first.target != second.source {
+                continue;
+            }
+            out.push(QueryTemplate::new(
+                TemplateKind::Path2 {
+                    first_edge: first.name.clone(),
+                    second_edge: second.name.clone(),
+                    start: first.source.clone(),
+                    mid: first.target.clone(),
+                    end: second.target.clone(),
+                    first_directed: first.directed,
+                    second_directed: second.directed,
+                },
+                &format!("{}-{}", first.name, second.name),
+            ));
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasynth_schema::parse_schema;
+
+    const DSL: &str = r#"
+graph social {
+  node Person [count = 100] {
+    country: text = dictionary("countries");
+    age: long = uniform(18, 80);
+  }
+  node Message {
+    topic: text = dictionary("topics");
+  }
+  edge knows: Person -- Person {
+    structure = lfr(avg_degree = 8, max_degree = 20);
+    correlate country with homophily(0.8);
+  }
+  edge creates: Person -> Message [one_to_many] {
+    structure = one_to_many(dist = "geometric", p = 0.4);
+  }
+}
+"#;
+
+    #[test]
+    fn derives_all_six_kinds() {
+        let schema = parse_schema(DSL).unwrap();
+        let templates = derive_templates(&schema);
+        let kinds: std::collections::BTreeSet<&str> =
+            templates.iter().map(|t| t.kind.keyword()).collect();
+        assert_eq!(
+            kinds.into_iter().collect::<Vec<_>>(),
+            vec![
+                "community_agg",
+                "expand_1hop",
+                "expand_2hop",
+                "path_2",
+                "point_lookup",
+                "property_scan",
+            ]
+        );
+    }
+
+    #[test]
+    fn template_ids_are_unique_and_stable() {
+        let schema = parse_schema(DSL).unwrap();
+        let a = derive_templates(&schema);
+        let b = derive_templates(&schema);
+        assert_eq!(a, b, "derivation must be deterministic");
+        let ids: std::collections::BTreeSet<&str> = a.iter().map(|t| t.id.as_str()).collect();
+        assert_eq!(ids.len(), a.len(), "duplicate template id");
+    }
+
+    #[test]
+    fn expand2_only_for_same_type_edges() {
+        let schema = parse_schema(DSL).unwrap();
+        let templates = derive_templates(&schema);
+        let two_hop: Vec<&QueryTemplate> = templates
+            .iter()
+            .filter(|t| matches!(t.kind, TemplateKind::Expand2 { .. }))
+            .collect();
+        assert_eq!(two_hop.len(), 1);
+        assert_eq!(two_hop[0].id, "expand_2hop:knows");
+    }
+
+    #[test]
+    fn path_composes_heterogeneous_edges() {
+        let schema = parse_schema(DSL).unwrap();
+        let templates = derive_templates(&schema);
+        assert!(templates.iter().any(|t| t.id == "path_2:knows-creates"));
+        // creates: Person -> Message cannot be followed by knows.
+        assert!(!templates.iter().any(|t| t.id == "path_2:creates-knows"));
+    }
+
+    #[test]
+    fn selectivity_classes_follow_kind() {
+        let schema = parse_schema(DSL).unwrap();
+        for t in derive_templates(&schema) {
+            assert_eq!(t.selectivity, t.kind.selectivity());
+        }
+    }
+}

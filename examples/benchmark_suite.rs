@@ -1,0 +1,63 @@
+//! Benchmark suite in one run: generate a property graph *and* the query
+//! workload to benchmark it with, the way gMark/SP²Bench couple data and
+//! queries.
+//!
+//! ```sh
+//! cargo run --release --example benchmark_suite
+//! ```
+//!
+//! Writes `benchmark_out/data/` (CSV tables) and `benchmark_out/queries/`
+//! (Cypher + Gremlin per query, `workload.json` manifest).
+
+use std::path::Path;
+
+use datasynth::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dsl = std::fs::read_to_string("examples/social.dsl")
+        .unwrap_or_else(|_| include_str!("social.dsl").to_owned());
+    let seed = 42;
+
+    let generator = DataSynth::from_dsl(&dsl)?.with_seed(seed);
+    let graph = generator.generate()?;
+    println!(
+        "graph: {} nodes, {} edges",
+        graph.total_nodes(),
+        graph.total_edges()
+    );
+
+    let out = Path::new("benchmark_out");
+    CsvExporter.export(&graph, &out.join("data"))?;
+
+    // Weight neighborhood expansions heaviest, the way an OLTP-ish graph
+    // benchmark would; scans and aggregations stay in the mix.
+    let mix = QueryMix::parse("point:2,expand1:4,expand2:2,scan:2,path:1,agg:1")?;
+    let workload = WorkloadGenerator::new(generator.schema(), &graph)
+        .with_seed(seed)
+        .with_mix(mix)
+        .generate(100)?;
+    workload.write_to(&out.join("queries"))?;
+
+    println!(
+        "workload: {} queries across {} kinds",
+        workload.queries.len(),
+        workload.instantiated_kinds().len()
+    );
+    for template in &workload.templates {
+        let count = workload
+            .queries
+            .iter()
+            .filter(|q| q.template == template.id)
+            .count();
+        if count > 0 {
+            println!(
+                "  {:<28} {:>3} queries [{}]",
+                template.id, count, template.selectivity
+            );
+        }
+    }
+    if let Some(q) = workload.queries.first() {
+        println!("\nexample ({}):\n  {}\n  {}", q.id, q.cypher, q.gremlin);
+    }
+    Ok(())
+}

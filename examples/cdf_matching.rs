@@ -76,7 +76,9 @@ fn main() {
         let cell = &mut canvas[e_row.min(height - 1)][col];
         *cell = if *cell == 'o' { '*' } else { 'e' };
     }
-    println!("CDF over value pairs, sorted by expected mass (e = expected, o = observed, * = both)");
+    println!(
+        "CDF over value pairs, sorted by expected mass (e = expected, o = observed, * = both)"
+    );
     for row in canvas {
         let line: String = row.into_iter().collect();
         println!("|{line}");

@@ -90,10 +90,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Price and popularity exist for downstream recommender features.
     let pop = graph.node_property("Product", "popularity").unwrap();
-    let rank1 = pop
-        .iter()
-        .filter(|v| v.as_long() == Some(1))
-        .count();
+    let rank1 = pop.iter().filter(|v| v.as_long() == Some(1)).count();
     println!("products at popularity rank 1: {rank1} (zipf head)");
 
     Ok(())

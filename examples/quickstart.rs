@@ -46,9 +46,7 @@ graph quickstart {
     let follows = graph.edges("follows").expect("exists");
     let same = follows
         .iter()
-        .filter(|&(a, b)| {
-            countries.value(a).unwrap() == countries.value(b).unwrap()
-        })
+        .filter(|&(a, b)| countries.value(a).unwrap() == countries.value(b).unwrap())
         .count();
     println!(
         "{:.1}% of follows edges connect same-country users",

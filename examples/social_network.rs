@@ -77,7 +77,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let violations = (0..knows.len())
         .filter(|&i| {
             let (t, h) = knows.edge(i);
-            let bound = p_date.value(t).unwrap().as_long().unwrap()
+            let bound = p_date
+                .value(t)
+                .unwrap()
+                .as_long()
+                .unwrap()
                 .max(p_date.value(h).unwrap().as_long().unwrap());
             k_date.value(i).unwrap().as_long().unwrap() <= bound
         })

@@ -38,7 +38,8 @@
 //! * [`schema`] — the DSL,
 //! * [`matching`] — SBM-Part, LDG, JPDs, evaluation,
 //! * [`analysis`] — structural graph metrics,
-//! * [`core`] — the pipeline.
+//! * [`core`] — the pipeline,
+//! * [`workload`] — benchmark query workloads over generated graphs.
 
 pub use datasynth_analysis as analysis;
 pub use datasynth_core as core;
@@ -48,10 +49,14 @@ pub use datasynth_props as props;
 pub use datasynth_schema as schema;
 pub use datasynth_structure as structure;
 pub use datasynth_tables as tables;
+pub use datasynth_workload as workload;
 
 pub use datasynth_core::{DataSynth, ExecutionPlan, PipelineError, Task};
 
 /// One-stop imports.
 pub mod prelude {
     pub use datasynth_core::prelude::*;
+    pub use datasynth_workload::{
+        derive_templates, QueryMix, QueryTemplate, SelectivityClass, Workload, WorkloadGenerator,
+    };
 }

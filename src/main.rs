@@ -4,6 +4,7 @@
 //! datasynth schema.dsl --seed 42 --out ./data --format csv
 //! datasynth schema.dsl --plan           # show the dependency analysis
 //! datasynth schema.dsl --stats          # print structural statistics
+//! datasynth schema.dsl --workload q/ --queries 100   # benchmark queries
 //! ```
 
 use std::path::PathBuf;
@@ -11,6 +12,7 @@ use std::process::ExitCode;
 
 use datasynth::analysis::{degree_assortativity, largest_component_size, DegreeStats};
 use datasynth::prelude::*;
+use datasynth::workload::{QueryMix, WorkloadGenerator};
 
 struct Args {
     schema_path: PathBuf,
@@ -20,6 +22,9 @@ struct Args {
     threads: Option<usize>,
     plan_only: bool,
     stats: bool,
+    workload: Option<PathBuf>,
+    queries: Option<usize>,
+    query_mix: Option<QueryMix>,
 }
 
 #[derive(PartialEq, Clone, Copy)]
@@ -39,6 +44,12 @@ options:
   --threads N       worker threads (default: available cores, capped at 8)
   --plan            print the dependency-analyzed task plan and exit
   --stats           print structural statistics of the generated graph
+  --workload DIR    derive a benchmark query workload into DIR
+                    (Cypher + Gremlin per query, plus workload.json)
+  --queries N       number of workload queries (default 100)
+  --query-mix SPEC  kind:weight list, e.g. point:2,expand1:5,scan:1
+                    (kinds: point, expand1, expand2, scan, path, agg;
+                     default: uniform over the kinds the schema derives)
   --help            this text
 ";
 
@@ -51,6 +62,9 @@ fn parse_args() -> Result<Args, String> {
         threads: None,
         plan_only: false,
         stats: false,
+        workload: None,
+        queries: None,
+        query_mix: None,
     };
     let mut positional = Vec::new();
     let mut iter = std::env::args().skip(1);
@@ -83,6 +97,20 @@ fn parse_args() -> Result<Args, String> {
             }
             "--plan" => args.plan_only = true,
             "--stats" => args.stats = true,
+            "--workload" => {
+                args.workload = Some(iter.next().ok_or("--workload takes a directory")?.into());
+            }
+            "--queries" => {
+                args.queries = Some(
+                    iter.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--queries takes an integer")?,
+                );
+            }
+            "--query-mix" => {
+                let spec = iter.next().ok_or("--query-mix takes a kind:weight list")?;
+                args.query_mix = Some(QueryMix::parse(&spec).map_err(|e| e.to_string())?);
+            }
             other if !other.starts_with('-') => positional.push(PathBuf::from(other)),
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -90,6 +118,9 @@ fn parse_args() -> Result<Args, String> {
     match positional.as_slice() {
         [one] => args.schema_path = one.clone(),
         _ => return Err("expected exactly one schema file".into()),
+    }
+    if args.workload.is_none() && (args.queries.is_some() || args.query_mix.is_some()) {
+        return Err("--queries / --query-mix require --workload DIR".into());
     }
     Ok(args)
 }
@@ -169,6 +200,11 @@ fn run(args: &Args) -> Result<(), String> {
     }
 
     if let Some(dir) = &args.out {
+        // The exporters also create the directory; doing it here first
+        // turns a permissions/path problem into one clear CLI error
+        // instead of a per-format export failure.
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
         if args.format == Format::Csv || args.format == Format::Both {
             CsvExporter
                 .export(&graph, dir)
@@ -180,6 +216,24 @@ fn run(args: &Args) -> Result<(), String> {
                 .map_err(|e| format!("jsonl export: {e}"))?;
         }
         eprintln!("exported to {}", dir.display());
+    }
+
+    if let Some(dir) = &args.workload {
+        let workload = WorkloadGenerator::new(generator.schema(), &graph)
+            .with_seed(args.seed)
+            .with_mix(args.query_mix.clone().unwrap_or_default())
+            .generate(args.queries.unwrap_or(100))
+            .map_err(|e| format!("workload: {e}"))?;
+        workload
+            .write_to(dir)
+            .map_err(|e| format!("workload export: {e}"))?;
+        eprintln!(
+            "workload: {} queries over {} templates ({} kinds) -> {}",
+            workload.queries.len(),
+            workload.templates.len(),
+            workload.instantiated_kinds().len(),
+            dir.display()
+        );
     }
     Ok(())
 }

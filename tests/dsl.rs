@@ -37,7 +37,11 @@ fn printed_dsl_reparses_to_the_same_schema() {
 fn printed_dsl_generates_identical_graphs() {
     let schema = parse_schema(SCHEMA).unwrap();
     let printed = schema.to_dsl();
-    let a = DataSynth::new(schema).unwrap().with_seed(5).generate().unwrap();
+    let a = DataSynth::new(schema)
+        .unwrap()
+        .with_seed(5)
+        .generate()
+        .unwrap();
     let b = DataSynth::from_dsl(&printed)
         .unwrap()
         .with_seed(5)

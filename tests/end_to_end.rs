@@ -68,7 +68,11 @@ fn all_figure1_constraints_hold() {
     // knows.creationDate greater than the creationDate of both Persons.
     for i in 0..knows.len() {
         let (t, h) = knows.edge(i);
-        let bound = p_date.value(t).unwrap().as_long().unwrap()
+        let bound = p_date
+            .value(t)
+            .unwrap()
+            .as_long()
+            .unwrap()
             .max(p_date.value(h).unwrap().as_long().unwrap());
         assert!(k_date.value(i).unwrap().as_long().unwrap() > bound);
     }

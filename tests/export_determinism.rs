@@ -1,0 +1,136 @@
+//! Exporter determinism: the same schema + seed must produce
+//! byte-identical CSV/JSONL directories across independent runs — the
+//! property that makes generated benchmarks shareable by (schema, seed)
+//! instead of by shipped data.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use datasynth::prelude::*;
+
+const SCHEMA: &str = r#"
+graph determinism {
+  node Person [count = 800] {
+    country: text = dictionary("countries");
+    age: long = uniform(18, 90);
+    score: double = normal(0, 1);
+    premium: bool = bool(0.25);
+    signup: date = date_between("2015-01-01", "2020-12-31");
+  }
+  node Message {
+    topic: text = dictionary("topics");
+  }
+  edge knows: Person -- Person {
+    structure = lfr(avg_degree = 8, max_degree = 24, mixing = 0.15);
+    correlate country with homophily(0.7);
+  }
+  edge creates: Person -> Message [one_to_many] {
+    structure = one_to_many(dist = "geometric", p = 0.5);
+  }
+}
+"#;
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "datasynth-determinism-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// All files under `dir` as relative-path -> bytes.
+fn snapshot(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in fs::read_dir(&d).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                let rel = path
+                    .strip_prefix(dir)
+                    .unwrap()
+                    .to_string_lossy()
+                    .into_owned();
+                out.insert(rel, fs::read(&path).unwrap());
+            }
+        }
+    }
+    out
+}
+
+fn generate_and_export(seed: u64, tag: &str) -> BTreeMap<String, Vec<u8>> {
+    let graph = DataSynth::from_dsl(SCHEMA)
+        .unwrap()
+        .with_seed(seed)
+        .generate()
+        .unwrap();
+    let dir = fresh_dir(tag);
+    CsvExporter.export(&graph, &dir).unwrap();
+    JsonlExporter.export(&graph, &dir).unwrap();
+    let snap = snapshot(&dir);
+    fs::remove_dir_all(&dir).unwrap();
+    snap
+}
+
+#[test]
+fn same_seed_exports_byte_identical_output() {
+    let a = generate_and_export(42, "a");
+    let b = generate_and_export(42, "b");
+    assert_eq!(
+        a.keys().collect::<Vec<_>>(),
+        b.keys().collect::<Vec<_>>(),
+        "the two runs must emit the same file set"
+    );
+    assert!(!a.is_empty());
+    for (name, bytes) in &a {
+        assert_eq!(
+            bytes, &b[name],
+            "{name} differs between two identically-seeded runs"
+        );
+    }
+}
+
+#[test]
+fn different_seed_changes_output() {
+    let a = generate_and_export(42, "c");
+    let b = generate_and_export(43, "d");
+    assert!(
+        a.iter().any(|(name, bytes)| b[name] != *bytes),
+        "changing the seed must change at least one exported file"
+    );
+}
+
+#[test]
+fn thread_count_does_not_change_exports() {
+    let single = {
+        let graph = DataSynth::from_dsl(SCHEMA)
+            .unwrap()
+            .with_seed(11)
+            .with_threads(1)
+            .generate()
+            .unwrap();
+        let dir = fresh_dir("t1");
+        CsvExporter.export(&graph, &dir).unwrap();
+        let snap = snapshot(&dir);
+        fs::remove_dir_all(&dir).unwrap();
+        snap
+    };
+    let multi = {
+        let graph = DataSynth::from_dsl(SCHEMA)
+            .unwrap()
+            .with_seed(11)
+            .with_threads(8)
+            .generate()
+            .unwrap();
+        let dir = fresh_dir("t8");
+        CsvExporter.export(&graph, &dir).unwrap();
+        let snap = snapshot(&dir);
+        fs::remove_dir_all(&dir).unwrap();
+        snap
+    };
+    assert_eq!(single, multi, "worker count must not leak into the data");
+}

@@ -3,8 +3,7 @@
 
 use datasynth::matching::evaluate::{compare_jpds, empirical_jpd, geometric_group_sizes};
 use datasynth::matching::{
-    ldg_partition, random_matching, sbm_part, sbm_part_with, MatchInput, SbmPartConfig,
-    ScoreScheme,
+    ldg_partition, random_matching, sbm_part, sbm_part_with, MatchInput, SbmPartConfig, ScoreScheme,
 };
 use datasynth::prng::SplitMix64;
 use datasynth::structure::{LfrGenerator, RmatGenerator, StructureGenerator};
@@ -59,10 +58,7 @@ fn lfr_matching_is_high_quality_and_beats_random() {
     let setup = protocol(edges, n, 16, 2);
     let (l1, l1_random) = match_and_score(&setup, 3);
     assert!(l1 < 0.25, "LFR L1 = {l1}");
-    assert!(
-        l1 < 0.25 * l1_random,
-        "SBM-Part {l1} vs random {l1_random}"
-    );
+    assert!(l1 < 0.25 * l1_random, "SBM-Part {l1} vs random {l1_random}");
 }
 
 #[test]

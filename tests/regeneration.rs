@@ -34,12 +34,8 @@ fn independent_properties_regenerate_in_place() {
     // Recompute Person.score[137] and Person.country[421] from scratch,
     // exactly as a remote worker that only knows the schema + seed would.
     let score_pt = graph.node_property("Person", "score").unwrap();
-    let gen = build_property_generator(
-        "uniform",
-        &[GenArg::Num(0.0), GenArg::Num(999.0)],
-        0,
-    )
-    .unwrap();
+    let gen =
+        build_property_generator("uniform", &[GenArg::Num(0.0), GenArg::Num(999.0)], 0).unwrap();
     let stream = TableStream::derive(SEED, "Person.score");
     for id in [0u64, 137, 421, 499] {
         let mut rng = stream.substream(id);
@@ -48,8 +44,8 @@ fn independent_properties_regenerate_in_place() {
     }
 
     let country_pt = graph.node_property("Person", "country").unwrap();
-    let gen = build_property_generator("dictionary", &[GenArg::Text("countries".into())], 0)
-        .unwrap();
+    let gen =
+        build_property_generator("dictionary", &[GenArg::Text("countries".into())], 0).unwrap();
     let stream = TableStream::derive(SEED, "Person.country");
     for id in [3u64, 77, 300] {
         let mut rng = stream.substream(id);
@@ -120,8 +116,5 @@ fn access_order_cannot_matter() {
     let p2 = g2.node_property("Person", "score").unwrap();
     let forward: Vec<_> = (0..500).map(|i| p1.value(i).unwrap()).collect();
     let backward: Vec<_> = (0..500).rev().map(|i| p2.value(i).unwrap()).collect();
-    assert_eq!(
-        forward,
-        backward.into_iter().rev().collect::<Vec<_>>()
-    );
+    assert_eq!(forward, backward.into_iter().rev().collect::<Vec<_>>());
 }
