@@ -13,6 +13,7 @@ mod communities;
 mod components;
 mod degree;
 mod paths;
+mod sink;
 mod stats;
 
 pub use assortativity::degree_assortativity;
@@ -21,4 +22,5 @@ pub use communities::{modularity, normalized_mutual_information};
 pub use components::{connected_components, largest_component_size, ComponentLabels};
 pub use degree::{ccdf, degree_histogram, power_law_alpha_mle, DegreeStats};
 pub use paths::{bfs_distances, estimate_diameter, mean_distance_sampled};
+pub use sink::{EdgeStructureReport, StatsSink};
 pub use stats::{hellinger_distance, ks_distance, l1_distance, Summary};

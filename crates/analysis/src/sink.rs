@@ -1,0 +1,140 @@
+//! Streaming statistics accumulation: a [`GraphSink`] that measures
+//! structural characteristics during generation, so `--stats` no longer
+//! needs the whole graph materialized.
+
+use std::collections::BTreeMap;
+
+use datasynth_core::{GraphSink, SinkError};
+use datasynth_tables::EdgeTable;
+
+use crate::{degree_assortativity, largest_component_size, DegreeStats};
+
+/// Structural measurements of one homogeneous (same endpoint type) edge
+/// type, produced by [`StatsSink`].
+#[derive(Debug, Clone)]
+pub struct EdgeStructureReport {
+    /// Edge type name.
+    pub edge_type: String,
+    /// Endpoint node type name.
+    pub node_type: String,
+    /// Number of endpoint instances.
+    pub nodes: u64,
+    /// Number of edges.
+    pub edges: u64,
+    /// Degree distribution summary (absent for empty graphs).
+    pub degree: Option<DegreeStats>,
+    /// Size of the largest connected component.
+    pub largest_component: u64,
+    /// Degree assortativity coefficient (absent when undefined).
+    pub assortativity: Option<f64>,
+}
+
+/// Accumulates structural statistics over a generation run. Property
+/// columns are dropped on arrival; only homogeneous edge tables are held
+/// (statistics need complete adjacency), and measurements run at
+/// [`finish`](GraphSink::finish). Heterogeneous edge tables are discarded
+/// immediately — degree statistics are per homogeneous graph.
+#[derive(Debug, Default)]
+pub struct StatsSink {
+    node_counts: BTreeMap<String, u64>,
+    homogeneous: Vec<(String, String, EdgeTable)>,
+    reports: Vec<EdgeStructureReport>,
+}
+
+impl StatsSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The measurements, available after the run (empty before
+    /// [`finish`](GraphSink::finish)), sorted by edge type name.
+    pub fn reports(&self) -> &[EdgeStructureReport] {
+        &self.reports
+    }
+
+    /// Node instance counts seen during the run.
+    pub fn node_counts(&self) -> &BTreeMap<String, u64> {
+        &self.node_counts
+    }
+}
+
+impl GraphSink for StatsSink {
+    fn node_count(&mut self, node_type: &str, count: u64) -> Result<(), SinkError> {
+        self.node_counts.insert(node_type.to_owned(), count);
+        Ok(())
+    }
+
+    fn edges(
+        &mut self,
+        edge_type: &str,
+        source: &str,
+        target: &str,
+        table: EdgeTable,
+    ) -> Result<(), SinkError> {
+        if source == target {
+            self.homogeneous
+                .push((edge_type.to_owned(), source.to_owned(), table));
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<(), SinkError> {
+        self.reports.clear();
+        for (edge_type, node_type, table) in self.homogeneous.drain(..) {
+            let n = match self.node_counts.get(&node_type) {
+                Some(&n) if n > 0 => n,
+                _ => continue,
+            };
+            let degrees = table.degrees(n);
+            self.reports.push(EdgeStructureReport {
+                degree: DegreeStats::from_degrees(&degrees),
+                largest_component: largest_component_size(&table, n),
+                assortativity: degree_assortativity(&table, n),
+                nodes: n,
+                edges: table.len(),
+                edge_type,
+                node_type,
+            });
+        }
+        self.reports.sort_by(|a, b| a.edge_type.cmp(&b.edge_type));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_homogeneous_edges_only() {
+        let mut sink = StatsSink::new();
+        sink.node_count("A", 4).unwrap();
+        sink.node_count("B", 2).unwrap();
+        sink.edges(
+            "ring",
+            "A",
+            "A",
+            EdgeTable::from_pairs("ring", [(0u64, 1u64), (1, 2), (2, 3), (3, 0)]),
+        )
+        .unwrap();
+        sink.edges(
+            "mixed",
+            "A",
+            "B",
+            EdgeTable::from_pairs("mixed", [(0u64, 0u64)]),
+        )
+        .unwrap();
+        sink.finish().unwrap();
+        let reports = sink.reports();
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0];
+        assert_eq!(r.edge_type, "ring");
+        assert_eq!(r.nodes, 4);
+        assert_eq!(r.edges, 4);
+        assert_eq!(r.largest_component, 4);
+        let deg = r.degree.as_ref().unwrap();
+        assert_eq!(deg.min, 2);
+        assert_eq!(deg.max, 2);
+    }
+}

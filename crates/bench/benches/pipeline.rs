@@ -2,7 +2,32 @@
 //! element, plus property-generation scaling with thread count.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use datasynth_core::DataSynth;
+use datasynth_core::{DataSynth, GraphSink, SinkError};
+use datasynth_tables::{EdgeTable, PropertyTable};
+
+/// Measures the pure generation path: consumes the stream, keeps nothing.
+#[derive(Default)]
+struct NullSink {
+    tables: u64,
+}
+
+impl GraphSink for NullSink {
+    fn node_property(&mut self, _: &str, _: &str, t: PropertyTable) -> Result<(), SinkError> {
+        black_box(&t);
+        self.tables += 1;
+        Ok(())
+    }
+    fn edges(&mut self, _: &str, _: &str, _: &str, t: EdgeTable) -> Result<(), SinkError> {
+        black_box(&t);
+        self.tables += 1;
+        Ok(())
+    }
+    fn edge_property(&mut self, _: &str, _: &str, t: PropertyTable) -> Result<(), SinkError> {
+        black_box(&t);
+        self.tables += 1;
+        Ok(())
+    }
+}
 
 const SCHEMA: &str = r#"
 graph social {
@@ -47,6 +72,17 @@ fn bench_pipeline(c: &mut Criterion) {
     group.bench_function("running_example_5k_persons", |b| {
         let gen = DataSynth::from_dsl(SCHEMA).unwrap().with_seed(7);
         b.iter(|| black_box(gen.generate().unwrap()))
+    });
+
+    // Same pipeline, streamed into a discarding sink: the gap to the
+    // benchmark above is the cost of materializing the PropertyGraph.
+    group.bench_function("running_example_streamed_null_sink", |b| {
+        let gen = DataSynth::from_dsl(SCHEMA).unwrap().with_seed(7);
+        b.iter(|| {
+            let mut sink = NullSink::default();
+            gen.session().unwrap().run_into(&mut sink).unwrap();
+            black_box(sink.tables)
+        })
     });
 
     group.throughput(Throughput::Elements(50_000 * 5));

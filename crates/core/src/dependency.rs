@@ -73,6 +73,89 @@ pub struct Analysis {
     pub count_sources: BTreeMap<String, CountSource>,
 }
 
+/// A table-shaped artifact the runner holds while tasks still need it.
+/// Raw (pre-matching) structures are not listed: their single last reader
+/// is always the `Match` task of their edge, which consumes them directly.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Artifact {
+    /// A node property table, `(node type, property)`.
+    NodeProperty(String, String),
+    /// A finalized (matched) edge table.
+    Edges(String),
+    /// An edge property table, `(edge type, property)`.
+    EdgeProperty(String, String),
+}
+
+impl std::fmt::Display for Artifact {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Artifact::NodeProperty(t, p) => write!(f, "{t}.{p}"),
+            Artifact::Edges(e) => write!(f, "edges({e})"),
+            Artifact::EdgeProperty(e, p) => write!(f, "{e}.{p}"),
+        }
+    }
+}
+
+/// Compute, for each task index of the plan, the artifacts whose **last
+/// use** is that task: once the task has run, the runner can hand each of
+/// them to the sink and drop it from working memory. Every artifact the
+/// plan produces appears in exactly one slot, at or after its production
+/// index.
+pub fn emission_schedule(schema: &Schema, analysis: &Analysis) -> Vec<Vec<Artifact>> {
+    let tasks = &analysis.plan.tasks;
+    // Walking in plan order and overwriting means each artifact ends up
+    // mapped to the max of its production index and all read indices.
+    let mut last_use: BTreeMap<Artifact, usize> = BTreeMap::new();
+    for (i, task) in tasks.iter().enumerate() {
+        match task {
+            Task::NodeCount(_) | Task::Structure(_) => {}
+            Task::NodeProperty(t, p) => {
+                let node = schema.node_type(t).expect("validated");
+                let prop = node.property(p).expect("validated");
+                for dep in &prop.dependencies {
+                    if let DepRef::Own(q) = dep {
+                        last_use.insert(Artifact::NodeProperty(t.clone(), q.clone()), i);
+                    }
+                }
+                last_use.insert(Artifact::NodeProperty(t.clone(), p.clone()), i);
+            }
+            Task::Match(e) => {
+                let edge = schema.edge_type(e).expect("validated");
+                if let Some(corr) = &edge.correlation {
+                    last_use.insert(
+                        Artifact::NodeProperty(edge.source.clone(), corr.property.clone()),
+                        i,
+                    );
+                }
+                last_use.insert(Artifact::Edges(e.clone()), i);
+            }
+            Task::EdgeProperty(e, p) => {
+                let edge = schema.edge_type(e).expect("validated");
+                let prop = edge
+                    .properties
+                    .iter()
+                    .find(|q| q.name == *p)
+                    .expect("validated");
+                last_use.insert(Artifact::Edges(e.clone()), i);
+                for dep in &prop.dependencies {
+                    let artifact = match dep {
+                        DepRef::Own(q) => Artifact::EdgeProperty(e.clone(), q.clone()),
+                        DepRef::Source(q) => Artifact::NodeProperty(edge.source.clone(), q.clone()),
+                        DepRef::Target(q) => Artifact::NodeProperty(edge.target.clone(), q.clone()),
+                    };
+                    last_use.insert(artifact, i);
+                }
+                last_use.insert(Artifact::EdgeProperty(e.clone(), p.clone()), i);
+            }
+        }
+    }
+    let mut schedule = vec![Vec::new(); tasks.len()];
+    for (artifact, i) in last_use {
+        schedule[i].push(artifact);
+    }
+    schedule
+}
+
 /// Analyze a schema into an execution plan. Fails on underdetermined or
 /// ambiguous sizing and on dependency cycles.
 pub fn analyze(schema: &Schema) -> Result<Analysis, PipelineError> {
@@ -362,6 +445,65 @@ graph social {
         assert_eq!(
             analysis.count_sources["A"],
             CountSource::FromEdgeCount("e".into())
+        );
+    }
+
+    #[test]
+    fn schedule_emits_each_artifact_once_at_or_after_production() {
+        let schema = parse_schema(EXAMPLE).unwrap();
+        let analysis = analyze(&schema).unwrap();
+        let schedule = emission_schedule(&schema, &analysis);
+        assert_eq!(schedule.len(), analysis.plan.tasks.len());
+        let all: Vec<&Artifact> = schedule.iter().flatten().collect();
+        // 4 Person props + 1 Message prop + 2 edge tables + 1 edge prop.
+        assert_eq!(all.len(), 8);
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len(), "artifacts must be emitted once");
+    }
+
+    #[test]
+    fn schedule_holds_tables_until_their_last_reader() {
+        let schema = parse_schema(EXAMPLE).unwrap();
+        let analysis = analyze(&schema).unwrap();
+        let schedule = emission_schedule(&schema, &analysis);
+        let plan = &analysis.plan;
+        let slot_of = |a: &Artifact| {
+            schedule
+                .iter()
+                .position(|slot| slot.contains(a))
+                .unwrap_or_else(|| panic!("{a} not scheduled"))
+        };
+        // country feeds the knows matching: emitted exactly after Match.
+        assert_eq!(
+            slot_of(&Artifact::NodeProperty("Person".into(), "country".into())),
+            plan.position(&Task::Match("knows".into())).unwrap()
+        );
+        // creationDate feeds knows.creationDate: emitted at that edge prop.
+        let knows_date = plan
+            .position(&Task::EdgeProperty("knows".into(), "creationDate".into()))
+            .unwrap();
+        assert_eq!(
+            slot_of(&Artifact::NodeProperty(
+                "Person".into(),
+                "creationDate".into()
+            )),
+            knows_date
+        );
+        // The knows edge table is read by its property task, so it is
+        // emitted there, not at Match.
+        assert_eq!(slot_of(&Artifact::Edges("knows".into())), knows_date);
+        // creates has no edge properties: its table leaves at Match.
+        assert_eq!(
+            slot_of(&Artifact::Edges("creates".into())),
+            plan.position(&Task::Match("creates".into())).unwrap()
+        );
+        // name is read by nothing downstream: emitted at production.
+        assert_eq!(
+            slot_of(&Artifact::NodeProperty("Person".into(), "name".into())),
+            plan.position(&Task::NodeProperty("Person".into(), "name".into()))
+                .unwrap()
         );
     }
 

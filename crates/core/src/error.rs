@@ -17,6 +17,9 @@ pub enum PipelineError {
     Table(datasynth_tables::TableError),
     /// Instance counts could not be resolved.
     Sizing(String),
+    /// A [`GraphSink`](crate::GraphSink) rejected or failed to persist an
+    /// emitted artifact.
+    Sink(crate::SinkError),
     /// Everything else (with context).
     Invalid(String),
 }
@@ -30,6 +33,7 @@ impl fmt::Display for PipelineError {
             PipelineError::Generation(e) => write!(f, "generation failed: {e}"),
             PipelineError::Table(e) => write!(f, "table error: {e}"),
             PipelineError::Sizing(msg) => write!(f, "sizing error: {msg}"),
+            PipelineError::Sink(e) => write!(f, "sink error: {e}"),
             PipelineError::Invalid(msg) => write!(f, "{msg}"),
         }
     }
@@ -64,6 +68,12 @@ impl From<datasynth_props::GenError> for PipelineError {
 impl From<datasynth_tables::TableError> for PipelineError {
     fn from(e: datasynth_tables::TableError) -> Self {
         PipelineError::Table(e)
+    }
+}
+
+impl From<crate::SinkError> for PipelineError {
+    fn from(e: crate::SinkError) -> Self {
+        PipelineError::Sink(e)
     }
 }
 

@@ -8,6 +8,14 @@
 //! correlations hold; finally edge properties are generated, with access to
 //! the (matched) endpoint property values.
 //!
+//! The public API is sink-based: [`DataSynth`] is a builder whose
+//! [`session`](DataSynth::session) yields a [`Session`] that streams typed
+//! batches — resolved counts, property columns, finalized edge tables —
+//! into any [`GraphSink`] as tasks complete, dropping each table from
+//! working memory at its last use. [`DataSynth::generate`] remains as
+//! sugar over an [`InMemorySink`] for consumers that want a whole
+//! [`PropertyGraph`](datasynth_tables::PropertyGraph):
+//!
 //! ```no_run
 //! use datasynth_core::DataSynth;
 //!
@@ -24,22 +32,49 @@
 //! let graph = DataSynth::from_dsl(dsl).unwrap().with_seed(42).generate().unwrap();
 //! assert_eq!(graph.node_count("Person"), Some(1000));
 //! ```
+//!
+//! The streaming path exports without materializing the graph — and a
+//! [`MultiSink`] lets several consumers share the single pass:
+//!
+//! ```no_run
+//! use datasynth_core::{CsvSink, DataSynth, JsonlSink, MultiSink};
+//!
+//! # let dsl = "graph g { node A [count = 10] { x: long = counter(); } }";
+//! let generator = DataSynth::from_dsl(dsl).unwrap().with_seed(42);
+//! let mut csv = CsvSink::new("out/csv");
+//! let mut jsonl = JsonlSink::new("out/jsonl");
+//! let mut sinks = MultiSink::new().with(&mut csv).with(&mut jsonl);
+//! generator
+//!     .session()
+//!     .unwrap()
+//!     .on_task(|p| eprintln!("[{}/{}] {} {:?}", p.index + 1, p.total, p.task, p.phase))
+//!     .run_into(&mut sinks)
+//!     .unwrap();
+//! ```
 
 mod convert;
 mod dependency;
 mod error;
 mod parallel;
 mod runner;
+mod sink;
 
 pub use convert::{build_jpd, gen_args_of, structure_params_of};
-pub use dependency::{analyze, ExecutionPlan, Task};
+pub use dependency::{analyze, emission_schedule, Analysis, Artifact, ExecutionPlan, Task};
 pub use error::PipelineError;
 pub use parallel::parallel_chunks;
-pub use runner::DataSynth;
+pub use runner::{DataSynth, Session, TaskPhase, TaskProgress};
+pub use sink::{
+    CsvSink, EdgeTableInfo, GraphSink, InMemorySink, JsonlSink, MultiSink, NodeTableInfo,
+    PropertyInfo, SinkError, SinkManifest,
+};
 
 /// Convenient re-exports for downstream users.
 pub mod prelude {
-    pub use crate::{DataSynth, ExecutionPlan, PipelineError, Task};
+    pub use crate::{
+        CsvSink, DataSynth, ExecutionPlan, GraphSink, InMemorySink, JsonlSink, MultiSink,
+        PipelineError, Session, SinkError, SinkManifest, Task, TaskPhase, TaskProgress,
+    };
     pub use datasynth_schema::{parse_schema, Schema};
     pub use datasynth_tables::{
         export::{CsvExporter, Exporter, JsonlExporter},

@@ -1,6 +1,8 @@
-//! The DataSynth runner: executes an [`ExecutionPlan`] task by task.
+//! The DataSynth runner: executes an [`ExecutionPlan`] task by task,
+//! streaming finished artifacts to a [`GraphSink`].
 
 use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
 
 use datasynth_matching::{assignment_to_mapping_with_ids, sbm_part, MatchInput};
 use datasynth_prng::{seed_from_label, SplitMix64, TableStream};
@@ -12,11 +14,16 @@ use datasynth_structure::{build_generator, Params, StructureGenerator};
 use datasynth_tables::{Csr, EdgeTable, PropertyGraph, PropertyTable, Value};
 
 use crate::convert::{build_jpd, gen_args_of, structure_params_of};
-use crate::dependency::{analyze, CountSource, ExecutionPlan, Task};
+use crate::dependency::{
+    analyze, emission_schedule, Analysis, Artifact, CountSource, ExecutionPlan, Task,
+};
 use crate::error::PipelineError;
 use crate::parallel::{default_threads, parallel_chunks};
+use crate::sink::{GraphSink, InMemorySink, SinkManifest};
 
-/// The generator: a schema plus a seed, producing [`PropertyGraph`]s.
+/// The generator builder: a schema plus a seed. Yields [`Session`]s that
+/// stream into any [`GraphSink`]; [`generate`](DataSynth::generate) remains
+/// as sugar over an [`InMemorySink`].
 #[derive(Debug)]
 pub struct DataSynth {
     schema: Schema,
@@ -62,24 +69,141 @@ impl DataSynth {
         Ok(analyze(&self.schema)?.plan)
     }
 
-    /// Run the full pipeline.
-    pub fn generate(&self) -> Result<PropertyGraph, PipelineError> {
+    /// Analyze the schema into a runnable [`Session`].
+    pub fn session(&self) -> Result<Session<'_>, PipelineError> {
         let analysis = analyze(&self.schema)?;
-        let mut state = RunState {
+        let schedule = emission_schedule(&self.schema, &analysis);
+        Ok(Session {
             schema: &self.schema,
             seed: self.seed,
             threads: self.threads,
-            count_sources: &analysis.count_sources,
+            analysis,
+            schedule,
+            observer: None,
+        })
+    }
+
+    /// Run the full pipeline into memory: sugar over
+    /// [`Session::run_into`] with an [`InMemorySink`], plus a whole-graph
+    /// consistency check.
+    pub fn generate(&self) -> Result<PropertyGraph, PipelineError> {
+        let mut sink = InMemorySink::new();
+        self.session()?.run_into(&mut sink)?;
+        let graph = sink.into_graph();
+        let problems = graph.validate();
+        if !problems.is_empty() {
+            return Err(PipelineError::Invalid(format!(
+                "generated graph is inconsistent: {}",
+                problems.join("; ")
+            )));
+        }
+        Ok(graph)
+    }
+}
+
+/// Which end of a task a [`TaskProgress`] event reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskPhase {
+    /// The task is about to run.
+    Started,
+    /// The task finished, taking `elapsed`.
+    Finished {
+        /// Wall-clock duration of the task.
+        elapsed: Duration,
+    },
+}
+
+/// One progress event, delivered to the observer registered with
+/// [`Session::on_task`] — twice per task, started then finished.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskProgress<'p> {
+    /// Zero-based position of the task in the plan.
+    pub index: usize,
+    /// Total number of tasks in the plan.
+    pub total: usize,
+    /// The task itself.
+    pub task: &'p Task,
+    /// Started or finished.
+    pub phase: TaskPhase,
+}
+
+/// One prepared generation run: the analyzed plan, the artifact emission
+/// schedule, and an optional progress observer. Obtain via
+/// [`DataSynth::session`], consume with [`run_into`](Session::run_into).
+pub struct Session<'a> {
+    schema: &'a Schema,
+    seed: u64,
+    threads: usize,
+    analysis: Analysis,
+    schedule: Vec<Vec<Artifact>>,
+    #[allow(clippy::type_complexity)]
+    observer: Option<Box<dyn FnMut(TaskProgress<'_>) + 'a>>,
+}
+
+impl<'a> Session<'a> {
+    /// The execution plan this session will run.
+    pub fn plan(&self) -> &ExecutionPlan {
+        &self.analysis.plan
+    }
+
+    /// Register a progress observer, called twice per task (started /
+    /// finished). Observation is side-band: it cannot alter the run and
+    /// does not affect determinism of the output.
+    pub fn on_task(mut self, observer: impl FnMut(TaskProgress<'_>) + 'a) -> Self {
+        self.observer = Some(Box::new(observer));
+        self
+    }
+
+    /// Execute the plan, streaming each finished artifact to `sink` as
+    /// soon as no later task depends on it — tables leave the runner's
+    /// working memory at their last use instead of accumulating until the
+    /// end of the run.
+    pub fn run_into(mut self, sink: &mut dyn GraphSink) -> Result<(), PipelineError> {
+        let manifest = SinkManifest::from_schema(self.schema, self.seed);
+        sink.begin(&manifest).map_err(PipelineError::Sink)?;
+        let total = self.analysis.plan.tasks.len();
+        let mut state = RunState {
+            schema: self.schema,
+            seed: self.seed,
+            threads: self.threads,
+            count_sources: &self.analysis.count_sources,
             counts: BTreeMap::new(),
             node_pts: BTreeMap::new(),
             raw_structures: BTreeMap::new(),
             final_edges: BTreeMap::new(),
             edge_pts: BTreeMap::new(),
         };
-        for task in &analysis.plan.tasks {
+        for (index, task) in self.analysis.plan.tasks.iter().enumerate() {
+            if let Some(observer) = self.observer.as_mut() {
+                observer(TaskProgress {
+                    index,
+                    total,
+                    task,
+                    phase: TaskPhase::Started,
+                });
+            }
+            let started = Instant::now();
             state.run_task(task)?;
+            if let Task::NodeCount(t) = task {
+                sink.node_count(t, state.counts[t])
+                    .map_err(PipelineError::Sink)?;
+            }
+            for artifact in &self.schedule[index] {
+                state.emit(artifact, sink)?;
+            }
+            if let Some(observer) = self.observer.as_mut() {
+                observer(TaskProgress {
+                    index,
+                    total,
+                    task,
+                    phase: TaskPhase::Finished {
+                        elapsed: started.elapsed(),
+                    },
+                });
+            }
         }
-        state.into_graph()
+        sink.finish().map_err(PipelineError::Sink)?;
+        Ok(())
     }
 }
 
@@ -103,6 +227,37 @@ impl RunState<'_> {
             Task::Structure(e) => self.gen_structure(e),
             Task::Match(e) => self.match_edge(e),
             Task::EdgeProperty(e, p) => self.gen_edge_property(e, p),
+        }
+    }
+
+    /// Hand a finished artifact to the sink, removing it from working
+    /// memory. The emission schedule guarantees each artifact is past its
+    /// last pipeline use and is emitted exactly once.
+    fn emit(&mut self, artifact: &Artifact, sink: &mut dyn GraphSink) -> Result<(), PipelineError> {
+        match artifact {
+            Artifact::NodeProperty(t, p) => {
+                let table = self
+                    .node_pts
+                    .remove(&(t.clone(), p.clone()))
+                    .expect("scheduled after production");
+                sink.node_property(t, p, table).map_err(PipelineError::Sink)
+            }
+            Artifact::Edges(e) => {
+                let table = self
+                    .final_edges
+                    .remove(e)
+                    .expect("scheduled after production");
+                let def = self.schema.edge_type(e).expect("validated");
+                sink.edges(e, &def.source, &def.target, table)
+                    .map_err(PipelineError::Sink)
+            }
+            Artifact::EdgeProperty(e, p) => {
+                let table = self
+                    .edge_pts
+                    .remove(&(e.clone(), p.clone()))
+                    .expect("scheduled after production");
+                sink.edge_property(e, p, table).map_err(PipelineError::Sink)
+            }
         }
     }
 
@@ -226,7 +381,10 @@ impl RunState<'_> {
     /// (per §4.2) and relabel the raw edge table into final node-id space.
     fn match_edge(&mut self, edge_name: &str) -> Result<(), PipelineError> {
         let edge = self.edge_def(edge_name).clone();
-        let raw = self.raw_structures.get(edge_name).expect("ordered").clone();
+        // The match is the raw structure's last reader (any count derived
+        // from it resolved earlier, by task ordering): take it out of
+        // working memory instead of cloning.
+        let raw = self.raw_structures.remove(edge_name).expect("ordered");
         let n_src = self.counts[&edge.source];
         let n_dst = self.counts[&edge.target];
         let same_type = edge.source == edge.target;
@@ -373,31 +531,6 @@ impl RunState<'_> {
         self.edge_pts
             .insert((edge_name.to_owned(), prop_name.to_owned()), table);
         Ok(())
-    }
-
-    fn into_graph(self) -> Result<PropertyGraph, PipelineError> {
-        let mut graph = PropertyGraph::new();
-        for (t, c) in &self.counts {
-            graph.add_node_type(t.clone(), *c);
-        }
-        for ((t, p), table) in self.node_pts {
-            graph.insert_node_property(t, p, table);
-        }
-        for (e, table) in self.final_edges {
-            let def = self.schema.edge_type(&e).expect("validated");
-            graph.insert_edge_table(e, def.source.clone(), def.target.clone(), table);
-        }
-        for ((e, p), table) in self.edge_pts {
-            graph.insert_edge_property(e, p, table);
-        }
-        let problems = graph.validate();
-        if !problems.is_empty() {
-            return Err(PipelineError::Invalid(format!(
-                "generated graph is inconsistent: {}",
-                problems.join("; ")
-            )));
-        }
-        Ok(graph)
     }
 }
 

@@ -1,0 +1,864 @@
+//! Streaming consumption of generation output: the [`GraphSink`] trait and
+//! the stock sinks.
+//!
+//! The pipeline (structure → matching → properties) is incremental: each
+//! task of the [`ExecutionPlan`](crate::ExecutionPlan) finishes one typed
+//! artifact — a resolved node count, a node-property column, a finalized
+//! edge table, an edge-property column. A [`GraphSink`] receives those
+//! artifacts as soon as no downstream task needs them anymore, so consumers
+//! that do not need the whole graph in memory (exporters, statistics,
+//! workload curation) can process and discard tables while generation is
+//! still running.
+//!
+//! Stock sinks:
+//!
+//! * [`InMemorySink`] — assembles a full
+//!   [`PropertyGraph`](datasynth_tables::PropertyGraph);
+//!   [`DataSynth::generate`](crate::DataSynth::generate) is sugar over it,
+//! * [`CsvSink`] / [`JsonlSink`] — streaming exporters that open one writer
+//!   per table and flush each file the moment its last column arrives,
+//! * [`MultiSink`] — fans every event out to several sinks so export,
+//!   statistics and workload curation share a single generation pass.
+//!
+//! # Writing a custom sink
+//!
+//! Implement the event methods you care about — every method defaults to a
+//! no-op that drops its table. Tables arrive **by value**: keep them, or
+//! drop them after extracting what you need — nothing is retained for you.
+//! This sink counts edges without ever holding more than one table:
+//!
+//! ```
+//! use datasynth_core::{DataSynth, GraphSink, SinkError};
+//! use datasynth_tables::EdgeTable;
+//!
+//! #[derive(Default)]
+//! struct EdgeCounter {
+//!     edges: u64,
+//! }
+//!
+//! impl GraphSink for EdgeCounter {
+//!     fn edges(&mut self, _: &str, _: &str, _: &str, t: EdgeTable) -> Result<(), SinkError> {
+//!         self.edges += t.len();
+//!         Ok(())
+//!     }
+//! }
+//!
+//! let dsl = r#"graph g {
+//!     node A [count = 100] { x: long = counter(); }
+//!     edge e: A -- A { structure = erdos_renyi(p = 0.05); }
+//! }"#;
+//! let mut counter = EdgeCounter::default();
+//! DataSynth::from_dsl(dsl)
+//!     .unwrap()
+//!     .session()
+//!     .unwrap()
+//!     .run_into(&mut counter)
+//!     .unwrap();
+//! assert!(counter.edges > 0);
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Write};
+use std::path::PathBuf;
+
+use datasynth_schema::Schema;
+use datasynth_tables::export::{csv, jsonl};
+use datasynth_tables::{EdgeTable, PropertyGraph, PropertyTable, ValueType};
+
+/// Anything a sink can fail with.
+#[derive(Debug)]
+pub enum SinkError {
+    /// An I/O failure while persisting.
+    Io(io::Error),
+    /// A protocol or consistency violation (with context).
+    Invalid(String),
+}
+
+impl SinkError {
+    /// Shorthand for [`SinkError::Invalid`].
+    pub fn invalid(msg: impl fmt::Display) -> Self {
+        SinkError::Invalid(msg.to_string())
+    }
+}
+
+impl fmt::Display for SinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SinkError::Io(e) => write!(f, "io: {e}"),
+            SinkError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SinkError {}
+
+impl From<io::Error> for SinkError {
+    fn from(e: io::Error) -> Self {
+        SinkError::Io(e)
+    }
+}
+
+/// One property column a sink should expect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropertyInfo {
+    /// Property name.
+    pub name: String,
+    /// Column type.
+    pub value_type: ValueType,
+}
+
+/// One node table a sink should expect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeTableInfo {
+    /// Node type name.
+    pub name: String,
+    /// Properties in emission (name) order.
+    pub properties: Vec<PropertyInfo>,
+}
+
+/// One edge table a sink should expect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeTableInfo {
+    /// Edge type name.
+    pub name: String,
+    /// Source node type.
+    pub source: String,
+    /// Target node type.
+    pub target: String,
+    /// Properties in emission (name) order.
+    pub properties: Vec<PropertyInfo>,
+}
+
+/// Everything a run will emit, announced to sinks up front via
+/// [`GraphSink::begin`] so they can preallocate writers and detect
+/// completion per table without waiting for the run to end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SinkManifest {
+    /// The schema's graph name.
+    pub graph_name: String,
+    /// The master seed of the run.
+    pub seed: u64,
+    /// Node tables, sorted by type name.
+    pub nodes: Vec<NodeTableInfo>,
+    /// Edge tables, sorted by type name.
+    pub edges: Vec<EdgeTableInfo>,
+}
+
+impl SinkManifest {
+    /// Build the manifest for a schema. Types and properties are sorted by
+    /// name — the same order the exporters use — so column order is
+    /// independent of DSL declaration order.
+    pub fn from_schema(schema: &Schema, seed: u64) -> Self {
+        let prop_infos = |props: &[datasynth_schema::PropertyDef]| {
+            let mut infos: Vec<PropertyInfo> = props
+                .iter()
+                .map(|p| PropertyInfo {
+                    name: p.name.clone(),
+                    value_type: p.value_type,
+                })
+                .collect();
+            infos.sort_by(|a, b| a.name.cmp(&b.name));
+            infos
+        };
+        let mut nodes: Vec<NodeTableInfo> = schema
+            .nodes
+            .iter()
+            .map(|n| NodeTableInfo {
+                name: n.name.clone(),
+                properties: prop_infos(&n.properties),
+            })
+            .collect();
+        nodes.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut edges: Vec<EdgeTableInfo> = schema
+            .edges
+            .iter()
+            .map(|e| EdgeTableInfo {
+                name: e.name.clone(),
+                source: e.source.clone(),
+                target: e.target.clone(),
+                properties: prop_infos(&e.properties),
+            })
+            .collect();
+        edges.sort_by(|a, b| a.name.cmp(&b.name));
+        SinkManifest {
+            graph_name: schema.name.clone(),
+            seed,
+            nodes,
+            edges,
+        }
+    }
+}
+
+/// A consumer of generation output, fed by
+/// [`Session::run_into`](crate::Session::run_into).
+///
+/// Event order guarantees:
+///
+/// * [`begin`](Self::begin) first, [`finish`](Self::finish) last, each once;
+/// * [`node_count`](Self::node_count) for a type precedes every
+///   [`node_property`](Self::node_property) of that type;
+/// * [`edges`](Self::edges) for a type precedes every
+///   [`edge_property`](Self::edge_property) of that type **is not**
+///   guaranteed — property columns whose last pipeline use comes earlier
+///   can arrive before their edge table. Buffer per type (the manifest says
+///   what to expect) if you need complete tables;
+/// * every table named in the manifest is emitted exactly once.
+///
+/// See the module-level documentation for a minimal custom sink.
+pub trait GraphSink {
+    /// Announce the run: called once, before any task executes.
+    fn begin(&mut self, manifest: &SinkManifest) -> Result<(), SinkError> {
+        let _ = manifest;
+        Ok(())
+    }
+
+    /// A node type's instance count has been resolved. Default: ignore.
+    fn node_count(&mut self, node_type: &str, count: u64) -> Result<(), SinkError> {
+        let _ = (node_type, count);
+        Ok(())
+    }
+
+    /// A node property column is final (no downstream task reads it).
+    /// Default: drop the table.
+    fn node_property(
+        &mut self,
+        node_type: &str,
+        property: &str,
+        table: PropertyTable,
+    ) -> Result<(), SinkError> {
+        let _ = (node_type, property, table);
+        Ok(())
+    }
+
+    /// An edge table is final: matched into node-id space and no longer
+    /// needed by the pipeline. Default: drop the table.
+    fn edges(
+        &mut self,
+        edge_type: &str,
+        source: &str,
+        target: &str,
+        table: EdgeTable,
+    ) -> Result<(), SinkError> {
+        let _ = (edge_type, source, target, table);
+        Ok(())
+    }
+
+    /// An edge property column is final. Default: drop the table.
+    fn edge_property(
+        &mut self,
+        edge_type: &str,
+        property: &str,
+        table: PropertyTable,
+    ) -> Result<(), SinkError> {
+        let _ = (edge_type, property, table);
+        Ok(())
+    }
+
+    /// The run completed; flush and release resources.
+    fn finish(&mut self) -> Result<(), SinkError> {
+        Ok(())
+    }
+}
+
+/// Collects every event into a [`PropertyGraph`] — the sink behind
+/// [`DataSynth::generate`](crate::DataSynth::generate).
+#[derive(Debug, Default)]
+pub struct InMemorySink {
+    graph: PropertyGraph,
+}
+
+impl InMemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The graph assembled so far.
+    pub fn graph(&self) -> &PropertyGraph {
+        &self.graph
+    }
+
+    /// Consume the sink, yielding the assembled graph.
+    pub fn into_graph(self) -> PropertyGraph {
+        self.graph
+    }
+}
+
+impl GraphSink for InMemorySink {
+    fn node_count(&mut self, node_type: &str, count: u64) -> Result<(), SinkError> {
+        self.graph.add_node_type(node_type, count);
+        Ok(())
+    }
+
+    fn node_property(
+        &mut self,
+        node_type: &str,
+        property: &str,
+        table: PropertyTable,
+    ) -> Result<(), SinkError> {
+        self.graph.insert_node_property(node_type, property, table);
+        Ok(())
+    }
+
+    fn edges(
+        &mut self,
+        edge_type: &str,
+        source: &str,
+        target: &str,
+        table: EdgeTable,
+    ) -> Result<(), SinkError> {
+        self.graph
+            .insert_edge_table(edge_type, source, target, table);
+        Ok(())
+    }
+
+    fn edge_property(
+        &mut self,
+        edge_type: &str,
+        property: &str,
+        table: PropertyTable,
+    ) -> Result<(), SinkError> {
+        self.graph.insert_edge_property(edge_type, property, table);
+        Ok(())
+    }
+}
+
+/// Fans every event out to several sinks, so one generation pass can feed
+/// export, statistics and workload curation at once. Tables are cloned for
+/// all sinks but the last, so order sinks cheapest-copy-first if that
+/// matters.
+#[derive(Default)]
+pub struct MultiSink<'a> {
+    sinks: Vec<&'a mut dyn GraphSink>,
+}
+
+impl<'a> MultiSink<'a> {
+    /// An empty fan-out.
+    pub fn new() -> Self {
+        Self { sinks: Vec::new() }
+    }
+
+    /// Add a sink.
+    pub fn push(&mut self, sink: &'a mut dyn GraphSink) {
+        self.sinks.push(sink);
+    }
+
+    /// Builder-style [`push`](Self::push).
+    pub fn with(mut self, sink: &'a mut dyn GraphSink) -> Self {
+        self.push(sink);
+        self
+    }
+
+    /// Number of registered sinks.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Whether no sinks are registered.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl GraphSink for MultiSink<'_> {
+    fn begin(&mut self, manifest: &SinkManifest) -> Result<(), SinkError> {
+        for sink in &mut self.sinks {
+            sink.begin(manifest)?;
+        }
+        Ok(())
+    }
+
+    fn node_count(&mut self, node_type: &str, count: u64) -> Result<(), SinkError> {
+        for sink in &mut self.sinks {
+            sink.node_count(node_type, count)?;
+        }
+        Ok(())
+    }
+
+    fn node_property(
+        &mut self,
+        node_type: &str,
+        property: &str,
+        table: PropertyTable,
+    ) -> Result<(), SinkError> {
+        let (last, rest) = match self.sinks.split_last_mut() {
+            Some(split) => split,
+            None => return Ok(()),
+        };
+        for sink in rest {
+            sink.node_property(node_type, property, table.clone())?;
+        }
+        last.node_property(node_type, property, table)
+    }
+
+    fn edges(
+        &mut self,
+        edge_type: &str,
+        source: &str,
+        target: &str,
+        table: EdgeTable,
+    ) -> Result<(), SinkError> {
+        let (last, rest) = match self.sinks.split_last_mut() {
+            Some(split) => split,
+            None => return Ok(()),
+        };
+        for sink in rest {
+            sink.edges(edge_type, source, target, table.clone())?;
+        }
+        last.edges(edge_type, source, target, table)
+    }
+
+    fn edge_property(
+        &mut self,
+        edge_type: &str,
+        property: &str,
+        table: PropertyTable,
+    ) -> Result<(), SinkError> {
+        let (last, rest) = match self.sinks.split_last_mut() {
+            Some(split) => split,
+            None => return Ok(()),
+        };
+        for sink in rest {
+            sink.edge_property(edge_type, property, table.clone())?;
+        }
+        last.edge_property(edge_type, property, table)
+    }
+
+    fn finish(&mut self) -> Result<(), SinkError> {
+        for sink in &mut self.sinks {
+            sink.finish()?;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StreamFormat {
+    Csv,
+    Jsonl,
+}
+
+impl StreamFormat {
+    fn extension(self) -> &'static str {
+        match self {
+            StreamFormat::Csv => "csv",
+            StreamFormat::Jsonl => "jsonl",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct NodeBuffer {
+    expected: Vec<String>,
+    count: Option<u64>,
+    props: BTreeMap<String, PropertyTable>,
+    written: bool,
+}
+
+#[derive(Debug)]
+struct EdgeBuffer {
+    source: String,
+    target: String,
+    expected: Vec<String>,
+    table: Option<EdgeTable>,
+    props: BTreeMap<String, PropertyTable>,
+    written: bool,
+}
+
+/// Shared machinery of [`CsvSink`] and [`JsonlSink`]: buffer the columns of
+/// each table, write the file the moment the table is complete, then free
+/// the memory. Peak memory is the largest set of concurrently-incomplete
+/// tables, not the whole graph.
+#[derive(Debug)]
+struct StreamingDirSink {
+    dir: PathBuf,
+    format: StreamFormat,
+    started: bool,
+    nodes: BTreeMap<String, NodeBuffer>,
+    edges: BTreeMap<String, EdgeBuffer>,
+}
+
+impl StreamingDirSink {
+    fn new(dir: PathBuf, format: StreamFormat) -> Self {
+        Self {
+            dir,
+            format,
+            started: false,
+            nodes: BTreeMap::new(),
+            edges: BTreeMap::new(),
+        }
+    }
+
+    fn node(&mut self, node_type: &str) -> Result<&mut NodeBuffer, SinkError> {
+        if !self.started {
+            return Err(SinkError::invalid(
+                "streaming sink received an event before begin(); \
+                 drive it through Session::run_into",
+            ));
+        }
+        self.nodes.get_mut(node_type).ok_or_else(|| {
+            SinkError::invalid(format!("node type {node_type:?} not in the manifest"))
+        })
+    }
+
+    fn edge(&mut self, edge_type: &str) -> Result<&mut EdgeBuffer, SinkError> {
+        if !self.started {
+            return Err(SinkError::invalid(
+                "streaming sink received an event before begin(); \
+                 drive it through Session::run_into",
+            ));
+        }
+        self.edges.get_mut(edge_type).ok_or_else(|| {
+            SinkError::invalid(format!("edge type {edge_type:?} not in the manifest"))
+        })
+    }
+
+    fn try_flush_node(&mut self, node_type: &str) -> Result<(), SinkError> {
+        let format = self.format;
+        let path = self.dir.join(format!("{node_type}.{}", format.extension()));
+        let buf = self.nodes.get_mut(node_type).expect("checked by caller");
+        let complete = !buf.written
+            && buf.count.is_some()
+            && buf.expected.iter().all(|p| buf.props.contains_key(p));
+        if !complete {
+            return Ok(());
+        }
+        let count = buf.count.expect("checked");
+        let props: Vec<(&str, &PropertyTable)> = buf
+            .expected
+            .iter()
+            .map(|p| (p.as_str(), &buf.props[p]))
+            .collect();
+        let mut w = BufWriter::new(File::create(path)?);
+        match format {
+            StreamFormat::Csv => csv::write_node_table(&mut w, count, &props)?,
+            StreamFormat::Jsonl => jsonl::write_node_table(&mut w, count, &props)?,
+        }
+        w.flush()?;
+        buf.written = true;
+        buf.props.clear();
+        Ok(())
+    }
+
+    fn try_flush_edge(&mut self, edge_type: &str) -> Result<(), SinkError> {
+        let format = self.format;
+        let path = self.dir.join(format!("{edge_type}.{}", format.extension()));
+        let buf = self.edges.get_mut(edge_type).expect("checked by caller");
+        let complete = !buf.written
+            && buf.table.is_some()
+            && buf.expected.iter().all(|p| buf.props.contains_key(p));
+        if !complete {
+            return Ok(());
+        }
+        let table = buf.table.take().expect("checked");
+        let props: Vec<(&str, &PropertyTable)> = buf
+            .expected
+            .iter()
+            .map(|p| (p.as_str(), &buf.props[p]))
+            .collect();
+        let mut w = BufWriter::new(File::create(path)?);
+        match format {
+            StreamFormat::Csv => csv::write_edge_table(&mut w, &table, &props)?,
+            StreamFormat::Jsonl => {
+                jsonl::write_edge_table(&mut w, &buf.source, &buf.target, &table, &props)?
+            }
+        }
+        w.flush()?;
+        buf.written = true;
+        buf.props.clear();
+        Ok(())
+    }
+}
+
+impl GraphSink for StreamingDirSink {
+    fn begin(&mut self, manifest: &SinkManifest) -> Result<(), SinkError> {
+        fs::create_dir_all(&self.dir)?;
+        self.nodes = manifest
+            .nodes
+            .iter()
+            .map(|n| {
+                (
+                    n.name.clone(),
+                    NodeBuffer {
+                        expected: n.properties.iter().map(|p| p.name.clone()).collect(),
+                        count: None,
+                        props: BTreeMap::new(),
+                        written: false,
+                    },
+                )
+            })
+            .collect();
+        self.edges = manifest
+            .edges
+            .iter()
+            .map(|e| {
+                (
+                    e.name.clone(),
+                    EdgeBuffer {
+                        source: e.source.clone(),
+                        target: e.target.clone(),
+                        expected: e.properties.iter().map(|p| p.name.clone()).collect(),
+                        table: None,
+                        props: BTreeMap::new(),
+                        written: false,
+                    },
+                )
+            })
+            .collect();
+        self.started = true;
+        Ok(())
+    }
+
+    fn node_count(&mut self, node_type: &str, count: u64) -> Result<(), SinkError> {
+        self.node(node_type)?.count = Some(count);
+        self.try_flush_node(node_type)
+    }
+
+    fn node_property(
+        &mut self,
+        node_type: &str,
+        property: &str,
+        table: PropertyTable,
+    ) -> Result<(), SinkError> {
+        let buf = self.node(node_type)?;
+        if !buf.expected.iter().any(|p| p == property) {
+            return Err(SinkError::invalid(format!(
+                "property {node_type}.{property} not in the manifest"
+            )));
+        }
+        buf.props.insert(property.to_owned(), table);
+        self.try_flush_node(node_type)
+    }
+
+    fn edges(
+        &mut self,
+        edge_type: &str,
+        _source: &str,
+        _target: &str,
+        table: EdgeTable,
+    ) -> Result<(), SinkError> {
+        self.edge(edge_type)?.table = Some(table);
+        self.try_flush_edge(edge_type)
+    }
+
+    fn edge_property(
+        &mut self,
+        edge_type: &str,
+        property: &str,
+        table: PropertyTable,
+    ) -> Result<(), SinkError> {
+        let buf = self.edge(edge_type)?;
+        if !buf.expected.iter().any(|p| p == property) {
+            return Err(SinkError::invalid(format!(
+                "property {edge_type}.{property} not in the manifest"
+            )));
+        }
+        buf.props.insert(property.to_owned(), table);
+        self.try_flush_edge(edge_type)
+    }
+
+    fn finish(&mut self) -> Result<(), SinkError> {
+        let unwritten: Vec<&str> = self
+            .nodes
+            .iter()
+            .filter(|(_, b)| !b.written)
+            .map(|(n, _)| n.as_str())
+            .chain(
+                self.edges
+                    .iter()
+                    .filter(|(_, b)| !b.written)
+                    .map(|(n, _)| n.as_str()),
+            )
+            .collect();
+        if !unwritten.is_empty() {
+            return Err(SinkError::invalid(format!(
+                "run finished with incomplete tables: {}",
+                unwritten.join(", ")
+            )));
+        }
+        Ok(())
+    }
+}
+
+macro_rules! delegate_sink {
+    ($outer:ident) => {
+        impl GraphSink for $outer {
+            fn begin(&mut self, manifest: &SinkManifest) -> Result<(), SinkError> {
+                self.inner.begin(manifest)
+            }
+            fn node_count(&mut self, node_type: &str, count: u64) -> Result<(), SinkError> {
+                self.inner.node_count(node_type, count)
+            }
+            fn node_property(
+                &mut self,
+                node_type: &str,
+                property: &str,
+                table: PropertyTable,
+            ) -> Result<(), SinkError> {
+                self.inner.node_property(node_type, property, table)
+            }
+            fn edges(
+                &mut self,
+                edge_type: &str,
+                source: &str,
+                target: &str,
+                table: EdgeTable,
+            ) -> Result<(), SinkError> {
+                self.inner.edges(edge_type, source, target, table)
+            }
+            fn edge_property(
+                &mut self,
+                edge_type: &str,
+                property: &str,
+                table: PropertyTable,
+            ) -> Result<(), SinkError> {
+                self.inner.edge_property(edge_type, property, table)
+            }
+            fn finish(&mut self) -> Result<(), SinkError> {
+                self.inner.finish()
+            }
+        }
+    };
+}
+
+/// Streaming CSV export: one `<Type>.csv` per node type, one
+/// `<edge>.csv` per edge type, byte-identical to
+/// [`CsvExporter`](datasynth_tables::export::CsvExporter) on the same
+/// data. Each file is written as soon as its last column arrives.
+#[derive(Debug)]
+pub struct CsvSink {
+    inner: StreamingDirSink,
+}
+
+impl CsvSink {
+    /// Stream CSV files into `dir` (created on [`GraphSink::begin`]).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            inner: StreamingDirSink::new(dir.into(), StreamFormat::Csv),
+        }
+    }
+}
+
+delegate_sink!(CsvSink);
+
+/// Streaming JSON-lines export, byte-identical to
+/// [`JsonlExporter`](datasynth_tables::export::JsonlExporter) on the same
+/// data. Each file is written as soon as its last column arrives.
+#[derive(Debug)]
+pub struct JsonlSink {
+    inner: StreamingDirSink,
+}
+
+impl JsonlSink {
+    /// Stream JSONL files into `dir` (created on [`GraphSink::begin`]).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            inner: StreamingDirSink::new(dir.into(), StreamFormat::Jsonl),
+        }
+    }
+}
+
+delegate_sink!(JsonlSink);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasynth_schema::parse_schema;
+    use datasynth_tables::Value;
+
+    fn manifest() -> SinkManifest {
+        let schema = parse_schema(
+            r#"graph g {
+                node B [count = 2] { z: long = counter(); }
+                node A [count = 1] { y: long = counter(); x: long = counter(); }
+                edge e: A -> B [many_to_many] {
+                    structure = erdos_renyi(p = 0.5);
+                    w: long = counter();
+                }
+            }"#,
+        )
+        .unwrap();
+        SinkManifest::from_schema(&schema, 7)
+    }
+
+    #[test]
+    fn manifest_is_sorted_by_name() {
+        let m = manifest();
+        assert_eq!(
+            m.nodes.iter().map(|n| n.name.as_str()).collect::<Vec<_>>(),
+            vec!["A", "B"]
+        );
+        assert_eq!(
+            m.nodes[0]
+                .properties
+                .iter()
+                .map(|p| p.name.as_str())
+                .collect::<Vec<_>>(),
+            vec!["x", "y"]
+        );
+        assert_eq!(m.edges[0].source, "A");
+        assert_eq!(m.edges[0].target, "B");
+    }
+
+    #[test]
+    fn multi_sink_fans_out_to_all() {
+        let mut a = InMemorySink::new();
+        let mut b = InMemorySink::new();
+        {
+            let mut multi = MultiSink::new().with(&mut a).with(&mut b);
+            multi.node_count("T", 3).unwrap();
+            multi
+                .node_property(
+                    "T",
+                    "p",
+                    PropertyTable::from_values(
+                        "T.p",
+                        ValueType::Long,
+                        [1i64, 2, 3].map(Value::from),
+                    )
+                    .unwrap(),
+                )
+                .unwrap();
+            multi.finish().unwrap();
+        }
+        assert_eq!(a.graph().node_count("T"), Some(3));
+        assert_eq!(
+            a.graph().node_property("T", "p"),
+            b.graph().node_property("T", "p")
+        );
+    }
+
+    #[test]
+    fn streaming_sink_rejects_events_before_begin() {
+        let mut sink = CsvSink::new(std::env::temp_dir().join("ds-sink-nobegin"));
+        let err = sink.node_count("A", 1).unwrap_err();
+        assert!(err.to_string().contains("begin"), "{err}");
+    }
+
+    #[test]
+    fn streaming_sink_flushes_per_table_and_detects_incomplete() {
+        let dir = std::env::temp_dir().join(format!("ds-sink-flush-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut sink = CsvSink::new(&dir);
+        sink.begin(&manifest()).unwrap();
+        sink.node_count("B", 2).unwrap();
+        sink.node_property(
+            "B",
+            "z",
+            PropertyTable::from_values("B.z", ValueType::Long, [0i64, 1].map(Value::from)).unwrap(),
+        )
+        .unwrap();
+        // B is complete: its file must already exist, before any A event.
+        assert!(dir.join("B.csv").exists());
+        assert!(!dir.join("A.csv").exists());
+        // A and e never complete: finish must fail and name them.
+        let err = sink.finish().unwrap_err();
+        assert!(
+            err.to_string().contains('A') && err.to_string().contains('e'),
+            "{err}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,12 +1,64 @@
 //! CSV directory export: one wide file per node type (`id` + all
 //! properties) and one per edge type (`id,tail,head` + all properties).
+//!
+//! The row-writing core is exposed as [`write_node_table`] /
+//! [`write_edge_table`] so the whole-graph [`CsvExporter`] and the
+//! streaming per-table sinks in `datasynth-core` produce byte-identical
+//! files from one implementation.
 
 use std::fs::{self, File};
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
 
 use super::{csv_escape, Exporter};
-use crate::PropertyGraph;
+use crate::{EdgeTable, PropertyGraph, PropertyTable};
+
+/// Write one node table: header `id,<props...>` then one row per id in
+/// `0..count`. `props` must be in the desired column order.
+pub fn write_node_table<W: Write>(
+    w: &mut W,
+    count: u64,
+    props: &[(&str, &PropertyTable)],
+) -> io::Result<()> {
+    write!(w, "id")?;
+    for (name, _) in props {
+        write!(w, ",{}", csv_escape(name))?;
+    }
+    writeln!(w)?;
+    for id in 0..count {
+        write!(w, "{id}")?;
+        for (_, table) in props {
+            let v = table.value(id).map_err(io::Error::other)?;
+            write!(w, ",{}", csv_escape(&v.render()))?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Write one edge table: header `id,tail,head,<props...>` then one row per
+/// edge. `props` must be in the desired column order.
+pub fn write_edge_table<W: Write>(
+    w: &mut W,
+    table: &EdgeTable,
+    props: &[(&str, &PropertyTable)],
+) -> io::Result<()> {
+    write!(w, "id,tail,head")?;
+    for (name, _) in props {
+        write!(w, ",{}", csv_escape(name))?;
+    }
+    writeln!(w)?;
+    for id in 0..table.len() {
+        let (t, h) = table.edge(id);
+        write!(w, "{id},{t},{h}")?;
+        for (_, ptable) in props {
+            let v = ptable.value(id).map_err(io::Error::other)?;
+            write!(w, ",{}", csv_escape(&v.render()))?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
 
 /// CSV exporter; see module docs for the layout.
 #[derive(Debug, Clone, Copy, Default)]
@@ -18,38 +70,13 @@ impl Exporter for CsvExporter {
         for (node_type, count) in graph.node_types() {
             let mut w = BufWriter::new(File::create(dir.join(format!("{node_type}.csv")))?);
             let props: Vec<_> = graph.node_properties_of(node_type).collect();
-            write!(w, "id")?;
-            for (name, _) in &props {
-                write!(w, ",{}", csv_escape(name))?;
-            }
-            writeln!(w)?;
-            for id in 0..count {
-                write!(w, "{id}")?;
-                for (_, table) in &props {
-                    let v = table.value(id).map_err(io::Error::other)?;
-                    write!(w, ",{}", csv_escape(&v.render()))?;
-                }
-                writeln!(w)?;
-            }
+            write_node_table(&mut w, count, &props)?;
             w.flush()?;
         }
         for (edge_type, _meta, table) in graph.edge_types() {
             let mut w = BufWriter::new(File::create(dir.join(format!("{edge_type}.csv")))?);
             let props: Vec<_> = graph.edge_properties_of(edge_type).collect();
-            write!(w, "id,tail,head")?;
-            for (name, _) in &props {
-                write!(w, ",{}", csv_escape(name))?;
-            }
-            writeln!(w)?;
-            for id in 0..table.len() {
-                let (t, h) = table.edge(id);
-                write!(w, "{id},{t},{h}")?;
-                for (_, ptable) in &props {
-                    let v = ptable.value(id).map_err(io::Error::other)?;
-                    write!(w, ",{}", csv_escape(&v.render()))?;
-                }
-                writeln!(w)?;
-            }
+            write_edge_table(&mut w, table, &props)?;
             w.flush()?;
         }
         Ok(())
@@ -102,6 +129,19 @@ mod tests {
             knows.lines().collect::<Vec<_>>(),
             vec!["id,tail,head,since", "0,0,1,1970-01-01"]
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn table_writers_match_exporter_output() {
+        let g = graph();
+        let mut buf = Vec::new();
+        let props: Vec<_> = g.node_properties_of("Person").collect();
+        write_node_table(&mut buf, 2, &props).unwrap();
+        let dir = std::env::temp_dir().join(format!("ds-csv-wtest-{}", std::process::id()));
+        CsvExporter.export(&g, &dir).unwrap();
+        let exported = std::fs::read(dir.join("Person.csv")).unwrap();
+        assert_eq!(buf, exported);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,11 +1,16 @@
 //! JSON-lines export: one object per instance, one file per type.
+//!
+//! As with the CSV module, the row-writing core ([`write_node_table`],
+//! [`write_edge_table`]) is shared between the whole-graph
+//! [`JsonlExporter`] and the streaming sinks in `datasynth-core`, so both
+//! paths emit byte-identical files.
 
 use std::fs::{self, File};
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
 
 use super::{json_escape, Exporter};
-use crate::{PropertyGraph, Value};
+use crate::{EdgeTable, PropertyGraph, PropertyTable, Value};
 
 /// JSONL exporter: `<Type>.jsonl` per node type, `<edge>.jsonl` per edge
 /// type; each line is a self-contained JSON object.
@@ -32,50 +37,75 @@ fn write_value(out: &mut String, v: &Value) {
     }
 }
 
+/// Write one node table: one `{"id":..., ...props}` object per line, ids
+/// `0..count`. `props` must be in the desired key order.
+pub fn write_node_table<W: Write>(
+    w: &mut W,
+    count: u64,
+    props: &[(&str, &PropertyTable)],
+) -> io::Result<()> {
+    let mut line = String::new();
+    for id in 0..count {
+        line.clear();
+        line.push_str("{\"id\":");
+        line.push_str(&id.to_string());
+        for (name, table) in props {
+            line.push_str(",\"");
+            line.push_str(&json_escape(name));
+            line.push_str("\":");
+            let v = table.value(id).map_err(io::Error::other)?;
+            write_value(&mut line, &v);
+        }
+        line.push('}');
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Write one edge table: one `{"id","tail","head","source","target",
+/// ...props}` object per line. `props` must be in the desired key order.
+pub fn write_edge_table<W: Write>(
+    w: &mut W,
+    source: &str,
+    target: &str,
+    table: &EdgeTable,
+    props: &[(&str, &PropertyTable)],
+) -> io::Result<()> {
+    let mut line = String::new();
+    for id in 0..table.len() {
+        let (t, h) = table.edge(id);
+        line.clear();
+        line.push_str(&format!(
+            "{{\"id\":{id},\"tail\":{t},\"head\":{h},\"source\":\"{}\",\"target\":\"{}\"",
+            json_escape(source),
+            json_escape(target)
+        ));
+        for (name, ptable) in props {
+            line.push_str(",\"");
+            line.push_str(&json_escape(name));
+            line.push_str("\":");
+            let v = ptable.value(id).map_err(io::Error::other)?;
+            write_value(&mut line, &v);
+        }
+        line.push('}');
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
 impl Exporter for JsonlExporter {
     fn export(&self, graph: &PropertyGraph, dir: &Path) -> io::Result<()> {
         fs::create_dir_all(dir)?;
-        let mut line = String::new();
         for (node_type, count) in graph.node_types() {
             let mut w = BufWriter::new(File::create(dir.join(format!("{node_type}.jsonl")))?);
             let props: Vec<_> = graph.node_properties_of(node_type).collect();
-            for id in 0..count {
-                line.clear();
-                line.push_str("{\"id\":");
-                line.push_str(&id.to_string());
-                for (name, table) in &props {
-                    line.push_str(",\"");
-                    line.push_str(&json_escape(name));
-                    line.push_str("\":");
-                    let v = table.value(id).map_err(io::Error::other)?;
-                    write_value(&mut line, &v);
-                }
-                line.push('}');
-                writeln!(w, "{line}")?;
-            }
+            write_node_table(&mut w, count, &props)?;
             w.flush()?;
         }
         for (edge_type, meta, table) in graph.edge_types() {
             let mut w = BufWriter::new(File::create(dir.join(format!("{edge_type}.jsonl")))?);
             let props: Vec<_> = graph.edge_properties_of(edge_type).collect();
-            for id in 0..table.len() {
-                let (t, h) = table.edge(id);
-                line.clear();
-                line.push_str(&format!(
-                    "{{\"id\":{id},\"tail\":{t},\"head\":{h},\"source\":\"{}\",\"target\":\"{}\"",
-                    json_escape(&meta.source),
-                    json_escape(&meta.target)
-                ));
-                for (name, ptable) in &props {
-                    line.push_str(",\"");
-                    line.push_str(&json_escape(name));
-                    line.push_str("\":");
-                    let v = ptable.value(id).map_err(io::Error::other)?;
-                    write_value(&mut line, &v);
-                }
-                line.push('}');
-                writeln!(w, "{line}")?;
-            }
+            write_edge_table(&mut w, &meta.source, &meta.target, table, &props)?;
             w.flush()?;
         }
         Ok(())

@@ -5,9 +5,14 @@
 //! among its requirements. We provide the two interchange formats everything
 //! else can ingest — CSV directories and JSON-lines — behind a common
 //! [`Exporter`] trait so users can plug their own sinks.
+//!
+//! Both formats are built from per-table streaming writers
+//! ([`csv::write_node_table`], [`jsonl::write_edge_table`], …) shared with
+//! the `GraphSink` implementations in `datasynth-core`, so whole-graph
+//! export and streaming one-pass export produce byte-identical files.
 
-mod csv;
-mod jsonl;
+pub mod csv;
+pub mod jsonl;
 
 pub use csv::CsvExporter;
 pub use jsonl::JsonlExporter;
@@ -24,7 +29,9 @@ pub trait Exporter {
 }
 
 /// Escape a CSV field per RFC 4180 (quote when it contains separators).
-pub(crate) fn csv_escape(field: &str) -> String {
+/// Public so tests and custom sinks can verify round-trips against one
+/// canonical implementation.
+pub fn csv_escape(field: &str) -> String {
     if field.contains([',', '"', '\n', '\r']) {
         let mut out = String::with_capacity(field.len() + 2);
         out.push('"');

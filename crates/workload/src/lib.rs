@@ -39,6 +39,7 @@ mod error;
 mod manifest;
 mod mix;
 mod render;
+mod sink;
 mod template;
 
 pub use curate::{Binding, CuratedParam, Curator, ParamValue};
@@ -46,6 +47,7 @@ pub use error::WorkloadError;
 pub use manifest::{QueryInstance, Workload};
 pub use mix::QueryMix;
 pub use render::{render_cypher, render_gremlin};
+pub use sink::WorkloadSink;
 pub use template::{derive_templates, QueryTemplate, SelectivityClass, TemplateKind};
 
 use datasynth_schema::Schema;

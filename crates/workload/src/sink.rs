@@ -1,0 +1,155 @@
+//! One-pass workload curation: a [`GraphSink`] that captures the tables
+//! parameter curation samples from, then derives the workload when the
+//! generation run finishes — no separate materialized-graph pass.
+
+use datasynth_core::{GraphSink, SinkError};
+use datasynth_schema::Schema;
+use datasynth_tables::{EdgeTable, PropertyGraph, PropertyTable};
+
+use crate::{QueryMix, Workload, WorkloadGenerator};
+
+/// Accumulates generation output and, at [`finish`](GraphSink::finish),
+/// runs [`WorkloadGenerator`] over it. Pair it with export sinks in a
+/// `MultiSink` so graph data and benchmark queries come out of a single
+/// generation pass.
+///
+/// Curation samples node ids, property values and degree statistics, so
+/// this sink retains node counts, property columns and edge tables until
+/// the run ends (edge property columns are dropped on arrival — no
+/// template parameterizes over them).
+pub struct WorkloadSink<'a> {
+    schema: &'a Schema,
+    seed: u64,
+    mix: QueryMix,
+    count: usize,
+    graph: PropertyGraph,
+    workload: Option<Workload>,
+}
+
+impl<'a> WorkloadSink<'a> {
+    /// A sink curating against `schema`, with seed 42, the uniform mix,
+    /// and a 100-query budget.
+    pub fn new(schema: &'a Schema) -> Self {
+        Self {
+            schema,
+            seed: 42,
+            mix: QueryMix::uniform(),
+            count: 100,
+            graph: PropertyGraph::new(),
+            workload: None,
+        }
+    }
+
+    /// Set the master seed — use the generation seed so graph + workload
+    /// stay one reproducible artifact.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the query mix.
+    pub fn with_mix(mut self, mix: QueryMix) -> Self {
+        self.mix = mix;
+        self
+    }
+
+    /// Set the number of queries to generate.
+    pub fn with_count(mut self, count: usize) -> Self {
+        self.count = count;
+        self
+    }
+
+    /// The curated workload (available after the run).
+    pub fn workload(&self) -> Option<&Workload> {
+        self.workload.as_ref()
+    }
+
+    /// Take the curated workload out of the sink.
+    pub fn take_workload(&mut self) -> Option<Workload> {
+        self.workload.take()
+    }
+}
+
+impl GraphSink for WorkloadSink<'_> {
+    fn node_count(&mut self, node_type: &str, count: u64) -> Result<(), SinkError> {
+        self.graph.add_node_type(node_type, count);
+        Ok(())
+    }
+
+    fn node_property(
+        &mut self,
+        node_type: &str,
+        property: &str,
+        table: PropertyTable,
+    ) -> Result<(), SinkError> {
+        self.graph.insert_node_property(node_type, property, table);
+        Ok(())
+    }
+
+    fn edges(
+        &mut self,
+        edge_type: &str,
+        source: &str,
+        target: &str,
+        table: EdgeTable,
+    ) -> Result<(), SinkError> {
+        self.graph
+            .insert_edge_table(edge_type, source, target, table);
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<(), SinkError> {
+        let workload = WorkloadGenerator::new(self.schema, &self.graph)
+            .with_seed(self.seed)
+            .with_mix(self.mix.clone())
+            .generate(self.count)
+            .map_err(|e| SinkError::invalid(format!("workload curation: {e}")))?;
+        self.workload = Some(workload);
+        // The sampled tables have served their purpose; free them.
+        self.graph = PropertyGraph::new();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasynth_schema::parse_schema;
+    use datasynth_tables::{Value, ValueType};
+
+    #[test]
+    fn curates_a_workload_at_finish() {
+        let schema = parse_schema(
+            r#"graph g {
+                node A [count = 8] { x: long = uniform(0, 9); }
+                edge e: A -- A { structure = erdos_renyi(p = 0.3); }
+            }"#,
+        )
+        .unwrap();
+        let mut sink = WorkloadSink::new(&schema).with_seed(7).with_count(12);
+        sink.node_count("A", 8).unwrap();
+        sink.node_property(
+            "A",
+            "x",
+            PropertyTable::from_values(
+                "A.x",
+                ValueType::Long,
+                [3i64, 1, 4, 1, 5, 9, 2, 6].map(Value::from),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        sink.edges(
+            "e",
+            "A",
+            "A",
+            EdgeTable::from_pairs("e", [(0u64, 1u64), (1, 2), (2, 3), (4, 5)]),
+        )
+        .unwrap();
+        assert!(sink.workload().is_none(), "not curated before finish");
+        sink.finish().unwrap();
+        let wl = sink.take_workload().expect("curated at finish");
+        assert_eq!(wl.seed, 7);
+        assert!(!wl.queries.is_empty());
+    }
+}

@@ -1,6 +1,7 @@
 //! Benchmark suite in one run: generate a property graph *and* the query
 //! workload to benchmark it with, the way gMark/SP²Bench couple data and
-//! queries.
+//! queries — streamed through sinks in a **single generation pass**, so
+//! the full graph is never materialized.
 //!
 //! ```sh
 //! cargo run --release --example benchmark_suite
@@ -19,23 +20,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seed = 42;
 
     let generator = DataSynth::from_dsl(&dsl)?.with_seed(seed);
-    let graph = generator.generate()?;
-    println!(
-        "graph: {} nodes, {} edges",
-        graph.total_nodes(),
-        graph.total_edges()
-    );
-
     let out = Path::new("benchmark_out");
-    CsvExporter.export(&graph, &out.join("data"))?;
 
+    // One pass: CSV export and workload curation both consume the stream.
     // Weight neighborhood expansions heaviest, the way an OLTP-ish graph
     // benchmark would; scans and aggregations stay in the mix.
     let mix = QueryMix::parse("point:2,expand1:4,expand2:2,scan:2,path:1,agg:1")?;
-    let workload = WorkloadGenerator::new(generator.schema(), &graph)
+    let mut csv = CsvSink::new(out.join("data"));
+    let mut curation = WorkloadSink::new(generator.schema())
         .with_seed(seed)
         .with_mix(mix)
-        .generate(100)?;
+        .with_count(100);
+    let mut sinks = MultiSink::new().with(&mut csv).with(&mut curation);
+    generator.session()?.run_into(&mut sinks)?;
+
+    let workload = curation.take_workload().expect("curated at finish");
     workload.write_to(&out.join("queries"))?;
 
     println!(

@@ -53,8 +53,12 @@ graph quickstart {
         100.0 * same as f64 / follows.len() as f64
     );
 
+    // Export by streaming a second run through a sink — byte-identical to
+    // `CsvExporter.export(&graph, ..)`, but without materializing a graph
+    // (at scale you would skip `generate()` and only stream).
     let out = std::env::temp_dir().join("datasynth-quickstart");
-    CsvExporter.export(&graph, &out)?;
+    let mut sink = CsvSink::new(&out);
+    generator.session()?.run_into(&mut sink)?;
     println!("exported CSV tables to {}", out.display());
     Ok(())
 }

@@ -25,8 +25,15 @@
 //!       }
 //!     }
 //! "#).unwrap().with_seed(42);
+//!
+//! // In-memory: materialize a PropertyGraph, then export it.
 //! let graph = generator.generate().unwrap();
 //! CsvExporter.export(&graph, std::path::Path::new("out")).unwrap();
+//!
+//! // Streaming: export during generation, byte-identical output, without
+//! // ever holding the whole graph (see `GraphSink` for custom sinks).
+//! let mut sink = CsvSink::new("out");
+//! generator.session().unwrap().run_into(&mut sink).unwrap();
 //! ```
 //!
 //! The sub-crates are re-exported under short names:
@@ -51,12 +58,16 @@ pub use datasynth_structure as structure;
 pub use datasynth_tables as tables;
 pub use datasynth_workload as workload;
 
-pub use datasynth_core::{DataSynth, ExecutionPlan, PipelineError, Task};
+pub use datasynth_core::{
+    DataSynth, ExecutionPlan, GraphSink, PipelineError, Session, SinkError, Task,
+};
 
 /// One-stop imports.
 pub mod prelude {
+    pub use datasynth_analysis::StatsSink;
     pub use datasynth_core::prelude::*;
     pub use datasynth_workload::{
         derive_templates, QueryMix, QueryTemplate, SelectivityClass, Workload, WorkloadGenerator,
+        WorkloadSink,
     };
 }

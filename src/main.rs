@@ -6,13 +6,21 @@
 //! datasynth schema.dsl --stats          # print structural statistics
 //! datasynth schema.dsl --workload q/ --queries 100   # benchmark queries
 //! ```
+//!
+//! Everything runs in **one generation pass**: export (any format mix),
+//! statistics and workload curation are [`GraphSink`]s fanned out behind a
+//! [`MultiSink`]. The CLI itself never assembles a `PropertyGraph`; peak
+//! memory is whatever the attached sinks retain — pure export streams
+//! table by table, while `--stats` holds homogeneous edge tables and
+//! `--workload` holds the tables curation samples until the run ends.
 
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use datasynth::analysis::{degree_assortativity, largest_component_size, DegreeStats};
+use datasynth::analysis::StatsSink;
 use datasynth::prelude::*;
-use datasynth::workload::{QueryMix, WorkloadGenerator};
+use datasynth::workload::{QueryMix, WorkloadSink};
 
 struct Args {
     schema_path: PathBuf,
@@ -21,6 +29,7 @@ struct Args {
     format: Format,
     threads: Option<usize>,
     plan_only: bool,
+    progress: bool,
     stats: bool,
     workload: Option<PathBuf>,
     queries: Option<usize>,
@@ -43,6 +52,7 @@ options:
   --format F        csv | jsonl | both (default csv)
   --threads N       worker threads (default: available cores, capped at 8)
   --plan            print the dependency-analyzed task plan and exit
+  --progress        per-task start/finish lines on stderr
   --stats           print structural statistics of the generated graph
   --workload DIR    derive a benchmark query workload into DIR
                     (Cypher + Gremlin per query, plus workload.json)
@@ -61,6 +71,7 @@ fn parse_args() -> Result<Args, String> {
         format: Format::Csv,
         threads: None,
         plan_only: false,
+        progress: false,
         stats: false,
         workload: None,
         queries: None,
@@ -96,6 +107,7 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--plan" => args.plan_only = true,
+            "--progress" => args.progress = true,
             "--stats" => args.stats = true,
             "--workload" => {
                 args.workload = Some(iter.next().ok_or("--workload takes a directory")?.into());
@@ -125,6 +137,81 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// Decorator sink: records counts and edge cardinalities for the post-run
+/// summary lines, forwarding every event untouched (no clones) to the
+/// wrapped sink. A decorator must forward *all* events — relying on the
+/// trait's drop-by-default bodies would swallow tables downstream.
+struct SummarySink<'a> {
+    inner: &'a mut dyn GraphSink,
+    node_counts: BTreeMap<String, u64>,
+    edge_summaries: BTreeMap<String, (String, String, u64)>,
+}
+
+impl<'a> SummarySink<'a> {
+    fn new(inner: &'a mut dyn GraphSink) -> Self {
+        Self {
+            inner,
+            node_counts: BTreeMap::new(),
+            edge_summaries: BTreeMap::new(),
+        }
+    }
+
+    fn total_nodes(&self) -> u64 {
+        self.node_counts.values().sum()
+    }
+
+    fn total_edges(&self) -> u64 {
+        self.edge_summaries.values().map(|(_, _, n)| n).sum()
+    }
+}
+
+impl GraphSink for SummarySink<'_> {
+    fn begin(&mut self, manifest: &SinkManifest) -> Result<(), SinkError> {
+        self.inner.begin(manifest)
+    }
+
+    fn node_count(&mut self, node_type: &str, count: u64) -> Result<(), SinkError> {
+        self.node_counts.insert(node_type.to_owned(), count);
+        self.inner.node_count(node_type, count)
+    }
+
+    fn node_property(
+        &mut self,
+        node_type: &str,
+        property: &str,
+        table: datasynth::tables::PropertyTable,
+    ) -> Result<(), SinkError> {
+        self.inner.node_property(node_type, property, table)
+    }
+
+    fn edges(
+        &mut self,
+        edge_type: &str,
+        source: &str,
+        target: &str,
+        table: datasynth::tables::EdgeTable,
+    ) -> Result<(), SinkError> {
+        self.edge_summaries.insert(
+            edge_type.to_owned(),
+            (source.to_owned(), target.to_owned(), table.len()),
+        );
+        self.inner.edges(edge_type, source, target, table)
+    }
+
+    fn edge_property(
+        &mut self,
+        edge_type: &str,
+        property: &str,
+        table: datasynth::tables::PropertyTable,
+    ) -> Result<(), SinkError> {
+        self.inner.edge_property(edge_type, property, table)
+    }
+
+    fn finish(&mut self) -> Result<(), SinkError> {
+        self.inner.finish()
+    }
+}
+
 fn run(args: &Args) -> Result<(), String> {
     let src = std::fs::read_to_string(&args.schema_path)
         .map_err(|e| format!("cannot read {}: {e}", args.schema_path.display()))?;
@@ -149,81 +236,109 @@ fn run(args: &Args) -> Result<(), String> {
         return Ok(());
     }
 
+    // One generation pass: every consumer is a sink behind the fan-out.
+    let mut csv_sink = args.out.as_ref().and_then(|dir| {
+        (args.format == Format::Csv || args.format == Format::Both).then(|| CsvSink::new(dir))
+    });
+    let mut jsonl_sink = args.out.as_ref().and_then(|dir| {
+        (args.format == Format::Jsonl || args.format == Format::Both).then(|| JsonlSink::new(dir))
+    });
+    let mut stats_sink = args.stats.then(StatsSink::new);
+    let mut workload_sink = args.workload.as_ref().map(|_| {
+        WorkloadSink::new(generator.schema())
+            .with_seed(args.seed)
+            .with_mix(args.query_mix.clone().unwrap_or_default())
+            .with_count(args.queries.unwrap_or(100))
+    });
+
+    if let Some(dir) = &args.out {
+        // The sinks also create the directory; doing it here first turns a
+        // permissions/path problem into one clear CLI error instead of a
+        // per-format export failure.
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    }
+
+    let mut sinks = MultiSink::new();
+    if let Some(s) = csv_sink.as_mut() {
+        sinks.push(s);
+    }
+    if let Some(s) = jsonl_sink.as_mut() {
+        sinks.push(s);
+    }
+    if let Some(s) = stats_sink.as_mut() {
+        sinks.push(s);
+    }
+    if let Some(s) = workload_sink.as_mut() {
+        sinks.push(s);
+    }
+
+    let mut session = generator.session().map_err(|e| e.to_string())?;
+    if args.progress {
+        session = session.on_task(|p| match p.phase {
+            TaskPhase::Started => {
+                eprintln!("[{:>3}/{}] {} ...", p.index + 1, p.total, p.task);
+            }
+            TaskPhase::Finished { elapsed } => {
+                eprintln!(
+                    "[{:>3}/{}] {} done in {:.1} ms",
+                    p.index + 1,
+                    p.total,
+                    p.task,
+                    elapsed.as_secs_f64() * 1e3
+                );
+            }
+        });
+    }
+
     let started = std::time::Instant::now();
-    let graph = generator.generate().map_err(|e| e.to_string())?;
+    let mut summary = SummarySink::new(&mut sinks);
+    session.run_into(&mut summary).map_err(|e| e.to_string())?;
     eprintln!(
         "generated {} nodes, {} edges in {:.2}s (seed {})",
-        graph.total_nodes(),
-        graph.total_edges(),
+        summary.total_nodes(),
+        summary.total_edges(),
         started.elapsed().as_secs_f64(),
         args.seed
     );
 
-    for (name, count) in graph.node_types() {
+    for (name, count) in &summary.node_counts {
         println!("node {name}: {count} instances");
     }
-    for (name, meta, table) in graph.edge_types() {
-        println!(
-            "edge {name}: {} edges ({} -> {})",
-            table.len(),
-            meta.source,
-            meta.target
-        );
+    for (name, (source, target, count)) in &summary.edge_summaries {
+        println!("edge {name}: {count} edges ({source} -> {target})");
     }
 
-    if args.stats {
+    if let Some(stats) = &stats_sink {
         println!("\nstructural statistics:");
-        for (name, meta, table) in graph.edge_types() {
-            if meta.source != meta.target {
-                continue; // degree stats are per homogeneous graph
-            }
-            let n = graph.node_count(&meta.source).unwrap_or(0);
-            if n == 0 {
-                continue;
-            }
-            let deg = table.degrees(n);
-            if let Some(s) = DegreeStats::from_degrees(&deg) {
+        for r in stats.reports() {
+            if let Some(s) = &r.degree {
                 println!(
-                    "  {name}: degree min {} max {} mean {:.2} var {:.1}",
-                    s.min, s.max, s.mean, s.variance
+                    "  {}: degree min {} max {} mean {:.2} var {:.1}",
+                    r.edge_type, s.min, s.max, s.mean, s.variance
                 );
             }
-            let lcc = largest_component_size(table, n);
             println!(
-                "  {name}: largest component {lcc} / {n} ({:.1}%)",
-                100.0 * lcc as f64 / n as f64
+                "  {}: largest component {} / {} ({:.1}%)",
+                r.edge_type,
+                r.largest_component,
+                r.nodes,
+                100.0 * r.largest_component as f64 / r.nodes as f64
             );
-            if let Some(r) = degree_assortativity(table, n) {
-                println!("  {name}: degree assortativity {r:.3}");
+            if let Some(a) = r.assortativity {
+                println!("  {}: degree assortativity {a:.3}", r.edge_type);
             }
         }
     }
 
     if let Some(dir) = &args.out {
-        // The exporters also create the directory; doing it here first
-        // turns a permissions/path problem into one clear CLI error
-        // instead of a per-format export failure.
-        std::fs::create_dir_all(dir)
-            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
-        if args.format == Format::Csv || args.format == Format::Both {
-            CsvExporter
-                .export(&graph, dir)
-                .map_err(|e| format!("csv export: {e}"))?;
-        }
-        if args.format == Format::Jsonl || args.format == Format::Both {
-            JsonlExporter
-                .export(&graph, dir)
-                .map_err(|e| format!("jsonl export: {e}"))?;
-        }
         eprintln!("exported to {}", dir.display());
     }
 
-    if let Some(dir) = &args.workload {
-        let workload = WorkloadGenerator::new(generator.schema(), &graph)
-            .with_seed(args.seed)
-            .with_mix(args.query_mix.clone().unwrap_or_default())
-            .generate(args.queries.unwrap_or(100))
-            .map_err(|e| format!("workload: {e}"))?;
+    if let (Some(dir), Some(sink)) = (&args.workload, workload_sink.as_mut()) {
+        let workload = sink
+            .take_workload()
+            .expect("workload curated when the run finishes");
         workload
             .write_to(dir)
             .map_err(|e| format!("workload export: {e}"))?;

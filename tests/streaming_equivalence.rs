@@ -1,0 +1,273 @@
+//! Streaming-vs-in-memory equivalence: `Session::run_into` with the
+//! streaming CSV/JSONL sinks must produce byte-identical directories to
+//! exporting the `generate()` graph with the whole-graph exporters — the
+//! guarantee that makes the sink API a pure refactor of the emission path,
+//! not a new format. Plus a proptest round-trip for CSV quoting/escaping.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use proptest::prelude::*;
+
+use datasynth::analysis::StatsSink;
+use datasynth::prelude::*;
+use datasynth::tables::export::csv_escape;
+use datasynth::workload::WorkloadSink;
+
+const SCHEMA: &str = r#"
+graph streaming {
+  node Person [count = 600] {
+    country: text = dictionary("countries");
+    age: long = uniform(18, 90);
+    score: double = normal(0, 1);
+    premium: bool = bool(0.25);
+    signup: date = date_between("2015-01-01", "2020-12-31");
+  }
+  node Message {
+    topic: text = dictionary("topics");
+    text: text = sentence_about(4, 9) given (topic);
+  }
+  edge knows: Person -- Person {
+    structure = lfr(avg_degree = 8, max_degree = 24, mixing = 0.15);
+    correlate country with homophily(0.7);
+    creationDate: date = date_after(30) given (source.signup, target.signup);
+  }
+  edge creates: Person -> Message [one_to_many] {
+    structure = one_to_many(dist = "geometric", p = 0.5);
+  }
+}
+"#;
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ds-streaming-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// All files under `dir` as relative-path -> bytes.
+fn snapshot(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in fs::read_dir(&d).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                let rel = path
+                    .strip_prefix(dir)
+                    .unwrap()
+                    .to_string_lossy()
+                    .into_owned();
+                out.insert(rel, fs::read(&path).unwrap());
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn streaming_sinks_match_in_memory_export_byte_for_byte() {
+    let generator = DataSynth::from_dsl(SCHEMA).unwrap().with_seed(42);
+
+    let mem_dir = fresh_dir("mem");
+    let graph = generator.generate().unwrap();
+    CsvExporter.export(&graph, &mem_dir).unwrap();
+    JsonlExporter.export(&graph, &mem_dir).unwrap();
+    let mem = snapshot(&mem_dir);
+    fs::remove_dir_all(&mem_dir).unwrap();
+
+    let stream_dir = fresh_dir("stream");
+    let mut csv = CsvSink::new(&stream_dir);
+    let mut jsonl = JsonlSink::new(&stream_dir);
+    let mut sinks = MultiSink::new().with(&mut csv).with(&mut jsonl);
+    generator.session().unwrap().run_into(&mut sinks).unwrap();
+    let stream = snapshot(&stream_dir);
+    fs::remove_dir_all(&stream_dir).unwrap();
+
+    assert_eq!(
+        mem.keys().collect::<Vec<_>>(),
+        stream.keys().collect::<Vec<_>>(),
+        "both paths must emit the same file set"
+    );
+    assert!(mem.len() >= 8, "4 types x 2 formats");
+    for (name, bytes) in &mem {
+        assert_eq!(
+            bytes, &stream[name],
+            "{name} differs between streaming and in-memory export"
+        );
+    }
+}
+
+#[test]
+fn in_memory_sink_reassembles_the_generate_graph() {
+    let generator = DataSynth::from_dsl(SCHEMA).unwrap().with_seed(9);
+    let graph = generator.generate().unwrap();
+    let mut sink = InMemorySink::new();
+    generator.session().unwrap().run_into(&mut sink).unwrap();
+    let streamed = sink.into_graph();
+    assert!(streamed.validate().is_empty());
+    assert_eq!(graph.node_count("Person"), streamed.node_count("Person"));
+    assert_eq!(graph.edges("knows"), streamed.edges("knows"));
+    assert_eq!(
+        graph.node_property("Person", "country"),
+        streamed.node_property("Person", "country")
+    );
+    assert_eq!(
+        graph.edge_property("knows", "creationDate"),
+        streamed.edge_property("knows", "creationDate")
+    );
+}
+
+#[test]
+fn one_pass_feeds_export_stats_and_workload() {
+    let generator = DataSynth::from_dsl(SCHEMA).unwrap().with_seed(42);
+    let dir = fresh_dir("onepass");
+
+    let mut csv = CsvSink::new(&dir);
+    let mut stats = StatsSink::new();
+    let mut workload = WorkloadSink::new(generator.schema())
+        .with_seed(42)
+        .with_count(25);
+    let mut sinks = MultiSink::new()
+        .with(&mut csv)
+        .with(&mut stats)
+        .with(&mut workload);
+    generator.session().unwrap().run_into(&mut sinks).unwrap();
+
+    // Export happened.
+    assert!(dir.join("Person.csv").exists());
+    assert!(dir.join("knows.csv").exists());
+    // Stats accumulated for the homogeneous edge type only.
+    let reports = stats.reports();
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0].edge_type, "knows");
+    assert!(reports[0].degree.is_some());
+    assert!(reports[0].largest_component > 0);
+    // Workload curated against the streamed tables.
+    let wl = workload.take_workload().expect("curated at finish");
+    assert_eq!(wl.queries.len(), 25);
+
+    // And it matches the workload curated from a materialized graph —
+    // the one-pass fan-out changes nothing downstream.
+    let graph = generator.generate().unwrap();
+    let two_pass = WorkloadGenerator::new(generator.schema(), &graph)
+        .with_seed(42)
+        .generate(25)
+        .unwrap();
+    assert_eq!(wl.queries.len(), two_pass.queries.len());
+    for (a, b) in wl.queries.iter().zip(&two_pass.queries) {
+        assert_eq!(a.cypher, b.cypher);
+        assert_eq!(a.gremlin, b.gremlin);
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn observer_sees_every_task_start_and_finish() {
+    let generator = DataSynth::from_dsl(SCHEMA).unwrap().with_seed(1);
+    let mut events: Vec<(usize, bool)> = Vec::new();
+    let mut sink = InMemorySink::new();
+    generator
+        .session()
+        .unwrap()
+        .on_task(|p| {
+            events.push((p.index, matches!(p.phase, TaskPhase::Finished { .. })));
+        })
+        .run_into(&mut sink)
+        .unwrap();
+    let total = generator.plan().unwrap().tasks.len();
+    assert_eq!(events.len(), 2 * total, "two events per task");
+    for i in 0..total {
+        assert_eq!(events[2 * i], (i, false), "start of task {i}");
+        assert_eq!(events[2 * i + 1], (i, true), "finish of task {i}");
+    }
+}
+
+/// Parse one RFC-4180 escaped field back (inverse of `csv_escape`).
+fn csv_unescape(field: &str) -> String {
+    if let Some(inner) = field
+        .strip_prefix('"')
+        .and_then(|rest| rest.strip_suffix('"'))
+    {
+        let mut out = String::with_capacity(inner.len());
+        let mut chars = inner.chars();
+        while let Some(c) = chars.next() {
+            if c == '"' {
+                // An escaped quote is two quotes; skip the second.
+                assert_eq!(chars.next(), Some('"'), "lone quote inside quoted field");
+            }
+            out.push(c);
+        }
+        out
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Split one CSV record into raw (still-escaped) fields.
+fn split_record(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                current.push('"');
+                if chars.peek() == Some(&'"') {
+                    current.push(chars.next().unwrap());
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => {
+                in_quotes = true;
+                current.push('"');
+            }
+            ',' if !in_quotes => fields.push(std::mem::take(&mut current)),
+            c => current.push(c),
+        }
+    }
+    fields.push(current);
+    fields
+}
+
+fn arb_field() -> impl Strategy<Value = String> {
+    // Bias toward the characters that exercise quoting: comma, quote,
+    // newline, CR, plus plain ASCII.
+    prop::collection::vec(0u8..96, 0..24).prop_map(|bytes| {
+        bytes
+            .into_iter()
+            .map(|b| match b {
+                0..=11 => ',',
+                12..=23 => '"',
+                24..=29 => '\n',
+                30..=33 => '\r',
+                b => (b' ' + (b % 64)) as char,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Any field survives escape -> record-split -> unescape, even inside
+    /// a multi-field record.
+    #[test]
+    fn csv_escape_roundtrips(a in arb_field(), b in arb_field()) {
+        let record = format!("{},{}", csv_escape(&a), csv_escape(&b));
+        let fields = split_record(&record);
+        prop_assert_eq!(fields.len(), 2);
+        prop_assert_eq!(csv_unescape(&fields[0]), a);
+        prop_assert_eq!(csv_unescape(&fields[1]), b);
+    }
+
+    /// Escaping is the identity exactly when no separator is present.
+    #[test]
+    fn csv_escape_identity_iff_plain(s in arb_field()) {
+        let escaped = csv_escape(&s);
+        let plain = !s.contains([',', '"', '\n', '\r']);
+        prop_assert_eq!(escaped == s, plain);
+    }
+}
