@@ -8,7 +8,14 @@
 //! correlations hold; finally edge properties are generated, with access to
 //! the (matched) endpoint property values.
 //!
-//! The public API is sink-based: [`DataSynth`] is a builder whose
+//! The input side is open at both ends: a schema enters either as DSL
+//! text ([`DataSynth::from_dsl`]) or programmatically via
+//! `Schema::build(..)` (see `datasynth_schema::builder`), and the
+//! structure/property generator menus are per-pipeline registries —
+//! [`DataSynth::register_structure`] / [`DataSynth::register_property`]
+//! make user-defined generators resolvable from either frontend.
+//!
+//! The output side is sink-based: [`DataSynth`] is a builder whose
 //! [`session`](DataSynth::session) yields a [`Session`] that streams typed
 //! batches — resolved counts, property columns, finalized edge tables —
 //! into any [`GraphSink`] as tasks complete, dropping each table from
@@ -75,7 +82,14 @@ pub mod prelude {
         CsvSink, DataSynth, ExecutionPlan, GraphSink, InMemorySink, JsonlSink, MultiSink,
         PipelineError, Session, SinkError, SinkManifest, Task, TaskPhase, TaskProgress,
     };
-    pub use datasynth_schema::{parse_schema, Schema};
+    pub use datasynth_props::{
+        BoxedPropertyGenerator, GenArg, PropertyGenerator, PropertyRegistry, RegistryError,
+    };
+    pub use datasynth_schema::{parse_schema, PropertySpec, Schema, SchemaBuilder};
+    pub use datasynth_structure::{
+        BoxedStructureGenerator, BuildError, Capabilities, Params, StructureGenerator,
+        StructureRegistry,
+    };
     pub use datasynth_tables::{
         export::{CsvExporter, Exporter, JsonlExporter},
         PropertyGraph, Value, ValueType,

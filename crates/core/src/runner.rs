@@ -6,11 +6,15 @@ use std::time::{Duration, Instant};
 
 use datasynth_matching::{assignment_to_mapping_with_ids, sbm_part, MatchInput};
 use datasynth_prng::{seed_from_label, SplitMix64, TableStream};
-use datasynth_props::{build_property_generator, PropertyGenerator};
+use datasynth_props::{
+    BoxedPropertyGenerator, GenArg, PropertyGenerator, PropertyRegistry, RegistryError,
+};
 use datasynth_schema::{
     parse_schema, validate_schema, Cardinality, DepRef, EdgeType, PropertyDef, Schema,
 };
-use datasynth_structure::{build_generator, Params, StructureGenerator};
+use datasynth_structure::{
+    BoxedStructureGenerator, BuildError, Params, StructureGenerator, StructureRegistry,
+};
 use datasynth_tables::{Csr, EdgeTable, PropertyGraph, PropertyTable, Value};
 
 use crate::convert::{build_jpd, gen_args_of, structure_params_of};
@@ -21,30 +25,89 @@ use crate::error::PipelineError;
 use crate::parallel::{default_threads, parallel_chunks};
 use crate::sink::{GraphSink, InMemorySink, SinkManifest};
 
-/// The generator builder: a schema plus a seed. Yields [`Session`]s that
-/// stream into any [`GraphSink`]; [`generate`](DataSynth::generate) remains
-/// as sugar over an [`InMemorySink`].
+/// The generator builder: a schema, a seed, and the two generator
+/// registries every scenario resolves through. Yields [`Session`]s that
+/// stream into any [`GraphSink`]; [`generate`](DataSynth::generate)
+/// remains as sugar over an [`InMemorySink`].
 #[derive(Debug)]
 pub struct DataSynth {
     schema: Schema,
     seed: u64,
     threads: usize,
+    structures: StructureRegistry,
+    properties: PropertyRegistry,
 }
 
 impl DataSynth {
-    /// Create from a validated schema.
+    /// The primary constructor: take any [`Schema`] — built fluently with
+    /// [`Schema::build`] or parsed from DSL text — validate it, and
+    /// attach the builtin generator registries.
+    ///
+    /// ```
+    /// use datasynth_core::DataSynth;
+    /// use datasynth_schema::builder::{long, text};
+    /// use datasynth_schema::Schema;
+    ///
+    /// let schema = Schema::build("tiny")
+    ///     .node("Person", |n| {
+    ///         n.count(100)
+    ///             .property("id", long().counter())
+    ///             .property("country", text().dictionary("countries"))
+    ///     })
+    ///     .finish()
+    ///     .unwrap();
+    /// let graph = DataSynth::new(schema).unwrap().with_seed(42).generate().unwrap();
+    /// assert_eq!(graph.node_count("Person"), Some(100));
+    /// ```
     pub fn new(schema: Schema) -> Result<Self, PipelineError> {
         validate_schema(&schema)?;
         Ok(Self {
             schema,
             seed: 0xDA7A_5717,
             threads: default_threads(),
+            structures: StructureRegistry::builtin(),
+            properties: PropertyRegistry::builtin(),
         })
     }
 
-    /// Create from DSL text.
+    /// The DSL frontend: parse `src` and delegate to [`DataSynth::new`].
     pub fn from_dsl(src: &str) -> Result<Self, PipelineError> {
         Self::new(parse_schema(src)?)
+    }
+
+    /// Register a user-defined structure generator under `name`, making
+    /// it resolvable from `structure = name(...)` DSL clauses and from
+    /// `SchemaBuilder` programs — no crate internals involved.
+    pub fn register_structure<F>(mut self, name: impl Into<String>, ctor: F) -> Self
+    where
+        F: Fn(&Params) -> Result<BoxedStructureGenerator, BuildError> + Send + Sync + 'static,
+    {
+        self.structures.register(name, ctor);
+        self
+    }
+
+    /// Register a user-defined property generator under `name` (the
+    /// constructor receives the call's arguments and declared dependency
+    /// count).
+    pub fn register_property<F>(mut self, name: impl Into<String>, ctor: F) -> Self
+    where
+        F: Fn(&[GenArg], usize) -> Result<BoxedPropertyGenerator, RegistryError>
+            + Send
+            + Sync
+            + 'static,
+    {
+        self.properties.register(name, ctor);
+        self
+    }
+
+    /// The structure-generator registry this pipeline resolves through.
+    pub fn structures(&self) -> &StructureRegistry {
+        &self.structures
+    }
+
+    /// The property-generator registry this pipeline resolves through.
+    pub fn properties(&self) -> &PropertyRegistry {
+        &self.properties
     }
 
     /// Set the master seed (same seed ⇒ byte-identical output).
@@ -77,6 +140,8 @@ impl DataSynth {
             schema: &self.schema,
             seed: self.seed,
             threads: self.threads,
+            structures: &self.structures,
+            properties: &self.properties,
             analysis,
             schedule,
             observer: None,
@@ -134,6 +199,8 @@ pub struct Session<'a> {
     schema: &'a Schema,
     seed: u64,
     threads: usize,
+    structures: &'a StructureRegistry,
+    properties: &'a PropertyRegistry,
     analysis: Analysis,
     schedule: Vec<Vec<Artifact>>,
     #[allow(clippy::type_complexity)]
@@ -166,6 +233,8 @@ impl<'a> Session<'a> {
             schema: self.schema,
             seed: self.seed,
             threads: self.threads,
+            structures: self.structures,
+            properties: self.properties,
             count_sources: &self.analysis.count_sources,
             counts: BTreeMap::new(),
             node_pts: BTreeMap::new(),
@@ -211,6 +280,8 @@ struct RunState<'a> {
     schema: &'a Schema,
     seed: u64,
     threads: usize,
+    structures: &'a StructureRegistry,
+    properties: &'a PropertyRegistry,
     count_sources: &'a BTreeMap<String, CountSource>,
     counts: BTreeMap<String, u64>,
     node_pts: BTreeMap<(String, String), PropertyTable>,
@@ -280,7 +351,7 @@ impl RunState<'_> {
                 }),
             },
         };
-        Ok(build_generator(&name, &params)?)
+        Ok(self.structures.build(&name, &params)?)
     }
 
     fn resolve_count(&mut self, node_type: &str) -> Result<(), PipelineError> {
@@ -308,7 +379,7 @@ impl RunState<'_> {
         &self,
         prop: &PropertyDef,
     ) -> Result<Box<dyn PropertyGenerator>, PipelineError> {
-        let generator = build_property_generator(
+        let generator = self.properties.build(
             &prop.generator.name,
             &gen_args_of(&prop.generator)?,
             prop.dependencies.len(),
@@ -717,6 +788,81 @@ graph social {
         let graph = DataSynth::from_dsl(src).unwrap().generate().unwrap();
         assert_eq!(graph.node_count("A"), Some(1000));
         assert_eq!(graph.edges("e").unwrap().len(), 10_000);
+    }
+
+    #[test]
+    fn user_registered_generators_resolve_from_the_dsl() {
+        use datasynth_structure::Capabilities;
+        use datasynth_tables::ValueType;
+
+        // A structure generator the crates know nothing about: a ring.
+        struct Ring;
+        impl StructureGenerator for Ring {
+            fn name(&self) -> &'static str {
+                "ring"
+            }
+            fn run(&self, n: u64, _rng: &mut SplitMix64) -> EdgeTable {
+                let mut et = EdgeTable::with_capacity("ring", n as usize);
+                for i in 0..n {
+                    et.push(i, (i + 1) % n.max(1));
+                }
+                et
+            }
+            fn num_nodes_for_edges(&self, num_edges: u64) -> u64 {
+                num_edges
+            }
+            fn capabilities(&self) -> Capabilities {
+                Capabilities::default()
+            }
+        }
+
+        struct FortyTwo;
+        impl PropertyGenerator for FortyTwo {
+            fn name(&self) -> &'static str {
+                "forty_two"
+            }
+            fn value_type(&self) -> ValueType {
+                ValueType::Long
+            }
+            fn generate(
+                &self,
+                _id: u64,
+                _rng: &mut SplitMix64,
+                _deps: &[Value],
+            ) -> Result<Value, datasynth_props::GenError> {
+                Ok(Value::Long(42))
+            }
+        }
+
+        let src = r#"graph g {
+            node A [count = 16] { x: long = forty_two(); }
+            edge e: A -- A [many_to_many] { structure = ring(); }
+        }"#;
+        let graph = DataSynth::from_dsl(src)
+            .unwrap()
+            .register_structure("ring", |_p| Ok(Box::new(Ring) as _))
+            .register_property("forty_two", |_args, _arity| Ok(Box::new(FortyTwo) as _))
+            .with_seed(5)
+            .generate()
+            .unwrap();
+        let edges = graph.edges("e").unwrap();
+        assert_eq!(edges.len(), 16, "one ring edge per node");
+        assert_eq!(
+            graph.node_property("A", "x").unwrap().value(3).unwrap(),
+            Value::Long(42)
+        );
+    }
+
+    #[test]
+    fn unregistered_structure_name_reports_registry_contents() {
+        let src = r#"graph g {
+            node A [count = 4] { x: long = counter(); }
+            edge e: A -- A { structure = rign(); }
+        }"#;
+        let err = DataSynth::from_dsl(src).unwrap().generate().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("rign"), "{msg}");
+        assert!(msg.contains("registered:"), "{msg}");
     }
 
     #[test]

@@ -30,7 +30,10 @@ pub use dictionary::DictionaryGen;
 pub use error::GenError;
 pub use numeric::{GeometricGen, NormalGen, UniformDoubleGen, UniformLongGen, ZipfGen};
 pub use person::{EmailGen, FullNameGen, SurnameGen};
-pub use registry::{build_property_generator, GenArg, RegistryError, PROPERTY_GENERATOR_NAMES};
+pub use registry::{
+    build_property_generator, BoxedPropertyGenerator, GenArg, PropertyRegistry, RegistryError,
+    PROPERTY_GENERATOR_NAMES,
+};
 pub use text::{SentenceGen, TemplateGen};
 
 use datasynth_prng::SplitMix64;

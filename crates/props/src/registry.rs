@@ -1,8 +1,13 @@
-//! Name-based property generator construction — the DSL's
-//! `property = generator(args...)` clauses resolve here.
+//! The open property-generator registry — the DSL's
+//! `property = generator(args...)` clauses and `SchemaBuilder` programs
+//! both resolve here, and user generators can be registered next to the
+//! builtins.
 
+use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
+use datasynth_tables::suggest::closest_match;
 use datasynth_tables::Value;
 
 use crate::{
@@ -22,11 +27,18 @@ pub enum GenArg {
     Weighted(String, f64),
 }
 
-/// Errors from [`build_property_generator`].
+/// Errors from building a property generator by name.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RegistryError {
     /// No generator with this name.
-    UnknownGenerator(String),
+    UnknownGenerator {
+        /// The name that failed to resolve.
+        name: String,
+        /// Every name registered at lookup time (sorted).
+        known: Vec<String>,
+        /// Closest registered name by edit distance, if any is close.
+        suggestion: Option<String>,
+    },
     /// Wrong argument shape for the named generator.
     BadArgs {
         /// Generator name.
@@ -39,7 +51,20 @@ pub enum RegistryError {
 impl fmt::Display for RegistryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RegistryError::UnknownGenerator(n) => write!(f, "unknown property generator {n}"),
+            RegistryError::UnknownGenerator {
+                name,
+                known,
+                suggestion,
+            } => {
+                write!(f, "unknown property generator {name}")?;
+                if let Some(s) = suggestion {
+                    write!(f, " (did you mean {s:?}?)")?;
+                }
+                if !known.is_empty() {
+                    write!(f, "; registered: {}", known.join(", "))?;
+                }
+                Ok(())
+            }
             RegistryError::BadArgs {
                 generator,
                 expected,
@@ -74,188 +99,406 @@ pub const PROPERTY_GENERATOR_NAMES: &[&str] = &[
     "template",
 ];
 
-fn num(args: &[GenArg], i: usize) -> Option<f64> {
-    match args.get(i)? {
-        GenArg::Num(v) => Some(*v),
-        _ => None,
+/// A boxed property generator, as the registry produces it.
+pub type BoxedPropertyGenerator = Box<dyn PropertyGenerator>;
+
+type Ctor =
+    Arc<dyn Fn(&[GenArg], usize) -> Result<BoxedPropertyGenerator, RegistryError> + Send + Sync>;
+
+/// Name → constructor map for property generators.
+///
+/// A constructor receives the call's arguments and the declared
+/// dependency count (the `given (...)` arity) and returns a boxed
+/// [`PropertyGenerator`]. [`PropertyRegistry::builtin`] holds the shipped
+/// library; [`register`](PropertyRegistry::register) adds or overrides
+/// entries.
+///
+/// ```
+/// use datasynth_props::{GenArg, PropertyRegistry, ConstantGen};
+/// use datasynth_tables::Value;
+///
+/// let mut registry = PropertyRegistry::builtin();
+/// registry.register("answer", |_args: &[GenArg], _arity: usize| {
+///     Ok(Box::new(ConstantGen::new(Value::Long(42))) as _)
+/// });
+///
+/// let g = registry.build("answer", &[], 0).unwrap();
+/// let mut rng = datasynth_prng::SplitMix64::new(1);
+/// assert_eq!(g.generate(0, &mut rng, &[]).unwrap(), Value::Long(42));
+/// ```
+#[derive(Clone, Default)]
+pub struct PropertyRegistry {
+    ctors: BTreeMap<String, Ctor>,
+}
+
+impl PropertyRegistry {
+    /// A registry with no entries.
+    pub fn empty() -> Self {
+        Self {
+            ctors: BTreeMap::new(),
+        }
+    }
+
+    /// The shipped generator library ([`PROPERTY_GENERATOR_NAMES`]).
+    pub fn builtin() -> Self {
+        let mut registry = Self::empty();
+        register_builtins(&mut registry);
+        registry
+    }
+
+    /// Register `ctor` under `name`, replacing any previous entry.
+    pub fn register<F>(&mut self, name: impl Into<String>, ctor: F)
+    where
+        F: Fn(&[GenArg], usize) -> Result<BoxedPropertyGenerator, RegistryError>
+            + Send
+            + Sync
+            + 'static,
+    {
+        self.ctors.insert(name.into(), Arc::new(ctor));
+    }
+
+    /// Build a generator from its registry name, arguments, and declared
+    /// dependency count.
+    pub fn build(
+        &self,
+        name: &str,
+        args: &[GenArg],
+        arity: usize,
+    ) -> Result<BoxedPropertyGenerator, RegistryError> {
+        match self.ctors.get(name) {
+            Some(ctor) => ctor(args, arity),
+            None => Err(self.unknown(name)),
+        }
+    }
+
+    /// Whether `name` resolves.
+    pub fn contains(&self, name: &str) -> bool {
+        self.ctors.contains_key(name)
+    }
+
+    /// Every registered name, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.ctors.keys().map(String::as_str).collect()
+    }
+
+    /// The error reported for an unresolvable `name`: carries the full
+    /// registered-name list and a closest-match suggestion.
+    pub fn unknown(&self, name: &str) -> RegistryError {
+        RegistryError::UnknownGenerator {
+            name: name.to_owned(),
+            known: self.ctors.keys().cloned().collect(),
+            suggestion: closest_match(name, self.ctors.keys().map(String::as_str)),
+        }
     }
 }
 
-fn text(args: &[GenArg], i: usize) -> Option<&str> {
-    match args.get(i)? {
-        GenArg::Text(s) => Some(s),
-        _ => None,
+impl fmt::Debug for PropertyRegistry {
+    /// Debug as the name list (closures have no useful representation).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PropertyRegistry")
+            .field("names", &self.names())
+            .finish()
     }
 }
 
-/// Build a property generator from its DSL name and arguments.
-/// `arity` is the number of declared dependencies (`given (...)` clause).
+/// Typed access to a builtin's argument list: index lookups scoped to the
+/// generator name so shape failures produce uniform [`RegistryError`]s.
+#[derive(Clone, Copy)]
+struct ArgReader<'a> {
+    generator: &'static str,
+    args: &'a [GenArg],
+}
+
+impl<'a> ArgReader<'a> {
+    fn new(generator: &'static str, args: &'a [GenArg]) -> Self {
+        Self { generator, args }
+    }
+
+    fn num(&self, i: usize) -> Option<f64> {
+        match self.args.get(i)? {
+            GenArg::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    fn num_or(&self, i: usize, default: f64) -> f64 {
+        self.num(i).unwrap_or(default)
+    }
+
+    fn text(&self, i: usize) -> Option<&'a str> {
+        match self.args.get(i)? {
+            GenArg::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn texts(&self) -> Vec<String> {
+        self.args
+            .iter()
+            .filter_map(|a| match a {
+                GenArg::Text(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn weighted(&self) -> Vec<(String, f64)> {
+        self.args
+            .iter()
+            .filter_map(|a| match a {
+                GenArg::Weighted(label, w) => Some((label.clone(), *w)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn bad(&self, expected: &'static str) -> RegistryError {
+        RegistryError::BadArgs {
+            generator: self.generator,
+            expected,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Builtin constructors. Each takes (args, arity) like any registered
+// closure; `arity` is the declared dependency count (`given (...)`).
+// ---------------------------------------------------------------------------
+
+fn constant(args: &[GenArg], _arity: usize) -> Result<BoxedPropertyGenerator, RegistryError> {
+    let r = ArgReader::new("constant", args);
+    let value = match args.first() {
+        Some(GenArg::Num(v)) if v.fract() == 0.0 => Value::Long(*v as i64),
+        Some(GenArg::Num(v)) => Value::Double(*v),
+        Some(GenArg::Text(s)) => Value::Text(s.clone()),
+        _ => return Err(r.bad("(value)")),
+    };
+    Ok(Box::new(ConstantGen::new(value)))
+}
+
+fn counter(args: &[GenArg], _arity: usize) -> Result<BoxedPropertyGenerator, RegistryError> {
+    let r = ArgReader::new("counter", args);
+    Ok(Box::new(CounterGen::new(r.num_or(0, 0.0) as i64)))
+}
+
+fn uuid(_args: &[GenArg], _arity: usize) -> Result<BoxedPropertyGenerator, RegistryError> {
+    Ok(Box::new(UuidGen))
+}
+
+fn bool_gen(args: &[GenArg], _arity: usize) -> Result<BoxedPropertyGenerator, RegistryError> {
+    let r = ArgReader::new("bool", args);
+    let p = r.num_or(0, 0.5);
+    if !(0.0..=1.0).contains(&p) {
+        return Err(r.bad("(p in [0,1])"));
+    }
+    Ok(Box::new(BoolGen::new(p)))
+}
+
+fn uniform(args: &[GenArg], _arity: usize) -> Result<BoxedPropertyGenerator, RegistryError> {
+    let r = ArgReader::new("uniform", args);
+    match (r.num(0), r.num(1)) {
+        (Some(lo), Some(hi)) if lo <= hi => Ok(Box::new(UniformLongGen::new(lo as i64, hi as i64))),
+        _ => Err(r.bad("(lo, hi) with lo <= hi")),
+    }
+}
+
+fn uniform_double(args: &[GenArg], _arity: usize) -> Result<BoxedPropertyGenerator, RegistryError> {
+    let r = ArgReader::new("uniform_double", args);
+    match (r.num(0), r.num(1)) {
+        (Some(lo), Some(hi)) if lo < hi => Ok(Box::new(UniformDoubleGen::new(lo, hi))),
+        _ => Err(r.bad("(lo, hi) with lo < hi")),
+    }
+}
+
+fn zipf(args: &[GenArg], _arity: usize) -> Result<BoxedPropertyGenerator, RegistryError> {
+    let r = ArgReader::new("zipf", args);
+    let s = r.num_or(0, 1.0);
+    let n = r.num_or(1, 1000.0);
+    if s <= 0.0 || n < 1.0 {
+        return Err(r.bad("(exponent > 0, n >= 1)"));
+    }
+    Ok(Box::new(ZipfGen::new(s, n as u64)))
+}
+
+fn normal(args: &[GenArg], _arity: usize) -> Result<BoxedPropertyGenerator, RegistryError> {
+    let r = ArgReader::new("normal", args);
+    let mean = r.num_or(0, 0.0);
+    let sd = r.num_or(1, 1.0);
+    if sd < 0.0 {
+        return Err(r.bad("(mean, std_dev >= 0)"));
+    }
+    Ok(Box::new(NormalGen::new(mean, sd)))
+}
+
+fn geometric(args: &[GenArg], _arity: usize) -> Result<BoxedPropertyGenerator, RegistryError> {
+    let r = ArgReader::new("geometric", args);
+    let p = r.num_or(0, 0.5);
+    if !(p > 0.0 && p <= 1.0) {
+        return Err(r.bad("(p in (0,1])"));
+    }
+    Ok(Box::new(GeometricGen::new(p)))
+}
+
+fn categorical(args: &[GenArg], _arity: usize) -> Result<BoxedPropertyGenerator, RegistryError> {
+    let r = ArgReader::new("categorical", args);
+    let pairs = r.weighted();
+    if pairs.is_empty() {
+        return Err(r.bad("(\"label\": weight, ...)"));
+    }
+    let borrowed: Vec<(&str, f64)> = pairs.iter().map(|(l, w)| (l.as_str(), *w)).collect();
+    Ok(Box::new(DictionaryGen::with_registry_name(
+        "categorical",
+        &borrowed,
+    )))
+}
+
+/// Embedded sample dictionaries resolvable by `dictionary(name)`.
+const DICTIONARY_NAMES: &[&str] = &["countries", "topics"];
+
+fn dictionary(args: &[GenArg], _arity: usize) -> Result<BoxedPropertyGenerator, RegistryError> {
+    let r = ArgReader::new("dictionary", args);
+    match r.text(0) {
+        Some("countries") => Ok(Box::new(DictionaryGen::countries())),
+        Some("topics") => Ok(Box::new(DictionaryGen::topics())),
+        // The failed lookup is in the dictionary sub-namespace, so the
+        // `known` list names the dictionaries (not the generator registry).
+        Some(other) if !other.is_empty() => Err(RegistryError::UnknownGenerator {
+            name: format!("dictionary {other:?}"),
+            known: DICTIONARY_NAMES
+                .iter()
+                .map(|s| format!("dictionary {s:?}"))
+                .collect(),
+            suggestion: closest_match(other, DICTIONARY_NAMES.iter().copied()),
+        }),
+        _ => Err(r.bad("(\"countries\" | \"topics\")")),
+    }
+}
+
+fn first_names(args: &[GenArg], arity: usize) -> Result<BoxedPropertyGenerator, RegistryError> {
+    let r = ArgReader::new("first_names", args);
+    if arity != 2 {
+        return Err(r.bad("given (country, sex)"));
+    }
+    Ok(Box::new(ConditionalDictionary::first_names()))
+}
+
+fn surnames(args: &[GenArg], arity: usize) -> Result<BoxedPropertyGenerator, RegistryError> {
+    let r = ArgReader::new("surnames", args);
+    if arity != 1 {
+        return Err(r.bad("given (country)"));
+    }
+    Ok(Box::new(SurnameGen::new()))
+}
+
+fn full_name(args: &[GenArg], arity: usize) -> Result<BoxedPropertyGenerator, RegistryError> {
+    let r = ArgReader::new("full_name", args);
+    if arity != 2 {
+        return Err(r.bad("given (given_name, family_name)"));
+    }
+    Ok(Box::new(FullNameGen))
+}
+
+fn email(args: &[GenArg], arity: usize) -> Result<BoxedPropertyGenerator, RegistryError> {
+    let r = ArgReader::new("email", args);
+    if arity != 1 {
+        return Err(r.bad("given (name)"));
+    }
+    let domains = r.texts();
+    if domains.is_empty() {
+        Ok(Box::new(EmailGen::default()))
+    } else {
+        let borrowed: Vec<&str> = domains.iter().map(String::as_str).collect();
+        Ok(Box::new(EmailGen::new(&borrowed)))
+    }
+}
+
+fn date_between(args: &[GenArg], _arity: usize) -> Result<BoxedPropertyGenerator, RegistryError> {
+    let r = ArgReader::new("date_between", args);
+    let (from, to) = match (r.text(0), r.text(1)) {
+        (Some(f), Some(t)) => (f, t),
+        _ => return Err(r.bad("(\"YYYY-MM-DD\", \"YYYY-MM-DD\")")),
+    };
+    match DateBetween::parse(from, to) {
+        Some(g) => Ok(Box::new(g)),
+        None => Err(r.bad("valid, ordered ISO dates")),
+    }
+}
+
+fn date_after(args: &[GenArg], arity: usize) -> Result<BoxedPropertyGenerator, RegistryError> {
+    let r = ArgReader::new("date_after", args);
+    if arity == 0 {
+        return Err(r.bad("given (at least one date property)"));
+    }
+    let spread = r.num_or(0, 365.0);
+    if spread < 1.0 {
+        return Err(r.bad("(spread_days >= 1)"));
+    }
+    Ok(Box::new(DateAfterDeps::new(arity, spread as u64)))
+}
+
+fn sentence(args: &[GenArg], _arity: usize) -> Result<BoxedPropertyGenerator, RegistryError> {
+    let r = ArgReader::new("sentence", args);
+    let lo = r.num_or(0, 5.0).max(1.0) as u64;
+    let hi = r.num_or(1, 20.0).max(lo as f64) as u64;
+    Ok(Box::new(SentenceGen::new(lo, hi)))
+}
+
+fn sentence_about(args: &[GenArg], arity: usize) -> Result<BoxedPropertyGenerator, RegistryError> {
+    let r = ArgReader::new("sentence_about", args);
+    if arity != 1 {
+        return Err(r.bad("given (topic)"));
+    }
+    let lo = r.num_or(0, 5.0).max(1.0) as u64;
+    let hi = r.num_or(1, 20.0).max(lo as f64) as u64;
+    Ok(Box::new(SentenceGen::about_topic(lo, hi)))
+}
+
+fn template(args: &[GenArg], arity: usize) -> Result<BoxedPropertyGenerator, RegistryError> {
+    let r = ArgReader::new("template", args);
+    match r.text(0) {
+        Some(t) => Ok(Box::new(TemplateGen::new(t, arity))),
+        None => Err(r.bad("(\"...{0}...{id}...\")")),
+    }
+}
+
+fn register_builtins(registry: &mut PropertyRegistry) {
+    registry.register("constant", constant);
+    registry.register("counter", counter);
+    registry.register("uuid", uuid);
+    registry.register("bool", bool_gen);
+    registry.register("uniform", uniform);
+    registry.register("uniform_double", uniform_double);
+    registry.register("zipf", zipf);
+    registry.register("normal", normal);
+    registry.register("geometric", geometric);
+    registry.register("categorical", categorical);
+    registry.register("dictionary", dictionary);
+    registry.register("first_names", first_names);
+    registry.register("surnames", surnames);
+    registry.register("full_name", full_name);
+    registry.register("email", email);
+    registry.register("date_between", date_between);
+    registry.register("date_after", date_after);
+    registry.register("sentence", sentence);
+    registry.register("sentence_about", sentence_about);
+    registry.register("template", template);
+}
+
+fn builtin() -> &'static PropertyRegistry {
+    static BUILTIN: OnceLock<PropertyRegistry> = OnceLock::new();
+    BUILTIN.get_or_init(PropertyRegistry::builtin)
+}
+
+/// Build a property generator from the *builtin* registry; kept as a
+/// convenience for code that needs no user extensions. `arity` is the
+/// number of declared dependencies (`given (...)` clause). The pipeline
+/// resolves through the [`PropertyRegistry`] carried by `DataSynth`.
 pub fn build_property_generator(
     name: &str,
     args: &[GenArg],
     arity: usize,
-) -> Result<Box<dyn PropertyGenerator>, RegistryError> {
-    let bad = |generator: &'static str, expected: &'static str| RegistryError::BadArgs {
-        generator,
-        expected,
-    };
-    Ok(match name {
-        "constant" => {
-            let value = match args.first() {
-                Some(GenArg::Num(v)) if v.fract() == 0.0 => Value::Long(*v as i64),
-                Some(GenArg::Num(v)) => Value::Double(*v),
-                Some(GenArg::Text(s)) => Value::Text(s.clone()),
-                _ => return Err(bad("constant", "(value)")),
-            };
-            Box::new(ConstantGen::new(value))
-        }
-        "counter" => Box::new(CounterGen::new(num(args, 0).unwrap_or(0.0) as i64)),
-        "uuid" => Box::new(UuidGen),
-        "bool" => {
-            let p = num(args, 0).unwrap_or(0.5);
-            if !(0.0..=1.0).contains(&p) {
-                return Err(bad("bool", "(p in [0,1])"));
-            }
-            Box::new(BoolGen::new(p))
-        }
-        "uniform" => {
-            let (lo, hi) = match (num(args, 0), num(args, 1)) {
-                (Some(lo), Some(hi)) if lo <= hi => (lo as i64, hi as i64),
-                _ => return Err(bad("uniform", "(lo, hi) with lo <= hi")),
-            };
-            Box::new(UniformLongGen::new(lo, hi))
-        }
-        "uniform_double" => {
-            let (lo, hi) = match (num(args, 0), num(args, 1)) {
-                (Some(lo), Some(hi)) if lo < hi => (lo, hi),
-                _ => return Err(bad("uniform_double", "(lo, hi) with lo < hi")),
-            };
-            Box::new(UniformDoubleGen::new(lo, hi))
-        }
-        "zipf" => {
-            let s = num(args, 0).unwrap_or(1.0);
-            let n = num(args, 1).unwrap_or(1000.0);
-            if s <= 0.0 || n < 1.0 {
-                return Err(bad("zipf", "(exponent > 0, n >= 1)"));
-            }
-            Box::new(ZipfGen::new(s, n as u64))
-        }
-        "normal" => {
-            let mean = num(args, 0).unwrap_or(0.0);
-            let sd = num(args, 1).unwrap_or(1.0);
-            if sd < 0.0 {
-                return Err(bad("normal", "(mean, std_dev >= 0)"));
-            }
-            Box::new(NormalGen::new(mean, sd))
-        }
-        "geometric" => {
-            let p = num(args, 0).unwrap_or(0.5);
-            if !(p > 0.0 && p <= 1.0) {
-                return Err(bad("geometric", "(p in (0,1])"));
-            }
-            Box::new(GeometricGen::new(p))
-        }
-        "categorical" => {
-            let pairs: Vec<(String, f64)> = args
-                .iter()
-                .filter_map(|a| match a {
-                    GenArg::Weighted(label, w) => Some((label.clone(), *w)),
-                    _ => None,
-                })
-                .collect();
-            if pairs.is_empty() {
-                return Err(bad("categorical", "(\"label\": weight, ...)"));
-            }
-            let borrowed: Vec<(&str, f64)> = pairs.iter().map(|(l, w)| (l.as_str(), *w)).collect();
-            Box::new(DictionaryGen::with_registry_name("categorical", &borrowed))
-        }
-        "dictionary" => match text(args, 0) {
-            Some("countries") => Box::new(DictionaryGen::countries()),
-            Some("topics") => Box::new(DictionaryGen::topics()),
-            Some(other) => {
-                return Err(if other.is_empty() {
-                    bad("dictionary", "(\"countries\" | \"topics\")")
-                } else {
-                    RegistryError::UnknownGenerator(format!("dictionary {other:?}"))
-                })
-            }
-            None => return Err(bad("dictionary", "(\"countries\" | \"topics\")")),
-        },
-        "first_names" => {
-            if arity != 2 {
-                return Err(bad("first_names", "given (country, sex)"));
-            }
-            Box::new(ConditionalDictionary::first_names())
-        }
-        "surnames" => {
-            if arity != 1 {
-                return Err(bad("surnames", "given (country)"));
-            }
-            Box::new(SurnameGen::new())
-        }
-        "full_name" => {
-            if arity != 2 {
-                return Err(bad("full_name", "given (given_name, family_name)"));
-            }
-            Box::new(FullNameGen)
-        }
-        "email" => {
-            if arity != 1 {
-                return Err(bad("email", "given (name)"));
-            }
-            let domains: Vec<String> = args
-                .iter()
-                .filter_map(|a| match a {
-                    GenArg::Text(s) => Some(s.clone()),
-                    _ => None,
-                })
-                .collect();
-            if domains.is_empty() {
-                Box::new(EmailGen::default())
-            } else {
-                let borrowed: Vec<&str> = domains.iter().map(String::as_str).collect();
-                Box::new(EmailGen::new(&borrowed))
-            }
-        }
-        "date_between" => {
-            let (from, to) = match (text(args, 0), text(args, 1)) {
-                (Some(f), Some(t)) => (f, t),
-                _ => return Err(bad("date_between", "(\"YYYY-MM-DD\", \"YYYY-MM-DD\")")),
-            };
-            match DateBetween::parse(from, to) {
-                Some(g) => Box::new(g),
-                None => return Err(bad("date_between", "valid, ordered ISO dates")),
-            }
-        }
-        "date_after" => {
-            if arity == 0 {
-                return Err(bad("date_after", "given (at least one date property)"));
-            }
-            let spread = num(args, 0).unwrap_or(365.0);
-            if spread < 1.0 {
-                return Err(bad("date_after", "(spread_days >= 1)"));
-            }
-            Box::new(DateAfterDeps::new(arity, spread as u64))
-        }
-        "sentence" => {
-            let lo = num(args, 0).unwrap_or(5.0).max(1.0) as u64;
-            let hi = num(args, 1).unwrap_or(20.0).max(lo as f64) as u64;
-            Box::new(SentenceGen::new(lo, hi))
-        }
-        "sentence_about" => {
-            if arity != 1 {
-                return Err(bad("sentence_about", "given (topic)"));
-            }
-            let lo = num(args, 0).unwrap_or(5.0).max(1.0) as u64;
-            let hi = num(args, 1).unwrap_or(20.0).max(lo as f64) as u64;
-            Box::new(SentenceGen::about_topic(lo, hi))
-        }
-        "template" => match text(args, 0) {
-            Some(t) => Box::new(TemplateGen::new(t, arity)),
-            None => return Err(bad("template", "(\"...{0}...{id}...\")")),
-        },
-        other => return Err(RegistryError::UnknownGenerator(other.to_owned())),
-    })
+) -> Result<BoxedPropertyGenerator, RegistryError> {
+    builtin().build(name, args, arity)
 }
 
 #[cfg(test)]
@@ -265,6 +508,13 @@ mod tests {
 
     fn build(name: &str, args: &[GenArg], arity: usize) -> Box<dyn PropertyGenerator> {
         build_property_generator(name, args, arity).unwrap_or_else(|e| panic!("{name}: {e}"))
+    }
+
+    fn expect_err(name: &str, args: &[GenArg]) -> RegistryError {
+        match build_property_generator(name, args, 0) {
+            Err(e) => e,
+            Ok(g) => panic!("unexpectedly built {}", g.name()),
+        }
     }
 
     #[test]
@@ -306,6 +556,15 @@ mod tests {
     }
 
     #[test]
+    fn every_canonical_name_is_registered() {
+        let registry = PropertyRegistry::builtin();
+        for &name in PROPERTY_GENERATOR_NAMES {
+            assert!(registry.contains(name), "{name} missing from builtin()");
+        }
+        assert_eq!(registry.names().len(), PROPERTY_GENERATOR_NAMES.len());
+    }
+
+    #[test]
     fn dependent_generators_declare_arity() {
         let g = build("first_names", &[], 2);
         assert_eq!(g.arity(), 2);
@@ -327,7 +586,7 @@ mod tests {
     fn errors_are_specific() {
         assert!(matches!(
             build_property_generator("nope", &[], 0),
-            Err(RegistryError::UnknownGenerator(_))
+            Err(RegistryError::UnknownGenerator { .. })
         ));
         assert!(matches!(
             build_property_generator("uniform", &[GenArg::Num(5.0), GenArg::Num(1.0)], 0),
@@ -345,5 +604,43 @@ mod tests {
             build_property_generator("categorical", &[GenArg::Num(1.0)], 0),
             Err(RegistryError::BadArgs { .. })
         ));
+    }
+
+    #[test]
+    fn unknown_name_reports_suggestion_and_names() {
+        let err = expect_err("uniformm", &[]);
+        let msg = err.to_string();
+        assert!(msg.contains("uniformm"), "{msg}");
+        assert!(msg.contains("did you mean \"uniform\"?"), "{msg}");
+        assert!(msg.contains("registered:"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_dictionary_suggests_known_dictionaries() {
+        let err = expect_err("dictionary", &[GenArg::Text("countrys".into())]);
+        let msg = err.to_string();
+        assert!(msg.contains("did you mean \"countries\"?"), "{msg}");
+        assert!(
+            msg.contains("registered: dictionary \"countries\", dictionary \"topics\""),
+            "the known list must name dictionaries, not generators: {msg}"
+        );
+    }
+
+    #[test]
+    fn registered_closure_resolves_with_arity() {
+        let mut registry = PropertyRegistry::empty();
+        registry.register("fixed_sum", |args: &[GenArg], arity: usize| {
+            let base = match args.first() {
+                Some(GenArg::Num(v)) => *v as i64,
+                _ => 0,
+            };
+            Ok(Box::new(ConstantGen::new(Value::Long(base + arity as i64)))
+                as BoxedPropertyGenerator)
+        });
+        let g = registry
+            .build("fixed_sum", &[GenArg::Num(40.0)], 2)
+            .unwrap();
+        let mut rng = TableStream::derive(1, "x").substream(0);
+        assert_eq!(g.generate(0, &mut rng, &[]).unwrap(), Value::Long(42));
     }
 }

@@ -1,0 +1,591 @@
+//! Programmatic schema construction: a fluent, typed alternative to the
+//! DSL frontend.
+//!
+//! [`Schema::build`] opens a [`SchemaBuilder`]; node and edge types are
+//! declared with closures over [`NodeBuilder`] / [`EdgeBuilder`], and
+//! properties with [`PropertySpec`] values started from the type helpers
+//! ([`text`], [`long`], [`double`], [`date`], [`boolean`]). The result of
+//! [`SchemaBuilder::finish`] is a *validated* [`Schema`] — the same data
+//! structure [`parse_schema`](crate::parse_schema) produces — so it
+//! round-trips through [`Schema::to_dsl`] and drives the pipeline
+//! identically to a parsed schema.
+//!
+//! ```
+//! use datasynth_schema::builder::{date, homophily, text};
+//! use datasynth_schema::{parse_schema, Schema};
+//!
+//! let schema = Schema::build("social")
+//!     .node("Person", |n| {
+//!         n.count(10_000)
+//!             .property("country", text().dictionary("countries"))
+//!             .property("sex", text().categorical([("M", 0.5), ("F", 0.5)]))
+//!             .property("name", text().generator("first_names").given(["country", "sex"]))
+//!             .property("creationDate", date().date_between("2010-01-01", "2013-01-01"))
+//!     })
+//!     .edge("knows", "Person", "Person", |e| {
+//!         e.many_to_many()
+//!             .structure("lfr", |s| s.num("avg_degree", 10.0).num("max_degree", 30.0))
+//!             .correlate("country", homophily(0.8))
+//!             .property(
+//!                 "creationDate",
+//!                 date().generator("date_after").arg(30.0).given([
+//!                     "source.creationDate",
+//!                     "target.creationDate",
+//!                 ]),
+//!             )
+//!     })
+//!     .finish()
+//!     .unwrap();
+//!
+//! // Programmatic schemas print as DSL and round-trip through the parser.
+//! assert_eq!(parse_schema(&schema.to_dsl()).unwrap(), schema);
+//! ```
+
+use datasynth_tables::ValueType;
+
+use crate::error::SchemaError;
+use crate::model::{
+    Cardinality, CorrelationSpec, DepRef, EdgeType, GeneratorSpec, NodeType, PropertyDef, Schema,
+    SpecArg,
+};
+use crate::validate::validate_schema;
+
+impl Schema {
+    /// Open a fluent [`SchemaBuilder`] for a graph named `name`.
+    ///
+    /// This is the programmatic twin of
+    /// [`parse_schema`](crate::parse_schema): both frontends produce the
+    /// same validated [`Schema`].
+    pub fn build(name: impl Into<String>) -> SchemaBuilder {
+        SchemaBuilder {
+            name: name.into(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            errors: Vec::new(),
+        }
+    }
+}
+
+/// Fluent schema constructor; see the [module docs](self) for a full
+/// example. Obtain via [`Schema::build`], close with
+/// [`finish`](SchemaBuilder::finish).
+#[derive(Debug)]
+pub struct SchemaBuilder {
+    name: String,
+    nodes: Vec<NodeType>,
+    edges: Vec<EdgeType>,
+    errors: Vec<String>,
+}
+
+impl SchemaBuilder {
+    /// Declare a node type; `f` configures count and properties.
+    pub fn node(
+        mut self,
+        name: impl Into<String>,
+        f: impl FnOnce(NodeBuilder) -> NodeBuilder,
+    ) -> Self {
+        let nb = f(NodeBuilder {
+            node: NodeType {
+                name: name.into(),
+                count: None,
+                properties: Vec::new(),
+            },
+            errors: Vec::new(),
+        });
+        self.errors.extend(nb.errors);
+        self.nodes.push(nb.node);
+        self
+    }
+
+    /// Declare an edge type from `source` to `target`; `f` configures
+    /// cardinality, structure, correlation and properties.
+    pub fn edge(
+        mut self,
+        name: impl Into<String>,
+        source: impl Into<String>,
+        target: impl Into<String>,
+        f: impl FnOnce(EdgeBuilder) -> EdgeBuilder,
+    ) -> Self {
+        let eb = f(EdgeBuilder {
+            edge: EdgeType {
+                name: name.into(),
+                source: source.into(),
+                target: target.into(),
+                directed: false,
+                cardinality: Cardinality::ManyToMany,
+                count: None,
+                structure: None,
+                correlation: None,
+                properties: Vec::new(),
+            },
+            directed: None,
+            errors: Vec::new(),
+        });
+        self.errors.extend(eb.errors);
+        let mut edge = eb.edge;
+        // Unless set explicitly, render cardinality-constrained edges as
+        // `->` and unconstrained ones as `--` (the DSL convention).
+        edge.directed = eb
+            .directed
+            .unwrap_or(edge.cardinality != Cardinality::ManyToMany);
+        self.edges.push(edge);
+        self
+    }
+
+    /// Close the builder: assemble the [`Schema`] and run the same
+    /// semantic validation the DSL parser applies.
+    pub fn finish(self) -> Result<Schema, SchemaError> {
+        if let Some(msg) = self.errors.into_iter().next() {
+            return Err(SchemaError::general(msg));
+        }
+        let schema = Schema {
+            name: self.name,
+            nodes: self.nodes,
+            edges: self.edges,
+        };
+        validate_schema(&schema)?;
+        Ok(schema)
+    }
+}
+
+/// Configures one node type inside [`SchemaBuilder::node`].
+#[derive(Debug)]
+pub struct NodeBuilder {
+    node: NodeType,
+    errors: Vec<String>,
+}
+
+impl NodeBuilder {
+    /// Fix the instance count (`[count = N]`). Omitting it leaves the
+    /// count to be inferred from an incident edge structure.
+    pub fn count(mut self, n: u64) -> Self {
+        self.node.count = Some(n);
+        self
+    }
+
+    /// Declare a property from a [`PropertySpec`].
+    pub fn property(mut self, name: impl Into<String>, spec: PropertySpec) -> Self {
+        let name = name.into();
+        match spec.into_def(&self.node.name, &name) {
+            Ok(def) => self.node.properties.push(def),
+            Err(msg) => self.errors.push(msg),
+        }
+        self
+    }
+}
+
+/// Configures one edge type inside [`SchemaBuilder::edge`].
+#[derive(Debug)]
+pub struct EdgeBuilder {
+    edge: EdgeType,
+    directed: Option<bool>,
+    errors: Vec<String>,
+}
+
+impl EdgeBuilder {
+    /// Bijection between source and target instances (`1→1`).
+    pub fn one_to_one(mut self) -> Self {
+        self.edge.cardinality = Cardinality::OneToOne;
+        self
+    }
+
+    /// Each target instance has exactly one source (`1→*`).
+    pub fn one_to_many(mut self) -> Self {
+        self.edge.cardinality = Cardinality::OneToMany;
+        self
+    }
+
+    /// Unrestricted cardinality (`*→*`, the default).
+    pub fn many_to_many(mut self) -> Self {
+        self.edge.cardinality = Cardinality::ManyToMany;
+        self
+    }
+
+    /// Render as a directed edge (`->`). Without an explicit choice,
+    /// cardinality-constrained edges are directed and `many_to_many`
+    /// edges undirected.
+    pub fn directed(mut self) -> Self {
+        self.directed = Some(true);
+        self
+    }
+
+    /// Render as an undirected edge (`--`).
+    pub fn undirected(mut self) -> Self {
+        self.directed = Some(false);
+        self
+    }
+
+    /// Fix the edge count (`[count = N]`); node counts can then be
+    /// inferred through the structure generator's sizing interface.
+    pub fn count(mut self, n: u64) -> Self {
+        self.edge.count = Some(n);
+        self
+    }
+
+    /// Choose the structure generator by registry name; `f` adds named
+    /// parameters. Any name is accepted here — resolution happens at run
+    /// time against the pipeline's `StructureRegistry`, so user-registered
+    /// generators work exactly like built-ins.
+    pub fn structure(
+        mut self,
+        name: impl Into<String>,
+        f: impl FnOnce(StructureParams) -> StructureParams,
+    ) -> Self {
+        let sp = f(StructureParams {
+            spec: GeneratorSpec::bare(name),
+        });
+        self.edge.structure = Some(sp.spec);
+        self
+    }
+
+    /// Correlate a source-node property with the structure, targeting the
+    /// given JPD (see [`homophily`], [`uniform_jpd`], [`proportional`]).
+    pub fn correlate(mut self, property: impl Into<String>, jpd: GeneratorSpec) -> Self {
+        self.edge.correlation = Some(CorrelationSpec {
+            property: property.into(),
+            jpd,
+        });
+        self
+    }
+
+    /// Declare an edge property from a [`PropertySpec`].
+    pub fn property(mut self, name: impl Into<String>, spec: PropertySpec) -> Self {
+        let name = name.into();
+        match spec.into_def(&self.edge.name, &name) {
+            Ok(def) => self.edge.properties.push(def),
+            Err(msg) => self.errors.push(msg),
+        }
+        self
+    }
+}
+
+/// Named-parameter list for a structure generator call.
+#[derive(Debug)]
+pub struct StructureParams {
+    spec: GeneratorSpec,
+}
+
+impl StructureParams {
+    /// Add a named numeric parameter (`avg_degree = 20`).
+    pub fn num(mut self, key: impl Into<String>, value: f64) -> Self {
+        self.spec.args.push(SpecArg::Named(key.into(), value));
+        self
+    }
+
+    /// Add a named string parameter (`dist = "zipf"`).
+    pub fn text(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.spec
+            .args
+            .push(SpecArg::NamedText(key.into(), value.into()));
+        self
+    }
+}
+
+/// A typed property under construction: value type, generator call and
+/// dependencies. Start from [`text`], [`long`], [`double`], [`date`] or
+/// [`boolean`], pick a generator (sugar methods or the generic
+/// [`generator`](PropertySpec::generator)), then attach it with
+/// [`NodeBuilder::property`] / [`EdgeBuilder::property`].
+#[derive(Debug, Clone)]
+pub struct PropertySpec {
+    value_type: ValueType,
+    gen_name: Option<String>,
+    args: Vec<SpecArg>,
+    dependencies: Vec<DepRef>,
+}
+
+/// Start a `text` property.
+pub fn text() -> PropertySpec {
+    PropertySpec::of(ValueType::Text)
+}
+
+/// Start a `long` property.
+pub fn long() -> PropertySpec {
+    PropertySpec::of(ValueType::Long)
+}
+
+/// Start a `double` property.
+pub fn double() -> PropertySpec {
+    PropertySpec::of(ValueType::Double)
+}
+
+/// Start a `date` property.
+pub fn date() -> PropertySpec {
+    PropertySpec::of(ValueType::Date)
+}
+
+/// Start a `bool` property.
+pub fn boolean() -> PropertySpec {
+    PropertySpec::of(ValueType::Bool)
+}
+
+impl PropertySpec {
+    /// Start a property of an explicit [`ValueType`].
+    pub fn of(value_type: ValueType) -> Self {
+        Self {
+            value_type,
+            gen_name: None,
+            args: Vec::new(),
+            dependencies: Vec::new(),
+        }
+    }
+
+    /// Choose the generator by registry name (the open escape hatch: any
+    /// name resolvable by the pipeline's `PropertyRegistry` works,
+    /// including user-registered generators).
+    pub fn generator(mut self, name: impl Into<String>) -> Self {
+        self.gen_name = Some(name.into());
+        self
+    }
+
+    /// Append a positional numeric argument.
+    pub fn arg(mut self, value: f64) -> Self {
+        self.args.push(SpecArg::Num(value));
+        self
+    }
+
+    /// Append a positional string argument.
+    pub fn arg_text(mut self, value: impl Into<String>) -> Self {
+        self.args.push(SpecArg::Text(value.into()));
+        self
+    }
+
+    /// Append a `"label": weight` argument.
+    pub fn weighted(mut self, label: impl Into<String>, weight: f64) -> Self {
+        self.args.push(SpecArg::Weighted(label.into(), weight));
+        self
+    }
+
+    /// Declare dependencies (`given (...)`). Strings prefixed `source.` /
+    /// `target.` become endpoint references (edge properties only).
+    pub fn given<I, S>(mut self, deps: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        for dep in deps {
+            let dep = dep.into();
+            self.dependencies.push(match dep.split_once('.') {
+                Some(("source", p)) => DepRef::Source(p.to_owned()),
+                Some(("target", p)) => DepRef::Target(p.to_owned()),
+                _ => DepRef::Own(dep),
+            });
+        }
+        self
+    }
+
+    // ----- sugar over the built-in generator library -----
+
+    /// `dictionary("countries")` etc.
+    pub fn dictionary(self, name: impl Into<String>) -> Self {
+        self.generator("dictionary").arg_text(name)
+    }
+
+    /// `categorical("A": w, ...)` from label/weight pairs.
+    pub fn categorical<I, S>(self, pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (S, f64)>,
+        S: Into<String>,
+    {
+        let mut spec = self.generator("categorical");
+        for (label, weight) in pairs {
+            spec = spec.weighted(label, weight);
+        }
+        spec
+    }
+
+    /// `counter()` — sequential ids.
+    pub fn counter(self) -> Self {
+        self.generator("counter")
+    }
+
+    /// `uuid()` — deterministic per-id UUIDs.
+    pub fn uuid(self) -> Self {
+        self.generator("uuid")
+    }
+
+    /// `uniform(lo, hi)` — uniform integers.
+    pub fn uniform(self, lo: i64, hi: i64) -> Self {
+        self.generator("uniform").arg(lo as f64).arg(hi as f64)
+    }
+
+    /// `uniform_double(lo, hi)` — uniform doubles.
+    pub fn uniform_double(self, lo: f64, hi: f64) -> Self {
+        self.generator("uniform_double").arg(lo).arg(hi)
+    }
+
+    /// `normal(mean, std_dev)` — Gaussian doubles.
+    pub fn normal(self, mean: f64, std_dev: f64) -> Self {
+        self.generator("normal").arg(mean).arg(std_dev)
+    }
+
+    /// `bool(p)` — Bernoulli draw.
+    pub fn bernoulli(self, p: f64) -> Self {
+        self.generator("bool").arg(p)
+    }
+
+    /// `date_between("YYYY-MM-DD", "YYYY-MM-DD")`.
+    pub fn date_between(self, from: impl Into<String>, to: impl Into<String>) -> Self {
+        self.generator("date_between").arg_text(from).arg_text(to)
+    }
+
+    /// `date_after(spread_days)` — later than every date dependency.
+    pub fn date_after(self, spread_days: u64) -> Self {
+        self.generator("date_after").arg(spread_days as f64)
+    }
+
+    fn into_def(self, owner: &str, name: &str) -> Result<PropertyDef, String> {
+        let gen_name = self
+            .gen_name
+            .ok_or_else(|| format!("property {owner}.{name} has no generator"))?;
+        Ok(PropertyDef {
+            name: name.to_owned(),
+            value_type: self.value_type,
+            generator: GeneratorSpec {
+                name: gen_name,
+                args: self.args,
+            },
+            dependencies: self.dependencies,
+        })
+    }
+}
+
+/// JPD spec for [`EdgeBuilder::correlate`]: diagonal mass `diag`, the
+/// rest proportional to group sizes (`homophily(diag)` in the DSL).
+pub fn homophily(diag: f64) -> GeneratorSpec {
+    GeneratorSpec {
+        name: "homophily".into(),
+        args: vec![SpecArg::Num(diag)],
+    }
+}
+
+/// JPD spec for [`EdgeBuilder::correlate`]: uniform over group pairs.
+pub fn uniform_jpd() -> GeneratorSpec {
+    GeneratorSpec::bare("uniform")
+}
+
+/// JPD spec for [`EdgeBuilder::correlate`]: the independent null model
+/// (`P(i,j) ∝ w_i · w_j`).
+pub fn proportional() -> GeneratorSpec {
+    GeneratorSpec::bare("proportional")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_schema;
+
+    fn running_example() -> Schema {
+        Schema::build("social")
+            .node("Person", |n| {
+                n.count(2000)
+                    .property("country", text().dictionary("countries"))
+                    .property("sex", text().categorical([("M", 0.5), ("F", 0.5)]))
+                    .property(
+                        "name",
+                        text().generator("first_names").given(["country", "sex"]),
+                    )
+                    .property(
+                        "creationDate",
+                        date().date_between("2010-01-01", "2013-01-01"),
+                    )
+            })
+            .node("Message", |n| {
+                n.property("topic", text().dictionary("topics")).property(
+                    "text",
+                    text()
+                        .generator("sentence_about")
+                        .arg(5.0)
+                        .arg(12.0)
+                        .given(["topic"]),
+                )
+            })
+            .edge("knows", "Person", "Person", |e| {
+                e.many_to_many()
+                    .structure("lfr", |s| s.num("avg_degree", 10.0).num("max_degree", 30.0))
+                    .correlate("country", homophily(0.8))
+                    .property(
+                        "creationDate",
+                        date()
+                            .date_after(30)
+                            .given(["source.creationDate", "target.creationDate"]),
+                    )
+            })
+            .edge("creates", "Person", "Message", |e| {
+                e.one_to_many()
+                    .structure("one_to_many", |s| s.text("dist", "geometric").num("p", 0.4))
+                    .property(
+                        "creationDate",
+                        date().date_after(365).given(["source.creationDate"]),
+                    )
+            })
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_matches_parsed_running_example() {
+        let built = running_example();
+        let parsed = parse_schema(&built.to_dsl()).unwrap();
+        assert_eq!(built, parsed);
+        // Structural spot checks against the known example.
+        assert_eq!(built.nodes.len(), 2);
+        assert_eq!(built.edges.len(), 2);
+        assert_eq!(built.property_table_count(), 8);
+        let knows = built.edge_type("knows").unwrap();
+        assert!(!knows.directed, "many_to_many defaults to --");
+        let creates = built.edge_type("creates").unwrap();
+        assert!(creates.directed, "one_to_many defaults to ->");
+        assert_eq!(creates.cardinality, Cardinality::OneToMany);
+    }
+
+    #[test]
+    fn builder_validates_like_the_parser() {
+        let err = Schema::build("g")
+            .node("A", |n| n.property("x", long().counter().given(["ghost"])))
+            .finish()
+            .unwrap_err();
+        assert!(err.message.contains("unknown property"), "{err}");
+
+        let err = Schema::build("g")
+            .node("A", |n| n.property("x", long().counter()))
+            .edge("e", "A", "B", |e| e)
+            .finish()
+            .unwrap_err();
+        assert!(err.message.contains("unknown target type"), "{err}");
+    }
+
+    #[test]
+    fn missing_generator_is_reported() {
+        let err = Schema::build("g")
+            .node("A", |n| n.property("x", long()))
+            .finish()
+            .unwrap_err();
+        assert!(err.message.contains("A.x has no generator"), "{err}");
+    }
+
+    #[test]
+    fn explicit_direction_overrides_default() {
+        let schema = Schema::build("g")
+            .node("A", |n| n.count(5).property("x", long().counter()))
+            .edge("e", "A", "A", |e| {
+                e.directed().structure("gnm", |s| s.num("m", 10.0))
+            })
+            .finish()
+            .unwrap();
+        assert!(schema.edge_type("e").unwrap().directed);
+    }
+
+    #[test]
+    fn dep_prefixes_resolve_to_endpoint_refs() {
+        let spec = date().date_after(7).given(["source.a", "target.b", "c"]);
+        assert_eq!(
+            spec.dependencies,
+            vec![
+                DepRef::Source("a".into()),
+                DepRef::Target("b".into()),
+                DepRef::Own("c".into())
+            ]
+        );
+    }
+}

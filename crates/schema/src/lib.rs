@@ -31,8 +31,12 @@
 //! ```
 //!
 //! [`parse_schema`] turns DSL text into a validated [`Schema`];
-//! [`Schema::to_dsl`] pretty-prints it back (the two round-trip).
+//! [`Schema::to_dsl`] pretty-prints it back (the two round-trip). The DSL
+//! is one of two equivalent frontends: [`Schema::build`] opens the fluent
+//! [`SchemaBuilder`], which produces the same validated model
+//! programmatically (and therefore also prints as DSL via `to_dsl`).
 
+pub mod builder;
 mod display;
 mod error;
 mod lexer;
@@ -40,6 +44,7 @@ mod model;
 mod parser;
 mod validate;
 
+pub use builder::{EdgeBuilder, NodeBuilder, PropertySpec, SchemaBuilder, StructureParams};
 pub use error::SchemaError;
 pub use model::{
     Cardinality, CorrelationSpec, DepRef, EdgeType, GeneratorSpec, NodeType, PropertyDef, Schema,

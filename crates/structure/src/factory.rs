@@ -1,59 +1,22 @@
-//! Name-based generator construction: the bridge from DSL `structure =
-//! name(args...)` clauses to concrete [`StructureGenerator`] boxes.
+//! The shipped structure-generator library, expressed as registry
+//! entries: one constructor function per DSL name, all parameter
+//! extraction going through [`ParamReader`] so errors are uniform.
 
-use std::fmt;
+use std::sync::OnceLock;
 
 use datasynth_prng::dist::{DiscretePowerLaw, Geometric, UniformU64, Zipf};
 
 use crate::bter::CcProfile;
+use crate::params::ParamReader;
+use crate::registry::{BoxedStructureGenerator, BuildError, StructureRegistry};
 use crate::{
     BarabasiAlbert, BterGenerator, DarwiniGenerator, DegreeDist, Gnm, Gnp, LfrGenerator, LfrParams,
-    OneToManyGenerator, OneToOneGenerator, Params, PlantedSbm, RmatGenerator, StructureGenerator,
-    WattsStrogatz,
+    OneToManyGenerator, OneToOneGenerator, Params, PlantedSbm, RmatGenerator, WattsStrogatz,
 };
 
-/// Errors from [`build_generator`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum BuildError {
-    /// No generator registered under this name.
-    UnknownGenerator(String),
-    /// A required parameter is absent.
-    MissingParam {
-        /// Generator name.
-        generator: &'static str,
-        /// Parameter name.
-        param: &'static str,
-    },
-    /// A parameter value is out of range or mistyped.
-    BadParam {
-        /// Generator name.
-        generator: &'static str,
-        /// Parameter name.
-        param: &'static str,
-        /// Human-readable reason.
-        reason: String,
-    },
-}
-
-impl fmt::Display for BuildError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            BuildError::UnknownGenerator(name) => write!(f, "unknown structure generator {name}"),
-            BuildError::MissingParam { generator, param } => {
-                write!(f, "{generator}: missing parameter {param}")
-            }
-            BuildError::BadParam {
-                generator,
-                param,
-                reason,
-            } => write!(f, "{generator}: bad parameter {param}: {reason}"),
-        }
-    }
-}
-
-impl std::error::Error for BuildError {}
-
-/// Names accepted by [`build_generator`] (canonical spellings).
+/// Names shipped by [`StructureRegistry::builtin`] (canonical spellings;
+/// the registry also knows the aliases `gnp`, `ba`, `ws` and
+/// `configuration_model`).
 pub const GENERATOR_NAMES: &[&str] = &[
     "rmat",
     "lfr",
@@ -69,184 +32,196 @@ pub const GENERATOR_NAMES: &[&str] = &[
     "one_to_one",
 ];
 
-fn degree_dist_from(generator: &'static str, params: &Params) -> Result<DegreeDist, BuildError> {
-    let kind = params.get_str("dist").unwrap_or("power_law");
-    let bad = |param: &'static str, reason: &str| BuildError::BadParam {
-        generator,
-        param,
-        reason: reason.to_owned(),
-    };
-    Ok(match kind {
-        "constant" => DegreeDist::Constant(params.u64_or("k", 1)),
+fn degree_dist_from(r: ParamReader<'_>) -> Result<DegreeDist, BuildError> {
+    Ok(match r.str_or("dist", "power_law") {
+        "constant" => DegreeDist::Constant(r.u64_or("k", 1)),
         "uniform" => {
-            let lo = params.u64_or("min", 0);
-            let hi = params.u64_or("max", 4);
+            let lo = r.u64_or("min", 0);
+            let hi = r.u64_or("max", 4);
             if lo > hi {
-                return Err(bad("min", "min exceeds max"));
+                return Err(r.bad("min", "min exceeds max"));
             }
             DegreeDist::Uniform(UniformU64::new(lo, hi))
         }
         "zipf" => DegreeDist::Zipf(Zipf::new(
-            params.f64_or("exponent", 1.5),
-            params.u64_or("max", 1000).max(1),
+            r.f64_or("exponent", 1.5),
+            r.u64_or("max", 1000).max(1),
         )),
         "power_law" => {
-            let kmin = params.u64_or("min", 1).max(1);
-            let kmax = params.u64_or("max", 100);
+            let kmin = r.u64_or("min", 1).max(1);
+            let kmax = r.u64_or("max", 100);
             if kmin > kmax {
-                return Err(bad("min", "min exceeds max"));
+                return Err(r.bad("min", "min exceeds max"));
             }
-            DegreeDist::PowerLaw(DiscretePowerLaw::new(
-                params.f64_or("exponent", 2.0),
-                kmin,
-                kmax,
-            ))
+            DegreeDist::PowerLaw(DiscretePowerLaw::new(r.f64_or("exponent", 2.0), kmin, kmax))
         }
         "geometric" => {
-            let p = params.f64_or("p", 0.4);
+            let p = r.f64_or("p", 0.4);
             if !(p > 0.0 && p <= 1.0) {
-                return Err(bad("p", "must be in (0, 1]"));
+                return Err(r.bad("p", "must be in (0, 1]"));
             }
             DegreeDist::Geometric(Geometric::new(p))
         }
         other => {
-            return Err(bad("dist", &format!("unknown distribution {other}")));
+            return Err(r.bad("dist", format!("unknown distribution {other}")));
         }
     })
 }
 
-/// Construct a structure generator from its DSL name and parameters.
-pub fn build_generator(
-    name: &str,
-    params: &Params,
-) -> Result<Box<dyn StructureGenerator + Send + Sync>, BuildError> {
-    Ok(match name {
-        "rmat" => {
-            let a = params.f64_or("a", 0.57);
-            let b = params.f64_or("b", 0.19);
-            let c = params.f64_or("c", 0.19);
-            if a + b + c > 1.0 + 1e-9 || a <= 0.0 || b < 0.0 || c < 0.0 {
-                return Err(BuildError::BadParam {
-                    generator: "rmat",
-                    param: "a/b/c",
-                    reason: "quadrant probabilities must be nonnegative and sum <= 1".into(),
-                });
-            }
-            let g = RmatGenerator::new(
-                a,
-                b,
-                c,
-                params.u64_or("edge_factor", 16).max(1),
-                params.u64_or("simplify", 0) == 1,
-            )
-            .with_noise(params.f64_or("noise", 0.1).clamp(0.0, 0.5));
-            Box::new(g)
+fn rmat(params: &Params) -> Result<BoxedStructureGenerator, BuildError> {
+    let r = params.reader("rmat");
+    let a = r.f64_or("a", 0.57);
+    let b = r.f64_or("b", 0.19);
+    let c = r.f64_or("c", 0.19);
+    if a + b + c > 1.0 + 1e-9 || a <= 0.0 || b < 0.0 || c < 0.0 {
+        return Err(r.bad(
+            "a/b/c",
+            "quadrant probabilities must be nonnegative and sum <= 1",
+        ));
+    }
+    let g = RmatGenerator::new(
+        a,
+        b,
+        c,
+        r.u64_or("edge_factor", 16).max(1),
+        r.u64_or("simplify", 0) == 1,
+    )
+    .with_noise(r.f64_or("noise", 0.1).clamp(0.0, 0.5));
+    Ok(Box::new(g))
+}
+
+fn lfr(params: &Params) -> Result<BoxedStructureGenerator, BuildError> {
+    let r = params.reader("lfr");
+    let p = LfrParams {
+        average_degree: r.f64_or("avg_degree", 20.0),
+        max_degree: r.u64_or("max_degree", 50),
+        degree_exponent: r.f64_or("degree_exponent", 2.0),
+        community_exponent: r.f64_or("community_exponent", 1.0),
+        min_community: r.u64_or("min_community", 10),
+        max_community: r.u64_or("max_community", 50),
+        mixing: r.f64_in("mixing", 0.1, 0.0, 1.0)?,
+    };
+    Ok(Box::new(LfrGenerator::new(p)))
+}
+
+fn bter(params: &Params) -> Result<BoxedStructureGenerator, BuildError> {
+    let r = params.reader("bter");
+    let dd = degree_dist_from(r)?;
+    let cc = if let Some(c) = r.get_f64("cc") {
+        CcProfile::Constant(c)
+    } else {
+        CcProfile::ExponentialDecay {
+            c0: r.f64_or("cc_max", 0.6),
+            scale: r.f64_or("cc_scale", 15.0),
         }
-        "lfr" => {
-            let p = LfrParams {
-                average_degree: params.f64_or("avg_degree", 20.0),
-                max_degree: params.u64_or("max_degree", 50),
-                degree_exponent: params.f64_or("degree_exponent", 2.0),
-                community_exponent: params.f64_or("community_exponent", 1.0),
-                min_community: params.u64_or("min_community", 10),
-                max_community: params.u64_or("max_community", 50),
-                mixing: params.f64_or("mixing", 0.1),
-            };
-            if !(0.0..=1.0).contains(&p.mixing) {
-                return Err(BuildError::BadParam {
-                    generator: "lfr",
-                    param: "mixing",
-                    reason: "must be in [0, 1]".into(),
-                });
-            }
-            Box::new(LfrGenerator::new(p))
-        }
-        "bter" => {
-            let dd = degree_dist_from("bter", params)?;
-            let cc = if let Some(c) = params.get_f64("cc") {
-                CcProfile::Constant(c)
-            } else {
-                CcProfile::ExponentialDecay {
-                    c0: params.f64_or("cc_max", 0.6),
-                    scale: params.f64_or("cc_scale", 15.0),
-                }
-            };
-            Box::new(BterGenerator::new(dd, cc))
-        }
-        "darwini" => {
-            let dd = degree_dist_from("darwini", params)?;
-            let cc = CcProfile::ExponentialDecay {
-                c0: params.f64_or("cc_max", 0.6),
-                scale: params.f64_or("cc_scale", 15.0),
-            };
-            Box::new(DarwiniGenerator::new(
-                dd,
-                cc,
-                params.f64_or("cc_spread", 0.1).clamp(0.0, 0.5),
-                params.u64_or("buckets", 8).max(1) as u32,
-            ))
-        }
-        "erdos_renyi" | "gnp" => {
-            let p = params.get_f64("p").ok_or(BuildError::MissingParam {
-                generator: "erdos_renyi",
-                param: "p",
-            })?;
-            if !(0.0..=1.0).contains(&p) {
-                return Err(BuildError::BadParam {
-                    generator: "erdos_renyi",
-                    param: "p",
-                    reason: "must be in [0, 1]".into(),
-                });
-            }
-            Box::new(Gnp::new(p))
-        }
-        "gnm" => {
-            let m = params.get_u64("m").ok_or(BuildError::MissingParam {
-                generator: "gnm",
-                param: "m",
-            })?;
-            Box::new(Gnm::new(m))
-        }
-        "barabasi_albert" | "ba" => Box::new(BarabasiAlbert::new(params.u64_or("m", 3).max(1))),
-        "watts_strogatz" | "ws" => {
-            let k = params.u64_or("k", 4);
-            if k < 2 || k % 2 == 1 {
-                return Err(BuildError::BadParam {
-                    generator: "watts_strogatz",
-                    param: "k",
-                    reason: "must be even and >= 2".into(),
-                });
-            }
-            Box::new(WattsStrogatz::new(
-                k,
-                params.f64_or("beta", 0.1).clamp(0.0, 1.0),
-            ))
-        }
-        "sbm" => {
-            let k = params.u64_or("groups", 4).max(1) as usize;
-            let size = params.u64_or("group_size", 100).max(1);
-            Box::new(PlantedSbm::homophilous(
-                k,
-                size,
-                params.f64_or("p_intra", 0.1).clamp(0.0, 1.0),
-                params.f64_or("p_inter", 0.01).clamp(0.0, 1.0),
-            ))
-        }
-        "degree_sequence" | "configuration_model" => Box::new(crate::DegreeSequenceGenerator::new(
-            degree_dist_from("degree_sequence", params)?,
-        )),
-        "one_to_many" => Box::new(OneToManyGenerator::new(degree_dist_from(
-            "one_to_many",
-            params,
-        )?)),
-        "one_to_one" => Box::new(OneToOneGenerator),
-        other => return Err(BuildError::UnknownGenerator(other.to_owned())),
-    })
+    };
+    Ok(Box::new(BterGenerator::new(dd, cc)))
+}
+
+fn darwini(params: &Params) -> Result<BoxedStructureGenerator, BuildError> {
+    let r = params.reader("darwini");
+    let dd = degree_dist_from(r)?;
+    let cc = CcProfile::ExponentialDecay {
+        c0: r.f64_or("cc_max", 0.6),
+        scale: r.f64_or("cc_scale", 15.0),
+    };
+    Ok(Box::new(DarwiniGenerator::new(
+        dd,
+        cc,
+        r.f64_or("cc_spread", 0.1).clamp(0.0, 0.5),
+        r.u64_or("buckets", 8).max(1) as u32,
+    )))
+}
+
+fn erdos_renyi(params: &Params) -> Result<BoxedStructureGenerator, BuildError> {
+    let r = params.reader("erdos_renyi");
+    Ok(Box::new(Gnp::new(r.require_f64_in("p", 0.0, 1.0)?)))
+}
+
+fn gnm(params: &Params) -> Result<BoxedStructureGenerator, BuildError> {
+    let r = params.reader("gnm");
+    Ok(Box::new(Gnm::new(r.require_u64("m")?)))
+}
+
+fn barabasi_albert(params: &Params) -> Result<BoxedStructureGenerator, BuildError> {
+    let r = params.reader("barabasi_albert");
+    Ok(Box::new(BarabasiAlbert::new(r.u64_or("m", 3).max(1))))
+}
+
+fn watts_strogatz(params: &Params) -> Result<BoxedStructureGenerator, BuildError> {
+    let r = params.reader("watts_strogatz");
+    let k = r.u64_or("k", 4);
+    if k < 2 || k % 2 == 1 {
+        return Err(r.bad("k", "must be even and >= 2"));
+    }
+    Ok(Box::new(WattsStrogatz::new(
+        k,
+        r.f64_or("beta", 0.1).clamp(0.0, 1.0),
+    )))
+}
+
+fn sbm(params: &Params) -> Result<BoxedStructureGenerator, BuildError> {
+    let r = params.reader("sbm");
+    Ok(Box::new(PlantedSbm::homophilous(
+        r.u64_or("groups", 4).max(1) as usize,
+        r.u64_or("group_size", 100).max(1),
+        r.f64_or("p_intra", 0.1).clamp(0.0, 1.0),
+        r.f64_or("p_inter", 0.01).clamp(0.0, 1.0),
+    )))
+}
+
+fn degree_sequence(params: &Params) -> Result<BoxedStructureGenerator, BuildError> {
+    Ok(Box::new(crate::DegreeSequenceGenerator::new(
+        degree_dist_from(params.reader("degree_sequence"))?,
+    )))
+}
+
+fn one_to_many(params: &Params) -> Result<BoxedStructureGenerator, BuildError> {
+    Ok(Box::new(OneToManyGenerator::new(degree_dist_from(
+        params.reader("one_to_many"),
+    )?)))
+}
+
+fn one_to_one(_params: &Params) -> Result<BoxedStructureGenerator, BuildError> {
+    Ok(Box::new(OneToOneGenerator))
+}
+
+/// Fill `registry` with the shipped generators and their DSL aliases.
+pub(crate) fn register_builtins(registry: &mut StructureRegistry) {
+    registry.register("rmat", rmat);
+    registry.register("lfr", lfr);
+    registry.register("bter", bter);
+    registry.register("darwini", darwini);
+    registry.register("erdos_renyi", erdos_renyi);
+    registry.register("gnm", gnm);
+    registry.register("barabasi_albert", barabasi_albert);
+    registry.register("watts_strogatz", watts_strogatz);
+    registry.register("sbm", sbm);
+    registry.register("degree_sequence", degree_sequence);
+    registry.register("one_to_many", one_to_many);
+    registry.register("one_to_one", one_to_one);
+    registry.alias("gnp", "erdos_renyi");
+    registry.alias("ba", "barabasi_albert");
+    registry.alias("ws", "watts_strogatz");
+    registry.alias("configuration_model", "degree_sequence");
+}
+
+fn builtin() -> &'static StructureRegistry {
+    static BUILTIN: OnceLock<StructureRegistry> = OnceLock::new();
+    BUILTIN.get_or_init(StructureRegistry::builtin)
+}
+
+/// Construct a structure generator from the *builtin* registry; kept as a
+/// convenience for code that needs no user extensions. The pipeline
+/// resolves through the [`StructureRegistry`] carried by `DataSynth`.
+pub fn build_generator(name: &str, params: &Params) -> Result<BoxedStructureGenerator, BuildError> {
+    builtin().build(name, params)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::StructureGenerator;
     use datasynth_prng::SplitMix64;
 
     type BuildResult = Result<Box<dyn StructureGenerator + Send + Sync>, BuildError>;
@@ -276,9 +251,17 @@ mod tests {
     }
 
     #[test]
+    fn canonical_names_match_the_registry() {
+        let registry = StructureRegistry::builtin();
+        for &name in GENERATOR_NAMES {
+            assert!(registry.contains(name), "{name} missing from builtin()");
+        }
+    }
+
+    #[test]
     fn unknown_name_is_reported() {
         let err = expect_err(build_generator("nope", &Params::new()));
-        assert!(matches!(err, BuildError::UnknownGenerator(_)));
+        assert!(matches!(err, BuildError::UnknownGenerator { .. }));
         assert!(err.to_string().contains("nope"));
     }
 

@@ -21,6 +21,7 @@ mod erdos_renyi;
 mod factory;
 mod lfr;
 mod params;
+mod registry;
 mod rmat;
 mod sbm;
 mod watts_strogatz;
@@ -33,9 +34,10 @@ pub use darwini::DarwiniGenerator;
 pub use degree_seq::{chung_lu, configuration_model, even_out_degree_sum, ConfigModelOptions};
 pub use degree_sequence::DegreeSequenceGenerator;
 pub use erdos_renyi::{Gnm, Gnp};
-pub use factory::{build_generator, BuildError, GENERATOR_NAMES};
+pub use factory::{build_generator, GENERATOR_NAMES};
 pub use lfr::{LfrGenerator, LfrParams};
-pub use params::{ParamValue, Params};
+pub use params::{ParamReader, ParamValue, Params};
+pub use registry::{BoxedStructureGenerator, BuildError, StructureRegistry};
 pub use rmat::RmatGenerator;
 pub use sbm::PlantedSbm;
 pub use watts_strogatz::WattsStrogatz;

@@ -5,6 +5,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use crate::registry::BuildError;
+
 /// A single parameter value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ParamValue {
@@ -85,6 +87,108 @@ impl Params {
     pub fn iter(&self) -> impl Iterator<Item = (&str, &ParamValue)> {
         self.map.iter().map(|(k, v)| (k.as_str(), v))
     }
+
+    /// Typed extraction scoped to a generator name: lookups that fail
+    /// produce uniform [`BuildError`]s instead of per-call-site
+    /// boilerplate.
+    pub fn reader(&self, generator: &'static str) -> ParamReader<'_> {
+        ParamReader {
+            generator,
+            params: self,
+        }
+    }
+}
+
+/// A [`Params`] view bound to the generator being constructed; every
+/// failing lookup knows which generator to blame. Obtain via
+/// [`Params::reader`].
+#[derive(Debug, Clone, Copy)]
+pub struct ParamReader<'a> {
+    generator: &'static str,
+    params: &'a Params,
+}
+
+impl<'a> ParamReader<'a> {
+    /// The underlying parameter bag.
+    pub fn params(&self) -> &'a Params {
+        self.params
+    }
+
+    /// Numeric lookup.
+    pub fn get_f64(&self, key: &str) -> Option<f64> {
+        self.params.get_f64(key)
+    }
+
+    /// Numeric lookup with default.
+    pub fn f64_or(&self, key: &str, default: f64) -> f64 {
+        self.params.f64_or(key, default)
+    }
+
+    /// Integer lookup with default.
+    pub fn u64_or(&self, key: &str, default: u64) -> u64 {
+        self.params.u64_or(key, default)
+    }
+
+    /// String lookup.
+    pub fn get_str(&self, key: &str) -> Option<&'a str> {
+        self.params.get_str(key)
+    }
+
+    /// String lookup with default.
+    pub fn str_or(&self, key: &str, default: &'a str) -> &'a str {
+        self.params.get_str(key).unwrap_or(default)
+    }
+
+    /// Numeric lookup that must be present.
+    pub fn require_f64(&self, key: &'static str) -> Result<f64, BuildError> {
+        self.params.get_f64(key).ok_or(BuildError::MissingParam {
+            generator: self.generator,
+            param: key,
+        })
+    }
+
+    /// Integer lookup that must be present.
+    pub fn require_u64(&self, key: &'static str) -> Result<u64, BuildError> {
+        self.params.get_u64(key).ok_or(BuildError::MissingParam {
+            generator: self.generator,
+            param: key,
+        })
+    }
+
+    /// Numeric lookup with default, rejected outside `[lo, hi]`.
+    pub fn f64_in(
+        &self,
+        key: &'static str,
+        default: f64,
+        lo: f64,
+        hi: f64,
+    ) -> Result<f64, BuildError> {
+        let v = self.f64_or(key, default);
+        if (lo..=hi).contains(&v) {
+            Ok(v)
+        } else {
+            Err(self.bad(key, format!("must be in [{lo}, {hi}]")))
+        }
+    }
+
+    /// Required numeric lookup, rejected outside `[lo, hi]`.
+    pub fn require_f64_in(&self, key: &'static str, lo: f64, hi: f64) -> Result<f64, BuildError> {
+        let v = self.require_f64(key)?;
+        if (lo..=hi).contains(&v) {
+            Ok(v)
+        } else {
+            Err(self.bad(key, format!("must be in [{lo}, {hi}]")))
+        }
+    }
+
+    /// A [`BuildError::BadParam`] for `key`, for custom checks.
+    pub fn bad(&self, key: &'static str, reason: impl Into<String>) -> BuildError {
+        BuildError::BadParam {
+            generator: self.generator,
+            param: key,
+            reason: reason.into(),
+        }
+    }
 }
 
 impl fmt::Display for Params {
@@ -121,6 +225,27 @@ mod tests {
         assert_eq!(p.get_f64("mode"), None);
         assert_eq!(p.u64_or("missing", 7), 7);
         assert!(p.contains("scale"));
+    }
+
+    #[test]
+    fn reader_produces_uniform_errors() {
+        let p = Params::new().with_num("p", 1.5);
+        let r = p.reader("test_gen");
+        assert_eq!(r.f64_or("p", 0.0), 1.5);
+        assert!(matches!(
+            r.require_f64("missing"),
+            Err(BuildError::MissingParam {
+                generator: "test_gen",
+                param: "missing"
+            })
+        ));
+        let err = r.require_f64_in("p", 0.0, 1.0).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "test_gen: bad parameter p: must be in [0, 1]"
+        );
+        assert!(r.f64_in("q", 0.5, 0.0, 1.0).is_ok(), "default in range");
+        assert_eq!(r.str_or("mode", "simple"), "simple");
     }
 
     #[test]

@@ -20,6 +20,7 @@ mod edge_table;
 pub mod export;
 mod graph;
 mod property_table;
+pub mod suggest;
 mod value;
 
 pub use csr::Csr;

@@ -1,0 +1,53 @@
+//! Closest-match suggestions for name-resolution diagnostics — shared by
+//! the structure/property generator registries so their "did you mean"
+//! behavior cannot drift apart.
+
+/// The closest candidate by Levenshtein distance, if close enough to be a
+/// plausible typo (distance ≤ 2 or ≤ a third of the name's length).
+pub fn closest_match<'a>(name: &str, candidates: impl Iterator<Item = &'a str>) -> Option<String> {
+    let threshold = (name.len() / 3).max(2);
+    candidates
+        .map(|c| (edit_distance(name, c), c))
+        .min()
+        .filter(|(d, _)| *d <= threshold)
+        .map(|(_, c)| c.to_owned())
+}
+
+/// Levenshtein distance over chars (two-row dynamic program).
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("rmat", "rmat"), 0);
+    }
+
+    #[test]
+    fn close_names_are_suggested_distant_ones_are_not() {
+        assert_eq!(
+            closest_match("lrf", ["lfr", "rmat"].into_iter()),
+            Some("lfr".into())
+        );
+        assert_eq!(closest_match("qqqqqqqq", ["lfr"].into_iter()), None);
+        assert_eq!(closest_match("x", [].into_iter()), None);
+    }
+}

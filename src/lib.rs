@@ -11,9 +11,18 @@
 //! structure nodes so that a target joint distribution `P(X,Y)` over edge
 //! endpoints is preserved.
 //!
+//! Schemas enter through either of two equivalent frontends — DSL text or
+//! the fluent [`SchemaBuilder`](schema::SchemaBuilder) — and both resolve
+//! generators through open registries, so user-defined structure and
+//! property generators plug in without touching any crate internals
+//! ([`DataSynth::register_structure`] / [`DataSynth::register_property`];
+//! see `examples/custom_generator.rs`).
+//!
 //! ```no_run
 //! use datasynth::prelude::*;
+//! use datasynth::schema::builder::{homophily, text};
 //!
+//! // Frontend 1: the DSL.
 //! let generator = DataSynth::from_dsl(r#"
 //!     graph quick {
 //!       node Person [count = 10000] {
@@ -26,6 +35,20 @@
 //!     }
 //! "#).unwrap().with_seed(42);
 //!
+//! // Frontend 2: the programmatic builder — same validated schema,
+//! // byte-identical output under the same seed.
+//! let schema = Schema::build("quick")
+//!     .node("Person", |n| n.count(10000).property("country", text().dictionary("countries")))
+//!     .edge("knows", "Person", "Person", |e| {
+//!         e.structure("lfr", |s| {
+//!             s.num("avg_degree", 20.0).num("max_degree", 50.0).num("mixing", 0.1)
+//!         })
+//!         .correlate("country", homophily(0.8))
+//!     })
+//!     .finish()
+//!     .unwrap();
+//! let same = DataSynth::new(schema).unwrap().with_seed(42);
+//!
 //! // In-memory: materialize a PropertyGraph, then export it.
 //! let graph = generator.generate().unwrap();
 //! CsvExporter.export(&graph, std::path::Path::new("out")).unwrap();
@@ -33,7 +56,7 @@
 //! // Streaming: export during generation, byte-identical output, without
 //! // ever holding the whole graph (see `GraphSink` for custom sinks).
 //! let mut sink = CsvSink::new("out");
-//! generator.session().unwrap().run_into(&mut sink).unwrap();
+//! same.session().unwrap().run_into(&mut sink).unwrap();
 //! ```
 //!
 //! The sub-crates are re-exported under short names:

@@ -28,6 +28,7 @@ struct Args {
     out: Option<PathBuf>,
     format: Format,
     threads: Option<usize>,
+    list_generators: bool,
     plan_only: bool,
     progress: bool,
     stats: bool,
@@ -51,6 +52,8 @@ options:
   --out DIR         export directory (default: no export)
   --format F        csv | jsonl | both (default csv)
   --threads N       worker threads (default: available cores, capped at 8)
+  --list-generators print the registered structure and property generator
+                    names and exit (no schema file needed)
   --plan            print the dependency-analyzed task plan and exit
   --progress        per-task start/finish lines on stderr
   --stats           print structural statistics of the generated graph
@@ -70,6 +73,7 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         format: Format::Csv,
         threads: None,
+        list_generators: false,
         plan_only: false,
         progress: false,
         stats: false,
@@ -106,6 +110,7 @@ fn parse_args() -> Result<Args, String> {
                         .ok_or("--threads takes an integer")?,
                 );
             }
+            "--list-generators" => args.list_generators = true,
             "--plan" => args.plan_only = true,
             "--progress" => args.progress = true,
             "--stats" => args.stats = true,
@@ -128,6 +133,12 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     match positional.as_slice() {
+        // Loudly reject a schema alongside --list-generators rather than
+        // silently skipping generation.
+        [_, ..] if args.list_generators => {
+            return Err("--list-generators takes no schema file".into());
+        }
+        [] if args.list_generators => {}
         [one] => args.schema_path = one.clone(),
         _ => return Err("expected exactly one schema file".into()),
     }
@@ -212,7 +223,24 @@ impl GraphSink for SummarySink<'_> {
     }
 }
 
+/// Registry introspection behind `--list-generators`: the names any
+/// schema handed to this binary can resolve.
+fn list_generators() {
+    println!("structure generators (structure = name(...)):");
+    for name in StructureRegistry::builtin().names() {
+        println!("  {name}");
+    }
+    println!("property generators (property: type = name(...)):");
+    for name in PropertyRegistry::builtin().names() {
+        println!("  {name}");
+    }
+}
+
 fn run(args: &Args) -> Result<(), String> {
+    if args.list_generators {
+        list_generators();
+        return Ok(());
+    }
     let src = std::fs::read_to_string(&args.schema_path)
         .map_err(|e| format!("cannot read {}: {e}", args.schema_path.display()))?;
     let mut generator = DataSynth::from_dsl(&src)

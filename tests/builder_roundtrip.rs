@@ -1,0 +1,291 @@
+//! The two schema frontends are equivalent: a `SchemaBuilder` program
+//! prints as DSL that parses back to the *same* `Schema` (property test
+//! over randomized builder programs), and an equivalent DSL string drives
+//! the pipeline to byte-identical CSV exports under the same seed.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use datasynth::prelude::*;
+use datasynth::schema::builder::{boolean, date, double, homophily, long, text, PropertySpec};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Randomized builder programs → to_dsl → parse_schema → equality.
+// ---------------------------------------------------------------------------
+
+/// A property drawn from a small menu covering every argument shape the
+/// DSL can render: positional numbers, strings, weighted pairs, and
+/// `given (...)` clauses.
+fn property_from(choice: u64, lo: u64, span: u64, dep: Option<&str>) -> PropertySpec {
+    match choice % 6 {
+        0 => long().counter(),
+        1 => long().uniform(lo as i64, (lo + span) as i64),
+        2 => text().dictionary("countries"),
+        3 => boolean().bernoulli((choice % 4) as f64 / 4.0),
+        4 => text().categorical([("A", 0.5 + (choice % 3) as f64), ("B", 1.0)]),
+        _ => match dep {
+            // Dependent text: exercises `given (own)` rendering.
+            Some(d) => text().generator("template").arg_text("v={0}").given([d]),
+            None => date().date_between("2020-01-01", "2021-12-31"),
+        },
+    }
+}
+
+type StructureChoice = (
+    &'static str,
+    Vec<(&'static str, f64)>,
+    Vec<(&'static str, &'static str)>,
+);
+
+/// One randomized structure spec; always explicit so any node-type pair
+/// and cardinality validates.
+fn structure_of(e: EdgeBuilderSpec) -> StructureChoice {
+    match e.structure_choice % 4 {
+        0 => ("erdos_renyi", vec![("p", 0.05)], vec![]),
+        1 => (
+            "gnm",
+            vec![("m", (20 + e.structure_choice % 80) as f64)],
+            vec![],
+        ),
+        2 => ("watts_strogatz", vec![("k", 4.0), ("beta", 0.5)], vec![]),
+        _ => ("one_to_many", vec![("p", 0.5)], vec![("dist", "geometric")]),
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct EdgeBuilderSpec {
+    source: u64,
+    target: u64,
+    cardinality: u64,
+    structure_choice: u64,
+    with_count: bool,
+    with_endpoint_dep: bool,
+}
+
+#[derive(Debug, Clone)]
+struct SchemaSpec {
+    nodes: Vec<(Option<u64>, Vec<u64>)>,
+    edges: Vec<EdgeBuilderSpec>,
+}
+
+fn build_schema(spec: &SchemaSpec) -> Schema {
+    let mut b = Schema::build("prop_rt");
+    for (i, (count, props)) in spec.nodes.iter().enumerate() {
+        let count = *count;
+        let props = props.clone();
+        b = b.node(format!("N{i}"), move |mut n| {
+            if let Some(c) = count {
+                n = n.count(c);
+            }
+            for (j, &choice) in props.iter().enumerate() {
+                let dep = (j > 0).then(|| format!("q{}", j - 1));
+                n = n.property(
+                    format!("q{j}"),
+                    property_from(choice, choice % 10, 1 + choice % 50, dep.as_deref()),
+                );
+            }
+            n
+        });
+    }
+    for (i, e) in spec.edges.iter().enumerate() {
+        let source = format!("N{}", e.source as usize % spec.nodes.len());
+        let target = format!("N{}", e.target as usize % spec.nodes.len());
+        let (sname, nums, texts) = structure_of(*e);
+        let e = *e;
+        b = b.edge(format!("e{i}"), &source, &target, move |mut eb| {
+            eb = match e.cardinality % 3 {
+                0 => eb.one_to_one(),
+                1 => eb.one_to_many(),
+                _ => eb.many_to_many(),
+            };
+            if e.with_count {
+                eb = eb.count(100 + e.structure_choice);
+            }
+            eb = eb.structure(sname, |mut s| {
+                for &(k, v) in &nums {
+                    s = s.num(k, v);
+                }
+                for &(k, v) in &texts {
+                    s = s.text(k, v);
+                }
+                s
+            });
+            if e.with_endpoint_dep {
+                // `given (source.q0)` — q0 exists on every node type.
+                eb = eb.property(
+                    "w",
+                    text()
+                        .generator("template")
+                        .arg_text("s={0}")
+                        .given(["source.q0"]),
+                );
+            }
+            eb
+        });
+    }
+    b.finish()
+        .expect("randomized builder program must validate")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn builder_dsl_roundtrip(
+        nodes in prop::collection::vec(
+            (prop::option::of(1u64..2000), prop::collection::vec(0u64..1000, 1..4)),
+            1..4,
+        ),
+        edges in prop::collection::vec(
+            (0u64..16, 0u64..16, 0u64..3, 0u64..1000, any::<bool>(), any::<bool>()),
+            0..3,
+        ),
+    ) {
+        let spec = SchemaSpec {
+            nodes,
+            edges: edges
+                .into_iter()
+                .map(|(source, target, cardinality, structure_choice, with_count, with_endpoint_dep)| {
+                    EdgeBuilderSpec {
+                        source,
+                        target,
+                        cardinality,
+                        structure_choice,
+                        with_count,
+                        with_endpoint_dep,
+                    }
+                })
+                .collect(),
+        };
+        let built = build_schema(&spec);
+        let printed = built.to_dsl();
+        let parsed = parse_schema(&printed);
+        prop_assert!(parsed.is_ok(), "printed DSL does not parse: {}\n{printed}", parsed.unwrap_err());
+        prop_assert_eq!(parsed.unwrap(), built, "round-trip mismatch for:\n{}", printed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Byte identity: builder schema vs equivalent DSL text, same seed.
+// ---------------------------------------------------------------------------
+
+const EQUIVALENT_DSL: &str = r#"graph twin {
+  node Person [count = 600] {
+    country: text = dictionary("countries");
+    sex: text = categorical("M": 0.5, "F": 0.5);
+    age: long = uniform(18, 90);
+    score: double = normal(0, 1);
+    creationDate: date = date_between("2015-01-01", "2020-12-31");
+  }
+  node Message {
+    topic: text = dictionary("topics");
+  }
+  edge knows: Person -- Person [many_to_many] {
+    structure = lfr(avg_degree = 8, max_degree = 24, mixing = 0.15);
+    correlate country with homophily(0.7);
+    since: date = date_after(30) given (source.creationDate, target.creationDate);
+  }
+  edge creates: Person -> Message [one_to_many] {
+    structure = one_to_many(dist = "geometric", p = 0.5);
+  }
+}"#;
+
+fn twin_via_builder() -> Schema {
+    Schema::build("twin")
+        .node("Person", |n| {
+            n.count(600)
+                .property("country", text().dictionary("countries"))
+                .property("sex", text().categorical([("M", 0.5), ("F", 0.5)]))
+                .property("age", long().uniform(18, 90))
+                .property("score", double().normal(0.0, 1.0))
+                .property(
+                    "creationDate",
+                    date().date_between("2015-01-01", "2020-12-31"),
+                )
+        })
+        .node("Message", |n| {
+            n.property("topic", text().dictionary("topics"))
+        })
+        .edge("knows", "Person", "Person", |e| {
+            e.many_to_many()
+                .structure("lfr", |s| {
+                    s.num("avg_degree", 8.0)
+                        .num("max_degree", 24.0)
+                        .num("mixing", 0.15)
+                })
+                .correlate("country", homophily(0.7))
+                .property(
+                    "since",
+                    date()
+                        .date_after(30)
+                        .given(["source.creationDate", "target.creationDate"]),
+                )
+        })
+        .edge("creates", "Person", "Message", |e| {
+            e.one_to_many()
+                .structure("one_to_many", |s| s.text("dist", "geometric").num("p", 0.5))
+        })
+        .finish()
+        .unwrap()
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "datasynth-builder-twin-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// All files under `dir` as relative-path -> bytes.
+fn snapshot(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in fs::read_dir(&d).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                let rel = path
+                    .strip_prefix(dir)
+                    .unwrap()
+                    .to_string_lossy()
+                    .into_owned();
+                out.insert(rel, fs::read(&path).unwrap());
+            }
+        }
+    }
+    out
+}
+
+fn export_csv(generator: &DataSynth, tag: &str) -> BTreeMap<String, Vec<u8>> {
+    let dir = fresh_dir(tag);
+    let mut sink = CsvSink::new(&dir);
+    generator.session().unwrap().run_into(&mut sink).unwrap();
+    let snap = snapshot(&dir);
+    fs::remove_dir_all(&dir).unwrap();
+    snap
+}
+
+#[test]
+fn builder_and_dsl_schemas_export_identical_bytes() {
+    let built = twin_via_builder();
+    let parsed = parse_schema(EQUIVALENT_DSL).unwrap();
+    assert_eq!(built, parsed, "the two frontends must agree on the model");
+
+    let a = export_csv(&DataSynth::new(built).unwrap().with_seed(42), "builder");
+    let b = export_csv(&DataSynth::new(parsed).unwrap().with_seed(42), "dsl");
+    assert_eq!(
+        a.keys().collect::<Vec<_>>(),
+        b.keys().collect::<Vec<_>>(),
+        "same file set"
+    );
+    assert!(!a.is_empty());
+    for (name, bytes) in &a {
+        assert_eq!(bytes, &b[name], "{name} differs between the two frontends");
+    }
+}
