@@ -2,7 +2,7 @@
 //! element, plus property-generation scaling with thread count.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use datasynth_core::{DataSynth, GraphSink, SinkError};
+use datasynth_core::{default_threads, DataSynth, GraphSink, SinkError};
 use datasynth_tables::{EdgeTable, PropertyTable};
 
 /// Measures the pure generation path: consumes the stream, keeps nothing.
@@ -102,5 +102,56 @@ fn bench_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline);
+/// The whole pipeline — chunkable structure (rmat), sequential structure
+/// (barabasi_albert), matching, properties — at 1 thread vs all cores.
+/// The threads=N row over threads=1 is the task-scheduler + counter-stream
+/// speedup on a multi-core runner (identical bytes either way).
+const STRUCTURE_HEAVY: &str = r#"
+graph ledger {
+  node Account [count = 20000] {
+    country: text = dictionary("countries");
+    balance: double = normal(1000, 250);
+    opened: date = date_between("2012-01-01", "2020-12-31");
+  }
+  edge transfers: Account -- Account {
+    structure = rmat(edge_factor = 16);
+    amount: double = uniform_double(1, 5000);
+  }
+  edge refers: Account -- Account {
+    structure = barabasi_albert(m = 2);
+  }
+}
+"#;
+
+fn bench_parallel_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_threads");
+    group.sample_size(10);
+    // 20k nodes x 3 props + (16 + 2) x 20k edges + 320k edge props.
+    group.throughput(Throughput::Elements(20_000 * 3 + 18 * 20_000 + 320_000));
+    let all = default_threads();
+    let mut counts = vec![1usize];
+    if all > 1 {
+        counts.push(all);
+    }
+    for threads in counts {
+        group.bench_with_input(
+            BenchmarkId::new("structure_heavy_20k_accounts", threads),
+            &threads,
+            |b, &t| {
+                let gen = DataSynth::from_dsl(STRUCTURE_HEAVY)
+                    .unwrap()
+                    .with_seed(7)
+                    .with_threads(t);
+                b.iter(|| {
+                    let mut sink = NullSink::default();
+                    gen.session().unwrap().run_into(&mut sink).unwrap();
+                    black_box(sink.tables)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_parallel_pipeline);
 criterion_main!(benches);

@@ -23,7 +23,10 @@ fn bench_structure(c: &mut Criterion) {
             )),
         ),
         ("erdos_renyi_p2e-3", Box::new(Gnp::new(0.002))),
-        ("barabasi_albert_m3", Box::new(BarabasiAlbert::new(3))),
+        (
+            "barabasi_albert_m3",
+            Box::new(BarabasiAlbert::new(3).unwrap()),
+        ),
         ("watts_strogatz_k6", Box::new(WattsStrogatz::new(6, 0.1))),
     ];
 

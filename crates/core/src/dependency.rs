@@ -71,6 +71,11 @@ pub struct Analysis {
     pub plan: ExecutionPlan,
     /// Count source per node type.
     pub count_sources: BTreeMap<String, CountSource>,
+    /// For each plan index, the plan indices of its direct dependencies
+    /// (sorted ascending; always earlier than the task itself). This is
+    /// the edge list the task-parallel scheduler runs on: a task is ready
+    /// the moment all of its entries have committed.
+    pub task_deps: Vec<Vec<usize>>,
 }
 
 /// A table-shaped artifact the runner holds while tasks still need it.
@@ -344,9 +349,21 @@ pub fn analyze(schema: &Schema) -> Result<Analysis, PipelineError> {
         )));
     }
 
+    // 4. Re-express the dependency edges as plan indices for the scheduler.
+    let index_of: BTreeMap<&Task, usize> = order.iter().enumerate().map(|(i, t)| (t, i)).collect();
+    let task_deps: Vec<Vec<usize>> = order
+        .iter()
+        .map(|t| {
+            let mut ds: Vec<usize> = deps[t].iter().map(|d| index_of[d]).collect();
+            ds.sort_unstable();
+            ds
+        })
+        .collect();
+
     Ok(Analysis {
         plan: ExecutionPlan { tasks: order },
         count_sources,
+        task_deps,
     })
 }
 
@@ -513,5 +530,30 @@ graph social {
         let analysis = analyze(&schema).unwrap();
         // 2 counts + 5 node props + 2 structures + 2 matches + 1 edge prop.
         assert_eq!(analysis.plan.tasks.len(), 2 + 5 + 2 + 2 + 1);
+    }
+
+    #[test]
+    fn task_deps_point_backwards_and_match_the_dag() {
+        let schema = parse_schema(EXAMPLE).unwrap();
+        let analysis = analyze(&schema).unwrap();
+        let plan = &analysis.plan;
+        assert_eq!(analysis.task_deps.len(), plan.tasks.len());
+        for (i, ds) in analysis.task_deps.iter().enumerate() {
+            for &d in ds {
+                assert!(d < i, "dep {d} of task {i} must precede it in plan order");
+            }
+        }
+        // Spot-check the running example's load-bearing edges.
+        let idx = |t: &Task| plan.position(t).unwrap();
+        let m = idx(&Task::Match("knows".into()));
+        assert!(analysis.task_deps[m].contains(&idx(&Task::Structure("knows".into()))));
+        assert!(analysis.task_deps[m]
+            .contains(&idx(&Task::NodeProperty("Person".into(), "country".into()))));
+        let name = idx(&Task::NodeProperty("Person".into(), "name".into()));
+        assert!(analysis.task_deps[name]
+            .contains(&idx(&Task::NodeProperty("Person".into(), "country".into()))));
+        // Root tasks (explicit counts) have no dependencies.
+        let count = idx(&Task::NodeCount("Person".into()));
+        assert!(analysis.task_deps[count].is_empty());
     }
 }

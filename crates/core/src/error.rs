@@ -20,6 +20,9 @@ pub enum PipelineError {
     /// A [`GraphSink`](crate::GraphSink) rejected or failed to persist an
     /// emitted artifact.
     Sink(crate::SinkError),
+    /// A worker thread panicked; the payload is reported instead of
+    /// crashing the process.
+    WorkerPanic(String),
     /// Everything else (with context).
     Invalid(String),
 }
@@ -34,6 +37,7 @@ impl fmt::Display for PipelineError {
             PipelineError::Table(e) => write!(f, "table error: {e}"),
             PipelineError::Sizing(msg) => write!(f, "sizing error: {msg}"),
             PipelineError::Sink(e) => write!(f, "sink error: {e}"),
+            PipelineError::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
             PipelineError::Invalid(msg) => write!(f, "{msg}"),
         }
     }

@@ -69,7 +69,7 @@ mod sink;
 pub use convert::{build_jpd, gen_args_of, structure_params_of};
 pub use dependency::{analyze, emission_schedule, Analysis, Artifact, ExecutionPlan, Task};
 pub use error::PipelineError;
-pub use parallel::parallel_chunks;
+pub use parallel::{default_threads, parallel_chunks};
 pub use runner::{DataSynth, Session, TaskPhase, TaskProgress};
 pub use sink::{
     CsvSink, EdgeTableInfo, GraphSink, InMemorySink, JsonlSink, MultiSink, NodeTableInfo,
@@ -82,6 +82,7 @@ pub mod prelude {
         CsvSink, DataSynth, ExecutionPlan, GraphSink, InMemorySink, JsonlSink, MultiSink,
         PipelineError, Session, SinkError, SinkManifest, Task, TaskPhase, TaskProgress,
     };
+    pub use datasynth_prng::{CounterStream, SplitMix64};
     pub use datasynth_props::{
         BoxedPropertyGenerator, GenArg, PropertyGenerator, PropertyRegistry, RegistryError,
     };

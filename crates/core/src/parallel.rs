@@ -5,13 +5,35 @@
 //! paper's shared-nothing claim, realized with threads. Results are
 //! **independent of the chunk count**, which the tests pin down.
 
+use std::any::Any;
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use crate::error::PipelineError;
 
-/// Run `f` over `threads` contiguous chunks of `0..n` and concatenate the
-/// results in id order. Chunk boundaries never influence the output values
-/// (only their computation placement).
+/// Minimum ids per chunk before another worker is worth its spawn cost
+/// (~10µs per scoped thread vs ~µs-scale work per id). Small tables run on
+/// one thread; the clamp never changes output values, only placement.
+const MIN_CHUNK: u64 = 1024;
+
+/// Render a panic payload as the message carried by
+/// [`PipelineError::WorkerPanic`].
+pub(crate) fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Run `f` over up to `threads` contiguous chunks of `0..n` and concatenate
+/// the results in id order. Chunk boundaries never influence the output
+/// values (only their computation placement), and chunks are floored at
+/// `MIN_CHUNK` (1024) ids so small tables don't pay thread-spawn overhead.
+/// A panicking worker is caught and reported as
+/// [`PipelineError::WorkerPanic`] instead of taking the process down.
 pub fn parallel_chunks<T, F>(n: u64, threads: usize, f: F) -> Result<Vec<T>, PipelineError>
 where
     T: Send,
@@ -20,9 +42,12 @@ where
     if n == 0 {
         return Ok(Vec::new());
     }
-    let threads = threads.clamp(1, n as usize);
+    let threads = threads
+        .clamp(1, n as usize)
+        .min(n.div_ceil(MIN_CHUNK) as usize);
     if threads == 1 {
-        return f(0..n);
+        return catch_unwind(AssertUnwindSafe(|| f(0..n)))
+            .unwrap_or_else(|p| Err(PipelineError::WorkerPanic(panic_message(p))));
     }
     let chunk = n.div_ceil(threads as u64);
     let ranges: Vec<Range<u64>> = (0..threads as u64)
@@ -35,12 +60,17 @@ where
             .into_iter()
             .map(|range| {
                 let f = &f;
-                scope.spawn(move || f(range))
+                scope.spawn(move || catch_unwind(AssertUnwindSafe(|| f(range))))
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
+            .map(|h| match h.join() {
+                Ok(Ok(part)) => part,
+                Ok(Err(payload)) => Err(PipelineError::WorkerPanic(panic_message(payload))),
+                // Unreachable with the catch above, but never crash over it.
+                Err(payload) => Err(PipelineError::WorkerPanic(panic_message(payload))),
+            })
             .collect::<Result<Vec<Vec<T>>, PipelineError>>()
     })?;
 
@@ -51,13 +81,13 @@ where
     Ok(out)
 }
 
-/// Default worker count: available parallelism, capped to keep thread
-/// startup overhead negligible for typical table sizes.
+/// Default worker count: all available parallelism. The per-call size floor
+/// in [`parallel_chunks`] (and the task scheduler's ready-set width) keeps
+/// small workloads from paying spawn overhead, so no global cap is needed.
 pub fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1)
-        .min(8)
 }
 
 #[cfg(test)]
@@ -70,8 +100,8 @@ mod tests {
 
     #[test]
     fn output_is_ordered_and_complete() {
-        let out = parallel_chunks(1000, 4, square_range).unwrap();
-        assert_eq!(out.len(), 1000);
+        let out = parallel_chunks(10_000, 4, square_range).unwrap();
+        assert_eq!(out.len(), 10_000);
         for (i, &v) in out.iter().enumerate() {
             assert_eq!(v, (i * i) as u64);
         }
@@ -79,9 +109,9 @@ mod tests {
 
     #[test]
     fn chunk_count_does_not_change_output() {
-        let a = parallel_chunks(997, 1, square_range).unwrap();
-        let b = parallel_chunks(997, 3, square_range).unwrap();
-        let c = parallel_chunks(997, 7, square_range).unwrap();
+        let a = parallel_chunks(9_973, 1, square_range).unwrap();
+        let b = parallel_chunks(9_973, 3, square_range).unwrap();
+        let c = parallel_chunks(9_973, 7, square_range).unwrap();
         assert_eq!(a, b);
         assert_eq!(b, c);
     }
@@ -101,5 +131,51 @@ mod tests {
             }
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn worker_panic_becomes_an_error_multi_threaded() {
+        let r = parallel_chunks(10_000, 4, |range| {
+            if range.contains(&9_000) {
+                panic!("worker exploded at {range:?}");
+            }
+            square_range(range)
+        });
+        match r {
+            Err(PipelineError::WorkerPanic(msg)) => {
+                assert!(msg.contains("worker exploded"), "{msg}");
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn worker_panic_becomes_an_error_single_threaded() {
+        let r = parallel_chunks(10, 1, |_range| -> Result<Vec<u64>, PipelineError> {
+            panic!("sequential path panicked");
+        });
+        match r {
+            Err(PipelineError::WorkerPanic(msg)) => {
+                assert!(msg.contains("sequential path"), "{msg}");
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn small_inputs_stay_on_one_thread_logically() {
+        // Under MIN_CHUNK ids the clamp collapses to the sequential path;
+        // output is identical either way (that is the invariant).
+        let a = parallel_chunks(100, 8, square_range).unwrap();
+        let b = parallel_chunks(100, 1, square_range).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn default_threads_is_available_parallelism() {
+        let avail = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        assert_eq!(default_threads(), avail, "no more hard cap at 8");
     }
 }

@@ -1,20 +1,32 @@
-//! The DataSynth runner: executes an [`ExecutionPlan`] task by task,
-//! streaming finished artifacts to a [`GraphSink`].
+//! The DataSynth runner: executes an [`ExecutionPlan`], streaming finished
+//! artifacts to a [`GraphSink`].
+//!
+//! Execution is **task-parallel**: every task is split into a *gather*
+//! phase (the coordinator collects the task's inputs as cheap [`Arc`]
+//! clones), a pure *execute* phase (runs on any worker; every random draw
+//! derives from `(seed, label)`, never from execution order), and a
+//! *commit* phase (the coordinator stores the output). Tasks whose
+//! dependencies have all committed run concurrently on a scoped worker
+//! pool, while a reorder buffer delivers completed batches to the sink
+//! strictly in plan order — so sinks observe exactly the sequence a
+//! sequential run produces, byte for byte, at any thread count.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use datasynth_matching::{assignment_to_mapping_with_ids, sbm_part, MatchInput};
-use datasynth_prng::{seed_from_label, SplitMix64, TableStream};
+use datasynth_prng::{seed_from_label, CounterStream, SplitMix64, TableStream};
 use datasynth_props::{
     BoxedPropertyGenerator, GenArg, PropertyGenerator, PropertyRegistry, RegistryError,
 };
 use datasynth_schema::{
     parse_schema, validate_schema, Cardinality, DepRef, EdgeType, PropertyDef, Schema,
 };
-use datasynth_structure::{
-    BoxedStructureGenerator, BuildError, Params, StructureGenerator, StructureRegistry,
-};
+use datasynth_structure::{BoxedStructureGenerator, BuildError, Params, StructureRegistry};
 use datasynth_tables::{Csr, EdgeTable, PropertyGraph, PropertyTable, Value};
 
 use crate::convert::{build_jpd, gen_args_of, structure_params_of};
@@ -22,7 +34,7 @@ use crate::dependency::{
     analyze, emission_schedule, Analysis, Artifact, CountSource, ExecutionPlan, Task,
 };
 use crate::error::PipelineError;
-use crate::parallel::{default_threads, parallel_chunks};
+use crate::parallel::{default_threads, panic_message, parallel_chunks};
 use crate::sink::{GraphSink, InMemorySink, SinkManifest};
 
 /// The generator builder: a schema, a seed, and the two generator
@@ -116,7 +128,9 @@ impl DataSynth {
         self
     }
 
-    /// Set the worker thread count (does not affect output values).
+    /// Set the worker thread count. This scales both the task scheduler
+    /// and the per-table chunking, and **never** affects output values:
+    /// every draw is a pure function of `(seed, label, id)`.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
@@ -169,7 +183,8 @@ impl DataSynth {
 /// Which end of a task a [`TaskProgress`] event reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TaskPhase {
-    /// The task is about to run.
+    /// The task is about to run (single-threaded sessions) or about to be
+    /// delivered in plan order (parallel sessions).
     Started,
     /// The task finished, taking `elapsed`.
     Finished {
@@ -192,6 +207,8 @@ pub struct TaskProgress<'p> {
     pub phase: TaskPhase,
 }
 
+type Observer<'a> = Box<dyn FnMut(TaskProgress<'_>) + 'a>;
+
 /// One prepared generation run: the analyzed plan, the artifact emission
 /// schedule, and an optional progress observer. Obtain via
 /// [`DataSynth::session`], consume with [`run_into`](Session::run_into).
@@ -203,8 +220,7 @@ pub struct Session<'a> {
     properties: &'a PropertyRegistry,
     analysis: Analysis,
     schedule: Vec<Vec<Artifact>>,
-    #[allow(clippy::type_complexity)]
-    observer: Option<Box<dyn FnMut(TaskProgress<'_>) + 'a>>,
+    observer: Option<Observer<'a>>,
 }
 
 impl<'a> Session<'a> {
@@ -215,7 +231,10 @@ impl<'a> Session<'a> {
 
     /// Register a progress observer, called twice per task (started /
     /// finished). Observation is side-band: it cannot alter the run and
-    /// does not affect determinism of the output.
+    /// does not affect determinism of the output. With more than one
+    /// thread, tasks execute out of plan order; events are then delivered
+    /// in plan order as each task's results are handed to the sink, with
+    /// `elapsed` still the task's own wall-clock time.
     pub fn on_task(mut self, observer: impl FnMut(TaskProgress<'_>) + 'a) -> Self {
         self.observer = Some(Box::new(observer));
         self
@@ -224,385 +243,805 @@ impl<'a> Session<'a> {
     /// Execute the plan, streaming each finished artifact to `sink` as
     /// soon as no later task depends on it — tables leave the runner's
     /// working memory at their last use instead of accumulating until the
-    /// end of the run.
-    pub fn run_into(mut self, sink: &mut dyn GraphSink) -> Result<(), PipelineError> {
-        let manifest = SinkManifest::from_schema(self.schema, self.seed);
+    /// end of the run. With `threads > 1`, independent tasks run
+    /// concurrently; the sink still observes the exact plan-order event
+    /// sequence (a reorder buffer holds completed batches until every
+    /// earlier task has delivered).
+    pub fn run_into(self, sink: &mut dyn GraphSink) -> Result<(), PipelineError> {
+        let Session {
+            schema,
+            seed,
+            threads,
+            structures,
+            properties,
+            analysis,
+            schedule,
+            mut observer,
+        } = self;
+        let manifest = SinkManifest::from_schema(schema, seed);
         sink.begin(&manifest).map_err(PipelineError::Sink)?;
-        let total = self.analysis.plan.tasks.len();
-        let mut state = RunState {
-            schema: self.schema,
-            seed: self.seed,
-            threads: self.threads,
-            structures: self.structures,
-            properties: self.properties,
-            count_sources: &self.analysis.count_sources,
-            counts: BTreeMap::new(),
-            node_pts: BTreeMap::new(),
-            raw_structures: BTreeMap::new(),
-            final_edges: BTreeMap::new(),
-            edge_pts: BTreeMap::new(),
+        let ctx = Ctx {
+            schema,
+            seed,
+            threads,
+            structures,
+            properties,
+            count_sources: &analysis.count_sources,
         };
-        for (index, task) in self.analysis.plan.tasks.iter().enumerate() {
-            if let Some(observer) = self.observer.as_mut() {
-                observer(TaskProgress {
-                    index,
-                    total,
-                    task,
-                    phase: TaskPhase::Started,
-                });
-            }
-            let started = Instant::now();
-            state.run_task(task)?;
-            if let Task::NodeCount(t) = task {
-                sink.node_count(t, state.counts[t])
-                    .map_err(PipelineError::Sink)?;
-            }
-            for artifact in &self.schedule[index] {
-                state.emit(artifact, sink)?;
-            }
-            if let Some(observer) = self.observer.as_mut() {
-                observer(TaskProgress {
-                    index,
-                    total,
-                    task,
-                    phase: TaskPhase::Finished {
-                        elapsed: started.elapsed(),
-                    },
-                });
-            }
+        let workers = threads.min(analysis.plan.tasks.len()).max(1);
+        if workers <= 1 {
+            run_sequential(&ctx, &analysis, &schedule, &mut observer, sink)?;
+        } else {
+            run_parallel(&ctx, &analysis, &schedule, &mut observer, workers, sink)?;
         }
         sink.finish().map_err(PipelineError::Sink)?;
         Ok(())
     }
 }
 
-struct RunState<'a> {
+/// The immutable task-execution context, shared by every worker.
+#[derive(Clone, Copy)]
+struct Ctx<'a> {
     schema: &'a Schema,
     seed: u64,
+    /// Chunk-level parallelism *within* one task (property columns,
+    /// chunkable structures). Never changes output values.
     threads: usize,
     structures: &'a StructureRegistry,
     properties: &'a PropertyRegistry,
     count_sources: &'a BTreeMap<String, CountSource>,
-    counts: BTreeMap<String, u64>,
-    node_pts: BTreeMap<(String, String), PropertyTable>,
-    raw_structures: BTreeMap<String, EdgeTable>,
-    final_edges: BTreeMap<String, EdgeTable>,
-    edge_pts: BTreeMap<(String, String), PropertyTable>,
 }
 
-impl RunState<'_> {
-    fn run_task(&mut self, task: &Task) -> Result<(), PipelineError> {
-        match task {
-            Task::NodeCount(t) => self.resolve_count(t),
-            Task::NodeProperty(t, p) => self.gen_node_property(t, p),
-            Task::Structure(e) => self.gen_structure(e),
-            Task::Match(e) => self.match_edge(e),
-            Task::EdgeProperty(e, p) => self.gen_edge_property(e, p),
-        }
-    }
+/// Artifacts committed so far, owned by the coordinator. Tables are
+/// [`Arc`]-shared so in-flight tasks hold cheap clones of their inputs
+/// while the coordinator keeps committing and emitting.
+#[derive(Default)]
+struct Tables {
+    counts: BTreeMap<String, u64>,
+    node_pts: BTreeMap<(String, String), Arc<PropertyTable>>,
+    raw_structures: BTreeMap<String, Arc<EdgeTable>>,
+    final_edges: BTreeMap<String, Arc<EdgeTable>>,
+    edge_pts: BTreeMap<(String, String), Arc<PropertyTable>>,
+}
 
-    /// Hand a finished artifact to the sink, removing it from working
-    /// memory. The emission schedule guarantees each artifact is past its
-    /// last pipeline use and is emitted exactly once.
-    fn emit(&mut self, artifact: &Artifact, sink: &mut dyn GraphSink) -> Result<(), PipelineError> {
-        match artifact {
-            Artifact::NodeProperty(t, p) => {
-                let table = self
-                    .node_pts
-                    .remove(&(t.clone(), p.clone()))
-                    .expect("scheduled after production");
-                sink.node_property(t, p, table).map_err(PipelineError::Sink)
-            }
-            Artifact::Edges(e) => {
-                let table = self
-                    .final_edges
-                    .remove(e)
-                    .expect("scheduled after production");
-                let def = self.schema.edge_type(e).expect("validated");
-                sink.edges(e, &def.source, &def.target, table)
-                    .map_err(PipelineError::Sink)
-            }
-            Artifact::EdgeProperty(e, p) => {
-                let table = self
-                    .edge_pts
-                    .remove(&(e.clone(), p.clone()))
-                    .expect("scheduled after production");
-                sink.edge_property(e, p, table).map_err(PipelineError::Sink)
-            }
-        }
-    }
+/// Which table an edge-property dependency reads through.
+enum DepSlot {
+    Own,
+    Source,
+    Target,
+}
 
-    fn edge_def(&self, name: &str) -> &EdgeType {
-        self.schema.edge_type(name).expect("validated")
-    }
+/// Everything one task reads, gathered by the coordinator at dispatch so
+/// the execute phase borrows nothing mutable.
+enum TaskInput {
+    CountExplicit(u64),
+    CountFromEdgeCount {
+        edge: Box<EdgeType>,
+    },
+    CountFromStructure {
+        raw: Arc<EdgeTable>,
+        source_count: u64,
+        cardinality: Cardinality,
+    },
+    NodeProperty {
+        n: u64,
+        deps: Vec<Arc<PropertyTable>>,
+    },
+    Structure {
+        n: u64,
+    },
+    Match {
+        raw: Arc<EdgeTable>,
+        n_src: u64,
+        n_dst: u64,
+        corr_pt: Option<Arc<PropertyTable>>,
+    },
+    EdgeProperty {
+        edges: Arc<EdgeTable>,
+        deps: Vec<(DepSlot, Arc<PropertyTable>)>,
+    },
+}
 
-    fn build_structure_generator(
-        &self,
-        edge: &EdgeType,
-    ) -> Result<Box<dyn StructureGenerator + Send + Sync>, PipelineError> {
-        let (name, params) = match &edge.structure {
-            Some(spec) => (spec.name.clone(), structure_params_of(spec)?),
-            // Cardinality-driven defaults when no structure is declared.
-            None => match edge.cardinality {
-                Cardinality::OneToOne => ("one_to_one".to_owned(), Params::new()),
-                Cardinality::OneToMany => ("one_to_many".to_owned(), Params::new()),
-                Cardinality::ManyToMany => ("erdos_renyi".to_owned(), {
-                    Params::new().with_num("p", 0.01)
-                }),
+/// What one task produces; applied to [`Tables`] by the coordinator.
+enum TaskOutput {
+    Count(u64),
+    NodeProperty(PropertyTable),
+    Structure(EdgeTable),
+    Edges(EdgeTable),
+    EdgeProperty(PropertyTable),
+}
+
+fn edge_def<'s>(schema: &'s Schema, name: &str) -> &'s EdgeType {
+    schema.edge_type(name).expect("validated")
+}
+
+/// Collect the inputs of `task` from the committed tables. Only called
+/// once every dependency of the task has committed, so every lookup is
+/// guaranteed to hit.
+fn gather(ctx: &Ctx<'_>, tables: &Tables, task: &Task) -> TaskInput {
+    match task {
+        Task::NodeCount(t) => match &ctx.count_sources[t] {
+            CountSource::Explicit(c) => TaskInput::CountExplicit(*c),
+            CountSource::FromEdgeCount(e) => TaskInput::CountFromEdgeCount {
+                edge: Box::new(edge_def(ctx.schema, e).clone()),
             },
-        };
-        Ok(self.structures.build(&name, &params)?)
-    }
-
-    fn resolve_count(&mut self, node_type: &str) -> Result<(), PipelineError> {
-        let count = match &self.count_sources[node_type] {
-            CountSource::Explicit(c) => *c,
-            CountSource::FromEdgeCount(e) => {
-                let edge = self.edge_def(e);
-                let m = edge.count.expect("analysis guarantees a count");
-                self.build_structure_generator(edge)?.num_nodes_for_edges(m)
-            }
             CountSource::FromStructure(e) => {
-                let edge = self.edge_def(e).clone();
-                let et = self.raw_structures.get(e).expect("ordered by plan");
-                match edge.cardinality {
-                    Cardinality::OneToOne => self.counts[&edge.source],
-                    _ => et.heads().iter().max().map_or(0, |&h| h + 1),
+                let edge = edge_def(ctx.schema, e);
+                TaskInput::CountFromStructure {
+                    raw: tables.raw_structures[e].clone(),
+                    source_count: tables.counts[&edge.source],
+                    cardinality: edge.cardinality,
                 }
             }
-        };
-        self.counts.insert(node_type.to_owned(), count);
-        Ok(())
+        },
+        Task::NodeProperty(t, p) => {
+            let node = ctx.schema.node_type(t).expect("validated");
+            let prop = node.property(p).expect("validated");
+            let deps = prop
+                .dependencies
+                .iter()
+                .map(|d| match d {
+                    DepRef::Own(q) => tables.node_pts[&(t.clone(), q.clone())].clone(),
+                    _ => unreachable!("validated: node props only have own deps"),
+                })
+                .collect();
+            TaskInput::NodeProperty {
+                n: tables.counts[t],
+                deps,
+            }
+        }
+        Task::Structure(e) => {
+            let edge = edge_def(ctx.schema, e);
+            TaskInput::Structure {
+                n: tables.counts[&edge.source],
+            }
+        }
+        Task::Match(e) => {
+            let edge = edge_def(ctx.schema, e);
+            let corr_pt = edge
+                .correlation
+                .as_ref()
+                .map(|corr| tables.node_pts[&(edge.source.clone(), corr.property.clone())].clone());
+            TaskInput::Match {
+                raw: tables.raw_structures[e].clone(),
+                n_src: tables.counts[&edge.source],
+                n_dst: tables.counts[&edge.target],
+                corr_pt,
+            }
+        }
+        Task::EdgeProperty(e, p) => {
+            let edge = edge_def(ctx.schema, e);
+            let prop = edge
+                .properties
+                .iter()
+                .find(|q| q.name == *p)
+                .expect("validated");
+            let deps = prop
+                .dependencies
+                .iter()
+                .map(|d| match d {
+                    DepRef::Own(q) => (
+                        DepSlot::Own,
+                        tables.edge_pts[&(e.clone(), q.clone())].clone(),
+                    ),
+                    DepRef::Source(q) => (
+                        DepSlot::Source,
+                        tables.node_pts[&(edge.source.clone(), q.clone())].clone(),
+                    ),
+                    DepRef::Target(q) => (
+                        DepSlot::Target,
+                        tables.node_pts[&(edge.target.clone(), q.clone())].clone(),
+                    ),
+                })
+                .collect();
+            TaskInput::EdgeProperty {
+                edges: tables.final_edges[e].clone(),
+                deps,
+            }
+        }
+    }
+}
+
+/// Run one task as a pure function of its gathered inputs. Every random
+/// stream is derived from `(seed, label)`, so the result is independent of
+/// which worker runs it, and when.
+fn execute(ctx: &Ctx<'_>, task: &Task, input: TaskInput) -> Result<TaskOutput, PipelineError> {
+    match (task, input) {
+        (Task::NodeCount(_), TaskInput::CountExplicit(c)) => Ok(TaskOutput::Count(c)),
+        (Task::NodeCount(_), TaskInput::CountFromEdgeCount { edge }) => {
+            let m = edge.count.expect("analysis guarantees a count");
+            let sg = build_structure_generator(ctx, &edge)?;
+            Ok(TaskOutput::Count(sg.num_nodes_for_edges(m)))
+        }
+        (
+            Task::NodeCount(_),
+            TaskInput::CountFromStructure {
+                raw,
+                source_count,
+                cardinality,
+            },
+        ) => Ok(TaskOutput::Count(match cardinality {
+            Cardinality::OneToOne => source_count,
+            _ => raw.heads().iter().max().map_or(0, |&h| h + 1),
+        })),
+        (Task::NodeProperty(t, p), TaskInput::NodeProperty { n, deps }) => {
+            exec_node_property(ctx, t, p, n, &deps)
+        }
+        (Task::Structure(e), TaskInput::Structure { n }) => exec_structure(ctx, e, n),
+        (
+            Task::Match(e),
+            TaskInput::Match {
+                raw,
+                n_src,
+                n_dst,
+                corr_pt,
+            },
+        ) => exec_match(ctx, e, &raw, n_src, n_dst, corr_pt.as_deref()),
+        (Task::EdgeProperty(e, p), TaskInput::EdgeProperty { edges, deps }) => {
+            exec_edge_property(ctx, e, p, &edges, &deps)
+        }
+        _ => unreachable!("gather pairs every input with its own task"),
+    }
+}
+
+/// Store a task's output; for `Match`, also drop the raw structure (the
+/// match is its last reader — any count derived from it committed earlier,
+/// upstream in the dependency order).
+fn commit(tables: &mut Tables, task: &Task, out: TaskOutput) {
+    match (task, out) {
+        (Task::NodeCount(t), TaskOutput::Count(c)) => {
+            tables.counts.insert(t.clone(), c);
+        }
+        (Task::NodeProperty(t, p), TaskOutput::NodeProperty(pt)) => {
+            tables.node_pts.insert((t.clone(), p.clone()), Arc::new(pt));
+        }
+        (Task::Structure(e), TaskOutput::Structure(et)) => {
+            tables.raw_structures.insert(e.clone(), Arc::new(et));
+        }
+        (Task::Match(e), TaskOutput::Edges(et)) => {
+            tables.raw_structures.remove(e);
+            tables.final_edges.insert(e.clone(), Arc::new(et));
+        }
+        (Task::EdgeProperty(e, p), TaskOutput::EdgeProperty(pt)) => {
+            tables.edge_pts.insert((e.clone(), p.clone()), Arc::new(pt));
+        }
+        _ => unreachable!("execute returns the task's own output kind"),
+    }
+}
+
+/// Reclaim a table from its `Arc` for by-value sink delivery. By the time
+/// an artifact is emitted every reader has completed, so the unwrap
+/// normally succeeds; a straggler clone only costs a copy, never breaks
+/// correctness.
+fn reclaim<T: Clone>(arc: Arc<T>) -> T {
+    Arc::try_unwrap(arc).unwrap_or_else(|shared| (*shared).clone())
+}
+
+/// Hand a finished artifact to the sink, removing it from working memory.
+/// The emission schedule guarantees each artifact is past its last
+/// pipeline use and is emitted exactly once.
+fn emit_artifact(
+    tables: &mut Tables,
+    schema: &Schema,
+    artifact: &Artifact,
+    sink: &mut dyn GraphSink,
+) -> Result<(), PipelineError> {
+    match artifact {
+        Artifact::NodeProperty(t, p) => {
+            let table = tables
+                .node_pts
+                .remove(&(t.clone(), p.clone()))
+                .expect("scheduled after production");
+            sink.node_property(t, p, reclaim(table))
+                .map_err(PipelineError::Sink)
+        }
+        Artifact::Edges(e) => {
+            let table = tables
+                .final_edges
+                .remove(e)
+                .expect("scheduled after production");
+            let def = edge_def(schema, e);
+            sink.edges(e, &def.source, &def.target, reclaim(table))
+                .map_err(PipelineError::Sink)
+        }
+        Artifact::EdgeProperty(e, p) => {
+            let table = tables
+                .edge_pts
+                .remove(&(e.clone(), p.clone()))
+                .expect("scheduled after production");
+            sink.edge_property(e, p, reclaim(table))
+                .map_err(PipelineError::Sink)
+        }
+    }
+}
+
+/// The sink-facing tail of one plan slot: the `node_count` event (when the
+/// task is a count) followed by every artifact whose last use was this
+/// slot. Identical for the sequential and parallel paths — this is what
+/// the reorder buffer serializes.
+fn emit_slot(
+    tables: &mut Tables,
+    schema: &Schema,
+    schedule: &[Vec<Artifact>],
+    task: &Task,
+    index: usize,
+    sink: &mut dyn GraphSink,
+) -> Result<(), PipelineError> {
+    if let Task::NodeCount(t) = task {
+        sink.node_count(t, tables.counts[t])
+            .map_err(PipelineError::Sink)?;
+    }
+    for artifact in &schedule[index] {
+        emit_artifact(tables, schema, artifact, sink)?;
+    }
+    Ok(())
+}
+
+/// Single-threaded execution: tasks run in plan order on the calling
+/// thread, with real-time observer events. Shares gather/execute/commit
+/// with the parallel path, so both produce identical bytes.
+fn run_sequential(
+    ctx: &Ctx<'_>,
+    analysis: &Analysis,
+    schedule: &[Vec<Artifact>],
+    observer: &mut Option<Observer<'_>>,
+    sink: &mut dyn GraphSink,
+) -> Result<(), PipelineError> {
+    let plan = &analysis.plan;
+    let total = plan.tasks.len();
+    let mut tables = Tables::default();
+    for (index, task) in plan.tasks.iter().enumerate() {
+        if let Some(obs) = observer.as_mut() {
+            obs(TaskProgress {
+                index,
+                total,
+                task,
+                phase: TaskPhase::Started,
+            });
+        }
+        let started = Instant::now();
+        let input = gather(ctx, &tables, task);
+        let out = catch_unwind(AssertUnwindSafe(|| execute(ctx, task, input)))
+            .unwrap_or_else(|p| Err(PipelineError::WorkerPanic(panic_message(p))))?;
+        commit(&mut tables, task, out);
+        emit_slot(&mut tables, ctx.schema, schedule, task, index, sink)?;
+        if let Some(obs) = observer.as_mut() {
+            obs(TaskProgress {
+                index,
+                total,
+                task,
+                phase: TaskPhase::Finished {
+                    elapsed: started.elapsed(),
+                },
+            });
+        }
+    }
+    Ok(())
+}
+
+/// A dispatched task: its plan index plus its gathered inputs.
+struct Job {
+    index: usize,
+    input: TaskInput,
+}
+
+/// A completed task, reported back to the coordinator.
+struct Done {
+    index: usize,
+    result: Result<TaskOutput, PipelineError>,
+    elapsed: Duration,
+}
+
+/// The ready queue feeding the worker pool.
+struct JobQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+impl JobQueue {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
     }
 
-    fn build_prop_generator(
-        &self,
-        prop: &PropertyDef,
-    ) -> Result<Box<dyn PropertyGenerator>, PipelineError> {
-        let generator = self.properties.build(
-            &prop.generator.name,
-            &gen_args_of(&prop.generator)?,
-            prop.dependencies.len(),
-        )?;
-        if generator.value_type() != prop.value_type {
+    fn push(&self, job: Job) {
+        let mut state = self.state.lock().expect("queue poisoned");
+        state.jobs.push_back(job);
+        self.ready.notify_one();
+    }
+
+    /// Block until a job is available; `None` once the queue is closed.
+    fn pop(&self) -> Option<Job> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if state.closed {
+                return None;
+            }
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            state = self.ready.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Stop the pool: discard pending jobs and wake every worker to exit.
+    fn close(&self) {
+        let mut state = self.state.lock().expect("queue poisoned");
+        state.closed = true;
+        state.jobs.clear();
+        self.ready.notify_all();
+    }
+}
+
+/// Task-parallel execution: a scoped worker pool runs every ready task;
+/// the coordinator commits results, dispatches newly unblocked tasks, and
+/// drains a reorder buffer so the sink sees plan-order delivery.
+fn run_parallel(
+    ctx: &Ctx<'_>,
+    analysis: &Analysis,
+    schedule: &[Vec<Artifact>],
+    observer: &mut Option<Observer<'_>>,
+    workers: usize,
+    sink: &mut dyn GraphSink,
+) -> Result<(), PipelineError> {
+    let plan = &analysis.plan;
+    let total = plan.tasks.len();
+    let mut indegree: Vec<usize> = analysis.task_deps.iter().map(Vec::len).collect();
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); total];
+    for (i, ds) in analysis.task_deps.iter().enumerate() {
+        for &d in ds {
+            dependents[d].push(i);
+        }
+    }
+
+    let mut tables = Tables::default();
+    let queue = JobQueue::new();
+    let (done_tx, done_rx) = mpsc::channel::<Done>();
+    // Tasks running right now, across all workers: each task divides the
+    // thread budget for its *inner* chunking by this, so one giant task
+    // alone still fans out to every core while a full ready set runs one
+    // thread per task — never `threads x threads` oversubscription. The
+    // split only moves computation placement; it cannot change bytes.
+    let active = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let queue = &queue;
+            let done_tx = done_tx.clone();
+            let active = &active;
+            let outer_ctx = *ctx;
+            let tasks = &plan.tasks;
+            scope.spawn(move || {
+                while let Some(job) = queue.pop() {
+                    let started = Instant::now();
+                    let task = &tasks[job.index];
+                    let running = active.fetch_add(1, Ordering::SeqCst) + 1;
+                    let mut ctx = outer_ctx;
+                    ctx.threads = (ctx.threads / running).max(1);
+                    let result = catch_unwind(AssertUnwindSafe(|| execute(&ctx, task, job.input)))
+                        .unwrap_or_else(|p| Err(PipelineError::WorkerPanic(panic_message(p))));
+                    active.fetch_sub(1, Ordering::SeqCst);
+                    let report = Done {
+                        index: job.index,
+                        result,
+                        elapsed: started.elapsed(),
+                    };
+                    if done_tx.send(report).is_err() {
+                        break; // coordinator gone: shut down
+                    }
+                }
+            });
+        }
+        drop(done_tx);
+
+        // Seed the pool with every dependency-free task, in plan order.
+        for (index, degree) in indegree.iter().enumerate() {
+            if *degree == 0 {
+                queue.push(Job {
+                    index,
+                    input: gather(ctx, &tables, &plan.tasks[index]),
+                });
+            }
+        }
+
+        let mut completed = vec![false; total];
+        let mut elapsed = vec![Duration::ZERO; total];
+        let mut drained = 0usize;
+        let mut received = 0usize;
+        let coordinate = (|| -> Result<(), PipelineError> {
+            while received < total {
+                let done = done_rx.recv().map_err(|_| {
+                    PipelineError::Invalid("workers exited before the plan completed".into())
+                })?;
+                received += 1;
+                let out = done.result?;
+                commit(&mut tables, &plan.tasks[done.index], out);
+                completed[done.index] = true;
+                elapsed[done.index] = done.elapsed;
+                for &dep in &dependents[done.index] {
+                    indegree[dep] -= 1;
+                    if indegree[dep] == 0 {
+                        queue.push(Job {
+                            index: dep,
+                            input: gather(ctx, &tables, &plan.tasks[dep]),
+                        });
+                    }
+                }
+                // Reorder buffer: deliver strictly in plan order, each slot
+                // only after every earlier task has completed and drained.
+                while drained < total && completed[drained] {
+                    let task = &plan.tasks[drained];
+                    if let Some(obs) = observer.as_mut() {
+                        obs(TaskProgress {
+                            index: drained,
+                            total,
+                            task,
+                            phase: TaskPhase::Started,
+                        });
+                    }
+                    emit_slot(&mut tables, ctx.schema, schedule, task, drained, sink)?;
+                    if let Some(obs) = observer.as_mut() {
+                        obs(TaskProgress {
+                            index: drained,
+                            total,
+                            task,
+                            phase: TaskPhase::Finished {
+                                elapsed: elapsed[drained],
+                            },
+                        });
+                    }
+                    drained += 1;
+                }
+            }
+            Ok(())
+        })();
+        queue.close();
+        coordinate
+    })
+}
+
+fn build_structure_generator(
+    ctx: &Ctx<'_>,
+    edge: &EdgeType,
+) -> Result<BoxedStructureGenerator, PipelineError> {
+    let (name, params) = match &edge.structure {
+        Some(spec) => (spec.name.clone(), structure_params_of(spec)?),
+        // Cardinality-driven defaults when no structure is declared.
+        None => match edge.cardinality {
+            Cardinality::OneToOne => ("one_to_one".to_owned(), Params::new()),
+            Cardinality::OneToMany => ("one_to_many".to_owned(), Params::new()),
+            Cardinality::ManyToMany => ("erdos_renyi".to_owned(), {
+                Params::new().with_num("p", 0.01)
+            }),
+        },
+    };
+    Ok(ctx.structures.build(&name, &params)?)
+}
+
+fn build_prop_generator(
+    ctx: &Ctx<'_>,
+    prop: &PropertyDef,
+) -> Result<Box<dyn PropertyGenerator>, PipelineError> {
+    let generator = ctx.properties.build(
+        &prop.generator.name,
+        &gen_args_of(&prop.generator)?,
+        prop.dependencies.len(),
+    )?;
+    if generator.value_type() != prop.value_type {
+        return Err(PipelineError::Invalid(format!(
+            "property {:?} is declared {} but generator {:?} produces {}",
+            prop.name,
+            prop.value_type,
+            prop.generator.name,
+            generator.value_type()
+        )));
+    }
+    Ok(generator)
+}
+
+fn exec_node_property(
+    ctx: &Ctx<'_>,
+    node_type: &str,
+    prop_name: &str,
+    n: u64,
+    deps: &[Arc<PropertyTable>],
+) -> Result<TaskOutput, PipelineError> {
+    let node = ctx.schema.node_type(node_type).expect("validated");
+    let prop = node.property(prop_name).expect("validated");
+    let generator = build_prop_generator(ctx, prop)?;
+    let stream = TableStream::derive(ctx.seed, &format!("{node_type}.{prop_name}"));
+    let dep_tables: Vec<&PropertyTable> = deps.iter().map(Arc::as_ref).collect();
+
+    let values = parallel_chunks(n, ctx.threads, |range| {
+        let mut out = Vec::with_capacity((range.end - range.start) as usize);
+        let mut deps: Vec<Value> = Vec::with_capacity(dep_tables.len());
+        for id in range {
+            deps.clear();
+            for table in &dep_tables {
+                deps.push(table.value(id)?);
+            }
+            let mut rng = stream.substream(id);
+            out.push(generator.generate(id, &mut rng, &deps)?);
+        }
+        Ok(out)
+    })?;
+
+    let table =
+        PropertyTable::from_values(format!("{node_type}.{prop_name}"), prop.value_type, values)?;
+    Ok(TaskOutput::NodeProperty(table))
+}
+
+/// Generate an edge type's raw structure. Chunkable generators are driven
+/// through counter-based `run_range` slots split across workers — the
+/// chunk grouping never changes the bytes (`run_chunked` is the sequential
+/// reference semantics); inherently sequential generators keep the
+/// single-stream `run` path.
+fn exec_structure(ctx: &Ctx<'_>, edge_name: &str, n: u64) -> Result<TaskOutput, PipelineError> {
+    let edge = edge_def(ctx.schema, edge_name);
+    let sg = build_structure_generator(ctx, edge)?;
+    let mut rng = SplitMix64::new(seed_from_label(ctx.seed, &format!("structure.{edge_name}")));
+    let et = if sg.chunkable() {
+        // Identical key derivation to StructureGenerator::run for
+        // chunkable generators: the first draw off the task rng.
+        let stream = CounterStream::new(rng.next_u64());
+        let slots = sg.num_slots(n);
+        let parts = parallel_chunks(slots, ctx.threads, |range| {
+            Ok(vec![sg.run_range(n, range, &stream)])
+        })?;
+        let mut merged = EdgeTable::new(sg.name());
+        for part in &parts {
+            merged.extend_from(part);
+        }
+        sg.finalize(merged)
+    } else {
+        sg.run(n, &mut rng)
+    };
+    Ok(TaskOutput::Structure(et))
+}
+
+/// The matching step: assign structure node ids to property-table ids
+/// (per §4.2) and relabel the raw edge table into final node-id space.
+fn exec_match(
+    ctx: &Ctx<'_>,
+    edge_name: &str,
+    raw: &EdgeTable,
+    n_src: u64,
+    n_dst: u64,
+    corr_pt: Option<&PropertyTable>,
+) -> Result<TaskOutput, PipelineError> {
+    let edge = edge_def(ctx.schema, edge_name);
+    let same_type = edge.source == edge.target;
+    let one_sided = matches!(
+        edge.cardinality,
+        Cardinality::OneToMany | Cardinality::OneToOne
+    );
+
+    let tail_map: Vec<u64> = if let Some(corr) = &edge.correlation {
+        // SBM-Part against the correlated property (same-type edges;
+        // the DSL validator enforces that).
+        let pt = corr_pt.expect("gathered with the correlation");
+        if pt.len() != n_src {
             return Err(PipelineError::Invalid(format!(
-                "property {:?} is declared {} but generator {:?} produces {}",
-                prop.name,
-                prop.value_type,
-                prop.generator.name,
-                generator.value_type()
+                "property table {} has {} rows but {} has {} instances",
+                pt.name(),
+                pt.len(),
+                edge.source,
+                n_src
             )));
         }
-        Ok(generator)
-    }
-
-    fn gen_node_property(&mut self, node_type: &str, prop_name: &str) -> Result<(), PipelineError> {
-        let node = self.schema.node_type(node_type).expect("validated");
-        let prop = node.property(prop_name).expect("validated");
-        let generator = self.build_prop_generator(prop)?;
-        let n = self.counts[node_type];
-        let stream = TableStream::derive(self.seed, &format!("{node_type}.{prop_name}"));
-        let dep_tables: Vec<&PropertyTable> = prop
-            .dependencies
-            .iter()
-            .map(|d| match d {
-                DepRef::Own(q) => &self.node_pts[&(node_type.to_owned(), q.clone())],
-                _ => unreachable!("validated: node props only have own deps"),
-            })
-            .collect();
-
-        let values = parallel_chunks(n, self.threads, |range| {
-            let mut out = Vec::with_capacity((range.end - range.start) as usize);
-            let mut deps: Vec<Value> = Vec::with_capacity(dep_tables.len());
-            for id in range {
-                deps.clear();
-                for table in &dep_tables {
-                    deps.push(table.value(id)?);
-                }
-                let mut rng = stream.substream(id);
-                out.push(generator.generate(id, &mut rng, &deps)?);
-            }
-            Ok(out)
-        })?;
-
-        let table = PropertyTable::from_values(
-            format!("{node_type}.{prop_name}"),
-            prop.value_type,
-            values,
-        )?;
-        self.node_pts
-            .insert((node_type.to_owned(), prop_name.to_owned()), table);
-        Ok(())
-    }
-
-    fn gen_structure(&mut self, edge_name: &str) -> Result<(), PipelineError> {
-        let edge = self.edge_def(edge_name);
-        let sg = self.build_structure_generator(edge)?;
-        let n = self.counts[&edge.source];
-        let mut rng = SplitMix64::new(seed_from_label(
-            self.seed,
-            &format!("structure.{edge_name}"),
-        ));
-        let et = sg.run(n, &mut rng);
-        self.raw_structures.insert(edge_name.to_owned(), et);
-        Ok(())
-    }
-
-    /// The matching step: assign structure node ids to property-table ids
-    /// (per §4.2) and relabel the raw edge table into final node-id space.
-    fn match_edge(&mut self, edge_name: &str) -> Result<(), PipelineError> {
-        let edge = self.edge_def(edge_name).clone();
-        // The match is the raw structure's last reader (any count derived
-        // from it resolved earlier, by task ordering): take it out of
-        // working memory instead of cloning.
-        let raw = self.raw_structures.remove(edge_name).expect("ordered");
-        let n_src = self.counts[&edge.source];
-        let n_dst = self.counts[&edge.target];
-        let same_type = edge.source == edge.target;
-        let one_sided = matches!(
-            edge.cardinality,
-            Cardinality::OneToMany | Cardinality::OneToOne
-        );
-
-        let tail_map: Vec<u64> = if let Some(corr) = &edge.correlation {
-            // SBM-Part against the correlated property (same-type edges;
-            // the DSL validator enforces that).
-            let pt = &self.node_pts[&(edge.source.clone(), corr.property.clone())];
-            if pt.len() != n_src {
-                return Err(PipelineError::Invalid(format!(
-                    "property table {} has {} rows but {} has {} instances",
-                    pt.name(),
-                    pt.len(),
-                    edge.source,
-                    n_src
-                )));
-            }
-            let freqs = pt.value_frequencies();
-            let group_sizes: Vec<u64> = freqs.iter().map(|(_, c)| *c).collect();
-            let mut group_index: BTreeMap<String, usize> = BTreeMap::new();
-            for (g, (v, _)) in freqs.iter().enumerate() {
-                group_index.insert(v.render(), g);
-            }
-            let mut ids_by_group: Vec<Vec<u64>> = vec![Vec::new(); freqs.len()];
-            for id in 0..pt.len() {
-                let g = group_index[&pt.value(id)?.render()];
-                ids_by_group[g].push(id);
-            }
-            let jpd = build_jpd(&corr.jpd, &group_sizes)?;
-            let csr = Csr::undirected(&raw, n_src);
-            let mut order: Vec<u64> = (0..n_src).collect();
-            SplitMix64::new(seed_from_label(self.seed, &format!("match.{edge_name}")))
-                .shuffle(&mut order);
-            let input = MatchInput {
-                group_sizes: &group_sizes,
-                jpd: &jpd,
-                csr: &csr,
-                num_edges: raw.len(),
-            };
-            let result = sbm_part(&input, &order);
-            assignment_to_mapping_with_ids(&result.group_of, &ids_by_group)
-        } else {
-            // Uncorrelated: "the matching is done randomly".
-            random_permutation(
-                n_src,
-                seed_from_label(self.seed, &format!("match.{edge_name}.tails")),
-            )
-        };
-
-        let head_map: Option<Vec<u64>> = if one_sided {
-            None // heads *define* the target instances: identity
-        } else if same_type {
-            Some(tail_map.clone())
-        } else {
-            // Mixed-type many-to-many: inject raw head ids into the target
-            // id space.
-            let max_head = raw.heads().iter().max().copied().unwrap_or(0);
-            if max_head >= n_dst {
-                return Err(PipelineError::Sizing(format!(
-                    "edge {edge_name:?}: structure produced head id {max_head} but {} only has {n_dst} instances",
-                    edge.target
-                )));
-            }
-            Some(random_permutation(
-                n_dst,
-                seed_from_label(self.seed, &format!("match.{edge_name}.heads")),
-            ))
-        };
-
-        let mut final_et = EdgeTable::with_capacity(edge_name, raw.len() as usize);
-        for (t, h) in raw.iter() {
-            let nt = tail_map[t as usize];
-            let nh = match &head_map {
-                Some(map) => map[h as usize],
-                None => h,
-            };
-            final_et.push(nt, nh);
+        let freqs = pt.value_frequencies();
+        let group_sizes: Vec<u64> = freqs.iter().map(|(_, c)| *c).collect();
+        let mut group_index: BTreeMap<String, usize> = BTreeMap::new();
+        for (g, (v, _)) in freqs.iter().enumerate() {
+            group_index.insert(v.render(), g);
         }
-        self.final_edges.insert(edge_name.to_owned(), final_et);
-        Ok(())
-    }
-
-    fn gen_edge_property(&mut self, edge_name: &str, prop_name: &str) -> Result<(), PipelineError> {
-        let edge = self.edge_def(edge_name);
-        let prop = edge
-            .properties
-            .iter()
-            .find(|p| p.name == prop_name)
-            .expect("validated");
-        let generator = self.build_prop_generator(prop)?;
-        let et = &self.final_edges[edge_name];
-        let m = et.len();
-        let stream = TableStream::derive(self.seed, &format!("{edge_name}.{prop_name}"));
-
-        enum DepSource<'a> {
-            Own(&'a PropertyTable),
-            Source(&'a PropertyTable),
-            Target(&'a PropertyTable),
+        let mut ids_by_group: Vec<Vec<u64>> = vec![Vec::new(); freqs.len()];
+        for id in 0..pt.len() {
+            let g = group_index[&pt.value(id)?.render()];
+            ids_by_group[g].push(id);
         }
-        let dep_sources: Vec<DepSource<'_>> = prop
-            .dependencies
-            .iter()
-            .map(|d| match d {
-                DepRef::Own(q) => {
-                    DepSource::Own(&self.edge_pts[&(edge_name.to_owned(), q.clone())])
-                }
-                DepRef::Source(q) => {
-                    DepSource::Source(&self.node_pts[&(edge.source.clone(), q.clone())])
-                }
-                DepRef::Target(q) => {
-                    DepSource::Target(&self.node_pts[&(edge.target.clone(), q.clone())])
-                }
-            })
-            .collect();
+        let jpd = build_jpd(&corr.jpd, &group_sizes)?;
+        let csr = Csr::undirected(raw, n_src);
+        let mut order: Vec<u64> = (0..n_src).collect();
+        SplitMix64::new(seed_from_label(ctx.seed, &format!("match.{edge_name}")))
+            .shuffle(&mut order);
+        let input = MatchInput {
+            group_sizes: &group_sizes,
+            jpd: &jpd,
+            csr: &csr,
+            num_edges: raw.len(),
+        };
+        let result = sbm_part(&input, &order);
+        assignment_to_mapping_with_ids(&result.group_of, &ids_by_group)
+    } else {
+        // Uncorrelated: "the matching is done randomly".
+        random_permutation(
+            n_src,
+            seed_from_label(ctx.seed, &format!("match.{edge_name}.tails")),
+        )
+    };
 
-        let values = parallel_chunks(m, self.threads, |range| {
-            let mut out = Vec::with_capacity((range.end - range.start) as usize);
-            let mut deps: Vec<Value> = Vec::with_capacity(dep_sources.len());
-            for id in range {
-                let (tail, head) = et.edge(id);
-                deps.clear();
-                for src in &dep_sources {
-                    deps.push(match src {
-                        DepSource::Own(t) => t.value(id)?,
-                        DepSource::Source(t) => t.value(tail)?,
-                        DepSource::Target(t) => t.value(head)?,
-                    });
-                }
-                let mut rng = stream.substream(id);
-                out.push(generator.generate(id, &mut rng, &deps)?);
-            }
-            Ok(out)
-        })?;
+    let head_map: Option<Vec<u64>> = if one_sided {
+        None // heads *define* the target instances: identity
+    } else if same_type {
+        Some(tail_map.clone())
+    } else {
+        // Mixed-type many-to-many: inject raw head ids into the target
+        // id space.
+        let max_head = raw.heads().iter().max().copied().unwrap_or(0);
+        if max_head >= n_dst {
+            return Err(PipelineError::Sizing(format!(
+                "edge {edge_name:?}: structure produced head id {max_head} but {} only has {n_dst} instances",
+                edge.target
+            )));
+        }
+        Some(random_permutation(
+            n_dst,
+            seed_from_label(ctx.seed, &format!("match.{edge_name}.heads")),
+        ))
+    };
 
-        let table = PropertyTable::from_values(
-            format!("{edge_name}.{prop_name}"),
-            prop.value_type,
-            values,
-        )?;
-        self.edge_pts
-            .insert((edge_name.to_owned(), prop_name.to_owned()), table);
-        Ok(())
+    let mut final_et = EdgeTable::with_capacity(edge_name, raw.len() as usize);
+    for (t, h) in raw.iter() {
+        let nt = tail_map[t as usize];
+        let nh = match &head_map {
+            Some(map) => map[h as usize],
+            None => h,
+        };
+        final_et.push(nt, nh);
     }
+    Ok(TaskOutput::Edges(final_et))
+}
+
+fn exec_edge_property(
+    ctx: &Ctx<'_>,
+    edge_name: &str,
+    prop_name: &str,
+    et: &EdgeTable,
+    deps: &[(DepSlot, Arc<PropertyTable>)],
+) -> Result<TaskOutput, PipelineError> {
+    let edge = edge_def(ctx.schema, edge_name);
+    let prop = edge
+        .properties
+        .iter()
+        .find(|p| p.name == prop_name)
+        .expect("validated");
+    let generator = build_prop_generator(ctx, prop)?;
+    let m = et.len();
+    let stream = TableStream::derive(ctx.seed, &format!("{edge_name}.{prop_name}"));
+
+    let values = parallel_chunks(m, ctx.threads, |range| {
+        let mut out = Vec::with_capacity((range.end - range.start) as usize);
+        let mut dep_values: Vec<Value> = Vec::with_capacity(deps.len());
+        for id in range {
+            let (tail, head) = et.edge(id);
+            dep_values.clear();
+            for (slot, table) in deps {
+                dep_values.push(match slot {
+                    DepSlot::Own => table.value(id)?,
+                    DepSlot::Source => table.value(tail)?,
+                    DepSlot::Target => table.value(head)?,
+                });
+            }
+            let mut rng = stream.substream(id);
+            out.push(generator.generate(id, &mut rng, &dep_values)?);
+        }
+        Ok(out)
+    })?;
+
+    let table =
+        PropertyTable::from_values(format!("{edge_name}.{prop_name}"), prop.value_type, values)?;
+    Ok(TaskOutput::EdgeProperty(table))
 }
 
 fn random_permutation(n: u64, seed: u64) -> Vec<u64> {
@@ -615,6 +1054,7 @@ fn random_permutation(n: u64, seed: u64) -> Vec<u64> {
 mod tests {
     use super::*;
     use datasynth_matching::evaluate::empirical_jpd;
+    use datasynth_structure::StructureGenerator;
 
     const RUNNING_EXAMPLE: &str = r#"
 graph social {
@@ -769,12 +1209,107 @@ graph social {
     }
 
     #[test]
+    fn chunkable_structures_are_thread_count_independent() {
+        // rmat is chunkable (counter-based slots split across workers);
+        // barabasi_albert keeps the sequential path. Both must be
+        // byte-stable across 1, 2 and 7 threads.
+        let src = r#"graph g {
+            node A [count = 3000] { x: long = counter(); }
+            edge power: A -- A { structure = rmat(edge_factor = 8); }
+            edge attach: A -- A { structure = barabasi_albert(m = 2); }
+        }"#;
+        let runs: Vec<PropertyGraph> = [1usize, 2, 7]
+            .iter()
+            .map(|&t| {
+                DataSynth::from_dsl(src)
+                    .unwrap()
+                    .with_seed(3)
+                    .with_threads(t)
+                    .generate()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(runs[0].edges("power"), runs[1].edges("power"));
+        assert_eq!(runs[0].edges("power"), runs[2].edges("power"));
+        assert_eq!(runs[0].edges("attach"), runs[1].edges("attach"));
+        assert_eq!(runs[0].edges("attach"), runs[2].edges("attach"));
+        assert!(runs[0].edges("power").unwrap().len() >= 8 * 3000);
+    }
+
+    #[test]
     fn type_mismatch_is_rejected() {
         let src = r#"graph g {
             node A [count = 10] { x: double = uniform(0, 5); }
         }"#;
         let err = DataSynth::from_dsl(src).unwrap().generate().unwrap_err();
         assert!(err.to_string().contains("declared double"), "{err}");
+    }
+
+    #[test]
+    fn bad_generator_params_from_dsl_are_errors_not_panics() {
+        for (src, needle) in [
+            (
+                r#"graph g {
+                    node A [count = 10] { x: long = counter(); }
+                    edge e: A -- A { structure = barabasi_albert(m = 0); }
+                }"#,
+                "invalid parameter m",
+            ),
+            (
+                r#"graph g {
+                    node A [count = 10] { x: long = counter(); }
+                    edge e: A -- A { structure = rmat(noise = 0.9); }
+                }"#,
+                "invalid parameter noise",
+            ),
+            (
+                r#"graph g {
+                    node A [count = 10] { x: long = counter(); }
+                    edge e: A -- A { structure = darwini(cc_spread = 0.8); }
+                }"#,
+                "invalid parameter cc_spread",
+            ),
+        ] {
+            let err = DataSynth::from_dsl(src).unwrap().generate().unwrap_err();
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn panicking_generator_is_reported_not_fatal_at_any_thread_count() {
+        struct Bomb;
+        impl StructureGenerator for Bomb {
+            fn name(&self) -> &'static str {
+                "bomb"
+            }
+            fn run(&self, _n: u64, _rng: &mut SplitMix64) -> EdgeTable {
+                panic!("structure bomb detonated");
+            }
+            fn num_nodes_for_edges(&self, m: u64) -> u64 {
+                m
+            }
+            fn capabilities(&self) -> datasynth_structure::Capabilities {
+                datasynth_structure::Capabilities::default()
+            }
+        }
+        let src = r#"graph g {
+            node A [count = 64] { x: long = counter(); }
+            edge e: A -- A { structure = bomb(); }
+        }"#;
+        for threads in [1usize, 4] {
+            let err = DataSynth::from_dsl(src)
+                .unwrap()
+                .register_structure("bomb", |_p| Ok(Box::new(Bomb) as _))
+                .with_threads(threads)
+                .generate()
+                .unwrap_err();
+            match err {
+                PipelineError::WorkerPanic(msg) => {
+                    assert!(msg.contains("bomb detonated"), "{msg}")
+                }
+                other => panic!("expected WorkerPanic at {threads} threads, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //!   quality matters (structure generation),
 //! * [`TableStream`] — per-table independent streams derived from a master
 //!   seed and a table label,
+//! * [`CounterStream`] — Philox-backed per-slot streams for chunkable
+//!   structure generation (edge *i* as a pure function of `(key, i)`),
 //! * [`dist`] — inverse-transform samplers (uniform, categorical, zipf,
 //!   geometric, bounded power-law, normal, exponential, empirical).
 //!
@@ -28,4 +30,4 @@ mod stream;
 pub use hash::{fnv1a_64, fx_mix, mix64, seed_from_label};
 pub use philox::Philox2x64;
 pub use splitmix::{SkipSeed, SplitMix64, GOLDEN_GAMMA};
-pub use stream::TableStream;
+pub use stream::{CounterStream, TableStream};

@@ -3,7 +3,7 @@
 use datasynth_prng::SplitMix64;
 use datasynth_tables::EdgeTable;
 
-use crate::{Capabilities, StructureGenerator};
+use crate::{BuildError, Capabilities, StructureGenerator};
 
 /// BA model: nodes arrive one at a time and attach `m` edges to existing
 /// nodes with probability proportional to degree (implemented with the
@@ -14,10 +14,18 @@ pub struct BarabasiAlbert {
 }
 
 impl BarabasiAlbert {
-    /// Create with `m >= 1` attachments per arriving node.
-    pub fn new(m: u64) -> Self {
-        assert!(m >= 1, "need at least one edge per node");
-        Self { m }
+    /// Create with `m >= 1` attachments per arriving node. `m = 0` is an
+    /// error (not a panic): the value arrives straight from DSL/builder
+    /// params through the registry.
+    pub fn new(m: u64) -> Result<Self, BuildError> {
+        if m < 1 {
+            return Err(BuildError::InvalidParam {
+                generator: "barabasi_albert",
+                param: "m",
+                reason: "need at least one edge per arriving node".into(),
+            });
+        }
+        Ok(Self { m })
     }
 }
 
@@ -43,7 +51,10 @@ impl StructureGenerator for BarabasiAlbert {
             }
         }
         for v in seed_n..n {
-            let mut targets = std::collections::HashSet::with_capacity(m as usize);
+            // BTreeSet, not HashSet: the set is *iterated* below, and
+            // HashSet order is randomly seeded per instance — it made BA
+            // output differ between two identically-seeded runs.
+            let mut targets = std::collections::BTreeSet::new();
             while (targets.len() as u64) < m.min(v) {
                 let pick = endpoints[rng.next_below(endpoints.len() as u64) as usize];
                 targets.insert(pick);
@@ -76,7 +87,7 @@ mod tests {
 
     #[test]
     fn connected_and_right_size() {
-        let g = BarabasiAlbert::new(3);
+        let g = BarabasiAlbert::new(3).unwrap();
         let n = 2000;
         let et = g.run(n, &mut SplitMix64::new(1));
         // Seed clique contributes C(4,2)=6 edges; the rest 3 per node.
@@ -86,7 +97,7 @@ mod tests {
 
     #[test]
     fn power_law_exponent_near_three() {
-        let g = BarabasiAlbert::new(2);
+        let g = BarabasiAlbert::new(2).unwrap();
         let n = 20_000;
         let et = g.run(n, &mut SplitMix64::new(2));
         let deg = et.degrees(n);
@@ -96,7 +107,7 @@ mod tests {
 
     #[test]
     fn no_self_loops_or_duplicate_targets() {
-        let g = BarabasiAlbert::new(4);
+        let g = BarabasiAlbert::new(4).unwrap();
         let et = g.run(500, &mut SplitMix64::new(3));
         for (t, h) in et.iter() {
             assert_ne!(t, h);
@@ -108,9 +119,27 @@ mod tests {
 
     #[test]
     fn tiny_graphs() {
-        let g = BarabasiAlbert::new(3);
+        let g = BarabasiAlbert::new(3).unwrap();
         assert!(g.run(0, &mut SplitMix64::new(4)).is_empty());
         let et = g.run(2, &mut SplitMix64::new(4));
         assert_eq!(et.len(), 1); // just the (truncated) seed clique
+    }
+
+    #[test]
+    fn zero_m_is_an_error_not_a_panic() {
+        let err = BarabasiAlbert::new(0).unwrap_err();
+        assert!(matches!(err, BuildError::InvalidParam { param: "m", .. }));
+    }
+
+    #[test]
+    fn byte_deterministic_across_runs() {
+        // Regression: the target set used to be a HashSet whose iteration
+        // order is randomly seeded per instance, so two identically-seeded
+        // runs diverged after the first multi-target node.
+        let g = BarabasiAlbert::new(3).unwrap();
+        assert_eq!(
+            g.run(1000, &mut SplitMix64::new(9)),
+            g.run(1000, &mut SplitMix64::new(9))
+        );
     }
 }

@@ -11,7 +11,7 @@ use datasynth_tables::EdgeTable;
 
 use crate::bter::CcProfile;
 use crate::degree_seq::chung_lu;
-use crate::{Capabilities, DegreeDist, StructureGenerator};
+use crate::{BuildError, Capabilities, DegreeDist, StructureGenerator};
 
 /// Darwini-style generator: per-node clustering targets drawn around a
 /// degree-dependent mean with configurable spread.
@@ -26,16 +26,35 @@ pub struct DarwiniGenerator {
 impl DarwiniGenerator {
     /// Create; `cc_spread` is the std-dev of per-node clustering targets
     /// around the profile mean, `buckets` the number of clustering bins
-    /// used when forming blocks.
-    pub fn new(degree_dist: DegreeDist, cc_mean: CcProfile, cc_spread: f64, buckets: u32) -> Self {
-        assert!((0.0..=0.5).contains(&cc_spread), "spread out of range");
-        assert!(buckets >= 1, "need at least one bucket");
-        Self {
+    /// used when forming blocks. Both arrive straight from DSL/builder
+    /// params through the registry, so out-of-range values are errors, not
+    /// panics.
+    pub fn new(
+        degree_dist: DegreeDist,
+        cc_mean: CcProfile,
+        cc_spread: f64,
+        buckets: u32,
+    ) -> Result<Self, BuildError> {
+        if !(0.0..=0.5).contains(&cc_spread) {
+            return Err(BuildError::InvalidParam {
+                generator: "darwini",
+                param: "cc_spread",
+                reason: format!("must be in [0, 0.5], got {cc_spread}"),
+            });
+        }
+        if buckets < 1 {
+            return Err(BuildError::InvalidParam {
+                generator: "darwini",
+                param: "buckets",
+                reason: "need at least one clustering bucket".into(),
+            });
+        }
+        Ok(Self {
             degree_dist,
             cc_mean,
             cc_spread,
             buckets,
-        }
+        })
     }
 
     fn draw_degree(&self, rng: &mut SplitMix64) -> u32 {
@@ -164,6 +183,28 @@ mod tests {
             spread,
             8,
         )
+        .unwrap()
+    }
+
+    #[test]
+    fn bad_spread_and_buckets_are_errors_not_panics() {
+        let dist = || DegreeDist::PowerLaw(DiscretePowerLaw::new(2.0, 3, 40));
+        let err = DarwiniGenerator::new(dist(), CcProfile::Constant(0.4), 0.9, 8).unwrap_err();
+        assert!(matches!(
+            err,
+            BuildError::InvalidParam {
+                param: "cc_spread",
+                ..
+            }
+        ));
+        let err = DarwiniGenerator::new(dist(), CcProfile::Constant(0.4), 0.1, 0).unwrap_err();
+        assert!(matches!(
+            err,
+            BuildError::InvalidParam {
+                param: "buckets",
+                ..
+            }
+        ));
     }
 
     #[test]

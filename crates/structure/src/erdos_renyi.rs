@@ -1,14 +1,19 @@
 //! Erdős–Rényi random graphs: `G(n, p)` with geometric skip sampling and
 //! `G(n, m)` with distinct-pair sampling.
 
-use datasynth_prng::SplitMix64;
+use std::ops::Range;
+
+use datasynth_prng::{CounterStream, SplitMix64};
 use datasynth_tables::EdgeTable;
 
+use crate::chunk::{self, pair_from_index, sample_indices_in, SLOT_PAIRS};
 use crate::{Capabilities, StructureGenerator};
 
 /// `G(n, p)`: every unordered pair is an edge independently with
 /// probability `p`. Sampling skips over non-edges geometrically, so the
-/// cost is O(m), not O(n²).
+/// cost is O(m), not O(n²) — and because each pair is an independent
+/// Bernoulli draw, the pair space divides into fixed windows sampled from
+/// counter substreams: this generator is *chunkable*.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Gnp {
     p: f64,
@@ -21,14 +26,12 @@ impl Gnp {
         Self { p }
     }
 
-    fn pair_from_index(idx: u64) -> (u64, u64) {
-        // Inverse of idx = h(h-1)/2 + t for 0 <= t < h.
-        let h = ((1.0 + (1.0 + 8.0 * idx as f64).sqrt()) / 2.0).floor() as u64;
-        // Guard against float rounding at large indices.
-        let h = if h * (h - 1) / 2 > idx { h - 1 } else { h };
-        let h = if (h + 1) * h / 2 <= idx { h + 1 } else { h };
-        let t = idx - h * (h - 1) / 2;
-        (t, h)
+    fn total_pairs(n: u64) -> u64 {
+        if n < 2 {
+            0
+        } else {
+            n * (n - 1) / 2
+        }
     }
 }
 
@@ -38,31 +41,31 @@ impl StructureGenerator for Gnp {
     }
 
     fn run(&self, n: u64, rng: &mut SplitMix64) -> EdgeTable {
+        chunk::run_chunked(self, n, rng)
+    }
+
+    fn chunkable(&self) -> bool {
+        true
+    }
+
+    fn num_slots(&self, n: u64) -> u64 {
+        if self.p <= 0.0 {
+            return 0;
+        }
+        chunk::slots_for_pairs(Self::total_pairs(n))
+    }
+
+    fn run_range(&self, n: u64, range: Range<u64>, stream: &CounterStream) -> EdgeTable {
+        let total = Self::total_pairs(n);
         let mut et = EdgeTable::new("erdos_renyi");
-        if n < 2 || self.p <= 0.0 {
-            return et;
-        }
-        let total_pairs = n * (n - 1) / 2;
-        if self.p >= 1.0 {
-            for h in 1..n {
-                for t in 0..h {
-                    et.push(t, h);
-                }
-            }
-            return et;
-        }
-        // Geometric skips over the linearized pair index.
-        let log_q = (1.0 - self.p).ln();
-        let mut idx: i128 = -1;
-        loop {
-            let u = rng.next_f64();
-            let skip = ((1.0 - u).ln() / log_q).floor() as i128 + 1;
-            idx += skip.max(1);
-            if idx >= total_pairs as i128 {
-                break;
-            }
-            let (t, h) = Self::pair_from_index(idx as u64);
-            et.push(t, h);
+        for slot in range {
+            let lo = slot * SLOT_PAIRS;
+            let hi = (lo + SLOT_PAIRS).min(total);
+            let mut rng = stream.substream(slot);
+            sample_indices_in(lo, hi, self.p, &mut rng, |idx| {
+                let (t, h) = pair_from_index(idx);
+                et.push(t, h);
+            });
         }
         et
     }
@@ -113,7 +116,7 @@ impl StructureGenerator for Gnm {
         while (chosen.len() as u64) < m {
             let idx = rng.next_below(total_pairs);
             if chosen.insert(idx) {
-                let (t, h) = Gnp::pair_from_index(idx);
+                let (t, h) = pair_from_index(idx);
                 et.push(t, h);
             }
         }
@@ -138,14 +141,22 @@ mod tests {
     use super::*;
 
     #[test]
-    fn pair_index_roundtrip() {
-        let mut idx = 0u64;
-        for h in 1..40u64 {
-            for t in 0..h {
-                assert_eq!(Gnp::pair_from_index(idx), (t, h), "idx {idx}");
-                idx += 1;
-            }
+    fn run_equals_partitioned_run_range() {
+        let g = Gnp::new(0.02);
+        let n = 800u64;
+        let whole = g.run(n, &mut SplitMix64::new(9));
+        // Same key derivation as run(): first draw off the rng.
+        let stream = CounterStream::new(SplitMix64::new(9).next_u64());
+        let slots = g.num_slots(n);
+        let mut parts = EdgeTable::new(g.name());
+        let mut at = 0;
+        while at < slots {
+            let next = (at + 3).min(slots);
+            parts.extend_from(&g.run_range(n, at..next, &stream));
+            at = next;
         }
+        assert_eq!(whole, g.finalize(parts));
+        assert!(slots > 1, "n=800 must split into several slots");
     }
 
     #[test]

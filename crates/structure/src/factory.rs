@@ -86,7 +86,7 @@ fn rmat(params: &Params) -> Result<BoxedStructureGenerator, BuildError> {
         r.u64_or("edge_factor", 16).max(1),
         r.u64_or("simplify", 0) == 1,
     )
-    .with_noise(r.f64_or("noise", 0.1).clamp(0.0, 0.5));
+    .with_noise(r.f64_or("noise", 0.1))?;
     Ok(Box::new(g))
 }
 
@@ -125,12 +125,14 @@ fn darwini(params: &Params) -> Result<BoxedStructureGenerator, BuildError> {
         c0: r.f64_or("cc_max", 0.6),
         scale: r.f64_or("cc_scale", 15.0),
     };
+    let buckets = r.u64_or("buckets", 8);
+    let buckets = u32::try_from(buckets).map_err(|_| r.bad("buckets", "exceeds u32 range"))?;
     Ok(Box::new(DarwiniGenerator::new(
         dd,
         cc,
-        r.f64_or("cc_spread", 0.1).clamp(0.0, 0.5),
-        r.u64_or("buckets", 8).max(1) as u32,
-    )))
+        r.f64_or("cc_spread", 0.1),
+        buckets,
+    )?))
 }
 
 fn erdos_renyi(params: &Params) -> Result<BoxedStructureGenerator, BuildError> {
@@ -145,7 +147,7 @@ fn gnm(params: &Params) -> Result<BoxedStructureGenerator, BuildError> {
 
 fn barabasi_albert(params: &Params) -> Result<BoxedStructureGenerator, BuildError> {
     let r = params.reader("barabasi_albert");
-    Ok(Box::new(BarabasiAlbert::new(r.u64_or("m", 3).max(1))))
+    Ok(Box::new(BarabasiAlbert::new(r.u64_or("m", 3))?))
 }
 
 fn watts_strogatz(params: &Params) -> Result<BoxedStructureGenerator, BuildError> {
@@ -283,12 +285,78 @@ mod tests {
             "watts_strogatz",
             &Params::new().with_num("k", 3.0),
         ));
-        assert!(matches!(err, BuildError::BadParam { .. }));
+        assert!(matches!(err, BuildError::InvalidParam { .. }));
         let err = expect_err(build_generator(
             "one_to_many",
             &Params::new().with_text("dist", "unheard_of"),
         ));
         assert!(err.to_string().contains("unheard_of"));
+    }
+
+    #[test]
+    fn constructor_asserts_surface_as_registry_errors_not_panics() {
+        // Each of these used to trip an `assert!` inside the generator
+        // constructor; all are reachable from DSL/builder params.
+        let err = expect_err(build_generator(
+            "barabasi_albert",
+            &Params::new().with_num("m", 0.0),
+        ));
+        assert!(
+            matches!(
+                err,
+                BuildError::InvalidParam {
+                    generator: "barabasi_albert",
+                    param: "m",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        let err = expect_err(build_generator(
+            "rmat",
+            &Params::new().with_num("noise", 0.9),
+        ));
+        assert!(
+            matches!(
+                err,
+                BuildError::InvalidParam {
+                    generator: "rmat",
+                    param: "noise",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        let err = expect_err(build_generator(
+            "darwini",
+            &Params::new().with_num("cc_spread", 0.75),
+        ));
+        assert!(
+            matches!(
+                err,
+                BuildError::InvalidParam {
+                    generator: "darwini",
+                    param: "cc_spread",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        let err = expect_err(build_generator(
+            "darwini",
+            &Params::new().with_num("buckets", 0.0),
+        ));
+        assert!(
+            matches!(
+                err,
+                BuildError::InvalidParam {
+                    generator: "darwini",
+                    param: "buckets",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
     }
 
     #[test]

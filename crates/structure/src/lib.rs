@@ -14,6 +14,7 @@ mod attachment;
 mod barabasi_albert;
 mod bter;
 mod capabilities;
+mod chunk;
 mod darwini;
 mod degree_seq;
 mod degree_sequence;
@@ -30,6 +31,7 @@ pub use attachment::{DegreeDist, OneToManyGenerator, OneToOneGenerator};
 pub use barabasi_albert::BarabasiAlbert;
 pub use bter::{BterGenerator, CcProfile};
 pub use capabilities::Capabilities;
+pub use chunk::run_chunked;
 pub use darwini::DarwiniGenerator;
 pub use degree_seq::{chung_lu, configuration_model, even_out_degree_sum, ConfigModelOptions};
 pub use degree_sequence::DegreeSequenceGenerator;
@@ -42,7 +44,9 @@ pub use rmat::RmatGenerator;
 pub use sbm::PlantedSbm;
 pub use watts_strogatz::WattsStrogatz;
 
-use datasynth_prng::SplitMix64;
+use std::ops::Range;
+
+use datasynth_prng::{CounterStream, SplitMix64};
 use datasynth_tables::EdgeTable;
 
 /// A pluggable graph structure generator (the paper's SG interface).
@@ -61,6 +65,51 @@ pub trait StructureGenerator {
 
     /// What this generator can reproduce (drives the Table 1 report).
     fn capabilities(&self) -> Capabilities;
+
+    /// Whether this generator supports counter-based chunked generation
+    /// through [`run_range`](Self::run_range): its work divides into a
+    /// fixed partition of independent slots, each a pure function of the
+    /// stream key and the slot index, so slots can be generated on any
+    /// worker in any grouping. Generators with inherently sequential state
+    /// (preferential attachment, rewiring, community assembly) return
+    /// `false` and are driven through [`run`](Self::run) alone.
+    fn chunkable(&self) -> bool {
+        false
+    }
+
+    /// Number of independent work slots behind [`run_range`](Self::run_range)
+    /// for a graph over `n` nodes. Only meaningful when
+    /// [`chunkable`](Self::chunkable) returns `true`.
+    fn num_slots(&self, n: u64) -> u64 {
+        let _ = n;
+        0
+    }
+
+    /// Generate the edges of work slots `range` (a sub-range of
+    /// `0..num_slots(n)`), sampling each slot from `stream`. The contract:
+    /// concatenating the outputs over any ordered partition of the full
+    /// slot range, then applying [`finalize`](Self::finalize), must be
+    /// byte-identical to [`run`](Self::run) with the `rng` the stream key
+    /// was drawn from — the invariant that makes structure generation
+    /// independent of the worker count (see [`run_chunked`]).
+    ///
+    /// # Panics
+    ///
+    /// The default implementation panics: callers must gate on
+    /// [`chunkable`](Self::chunkable).
+    fn run_range(&self, n: u64, range: Range<u64>, stream: &CounterStream) -> EdgeTable {
+        let _ = (n, range, stream);
+        unimplemented!(
+            "{}: run_range called on a non-chunkable generator",
+            self.name()
+        )
+    }
+
+    /// One-shot post-pass applied to the concatenated table of a chunked
+    /// run (e.g. RMAT's optional simplification). Default: identity.
+    fn finalize(&self, et: EdgeTable) -> EdgeTable {
+        et
+    }
 }
 
 /// Ground-truth-carrying generation: generators that plant a community

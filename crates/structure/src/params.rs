@@ -181,9 +181,9 @@ impl<'a> ParamReader<'a> {
         }
     }
 
-    /// A [`BuildError::BadParam`] for `key`, for custom checks.
+    /// A [`BuildError::InvalidParam`] for `key`, for custom checks.
     pub fn bad(&self, key: &'static str, reason: impl Into<String>) -> BuildError {
-        BuildError::BadParam {
+        BuildError::InvalidParam {
             generator: self.generator,
             param: key,
             reason: reason.into(),
@@ -242,7 +242,7 @@ mod tests {
         let err = r.require_f64_in("p", 0.0, 1.0).unwrap_err();
         assert_eq!(
             err.to_string(),
-            "test_gen: bad parameter p: must be in [0, 1]"
+            "test_gen: invalid parameter p: must be in [0, 1]"
         );
         assert!(r.f64_in("q", 0.5, 0.0, 1.0).is_ok(), "default in range");
         assert_eq!(r.str_or("mode", "simple"), "simple");

@@ -31,7 +31,7 @@ pub enum BuildError {
         param: &'static str,
     },
     /// A parameter value is out of range or mistyped.
-    BadParam {
+    InvalidParam {
         /// Generator name.
         generator: &'static str,
         /// Parameter name.
@@ -61,11 +61,11 @@ impl fmt::Display for BuildError {
             BuildError::MissingParam { generator, param } => {
                 write!(f, "{generator}: missing parameter {param}")
             }
-            BuildError::BadParam {
+            BuildError::InvalidParam {
                 generator,
                 param,
                 reason,
-            } => write!(f, "{generator}: bad parameter {param}: {reason}"),
+            } => write!(f, "{generator}: invalid parameter {param}: {reason}"),
         }
     }
 }

@@ -3,10 +3,13 @@
 //! yielding power-law-ish degrees. The paper evaluates SBM-Part on RMAT
 //! scales 18/20/22 with default parameters.
 
-use datasynth_prng::SplitMix64;
+use std::ops::Range;
+
+use datasynth_prng::{CounterStream, SplitMix64};
 use datasynth_tables::EdgeTable;
 
-use crate::{Capabilities, StructureGenerator};
+use crate::chunk;
+use crate::{BuildError, Capabilities, StructureGenerator};
 
 /// R-MAT generator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,16 +47,33 @@ impl RmatGenerator {
 
     /// Per-level multiplicative noise on the quadrant probabilities
     /// (smoothens the degree distribution; Graph-500 uses a similar trick).
-    pub fn with_noise(mut self, noise: f64) -> Self {
-        assert!((0.0..=0.5).contains(&noise));
+    /// Rejects values outside `[0, 0.5]` — reachable from DSL/builder
+    /// params, so this must be an error, not a panic.
+    pub fn with_noise(mut self, noise: f64) -> Result<Self, BuildError> {
+        if !(0.0..=0.5).contains(&noise) {
+            return Err(BuildError::InvalidParam {
+                generator: "rmat",
+                param: "noise",
+                reason: format!("must be in [0, 0.5], got {noise}"),
+            });
+        }
         self.noise = noise;
-        self
+        Ok(self)
     }
 
     /// Generate a graph of `scale` (n = 2^scale), the conventional RMAT
     /// parameterization.
     pub fn run_scale(&self, scale: u32, rng: &mut SplitMix64) -> EdgeTable {
         self.run(1u64 << scale, rng)
+    }
+
+    /// Recursion depth for a graph over `n` nodes.
+    fn levels(n: u64) -> u32 {
+        if n <= 1 {
+            0
+        } else {
+            64 - (n - 1).leading_zeros().min(63)
+        }
     }
 
     fn sample_edge(&self, levels: u32, rng: &mut SplitMix64) -> (u64, u64) {
@@ -93,21 +113,42 @@ impl StructureGenerator for RmatGenerator {
     }
 
     fn run(&self, n: u64, rng: &mut SplitMix64) -> EdgeTable {
-        assert!(n > 0, "empty graph requested");
-        let levels = 64 - (n - 1).leading_zeros().min(63);
-        let levels = if n == 1 { 0 } else { levels };
-        let side = 1u64 << levels;
-        let m = self.edge_factor * n;
-        let mut et = EdgeTable::with_capacity("rmat", m as usize);
-        while et.len() < m {
-            let (t, h) = self.sample_edge(levels, rng);
-            // When n is not a power of two, resample out-of-range endpoints.
-            if t < n && h < n {
-                et.push(t, h);
-            } else if side == n {
-                unreachable!("in-range by construction");
+        chunk::run_chunked(self, n, rng)
+    }
+
+    fn chunkable(&self) -> bool {
+        true
+    }
+
+    /// One slot per edge: each quadrant descent (with its out-of-range
+    /// resampling for non-power-of-two `n`) draws only from its own
+    /// counter substream.
+    fn num_slots(&self, n: u64) -> u64 {
+        self.edge_factor * n
+    }
+
+    fn run_range(&self, n: u64, range: Range<u64>, stream: &CounterStream) -> EdgeTable {
+        let mut et = EdgeTable::with_capacity("rmat", (range.end - range.start) as usize);
+        if n == 0 {
+            return et;
+        }
+        let levels = Self::levels(n);
+        for i in range {
+            let mut rng = stream.substream(i);
+            loop {
+                let (t, h) = self.sample_edge(levels, &mut rng);
+                // When n is not a power of two, resample out-of-range
+                // endpoints (in-range by construction otherwise).
+                if t < n && h < n {
+                    et.push(t, h);
+                    break;
+                }
             }
         }
+        et
+    }
+
+    fn finalize(&self, mut et: EdgeTable) -> EdgeTable {
         if self.simplify {
             et.remove_self_loops();
             et.canonicalize_undirected();
@@ -192,9 +233,40 @@ mod tests {
     }
 
     #[test]
+    fn noise_out_of_range_is_an_error_not_a_panic() {
+        let err = RmatGenerator::graph500().with_noise(0.9).unwrap_err();
+        assert!(matches!(
+            err,
+            BuildError::InvalidParam { param: "noise", .. }
+        ));
+        assert!(err.to_string().contains("0.5"), "{err}");
+    }
+
+    #[test]
+    fn run_equals_partitioned_run_range_including_simplify() {
+        // Simplification is a finalize post-pass, so it must commute with
+        // any slot partition of the raw edges.
+        let g = RmatGenerator::new(0.57, 0.19, 0.19, 4, true);
+        let n = 300u64; // not a power of two: exercises resampling
+        let whole = g.run(n, &mut SplitMix64::new(21));
+        let stream = CounterStream::new(SplitMix64::new(21).next_u64());
+        let slots = g.num_slots(n);
+        let mut parts = EdgeTable::new(g.name());
+        let mut at = 0;
+        while at < slots {
+            let next = (at + 97).min(slots);
+            parts.extend_from(&g.run_range(n, at..next, &stream));
+            at = next;
+        }
+        assert_eq!(whole, g.finalize(parts));
+    }
+
+    #[test]
     fn hub_bias_follows_quadrant_probabilities() {
         // With a dominant, low ids should accumulate more degree.
-        let g = RmatGenerator::new(0.7, 0.1, 0.1, 8, false).with_noise(0.0);
+        let g = RmatGenerator::new(0.7, 0.1, 0.1, 8, false)
+            .with_noise(0.0)
+            .unwrap();
         let n = 1u64 << 10;
         let et = g.run(n, &mut SplitMix64::new(5));
         let deg = et.degrees(n);

@@ -4,9 +4,12 @@
 //! a planted SBM gives matching tests a ground truth where the optimal
 //! assignment (and its score) is known.
 
-use datasynth_prng::SplitMix64;
+use std::ops::Range;
+
+use datasynth_prng::{CounterStream, SplitMix64};
 use datasynth_tables::EdgeTable;
 
+use crate::chunk::{self, pair_from_index, sample_indices_in, SLOT_PAIRS};
 use crate::{Capabilities, PlantedPartition, StructureGenerator};
 
 /// SBM with explicit group sizes and a full inter-group edge-probability
@@ -72,6 +75,48 @@ impl PlantedSbm {
         labels
     }
 
+    /// Enumerate the upper-triangle blocks `(i, j)` with their node-id
+    /// offsets and linearized pair-space sizes — the independent-edge units
+    /// of the model, each of which divides into [`SLOT_PAIRS`]-wide slots.
+    fn blocks(&self) -> Vec<SbmBlock> {
+        let offsets: Vec<u64> = {
+            let mut acc = 0;
+            self.sizes
+                .iter()
+                .map(|&s| {
+                    let off = acc;
+                    acc += s;
+                    off
+                })
+                .collect()
+        };
+        let k = self.sizes.len();
+        let mut blocks = Vec::with_capacity(k * (k + 1) / 2);
+        for i in 0..k {
+            for j in i..k {
+                let pairs = if i == j {
+                    let s = self.sizes[i];
+                    if s < 2 {
+                        0
+                    } else {
+                        s * (s - 1) / 2
+                    }
+                } else {
+                    self.sizes[i] * self.sizes[j]
+                };
+                blocks.push(SbmBlock {
+                    off_i: offsets[i],
+                    off_j: offsets[j],
+                    cols: self.sizes[j],
+                    diagonal: i == j,
+                    density: self.density[i][j],
+                    pairs,
+                });
+            }
+        }
+        blocks
+    }
+
     /// Expected edge count.
     pub fn expected_edges(&self) -> f64 {
         let k = self.sizes.len();
@@ -90,6 +135,34 @@ impl PlantedSbm {
     }
 }
 
+/// One upper-triangle block of the model, as a unit of independent edges.
+struct SbmBlock {
+    off_i: u64,
+    off_j: u64,
+    /// Column count of the cross block (`sizes[j]`); unused on diagonals.
+    cols: u64,
+    diagonal: bool,
+    density: f64,
+    /// Linearized pair-space size of the block.
+    pairs: u64,
+}
+
+impl SbmBlock {
+    fn slots(&self) -> u64 {
+        chunk::slots_for_pairs(self.pairs)
+    }
+
+    /// Decode a block-local pair index into global `(tail, head)` ids.
+    fn pair(&self, idx: u64) -> (u64, u64) {
+        if self.diagonal {
+            let (t, h) = pair_from_index(idx);
+            (self.off_i + t, self.off_j + h)
+        } else {
+            (self.off_i + idx / self.cols, self.off_j + idx % self.cols)
+        }
+    }
+}
+
 impl StructureGenerator for PlantedSbm {
     fn name(&self) -> &'static str {
         "sbm"
@@ -97,8 +170,40 @@ impl StructureGenerator for PlantedSbm {
 
     /// `n` is ignored — the planted sizes define the node count (the trait
     /// is still useful so SBM plugs into the same pipeline slots).
-    fn run(&self, _n: u64, rng: &mut SplitMix64) -> EdgeTable {
-        self.run_with_partition(0, rng).0
+    fn run(&self, n: u64, rng: &mut SplitMix64) -> EdgeTable {
+        chunk::run_chunked(self, n, rng)
+    }
+
+    fn chunkable(&self) -> bool {
+        true
+    }
+
+    fn num_slots(&self, _n: u64) -> u64 {
+        self.blocks().iter().map(SbmBlock::slots).sum()
+    }
+
+    fn run_range(&self, _n: u64, range: Range<u64>, stream: &CounterStream) -> EdgeTable {
+        let mut et = EdgeTable::new("sbm");
+        let mut base = 0u64;
+        for block in self.blocks() {
+            let end = base + block.slots();
+            let lo_slot = range.start.max(base);
+            let hi_slot = range.end.min(end);
+            for slot in lo_slot..hi_slot {
+                let lo = (slot - base) * SLOT_PAIRS;
+                let hi = (lo + SLOT_PAIRS).min(block.pairs);
+                let mut rng = stream.substream(slot);
+                sample_indices_in(lo, hi, block.density, &mut rng, |idx| {
+                    let (t, h) = block.pair(idx);
+                    et.push(t, h);
+                });
+            }
+            base = end;
+            if base >= range.end {
+                break;
+            }
+        }
+        et
     }
 
     fn num_nodes_for_edges(&self, _num_edges: u64) -> u64 {
@@ -108,99 +213,15 @@ impl StructureGenerator for PlantedSbm {
     fn capabilities(&self) -> Capabilities {
         Capabilities {
             communities: true,
+            scalable: true,
             ..Default::default()
         }
     }
 }
 
 impl PlantedPartition for PlantedSbm {
-    fn run_with_partition(&self, _n: u64, rng: &mut SplitMix64) -> (EdgeTable, Vec<u32>) {
-        let labels = self.labels();
-        let offsets: Vec<u64> = {
-            let mut acc = 0;
-            self.sizes
-                .iter()
-                .map(|&s| {
-                    let off = acc;
-                    acc += s;
-                    off
-                })
-                .collect()
-        };
-        let mut et = EdgeTable::with_capacity("sbm", self.expected_edges() as usize);
-        let k = self.sizes.len();
-        for i in 0..k {
-            for j in i..k {
-                let p = self.density[i][j];
-                if p <= 0.0 {
-                    continue;
-                }
-                if i == j {
-                    sample_block_diag(&mut et, offsets[i], self.sizes[i], p, rng);
-                } else {
-                    sample_block_cross(
-                        &mut et,
-                        offsets[i],
-                        self.sizes[i],
-                        offsets[j],
-                        self.sizes[j],
-                        p,
-                        rng,
-                    );
-                }
-            }
-        }
-        (et, labels)
-    }
-}
-
-/// Geometric skip sampling over the `s·(s-1)/2` pairs of one group.
-fn sample_block_diag(et: &mut EdgeTable, off: u64, s: u64, p: f64, rng: &mut SplitMix64) {
-    if s < 2 {
-        return;
-    }
-    let total = s * (s - 1) / 2;
-    visit_sampled_indices(total, p, rng, |idx| {
-        let h = ((1.0 + (1.0 + 8.0 * idx as f64).sqrt()) / 2.0).floor() as u64;
-        let h = if h * (h - 1) / 2 > idx { h - 1 } else { h };
-        let h = if (h + 1) * h / 2 <= idx { h + 1 } else { h };
-        let t = idx - h * (h - 1) / 2;
-        et.push(off + t, off + h);
-    });
-}
-
-/// Geometric skip sampling over the `s1·s2` cross pairs of two groups.
-fn sample_block_cross(
-    et: &mut EdgeTable,
-    off1: u64,
-    s1: u64,
-    off2: u64,
-    s2: u64,
-    p: f64,
-    rng: &mut SplitMix64,
-) {
-    visit_sampled_indices(s1 * s2, p, rng, |idx| {
-        et.push(off1 + idx / s2, off2 + idx % s2);
-    });
-}
-
-fn visit_sampled_indices(total: u64, p: f64, rng: &mut SplitMix64, mut f: impl FnMut(u64)) {
-    if p >= 1.0 {
-        for idx in 0..total {
-            f(idx);
-        }
-        return;
-    }
-    let log_q = (1.0 - p).ln();
-    let mut idx: i128 = -1;
-    loop {
-        let u = rng.next_f64();
-        let skip = ((1.0 - u).ln() / log_q).floor() as i128 + 1;
-        idx += skip.max(1);
-        if idx >= total as i128 {
-            return;
-        }
-        f(idx as u64);
+    fn run_with_partition(&self, n: u64, rng: &mut SplitMix64) -> (EdgeTable, Vec<u32>) {
+        (self.run(n, rng), self.labels())
     }
 }
 
@@ -258,5 +279,32 @@ mod tests {
     #[should_panic(expected = "symmetric")]
     fn rejects_asymmetric_matrix() {
         PlantedSbm::new(vec![2, 2], vec![vec![0.1, 0.2], vec![0.3, 0.1]]);
+    }
+
+    #[test]
+    fn run_equals_partitioned_run_range() {
+        use datasynth_prng::CounterStream;
+        // Sizes straddling the slot width so several blocks span multiple
+        // slots, plus a zero-density block and a sub-2 group.
+        let sbm = PlantedSbm::new(
+            vec![1, 300, 250],
+            vec![
+                vec![0.0, 0.5, 0.0],
+                vec![0.5, 0.08, 0.01],
+                vec![0.0, 0.01, 0.12],
+            ],
+        );
+        let whole = sbm.run(0, &mut SplitMix64::new(13));
+        let stream = CounterStream::new(SplitMix64::new(13).next_u64());
+        let slots = sbm.num_slots(0);
+        assert!(slots > 3, "expected a multi-slot pair space, got {slots}");
+        let mut parts = EdgeTable::new(sbm.name());
+        let mut at = 0;
+        while at < slots {
+            let next = (at + 2).min(slots);
+            parts.extend_from(&sbm.run_range(0, at..next, &stream));
+            at = next;
+        }
+        assert_eq!(whole, sbm.finalize(parts));
     }
 }

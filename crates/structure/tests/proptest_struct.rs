@@ -2,12 +2,13 @@
 
 use proptest::prelude::*;
 
-use datasynth_prng::SplitMix64;
+use datasynth_prng::{CounterStream, SplitMix64};
 use datasynth_structure::{
     build_generator, configuration_model, even_out_degree_sum, BarabasiAlbert, ConfigModelOptions,
     LfrGenerator, LfrParams, Params, PlantedPartition, RmatGenerator, StructureGenerator,
     WattsStrogatz,
 };
+use datasynth_tables::EdgeTable;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -86,8 +87,51 @@ proptest! {
     /// Barabási–Albert stays connected for any m.
     #[test]
     fn ba_connected(seed: u64, m in 1u64..6, n in 10u64..600) {
-        let et = BarabasiAlbert::new(m).run(n, &mut SplitMix64::new(seed));
+        let et = BarabasiAlbert::new(m).unwrap().run(n, &mut SplitMix64::new(seed));
         prop_assert_eq!(datasynth_analysis::largest_component_size(&et, n), n);
+    }
+
+    /// For every chunkable generator, concatenating `run_range` over an
+    /// arbitrary partition of the slot space (then `finalize`) reproduces
+    /// `run` byte-for-byte — the invariant behind thread-count-independent
+    /// structure generation.
+    #[test]
+    fn run_range_concatenation_equals_whole_run(
+        seed: u64,
+        n in 50u64..1_500,
+        step in 1u64..40,
+    ) {
+        let generators: Vec<(&str, Params)> = vec![
+            ("erdos_renyi", Params::new().with_num("p", 0.01)),
+            ("rmat", Params::new().with_num("edge_factor", 4.0)),
+            ("rmat", Params::new().with_num("edge_factor", 2.0).with_num("simplify", 1.0)),
+            ("sbm", Params::new().with_num("groups", 3.0).with_num("group_size", 120.0)),
+        ];
+        for (name, params) in generators {
+            let g = build_generator(name, &params).unwrap();
+            prop_assert!(g.chunkable(), "{name} should be chunkable");
+            let whole = g.run(n, &mut SplitMix64::new(seed));
+            // Same key derivation as run(): the rng's first draw.
+            let stream = CounterStream::new(SplitMix64::new(seed).next_u64());
+            let slots = g.num_slots(n);
+            let mut parts = EdgeTable::new(g.name());
+            let mut at = 0;
+            while at < slots {
+                let next = (at + step).min(slots);
+                parts.extend_from(&g.run_range(n, at..next, &stream));
+                at = next;
+            }
+            prop_assert_eq!(&whole, &g.finalize(parts), "{} differs under partition", name);
+        }
+    }
+
+    /// Non-chunkable generators keep the sequential contract and say so.
+    #[test]
+    fn sequential_generators_report_not_chunkable(m in 1u64..4) {
+        for name in ["barabasi_albert", "watts_strogatz", "lfr", "bter", "darwini"] {
+            let g = build_generator(name, &Params::new().with_num("m", m as f64)).unwrap();
+            prop_assert!(!g.chunkable(), "{name} must not claim chunkability");
+        }
     }
 
     /// `num_nodes_for_edges` inverts `run` to within 30% for every

@@ -5,7 +5,10 @@
 /// The closest candidate by Levenshtein distance, if close enough to be a
 /// plausible typo (distance ≤ 2 or ≤ a third of the name's length).
 pub fn closest_match<'a>(name: &str, candidates: impl Iterator<Item = &'a str>) -> Option<String> {
-    let threshold = (name.len() / 3).max(2);
+    // Chars, not bytes: `edit_distance` works over chars, and a byte count
+    // would inflate the threshold ~2-4x for non-ASCII names, producing
+    // spurious suggestions.
+    let threshold = (name.chars().count() / 3).max(2);
     candidates
         .map(|c| (edit_distance(name, c), c))
         .min()
@@ -49,5 +52,20 @@ mod tests {
         );
         assert_eq!(closest_match("qqqqqqqq", ["lfr"].into_iter()), None);
         assert_eq!(closest_match("x", [].into_iter()), None);
+    }
+
+    #[test]
+    fn multibyte_names_use_char_count_for_the_threshold() {
+        // Nine 2-byte chars: the char threshold is 9/3 = 3, while the old
+        // byte-based threshold of 18/3 = 6 would wrongly suggest this
+        // candidate sharing only four of nine chars (distance 5).
+        assert_eq!(edit_distance("ééééééééé", "ааааéééé"), 5);
+        assert_eq!(closest_match("ééééééééé", ["ааааéééé"].into_iter()), None);
+        // Genuinely close multibyte names still get suggested.
+        assert_eq!(edit_distance("génératon", "génération"), 1);
+        assert_eq!(
+            closest_match("génératon", ["génération"].into_iter()),
+            Some("génération".into())
+        );
     }
 }

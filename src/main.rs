@@ -51,7 +51,8 @@ options:
   --seed N          master seed (default 42); same seed => identical output
   --out DIR         export directory (default: no export)
   --format F        csv | jsonl | both (default csv)
-  --threads N       worker threads (default: available cores, capped at 8)
+  --threads N       worker threads (default: all available cores); output
+                    is byte-identical at any thread count
   --list-generators print the registered structure and property generator
                     names and exit (no schema file needed)
   --plan            print the dependency-analyzed task plan and exit

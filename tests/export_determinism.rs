@@ -104,6 +104,71 @@ fn different_seed_changes_output() {
     );
 }
 
+/// The "N" of the thread matrix: CI re-runs the suite with
+/// `DATASYNTH_TEST_THREADS=7` to exercise the task-parallel scheduler and
+/// chunked structure streams on every push.
+fn matrix_threads() -> usize {
+    std::env::var("DATASYNTH_TEST_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7)
+}
+
+/// A schema exercising both a chunkable structure generator (rmat, split
+/// into counter-based slots across workers) and an inherently sequential
+/// one (barabasi_albert), plus properties hanging off both edge types.
+const MIXED_GENERATOR_SCHEMA: &str = r#"
+graph mixed {
+  node Account [count = 2500] {
+    country: text = dictionary("countries");
+    balance: double = normal(1000, 250);
+    opened: date = date_between("2012-01-01", "2020-12-31");
+  }
+  edge transfers: Account -- Account {
+    structure = rmat(edge_factor = 6);
+    amount: double = uniform_double(1, 5000);
+  }
+  edge refers: Account -- Account {
+    structure = barabasi_albert(m = 2);
+    when: date = date_after(60) given (source.opened);
+  }
+}
+"#;
+
+#[test]
+fn csv_and_jsonl_bytes_identical_across_1_2_and_n_threads() {
+    let mut snaps = Vec::new();
+    for threads in [1usize, 2, matrix_threads()] {
+        let generator = DataSynth::from_dsl(MIXED_GENERATOR_SCHEMA)
+            .unwrap()
+            .with_seed(23)
+            .with_threads(threads);
+        let dir = fresh_dir(&format!("mixed-t{threads}"));
+        let mut csv = CsvSink::new(&dir);
+        let mut jsonl = JsonlSink::new(&dir);
+        let mut sinks = MultiSink::new().with(&mut csv).with(&mut jsonl);
+        generator.session().unwrap().run_into(&mut sinks).unwrap();
+        let snap = snapshot(&dir);
+        fs::remove_dir_all(&dir).unwrap();
+        assert_eq!(snap.len(), 6, "3 tables x 2 formats at {threads} threads");
+        snaps.push((threads, snap));
+    }
+    let (base_threads, base) = &snaps[0];
+    for (threads, snap) in &snaps[1..] {
+        assert_eq!(
+            base.keys().collect::<Vec<_>>(),
+            snap.keys().collect::<Vec<_>>(),
+            "file sets differ between {base_threads} and {threads} threads"
+        );
+        for (name, bytes) in base {
+            assert_eq!(
+                bytes, &snap[name],
+                "{name} differs between {base_threads} and {threads} threads"
+            );
+        }
+    }
+}
+
 #[test]
 fn thread_count_does_not_change_exports() {
     let single = {

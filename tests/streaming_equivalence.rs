@@ -100,6 +100,86 @@ fn streaming_sinks_match_in_memory_export_byte_for_byte() {
     }
 }
 
+/// The "N" of the thread matrix: CI re-runs the suite with
+/// `DATASYNTH_TEST_THREADS=7`.
+fn matrix_threads() -> usize {
+    std::env::var("DATASYNTH_TEST_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7)
+}
+
+#[test]
+fn parallel_streaming_matches_single_threaded_export_byte_for_byte() {
+    // threads > 1 engages the task-parallel scheduler; the reorder buffer
+    // must hand the sinks exactly the single-threaded event sequence, so
+    // the directories match byte for byte.
+    let single_dir = fresh_dir("par-t1");
+    {
+        let generator = DataSynth::from_dsl(SCHEMA)
+            .unwrap()
+            .with_seed(42)
+            .with_threads(1);
+        let mut csv = CsvSink::new(&single_dir);
+        let mut jsonl = JsonlSink::new(&single_dir);
+        let mut sinks = MultiSink::new().with(&mut csv).with(&mut jsonl);
+        generator.session().unwrap().run_into(&mut sinks).unwrap();
+    }
+    let single = snapshot(&single_dir);
+    fs::remove_dir_all(&single_dir).unwrap();
+
+    let multi_dir = fresh_dir("par-tn");
+    {
+        let generator = DataSynth::from_dsl(SCHEMA)
+            .unwrap()
+            .with_seed(42)
+            .with_threads(matrix_threads());
+        let mut csv = CsvSink::new(&multi_dir);
+        let mut jsonl = JsonlSink::new(&multi_dir);
+        let mut sinks = MultiSink::new().with(&mut csv).with(&mut jsonl);
+        generator.session().unwrap().run_into(&mut sinks).unwrap();
+    }
+    let multi = snapshot(&multi_dir);
+    fs::remove_dir_all(&multi_dir).unwrap();
+
+    assert_eq!(
+        single.keys().collect::<Vec<_>>(),
+        multi.keys().collect::<Vec<_>>()
+    );
+    for (name, bytes) in &single {
+        assert_eq!(
+            bytes,
+            &multi[name],
+            "{name} differs between 1 and {} threads",
+            matrix_threads()
+        );
+    }
+}
+
+#[test]
+fn observer_events_arrive_in_plan_order_even_when_parallel() {
+    let generator = DataSynth::from_dsl(SCHEMA)
+        .unwrap()
+        .with_seed(1)
+        .with_threads(matrix_threads());
+    let mut events: Vec<(usize, bool)> = Vec::new();
+    let mut sink = InMemorySink::new();
+    generator
+        .session()
+        .unwrap()
+        .on_task(|p| {
+            events.push((p.index, matches!(p.phase, TaskPhase::Finished { .. })));
+        })
+        .run_into(&mut sink)
+        .unwrap();
+    let total = generator.plan().unwrap().tasks.len();
+    assert_eq!(events.len(), 2 * total, "two events per task");
+    for i in 0..total {
+        assert_eq!(events[2 * i], (i, false), "start of task {i}");
+        assert_eq!(events[2 * i + 1], (i, true), "finish of task {i}");
+    }
+}
+
 #[test]
 fn in_memory_sink_reassembles_the_generate_graph() {
     let generator = DataSynth::from_dsl(SCHEMA).unwrap().with_seed(9);
