@@ -4,7 +4,7 @@
 
 use std::collections::BTreeMap;
 
-use datasynth_core::{GraphSink, SinkError};
+use datasynth_core::{GraphSink, SinkError, SinkManifest};
 use datasynth_tables::EdgeTable;
 
 use crate::{degree_assortativity, largest_component_size, DegreeStats};
@@ -60,6 +60,20 @@ impl StatsSink {
 }
 
 impl GraphSink for StatsSink {
+    /// Structural statistics need complete adjacency: degree moments,
+    /// component sizes and assortativity over one shard's edge slice would
+    /// be silently wrong, so a partitioned run is rejected up front.
+    fn begin(&mut self, manifest: &SinkManifest) -> Result<(), SinkError> {
+        if !manifest.shard.is_full() {
+            return Err(SinkError::unsupported(format!(
+                "statistics require the full graph, not shard {}; \
+                 run unsharded or compute stats over the merged export",
+                manifest.shard
+            )));
+        }
+        Ok(())
+    }
+
     fn node_count(&mut self, node_type: &str, count: u64) -> Result<(), SinkError> {
         self.node_counts.insert(node_type.to_owned(), count);
         Ok(())

@@ -153,5 +153,49 @@ fn bench_parallel_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline, bench_parallel_pipeline);
+/// Scale-out efficiency of `Session::shard(i, k)`: one full run vs the
+/// wall time of a *single* shard at k = 1, 2, 4. A shard pays the full
+/// recompute cost of raw structures and matching (they are global), so
+/// per-shard time shrinks sublinearly in k — the gap between `full` and
+/// `shard_0_of_k` documents the recompute overhead of the non-chunkable
+/// tasks (barabasi_albert here) against the windowed savings on property
+/// generation, relabeling and export-facing slicing.
+fn bench_sharded_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_shards");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(20_000 * 3 + 18 * 20_000 + 320_000));
+
+    group.bench_function("full_run", |b| {
+        let gen = DataSynth::from_dsl(STRUCTURE_HEAVY).unwrap().with_seed(7);
+        b.iter(|| {
+            let mut sink = NullSink::default();
+            gen.session().unwrap().run_into(&mut sink).unwrap();
+            black_box(sink.tables)
+        })
+    });
+
+    for k in [1u64, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("shard_0_of_k", k), &k, |b, &k| {
+            let gen = DataSynth::from_dsl(STRUCTURE_HEAVY).unwrap().with_seed(7);
+            b.iter(|| {
+                let mut sink = NullSink::default();
+                gen.session()
+                    .unwrap()
+                    .shard(0, k)
+                    .unwrap()
+                    .run_into(&mut sink)
+                    .unwrap();
+                black_box(sink.tables)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pipeline,
+    bench_parallel_pipeline,
+    bench_sharded_pipeline
+);
 criterion_main!(benches);

@@ -3,10 +3,12 @@
 //! which we traverse to preserve the dependencies between the tasks."
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
 
 use datasynth_schema::{Cardinality, DepRef, Schema};
 
 use crate::error::PipelineError;
+use crate::sink::ShardSpec;
 
 /// One pipeline task.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -159,6 +161,130 @@ pub fn emission_schedule(schema: &Schema, analysis: &Analysis) -> Vec<Vec<Artifa
         schedule[i].push(artifact);
     }
     schedule
+}
+
+/// How one task executes inside a `k`-way sharded run (`Session::shard`).
+///
+/// The contract is byte-identity: concatenating every shard's sink output
+/// in shard order must reproduce a full run exactly. Tables whose readers
+/// are all *row-aligned* (they only look at the row ids they themselves
+/// own) can be generated for just the shard's window; everything a
+/// non-aligned consumer reads — raw structures feeding the global matching
+/// step, endpoint property columns indexed by arbitrary node ids — is
+/// recomputed in full from the seed on every shard that needs it, then
+/// sliced down to the window when handed to the sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardMode {
+    /// A scalar (node count): resolved identically on every shard.
+    Scalar,
+    /// The full table is recomputed deterministically on this shard because
+    /// a downstream task reads rows outside the shard's window; only the
+    /// window is emitted to the sink.
+    Recompute,
+    /// Only the shard's row window is generated and committed.
+    Windowed,
+}
+
+/// Does `reader` look at rows of `dep`'s output table outside its own row
+/// window? Row-aligned readers (same-table property dependencies, an edge
+/// property over its own edge table) slice; everything else forces `dep`
+/// to be computed in full.
+fn needs_full_dep(reader: &Task, dep: &Task) -> bool {
+    match (reader, dep) {
+        // Counts are scalars, resolved on every shard.
+        (_, Task::NodeCount(_)) => false,
+        // Matching is global: it walks the whole raw structure and the
+        // whole correlated property column.
+        (Task::Match(_), _) => true,
+        // A count inferred from a structure scans every raw edge.
+        (Task::NodeCount(_), Task::Structure(_)) => true,
+        // source.* / target.* lookups index node tables by endpoint id,
+        // which can fall anywhere.
+        (Task::EdgeProperty(..), Task::NodeProperty(..)) => true,
+        // Own-table dependencies share the reader's window.
+        _ => false,
+    }
+}
+
+/// Compute each task's [`ShardMode`]. A task runs `Windowed` unless some
+/// consumer needs rows outside the shard window, in which case it (and,
+/// transitively, every table it reads) is `Recompute`. Independent of the
+/// shard spec: the same modes serve every `(index, count)`.
+pub fn shard_modes(analysis: &Analysis) -> Vec<ShardMode> {
+    let tasks = &analysis.plan.tasks;
+    let mut need_full = vec![false; tasks.len()];
+    let mut modes = vec![ShardMode::Windowed; tasks.len()];
+    // Reverse plan order: every reader is decided before its dependencies.
+    for i in (0..tasks.len()).rev() {
+        modes[i] = match &tasks[i] {
+            Task::NodeCount(_) => ShardMode::Scalar,
+            _ if need_full[i] => ShardMode::Recompute,
+            _ => ShardMode::Windowed,
+        };
+        // A task computing all of its rows reads all of its inputs' rows.
+        let full_reader = modes[i] != ShardMode::Windowed;
+        for &d in &analysis.task_deps[i] {
+            if full_reader || needs_full_dep(&tasks[i], &tasks[d]) {
+                need_full[d] = true;
+            }
+        }
+    }
+    modes
+}
+
+/// One task of a [`ShardPlan`]: its mode plus, where the table size is
+/// statically known (explicit node counts), the shard's global row window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardTaskPlan {
+    /// The task.
+    pub task: Task,
+    /// How the task executes on this shard.
+    pub mode: ShardMode,
+    /// The shard's row window, when the row count is known before running
+    /// (node tables with an explicit `[count = N]`). Dynamic sizes —
+    /// structure-derived counts, edge tables — resolve at run time via the
+    /// same [`shard_window`](datasynth_structure::shard_window) partition.
+    pub rows: Option<Range<u64>>,
+}
+
+/// The shard-local view of an [`ExecutionPlan`]: which row window of every
+/// table shard `spec.index` of `spec.count` owns, and which tasks must be
+/// recomputed in full. Produced by [`ShardPlan::for_analysis`] and printed
+/// by the CLI's `--plan --shard I/K`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// The shard this plan describes.
+    pub spec: ShardSpec,
+    /// Per-task modes and (static) windows, in plan order.
+    pub tasks: Vec<ShardTaskPlan>,
+}
+
+impl ShardPlan {
+    /// Build the shard plan for one shard of an analyzed schema.
+    pub fn for_analysis(analysis: &Analysis, spec: ShardSpec) -> ShardPlan {
+        let modes = shard_modes(analysis);
+        let tasks = analysis
+            .plan
+            .tasks
+            .iter()
+            .zip(&modes)
+            .map(|(task, &mode)| {
+                let rows = match task {
+                    Task::NodeProperty(t, _) => match analysis.count_sources.get(t) {
+                        Some(CountSource::Explicit(n)) => Some(spec.window(*n)),
+                        _ => None,
+                    },
+                    _ => None,
+                };
+                ShardTaskPlan {
+                    task: task.clone(),
+                    mode,
+                    rows,
+                }
+            })
+            .collect();
+        ShardPlan { spec, tasks }
+    }
 }
 
 /// Analyze a schema into an execution plan. Fails on underdetermined or
@@ -530,6 +656,100 @@ graph social {
         let analysis = analyze(&schema).unwrap();
         // 2 counts + 5 node props + 2 structures + 2 matches + 1 edge prop.
         assert_eq!(analysis.plan.tasks.len(), 2 + 5 + 2 + 2 + 1);
+    }
+
+    #[test]
+    fn shard_modes_window_aligned_tables_and_recompute_global_inputs() {
+        let schema = parse_schema(EXAMPLE).unwrap();
+        let analysis = analyze(&schema).unwrap();
+        let modes = shard_modes(&analysis);
+        let mode_of = |t: &Task| modes[analysis.plan.position(t).unwrap()];
+        // Counts are scalars everywhere.
+        assert_eq!(
+            mode_of(&Task::NodeCount("Person".into())),
+            ShardMode::Scalar
+        );
+        // Raw structures feed the global matching step: full recompute.
+        assert_eq!(
+            mode_of(&Task::Structure("knows".into())),
+            ShardMode::Recompute
+        );
+        // The matched edge table is only read row-aligned (edge props).
+        assert_eq!(mode_of(&Task::Match("knows".into())), ShardMode::Windowed);
+        // country drives the knows correlation: the matcher reads it all.
+        assert_eq!(
+            mode_of(&Task::NodeProperty("Person".into(), "country".into())),
+            ShardMode::Recompute
+        );
+        // creationDate is read through source./target. endpoint lookups.
+        assert_eq!(
+            mode_of(&Task::NodeProperty("Person".into(), "creationDate".into())),
+            ShardMode::Recompute
+        );
+        // name is a leaf (own-deps only, nothing reads it): sliced.
+        assert_eq!(
+            mode_of(&Task::NodeProperty("Person".into(), "name".into())),
+            ShardMode::Windowed
+        );
+        // Edge property columns are row-aligned with their edge table.
+        assert_eq!(
+            mode_of(&Task::EdgeProperty("knows".into(), "creationDate".into())),
+            ShardMode::Windowed
+        );
+    }
+
+    #[test]
+    fn shard_recompute_propagates_through_own_dependencies() {
+        // b is read by an endpoint lookup, so b recomputes in full — and
+        // therefore a (which b reads row by row) must too.
+        let src = r#"graph g {
+            node A [count = 10] {
+                a: date = date_between("2020-01-01", "2020-12-31");
+                b: date = date_after(10) given (a);
+            }
+            edge e: A -- A {
+                structure = erdos_renyi(p = 0.2);
+                p: date = date_after(5) given (source.b);
+            }
+        }"#;
+        let schema = parse_schema(src).unwrap();
+        let analysis = analyze(&schema).unwrap();
+        let modes = shard_modes(&analysis);
+        let mode_of = |t: &Task| modes[analysis.plan.position(t).unwrap()];
+        assert_eq!(
+            mode_of(&Task::NodeProperty("A".into(), "b".into())),
+            ShardMode::Recompute
+        );
+        assert_eq!(
+            mode_of(&Task::NodeProperty("A".into(), "a".into())),
+            ShardMode::Recompute
+        );
+        assert_eq!(
+            mode_of(&Task::EdgeProperty("e".into(), "p".into())),
+            ShardMode::Windowed
+        );
+    }
+
+    #[test]
+    fn shard_plan_reports_static_windows_for_explicit_counts() {
+        let schema = parse_schema(EXAMPLE).unwrap();
+        let analysis = analyze(&schema).unwrap();
+        let spec = ShardSpec::new(1, 4).unwrap();
+        let plan = ShardPlan::for_analysis(&analysis, spec);
+        assert_eq!(plan.tasks.len(), analysis.plan.tasks.len());
+        let name = plan
+            .tasks
+            .iter()
+            .find(|t| t.task == Task::NodeProperty("Person".into(), "name".into()))
+            .unwrap();
+        assert_eq!(name.rows, Some(25..50), "100 rows, shard 1/4");
+        // Message's count is structure-derived: unknown statically.
+        let topic = plan
+            .tasks
+            .iter()
+            .find(|t| t.task == Task::NodeProperty("Message".into(), "topic".into()))
+            .unwrap();
+        assert_eq!(topic.rows, None);
     }
 
     #[test]

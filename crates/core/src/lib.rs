@@ -67,20 +67,24 @@ mod runner;
 mod sink;
 
 pub use convert::{build_jpd, gen_args_of, structure_params_of};
-pub use dependency::{analyze, emission_schedule, Analysis, Artifact, ExecutionPlan, Task};
+pub use dependency::{
+    analyze, emission_schedule, shard_modes, Analysis, Artifact, ExecutionPlan, ShardMode,
+    ShardPlan, ShardTaskPlan, Task,
+};
 pub use error::PipelineError;
 pub use parallel::{default_threads, parallel_chunks};
 pub use runner::{DataSynth, Session, TaskPhase, TaskProgress};
 pub use sink::{
     CsvSink, EdgeTableInfo, GraphSink, InMemorySink, JsonlSink, MultiSink, NodeTableInfo,
-    PropertyInfo, SinkError, SinkManifest,
+    PropertyInfo, ShardSpec, SinkError, SinkManifest, TableRows, MANIFEST_FILE,
 };
 
 /// Convenient re-exports for downstream users.
 pub mod prelude {
     pub use crate::{
         CsvSink, DataSynth, ExecutionPlan, GraphSink, InMemorySink, JsonlSink, MultiSink,
-        PipelineError, Session, SinkError, SinkManifest, Task, TaskPhase, TaskProgress,
+        PipelineError, Session, ShardMode, ShardPlan, ShardSpec, SinkError, SinkManifest,
+        TableRows, Task, TaskPhase, TaskProgress, MANIFEST_FILE,
     };
     pub use datasynth_prng::{CounterStream, SplitMix64};
     pub use datasynth_props::{

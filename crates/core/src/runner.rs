@@ -12,6 +12,7 @@
 //! sequential run produces, byte for byte, at any thread count.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -31,11 +32,15 @@ use datasynth_tables::{Csr, EdgeTable, PropertyGraph, PropertyTable, Value};
 
 use crate::convert::{build_jpd, gen_args_of, structure_params_of};
 use crate::dependency::{
-    analyze, emission_schedule, Analysis, Artifact, CountSource, ExecutionPlan, Task,
+    analyze, emission_schedule, shard_modes, Analysis, Artifact, CountSource, ExecutionPlan,
+    ShardMode, ShardPlan, Task,
 };
 use crate::error::PipelineError;
 use crate::parallel::{default_threads, panic_message, parallel_chunks};
-use crate::sink::{GraphSink, InMemorySink, SinkManifest};
+use crate::sink::{
+    hash_edge_rows, hash_id_rows, hash_property_rows, GraphSink, InMemorySink, ShardSpec,
+    SinkManifest, TableRows,
+};
 
 /// The generator builder: a schema, a seed, and the two generator
 /// registries every scenario resolves through. Yields [`Session`]s that
@@ -158,8 +163,17 @@ impl DataSynth {
             properties: &self.properties,
             analysis,
             schedule,
+            shard: ShardSpec::default(),
             observer: None,
         })
+    }
+
+    /// The shard-local execution plan for shard `index` of `count`:
+    /// per-task modes (windowed vs full recompute) and, where statically
+    /// known, row windows. Powers the CLI's `--plan --shard I/K`.
+    pub fn shard_plan(&self, index: u64, count: u64) -> Result<ShardPlan, PipelineError> {
+        let spec = ShardSpec::new(index, count).map_err(PipelineError::Sink)?;
+        Ok(ShardPlan::for_analysis(&analyze(&self.schema)?, spec))
     }
 
     /// Run the full pipeline into memory: sugar over
@@ -220,6 +234,7 @@ pub struct Session<'a> {
     properties: &'a PropertyRegistry,
     analysis: Analysis,
     schedule: Vec<Vec<Artifact>>,
+    shard: ShardSpec,
     observer: Option<Observer<'a>>,
 }
 
@@ -227,6 +242,25 @@ impl<'a> Session<'a> {
     /// The execution plan this session will run.
     pub fn plan(&self) -> &ExecutionPlan {
         &self.analysis.plan
+    }
+
+    /// Restrict the run to shard `index` of a `count`-way row partition —
+    /// the distributed scale-out entry point. Each table's rows are split
+    /// into `count` contiguous windows by the canonical partition
+    /// ([`ShardSpec::window`]); this session generates and emits only
+    /// window `index`, and concatenating the sink output of all `count`
+    /// shards in index order is **byte-identical** to one full run, at any
+    /// thread count on any shard.
+    ///
+    /// Row-aligned work (property columns, matched edge rows) is computed
+    /// for the window only; global work — raw structures, the matching
+    /// step, property columns read through endpoint lookups — is
+    /// recomputed deterministically from the seed on every shard that
+    /// needs it (see [`ShardMode`]). Rejects `count == 0` and
+    /// `index >= count`.
+    pub fn shard(mut self, index: u64, count: u64) -> Result<Self, PipelineError> {
+        self.shard = ShardSpec::new(index, count).map_err(PipelineError::Sink)?;
+        Ok(self)
     }
 
     /// Register a progress observer, called twice per task (started /
@@ -247,7 +281,13 @@ impl<'a> Session<'a> {
     /// concurrently; the sink still observes the exact plan-order event
     /// sequence (a reorder buffer holds completed batches until every
     /// earlier task has delivered).
-    pub fn run_into(self, sink: &mut dyn GraphSink) -> Result<(), PipelineError> {
+    ///
+    /// Returns the run's completed [`SinkManifest`]: per-table row
+    /// windows and content hashes. For a sharded session
+    /// ([`shard`](Session::shard)), persist it next to the shard's output
+    /// and fuse the set with [`SinkManifest::merge`] to validate that the
+    /// shards tile the full run.
+    pub fn run_into(self, sink: &mut dyn GraphSink) -> Result<SinkManifest, PipelineError> {
         let Session {
             schema,
             seed,
@@ -256,9 +296,11 @@ impl<'a> Session<'a> {
             properties,
             analysis,
             schedule,
+            shard,
             mut observer,
         } = self;
-        let manifest = SinkManifest::from_schema(schema, seed);
+        let modes = shard_modes(&analysis);
+        let mut manifest = SinkManifest::from_schema(schema, seed).with_shard(shard);
         sink.begin(&manifest).map_err(PipelineError::Sink)?;
         let ctx = Ctx {
             schema,
@@ -267,15 +309,32 @@ impl<'a> Session<'a> {
             structures,
             properties,
             count_sources: &analysis.count_sources,
+            shard,
+            modes: &modes,
         };
         let workers = threads.min(analysis.plan.tasks.len()).max(1);
         if workers <= 1 {
-            run_sequential(&ctx, &analysis, &schedule, &mut observer, sink)?;
+            run_sequential(
+                &ctx,
+                &analysis,
+                &schedule,
+                &mut observer,
+                sink,
+                &mut manifest,
+            )?;
         } else {
-            run_parallel(&ctx, &analysis, &schedule, &mut observer, workers, sink)?;
+            run_parallel(
+                &ctx,
+                &analysis,
+                &schedule,
+                &mut observer,
+                workers,
+                sink,
+                &mut manifest,
+            )?;
         }
         sink.finish().map_err(PipelineError::Sink)?;
-        Ok(())
+        Ok(manifest)
     }
 }
 
@@ -290,18 +349,76 @@ struct Ctx<'a> {
     structures: &'a StructureRegistry,
     properties: &'a PropertyRegistry,
     count_sources: &'a BTreeMap<String, CountSource>,
+    /// Which row slice of every table this run owns (0/1 = all of them).
+    shard: ShardSpec,
+    /// Per-task shard modes, in plan order.
+    modes: &'a [ShardMode],
 }
 
-/// Artifacts committed so far, owned by the coordinator. Tables are
-/// [`Arc`]-shared so in-flight tasks hold cheap clones of their inputs
-/// while the coordinator keeps committing and emitting.
+impl Ctx<'_> {
+    /// The row window task `index` generates over an `n`-row output
+    /// table: the shard's window when the task slices, everything when it
+    /// recomputes.
+    fn task_rows(&self, index: usize, n: u64) -> Range<u64> {
+        match self.modes[index] {
+            ShardMode::Windowed => self.shard.window(n),
+            ShardMode::Scalar | ShardMode::Recompute => 0..n,
+        }
+    }
+}
+
+/// A committed table plus which global rows of the full table it holds:
+/// `rows == 0..total` for tables computed in full, the shard's window for
+/// sliced ones. [`Arc`]-shared so in-flight tasks hold cheap clones while
+/// the coordinator keeps committing and emitting.
+struct Held<T> {
+    table: Arc<T>,
+    /// The global rows `table` covers: row `i` of `table` is global row
+    /// `rows.start + i`.
+    rows: Range<u64>,
+    /// Rows of the full table across all shards.
+    total: u64,
+}
+
+impl<T> Clone for Held<T> {
+    fn clone(&self) -> Self {
+        Held {
+            table: self.table.clone(),
+            rows: self.rows.clone(),
+            total: self.total,
+        }
+    }
+}
+
+impl<T> Held<T> {
+    fn new(table: T, rows: Range<u64>, total: u64) -> Self {
+        Held {
+            table: Arc::new(table),
+            rows,
+            total,
+        }
+    }
+
+    /// Local row index of global row `id`.
+    fn local(&self, id: u64) -> u64 {
+        debug_assert!(
+            self.rows.contains(&id),
+            "global row {id} outside held window {:?}",
+            self.rows
+        );
+        id - self.rows.start
+    }
+}
+
+/// Artifacts committed so far, owned by the coordinator.
 #[derive(Default)]
 struct Tables {
     counts: BTreeMap<String, u64>,
-    node_pts: BTreeMap<(String, String), Arc<PropertyTable>>,
+    node_pts: BTreeMap<(String, String), Held<PropertyTable>>,
+    /// Raw (pre-matching) structures are always full: matching is global.
     raw_structures: BTreeMap<String, Arc<EdgeTable>>,
-    final_edges: BTreeMap<String, Arc<EdgeTable>>,
-    edge_pts: BTreeMap<(String, String), Arc<PropertyTable>>,
+    final_edges: BTreeMap<String, Held<EdgeTable>>,
+    edge_pts: BTreeMap<(String, String), Held<PropertyTable>>,
 }
 
 /// Which table an edge-property dependency reads through.
@@ -325,40 +442,45 @@ enum TaskInput {
     },
     NodeProperty {
         n: u64,
-        deps: Vec<Arc<PropertyTable>>,
+        /// Global rows to generate (the shard window, or everything).
+        rows: Range<u64>,
+        deps: Vec<Held<PropertyTable>>,
     },
     Structure {
         n: u64,
     },
     Match {
         raw: Arc<EdgeTable>,
+        /// Global edge rows to relabel and commit.
+        rows: Range<u64>,
         n_src: u64,
         n_dst: u64,
-        corr_pt: Option<Arc<PropertyTable>>,
+        corr_pt: Option<Held<PropertyTable>>,
     },
     EdgeProperty {
-        edges: Arc<EdgeTable>,
-        deps: Vec<(DepSlot, Arc<PropertyTable>)>,
+        edges: Held<EdgeTable>,
+        deps: Vec<(DepSlot, Held<PropertyTable>)>,
     },
 }
 
 /// What one task produces; applied to [`Tables`] by the coordinator.
+/// Table outputs carry the global rows they cover.
 enum TaskOutput {
     Count(u64),
-    NodeProperty(PropertyTable),
+    NodeProperty(PropertyTable, Range<u64>, u64),
     Structure(EdgeTable),
-    Edges(EdgeTable),
-    EdgeProperty(PropertyTable),
+    Edges(EdgeTable, Range<u64>, u64),
+    EdgeProperty(PropertyTable, Range<u64>, u64),
 }
 
 fn edge_def<'s>(schema: &'s Schema, name: &str) -> &'s EdgeType {
     schema.edge_type(name).expect("validated")
 }
 
-/// Collect the inputs of `task` from the committed tables. Only called
-/// once every dependency of the task has committed, so every lookup is
-/// guaranteed to hit.
-fn gather(ctx: &Ctx<'_>, tables: &Tables, task: &Task) -> TaskInput {
+/// Collect the inputs of `task` (plan slot `index`) from the committed
+/// tables. Only called once every dependency of the task has committed,
+/// so every lookup is guaranteed to hit.
+fn gather(ctx: &Ctx<'_>, tables: &Tables, task: &Task, index: usize) -> TaskInput {
     match task {
         Task::NodeCount(t) => match &ctx.count_sources[t] {
             CountSource::Explicit(c) => TaskInput::CountExplicit(*c),
@@ -385,8 +507,10 @@ fn gather(ctx: &Ctx<'_>, tables: &Tables, task: &Task) -> TaskInput {
                     _ => unreachable!("validated: node props only have own deps"),
                 })
                 .collect();
+            let n = tables.counts[t];
             TaskInput::NodeProperty {
-                n: tables.counts[t],
+                n,
+                rows: ctx.task_rows(index, n),
                 deps,
             }
         }
@@ -402,8 +526,11 @@ fn gather(ctx: &Ctx<'_>, tables: &Tables, task: &Task) -> TaskInput {
                 .correlation
                 .as_ref()
                 .map(|corr| tables.node_pts[&(edge.source.clone(), corr.property.clone())].clone());
+            let raw = tables.raw_structures[e].clone();
+            let rows = ctx.task_rows(index, raw.len());
             TaskInput::Match {
-                raw: tables.raw_structures[e].clone(),
+                raw,
+                rows,
                 n_src: tables.counts[&edge.source],
                 n_dst: tables.counts[&edge.target],
                 corr_pt,
@@ -464,19 +591,20 @@ fn execute(ctx: &Ctx<'_>, task: &Task, input: TaskInput) -> Result<TaskOutput, P
             Cardinality::OneToOne => source_count,
             _ => raw.heads().iter().max().map_or(0, |&h| h + 1),
         })),
-        (Task::NodeProperty(t, p), TaskInput::NodeProperty { n, deps }) => {
-            exec_node_property(ctx, t, p, n, &deps)
+        (Task::NodeProperty(t, p), TaskInput::NodeProperty { n, rows, deps }) => {
+            exec_node_property(ctx, t, p, n, rows, &deps)
         }
         (Task::Structure(e), TaskInput::Structure { n }) => exec_structure(ctx, e, n),
         (
             Task::Match(e),
             TaskInput::Match {
                 raw,
+                rows,
                 n_src,
                 n_dst,
                 corr_pt,
             },
-        ) => exec_match(ctx, e, &raw, n_src, n_dst, corr_pt.as_deref()),
+        ) => exec_match(ctx, e, &raw, rows, n_src, n_dst, corr_pt.as_ref()),
         (Task::EdgeProperty(e, p), TaskInput::EdgeProperty { edges, deps }) => {
             exec_edge_property(ctx, e, p, &edges, &deps)
         }
@@ -492,18 +620,24 @@ fn commit(tables: &mut Tables, task: &Task, out: TaskOutput) {
         (Task::NodeCount(t), TaskOutput::Count(c)) => {
             tables.counts.insert(t.clone(), c);
         }
-        (Task::NodeProperty(t, p), TaskOutput::NodeProperty(pt)) => {
-            tables.node_pts.insert((t.clone(), p.clone()), Arc::new(pt));
+        (Task::NodeProperty(t, p), TaskOutput::NodeProperty(pt, rows, total)) => {
+            tables
+                .node_pts
+                .insert((t.clone(), p.clone()), Held::new(pt, rows, total));
         }
         (Task::Structure(e), TaskOutput::Structure(et)) => {
             tables.raw_structures.insert(e.clone(), Arc::new(et));
         }
-        (Task::Match(e), TaskOutput::Edges(et)) => {
+        (Task::Match(e), TaskOutput::Edges(et, rows, total)) => {
             tables.raw_structures.remove(e);
-            tables.final_edges.insert(e.clone(), Arc::new(et));
+            tables
+                .final_edges
+                .insert(e.clone(), Held::new(et, rows, total));
         }
-        (Task::EdgeProperty(e, p), TaskOutput::EdgeProperty(pt)) => {
-            tables.edge_pts.insert((e.clone(), p.clone()), Arc::new(pt));
+        (Task::EdgeProperty(e, p), TaskOutput::EdgeProperty(pt, rows, total)) => {
+            tables
+                .edge_pts
+                .insert((e.clone(), p.clone()), Held::new(pt, rows, total));
         }
         _ => unreachable!("execute returns the task's own output kind"),
     }
@@ -517,62 +651,131 @@ fn reclaim<T: Clone>(arc: Arc<T>) -> T {
     Arc::try_unwrap(arc).unwrap_or_else(|shared| (*shared).clone())
 }
 
+/// Take the shard's window out of a held property table: the table itself
+/// when it was generated windowed, a copy of the window rows when the
+/// table was recomputed in full.
+fn take_window(held: Held<PropertyTable>, want: &Range<u64>) -> PropertyTable {
+    if held.rows == *want {
+        reclaim(held.table)
+    } else {
+        debug_assert_eq!(held.rows, 0..held.total, "held tables are full or windowed");
+        held.table.slice_rows(want.clone())
+    }
+}
+
+/// Record `hash` into the report entry of `table` (created by the
+/// `table_rows` bookkeeping before any artifact of the table is emitted).
+fn add_hash(report: &mut SinkManifest, table: &str, hash: u64) {
+    let entry = report
+        .tables
+        .get_mut(table)
+        .expect("table_rows recorded before artifacts");
+    entry.content_hash = entry.content_hash.wrapping_add(hash);
+}
+
+/// Record a table's row window in the report and announce it to the sink.
+fn announce_rows(
+    report: &mut SinkManifest,
+    sink: &mut dyn GraphSink,
+    table: &str,
+    rows: Range<u64>,
+    total: u64,
+) -> Result<(), PipelineError> {
+    report.tables.insert(
+        table.to_owned(),
+        TableRows {
+            lo: rows.start,
+            hi: rows.end,
+            total,
+            // Both exporters write an id column; commit to it up front.
+            content_hash: hash_id_rows(rows.clone()),
+        },
+    );
+    sink.table_rows(table, rows, total)
+        .map_err(PipelineError::Sink)
+}
+
 /// Hand a finished artifact to the sink, removing it from working memory.
 /// The emission schedule guarantees each artifact is past its last
-/// pipeline use and is emitted exactly once.
+/// pipeline use and is emitted exactly once. Sharded runs deliver only the
+/// shard's row window; the report accumulates each table's content hash.
 fn emit_artifact(
+    ctx: &Ctx<'_>,
     tables: &mut Tables,
-    schema: &Schema,
     artifact: &Artifact,
     sink: &mut dyn GraphSink,
+    report: &mut SinkManifest,
 ) -> Result<(), PipelineError> {
     match artifact {
         Artifact::NodeProperty(t, p) => {
-            let table = tables
+            let held = tables
                 .node_pts
                 .remove(&(t.clone(), p.clone()))
                 .expect("scheduled after production");
-            sink.node_property(t, p, reclaim(table))
-                .map_err(PipelineError::Sink)
+            let want = ctx.shard.window(held.total);
+            let table = take_window(held, &want);
+            add_hash(report, t, hash_property_rows(p, &table, want.start));
+            sink.node_property(t, p, table).map_err(PipelineError::Sink)
         }
         Artifact::Edges(e) => {
-            let table = tables
+            let held = tables
                 .final_edges
                 .remove(e)
                 .expect("scheduled after production");
-            let def = edge_def(schema, e);
-            sink.edges(e, &def.source, &def.target, reclaim(table))
+            debug_assert_eq!(held.rows, ctx.shard.window(held.total));
+            let lo = held.rows.start;
+            let table = reclaim(held.table);
+            add_hash(report, e, hash_edge_rows(&table, lo));
+            let def = edge_def(ctx.schema, e);
+            sink.edges(e, &def.source, &def.target, table)
                 .map_err(PipelineError::Sink)
         }
         Artifact::EdgeProperty(e, p) => {
-            let table = tables
+            let held = tables
                 .edge_pts
                 .remove(&(e.clone(), p.clone()))
                 .expect("scheduled after production");
-            sink.edge_property(e, p, reclaim(table))
-                .map_err(PipelineError::Sink)
+            let want = ctx.shard.window(held.total);
+            let table = take_window(held, &want);
+            add_hash(report, e, hash_property_rows(p, &table, want.start));
+            sink.edge_property(e, p, table).map_err(PipelineError::Sink)
         }
     }
 }
 
-/// The sink-facing tail of one plan slot: the `node_count` event (when the
-/// task is a count) followed by every artifact whose last use was this
-/// slot. Identical for the sequential and parallel paths — this is what
-/// the reorder buffer serializes.
+/// The sink-facing tail of one plan slot: the table-window announcements
+/// and `node_count` event this slot resolves, followed by every artifact
+/// whose last use was this slot. Identical for the sequential and parallel
+/// paths — this is what the reorder buffer serializes.
 fn emit_slot(
+    ctx: &Ctx<'_>,
     tables: &mut Tables,
-    schema: &Schema,
     schedule: &[Vec<Artifact>],
     task: &Task,
     index: usize,
     sink: &mut dyn GraphSink,
+    report: &mut SinkManifest,
 ) -> Result<(), PipelineError> {
-    if let Task::NodeCount(t) = task {
-        sink.node_count(t, tables.counts[t])
-            .map_err(PipelineError::Sink)?;
+    match task {
+        Task::NodeCount(t) => {
+            // The count resolves the node table's window; announce it
+            // before the count so sinks can size everything that follows.
+            let count = tables.counts[t];
+            announce_rows(report, sink, t, ctx.shard.window(count), count)?;
+            sink.node_count(t, count).map_err(PipelineError::Sink)?;
+        }
+        Task::Match(e) => {
+            // Matching resolves the edge table's size (and thus window);
+            // every edge artifact — including property columns that may be
+            // emitted before the edge table itself — comes later in plan
+            // order.
+            let held = &tables.final_edges[e];
+            announce_rows(report, sink, e, held.rows.clone(), held.total)?;
+        }
+        _ => {}
     }
     for artifact in &schedule[index] {
-        emit_artifact(tables, schema, artifact, sink)?;
+        emit_artifact(ctx, tables, artifact, sink, report)?;
     }
     Ok(())
 }
@@ -586,6 +789,7 @@ fn run_sequential(
     schedule: &[Vec<Artifact>],
     observer: &mut Option<Observer<'_>>,
     sink: &mut dyn GraphSink,
+    report: &mut SinkManifest,
 ) -> Result<(), PipelineError> {
     let plan = &analysis.plan;
     let total = plan.tasks.len();
@@ -600,11 +804,11 @@ fn run_sequential(
             });
         }
         let started = Instant::now();
-        let input = gather(ctx, &tables, task);
+        let input = gather(ctx, &tables, task, index);
         let out = catch_unwind(AssertUnwindSafe(|| execute(ctx, task, input)))
             .unwrap_or_else(|p| Err(PipelineError::WorkerPanic(panic_message(p))))?;
         commit(&mut tables, task, out);
-        emit_slot(&mut tables, ctx.schema, schedule, task, index, sink)?;
+        emit_slot(ctx, &mut tables, schedule, task, index, sink, report)?;
         if let Some(obs) = observer.as_mut() {
             obs(TaskProgress {
                 index,
@@ -693,6 +897,7 @@ fn run_parallel(
     observer: &mut Option<Observer<'_>>,
     workers: usize,
     sink: &mut dyn GraphSink,
+    report: &mut SinkManifest,
 ) -> Result<(), PipelineError> {
     let plan = &analysis.plan;
     let total = plan.tasks.len();
@@ -749,7 +954,7 @@ fn run_parallel(
             if *degree == 0 {
                 queue.push(Job {
                     index,
-                    input: gather(ctx, &tables, &plan.tasks[index]),
+                    input: gather(ctx, &tables, &plan.tasks[index], index),
                 });
             }
         }
@@ -773,7 +978,7 @@ fn run_parallel(
                     if indegree[dep] == 0 {
                         queue.push(Job {
                             index: dep,
-                            input: gather(ctx, &tables, &plan.tasks[dep]),
+                            input: gather(ctx, &tables, &plan.tasks[dep], dep),
                         });
                     }
                 }
@@ -789,7 +994,7 @@ fn run_parallel(
                             phase: TaskPhase::Started,
                         });
                     }
-                    emit_slot(&mut tables, ctx.schema, schedule, task, drained, sink)?;
+                    emit_slot(ctx, &mut tables, schedule, task, drained, sink, report)?;
                     if let Some(obs) = observer.as_mut() {
                         obs(TaskProgress {
                             index: drained,
@@ -849,36 +1054,43 @@ fn build_prop_generator(
     Ok(generator)
 }
 
+/// Generate a node property column over the global rows `rows` of an
+/// `n`-row table. Every value is a pure function of `(seed, global id,
+/// dep values at that id)`, so generating a window yields exactly the
+/// full run's rows for those ids — the byte-identity the sharding API
+/// rests on.
 fn exec_node_property(
     ctx: &Ctx<'_>,
     node_type: &str,
     prop_name: &str,
     n: u64,
-    deps: &[Arc<PropertyTable>],
+    rows: Range<u64>,
+    deps: &[Held<PropertyTable>],
 ) -> Result<TaskOutput, PipelineError> {
     let node = ctx.schema.node_type(node_type).expect("validated");
     let prop = node.property(prop_name).expect("validated");
     let generator = build_prop_generator(ctx, prop)?;
     let stream = TableStream::derive(ctx.seed, &format!("{node_type}.{prop_name}"));
-    let dep_tables: Vec<&PropertyTable> = deps.iter().map(Arc::as_ref).collect();
 
-    let values = parallel_chunks(n, ctx.threads, |range| {
+    let lo = rows.start;
+    let values = parallel_chunks(rows.end - rows.start, ctx.threads, |range| {
         let mut out = Vec::with_capacity((range.end - range.start) as usize);
-        let mut deps: Vec<Value> = Vec::with_capacity(dep_tables.len());
-        for id in range {
-            deps.clear();
-            for table in &dep_tables {
-                deps.push(table.value(id)?);
+        let mut dep_values: Vec<Value> = Vec::with_capacity(deps.len());
+        for local in range {
+            let id = lo + local;
+            dep_values.clear();
+            for held in deps {
+                dep_values.push(held.table.value(held.local(id))?);
             }
             let mut rng = stream.substream(id);
-            out.push(generator.generate(id, &mut rng, &deps)?);
+            out.push(generator.generate(id, &mut rng, &dep_values)?);
         }
         Ok(out)
     })?;
 
     let table =
         PropertyTable::from_values(format!("{node_type}.{prop_name}"), prop.value_type, values)?;
-    Ok(TaskOutput::NodeProperty(table))
+    Ok(TaskOutput::NodeProperty(table, rows, n))
 }
 
 /// Generate an edge type's raw structure. Chunkable generators are driven
@@ -911,13 +1123,20 @@ fn exec_structure(ctx: &Ctx<'_>, edge_name: &str, n: u64) -> Result<TaskOutput, 
 
 /// The matching step: assign structure node ids to property-table ids
 /// (per §4.2) and relabel the raw edge table into final node-id space.
+///
+/// The id assignment is global — it walks the full raw structure and (for
+/// correlations) the full property column, and every shard recomputes it
+/// identically from the seed — but only the edge rows in `rows` are
+/// relabeled and committed: edge row order is preserved by matching, so a
+/// shard's final edge window is exactly the relabeling of its raw window.
 fn exec_match(
     ctx: &Ctx<'_>,
     edge_name: &str,
     raw: &EdgeTable,
+    rows: Range<u64>,
     n_src: u64,
     n_dst: u64,
-    corr_pt: Option<&PropertyTable>,
+    corr_pt: Option<&Held<PropertyTable>>,
 ) -> Result<TaskOutput, PipelineError> {
     let edge = edge_def(ctx.schema, edge_name);
     let same_type = edge.source == edge.target;
@@ -928,8 +1147,9 @@ fn exec_match(
 
     let tail_map: Vec<u64> = if let Some(corr) = &edge.correlation {
         // SBM-Part against the correlated property (same-type edges;
-        // the DSL validator enforces that).
-        let pt = corr_pt.expect("gathered with the correlation");
+        // the DSL validator enforces that). The column is always held in
+        // full: correlation marks it ShardMode::Recompute.
+        let pt: &PropertyTable = &corr_pt.expect("gathered with the correlation").table;
         if pt.len() != n_src {
             return Err(PipelineError::Invalid(format!(
                 "property table {} has {} rows but {} has {} instances",
@@ -991,8 +1211,10 @@ fn exec_match(
         ))
     };
 
-    let mut final_et = EdgeTable::with_capacity(edge_name, raw.len() as usize);
-    for (t, h) in raw.iter() {
+    let total = raw.len();
+    let mut final_et = EdgeTable::with_capacity(edge_name, (rows.end - rows.start) as usize);
+    for i in rows.clone() {
+        let (t, h) = raw.edge(i);
         let nt = tail_map[t as usize];
         let nh = match &head_map {
             Some(map) => map[h as usize],
@@ -1000,15 +1222,20 @@ fn exec_match(
         };
         final_et.push(nt, nh);
     }
-    Ok(TaskOutput::Edges(final_et))
+    Ok(TaskOutput::Edges(final_et, rows, total))
 }
 
+/// Generate an edge property column over the rows the (possibly sliced)
+/// final edge table covers. `source.*` / `target.*` dependencies index by
+/// endpoint node id, which can fall anywhere — those columns are always
+/// held in full ([`ShardMode::Recompute`]); `Own` dependencies share the
+/// edge table's window.
 fn exec_edge_property(
     ctx: &Ctx<'_>,
     edge_name: &str,
     prop_name: &str,
-    et: &EdgeTable,
-    deps: &[(DepSlot, Arc<PropertyTable>)],
+    edges: &Held<EdgeTable>,
+    deps: &[(DepSlot, Held<PropertyTable>)],
 ) -> Result<TaskOutput, PipelineError> {
     let edge = edge_def(ctx.schema, edge_name);
     let prop = edge
@@ -1017,20 +1244,23 @@ fn exec_edge_property(
         .find(|p| p.name == prop_name)
         .expect("validated");
     let generator = build_prop_generator(ctx, prop)?;
-    let m = et.len();
+    let et: &EdgeTable = &edges.table;
+    let rows = edges.rows.clone();
+    let lo = rows.start;
     let stream = TableStream::derive(ctx.seed, &format!("{edge_name}.{prop_name}"));
 
-    let values = parallel_chunks(m, ctx.threads, |range| {
+    let values = parallel_chunks(rows.end - rows.start, ctx.threads, |range| {
         let mut out = Vec::with_capacity((range.end - range.start) as usize);
         let mut dep_values: Vec<Value> = Vec::with_capacity(deps.len());
-        for id in range {
-            let (tail, head) = et.edge(id);
+        for local in range {
+            let id = lo + local;
+            let (tail, head) = et.edge(local);
             dep_values.clear();
-            for (slot, table) in deps {
+            for (slot, held) in deps {
                 dep_values.push(match slot {
-                    DepSlot::Own => table.value(id)?,
-                    DepSlot::Source => table.value(tail)?,
-                    DepSlot::Target => table.value(head)?,
+                    DepSlot::Own => held.table.value(held.local(id))?,
+                    DepSlot::Source => held.table.value(held.local(tail))?,
+                    DepSlot::Target => held.table.value(held.local(head))?,
                 });
             }
             let mut rng = stream.substream(id);
@@ -1041,7 +1271,7 @@ fn exec_edge_property(
 
     let table =
         PropertyTable::from_values(format!("{edge_name}.{prop_name}"), prop.value_type, values)?;
-    Ok(TaskOutput::EdgeProperty(table))
+    Ok(TaskOutput::EdgeProperty(table, rows, edges.total))
 }
 
 fn random_permutation(n: u64, seed: u64) -> Vec<u64> {

@@ -61,11 +61,14 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::fs::{self, File};
 use std::io::{self, BufWriter, Write};
+use std::ops::Range;
 use std::path::PathBuf;
 
+use datasynth_prng::{fnv1a_64, mix64};
 use datasynth_schema::Schema;
+use datasynth_structure::shard_window;
 use datasynth_tables::export::{csv, jsonl};
-use datasynth_tables::{EdgeTable, PropertyGraph, PropertyTable, ValueType};
+use datasynth_tables::{Column, EdgeTable, PropertyGraph, PropertyTable, ValueType};
 
 /// Anything a sink can fail with.
 #[derive(Debug)]
@@ -74,12 +77,21 @@ pub enum SinkError {
     Io(io::Error),
     /// A protocol or consistency violation (with context).
     Invalid(String),
+    /// The sink cannot operate under the announced run shape (for
+    /// example, a whole-graph consumer driven by one shard of a
+    /// partitioned run). The message says what to do instead.
+    Unsupported(String),
 }
 
 impl SinkError {
     /// Shorthand for [`SinkError::Invalid`].
     pub fn invalid(msg: impl fmt::Display) -> Self {
         SinkError::Invalid(msg.to_string())
+    }
+
+    /// Shorthand for [`SinkError::Unsupported`].
+    pub fn unsupported(msg: impl fmt::Display) -> Self {
+        SinkError::Unsupported(msg.to_string())
     }
 }
 
@@ -88,6 +100,7 @@ impl fmt::Display for SinkError {
         match self {
             SinkError::Io(e) => write!(f, "io: {e}"),
             SinkError::Invalid(msg) => write!(f, "{msg}"),
+            SinkError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
         }
     }
 }
@@ -131,19 +144,101 @@ pub struct EdgeTableInfo {
     pub properties: Vec<PropertyInfo>,
 }
 
+/// Which slice of a partitioned run this is: shard `index` of `count`.
+/// `ShardSpec::default()` — shard 0 of 1 — is a full, unpartitioned run;
+/// every run is described this way so sharded and unsharded execution
+/// share one code path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Zero-based shard index, `< count`.
+    pub index: u64,
+    /// Total number of shards, `>= 1`.
+    pub count: u64,
+}
+
+impl Default for ShardSpec {
+    fn default() -> Self {
+        ShardSpec { index: 0, count: 1 }
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+impl ShardSpec {
+    /// A validated spec: rejects `count == 0` and `index >= count`.
+    pub fn new(index: u64, count: u64) -> Result<Self, SinkError> {
+        if count == 0 {
+            return Err(SinkError::invalid("shard count must be at least 1"));
+        }
+        if index >= count {
+            return Err(SinkError::invalid(format!(
+                "shard index {index} out of range: must be < {count}"
+            )));
+        }
+        Ok(ShardSpec { index, count })
+    }
+
+    /// Whether this spec describes a full (single-shard) run.
+    pub fn is_full(&self) -> bool {
+        self.count == 1
+    }
+
+    /// This shard's global row window of an `n`-row table — the canonical
+    /// partition every component derives independently
+    /// (see [`shard_window`]).
+    pub fn window(&self, n: u64) -> Range<u64> {
+        shard_window(n, self.index, self.count)
+    }
+}
+
+/// Where one table's rows landed in this run, recorded in the completed
+/// [`SinkManifest`] that [`Session::run_into`](crate::Session::run_into)
+/// returns: this shard emitted global rows `[lo, hi)` of a `total`-row
+/// table, and `content_hash` commits to their contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableRows {
+    /// First global row emitted by this shard.
+    pub lo: u64,
+    /// One past the last global row emitted by this shard.
+    pub hi: u64,
+    /// Total rows of the table across all shards.
+    pub total: u64,
+    /// Order-independent content commitment: the wrapping sum of one
+    /// 64-bit FNV-derived hash per (global row, column) cell, so shard
+    /// hashes add up to exactly the full-table hash under
+    /// [`SinkManifest::merge`].
+    pub content_hash: u64,
+}
+
 /// Everything a run will emit, announced to sinks up front via
 /// [`GraphSink::begin`] so they can preallocate writers and detect
 /// completion per table without waiting for the run to end.
+///
+/// The manifest doubles as the run's **report**: `run_into` returns it
+/// with [`tables`](Self::tables) filled in — per-table row windows and
+/// content hashes — and [`merge`](Self::merge) fuses the reports of all
+/// `k` shards of a partitioned run back into the report a single full run
+/// would have produced.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SinkManifest {
     /// The schema's graph name.
     pub graph_name: String,
     /// The master seed of the run.
     pub seed: u64,
+    /// Which shard of the row partition this run executes (0/1 = full).
+    pub shard: ShardSpec,
     /// Node tables, sorted by type name.
     pub nodes: Vec<NodeTableInfo>,
     /// Edge tables, sorted by type name.
     pub edges: Vec<EdgeTableInfo>,
+    /// Per-table row windows and content hashes, keyed by type name.
+    /// Empty at [`GraphSink::begin`]; complete in the manifest returned by
+    /// `run_into`.
+    pub tables: BTreeMap<String, TableRows>,
 }
 
 impl SinkManifest {
@@ -185,10 +280,605 @@ impl SinkManifest {
         SinkManifest {
             graph_name: schema.name.clone(),
             seed,
+            shard: ShardSpec::default(),
             nodes,
             edges,
+            tables: BTreeMap::new(),
         }
     }
+
+    /// Builder-style shard annotation (used by sharded sessions).
+    pub fn with_shard(mut self, shard: ShardSpec) -> Self {
+        self.shard = shard;
+        self
+    }
+
+    /// One hash over the whole run: the per-table content hashes folded
+    /// together with their table names. Two runs (or a merged shard set
+    /// and a full run) agree on this iff they agree on every table.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = 0u64;
+        for (name, rows) in &self.tables {
+            h = h.wrapping_add(fnv1a_64(name.as_bytes()) ^ rows.content_hash);
+        }
+        h
+    }
+
+    /// Fuse the completed manifests of all `k` shards of one partitioned
+    /// run into the manifest the equivalent full run returns. Validates
+    /// that the shards belong together (same graph, seed, schema, shard
+    /// count), that every shard index `0..k` appears exactly once, and
+    /// that each table's row windows are disjoint, ordered by shard index,
+    /// and exhaustive over `0..total`. Content hashes are summed — by
+    /// construction this equals the full run's per-table hash.
+    pub fn merge(shards: &[SinkManifest]) -> Result<SinkManifest, SinkError> {
+        let first = shards
+            .first()
+            .ok_or_else(|| SinkError::invalid("merge needs at least one shard manifest"))?;
+        let k = first.shard.count;
+        if shards.len() as u64 != k {
+            return Err(SinkError::invalid(format!(
+                "shard count mismatch: manifests declare {k} shards but {} were given",
+                shards.len()
+            )));
+        }
+        let mut by_index: Vec<Option<&SinkManifest>> = vec![None; k as usize];
+        for m in shards {
+            if m.graph_name != first.graph_name || m.seed != first.seed {
+                return Err(SinkError::invalid(format!(
+                    "cannot merge shards of different runs: {} (seed {}) vs {} (seed {})",
+                    first.graph_name, first.seed, m.graph_name, m.seed
+                )));
+            }
+            if m.nodes != first.nodes || m.edges != first.edges {
+                return Err(SinkError::invalid(
+                    "cannot merge shards generated from different schemas",
+                ));
+            }
+            if m.shard.count != k {
+                return Err(SinkError::invalid(format!(
+                    "shard {} declares {} total shards, expected {k}",
+                    m.shard.index, m.shard.count
+                )));
+            }
+            let slot = by_index.get_mut(m.shard.index as usize).ok_or_else(|| {
+                SinkError::invalid(format!("shard index {} >= {k}", m.shard.index))
+            })?;
+            if slot.replace(m).is_some() {
+                return Err(SinkError::invalid(format!(
+                    "shard index {} appears more than once",
+                    m.shard.index
+                )));
+            }
+        }
+        let ordered: Vec<&SinkManifest> = by_index
+            .into_iter()
+            .map(|s| s.expect("every index filled: k manifests, k distinct indices"))
+            .collect();
+
+        let mut tables: BTreeMap<String, TableRows> = BTreeMap::new();
+        let table_names: Vec<&String> = first.tables.keys().collect();
+        for m in &ordered {
+            if m.tables.keys().collect::<Vec<_>>() != table_names {
+                return Err(SinkError::invalid(format!(
+                    "shard {} reports a different table set",
+                    m.shard.index
+                )));
+            }
+        }
+        for &name in &table_names {
+            let mut next = 0u64;
+            let total = ordered[0].tables[name].total;
+            let mut hash = 0u64;
+            for m in &ordered {
+                let rows = &m.tables[name];
+                if rows.total != total {
+                    return Err(SinkError::invalid(format!(
+                        "table {name:?}: shard {} reports {} total rows, shard 0 reports {total}",
+                        m.shard.index, rows.total
+                    )));
+                }
+                if rows.lo != next || rows.hi < rows.lo {
+                    return Err(SinkError::invalid(format!(
+                        "table {name:?}: shard {} covers rows {}..{} but rows {next}.. are \
+                         the next uncovered span — windows must tile the table in shard order",
+                        m.shard.index, rows.lo, rows.hi
+                    )));
+                }
+                next = rows.hi;
+                hash = hash.wrapping_add(rows.content_hash);
+            }
+            if next != total {
+                return Err(SinkError::invalid(format!(
+                    "table {name:?}: shards cover rows 0..{next} of {total} — incomplete"
+                )));
+            }
+            tables.insert(
+                name.clone(),
+                TableRows {
+                    lo: 0,
+                    hi: total,
+                    total,
+                    content_hash: hash,
+                },
+            );
+        }
+
+        Ok(SinkManifest {
+            graph_name: first.graph_name.clone(),
+            seed: first.seed,
+            shard: ShardSpec::default(),
+            nodes: first.nodes.clone(),
+            edges: first.edges.clone(),
+            tables,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Manifest persistence: a small, self-contained JSON encoding so shard
+// manifests can travel between machines and be merged. The parser handles
+// exactly the JSON this module emits (strings, unsigned integers, objects,
+// arrays) — it is not a general-purpose JSON library.
+// ---------------------------------------------------------------------------
+
+/// The file name shard runs write their manifest under (`--out DIR` ⇒
+/// `DIR/manifest.json`).
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+fn json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn json_props(out: &mut String, props: &[PropertyInfo]) {
+    out.push('[');
+    for (i, p) in props.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        json_str(out, &p.name);
+        out.push_str(",\"type\":");
+        json_str(out, p.value_type.keyword());
+        out.push('}');
+    }
+    out.push(']');
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Str(String),
+    Num(u64),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn err(&self, msg: &str) -> SinkError {
+        SinkError::invalid(format!("manifest JSON, byte {}: {msg}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), SinkError> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn parse_value(&mut self) -> Result<Json, SinkError> {
+        match self.peek() {
+            Some(b'"') => self.parse_string().map(Json::Str),
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.err("expected a string, number, object or array")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, SinkError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| SinkError::invalid("manifest JSON: unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(hex).ok_or_else(|| self.err("bad \\u escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(&b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: take the whole scalar.
+                    let s = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, SinkError> {
+        let start = self.pos;
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits");
+        s.parse::<u64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("integer out of range"))
+    }
+
+    fn parse_array(&mut self) -> Result<Json, SinkError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, SinkError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            map.insert(key, self.parse_value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+impl Json {
+    fn get<'j>(obj: &'j BTreeMap<String, Json>, key: &str) -> Result<&'j Json, SinkError> {
+        obj.get(key)
+            .ok_or_else(|| SinkError::invalid(format!("manifest JSON: missing key {key:?}")))
+    }
+
+    fn str_of(&self, what: &str) -> Result<&str, SinkError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            _ => Err(SinkError::invalid(format!("{what} must be a string"))),
+        }
+    }
+
+    fn num_of(&self, what: &str) -> Result<u64, SinkError> {
+        match self {
+            Json::Num(n) => Ok(*n),
+            _ => Err(SinkError::invalid(format!("{what} must be an integer"))),
+        }
+    }
+
+    fn arr_of(&self, what: &str) -> Result<&[Json], SinkError> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            _ => Err(SinkError::invalid(format!("{what} must be an array"))),
+        }
+    }
+
+    fn obj_of(&self, what: &str) -> Result<&BTreeMap<String, Json>, SinkError> {
+        match self {
+            Json::Obj(map) => Ok(map),
+            _ => Err(SinkError::invalid(format!("{what} must be an object"))),
+        }
+    }
+}
+
+fn props_from_json(v: &Json, what: &str) -> Result<Vec<PropertyInfo>, SinkError> {
+    v.arr_of(what)?
+        .iter()
+        .map(|p| {
+            let obj = p.obj_of("property")?;
+            let name = Json::get(obj, "name")?.str_of("property name")?.to_owned();
+            let ty = Json::get(obj, "type")?.str_of("property type")?;
+            let value_type = ValueType::from_keyword(ty)
+                .ok_or_else(|| SinkError::invalid(format!("unknown property type {ty:?}")))?;
+            Ok(PropertyInfo { name, value_type })
+        })
+        .collect()
+}
+
+impl SinkManifest {
+    /// Serialize the manifest (including row windows and content hashes)
+    /// to JSON. Hashes and the seed are hex strings so the encoding has no
+    /// number-precision hazards for other (double-based) JSON tooling.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"graph\": ");
+        json_str(&mut out, &self.graph_name);
+        out.push_str(&format!(",\n  \"seed\": \"{:016x}\",\n", self.seed));
+        out.push_str(&format!(
+            "  \"shard\": {{\"index\": {}, \"count\": {}}},\n",
+            self.shard.index, self.shard.count
+        ));
+        out.push_str("  \"nodes\": [");
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"name\": ");
+            json_str(&mut out, &n.name);
+            out.push_str(", \"properties\": ");
+            json_props(&mut out, &n.properties);
+            out.push('}');
+        }
+        out.push_str("\n  ],\n  \"edges\": [");
+        for (i, e) in self.edges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"name\": ");
+            json_str(&mut out, &e.name);
+            out.push_str(", \"source\": ");
+            json_str(&mut out, &e.source);
+            out.push_str(", \"target\": ");
+            json_str(&mut out, &e.target);
+            out.push_str(", \"properties\": ");
+            json_props(&mut out, &e.properties);
+            out.push('}');
+        }
+        out.push_str("\n  ],\n  \"tables\": [");
+        for (i, (name, rows)) in self.tables.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"name\": ");
+            json_str(&mut out, name);
+            out.push_str(&format!(
+                ", \"lo\": {}, \"hi\": {}, \"total\": {}, \"hash\": \"{:016x}\"}}",
+                rows.lo, rows.hi, rows.total, rows.content_hash
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Parse a manifest previously written by [`to_json`](Self::to_json).
+    pub fn from_json(src: &str) -> Result<SinkManifest, SinkError> {
+        let mut parser = JsonParser {
+            bytes: src.as_bytes(),
+            pos: 0,
+        };
+        let root = parser.parse_value()?;
+        let obj = root.obj_of("manifest")?;
+        let graph_name = Json::get(obj, "graph")?.str_of("graph")?.to_owned();
+        let seed_hex = Json::get(obj, "seed")?.str_of("seed")?;
+        let seed = u64::from_str_radix(seed_hex, 16)
+            .map_err(|_| SinkError::invalid(format!("bad seed {seed_hex:?}")))?;
+        let shard_obj = Json::get(obj, "shard")?.obj_of("shard")?;
+        let shard = ShardSpec::new(
+            Json::get(shard_obj, "index")?.num_of("shard index")?,
+            Json::get(shard_obj, "count")?.num_of("shard count")?,
+        )?;
+        let nodes = Json::get(obj, "nodes")?
+            .arr_of("nodes")?
+            .iter()
+            .map(|n| {
+                let o = n.obj_of("node table")?;
+                Ok(NodeTableInfo {
+                    name: Json::get(o, "name")?.str_of("node name")?.to_owned(),
+                    properties: props_from_json(Json::get(o, "properties")?, "node properties")?,
+                })
+            })
+            .collect::<Result<Vec<_>, SinkError>>()?;
+        let edges = Json::get(obj, "edges")?
+            .arr_of("edges")?
+            .iter()
+            .map(|e| {
+                let o = e.obj_of("edge table")?;
+                Ok(EdgeTableInfo {
+                    name: Json::get(o, "name")?.str_of("edge name")?.to_owned(),
+                    source: Json::get(o, "source")?.str_of("edge source")?.to_owned(),
+                    target: Json::get(o, "target")?.str_of("edge target")?.to_owned(),
+                    properties: props_from_json(Json::get(o, "properties")?, "edge properties")?,
+                })
+            })
+            .collect::<Result<Vec<_>, SinkError>>()?;
+        let mut tables = BTreeMap::new();
+        for t in Json::get(obj, "tables")?.arr_of("tables")? {
+            let o = t.obj_of("table rows")?;
+            let name = Json::get(o, "name")?.str_of("table name")?.to_owned();
+            let hash_hex = Json::get(o, "hash")?.str_of("table hash")?;
+            let content_hash = u64::from_str_radix(hash_hex, 16)
+                .map_err(|_| SinkError::invalid(format!("bad table hash {hash_hex:?}")))?;
+            tables.insert(
+                name,
+                TableRows {
+                    lo: Json::get(o, "lo")?.num_of("lo")?,
+                    hi: Json::get(o, "hi")?.num_of("hi")?,
+                    total: Json::get(o, "total")?.num_of("total")?,
+                    content_hash,
+                },
+            );
+        }
+        Ok(SinkManifest {
+            graph_name,
+            seed,
+            shard,
+            nodes,
+            edges,
+            tables,
+        })
+    }
+
+    /// Write the manifest as [`MANIFEST_FILE`] inside `dir`.
+    pub fn save(&self, dir: &std::path::Path) -> Result<(), SinkError> {
+        fs::create_dir_all(dir)?;
+        fs::write(dir.join(MANIFEST_FILE), self.to_json())?;
+        Ok(())
+    }
+
+    /// Load a manifest from [`MANIFEST_FILE`] inside `dir`.
+    pub fn load(dir: &std::path::Path) -> Result<SinkManifest, SinkError> {
+        let path = dir.join(MANIFEST_FILE);
+        let src = fs::read_to_string(&path)
+            .map_err(|e| SinkError::invalid(format!("cannot read {}: {e}", path.display())))?;
+        Self::from_json(&src)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Content hashing: one 64-bit commitment per (row, column) cell, summed
+// with wrapping addition. Sums are associative and commutative, so any
+// row partition of a table contributes exactly the full table's hash —
+// coverage (no gap, no overlap) is enforced separately by the row windows.
+// Cost: a few ns per cell, ~3-6% of an export run — the price of every
+// `--out` directory carrying a verifiable content commitment.
+// ---------------------------------------------------------------------------
+
+/// Continue an FNV-1a chain from an existing state — the seeded
+/// counterpart of [`fnv1a_64`] (which is `fnv_step` from the FNV offset
+/// basis), so cell hashes can fold several fields into one chain.
+fn fnv_step(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Hash contribution of the implicit id column for the global rows `rows`.
+pub(crate) fn hash_id_rows(rows: Range<u64>) -> u64 {
+    let mut sum = 0u64;
+    for id in rows {
+        sum = sum.wrapping_add(mix64(fnv_step(fnv1a_64(b"id"), &id.to_le_bytes())));
+    }
+    sum
+}
+
+/// Hash contribution of the `(tail, head)` columns of `table`, whose row
+/// `i` is global row `lo + i`.
+pub(crate) fn hash_edge_rows(table: &EdgeTable, lo: u64) -> u64 {
+    let mut sum = 0u64;
+    let base = fnv1a_64(b"edge");
+    for (i, (t, h)) in table.iter().enumerate() {
+        let mut x = fnv_step(base, &(lo + i as u64).to_le_bytes());
+        x = fnv_step(x, &t.to_le_bytes());
+        x = fnv_step(x, &h.to_le_bytes());
+        sum = sum.wrapping_add(mix64(x));
+    }
+    sum
+}
+
+/// Hash contribution of one property column named `prop`, whose row `i`
+/// is global row `lo + i`.
+pub(crate) fn hash_property_rows(prop: &str, table: &PropertyTable, lo: u64) -> u64 {
+    let base = fnv_step(fnv1a_64(b"prop:"), prop.as_bytes());
+    let mut sum = 0u64;
+    let mut cell = |i: usize, payload: &[u8]| {
+        let mut x = fnv_step(base, &(lo + i as u64).to_le_bytes());
+        x = fnv_step(x, payload);
+        sum = sum.wrapping_add(mix64(x));
+    };
+    match table.column() {
+        Column::Bools(v) => {
+            for (i, b) in v.iter().enumerate() {
+                cell(i, &[u8::from(*b)]);
+            }
+        }
+        Column::Longs(v) | Column::Dates(v) => {
+            for (i, x) in v.iter().enumerate() {
+                cell(i, &x.to_le_bytes());
+            }
+        }
+        Column::Doubles(v) => {
+            for (i, x) in v.iter().enumerate() {
+                cell(i, &x.to_bits().to_le_bytes());
+            }
+        }
+        Column::Texts(v) => {
+            for (i, s) in v.iter().enumerate() {
+                cell(i, s.as_bytes());
+            }
+        }
+    }
+    sum
 }
 
 /// A consumer of generation output, fed by
@@ -197,6 +887,8 @@ impl SinkManifest {
 /// Event order guarantees:
 ///
 /// * [`begin`](Self::begin) first, [`finish`](Self::finish) last, each once;
+/// * [`table_rows`](Self::table_rows) for a table precedes every other
+///   event of that table except `begin`;
 /// * [`node_count`](Self::node_count) for a type precedes every
 ///   [`node_property`](Self::node_property) of that type;
 /// * [`edges`](Self::edges) for a type precedes every
@@ -206,11 +898,25 @@ impl SinkManifest {
 ///   what to expect) if you need complete tables;
 /// * every table named in the manifest is emitted exactly once.
 ///
+/// In a sharded run (`manifest.shard.count > 1`) every table event carries
+/// only the shard's row slice: row `i` of a delivered table is global row
+/// `rows.start + i` of the announced window. [`node_count`](Self::node_count)
+/// still reports the **full** instance count.
+///
 /// See the module-level documentation for a minimal custom sink.
 pub trait GraphSink {
     /// Announce the run: called once, before any task executes.
     fn begin(&mut self, manifest: &SinkManifest) -> Result<(), SinkError> {
         let _ = manifest;
+        Ok(())
+    }
+
+    /// Announce the global row window of `table` (a node or edge type)
+    /// this run will deliver: the tables handed to later events for
+    /// `table` hold rows `rows` of a `total`-row table. A full run
+    /// announces `0..total`. Default: ignore.
+    fn table_rows(&mut self, table: &str, rows: Range<u64>, total: u64) -> Result<(), SinkError> {
+        let _ = (table, rows, total);
         Ok(())
     }
 
@@ -287,6 +993,22 @@ impl InMemorySink {
 }
 
 impl GraphSink for InMemorySink {
+    /// A `PropertyGraph` is a whole-graph artifact: assembling it from one
+    /// shard's slices would pair full node counts with windowed columns
+    /// (silently wrong reads), so partitioned runs are rejected up front —
+    /// stream shards into export sinks instead.
+    fn begin(&mut self, manifest: &SinkManifest) -> Result<(), SinkError> {
+        if !manifest.shard.is_full() {
+            return Err(SinkError::unsupported(format!(
+                "InMemorySink assembles the full graph, not shard {}; \
+                 use streaming sinks (CsvSink/JsonlSink or a custom GraphSink) \
+                 for sharded runs",
+                manifest.shard
+            )));
+        }
+        Ok(())
+    }
+
     fn node_count(&mut self, node_type: &str, count: u64) -> Result<(), SinkError> {
         self.graph.add_node_type(node_type, count);
         Ok(())
@@ -366,6 +1088,13 @@ impl GraphSink for MultiSink<'_> {
     fn begin(&mut self, manifest: &SinkManifest) -> Result<(), SinkError> {
         for sink in &mut self.sinks {
             sink.begin(manifest)?;
+        }
+        Ok(())
+    }
+
+    fn table_rows(&mut self, table: &str, rows: Range<u64>, total: u64) -> Result<(), SinkError> {
+        for sink in &mut self.sinks {
+            sink.table_rows(table, rows.clone(), total)?;
         }
         Ok(())
     }
@@ -471,11 +1200,19 @@ struct EdgeBuffer {
 /// each table, write the file the moment the table is complete, then free
 /// the memory. Peak memory is the largest set of concurrently-incomplete
 /// tables, not the whole graph.
+///
+/// In a sharded run each file holds only the shard's row window (global
+/// ids preserved), and the CSV header is written by shard 0 alone — so
+/// concatenating the shards' files in shard order is byte-identical to the
+/// file a full run writes.
 #[derive(Debug)]
 struct StreamingDirSink {
     dir: PathBuf,
     format: StreamFormat,
     started: bool,
+    shard: ShardSpec,
+    /// Global row windows announced via `table_rows`, by table name.
+    windows: BTreeMap<String, Range<u64>>,
     nodes: BTreeMap<String, NodeBuffer>,
     edges: BTreeMap<String, EdgeBuffer>,
 }
@@ -486,9 +1223,30 @@ impl StreamingDirSink {
             dir,
             format,
             started: false,
+            shard: ShardSpec::default(),
+            windows: BTreeMap::new(),
             nodes: BTreeMap::new(),
             edges: BTreeMap::new(),
         }
+    }
+
+    /// The global rows a table's delivered slice covers: the announced
+    /// window, or `0..fallback` for drivers that never announce one (a
+    /// full run through a hand-rolled driver).
+    fn window_of(&self, table: &str, fallback: u64) -> Range<u64> {
+        self.windows.get(table).cloned().unwrap_or(0..fallback)
+    }
+
+    fn check_rows(table: &str, what: &str, len: u64, window: &Range<u64>) -> Result<(), SinkError> {
+        let expected = window.end - window.start;
+        if len != expected {
+            return Err(SinkError::invalid(format!(
+                "{table}: {what} has {len} rows but the announced window \
+                 {}..{} holds {expected}",
+                window.start, window.end
+            )));
+        }
+        Ok(())
     }
 
     fn node(&mut self, node_type: &str) -> Result<&mut NodeBuffer, SinkError> {
@@ -517,8 +1275,9 @@ impl StreamingDirSink {
 
     fn try_flush_node(&mut self, node_type: &str) -> Result<(), SinkError> {
         let format = self.format;
+        let write_header = self.shard.index == 0;
         let path = self.dir.join(format!("{node_type}.{}", format.extension()));
-        let buf = self.nodes.get_mut(node_type).expect("checked by caller");
+        let buf = self.nodes.get(node_type).expect("checked by caller");
         let complete = !buf.written
             && buf.count.is_some()
             && buf.expected.iter().all(|p| buf.props.contains_key(p));
@@ -526,15 +1285,25 @@ impl StreamingDirSink {
             return Ok(());
         }
         let count = buf.count.expect("checked");
+        let rows = self.window_of(node_type, count);
+        let buf = self.nodes.get_mut(node_type).expect("checked by caller");
         let props: Vec<(&str, &PropertyTable)> = buf
             .expected
             .iter()
             .map(|p| (p.as_str(), &buf.props[p]))
             .collect();
+        for (name, table) in &props {
+            Self::check_rows(node_type, name, table.len(), &rows)?;
+        }
         let mut w = BufWriter::new(File::create(path)?);
         match format {
-            StreamFormat::Csv => csv::write_node_table(&mut w, count, &props)?,
-            StreamFormat::Jsonl => jsonl::write_node_table(&mut w, count, &props)?,
+            StreamFormat::Csv => {
+                if write_header {
+                    csv::write_node_header(&mut w, &props)?;
+                }
+                csv::write_node_rows(&mut w, rows, &props)?;
+            }
+            StreamFormat::Jsonl => jsonl::write_node_rows(&mut w, rows, &props)?,
         }
         w.flush()?;
         buf.written = true;
@@ -544,25 +1313,38 @@ impl StreamingDirSink {
 
     fn try_flush_edge(&mut self, edge_type: &str) -> Result<(), SinkError> {
         let format = self.format;
+        let write_header = self.shard.index == 0;
         let path = self.dir.join(format!("{edge_type}.{}", format.extension()));
-        let buf = self.edges.get_mut(edge_type).expect("checked by caller");
+        let buf = self.edges.get(edge_type).expect("checked by caller");
         let complete = !buf.written
             && buf.table.is_some()
             && buf.expected.iter().all(|p| buf.props.contains_key(p));
         if !complete {
             return Ok(());
         }
+        let slice_len = buf.table.as_ref().expect("checked").len();
+        let rows = self.window_of(edge_type, slice_len);
+        let buf = self.edges.get_mut(edge_type).expect("checked by caller");
         let table = buf.table.take().expect("checked");
+        Self::check_rows(edge_type, "edge table", table.len(), &rows)?;
         let props: Vec<(&str, &PropertyTable)> = buf
             .expected
             .iter()
             .map(|p| (p.as_str(), &buf.props[p]))
             .collect();
+        for (name, ptable) in &props {
+            Self::check_rows(edge_type, name, ptable.len(), &rows)?;
+        }
         let mut w = BufWriter::new(File::create(path)?);
         match format {
-            StreamFormat::Csv => csv::write_edge_table(&mut w, &table, &props)?,
+            StreamFormat::Csv => {
+                if write_header {
+                    csv::write_edge_header(&mut w, &props)?;
+                }
+                csv::write_edge_rows(&mut w, rows, &table, &props)?;
+            }
             StreamFormat::Jsonl => {
-                jsonl::write_edge_table(&mut w, &buf.source, &buf.target, &table, &props)?
+                jsonl::write_edge_rows(&mut w, rows, &buf.source, &buf.target, &table, &props)?
             }
         }
         w.flush()?;
@@ -607,7 +1389,20 @@ impl GraphSink for StreamingDirSink {
                 )
             })
             .collect();
+        self.shard = manifest.shard;
+        self.windows.clear();
         self.started = true;
+        Ok(())
+    }
+
+    fn table_rows(&mut self, table: &str, rows: Range<u64>, _total: u64) -> Result<(), SinkError> {
+        if !self.started {
+            return Err(SinkError::invalid(
+                "streaming sink received an event before begin(); \
+                 drive it through Session::run_into",
+            ));
+        }
+        self.windows.insert(table.to_owned(), rows);
         Ok(())
     }
 
@@ -687,6 +1482,14 @@ macro_rules! delegate_sink {
         impl GraphSink for $outer {
             fn begin(&mut self, manifest: &SinkManifest) -> Result<(), SinkError> {
                 self.inner.begin(manifest)
+            }
+            fn table_rows(
+                &mut self,
+                table: &str,
+                rows: Range<u64>,
+                total: u64,
+            ) -> Result<(), SinkError> {
+                self.inner.table_rows(table, rows, total)
             }
             fn node_count(&mut self, node_type: &str, count: u64) -> Result<(), SinkError> {
                 self.inner.node_count(node_type, count)

@@ -8,6 +8,8 @@
 //! `(stream key, slot index)`, concatenating any ordered partition of the
 //! slot range reproduces the sequential output byte-for-byte.
 
+use std::ops::Range;
+
 use datasynth_prng::{CounterStream, SplitMix64};
 use datasynth_tables::EdgeTable;
 
@@ -67,6 +69,31 @@ pub(crate) fn pair_from_index(idx: u64) -> (u64, u64) {
     (t, h)
 }
 
+/// The canonical `k`-way row partition used by sharded generation: shard
+/// `index` of `count` owns the global rows `[n*index/count, n*(index+1)/count)`
+/// of an `n`-row table. The windows of all `count` shards are disjoint,
+/// ordered by shard index, and tile `0..n` exactly — so concatenating the
+/// shards' row slices in index order reconstructs the full table. The
+/// partition is a pure function of `(n, index, count)`: every shard (and
+/// every sink) derives the same windows independently, with no
+/// coordination.
+///
+/// # Panics
+///
+/// Panics when `count == 0` or `index >= count`; callers validate shard
+/// specs before reaching this function.
+pub fn shard_window(n: u64, index: u64, count: u64) -> Range<u64> {
+    assert!(count > 0, "shard count must be positive");
+    assert!(
+        index < count,
+        "shard index {index} out of range for {count} shards"
+    );
+    // u128 intermediates: n * count must not overflow for any u64 inputs.
+    let lo = ((n as u128 * index as u128) / count as u128) as u64;
+    let hi = ((n as u128 * (index as u128 + 1)) / count as u128) as u64;
+    lo..hi
+}
+
 /// Run a chunkable generator over its whole slot range on one thread,
 /// deriving the counter key from `rng` — the reference semantics that any
 /// partitioned `run_range` execution must reproduce byte-for-byte. This is
@@ -123,6 +150,41 @@ mod tests {
         }
         // 50 windows x 1000 indices x p=0.1 = 5000 expected.
         assert!((4400..5600).contains(&total), "sampled {total}");
+    }
+
+    #[test]
+    fn shard_windows_tile_the_row_space() {
+        for &n in &[0u64, 1, 7, 1000, 1001] {
+            for k in 1..=8u64 {
+                let mut next = 0u64;
+                for i in 0..k {
+                    let w = shard_window(n, i, k);
+                    assert_eq!(w.start, next, "n={n} k={k} i={i} must be contiguous");
+                    assert!(w.end >= w.start);
+                    next = w.end;
+                }
+                assert_eq!(next, n, "n={n} k={k} must be exhaustive");
+            }
+        }
+        // Balanced to within one row.
+        for i in 0..7u64 {
+            let w = shard_window(100, i, 7);
+            assert!((w.end - w.start).abs_diff(100 / 7) <= 1);
+        }
+    }
+
+    #[test]
+    fn shard_window_survives_huge_tables() {
+        // n * count overflows u64; u128 arithmetic must still tile exactly.
+        let n = u64::MAX;
+        let mut next = 0u64;
+        for i in 0..5 {
+            let w = shard_window(n, i, 5);
+            assert_eq!(w.start, next);
+            assert!(w.end > w.start);
+            next = w.end;
+        }
+        assert_eq!(next, n);
     }
 
     #[test]

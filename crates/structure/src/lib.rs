@@ -31,7 +31,7 @@ pub use attachment::{DegreeDist, OneToManyGenerator, OneToOneGenerator};
 pub use barabasi_albert::BarabasiAlbert;
 pub use bter::{BterGenerator, CcProfile};
 pub use capabilities::Capabilities;
-pub use chunk::run_chunked;
+pub use chunk::{run_chunked, shard_window};
 pub use darwini::DarwiniGenerator;
 pub use degree_seq::{chung_lu, configuration_model, even_out_degree_sum, ConfigModelOptions};
 pub use degree_sequence::DegreeSequenceGenerator;

@@ -8,10 +8,42 @@
 
 use std::fs::{self, File};
 use std::io::{self, BufWriter, Write};
+use std::ops::Range;
 use std::path::Path;
 
 use super::{csv_escape, Exporter};
 use crate::{EdgeTable, PropertyGraph, PropertyTable};
+
+/// Write the node-table header line: `id,<props...>`.
+pub fn write_node_header<W: Write>(w: &mut W, props: &[(&str, &PropertyTable)]) -> io::Result<()> {
+    write!(w, "id")?;
+    for (name, _) in props {
+        write!(w, ",{}", csv_escape(name))?;
+    }
+    writeln!(w)
+}
+
+/// Write the data rows for the global ids in `rows`; the property tables
+/// hold exactly those rows (their row `0` is global id `rows.start`). A
+/// full table is `rows = 0..count`; a shard passes its window, so
+/// concatenating the shards' row output reproduces the full table's rows
+/// byte-for-byte.
+pub fn write_node_rows<W: Write>(
+    w: &mut W,
+    rows: Range<u64>,
+    props: &[(&str, &PropertyTable)],
+) -> io::Result<()> {
+    let offset = rows.start;
+    for id in rows {
+        write!(w, "{id}")?;
+        for (_, table) in props {
+            let v = table.value(id - offset).map_err(io::Error::other)?;
+            write!(w, ",{}", csv_escape(&v.render()))?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
 
 /// Write one node table: header `id,<props...>` then one row per id in
 /// `0..count`. `props` must be in the desired column order.
@@ -20,15 +52,33 @@ pub fn write_node_table<W: Write>(
     count: u64,
     props: &[(&str, &PropertyTable)],
 ) -> io::Result<()> {
-    write!(w, "id")?;
+    write_node_header(w, props)?;
+    write_node_rows(w, 0..count, props)
+}
+
+/// Write the edge-table header line: `id,tail,head,<props...>`.
+pub fn write_edge_header<W: Write>(w: &mut W, props: &[(&str, &PropertyTable)]) -> io::Result<()> {
+    write!(w, "id,tail,head")?;
     for (name, _) in props {
         write!(w, ",{}", csv_escape(name))?;
     }
-    writeln!(w)?;
-    for id in 0..count {
-        write!(w, "{id}")?;
-        for (_, table) in props {
-            let v = table.value(id).map_err(io::Error::other)?;
+    writeln!(w)
+}
+
+/// Write the data rows for the global edge ids in `rows`; `table` and
+/// every property column hold exactly those rows (see [`write_node_rows`]).
+pub fn write_edge_rows<W: Write>(
+    w: &mut W,
+    rows: Range<u64>,
+    table: &EdgeTable,
+    props: &[(&str, &PropertyTable)],
+) -> io::Result<()> {
+    let offset = rows.start;
+    for id in rows {
+        let (t, h) = table.edge(id - offset);
+        write!(w, "{id},{t},{h}")?;
+        for (_, ptable) in props {
+            let v = ptable.value(id - offset).map_err(io::Error::other)?;
             write!(w, ",{}", csv_escape(&v.render()))?;
         }
         writeln!(w)?;
@@ -43,21 +93,8 @@ pub fn write_edge_table<W: Write>(
     table: &EdgeTable,
     props: &[(&str, &PropertyTable)],
 ) -> io::Result<()> {
-    write!(w, "id,tail,head")?;
-    for (name, _) in props {
-        write!(w, ",{}", csv_escape(name))?;
-    }
-    writeln!(w)?;
-    for id in 0..table.len() {
-        let (t, h) = table.edge(id);
-        write!(w, "{id},{t},{h}")?;
-        for (_, ptable) in props {
-            let v = ptable.value(id).map_err(io::Error::other)?;
-            write!(w, ",{}", csv_escape(&v.render()))?;
-        }
-        writeln!(w)?;
-    }
-    Ok(())
+    write_edge_header(w, props)?;
+    write_edge_rows(w, 0..table.len(), table, props)
 }
 
 /// CSV exporter; see module docs for the layout.

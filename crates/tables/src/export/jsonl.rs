@@ -37,15 +37,18 @@ fn write_value(out: &mut String, v: &Value) {
     }
 }
 
-/// Write one node table: one `{"id":..., ...props}` object per line, ids
-/// `0..count`. `props` must be in the desired key order.
-pub fn write_node_table<W: Write>(
+/// Write the objects for the global ids in `rows`; the property tables
+/// hold exactly those rows (their row `0` is global id `rows.start`) —
+/// the sharded counterpart of [`write_node_table`] (JSONL has no header,
+/// so a shard's file is exactly its row window).
+pub fn write_node_rows<W: Write>(
     w: &mut W,
-    count: u64,
+    rows: std::ops::Range<u64>,
     props: &[(&str, &PropertyTable)],
 ) -> io::Result<()> {
+    let offset = rows.start;
     let mut line = String::new();
-    for id in 0..count {
+    for id in rows {
         line.clear();
         line.push_str("{\"id\":");
         line.push_str(&id.to_string());
@@ -53,7 +56,50 @@ pub fn write_node_table<W: Write>(
             line.push_str(",\"");
             line.push_str(&json_escape(name));
             line.push_str("\":");
-            let v = table.value(id).map_err(io::Error::other)?;
+            let v = table.value(id - offset).map_err(io::Error::other)?;
+            write_value(&mut line, &v);
+        }
+        line.push('}');
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Write one node table: one `{"id":..., ...props}` object per line, ids
+/// `0..count`. `props` must be in the desired key order.
+pub fn write_node_table<W: Write>(
+    w: &mut W,
+    count: u64,
+    props: &[(&str, &PropertyTable)],
+) -> io::Result<()> {
+    write_node_rows(w, 0..count, props)
+}
+
+/// Write the objects for the global edge ids in `rows`; `table` and every
+/// property column hold exactly those rows.
+pub fn write_edge_rows<W: Write>(
+    w: &mut W,
+    rows: std::ops::Range<u64>,
+    source: &str,
+    target: &str,
+    table: &EdgeTable,
+    props: &[(&str, &PropertyTable)],
+) -> io::Result<()> {
+    let offset = rows.start;
+    let mut line = String::new();
+    for id in rows {
+        let (t, h) = table.edge(id - offset);
+        line.clear();
+        line.push_str(&format!(
+            "{{\"id\":{id},\"tail\":{t},\"head\":{h},\"source\":\"{}\",\"target\":\"{}\"",
+            json_escape(source),
+            json_escape(target)
+        ));
+        for (name, ptable) in props {
+            line.push_str(",\"");
+            line.push_str(&json_escape(name));
+            line.push_str("\":");
+            let v = ptable.value(id - offset).map_err(io::Error::other)?;
             write_value(&mut line, &v);
         }
         line.push('}');
@@ -71,26 +117,7 @@ pub fn write_edge_table<W: Write>(
     table: &EdgeTable,
     props: &[(&str, &PropertyTable)],
 ) -> io::Result<()> {
-    let mut line = String::new();
-    for id in 0..table.len() {
-        let (t, h) = table.edge(id);
-        line.clear();
-        line.push_str(&format!(
-            "{{\"id\":{id},\"tail\":{t},\"head\":{h},\"source\":\"{}\",\"target\":\"{}\"",
-            json_escape(source),
-            json_escape(target)
-        ));
-        for (name, ptable) in props {
-            line.push_str(",\"");
-            line.push_str(&json_escape(name));
-            line.push_str("\":");
-            let v = ptable.value(id).map_err(io::Error::other)?;
-            write_value(&mut line, &v);
-        }
-        line.push('}');
-        writeln!(w, "{line}")?;
-    }
-    Ok(())
+    write_edge_rows(w, 0..table.len(), source, target, table, props)
 }
 
 impl Exporter for JsonlExporter {

@@ -163,6 +163,34 @@ impl PropertyTable {
         (0..self.len()).map(move |i| self.value(i).expect("in range"))
     }
 
+    /// Copy the contiguous row window `rows` into a new table (same name
+    /// and type). Row `i` of the slice is row `rows.start + i` of `self`.
+    /// Used by sharded generation to commit one shard's window of a table
+    /// that had to be computed in full.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rows` does not lie within `0..len()`.
+    pub fn slice_rows(&self, rows: std::ops::Range<u64>) -> PropertyTable {
+        assert!(
+            rows.start <= rows.end && rows.end <= self.len(),
+            "slice {rows:?} out of bounds for {} rows",
+            self.len()
+        );
+        let (lo, hi) = (rows.start as usize, rows.end as usize);
+        let column = match &self.column {
+            Column::Bools(v) => Column::Bools(v[lo..hi].to_vec()),
+            Column::Longs(v) => Column::Longs(v[lo..hi].to_vec()),
+            Column::Doubles(v) => Column::Doubles(v[lo..hi].to_vec()),
+            Column::Texts(v) => Column::Texts(v[lo..hi].to_vec()),
+            Column::Dates(v) => Column::Dates(v[lo..hi].to_vec()),
+        };
+        PropertyTable {
+            name: self.name.clone(),
+            column,
+        }
+    }
+
     /// Direct access to the underlying column.
     pub fn column(&self) -> &Column {
         &self.column

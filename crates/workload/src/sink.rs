@@ -2,7 +2,7 @@
 //! parameter curation samples from, then derives the workload when the
 //! generation run finishes — no separate materialized-graph pass.
 
-use datasynth_core::{GraphSink, SinkError};
+use datasynth_core::{GraphSink, SinkError, SinkManifest};
 use datasynth_schema::Schema;
 use datasynth_tables::{EdgeTable, PropertyGraph, PropertyTable};
 
@@ -71,6 +71,20 @@ impl<'a> WorkloadSink<'a> {
 }
 
 impl GraphSink for WorkloadSink<'_> {
+    /// Parameter curation samples ids, values and degree statistics across
+    /// the whole graph; curating from one shard's slice would skew every
+    /// selectivity estimate, so a partitioned run is rejected up front.
+    fn begin(&mut self, manifest: &SinkManifest) -> Result<(), SinkError> {
+        if !manifest.shard.is_full() {
+            return Err(SinkError::unsupported(format!(
+                "workload curation requires the full graph, not shard {}; \
+                 run unsharded (workloads are derived once, not per shard)",
+                manifest.shard
+            )));
+        }
+        Ok(())
+    }
+
     fn node_count(&mut self, node_type: &str, count: u64) -> Result<(), SinkError> {
         self.graph.add_node_type(node_type, count);
         Ok(())

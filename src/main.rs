@@ -5,7 +5,16 @@
 //! datasynth schema.dsl --plan           # show the dependency analysis
 //! datasynth schema.dsl --stats          # print structural statistics
 //! datasynth schema.dsl --workload q/ --queries 100   # benchmark queries
+//! datasynth schema.dsl --shard 0/3 --out ./data      # one shard of three
+//! datasynth --merge-manifests d/shard-0-of-3 d/shard-1-of-3 d/shard-2-of-3
 //! ```
+//!
+//! `--shard I/K` generates only shard `I` of a `K`-way row partition:
+//! concatenating the `K` shard directories' files in shard order is
+//! byte-identical to the unsharded run, so the shards can be produced on
+//! `K` different machines. Every `--out` run writes a `manifest.json`
+//! (row windows + content hashes); `--merge-manifests` validates a shard
+//! set and fuses their manifests into the single-run manifest.
 //!
 //! Everything runs in **one generation pass**: export (any format mix),
 //! statistics and workload curation are [`GraphSink`]s fanned out behind a
@@ -28,6 +37,8 @@ struct Args {
     out: Option<PathBuf>,
     format: Format,
     threads: Option<usize>,
+    shard: Option<ShardSpec>,
+    merge_manifests: Vec<PathBuf>,
     list_generators: bool,
     plan_only: bool,
     progress: bool,
@@ -53,9 +64,21 @@ options:
   --format F        csv | jsonl | both (default csv)
   --threads N       worker threads (default: all available cores); output
                     is byte-identical at any thread count
+  --shard I/K       generate only shard I of a K-way row partition
+                    (0 <= I < K); with --out, files land in a
+                    shard-I-of-K/ subdirectory, and concatenating all K
+                    shards' files in order is byte-identical to the full
+                    run. Each shard writes a manifest.json.
+  --merge-manifests DIR...
+                    read the manifest.json of each shard directory,
+                    validate coverage/ordering, and fuse them into the
+                    single-run manifest (written to --out, else printed);
+                    no schema file is taken in this mode
   --list-generators print the registered structure and property generator
                     names and exit (no schema file needed)
-  --plan            print the dependency-analyzed task plan and exit
+  --plan            print the dependency-analyzed task plan and exit;
+                    with --shard, also show each task's shard mode and
+                    row window
   --progress        per-task start/finish lines on stderr
   --stats           print structural statistics of the generated graph
   --workload DIR    derive a benchmark query workload into DIR
@@ -67,6 +90,20 @@ options:
   --help            this text
 ";
 
+/// Parse `I/K` into a validated [`ShardSpec`].
+fn parse_shard(spec: &str) -> Result<ShardSpec, String> {
+    let (i, k) = spec
+        .split_once('/')
+        .ok_or_else(|| format!("--shard takes I/K (e.g. 0/3), got {spec:?}"))?;
+    let index: u64 = i
+        .parse()
+        .map_err(|_| format!("--shard index must be an integer, got {i:?}"))?;
+    let count: u64 = k
+        .parse()
+        .map_err(|_| format!("--shard count must be an integer, got {k:?}"))?;
+    ShardSpec::new(index, count).map_err(|e| e.to_string())
+}
+
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         schema_path: PathBuf::new(),
@@ -74,6 +111,8 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         format: Format::Csv,
         threads: None,
+        shard: None,
+        merge_manifests: Vec::new(),
         list_generators: false,
         plan_only: false,
         progress: false,
@@ -83,7 +122,7 @@ fn parse_args() -> Result<Args, String> {
         query_mix: None,
     };
     let mut positional = Vec::new();
-    let mut iter = std::env::args().skip(1);
+    let mut iter = std::env::args().skip(1).peekable();
     while let Some(a) = iter.next() {
         match a.as_str() {
             "--help" | "-h" => return Err(String::new()),
@@ -111,6 +150,22 @@ fn parse_args() -> Result<Args, String> {
                         .ok_or("--threads takes an integer")?,
                 );
             }
+            "--shard" => {
+                let spec = iter.next().ok_or("--shard takes I/K (e.g. 0/3)")?;
+                args.shard = Some(parse_shard(&spec)?);
+            }
+            "--merge-manifests" => {
+                while let Some(dir) = iter.peek() {
+                    if dir.starts_with('-') {
+                        break;
+                    }
+                    args.merge_manifests
+                        .push(iter.next().expect("peeked").into());
+                }
+                if args.merge_manifests.is_empty() {
+                    return Err("--merge-manifests takes one or more shard directories".into());
+                }
+            }
             "--list-generators" => args.list_generators = true,
             "--plan" => args.plan_only = true,
             "--progress" => args.progress = true,
@@ -133,18 +188,26 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
+    let schemaless_mode = args.list_generators || !args.merge_manifests.is_empty();
     match positional.as_slice() {
-        // Loudly reject a schema alongside --list-generators rather than
+        // Loudly reject a schema alongside schema-free modes rather than
         // silently skipping generation.
-        [_, ..] if args.list_generators => {
-            return Err("--list-generators takes no schema file".into());
+        [_, ..] if schemaless_mode => {
+            return Err(if args.list_generators {
+                "--list-generators takes no schema file".into()
+            } else {
+                "--merge-manifests takes no schema file, only shard directories".into()
+            });
         }
-        [] if args.list_generators => {}
+        [] if schemaless_mode => {}
         [one] => args.schema_path = one.clone(),
         _ => return Err("expected exactly one schema file".into()),
     }
     if args.workload.is_none() && (args.queries.is_some() || args.query_mix.is_some()) {
         return Err("--queries / --query-mix require --workload DIR".into());
+    }
+    if !args.merge_manifests.is_empty() && args.shard.is_some() {
+        return Err("--merge-manifests cannot be combined with --shard".into());
     }
     Ok(args)
 }
@@ -180,6 +243,15 @@ impl<'a> SummarySink<'a> {
 impl GraphSink for SummarySink<'_> {
     fn begin(&mut self, manifest: &SinkManifest) -> Result<(), SinkError> {
         self.inner.begin(manifest)
+    }
+
+    fn table_rows(
+        &mut self,
+        table: &str,
+        rows: std::ops::Range<u64>,
+        total: u64,
+    ) -> Result<(), SinkError> {
+        self.inner.table_rows(table, rows, total)
     }
 
     fn node_count(&mut self, node_type: &str, count: u64) -> Result<(), SinkError> {
@@ -237,10 +309,47 @@ fn list_generators() {
     }
 }
 
+/// `--merge-manifests`: load every shard directory's manifest, fuse them,
+/// and write (or print) the resulting single-run manifest.
+fn merge_manifests(dirs: &[PathBuf], out: Option<&PathBuf>) -> Result<(), String> {
+    let manifests: Vec<SinkManifest> = dirs
+        .iter()
+        .map(|d| SinkManifest::load(d).map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+    let merged = SinkManifest::merge(&manifests).map_err(|e| e.to_string())?;
+    eprintln!(
+        "merged {} shard manifests of {} (seed {}): {} tables, content hash {:016x}",
+        manifests.len(),
+        merged.graph_name,
+        merged.seed,
+        merged.tables.len(),
+        merged.content_hash()
+    );
+    for (name, rows) in &merged.tables {
+        eprintln!(
+            "  {name}: {} rows, hash {:016x}",
+            rows.total, rows.content_hash
+        );
+    }
+    match out {
+        Some(dir) => {
+            merged
+                .save(dir)
+                .map_err(|e| format!("cannot write merged manifest: {e}"))?;
+            eprintln!("merged manifest -> {}", dir.join(MANIFEST_FILE).display());
+        }
+        None => print!("{}", merged.to_json()),
+    }
+    Ok(())
+}
+
 fn run(args: &Args) -> Result<(), String> {
     if args.list_generators {
         list_generators();
         return Ok(());
+    }
+    if !args.merge_manifests.is_empty() {
+        return merge_manifests(&args.merge_manifests, args.out.as_ref());
     }
     let src = std::fs::read_to_string(&args.schema_path)
         .map_err(|e| format!("cannot read {}: {e}", args.schema_path.display()))?;
@@ -252,24 +361,64 @@ fn run(args: &Args) -> Result<(), String> {
     }
 
     if args.plan_only {
-        println!("execution plan for {}:", args.schema_path.display());
-        for (i, task) in generator
-            .plan()
-            .map_err(|e| e.to_string())?
-            .tasks
-            .iter()
-            .enumerate()
-        {
-            println!("  {i:>3}. {task}");
+        match args.shard {
+            None => {
+                println!("execution plan for {}:", args.schema_path.display());
+                for (i, task) in generator
+                    .plan()
+                    .map_err(|e| e.to_string())?
+                    .tasks
+                    .iter()
+                    .enumerate()
+                {
+                    println!("  {i:>3}. {task}");
+                }
+            }
+            Some(spec) => {
+                println!(
+                    "execution plan for {}, shard {spec}:",
+                    args.schema_path.display()
+                );
+                let plan = generator
+                    .shard_plan(spec.index, spec.count)
+                    .map_err(|e| e.to_string())?;
+                for (i, t) in plan.tasks.iter().enumerate() {
+                    match (t.mode, &t.rows) {
+                        (ShardMode::Scalar, _) => println!("  {i:>3}. {} [scalar]", t.task),
+                        (ShardMode::Recompute, Some(rows)) => println!(
+                            "  {i:>3}. {} [recompute, emit rows {}..{}]",
+                            t.task, rows.start, rows.end
+                        ),
+                        (ShardMode::Recompute, None) => println!(
+                            "  {i:>3}. {} [recompute, rows resolved at run time]",
+                            t.task
+                        ),
+                        (ShardMode::Windowed, Some(rows)) => println!(
+                            "  {i:>3}. {} [windowed, rows {}..{}]",
+                            t.task, rows.start, rows.end
+                        ),
+                        (ShardMode::Windowed, None) => {
+                            println!("  {i:>3}. {} [windowed, rows resolved at run time]", t.task)
+                        }
+                    }
+                }
+            }
         }
         return Ok(());
     }
 
+    // A sharded run nests its files under shard-I-of-K/ so K shards can
+    // target the same --out without clobbering each other.
+    let out_dir: Option<PathBuf> = args.out.as_ref().map(|dir| match args.shard {
+        Some(spec) => dir.join(format!("shard-{}-of-{}", spec.index, spec.count)),
+        None => dir.clone(),
+    });
+
     // One generation pass: every consumer is a sink behind the fan-out.
-    let mut csv_sink = args.out.as_ref().and_then(|dir| {
+    let mut csv_sink = out_dir.as_ref().and_then(|dir| {
         (args.format == Format::Csv || args.format == Format::Both).then(|| CsvSink::new(dir))
     });
-    let mut jsonl_sink = args.out.as_ref().and_then(|dir| {
+    let mut jsonl_sink = out_dir.as_ref().and_then(|dir| {
         (args.format == Format::Jsonl || args.format == Format::Both).then(|| JsonlSink::new(dir))
     });
     let mut stats_sink = args.stats.then(StatsSink::new);
@@ -280,7 +429,7 @@ fn run(args: &Args) -> Result<(), String> {
             .with_count(args.queries.unwrap_or(100))
     });
 
-    if let Some(dir) = &args.out {
+    if let Some(dir) = &out_dir {
         // The sinks also create the directory; doing it here first turns a
         // permissions/path problem into one clear CLI error instead of a
         // per-format export failure.
@@ -303,6 +452,11 @@ fn run(args: &Args) -> Result<(), String> {
     }
 
     let mut session = generator.session().map_err(|e| e.to_string())?;
+    if let Some(spec) = args.shard {
+        session = session
+            .shard(spec.index, spec.count)
+            .map_err(|e| e.to_string())?;
+    }
     if args.progress {
         session = session.on_task(|p| match p.phase {
             TaskPhase::Started => {
@@ -322,20 +476,38 @@ fn run(args: &Args) -> Result<(), String> {
 
     let started = std::time::Instant::now();
     let mut summary = SummarySink::new(&mut sinks);
-    session.run_into(&mut summary).map_err(|e| e.to_string())?;
-    eprintln!(
-        "generated {} nodes, {} edges in {:.2}s (seed {})",
-        summary.total_nodes(),
-        summary.total_edges(),
-        started.elapsed().as_secs_f64(),
-        args.seed
-    );
+    let manifest = session.run_into(&mut summary).map_err(|e| e.to_string())?;
+    match args.shard {
+        None => eprintln!(
+            "generated {} nodes, {} edges in {:.2}s (seed {})",
+            summary.total_nodes(),
+            summary.total_edges(),
+            started.elapsed().as_secs_f64(),
+            args.seed
+        ),
+        Some(spec) => eprintln!(
+            "shard {spec}: emitted {} edge rows (of {} total nodes) in {:.2}s (seed {})",
+            summary.total_edges(),
+            summary.total_nodes(),
+            started.elapsed().as_secs_f64(),
+            args.seed
+        ),
+    }
 
     for (name, count) in &summary.node_counts {
         println!("node {name}: {count} instances");
     }
     for (name, (source, target, count)) in &summary.edge_summaries {
-        println!("edge {name}: {count} edges ({source} -> {target})");
+        match args.shard {
+            None => println!("edge {name}: {count} edges ({source} -> {target})"),
+            Some(_) => println!("edge {name}: {count} edge rows in shard ({source} -> {target})"),
+        }
+    }
+
+    if let Some(dir) = &out_dir {
+        manifest
+            .save(dir)
+            .map_err(|e| format!("cannot write manifest: {e}"))?;
     }
 
     if let Some(stats) = &stats_sink {
@@ -360,7 +532,7 @@ fn run(args: &Args) -> Result<(), String> {
         }
     }
 
-    if let Some(dir) = &args.out {
+    if let Some(dir) = &out_dir {
         eprintln!("exported to {}", dir.display());
     }
 

@@ -1,0 +1,307 @@
+//! Sharded generation: `Session::shard(i, k)` must satisfy the scale-out
+//! contract — the in-order concatenation of all `k` shards' sink output is
+//! byte-identical to one full run, for every `k`, at any thread count, in
+//! every export format — and the `k` shard manifests must merge into
+//! exactly the manifest the full run returns.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use datasynth::prelude::*;
+use datasynth::structure::shard_window;
+use proptest::prelude::*;
+
+/// Chunkable (rmat) + inherently sequential (barabasi_albert) structures,
+/// a correlation (matching reads a full column), endpoint-dependent edge
+/// properties, and a structure-derived node count — every shard mode in
+/// one schema.
+const SCHEMA: &str = r#"
+graph shardmix {
+  node Account [count = 1200] {
+    country: text = dictionary("countries");
+    balance: double = normal(1000, 250);
+    opened: date = date_between("2012-01-01", "2020-12-31");
+  }
+  node Message {
+    topic: text = dictionary("topics");
+  }
+  edge transfers: Account -- Account {
+    structure = rmat(edge_factor = 5);
+    amount: double = uniform_double(1, 5000);
+  }
+  edge refers: Account -- Account {
+    structure = barabasi_albert(m = 2);
+    correlate country with homophily(0.7);
+    when: date = date_after(60) given (source.opened);
+  }
+  edge posts: Account -> Message [one_to_many] {
+    structure = one_to_many(dist = "geometric", p = 0.5);
+  }
+}
+"#;
+
+/// Accepts any run shape and drops every table — for manifest-only runs.
+struct Discard;
+impl GraphSink for Discard {}
+
+fn matrix_threads() -> usize {
+    std::env::var("DATASYNTH_TEST_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7)
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("datasynth-shard-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// All files under `dir` as relative-path -> bytes.
+fn snapshot(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    for entry in fs::read_dir(dir).unwrap() {
+        let path = entry.unwrap().path();
+        let rel = path.file_name().unwrap().to_string_lossy().into_owned();
+        out.insert(rel, fs::read(&path).unwrap());
+    }
+    out
+}
+
+fn run_into_dir(threads: usize, shard: Option<(u64, u64)>, dir: &Path) -> SinkManifest {
+    let generator = DataSynth::from_dsl(SCHEMA)
+        .unwrap()
+        .with_seed(99)
+        .with_threads(threads);
+    let mut csv = CsvSink::new(dir);
+    let mut jsonl = JsonlSink::new(dir);
+    let mut sinks = MultiSink::new().with(&mut csv).with(&mut jsonl);
+    let mut session = generator.session().unwrap();
+    if let Some((i, k)) = shard {
+        session = session.shard(i, k).unwrap();
+    }
+    session.run_into(&mut sinks).unwrap()
+}
+
+#[test]
+fn concat_of_shards_is_byte_identical_to_the_full_run() {
+    for threads in [1usize, matrix_threads()] {
+        let full_dir = fresh_dir(&format!("full-t{threads}"));
+        let full_manifest = run_into_dir(threads, None, &full_dir);
+        let full = snapshot(&full_dir);
+        assert_eq!(full.len(), 10, "5 tables x 2 formats");
+        fs::remove_dir_all(&full_dir).unwrap();
+
+        for k in [1u64, 2, 3, 5] {
+            let mut manifests = Vec::new();
+            let mut concat: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+            for i in 0..k {
+                let dir = fresh_dir(&format!("t{threads}-s{i}of{k}"));
+                manifests.push(run_into_dir(threads, Some((i, k)), &dir));
+                for (name, bytes) in snapshot(&dir) {
+                    concat.entry(name).or_default().extend(bytes);
+                }
+                fs::remove_dir_all(&dir).unwrap();
+            }
+            assert_eq!(
+                full.keys().collect::<Vec<_>>(),
+                concat.keys().collect::<Vec<_>>(),
+                "every shard must emit every table file (k={k}, threads={threads})"
+            );
+            for (name, bytes) in &full {
+                assert_eq!(
+                    bytes, &concat[name],
+                    "{name}: concat of {k} shards differs from the full run at {threads} threads"
+                );
+            }
+            // The k shard manifests fuse into exactly the full-run manifest.
+            let merged = SinkManifest::merge(&manifests).unwrap();
+            assert_eq!(
+                merged, full_manifest,
+                "merged manifest must equal the full run's (k={k}, threads={threads})"
+            );
+            assert_eq!(merged.content_hash(), full_manifest.content_hash());
+        }
+    }
+}
+
+#[test]
+fn shard_windows_in_manifests_tile_every_table() {
+    let dirless = |i, k| {
+        let generator = DataSynth::from_dsl(SCHEMA).unwrap().with_seed(5);
+        generator
+            .session()
+            .unwrap()
+            .shard(i, k)
+            .unwrap()
+            .run_into(&mut Discard)
+            .unwrap()
+    };
+    let manifests: Vec<SinkManifest> = (0..3).map(|i| dirless(i, 3)).collect();
+    for table in manifests[0].tables.keys() {
+        let mut next = 0;
+        for m in &manifests {
+            let rows = &m.tables[table];
+            assert_eq!(rows.lo, next, "{table} windows must be contiguous");
+            assert!(rows.hi >= rows.lo);
+            next = rows.hi;
+        }
+        assert_eq!(
+            next, manifests[0].tables[table].total,
+            "{table} windows must be exhaustive"
+        );
+    }
+}
+
+#[test]
+fn manifest_json_roundtrip_preserves_everything() {
+    let dir = fresh_dir("json");
+    let manifest = run_into_dir(1, Some((1, 3)), &dir);
+    fs::remove_dir_all(&dir).unwrap();
+    let parsed = SinkManifest::from_json(&manifest.to_json()).unwrap();
+    assert_eq!(parsed, manifest);
+}
+
+#[test]
+fn merge_rejects_gaps_duplicates_and_foreign_shards() {
+    let run = |seed: u64, i, k| {
+        let generator = DataSynth::from_dsl(SCHEMA).unwrap().with_seed(seed);
+        generator
+            .session()
+            .unwrap()
+            .shard(i, k)
+            .unwrap()
+            .run_into(&mut Discard)
+            .unwrap()
+    };
+    let shards: Vec<SinkManifest> = (0..3).map(|i| run(7, i, 3)).collect();
+    assert!(SinkManifest::merge(&shards).is_ok());
+    // Too few manifests.
+    let err = SinkManifest::merge(&shards[..2]).unwrap_err();
+    assert!(err.to_string().contains("3 shards"), "{err}");
+    // A duplicate index.
+    let dup = vec![shards[0].clone(), shards[1].clone(), shards[1].clone()];
+    let err = SinkManifest::merge(&dup).unwrap_err();
+    assert!(err.to_string().contains("more than once"), "{err}");
+    // A shard from a different run (seed) cannot sneak in.
+    let foreign = vec![shards[0].clone(), shards[1].clone(), run(8, 2, 3)];
+    let err = SinkManifest::merge(&foreign).unwrap_err();
+    assert!(err.to_string().contains("different runs"), "{err}");
+}
+
+#[test]
+fn invalid_shard_specs_are_rejected() {
+    let generator = DataSynth::from_dsl(SCHEMA).unwrap();
+    let err = match generator.session().unwrap().shard(3, 3) {
+        Err(e) => e,
+        Ok(_) => panic!("shard index == count must be rejected"),
+    };
+    assert!(err.to_string().contains("out of range"), "{err}");
+    let err = match generator.session().unwrap().shard(0, 0) {
+        Err(e) => e,
+        Ok(_) => panic!("shard count 0 must be rejected"),
+    };
+    assert!(err.to_string().contains("at least 1"), "{err}");
+}
+
+#[test]
+fn stats_and_workload_sinks_refuse_partial_runs() {
+    let generator = DataSynth::from_dsl(SCHEMA).unwrap();
+
+    // InMemorySink assembles a whole graph: full counts over windowed
+    // columns would be silently wrong, so partial runs are refused too.
+    let mut in_memory = InMemorySink::new();
+    let err = generator
+        .session()
+        .unwrap()
+        .shard(0, 2)
+        .unwrap()
+        .run_into(&mut in_memory)
+        .unwrap_err();
+    assert!(err.to_string().contains("unsupported"), "{err}");
+
+    let mut stats = StatsSink::new();
+    let err = generator
+        .session()
+        .unwrap()
+        .shard(0, 2)
+        .unwrap()
+        .run_into(&mut stats)
+        .unwrap_err();
+    assert!(err.to_string().contains("unsupported"), "{err}");
+    assert!(err.to_string().contains("full graph"), "{err}");
+
+    let schema = generator.schema().clone();
+    let mut workload = WorkloadSink::new(&schema);
+    let err = generator
+        .session()
+        .unwrap()
+        .shard(1, 2)
+        .unwrap()
+        .run_into(&mut workload)
+        .unwrap_err();
+    assert!(err.to_string().contains("unsupported"), "{err}");
+
+    // Shard 0/1 is a full run: both sinks accept it.
+    let mut stats = StatsSink::new();
+    generator
+        .session()
+        .unwrap()
+        .shard(0, 1)
+        .unwrap()
+        .run_into(&mut stats)
+        .unwrap();
+    assert!(!stats.reports().is_empty());
+}
+
+proptest! {
+    /// The canonical partition is disjoint, ordered and exhaustive for
+    /// random (table size, shard count) pairs.
+    #[test]
+    fn prop_shard_windows_partition_any_table(
+        n in 0u64..50_000,
+        k in 1u64..64,
+    ) {
+        let mut next = 0u64;
+        for i in 0..k {
+            let w = shard_window(n, i, k);
+            prop_assert_eq!(w.start, next);
+            prop_assert!(w.end >= w.start);
+            // Balanced to within one row.
+            prop_assert!((w.end - w.start).abs_diff(n / k) <= 1);
+            next = w.end;
+        }
+        prop_assert_eq!(next, n);
+    }
+
+    /// ShardPlan's static row windows partition every explicitly-counted
+    /// node table: disjoint, ordered, exhaustive — for random schema
+    /// sizes and shard counts.
+    #[test]
+    fn prop_shard_plan_windows_cover_explicit_tables(
+        count in 1u64..5_000,
+        k in 1u64..16,
+    ) {
+        let dsl = format!(
+            r#"graph p {{
+                node A [count = {count}] {{ x: long = counter(); }}
+                edge e: A -- A {{ structure = erdos_renyi(p = 0.01); }}
+            }}"#
+        );
+        let generator = DataSynth::from_dsl(&dsl).unwrap();
+        let mut next = 0u64;
+        for i in 0..k {
+            let plan = generator.shard_plan(i, k).unwrap();
+            let prop_task = plan
+                .tasks
+                .iter()
+                .find(|t| matches!(&t.task, Task::NodeProperty(n, _) if n == "A"))
+                .expect("A.x task present");
+            let rows = prop_task.rows.clone().expect("explicit count is static");
+            prop_assert_eq!(rows.start, next);
+            next = rows.end;
+        }
+        prop_assert_eq!(next, count);
+    }
+}
