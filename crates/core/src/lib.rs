@@ -41,28 +41,39 @@
 //! ```
 //!
 //! The streaming path exports without materializing the graph — and a
-//! [`MultiSink`] lets several consumers share the single pass:
+//! [`MultiSink`] lets several consumers share the single pass. Progress
+//! observers receive each task's row count and wall time at
+//! [`TaskPhase::Finished`], and [`Session::run_into`] returns a
+//! [`RunReport`] with the full per-task/per-table telemetry:
 //!
 //! ```no_run
-//! use datasynth_core::{CsvSink, DataSynth, JsonlSink, MultiSink};
+//! use datasynth_core::{CsvSink, DataSynth, JsonlSink, MultiSink, TaskPhase};
 //!
 //! # let dsl = "graph g { node A [count = 10] { x: long = counter(); } }";
 //! let generator = DataSynth::from_dsl(dsl).unwrap().with_seed(42);
 //! let mut csv = CsvSink::new("out/csv");
 //! let mut jsonl = JsonlSink::new("out/jsonl");
 //! let mut sinks = MultiSink::new().with(&mut csv).with(&mut jsonl);
-//! generator
+//! let report = generator
 //!     .session()
 //!     .unwrap()
-//!     .on_task(|p| eprintln!("[{}/{}] {} {:?}", p.index + 1, p.total, p.task, p.phase))
+//!     .on_task(|p| {
+//!         if p.phase == TaskPhase::Finished {
+//!             let rows = p.rows.unwrap_or(0);
+//!             let elapsed = p.elapsed.unwrap_or_default();
+//!             eprintln!("[{}/{}] {}: {rows} rows in {elapsed:.2?}", p.index + 1, p.total, p.task);
+//!         }
+//!     })
 //!     .run_into(&mut sinks)
 //!     .unwrap();
+//! eprintln!("{} rows total in {:.2?}", report.total_rows(), report.wall);
 //! ```
 
 mod convert;
 mod dependency;
 mod error;
 mod parallel;
+mod report;
 mod runner;
 mod sink;
 
@@ -73,6 +84,7 @@ pub use dependency::{
 };
 pub use error::PipelineError;
 pub use parallel::{default_threads, parallel_chunks};
+pub use report::{RunReport, TaskReport};
 pub use runner::{DataSynth, Session, TaskPhase, TaskProgress};
 pub use sink::{
     CsvSink, EdgeTableInfo, GraphSink, InMemorySink, JsonlSink, MultiSink, NodeTableInfo,
@@ -83,8 +95,8 @@ pub use sink::{
 pub mod prelude {
     pub use crate::{
         CsvSink, DataSynth, ExecutionPlan, GraphSink, InMemorySink, JsonlSink, MultiSink,
-        PipelineError, Session, ShardMode, ShardPlan, ShardSpec, SinkError, SinkManifest,
-        TableRows, Task, TaskPhase, TaskProgress, MANIFEST_FILE,
+        PipelineError, RunReport, Session, ShardMode, ShardPlan, ShardSpec, SinkError,
+        SinkManifest, TableRows, Task, TaskPhase, TaskProgress, TaskReport, MANIFEST_FILE,
     };
     pub use datasynth_prng::{CounterStream, SplitMix64};
     pub use datasynth_props::{
@@ -99,4 +111,5 @@ pub mod prelude {
         export::{CsvExporter, Exporter, JsonlExporter},
         PropertyGraph, Value, ValueType,
     };
+    pub use datasynth_telemetry::{CountingWrite, MetricsRegistry};
 }

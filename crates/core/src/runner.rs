@@ -29,6 +29,7 @@ use datasynth_schema::{
 };
 use datasynth_structure::{BoxedStructureGenerator, BuildError, Params, StructureRegistry};
 use datasynth_tables::{Csr, EdgeTable, PropertyGraph, PropertyTable, Value};
+use datasynth_telemetry::{fnv1a_64, MetricsRegistry};
 
 use crate::convert::{build_jpd, gen_args_of, structure_params_of};
 use crate::dependency::{
@@ -37,6 +38,7 @@ use crate::dependency::{
 };
 use crate::error::PipelineError;
 use crate::parallel::{default_threads, panic_message, parallel_chunks};
+use crate::report::{RunReport, TaskReport};
 use crate::sink::{
     hash_edge_rows, hash_id_rows, hash_property_rows, GraphSink, InMemorySink, ShardSpec,
     SinkManifest, TableRows,
@@ -165,6 +167,7 @@ impl DataSynth {
             schedule,
             shard: ShardSpec::default(),
             observer: None,
+            metrics: None,
         })
     }
 
@@ -196,20 +199,20 @@ impl DataSynth {
 
 /// Which end of a task a [`TaskProgress`] event reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum TaskPhase {
     /// The task is about to run (single-threaded sessions) or about to be
     /// delivered in plan order (parallel sessions).
     Started,
-    /// The task finished, taking `elapsed`.
-    Finished {
-        /// Wall-clock duration of the task.
-        elapsed: Duration,
-    },
+    /// The task finished; [`TaskProgress::rows`] and
+    /// [`TaskProgress::elapsed`] carry its row count and wall time.
+    Finished,
 }
 
 /// One progress event, delivered to the observer registered with
 /// [`Session::on_task`] — twice per task, started then finished.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct TaskProgress<'p> {
     /// Zero-based position of the task in the plan.
     pub index: usize,
@@ -219,6 +222,36 @@ pub struct TaskProgress<'p> {
     pub task: &'p Task,
     /// Started or finished.
     pub phase: TaskPhase,
+    /// Rows the task produced — the shard's window size for windowed
+    /// tasks. `None` until [`TaskPhase::Finished`].
+    pub rows: Option<u64>,
+    /// The task's own wall-clock duration. `None` until
+    /// [`TaskPhase::Finished`].
+    pub elapsed: Option<Duration>,
+}
+
+impl<'p> TaskProgress<'p> {
+    fn started(index: usize, total: usize, task: &'p Task) -> Self {
+        TaskProgress {
+            index,
+            total,
+            task,
+            phase: TaskPhase::Started,
+            rows: None,
+            elapsed: None,
+        }
+    }
+
+    fn finished(index: usize, total: usize, task: &'p Task, rows: u64, elapsed: Duration) -> Self {
+        TaskProgress {
+            index,
+            total,
+            task,
+            phase: TaskPhase::Finished,
+            rows: Some(rows),
+            elapsed: Some(elapsed),
+        }
+    }
 }
 
 type Observer<'a> = Box<dyn FnMut(TaskProgress<'_>) + 'a>;
@@ -236,6 +269,7 @@ pub struct Session<'a> {
     schedule: Vec<Vec<Artifact>>,
     shard: ShardSpec,
     observer: Option<Observer<'a>>,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl<'a> Session<'a> {
@@ -274,6 +308,17 @@ impl<'a> Session<'a> {
         self
     }
 
+    /// Attach a metrics registry: the scheduler records task counters and
+    /// execute-time histograms into it as the run progresses, and metered
+    /// sinks sharing the same registry (see `CsvSink::with_metrics`)
+    /// contribute per-table byte/row throughput that the returned
+    /// [`RunReport`] picks up. Without a registry the run records nothing
+    /// — the uninstrumented hot path is unchanged.
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
     /// Execute the plan, streaming each finished artifact to `sink` as
     /// soon as no later task depends on it — tables leave the runner's
     /// working memory at their last use instead of accumulating until the
@@ -282,12 +327,14 @@ impl<'a> Session<'a> {
     /// sequence (a reorder buffer holds completed batches until every
     /// earlier task has delivered).
     ///
-    /// Returns the run's completed [`SinkManifest`]: per-table row
-    /// windows and content hashes. For a sharded session
-    /// ([`shard`](Session::shard)), persist it next to the shard's output
-    /// and fuse the set with [`SinkManifest::merge`] to validate that the
-    /// shards tile the full run.
-    pub fn run_into(self, sink: &mut dyn GraphSink) -> Result<SinkManifest, PipelineError> {
+    /// Returns the run's [`RunReport`]: the completed [`SinkManifest`]
+    /// (per-table row windows and content hashes — the report derefs to
+    /// it) plus per-task phase timings and scheduler/sink telemetry. For
+    /// a sharded session ([`shard`](Session::shard)), persist the
+    /// manifest next to the shard's output and fuse the set with
+    /// [`SinkManifest::merge`] to validate that the shards tile the full
+    /// run.
+    pub fn run_into(self, sink: &mut dyn GraphSink) -> Result<RunReport, PipelineError> {
         let Session {
             schema,
             seed,
@@ -298,7 +345,9 @@ impl<'a> Session<'a> {
             schedule,
             shard,
             mut observer,
+            metrics,
         } = self;
+        let run_started = Instant::now();
         let modes = shard_modes(&analysis);
         let mut manifest = SinkManifest::from_schema(schema, seed).with_shard(shard);
         sink.begin(&manifest).map_err(PipelineError::Sink)?;
@@ -313,6 +362,7 @@ impl<'a> Session<'a> {
             modes: &modes,
         };
         let workers = threads.min(analysis.plan.tasks.len()).max(1);
+        let mut stats = RunStats::new(analysis.plan.tasks.len(), metrics.as_deref());
         if workers <= 1 {
             run_sequential(
                 &ctx,
@@ -321,6 +371,7 @@ impl<'a> Session<'a> {
                 &mut observer,
                 sink,
                 &mut manifest,
+                &mut stats,
             )?;
         } else {
             run_parallel(
@@ -331,10 +382,134 @@ impl<'a> Session<'a> {
                 workers,
                 sink,
                 &mut manifest,
+                &mut stats,
             )?;
         }
         sink.finish().map_err(PipelineError::Sink)?;
-        Ok(manifest)
+        let wall = run_started.elapsed();
+
+        let tasks = analysis
+            .plan
+            .tasks
+            .iter()
+            .zip(&stats.tasks)
+            .map(|(task, s)| TaskReport {
+                task: task.to_string(),
+                kind: task_kind(task),
+                rows: s.rows,
+                queue_wait: s.queue_wait,
+                gather: s.gather,
+                execute: s.execute,
+                commit: s.commit,
+            })
+            .collect();
+        let (sink_bytes, snapshot) = match &metrics {
+            Some(registry) => {
+                registry.gauge("datasynth_workers").set(workers as u64);
+                registry
+                    .gauge("datasynth_reorder_depth_max")
+                    .record_max(stats.max_reorder_depth);
+                let snapshot = registry.snapshot();
+                let bytes = snapshot
+                    .counters_named("datasynth_sink_bytes_total")
+                    .filter_map(|(label, v)| Some((label?.to_owned(), v)))
+                    .collect();
+                (bytes, Some(snapshot))
+            }
+            None => (BTreeMap::new(), None),
+        };
+        Ok(RunReport {
+            manifest,
+            schema_hash: fnv1a_64(schema.to_dsl().as_bytes()),
+            threads,
+            workers,
+            tasks,
+            sink_bytes,
+            wall,
+            busy: stats.busy,
+            max_reorder_depth: stats.max_reorder_depth,
+            metrics: snapshot,
+        })
+    }
+}
+
+/// Task kind label used in reports and metrics.
+fn task_kind(task: &Task) -> &'static str {
+    match task {
+        Task::NodeCount(_) => "count",
+        Task::NodeProperty(..) => "node_property",
+        Task::Structure(_) => "structure",
+        Task::Match(_) => "match",
+        Task::EdgeProperty(..) => "edge_property",
+    }
+}
+
+/// Rows a task's output covers: the resolved count for count tasks, the
+/// produced row window for everything else. Deterministic — derived from
+/// the output tables, never from timing.
+fn output_rows(out: &TaskOutput) -> u64 {
+    match out {
+        TaskOutput::Count(c) => *c,
+        TaskOutput::NodeProperty(pt, ..) => pt.len(),
+        TaskOutput::Structure(et) => et.len(),
+        TaskOutput::Edges(et, ..) => et.len(),
+        TaskOutput::EdgeProperty(pt, ..) => pt.len(),
+    }
+}
+
+/// Per-task timing/row accumulators, indexed by plan slot.
+#[derive(Debug, Default, Clone)]
+struct TaskStat {
+    rows: u64,
+    queue_wait: Duration,
+    gather: Duration,
+    execute: Duration,
+    commit: Duration,
+}
+
+/// Everything the runner measures about one run, plus the optional
+/// registry hot-path handles. Handles are resolved once up front so the
+/// per-task recording cost is a few relaxed atomics — and exactly zero
+/// when no registry is attached.
+struct RunStats<'m> {
+    tasks: Vec<TaskStat>,
+    busy: Duration,
+    max_reorder_depth: u64,
+    metrics: Option<&'m MetricsRegistry>,
+}
+
+impl<'m> RunStats<'m> {
+    fn new(total: usize, metrics: Option<&'m MetricsRegistry>) -> Self {
+        RunStats {
+            tasks: vec![TaskStat::default(); total],
+            busy: Duration::ZERO,
+            max_reorder_depth: 0,
+            metrics,
+        }
+    }
+
+    /// Record a completed task: its produced rows and execute time.
+    fn task_done(&mut self, index: usize, kind: &'static str, rows: u64, execute: Duration) {
+        let stat = &mut self.tasks[index];
+        stat.rows = rows;
+        stat.execute = execute;
+        self.busy += execute;
+        if let Some(registry) = self.metrics {
+            registry
+                .counter_with("datasynth_tasks_total", Some(("kind", kind)))
+                .inc();
+            registry
+                .counter_with("datasynth_task_rows_total", Some(("kind", kind)))
+                .add(rows);
+            registry
+                .histogram_with("datasynth_task_execute_micros", Some(("kind", kind)))
+                .record(execute.as_micros() as u64);
+        }
+    }
+
+    /// Record the reorder-buffer depth after a completion arrived.
+    fn reorder_depth(&mut self, depth: u64) {
+        self.max_reorder_depth = self.max_reorder_depth.max(depth);
     }
 }
 
@@ -783,6 +958,7 @@ fn emit_slot(
 /// Single-threaded execution: tasks run in plan order on the calling
 /// thread, with real-time observer events. Shares gather/execute/commit
 /// with the parallel path, so both produce identical bytes.
+#[allow(clippy::too_many_arguments)]
 fn run_sequential(
     ctx: &Ctx<'_>,
     analysis: &Analysis,
@@ -790,34 +966,36 @@ fn run_sequential(
     observer: &mut Option<Observer<'_>>,
     sink: &mut dyn GraphSink,
     report: &mut SinkManifest,
+    stats: &mut RunStats<'_>,
 ) -> Result<(), PipelineError> {
     let plan = &analysis.plan;
     let total = plan.tasks.len();
     let mut tables = Tables::default();
     for (index, task) in plan.tasks.iter().enumerate() {
         if let Some(obs) = observer.as_mut() {
-            obs(TaskProgress {
-                index,
-                total,
-                task,
-                phase: TaskPhase::Started,
-            });
+            obs(TaskProgress::started(index, total, task));
         }
         let started = Instant::now();
         let input = gather(ctx, &tables, task, index);
+        let gathered = Instant::now();
         let out = catch_unwind(AssertUnwindSafe(|| execute(ctx, task, input)))
             .unwrap_or_else(|p| Err(PipelineError::WorkerPanic(panic_message(p))))?;
+        let executed = Instant::now();
+        let rows = output_rows(&out);
         commit(&mut tables, task, out);
         emit_slot(ctx, &mut tables, schedule, task, index, sink, report)?;
+        let committed = Instant::now();
+        stats.task_done(index, task_kind(task), rows, executed - gathered);
+        stats.tasks[index].gather = gathered - started;
+        stats.tasks[index].commit = committed - executed;
         if let Some(obs) = observer.as_mut() {
-            obs(TaskProgress {
+            obs(TaskProgress::finished(
                 index,
                 total,
                 task,
-                phase: TaskPhase::Finished {
-                    elapsed: started.elapsed(),
-                },
-            });
+                rows,
+                committed - started,
+            ));
         }
     }
     Ok(())
@@ -827,6 +1005,9 @@ fn run_sequential(
 struct Job {
     index: usize,
     input: TaskInput,
+    /// When the coordinator pushed the job — workers subtract this from
+    /// their pickup time to measure queue wait.
+    queued_at: Instant,
 }
 
 /// A completed task, reported back to the coordinator.
@@ -834,6 +1015,7 @@ struct Done {
     index: usize,
     result: Result<TaskOutput, PipelineError>,
     elapsed: Duration,
+    queue_wait: Duration,
 }
 
 /// The ready queue feeding the worker pool.
@@ -890,6 +1072,7 @@ impl JobQueue {
 /// Task-parallel execution: a scoped worker pool runs every ready task;
 /// the coordinator commits results, dispatches newly unblocked tasks, and
 /// drains a reorder buffer so the sink sees plan-order delivery.
+#[allow(clippy::too_many_arguments)]
 fn run_parallel(
     ctx: &Ctx<'_>,
     analysis: &Analysis,
@@ -898,6 +1081,7 @@ fn run_parallel(
     workers: usize,
     sink: &mut dyn GraphSink,
     report: &mut SinkManifest,
+    stats: &mut RunStats<'_>,
 ) -> Result<(), PipelineError> {
     let plan = &analysis.plan;
     let total = plan.tasks.len();
@@ -929,6 +1113,7 @@ fn run_parallel(
             scope.spawn(move || {
                 while let Some(job) = queue.pop() {
                     let started = Instant::now();
+                    let queue_wait = started.saturating_duration_since(job.queued_at);
                     let task = &tasks[job.index];
                     let running = active.fetch_add(1, Ordering::SeqCst) + 1;
                     let mut ctx = outer_ctx;
@@ -940,6 +1125,7 @@ fn run_parallel(
                         index: job.index,
                         result,
                         elapsed: started.elapsed(),
+                        queue_wait,
                     };
                     if done_tx.send(report).is_err() {
                         break; // coordinator gone: shut down
@@ -952,9 +1138,13 @@ fn run_parallel(
         // Seed the pool with every dependency-free task, in plan order.
         for (index, degree) in indegree.iter().enumerate() {
             if *degree == 0 {
+                let gather_started = Instant::now();
+                let input = gather(ctx, &tables, &plan.tasks[index], index);
+                stats.tasks[index].gather = gather_started.elapsed();
                 queue.push(Job {
                     index,
-                    input: gather(ctx, &tables, &plan.tasks[index], index),
+                    input,
+                    queued_at: Instant::now(),
                 });
             }
         }
@@ -970,15 +1160,30 @@ fn run_parallel(
                 })?;
                 received += 1;
                 let out = done.result?;
+                let rows = output_rows(&out);
+                let commit_started = Instant::now();
                 commit(&mut tables, &plan.tasks[done.index], out);
+                stats.task_done(
+                    done.index,
+                    task_kind(&plan.tasks[done.index]),
+                    rows,
+                    done.elapsed,
+                );
+                stats.tasks[done.index].queue_wait = done.queue_wait;
+                stats.tasks[done.index].commit = commit_started.elapsed();
                 completed[done.index] = true;
                 elapsed[done.index] = done.elapsed;
+                stats.reorder_depth((received - drained) as u64);
                 for &dep in &dependents[done.index] {
                     indegree[dep] -= 1;
                     if indegree[dep] == 0 {
+                        let gather_started = Instant::now();
+                        let input = gather(ctx, &tables, &plan.tasks[dep], dep);
+                        stats.tasks[dep].gather = gather_started.elapsed();
                         queue.push(Job {
                             index: dep,
-                            input: gather(ctx, &tables, &plan.tasks[dep], dep),
+                            input,
+                            queued_at: Instant::now(),
                         });
                     }
                 }
@@ -987,23 +1192,19 @@ fn run_parallel(
                 while drained < total && completed[drained] {
                     let task = &plan.tasks[drained];
                     if let Some(obs) = observer.as_mut() {
-                        obs(TaskProgress {
-                            index: drained,
-                            total,
-                            task,
-                            phase: TaskPhase::Started,
-                        });
+                        obs(TaskProgress::started(drained, total, task));
                     }
+                    let emit_started = Instant::now();
                     emit_slot(ctx, &mut tables, schedule, task, drained, sink, report)?;
+                    stats.tasks[drained].commit += emit_started.elapsed();
                     if let Some(obs) = observer.as_mut() {
-                        obs(TaskProgress {
-                            index: drained,
+                        obs(TaskProgress::finished(
+                            drained,
                             total,
                             task,
-                            phase: TaskPhase::Finished {
-                                elapsed: elapsed[drained],
-                            },
-                        });
+                            stats.tasks[drained].rows,
+                            elapsed[drained],
+                        ));
                     }
                     drained += 1;
                 }

@@ -63,12 +63,14 @@ use std::fs::{self, File};
 use std::io::{self, BufWriter, Write};
 use std::ops::Range;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use datasynth_prng::{fnv1a_64, mix64};
 use datasynth_schema::Schema;
 use datasynth_structure::shard_window;
 use datasynth_tables::export::{csv, jsonl};
 use datasynth_tables::{Column, EdgeTable, PropertyGraph, PropertyTable, ValueType};
+use datasynth_telemetry::{CountingWrite, MetricsRegistry};
 
 /// Anything a sink can fail with.
 #[derive(Debug)]
@@ -1215,6 +1217,10 @@ struct StreamingDirSink {
     windows: BTreeMap<String, Range<u64>>,
     nodes: BTreeMap<String, NodeBuffer>,
     edges: BTreeMap<String, EdgeBuffer>,
+    /// When attached, per-table `datasynth_sink_{bytes,rows}_total`
+    /// counters are recorded at each table flush — one counter add per
+    /// *file*, nothing per row.
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl StreamingDirSink {
@@ -1227,6 +1233,19 @@ impl StreamingDirSink {
             windows: BTreeMap::new(),
             nodes: BTreeMap::new(),
             edges: BTreeMap::new(),
+            metrics: None,
+        }
+    }
+
+    /// Record one flushed table file into the attached registry, if any.
+    fn record_flush(&self, table: &str, rows: u64, bytes: u64) {
+        if let Some(metrics) = &self.metrics {
+            metrics
+                .counter_with("datasynth_sink_bytes_total", Some(("table", table)))
+                .add(bytes);
+            metrics
+                .counter_with("datasynth_sink_rows_total", Some(("table", table)))
+                .add(rows);
         }
     }
 
@@ -1295,7 +1314,8 @@ impl StreamingDirSink {
         for (name, table) in &props {
             Self::check_rows(node_type, name, table.len(), &rows)?;
         }
-        let mut w = BufWriter::new(File::create(path)?);
+        let row_count = rows.end - rows.start;
+        let mut w = BufWriter::new(CountingWrite::new(File::create(path)?));
         match format {
             StreamFormat::Csv => {
                 if write_header {
@@ -1306,8 +1326,10 @@ impl StreamingDirSink {
             StreamFormat::Jsonl => jsonl::write_node_rows(&mut w, rows, &props)?,
         }
         w.flush()?;
+        let bytes = w.get_ref().bytes();
         buf.written = true;
         buf.props.clear();
+        self.record_flush(node_type, row_count, bytes);
         Ok(())
     }
 
@@ -1335,7 +1357,8 @@ impl StreamingDirSink {
         for (name, ptable) in &props {
             Self::check_rows(edge_type, name, ptable.len(), &rows)?;
         }
-        let mut w = BufWriter::new(File::create(path)?);
+        let row_count = rows.end - rows.start;
+        let mut w = BufWriter::new(CountingWrite::new(File::create(path)?));
         match format {
             StreamFormat::Csv => {
                 if write_header {
@@ -1348,8 +1371,10 @@ impl StreamingDirSink {
             }
         }
         w.flush()?;
+        let bytes = w.get_ref().bytes();
         buf.written = true;
         buf.props.clear();
+        self.record_flush(edge_type, row_count, bytes);
         Ok(())
     }
 }
@@ -1542,6 +1567,16 @@ impl CsvSink {
             inner: StreamingDirSink::new(dir.into(), StreamFormat::Csv),
         }
     }
+
+    /// Meter this sink: record per-table `datasynth_sink_bytes_total` /
+    /// `datasynth_sink_rows_total` counters into `metrics` at each table
+    /// flush. Share the registry with
+    /// [`Session::with_metrics`](crate::Session::with_metrics) and the
+    /// run's [`RunReport`](crate::RunReport) reports the byte counts.
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.inner.metrics = Some(metrics);
+        self
+    }
 }
 
 delegate_sink!(CsvSink);
@@ -1560,6 +1595,14 @@ impl JsonlSink {
         Self {
             inner: StreamingDirSink::new(dir.into(), StreamFormat::Jsonl),
         }
+    }
+
+    /// Meter this sink: record per-table `datasynth_sink_bytes_total` /
+    /// `datasynth_sink_rows_total` counters into `metrics` at each table
+    /// flush (see [`CsvSink::with_metrics`]).
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.inner.metrics = Some(metrics);
+        self
     }
 }
 

@@ -11,16 +11,167 @@
 //! matching_lfr20k_k16/ldg ... 12.345 ms/iter (1620.3 Kelem/s)
 //! ```
 //!
-//! No statistical analysis, HTML reports, or baseline comparison are
-//! performed; swap the dependency back to the real crate when registry
-//! access is available.
+//! Beyond printing, the harness can **persist** its results: running a
+//! bench binary with `-- --persist FILE` writes every measurement to
+//! `FILE` as JSON and, when `FILE` already holds a previous run, prints
+//! per-benchmark deltas against it first — a poor man's baseline
+//! comparison that makes the bench trajectory reviewable in the repo.
+//! `-- --quick` caps the measurement target (~60 ms per benchmark) for
+//! CI smoke runs. Unknown harness flags (`--bench`, filters, …) are
+//! ignored.
+//!
+//! No statistical analysis or HTML reports are performed; swap the
+//! dependency back to the real crate when registry access is available.
 //!
 //! [`criterion`]: https://docs.rs/criterion
 
 use std::fmt;
+use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Measurement target cap under `--quick` (CI smoke mode).
+const QUICK_TARGET: Duration = Duration::from_millis(60);
+
+/// One finished measurement, as persisted by `--persist`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Fully-qualified `group/benchmark` label.
+    pub name: String,
+    /// Mean wall time per iteration, in nanoseconds.
+    pub ns_per_iter: u128,
+    /// Timed iterations behind the mean (excludes the warmup pass).
+    pub iters: u64,
+}
+
+fn records() -> &'static Mutex<Vec<BenchRecord>> {
+    static RECORDS: OnceLock<Mutex<Vec<BenchRecord>>> = OnceLock::new();
+    RECORDS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+#[derive(Debug, Default)]
+struct HarnessConfig {
+    quick: bool,
+    persist: Option<PathBuf>,
+}
+
+static CONFIG: OnceLock<HarnessConfig> = OnceLock::new();
+
+fn active_config() -> &'static HarnessConfig {
+    CONFIG.get_or_init(HarnessConfig::default)
+}
+
+/// Parse harness flags from `std::env::args`. Called by the
+/// `criterion_main!`-generated `main` before any group runs; unknown
+/// flags (cargo's `--bench`, name filters) are ignored. If never called
+/// (a group invoked directly from a test), the defaults apply.
+pub fn init_from_args() {
+    let mut cfg = HarnessConfig::default();
+    let mut iter = std::env::args().skip(1);
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--quick" => cfg.quick = true,
+            "--persist" => cfg.persist = iter.next().map(PathBuf::from),
+            _ => {}
+        }
+    }
+    let _ = CONFIG.set(cfg);
+}
+
+/// Serialize the recorded measurements as deterministic, pretty JSON.
+pub fn results_to_json(records: &[BenchRecord]) -> String {
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ns_per_iter\": {}, \"iters\": {}}}{}\n",
+            r.name.replace('\\', "\\\\").replace('"', "\\\""),
+            r.ns_per_iter,
+            r.iters,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parse the JSON written by [`results_to_json`]. Line-oriented: only the
+/// shim's own output format is supported.
+pub fn parse_results(json: &str) -> Vec<BenchRecord> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(name) = field_str(line, "\"name\": \"") else {
+            continue;
+        };
+        let ns = field_u128(line, "\"ns_per_iter\": ");
+        let iters = field_u128(line, "\"iters\": ");
+        if let (Some(ns_per_iter), Some(iters)) = (ns, iters) {
+            out.push(BenchRecord {
+                name,
+                ns_per_iter,
+                iters: iters as u64,
+            });
+        }
+    }
+    out
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let rest = &line[line.find(key)? + key.len()..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => out.push(chars.next()?),
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+fn field_u128(line: &str, key: &str) -> Option<u128> {
+    let rest = &line[line.find(key)? + key.len()..];
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Persist results and print deltas against the previous file, if any.
+/// Called by the `criterion_main!`-generated `main` after all groups ran;
+/// a no-op without `--persist`.
+pub fn finalize() {
+    let Some(path) = active_config().persist.as_ref() else {
+        return;
+    };
+    let current = records().lock().expect("recorder poisoned").clone();
+    if let Ok(prev_text) = std::fs::read_to_string(path) {
+        let previous = parse_results(&prev_text);
+        if !previous.is_empty() {
+            println!("\ndeltas vs previous {}:", path.display());
+            for r in &current {
+                match previous.iter().find(|p| p.name == r.name) {
+                    Some(p) if p.ns_per_iter > 0 => {
+                        let delta = (r.ns_per_iter as f64 - p.ns_per_iter as f64)
+                            / p.ns_per_iter as f64
+                            * 100.0;
+                        println!(
+                            "  {}: {} -> {} ({delta:+.1}%)",
+                            r.name,
+                            human_time(Duration::from_nanos(p.ns_per_iter as u64)),
+                            human_time(Duration::from_nanos(r.ns_per_iter as u64)),
+                        );
+                    }
+                    _ => println!("  {}: new benchmark", r.name),
+                }
+            }
+        }
+    }
+    match std::fs::write(path, results_to_json(&current)) {
+        Ok(()) => println!("\nbench results -> {}", path.display()),
+        Err(e) => eprintln!("cannot persist bench results to {}: {e}", path.display()),
+    }
+}
 
 /// How throughput is accounted per iteration.
 #[derive(Debug, Clone, Copy)]
@@ -142,6 +293,14 @@ fn report(group: Option<&str>, id: &str, b: &Bencher, throughput: Option<Through
         Some(g) => format!("{g}/{id}"),
         None => id.to_string(),
     };
+    records()
+        .lock()
+        .expect("recorder poisoned")
+        .push(BenchRecord {
+            name: label.clone(),
+            ns_per_iter: per_iter.as_nanos(),
+            iters: b.iters_done,
+        });
     let mut line = format!("{label} ... {}/iter", human_time(per_iter));
     if let Some(t) = throughput {
         let secs = per_iter.as_secs_f64();
@@ -170,9 +329,14 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    /// Accepted for API compatibility.
+    /// Accepted for API compatibility; `--quick` caps it further.
     pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
-        self.target = d.min(Duration::from_secs(2));
+        let cap = if active_config().quick {
+            QUICK_TARGET
+        } else {
+            Duration::from_secs(2)
+        };
+        self.target = d.min(cap);
         self
     }
 
@@ -223,10 +387,15 @@ pub struct Criterion {
 
 impl Criterion {
     fn effective_target(&self) -> Duration {
-        if self.target.is_zero() {
+        let target = if self.target.is_zero() {
             Duration::from_millis(300)
         } else {
             self.target
+        };
+        if active_config().quick {
+            target.min(QUICK_TARGET)
+        } else {
+            target
         }
     }
 
@@ -264,12 +433,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declare `main` running each group.
+/// Declare `main` running each group, honouring the harness flags
+/// (`--quick`, `--persist FILE`) and persisting results at exit.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
+            $crate::init_from_args();
             $($group();)+
+            $crate::finalize();
         }
     };
 }
@@ -295,6 +467,25 @@ mod tests {
             "sbm/Density"
         );
         assert_eq!(BenchmarkId::from_parameter(4).to_string(), "4");
+    }
+
+    #[test]
+    fn persisted_results_roundtrip() {
+        let records = vec![
+            BenchRecord {
+                name: "pipeline/full".into(),
+                ns_per_iter: 12_345_678,
+                iters: 25,
+            },
+            BenchRecord {
+                name: "odd \"name\"".into(),
+                ns_per_iter: 1,
+                iters: 1,
+            },
+        ];
+        let json = results_to_json(&records);
+        assert_eq!(parse_results(&json), records);
+        assert_eq!(parse_results("{}"), vec![]);
     }
 
     #[test]

@@ -11,7 +11,9 @@ use std::io::{self, BufWriter, Write};
 use std::ops::Range;
 use std::path::Path;
 
-use super::{csv_escape, Exporter};
+use datasynth_telemetry::{CountingWrite, MetricsRegistry};
+
+use super::{csv_escape, record_export, Exporter};
 use crate::{EdgeTable, PropertyGraph, PropertyTable};
 
 /// Write the node-table header line: `id,<props...>`.
@@ -101,22 +103,53 @@ pub fn write_edge_table<W: Write>(
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CsvExporter;
 
-impl Exporter for CsvExporter {
-    fn export(&self, graph: &PropertyGraph, dir: &Path) -> io::Result<()> {
+impl CsvExporter {
+    /// Export like [`Exporter::export`], additionally recording
+    /// per-table `datasynth_export_{bytes,rows}_total` counters into
+    /// `metrics`. Output bytes are identical to the unmetered path.
+    pub fn export_metered(
+        &self,
+        graph: &PropertyGraph,
+        dir: &Path,
+        metrics: &MetricsRegistry,
+    ) -> io::Result<()> {
+        self.export_inner(graph, dir, Some(metrics))
+    }
+
+    fn export_inner(
+        &self,
+        graph: &PropertyGraph,
+        dir: &Path,
+        metrics: Option<&MetricsRegistry>,
+    ) -> io::Result<()> {
         fs::create_dir_all(dir)?;
         for (node_type, count) in graph.node_types() {
-            let mut w = BufWriter::new(File::create(dir.join(format!("{node_type}.csv")))?);
+            let file = File::create(dir.join(format!("{node_type}.csv")))?;
+            let mut w = BufWriter::new(CountingWrite::new(file));
             let props: Vec<_> = graph.node_properties_of(node_type).collect();
             write_node_table(&mut w, count, &props)?;
             w.flush()?;
+            if let Some(m) = metrics {
+                record_export(m, node_type, count, w.get_ref().bytes());
+            }
         }
         for (edge_type, _meta, table) in graph.edge_types() {
-            let mut w = BufWriter::new(File::create(dir.join(format!("{edge_type}.csv")))?);
+            let file = File::create(dir.join(format!("{edge_type}.csv")))?;
+            let mut w = BufWriter::new(CountingWrite::new(file));
             let props: Vec<_> = graph.edge_properties_of(edge_type).collect();
             write_edge_table(&mut w, table, &props)?;
             w.flush()?;
+            if let Some(m) = metrics {
+                record_export(m, edge_type, table.len(), w.get_ref().bytes());
+            }
         }
         Ok(())
+    }
+}
+
+impl Exporter for CsvExporter {
+    fn export(&self, graph: &PropertyGraph, dir: &Path) -> io::Result<()> {
+        self.export_inner(graph, dir, None)
     }
 }
 

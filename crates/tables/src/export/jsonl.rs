@@ -9,13 +9,59 @@ use std::fs::{self, File};
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
 
-use super::{json_escape, Exporter};
+use datasynth_telemetry::{CountingWrite, MetricsRegistry};
+
+use super::{json_escape, record_export, Exporter};
 use crate::{EdgeTable, PropertyGraph, PropertyTable, Value};
 
 /// JSONL exporter: `<Type>.jsonl` per node type, `<edge>.jsonl` per edge
 /// type; each line is a self-contained JSON object.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct JsonlExporter;
+
+impl JsonlExporter {
+    /// Export like [`Exporter::export`], additionally recording
+    /// per-table `datasynth_export_{bytes,rows}_total` counters into
+    /// `metrics`. Output bytes are identical to the unmetered path.
+    pub fn export_metered(
+        &self,
+        graph: &PropertyGraph,
+        dir: &Path,
+        metrics: &MetricsRegistry,
+    ) -> io::Result<()> {
+        self.export_inner(graph, dir, Some(metrics))
+    }
+
+    fn export_inner(
+        &self,
+        graph: &PropertyGraph,
+        dir: &Path,
+        metrics: Option<&MetricsRegistry>,
+    ) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        for (node_type, count) in graph.node_types() {
+            let file = File::create(dir.join(format!("{node_type}.jsonl")))?;
+            let mut w = BufWriter::new(CountingWrite::new(file));
+            let props: Vec<_> = graph.node_properties_of(node_type).collect();
+            write_node_table(&mut w, count, &props)?;
+            w.flush()?;
+            if let Some(m) = metrics {
+                record_export(m, node_type, count, w.get_ref().bytes());
+            }
+        }
+        for (edge_type, meta, table) in graph.edge_types() {
+            let file = File::create(dir.join(format!("{edge_type}.jsonl")))?;
+            let mut w = BufWriter::new(CountingWrite::new(file));
+            let props: Vec<_> = graph.edge_properties_of(edge_type).collect();
+            write_edge_table(&mut w, &meta.source, &meta.target, table, &props)?;
+            w.flush()?;
+            if let Some(m) = metrics {
+                record_export(m, edge_type, table.len(), w.get_ref().bytes());
+            }
+        }
+        Ok(())
+    }
+}
 
 fn write_value(out: &mut String, v: &Value) {
     match v {
@@ -122,20 +168,7 @@ pub fn write_edge_table<W: Write>(
 
 impl Exporter for JsonlExporter {
     fn export(&self, graph: &PropertyGraph, dir: &Path) -> io::Result<()> {
-        fs::create_dir_all(dir)?;
-        for (node_type, count) in graph.node_types() {
-            let mut w = BufWriter::new(File::create(dir.join(format!("{node_type}.jsonl")))?);
-            let props: Vec<_> = graph.node_properties_of(node_type).collect();
-            write_node_table(&mut w, count, &props)?;
-            w.flush()?;
-        }
-        for (edge_type, meta, table) in graph.edge_types() {
-            let mut w = BufWriter::new(File::create(dir.join(format!("{edge_type}.jsonl")))?);
-            let props: Vec<_> = graph.edge_properties_of(edge_type).collect();
-            write_edge_table(&mut w, &meta.source, &meta.target, table, &props)?;
-            w.flush()?;
-        }
-        Ok(())
+        self.export_inner(graph, dir, None)
     }
 }
 

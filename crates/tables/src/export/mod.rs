@@ -20,12 +20,27 @@ pub use jsonl::JsonlExporter;
 use std::io;
 use std::path::Path;
 
+use datasynth_telemetry::MetricsRegistry;
+
 use crate::PropertyGraph;
 
 /// A sink that persists a whole property graph.
 pub trait Exporter {
     /// Write `graph` under directory `dir` (created if missing).
     fn export(&self, graph: &PropertyGraph, dir: &Path) -> io::Result<()>;
+}
+
+/// Record one exported table file into `metrics`: per-table
+/// `datasynth_export_bytes_total` / `datasynth_export_rows_total`
+/// counters — one add per file, nothing per row. Shared by both metered
+/// exporters.
+pub(crate) fn record_export(metrics: &MetricsRegistry, table: &str, rows: u64, bytes: u64) {
+    metrics
+        .counter_with("datasynth_export_bytes_total", Some(("table", table)))
+        .add(bytes);
+    metrics
+        .counter_with("datasynth_export_rows_total", Some(("table", table)))
+        .add(rows);
 }
 
 /// Escape a CSV field per RFC 4180 (quote when it contains separators).

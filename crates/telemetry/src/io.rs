@@ -1,0 +1,62 @@
+//! Byte-counting writer wrapper.
+
+use std::io::{self, Write};
+
+/// A transparent [`Write`] adapter that counts the bytes flowing through
+/// it. Wrap a file or buffer writer, write as usual, then read
+/// [`bytes`](CountingWrite::bytes) — the sinks' throughput accounting
+/// without any format-specific bookkeeping.
+#[derive(Debug)]
+pub struct CountingWrite<W> {
+    inner: W,
+    bytes: u64,
+}
+
+impl<W> CountingWrite<W> {
+    /// Wrap `inner` with a zeroed byte count.
+    pub fn new(inner: W) -> Self {
+        Self { inner, bytes: 0 }
+    }
+
+    /// Bytes successfully written so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Unwrap, discarding the count.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+
+    /// The wrapped writer.
+    pub fn get_ref(&self) -> &W {
+        &self.inner
+    }
+}
+
+impl<W: Write> Write for CountingWrite<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.bytes += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_exactly_what_reaches_the_inner_writer() {
+        let mut w = CountingWrite::new(Vec::new());
+        w.write_all(b"hello ").unwrap();
+        write!(w, "{}", 42).unwrap();
+        w.flush().unwrap();
+        assert_eq!(w.bytes(), 8);
+        assert_eq!(w.into_inner(), b"hello 42");
+    }
+}

@@ -1,0 +1,55 @@
+//! Self-measurement for the generator: a benchmark kit must measure
+//! itself before it can credibly measure databases.
+//!
+//! The crate is deliberately tiny and std-only. It provides three things:
+//!
+//! * a [`MetricsRegistry`] of named [`Counter`]s, [`Gauge`]s and
+//!   [`Histogram`]s — registration takes a short-lived lock, but every
+//!   handle is an `Arc` around plain atomics, so the *hot path* (a
+//!   worker bumping a counter, a sink adding bytes) is a single relaxed
+//!   atomic op with no locking and no allocation;
+//! * [`CountingWrite`], a transparent [`std::io::Write`] wrapper that
+//!   counts bytes as they pass through — how the sinks learn their
+//!   throughput without format-specific bookkeeping;
+//! * a Prometheus text-exposition encoder over registry
+//!   [`Snapshot`]s ([`Snapshot::to_prometheus`]), so a future scrape
+//!   endpoint needs no rework.
+//!
+//! Everything is opt-in: pipelines that never attach a registry carry an
+//! `Option<Arc<MetricsRegistry>>` that is `None`, and the single branch
+//! deciding whether to record is hoisted out of per-row loops — the
+//! uninstrumented path stays byte- and speed-identical.
+
+mod io;
+mod metrics;
+pub mod prometheus;
+
+pub use io::CountingWrite;
+pub use metrics::{
+    Counter, Gauge, Histogram, MetricValue, MetricsRegistry, Sample, Snapshot, HISTOGRAM_BUCKETS,
+};
+
+/// 64-bit FNV-1a over `bytes` — the same cheap, dependency-free hash the
+/// sink manifests use for content commitments; exposed here so reports
+/// can fingerprint schemas and configs without pulling in a hash crate.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+}

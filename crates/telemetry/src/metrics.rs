@@ -1,0 +1,422 @@
+//! The metrics registry: named counters, gauges and power-of-two
+//! histograms behind `Arc` handles whose operations are single relaxed
+//! atomics — cheap enough to live inside the scheduler and sink hot
+//! paths.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing count (rows emitted, bytes written, tasks
+/// run). All operations are relaxed atomics: totals are exact, ordering
+/// against other metrics is not promised.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A free-standing counter (not registered anywhere).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add 1 to the counter.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time value (worker count, reorder-buffer depth).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A free-standing gauge (not registered anywhere).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrite the gauge.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the gauge to `v` if `v` is larger (high-water marks).
+    #[inline]
+    pub fn record_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: bucket `i < HISTOGRAM_BUCKETS - 1` counts
+/// values `v` with `v < 2^i`; the last bucket is unbounded (`+Inf`).
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A power-of-two-bucketed histogram of `u64` observations (typically
+/// microsecond durations). Recording is three relaxed atomic adds —
+/// count, sum, and one bucket — with no locking.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// A free-standing histogram (not registered anywhere).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The bucket index `value` lands in: the number of significant bits
+    /// (0 → bucket 0, 1 → bucket 1, 2..3 → bucket 2, …), clamped to the
+    /// last (+Inf) bucket.
+    fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Exclusive upper bound of bucket `i`, or `None` for the +Inf bucket.
+    pub fn upper_bound(i: usize) -> Option<u64> {
+        (i < HISTOGRAM_BUCKETS - 1).then(|| 1u64 << i)
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket (non-cumulative) counts.
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// `(metric name, optional (label key, label value))` — one time series.
+type SeriesKey = (String, Option<(String, String)>);
+
+/// A process-wide (or run-wide) collection of named metrics. Handles are
+/// obtained by name — get-or-register, so independent components sharing
+/// a registry accumulate into the same series — and the returned `Arc`s
+/// are the lock-free hot-path interface; the registry lock is only taken
+/// at registration and snapshot time.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    series: Mutex<BTreeMap<SeriesKey, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry. Typically wrapped in an `Arc` and shared.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get_or_insert(&self, key: SeriesKey, make: impl FnOnce() -> Metric) -> Metric {
+        let mut series = self.series.lock().expect("metrics registry poisoned");
+        let entry = series.entry(key).or_insert_with(make);
+        entry.clone()
+    }
+
+    /// Get or register the unlabeled counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, None)
+    }
+
+    /// Get or register counter `name` with one `(key, value)` label pair.
+    pub fn counter_with(&self, name: &str, label: Option<(&str, &str)>) -> Arc<Counter> {
+        let key = (
+            name.to_owned(),
+            label.map(|(k, v)| (k.to_owned(), v.to_owned())),
+        );
+        match self.get_or_insert(key, || Metric::Counter(Arc::new(Counter::new()))) {
+            Metric::Counter(c) => c,
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Get or register the unlabeled gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, None)
+    }
+
+    /// Get or register gauge `name` with one `(key, value)` label pair.
+    pub fn gauge_with(&self, name: &str, label: Option<(&str, &str)>) -> Arc<Gauge> {
+        let key = (
+            name.to_owned(),
+            label.map(|(k, v)| (k.to_owned(), v.to_owned())),
+        );
+        match self.get_or_insert(key, || Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Get or register the unlabeled histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, None)
+    }
+
+    /// Get or register histogram `name` with one `(key, value)` label pair.
+    pub fn histogram_with(&self, name: &str, label: Option<(&str, &str)>) -> Arc<Histogram> {
+        let key = (
+            name.to_owned(),
+            label.map(|(k, v)| (k.to_owned(), v.to_owned())),
+        );
+        match self.get_or_insert(key, || Metric::Histogram(Arc::new(Histogram::new()))) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// A point-in-time copy of every series, sorted by `(name, label)` —
+    /// the deterministic order every renderer relies on.
+    pub fn snapshot(&self) -> Snapshot {
+        let series = self.series.lock().expect("metrics registry poisoned");
+        let samples = series
+            .iter()
+            .map(|((name, label), metric)| Sample {
+                name: name.clone(),
+                label: label.clone(),
+                value: match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => {
+                        let raw = h.bucket_counts();
+                        let mut cumulative = 0u64;
+                        let buckets = (0..HISTOGRAM_BUCKETS)
+                            .map(|i| {
+                                cumulative += raw[i];
+                                (Histogram::upper_bound(i), cumulative)
+                            })
+                            .collect();
+                        MetricValue::Histogram {
+                            count: h.count(),
+                            sum: h.sum(),
+                            buckets,
+                        }
+                    }
+                },
+            })
+            .collect();
+        Snapshot { samples }
+    }
+}
+
+/// The frozen value of one series at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(u64),
+    /// Histogram state: observation count, observation sum, and
+    /// *cumulative* bucket counts keyed by exclusive upper bound
+    /// (`None` = +Inf).
+    Histogram {
+        /// Number of observations.
+        count: u64,
+        /// Sum of observations.
+        sum: u64,
+        /// `(upper bound, cumulative count)` per bucket.
+        buckets: Vec<(Option<u64>, u64)>,
+    },
+}
+
+/// One series in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sample {
+    /// Metric name.
+    pub name: String,
+    /// Optional `(key, value)` label pair.
+    pub label: Option<(String, String)>,
+    /// Frozen value.
+    pub value: MetricValue,
+}
+
+/// A deterministic point-in-time copy of a registry, sorted by
+/// `(name, label)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    pub(crate) samples: Vec<Sample>,
+}
+
+impl Snapshot {
+    /// All samples, in `(name, label)` order.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Whether the snapshot holds no series at all.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The value of counter `name` with label value `label_value`
+    /// (`None` for the unlabeled series), if present.
+    pub fn counter(&self, name: &str, label_value: Option<&str>) -> Option<u64> {
+        self.samples.iter().find_map(|s| match &s.value {
+            MetricValue::Counter(v)
+                if s.name == name && s.label.as_ref().map(|(_, v)| v.as_str()) == label_value =>
+            {
+                Some(*v)
+            }
+            _ => None,
+        })
+    }
+
+    /// All counter series named `name`, as `(label value, total)` pairs.
+    pub fn counters_named<'s>(
+        &'s self,
+        name: &'s str,
+    ) -> impl Iterator<Item = (Option<&'s str>, u64)> + 's {
+        self.samples.iter().filter_map(move |s| match &s.value {
+            MetricValue::Counter(v) if s.name == name => {
+                Some((s.label.as_ref().map(|(_, v)| v.as_str()), *v))
+            }
+            _ => None,
+        })
+    }
+
+    /// Render in the Prometheus text exposition format.
+    pub fn to_prometheus(&self) -> String {
+        crate::prometheus::render(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_across_handles() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("rows", Some(("table", "Person"))).add(10);
+        reg.counter_with("rows", Some(("table", "Person"))).add(5);
+        reg.counter_with("rows", Some(("table", "knows"))).inc();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("rows", Some("Person")), Some(15));
+        assert_eq!(snap.counter("rows", Some("knows")), Some(1));
+        assert_eq!(snap.counter("rows", None), None);
+        assert_eq!(snap.counters_named("rows").count(), 2);
+    }
+
+    #[test]
+    fn gauges_set_and_record_max() {
+        let g = Gauge::new();
+        g.set(7);
+        g.record_max(3);
+        assert_eq!(g.get(), 7);
+        g.record_max(12);
+        assert_eq!(g.get(), 12);
+    }
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 1000, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        let buckets = h.bucket_counts();
+        assert_eq!(buckets[0], 1, "0 lands in bucket 0");
+        assert_eq!(buckets[1], 1, "1 lands in bucket 1");
+        assert_eq!(buckets[2], 2, "2 and 3 land in bucket 2");
+        assert_eq!(buckets[3], 1, "4 lands in bucket 3");
+        assert_eq!(buckets[10], 1, "1000 lands in bucket 10 (512..1024)");
+        assert_eq!(
+            buckets[HISTOGRAM_BUCKETS - 1],
+            1,
+            "u64::MAX overflows to +Inf"
+        );
+        assert_eq!(Histogram::upper_bound(0), Some(1));
+        assert_eq!(Histogram::upper_bound(10), Some(1024));
+        assert_eq!(Histogram::upper_bound(HISTOGRAM_BUCKETS - 1), None);
+    }
+
+    #[test]
+    fn snapshot_histogram_buckets_are_cumulative() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat");
+        h.record(1);
+        h.record(3);
+        let snap = reg.snapshot();
+        match &snap.samples()[0].value {
+            MetricValue::Histogram {
+                count,
+                sum,
+                buckets,
+            } => {
+                assert_eq!(*count, 2);
+                assert_eq!(*sum, 4);
+                assert_eq!(buckets[1], (Some(2), 1), "v=1 < 2");
+                assert_eq!(buckets[2], (Some(4), 2), "v=3 < 4 cumulative");
+                assert_eq!(buckets.last().unwrap(), &(None, 2), "+Inf sees all");
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+}

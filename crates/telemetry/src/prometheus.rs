@@ -1,0 +1,141 @@
+//! Prometheus text exposition (version 0.0.4) over metric snapshots.
+//!
+//! The renderer emits one `# TYPE` header per metric name followed by its
+//! series in snapshot (sorted) order, so output is deterministic given
+//! equal metric values. Histograms expand to the conventional
+//! `_bucket{le=..}` / `_sum` / `_count` triple with cumulative buckets.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{MetricValue, Snapshot};
+
+/// Escape a label value per the exposition format: backslash, quote and
+/// newline.
+pub fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_labels(out: &mut String, pairs: &[(&str, String)]) {
+    if pairs.is_empty() {
+        return;
+    }
+    out.push('{');
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    out.push('}');
+}
+
+/// One exposition line: `name{labels} value`.
+pub fn write_sample(out: &mut String, name: &str, labels: &[(&str, String)], value: u64) {
+    out.push_str(name);
+    write_labels(out, labels);
+    let _ = writeln!(out, " {value}");
+}
+
+/// Render a whole snapshot.
+pub fn render(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last_typed: Option<&str> = None;
+    for sample in snapshot.samples() {
+        let kind = match &sample.value {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram { .. } => "histogram",
+        };
+        if last_typed != Some(sample.name.as_str()) {
+            let _ = writeln!(out, "# TYPE {} {kind}", sample.name);
+            last_typed = Some(sample.name.as_str());
+        }
+        let base: Vec<(&str, String)> = sample
+            .label
+            .as_ref()
+            .map(|(k, v)| vec![(k.as_str(), v.clone())])
+            .unwrap_or_default();
+        match &sample.value {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                write_sample(&mut out, &sample.name, &base, *v);
+            }
+            MetricValue::Histogram {
+                count,
+                sum,
+                buckets,
+            } => {
+                for (bound, cumulative) in buckets {
+                    let le = match bound {
+                        Some(b) => b.to_string(),
+                        None => "+Inf".to_owned(),
+                    };
+                    let mut labels = base.clone();
+                    labels.push(("le", le));
+                    write_sample(
+                        &mut out,
+                        &format!("{}_bucket", sample.name),
+                        &labels,
+                        *cumulative,
+                    );
+                }
+                write_sample(&mut out, &format!("{}_sum", sample.name), &base, *sum);
+                write_sample(&mut out, &format!("{}_count", sample.name), &base, *count);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn renders_counters_gauges_and_histograms() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("ds_rows_total", Some(("table", "Person")))
+            .add(42);
+        reg.gauge("ds_workers").set(4);
+        reg.histogram("ds_exec_us").record(3);
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE ds_rows_total counter"), "{text}");
+        assert!(
+            text.contains("ds_rows_total{table=\"Person\"} 42"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE ds_workers gauge"), "{text}");
+        assert!(text.contains("ds_workers 4"), "{text}");
+        assert!(text.contains("ds_exec_us_bucket{le=\"4\"} 1"), "{text}");
+        assert!(text.contains("ds_exec_us_bucket{le=\"+Inf\"} 1"), "{text}");
+        assert!(text.contains("ds_exec_us_sum 3"), "{text}");
+        assert!(text.contains("ds_exec_us_count 1"), "{text}");
+    }
+
+    #[test]
+    fn type_header_appears_once_per_name() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("ds_rows_total", Some(("table", "A")))
+            .inc();
+        reg.counter_with("ds_rows_total", Some(("table", "B")))
+            .inc();
+        let text = reg.snapshot().to_prometheus();
+        assert_eq!(text.matches("# TYPE ds_rows_total").count(), 1, "{text}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("m", Some(("table", "a\"b\\c"))).inc();
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains(r#"m{table="a\"b\\c"} 1"#), "{text}");
+    }
+}

@@ -50,7 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for i in 0..K {
         let dir = base.join(format!("shard-{i}-of-{K}"));
         let mut sink = CsvSink::new(&dir);
-        let manifest = generator.session()?.shard(i, K)?.run_into(&mut sink)?;
+        let manifest = generator
+            .session()?
+            .shard(i, K)?
+            .run_into(&mut sink)?
+            .into_manifest();
         println!(
             "shard {i}/{K}: transfers rows {}..{} of {}",
             manifest.tables["transfers"].lo,
@@ -74,7 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // is byte-identical to one full run.
     let full_dir = base.join("full");
     let mut sink = CsvSink::new(&full_dir);
-    let full_manifest = generator.session()?.run_into(&mut sink)?;
+    let full_manifest = generator.session()?.run_into(&mut sink)?.into_manifest();
     assert_eq!(merged, full_manifest, "merged == single-run manifest");
 
     for table in merged.tables.keys() {

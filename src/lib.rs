@@ -69,6 +69,7 @@
 //! * [`matching`] — SBM-Part, LDG, JPDs, evaluation,
 //! * [`analysis`] — structural graph metrics,
 //! * [`core`] — the pipeline,
+//! * [`telemetry`] — metrics registry, byte counting, Prometheus encoding,
 //! * [`workload`] — benchmark query workloads over generated graphs.
 
 pub use datasynth_analysis as analysis;
@@ -79,6 +80,7 @@ pub use datasynth_props as props;
 pub use datasynth_schema as schema;
 pub use datasynth_structure as structure;
 pub use datasynth_tables as tables;
+pub use datasynth_telemetry as telemetry;
 pub use datasynth_workload as workload;
 
 pub use datasynth_core::{

@@ -26,6 +26,7 @@
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use datasynth::analysis::StatsSink;
 use datasynth::prelude::*;
@@ -42,6 +43,7 @@ struct Args {
     list_generators: bool,
     plan_only: bool,
     progress: bool,
+    report: Option<PathBuf>,
     stats: bool,
     workload: Option<PathBuf>,
     queries: Option<usize>,
@@ -79,7 +81,11 @@ options:
   --plan            print the dependency-analyzed task plan and exit;
                     with --shard, also show each task's shard mode and
                     row window
-  --progress        per-task start/finish lines on stderr
+  --progress        per-task start/finish lines on stderr, with row
+                    counts, wall time and row throughput per task
+  --report FILE     write a structured JSON run report to FILE
+                    (per-task timings, per-table rows/bytes/hashes,
+                    thread/shard config); '-' prints to stdout
   --stats           print structural statistics of the generated graph
   --workload DIR    derive a benchmark query workload into DIR
                     (Cypher + Gremlin per query, plus workload.json)
@@ -116,6 +122,7 @@ fn parse_args() -> Result<Args, String> {
         list_generators: false,
         plan_only: false,
         progress: false,
+        report: None,
         stats: false,
         workload: None,
         queries: None,
@@ -169,6 +176,9 @@ fn parse_args() -> Result<Args, String> {
             "--list-generators" => args.list_generators = true,
             "--plan" => args.plan_only = true,
             "--progress" => args.progress = true,
+            "--report" => {
+                args.report = Some(iter.next().ok_or("--report takes a file path")?.into());
+            }
             "--stats" => args.stats = true,
             "--workload" => {
                 args.workload = Some(iter.next().ok_or("--workload takes a directory")?.into());
@@ -330,6 +340,15 @@ fn merge_manifests(dirs: &[PathBuf], out: Option<&PathBuf>) -> Result<(), String
             "  {name}: {} rows, hash {:016x}",
             rows.total, rows.content_hash
         );
+        // Per-shard coverage of this table, in shard order: which global
+        // row window each input manifest contributed.
+        let mut coverage = String::new();
+        for m in &manifests {
+            if let Some(r) = m.tables.get(name) {
+                coverage.push_str(&format!(" {}:[{}..{})", m.shard.index, r.lo, r.hi));
+            }
+        }
+        eprintln!("    shard coverage:{coverage}");
     }
     match out {
         Some(dir) => {
@@ -414,12 +433,31 @@ fn run(args: &Args) -> Result<(), String> {
         None => dir.clone(),
     });
 
+    // --report attaches one shared registry to the scheduler and every
+    // file sink; without it no registry exists and nothing is recorded.
+    let metrics = args
+        .report
+        .as_ref()
+        .map(|_| Arc::new(MetricsRegistry::new()));
+
     // One generation pass: every consumer is a sink behind the fan-out.
     let mut csv_sink = out_dir.as_ref().and_then(|dir| {
-        (args.format == Format::Csv || args.format == Format::Both).then(|| CsvSink::new(dir))
+        (args.format == Format::Csv || args.format == Format::Both).then(|| {
+            let sink = CsvSink::new(dir);
+            match &metrics {
+                Some(m) => sink.with_metrics(Arc::clone(m)),
+                None => sink,
+            }
+        })
     });
     let mut jsonl_sink = out_dir.as_ref().and_then(|dir| {
-        (args.format == Format::Jsonl || args.format == Format::Both).then(|| JsonlSink::new(dir))
+        (args.format == Format::Jsonl || args.format == Format::Both).then(|| {
+            let sink = JsonlSink::new(dir);
+            match &metrics {
+                Some(m) => sink.with_metrics(Arc::clone(m)),
+                None => sink,
+            }
+        })
     });
     let mut stats_sink = args.stats.then(StatsSink::new);
     let mut workload_sink = args.workload.as_ref().map(|_| {
@@ -457,26 +495,45 @@ fn run(args: &Args) -> Result<(), String> {
             .shard(spec.index, spec.count)
             .map_err(|e| e.to_string())?;
     }
+    if let Some(m) = &metrics {
+        session = session.with_metrics(Arc::clone(m));
+    }
     if args.progress {
-        session = session.on_task(|p| match p.phase {
+        let run_started = std::time::Instant::now();
+        session = session.on_task(move |p| match p.phase {
             TaskPhase::Started => {
-                eprintln!("[{:>3}/{}] {} ...", p.index + 1, p.total, p.task);
-            }
-            TaskPhase::Finished { elapsed } => {
                 eprintln!(
-                    "[{:>3}/{}] {} done in {:.1} ms",
+                    "[{:>3}/{}] {:>8.1}s {} ...",
                     p.index + 1,
                     p.total,
+                    run_started.elapsed().as_secs_f64(),
+                    p.task
+                );
+            }
+            TaskPhase::Finished => {
+                let rows = p.rows.unwrap_or(0);
+                let elapsed = p.elapsed.unwrap_or_default();
+                let rate = if elapsed.as_secs_f64() > 0.0 {
+                    rows as f64 / elapsed.as_secs_f64()
+                } else {
+                    0.0
+                };
+                eprintln!(
+                    "[{:>3}/{}] {:>8.1}s {} done: {rows} rows in {:.1} ms ({rate:.0} rows/s)",
+                    p.index + 1,
+                    p.total,
+                    run_started.elapsed().as_secs_f64(),
                     p.task,
                     elapsed.as_secs_f64() * 1e3
                 );
             }
+            _ => {}
         });
     }
 
     let started = std::time::Instant::now();
     let mut summary = SummarySink::new(&mut sinks);
-    let manifest = session.run_into(&mut summary).map_err(|e| e.to_string())?;
+    let report = session.run_into(&mut summary).map_err(|e| e.to_string())?;
     match args.shard {
         None => eprintln!(
             "generated {} nodes, {} edges in {:.2}s (seed {})",
@@ -505,9 +562,20 @@ fn run(args: &Args) -> Result<(), String> {
     }
 
     if let Some(dir) = &out_dir {
-        manifest
+        report
             .save(dir)
             .map_err(|e| format!("cannot write manifest: {e}"))?;
+    }
+
+    if let Some(path) = &args.report {
+        let json = report.to_json();
+        if path.as_os_str() == "-" {
+            print!("{json}");
+        } else {
+            std::fs::write(path, &json)
+                .map_err(|e| format!("cannot write report {}: {e}", path.display()))?;
+            eprintln!("run report -> {}", path.display());
+        }
     }
 
     if let Some(stats) = &stats_sink {

@@ -81,7 +81,7 @@ fn run_into_dir(threads: usize, shard: Option<(u64, u64)>, dir: &Path) -> SinkMa
     if let Some((i, k)) = shard {
         session = session.shard(i, k).unwrap();
     }
-    session.run_into(&mut sinks).unwrap()
+    session.run_into(&mut sinks).unwrap().into_manifest()
 }
 
 #[test]
@@ -137,6 +137,7 @@ fn shard_windows_in_manifests_tile_every_table() {
             .unwrap()
             .run_into(&mut Discard)
             .unwrap()
+            .into_manifest()
     };
     let manifests: Vec<SinkManifest> = (0..3).map(|i| dirless(i, 3)).collect();
     for table in manifests[0].tables.keys() {
@@ -174,6 +175,7 @@ fn merge_rejects_gaps_duplicates_and_foreign_shards() {
             .unwrap()
             .run_into(&mut Discard)
             .unwrap()
+            .into_manifest()
     };
     let shards: Vec<SinkManifest> = (0..3).map(|i| run(7, i, 3)).collect();
     assert!(SinkManifest::merge(&shards).is_ok());

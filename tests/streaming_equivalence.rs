@@ -168,7 +168,7 @@ fn observer_events_arrive_in_plan_order_even_when_parallel() {
         .session()
         .unwrap()
         .on_task(|p| {
-            events.push((p.index, matches!(p.phase, TaskPhase::Finished { .. })));
+            events.push((p.index, matches!(p.phase, TaskPhase::Finished)));
         })
         .run_into(&mut sink)
         .unwrap();
@@ -253,7 +253,7 @@ fn observer_sees_every_task_start_and_finish() {
         .session()
         .unwrap()
         .on_task(|p| {
-            events.push((p.index, matches!(p.phase, TaskPhase::Finished { .. })));
+            events.push((p.index, matches!(p.phase, TaskPhase::Finished)));
         })
         .run_into(&mut sink)
         .unwrap();
