@@ -1,0 +1,122 @@
+//! HTTP service throughput: rows per second streamed over loopback
+//! through `datasynth serve`'s chunked-transfer path, full pull vs a
+//! sequential 4-shard pull (the single-machine floor of a distributed
+//! consumer — each shard re-pays the global structure/matching cost,
+//! so 4 shards cost more wall time than one full pull; the point of
+//! sharding is that real consumers run them on 4 machines).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use datasynth_server::{Server, ServerConfig};
+
+const SCHEMA: &str = r#"
+graph social {
+  node Person [count = 5000] {
+    country: text = dictionary("countries");
+    creationDate: date = date_between("2010-01-01", "2013-01-01");
+  }
+  edge knows: Person -- Person [many_to_many] {
+    structure = lfr(avg_degree = 10, max_degree = 30, mixing = 0.1);
+    correlate country with homophily(0.8);
+    creationDate: date = date_after(30) given (source.creationDate, target.creationDate);
+  }
+}
+"#;
+
+/// Pull `target` over a fresh loopback connection and return
+/// (body bytes, newline count) — rows for CSV without the header line.
+fn pull(addr: SocketAddr, target: &str) -> (u64, u64) {
+    let mut stream = TcpStream::connect(addr).expect("connect to bench server");
+    stream
+        .write_all(
+            format!("GET {target} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .expect("write request");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read status line");
+    assert!(
+        line.starts_with("HTTP/1.1 200"),
+        "bench pull failed: {line:?}"
+    );
+    // Skip the rest of the head; the chunk framing is counted as body
+    // bytes here, which is fine — both variants pay the same ~0.01%.
+    loop {
+        line.clear();
+        reader.read_line(&mut line).expect("read header");
+        if line == "\r\n" {
+            break;
+        }
+    }
+    let mut body = Vec::new();
+    reader.read_to_end(&mut body).expect("drain body");
+    let rows = body.iter().filter(|&&b| b == b'\n').count() as u64;
+    (body.len() as u64, rows)
+}
+
+fn bench_server_stream(c: &mut Criterion) {
+    let mut config = ServerConfig::new("127.0.0.1:0");
+    config.workers = 2;
+    let server = Server::start(config).expect("start bench server");
+    let addr = server.addr();
+
+    // Register once; every timed pull below hits the schema cache.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(
+            format!(
+                "POST /graphs HTTP/1.1\r\nHost: bench\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{SCHEMA}",
+                SCHEMA.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let mut resp = String::new();
+    BufReader::new(stream).read_to_string(&mut resp).unwrap();
+    let hash = resp
+        .split("\"hash\":\"")
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .expect("hash in register response")
+        .to_owned();
+
+    // Calibrate the row count once so both benchmarks report true
+    // rows/sec through the shim's elem/s line.
+    let (_, rows) = pull(addr, &format!("/graphs/{hash}/tables/knows.csv?seed=7"));
+
+    let mut group = c.benchmark_group("server");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(rows));
+
+    group.bench_function("stream_knows_csv_full", |b| {
+        b.iter(|| {
+            black_box(pull(
+                addr,
+                &format!("/graphs/{hash}/tables/knows.csv?seed=7"),
+            ))
+        })
+    });
+
+    group.bench_function("stream_knows_csv_4_shard_pull", |b| {
+        b.iter(|| {
+            let mut total = (0u64, 0u64);
+            for i in 0..4 {
+                let (bytes, rows) = pull(
+                    addr,
+                    &format!("/graphs/{hash}/tables/knows.csv?seed=7&shard={i}/4"),
+                );
+                total.0 += bytes;
+                total.1 += rows;
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_server_stream);
+criterion_main!(benches);

@@ -85,18 +85,20 @@ pub use dependency::{
 pub use error::PipelineError;
 pub use parallel::{default_threads, parallel_chunks};
 pub use report::{RunReport, TaskReport};
-pub use runner::{DataSynth, Session, TaskPhase, TaskProgress};
+pub use runner::{DataSynth, PlannedSchema, Session, TaskPhase, TaskProgress};
 pub use sink::{
     CsvSink, EdgeTableInfo, GraphSink, InMemorySink, JsonlSink, MultiSink, NodeTableInfo,
-    PropertyInfo, ShardSpec, SinkError, SinkManifest, TableRows, MANIFEST_FILE,
+    PropertyInfo, ShardSpec, SinkError, SinkManifest, TableFormat, TableRows, TableSink,
+    MANIFEST_FILE,
 };
 
 /// Convenient re-exports for downstream users.
 pub mod prelude {
     pub use crate::{
         CsvSink, DataSynth, ExecutionPlan, GraphSink, InMemorySink, JsonlSink, MultiSink,
-        PipelineError, RunReport, Session, ShardMode, ShardPlan, ShardSpec, SinkError,
-        SinkManifest, TableRows, Task, TaskPhase, TaskProgress, TaskReport, MANIFEST_FILE,
+        PipelineError, PlannedSchema, RunReport, Session, ShardMode, ShardPlan, ShardSpec,
+        SinkError, SinkManifest, TableFormat, TableRows, TableSink, Task, TaskPhase, TaskProgress,
+        TaskReport, MANIFEST_FILE,
     };
     pub use datasynth_prng::{CounterStream, SplitMix64};
     pub use datasynth_props::{

@@ -19,7 +19,7 @@ use std::fmt::Write as _;
 use std::ops::Deref;
 use std::time::Duration;
 
-use datasynth_tables::export::json_escape;
+use datasynth_telemetry::json::escape as json_escape;
 use datasynth_telemetry::{prometheus, Snapshot};
 
 use crate::sink::SinkManifest;

@@ -171,6 +171,49 @@ impl DataSynth {
         })
     }
 
+    /// Analyze and schedule the schema once, into a reusable
+    /// [`PlannedSchema`]. Dependency analysis and emission scheduling are
+    /// pure functions of the schema, so a service holding many live
+    /// schemas can pay for them once per schema and mint sessions from
+    /// the cached plan via [`session_from`](DataSynth::session_from) —
+    /// the repeat-request path performs no re-parse and no re-analysis.
+    pub fn planned(&self) -> Result<PlannedSchema, PipelineError> {
+        let analysis = analyze(&self.schema)?;
+        let schedule = emission_schedule(&self.schema, &analysis);
+        Ok(PlannedSchema {
+            schema_hash: fnv1a_64(self.schema.to_dsl().as_bytes()),
+            analysis,
+            schedule,
+        })
+    }
+
+    /// Mint a [`Session`] from a plan prepared earlier by
+    /// [`planned`](DataSynth::planned), skipping analysis and scheduling.
+    /// The plan is fingerprinted against the canonical DSL rendering of
+    /// this pipeline's schema; a mismatch (plan cached for a different
+    /// schema) is rejected rather than silently generating wrong data.
+    pub fn session_from(&self, planned: &PlannedSchema) -> Result<Session<'_>, PipelineError> {
+        let expect = fnv1a_64(self.schema.to_dsl().as_bytes());
+        if planned.schema_hash != expect {
+            return Err(PipelineError::Invalid(format!(
+                "planned schema mismatch: plan is for {:016x}, pipeline schema is {expect:016x}",
+                planned.schema_hash
+            )));
+        }
+        Ok(Session {
+            schema: &self.schema,
+            seed: self.seed,
+            threads: self.threads,
+            structures: &self.structures,
+            properties: &self.properties,
+            analysis: planned.analysis.clone(),
+            schedule: planned.schedule.clone(),
+            shard: ShardSpec::default(),
+            observer: None,
+            metrics: None,
+        })
+    }
+
     /// The shard-local execution plan for shard `index` of `count`:
     /// per-task modes (windowed vs full recompute) and, where statically
     /// known, row windows. Powers the CLI's `--plan --shard I/K`.
@@ -194,6 +237,34 @@ impl DataSynth {
             )));
         }
         Ok(graph)
+    }
+}
+
+/// The schema-derived, seed-independent half of a [`Session`]: the
+/// dependency [`Analysis`] and the artifact emission schedule, stamped
+/// with the fnv1a fingerprint of the schema's canonical DSL rendering.
+/// Produced by [`DataSynth::planned`], consumed by
+/// [`DataSynth::session_from`]; cheap to clone relative to re-analysis
+/// and safe to share across threads, which is what lets a long-lived
+/// service cache one per registered schema.
+#[derive(Debug, Clone)]
+pub struct PlannedSchema {
+    schema_hash: u64,
+    analysis: Analysis,
+    schedule: Vec<Vec<Artifact>>,
+}
+
+impl PlannedSchema {
+    /// fnv1a-64 of the schema's canonical DSL rendering — the same
+    /// fingerprint [`RunReport`](crate::RunReport) reports as
+    /// `schema_hash`.
+    pub fn schema_hash(&self) -> u64 {
+        self.schema_hash
+    }
+
+    /// The execution plan this schema analyzes to.
+    pub fn plan(&self) -> &ExecutionPlan {
+        &self.analysis.plan
     }
 }
 
@@ -276,6 +347,24 @@ impl<'a> Session<'a> {
     /// The execution plan this session will run.
     pub fn plan(&self) -> &ExecutionPlan {
         &self.analysis.plan
+    }
+
+    /// Override the master seed for this run only, leaving the parent
+    /// [`DataSynth`] untouched — the per-request seed knob for callers
+    /// minting many sessions from one pipeline (same seed ⇒ byte-identical
+    /// output, as with [`DataSynth::with_seed`]).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the worker thread count for this run only. Like
+    /// [`DataSynth::with_threads`] this scales scheduling and chunking but
+    /// never affects output bytes; a service can divide a fixed thread
+    /// budget across concurrent runs without rebuilding pipelines.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Restrict the run to shard `index` of a `count`-way row partition —

@@ -70,7 +70,10 @@ use datasynth_schema::Schema;
 use datasynth_structure::shard_window;
 use datasynth_tables::export::{csv, jsonl};
 use datasynth_tables::{Column, EdgeTable, PropertyGraph, PropertyTable, ValueType};
-use datasynth_telemetry::{CountingWrite, MetricsRegistry};
+use datasynth_telemetry::{
+    json::{self, Json},
+    CountingWrite, MetricsRegistry,
+};
 
 /// Anything a sink can fail with.
 #[derive(Debug)]
@@ -418,30 +421,19 @@ impl SinkManifest {
 }
 
 // ---------------------------------------------------------------------------
-// Manifest persistence: a small, self-contained JSON encoding so shard
-// manifests can travel between machines and be merged. The parser handles
-// exactly the JSON this module emits (strings, unsigned integers, objects,
-// arrays) — it is not a general-purpose JSON library.
+// Manifest persistence: a small JSON encoding so shard manifests can
+// travel between machines and be merged. The value model and parser are
+// the workspace-shared `datasynth_telemetry::json` module.
 // ---------------------------------------------------------------------------
 
 /// The file name shard runs write their manifest under (`--out DIR` ⇒
 /// `DIR/manifest.json`).
 pub const MANIFEST_FILE: &str = "manifest.json";
 
-fn json_str(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
+impl From<json::JsonError> for SinkError {
+    fn from(e: json::JsonError) -> Self {
+        SinkError::invalid(format!("manifest {e}"))
     }
-    out.push('"');
 }
 
 fn json_props(out: &mut String, props: &[PropertyInfo]) {
@@ -451,214 +443,20 @@ fn json_props(out: &mut String, props: &[PropertyInfo]) {
             out.push(',');
         }
         out.push_str("{\"name\":");
-        json_str(out, &p.name);
+        json::write_str(out, &p.name);
         out.push_str(",\"type\":");
-        json_str(out, p.value_type.keyword());
+        json::write_str(out, p.value_type.keyword());
         out.push('}');
     }
     out.push(']');
-}
-
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Str(String),
-    Num(u64),
-    Arr(Vec<Json>),
-    Obj(BTreeMap<String, Json>),
-}
-
-struct JsonParser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl JsonParser<'_> {
-    fn err(&self, msg: &str) -> SinkError {
-        SinkError::invalid(format!("manifest JSON, byte {}: {msg}", self.pos))
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), SinkError> {
-        self.skip_ws();
-        if self.bytes.get(self.pos) == Some(&b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err(&format!("expected {:?}", b as char)))
-        }
-    }
-
-    fn peek(&mut self) -> Option<u8> {
-        self.skip_ws();
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn parse_value(&mut self) -> Result<Json, SinkError> {
-        match self.peek() {
-            Some(b'"') => self.parse_string().map(Json::Str),
-            Some(b'{') => self.parse_object(),
-            Some(b'[') => self.parse_array(),
-            Some(b'0'..=b'9') => self.parse_number(),
-            _ => Err(self.err("expected a string, number, object or array")),
-        }
-    }
-
-    fn parse_string(&mut self) -> Result<String, SinkError> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.bytes.get(self.pos) {
-                None => return Err(self.err("unterminated string")),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    let esc = *self
-                        .bytes
-                        .get(self.pos)
-                        .ok_or_else(|| SinkError::invalid("manifest JSON: unterminated escape"))?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                .ok_or_else(|| self.err("bad \\u escape"))?;
-                            self.pos += 4;
-                            out.push(
-                                char::from_u32(hex).ok_or_else(|| self.err("bad \\u escape"))?,
-                            );
-                        }
-                        _ => return Err(self.err("unknown escape")),
-                    }
-                }
-                Some(&b) if b < 0x80 => {
-                    out.push(b as char);
-                    self.pos += 1;
-                }
-                Some(_) => {
-                    // Multi-byte UTF-8: take the whole scalar.
-                    let s = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = s.chars().next().expect("non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn parse_number(&mut self) -> Result<Json, SinkError> {
-        let start = self.pos;
-        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
-            self.pos += 1;
-        }
-        let s = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits");
-        s.parse::<u64>()
-            .map(Json::Num)
-            .map_err(|_| self.err("integer out of range"))
-    }
-
-    fn parse_array(&mut self) -> Result<Json, SinkError> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.parse_value()?);
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(self.err("expected ',' or ']'")),
-            }
-        }
-    }
-
-    fn parse_object(&mut self) -> Result<Json, SinkError> {
-        self.expect(b'{')?;
-        let mut map = BTreeMap::new();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(map));
-        }
-        loop {
-            let key = self.parse_string()?;
-            self.expect(b':')?;
-            map.insert(key, self.parse_value()?);
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(map));
-                }
-                _ => return Err(self.err("expected ',' or '}'")),
-            }
-        }
-    }
-}
-
-impl Json {
-    fn get<'j>(obj: &'j BTreeMap<String, Json>, key: &str) -> Result<&'j Json, SinkError> {
-        obj.get(key)
-            .ok_or_else(|| SinkError::invalid(format!("manifest JSON: missing key {key:?}")))
-    }
-
-    fn str_of(&self, what: &str) -> Result<&str, SinkError> {
-        match self {
-            Json::Str(s) => Ok(s),
-            _ => Err(SinkError::invalid(format!("{what} must be a string"))),
-        }
-    }
-
-    fn num_of(&self, what: &str) -> Result<u64, SinkError> {
-        match self {
-            Json::Num(n) => Ok(*n),
-            _ => Err(SinkError::invalid(format!("{what} must be an integer"))),
-        }
-    }
-
-    fn arr_of(&self, what: &str) -> Result<&[Json], SinkError> {
-        match self {
-            Json::Arr(items) => Ok(items),
-            _ => Err(SinkError::invalid(format!("{what} must be an array"))),
-        }
-    }
-
-    fn obj_of(&self, what: &str) -> Result<&BTreeMap<String, Json>, SinkError> {
-        match self {
-            Json::Obj(map) => Ok(map),
-            _ => Err(SinkError::invalid(format!("{what} must be an object"))),
-        }
-    }
 }
 
 fn props_from_json(v: &Json, what: &str) -> Result<Vec<PropertyInfo>, SinkError> {
     v.arr_of(what)?
         .iter()
         .map(|p| {
-            let obj = p.obj_of("property")?;
-            let name = Json::get(obj, "name")?.str_of("property name")?.to_owned();
-            let ty = Json::get(obj, "type")?.str_of("property type")?;
+            let name = p.key("name")?.str_of("property name")?.to_owned();
+            let ty = p.key("type")?.str_of("property type")?;
             let value_type = ValueType::from_keyword(ty)
                 .ok_or_else(|| SinkError::invalid(format!("unknown property type {ty:?}")))?;
             Ok(PropertyInfo { name, value_type })
@@ -673,7 +471,7 @@ impl SinkManifest {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n  \"graph\": ");
-        json_str(&mut out, &self.graph_name);
+        json::write_str(&mut out, &self.graph_name);
         out.push_str(&format!(",\n  \"seed\": \"{:016x}\",\n", self.seed));
         out.push_str(&format!(
             "  \"shard\": {{\"index\": {}, \"count\": {}}},\n",
@@ -685,7 +483,7 @@ impl SinkManifest {
                 out.push(',');
             }
             out.push_str("\n    {\"name\": ");
-            json_str(&mut out, &n.name);
+            json::write_str(&mut out, &n.name);
             out.push_str(", \"properties\": ");
             json_props(&mut out, &n.properties);
             out.push('}');
@@ -696,11 +494,11 @@ impl SinkManifest {
                 out.push(',');
             }
             out.push_str("\n    {\"name\": ");
-            json_str(&mut out, &e.name);
+            json::write_str(&mut out, &e.name);
             out.push_str(", \"source\": ");
-            json_str(&mut out, &e.source);
+            json::write_str(&mut out, &e.source);
             out.push_str(", \"target\": ");
-            json_str(&mut out, &e.target);
+            json::write_str(&mut out, &e.target);
             out.push_str(", \"properties\": ");
             json_props(&mut out, &e.properties);
             out.push('}');
@@ -711,7 +509,7 @@ impl SinkManifest {
                 out.push(',');
             }
             out.push_str("\n    {\"name\": ");
-            json_str(&mut out, name);
+            json::write_str(&mut out, name);
             out.push_str(&format!(
                 ", \"lo\": {}, \"hi\": {}, \"total\": {}, \"hash\": \"{:016x}\"}}",
                 rows.lo, rows.hi, rows.total, rows.content_hash
@@ -723,58 +521,56 @@ impl SinkManifest {
 
     /// Parse a manifest previously written by [`to_json`](Self::to_json).
     pub fn from_json(src: &str) -> Result<SinkManifest, SinkError> {
-        let mut parser = JsonParser {
-            bytes: src.as_bytes(),
-            pos: 0,
-        };
-        let root = parser.parse_value()?;
-        let obj = root.obj_of("manifest")?;
-        let graph_name = Json::get(obj, "graph")?.str_of("graph")?.to_owned();
-        let seed_hex = Json::get(obj, "seed")?.str_of("seed")?;
+        let root = Json::parse(src)?;
+        root.obj_of("manifest")?;
+        let graph_name = root.key("graph")?.str_of("graph")?.to_owned();
+        let seed_hex = root.key("seed")?.str_of("seed")?;
         let seed = u64::from_str_radix(seed_hex, 16)
             .map_err(|_| SinkError::invalid(format!("bad seed {seed_hex:?}")))?;
-        let shard_obj = Json::get(obj, "shard")?.obj_of("shard")?;
+        let shard_obj = root.key("shard")?;
         let shard = ShardSpec::new(
-            Json::get(shard_obj, "index")?.num_of("shard index")?,
-            Json::get(shard_obj, "count")?.num_of("shard count")?,
+            shard_obj.key("index")?.u64_of("shard index")?,
+            shard_obj.key("count")?.u64_of("shard count")?,
         )?;
-        let nodes = Json::get(obj, "nodes")?
+        let nodes = root
+            .key("nodes")?
             .arr_of("nodes")?
             .iter()
             .map(|n| {
-                let o = n.obj_of("node table")?;
+                n.obj_of("node table")?;
                 Ok(NodeTableInfo {
-                    name: Json::get(o, "name")?.str_of("node name")?.to_owned(),
-                    properties: props_from_json(Json::get(o, "properties")?, "node properties")?,
+                    name: n.key("name")?.str_of("node name")?.to_owned(),
+                    properties: props_from_json(n.key("properties")?, "node properties")?,
                 })
             })
             .collect::<Result<Vec<_>, SinkError>>()?;
-        let edges = Json::get(obj, "edges")?
+        let edges = root
+            .key("edges")?
             .arr_of("edges")?
             .iter()
             .map(|e| {
-                let o = e.obj_of("edge table")?;
+                e.obj_of("edge table")?;
                 Ok(EdgeTableInfo {
-                    name: Json::get(o, "name")?.str_of("edge name")?.to_owned(),
-                    source: Json::get(o, "source")?.str_of("edge source")?.to_owned(),
-                    target: Json::get(o, "target")?.str_of("edge target")?.to_owned(),
-                    properties: props_from_json(Json::get(o, "properties")?, "edge properties")?,
+                    name: e.key("name")?.str_of("edge name")?.to_owned(),
+                    source: e.key("source")?.str_of("edge source")?.to_owned(),
+                    target: e.key("target")?.str_of("edge target")?.to_owned(),
+                    properties: props_from_json(e.key("properties")?, "edge properties")?,
                 })
             })
             .collect::<Result<Vec<_>, SinkError>>()?;
         let mut tables = BTreeMap::new();
-        for t in Json::get(obj, "tables")?.arr_of("tables")? {
-            let o = t.obj_of("table rows")?;
-            let name = Json::get(o, "name")?.str_of("table name")?.to_owned();
-            let hash_hex = Json::get(o, "hash")?.str_of("table hash")?;
+        for t in root.key("tables")?.arr_of("tables")? {
+            t.obj_of("table rows")?;
+            let name = t.key("name")?.str_of("table name")?.to_owned();
+            let hash_hex = t.key("hash")?.str_of("table hash")?;
             let content_hash = u64::from_str_radix(hash_hex, 16)
                 .map_err(|_| SinkError::invalid(format!("bad table hash {hash_hex:?}")))?;
             tables.insert(
                 name,
                 TableRows {
-                    lo: Json::get(o, "lo")?.num_of("lo")?,
-                    hi: Json::get(o, "hi")?.num_of("hi")?,
-                    total: Json::get(o, "total")?.num_of("total")?,
+                    lo: t.key("lo")?.u64_of("lo")?,
+                    hi: t.key("hi")?.u64_of("hi")?,
+                    total: t.key("total")?.u64_of("total")?,
                     content_hash,
                 },
             );
@@ -1198,6 +994,21 @@ struct EdgeBuffer {
     written: bool,
 }
 
+/// Reject a delivered column/table slice whose length does not match the
+/// announced row window — the one consistency check every buffering sink
+/// applies before committing bytes.
+fn check_rows(table: &str, what: &str, len: u64, window: &Range<u64>) -> Result<(), SinkError> {
+    let expected = window.end - window.start;
+    if len != expected {
+        return Err(SinkError::invalid(format!(
+            "{table}: {what} has {len} rows but the announced window \
+             {}..{} holds {expected}",
+            window.start, window.end
+        )));
+    }
+    Ok(())
+}
+
 /// Shared machinery of [`CsvSink`] and [`JsonlSink`]: buffer the columns of
 /// each table, write the file the moment the table is complete, then free
 /// the memory. Peak memory is the largest set of concurrently-incomplete
@@ -1256,18 +1067,6 @@ impl StreamingDirSink {
         self.windows.get(table).cloned().unwrap_or(0..fallback)
     }
 
-    fn check_rows(table: &str, what: &str, len: u64, window: &Range<u64>) -> Result<(), SinkError> {
-        let expected = window.end - window.start;
-        if len != expected {
-            return Err(SinkError::invalid(format!(
-                "{table}: {what} has {len} rows but the announced window \
-                 {}..{} holds {expected}",
-                window.start, window.end
-            )));
-        }
-        Ok(())
-    }
-
     fn node(&mut self, node_type: &str) -> Result<&mut NodeBuffer, SinkError> {
         if !self.started {
             return Err(SinkError::invalid(
@@ -1312,7 +1111,7 @@ impl StreamingDirSink {
             .map(|p| (p.as_str(), &buf.props[p]))
             .collect();
         for (name, table) in &props {
-            Self::check_rows(node_type, name, table.len(), &rows)?;
+            check_rows(node_type, name, table.len(), &rows)?;
         }
         let row_count = rows.end - rows.start;
         let mut w = BufWriter::new(CountingWrite::new(File::create(path)?));
@@ -1348,14 +1147,14 @@ impl StreamingDirSink {
         let rows = self.window_of(edge_type, slice_len);
         let buf = self.edges.get_mut(edge_type).expect("checked by caller");
         let table = buf.table.take().expect("checked");
-        Self::check_rows(edge_type, "edge table", table.len(), &rows)?;
+        check_rows(edge_type, "edge table", table.len(), &rows)?;
         let props: Vec<(&str, &PropertyTable)> = buf
             .expected
             .iter()
             .map(|p| (p.as_str(), &buf.props[p]))
             .collect();
         for (name, ptable) in &props {
-            Self::check_rows(edge_type, name, ptable.len(), &rows)?;
+            check_rows(edge_type, name, ptable.len(), &rows)?;
         }
         let row_count = rows.end - rows.start;
         let mut w = BufWriter::new(CountingWrite::new(File::create(path)?));
@@ -1496,6 +1295,294 @@ impl GraphSink for StreamingDirSink {
             return Err(SinkError::invalid(format!(
                 "run finished with incomplete tables: {}",
                 unwritten.join(", ")
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Output format of a single-table stream ([`TableSink`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableFormat {
+    /// Comma-separated values; a header row is written by shard 0 only.
+    Csv,
+    /// One JSON object per row; no header.
+    Jsonl,
+}
+
+impl TableFormat {
+    /// The file extension conventionally used for this format.
+    pub fn extension(self) -> &'static str {
+        match self {
+            TableFormat::Csv => "csv",
+            TableFormat::Jsonl => "jsonl",
+        }
+    }
+
+    /// Parse a file extension (`"csv"` / `"jsonl"`).
+    pub fn from_extension(ext: &str) -> Option<Self> {
+        match ext {
+            "csv" => Some(TableFormat::Csv),
+            "jsonl" => Some(TableFormat::Jsonl),
+            _ => None,
+        }
+    }
+
+    /// The MIME type a transport should label this format with.
+    pub fn content_type(self) -> &'static str {
+        match self {
+            TableFormat::Csv => "text/csv; charset=utf-8",
+            TableFormat::Jsonl => "application/x-ndjson",
+        }
+    }
+}
+
+/// A [`GraphSink`] that extracts **one table** of a run into any
+/// [`Write`] — the bridge a network service uses to stream a single node
+/// or edge file without touching disk.
+///
+/// Only the target table's columns are buffered; every other event is
+/// dropped on arrival, so peak memory is one table regardless of graph
+/// size. Rows go through the same `datasynth_tables::export` row-writers
+/// the directory sinks use — including the shard-0-only CSV header rule —
+/// so the byte stream is identical to the file a [`CsvSink`] /
+/// [`JsonlSink`] run writes for that table, and concatenating per-shard
+/// streams in shard order reproduces the full table exactly.
+///
+/// `begin` rejects a table name absent from the manifest; `finish`
+/// rejects a run that ended without completing the table. A write error
+/// from `W` aborts the run ([`SinkError::Io`]) — how client disconnects
+/// propagate back into and stop the generator.
+pub struct TableSink<W: Write> {
+    table: String,
+    format: TableFormat,
+    writer: W,
+    shard: ShardSpec,
+    window: Option<Range<u64>>,
+    node: Option<NodeBuffer>,
+    edge: Option<EdgeBuffer>,
+    rows_written: Option<u64>,
+}
+
+impl<W: Write> TableSink<W> {
+    /// Stream table `table` in `format` into `writer`.
+    pub fn new(table: impl Into<String>, format: TableFormat, writer: W) -> Self {
+        Self {
+            table: table.into(),
+            format,
+            writer,
+            shard: ShardSpec::default(),
+            window: None,
+            node: None,
+            edge: None,
+            rows_written: None,
+        }
+    }
+
+    /// Rows emitted for the table so far (`0` until its flush).
+    pub fn rows_written(&self) -> u64 {
+        self.rows_written.unwrap_or(0)
+    }
+
+    /// The underlying writer, back.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+
+    fn try_flush_node(&mut self) -> Result<(), SinkError> {
+        let Some(buf) = &self.node else {
+            return Ok(());
+        };
+        let complete = !buf.written
+            && buf.count.is_some()
+            && buf.expected.iter().all(|p| buf.props.contains_key(p));
+        if !complete {
+            return Ok(());
+        }
+        let count = buf.count.expect("checked");
+        let rows = self.window.clone().unwrap_or(0..count);
+        let buf = self.node.as_mut().expect("checked");
+        let props: Vec<(&str, &PropertyTable)> = buf
+            .expected
+            .iter()
+            .map(|p| (p.as_str(), &buf.props[p]))
+            .collect();
+        for (name, table) in &props {
+            check_rows(&self.table, name, table.len(), &rows)?;
+        }
+        match self.format {
+            TableFormat::Csv => {
+                if self.shard.index == 0 {
+                    csv::write_node_header(&mut self.writer, &props)?;
+                }
+                csv::write_node_rows(&mut self.writer, rows.clone(), &props)?;
+            }
+            TableFormat::Jsonl => jsonl::write_node_rows(&mut self.writer, rows.clone(), &props)?,
+        }
+        self.writer.flush()?;
+        let buf = self.node.as_mut().expect("checked");
+        buf.written = true;
+        buf.props.clear();
+        self.rows_written = Some(rows.end - rows.start);
+        Ok(())
+    }
+
+    fn try_flush_edge(&mut self) -> Result<(), SinkError> {
+        let Some(buf) = &self.edge else {
+            return Ok(());
+        };
+        let complete = !buf.written
+            && buf.table.is_some()
+            && buf.expected.iter().all(|p| buf.props.contains_key(p));
+        if !complete {
+            return Ok(());
+        }
+        let slice_len = buf.table.as_ref().expect("checked").len();
+        let rows = self.window.clone().unwrap_or(0..slice_len);
+        let buf = self.edge.as_mut().expect("checked");
+        let table = buf.table.take().expect("checked");
+        check_rows(&self.table, "edge table", table.len(), &rows)?;
+        let props: Vec<(&str, &PropertyTable)> = buf
+            .expected
+            .iter()
+            .map(|p| (p.as_str(), &buf.props[p]))
+            .collect();
+        for (name, ptable) in &props {
+            check_rows(&self.table, name, ptable.len(), &rows)?;
+        }
+        match self.format {
+            TableFormat::Csv => {
+                if self.shard.index == 0 {
+                    csv::write_edge_header(&mut self.writer, &props)?;
+                }
+                csv::write_edge_rows(&mut self.writer, rows.clone(), &table, &props)?;
+            }
+            TableFormat::Jsonl => jsonl::write_edge_rows(
+                &mut self.writer,
+                rows.clone(),
+                &buf.source,
+                &buf.target,
+                &table,
+                &props,
+            )?,
+        }
+        self.writer.flush()?;
+        let buf = self.edge.as_mut().expect("checked");
+        buf.written = true;
+        buf.props.clear();
+        self.rows_written = Some(rows.end - rows.start);
+        Ok(())
+    }
+}
+
+impl<W: Write> GraphSink for TableSink<W> {
+    fn begin(&mut self, manifest: &SinkManifest) -> Result<(), SinkError> {
+        self.shard = manifest.shard;
+        self.window = None;
+        self.node = None;
+        self.edge = None;
+        self.rows_written = None;
+        if let Some(n) = manifest.nodes.iter().find(|n| n.name == self.table) {
+            self.node = Some(NodeBuffer {
+                expected: n.properties.iter().map(|p| p.name.clone()).collect(),
+                count: None,
+                props: BTreeMap::new(),
+                written: false,
+            });
+        } else if let Some(e) = manifest.edges.iter().find(|e| e.name == self.table) {
+            self.edge = Some(EdgeBuffer {
+                source: e.source.clone(),
+                target: e.target.clone(),
+                expected: e.properties.iter().map(|p| p.name.clone()).collect(),
+                table: None,
+                props: BTreeMap::new(),
+                written: false,
+            });
+        } else {
+            return Err(SinkError::invalid(format!(
+                "table {:?} is not in the manifest",
+                self.table
+            )));
+        }
+        Ok(())
+    }
+
+    fn table_rows(&mut self, table: &str, rows: Range<u64>, _total: u64) -> Result<(), SinkError> {
+        if table == self.table {
+            self.window = Some(rows);
+        }
+        Ok(())
+    }
+
+    fn node_count(&mut self, node_type: &str, count: u64) -> Result<(), SinkError> {
+        if node_type != self.table || self.node.is_none() {
+            return Ok(());
+        }
+        self.node.as_mut().expect("checked").count = Some(count);
+        self.try_flush_node()
+    }
+
+    fn node_property(
+        &mut self,
+        node_type: &str,
+        property: &str,
+        table: PropertyTable,
+    ) -> Result<(), SinkError> {
+        if node_type != self.table {
+            return Ok(());
+        }
+        let Some(buf) = self.node.as_mut() else {
+            return Ok(());
+        };
+        if !buf.expected.iter().any(|p| p == property) {
+            return Err(SinkError::invalid(format!(
+                "property {node_type}.{property} not in the manifest"
+            )));
+        }
+        buf.props.insert(property.to_owned(), table);
+        self.try_flush_node()
+    }
+
+    fn edges(
+        &mut self,
+        edge_type: &str,
+        _source: &str,
+        _target: &str,
+        table: EdgeTable,
+    ) -> Result<(), SinkError> {
+        if edge_type != self.table || self.edge.is_none() {
+            return Ok(());
+        }
+        self.edge.as_mut().expect("checked").table = Some(table);
+        self.try_flush_edge()
+    }
+
+    fn edge_property(
+        &mut self,
+        edge_type: &str,
+        property: &str,
+        table: PropertyTable,
+    ) -> Result<(), SinkError> {
+        if edge_type != self.table {
+            return Ok(());
+        }
+        let Some(buf) = self.edge.as_mut() else {
+            return Ok(());
+        };
+        if !buf.expected.iter().any(|p| p == property) {
+            return Err(SinkError::invalid(format!(
+                "property {edge_type}.{property} not in the manifest"
+            )));
+        }
+        buf.props.insert(property.to_owned(), table);
+        self.try_flush_edge()
+    }
+
+    fn finish(&mut self) -> Result<(), SinkError> {
+        if self.rows_written.is_none() {
+            return Err(SinkError::invalid(format!(
+                "run finished without completing table {:?}",
+                self.table
             )));
         }
         Ok(())

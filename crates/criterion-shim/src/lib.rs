@@ -30,6 +30,8 @@ use std::path::PathBuf;
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
+use datasynth_telemetry::json::{self, Json};
+
 pub use std::hint::black_box;
 
 /// Measurement target cap under `--quick` (CI smoke mode).
@@ -84,9 +86,10 @@ pub fn init_from_args() {
 pub fn results_to_json(records: &[BenchRecord]) -> String {
     let mut out = String::from("{\n  \"benchmarks\": [\n");
     for (i, r) in records.iter().enumerate() {
+        out.push_str("    {\"name\": ");
+        json::write_str(&mut out, &r.name);
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"ns_per_iter\": {}, \"iters\": {}}}{}\n",
-            r.name.replace('\\', "\\\\").replace('"', "\\\""),
+            ", \"ns_per_iter\": {}, \"iters\": {}}}{}\n",
             r.ns_per_iter,
             r.iters,
             if i + 1 < records.len() { "," } else { "" }
@@ -96,45 +99,26 @@ pub fn results_to_json(records: &[BenchRecord]) -> String {
     out
 }
 
-/// Parse the JSON written by [`results_to_json`]. Line-oriented: only the
-/// shim's own output format is supported.
-pub fn parse_results(json: &str) -> Vec<BenchRecord> {
-    let mut out = Vec::new();
-    for line in json.lines() {
-        let Some(name) = field_str(line, "\"name\": \"") else {
-            continue;
-        };
-        let ns = field_u128(line, "\"ns_per_iter\": ");
-        let iters = field_u128(line, "\"iters\": ");
-        if let (Some(ns_per_iter), Some(iters)) = (ns, iters) {
-            out.push(BenchRecord {
-                name,
-                ns_per_iter,
-                iters: iters as u64,
-            });
-        }
-    }
-    out
-}
-
-fn field_str(line: &str, key: &str) -> Option<String> {
-    let rest = &line[line.find(key)? + key.len()..];
-    let mut out = String::new();
-    let mut chars = rest.chars();
-    while let Some(c) = chars.next() {
-        match c {
-            '"' => return Some(out),
-            '\\' => out.push(chars.next()?),
-            c => out.push(c),
-        }
-    }
-    None
-}
-
-fn field_u128(line: &str, key: &str) -> Option<u128> {
-    let rest = &line[line.find(key)? + key.len()..];
-    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
-    digits.parse().ok()
+/// Parse the JSON written by [`results_to_json`]. Tolerant: records with
+/// missing or mistyped fields are skipped, as are unparseable files — a
+/// corrupt baseline only suppresses the delta report.
+pub fn parse_results(src: &str) -> Vec<BenchRecord> {
+    let Ok(root) = Json::parse(src) else {
+        return Vec::new();
+    };
+    let Some(benches) = root.get("benchmarks").and_then(Json::as_arr) else {
+        return Vec::new();
+    };
+    benches
+        .iter()
+        .filter_map(|b| {
+            Some(BenchRecord {
+                name: b.get("name")?.as_str()?.to_owned(),
+                ns_per_iter: b.get("ns_per_iter")?.as_u64()? as u128,
+                iters: b.get("iters")?.as_u64()?,
+            })
+        })
+        .collect()
 }
 
 /// Persist results and print deltas against the previous file, if any.
@@ -143,6 +127,16 @@ fn field_u128(line: &str, key: &str) -> Option<u128> {
 pub fn finalize() {
     let Some(path) = active_config().persist.as_ref() else {
         return;
+    };
+    // Cargo runs bench binaries with the *package* directory as cwd, so a
+    // bare `--persist BENCH_x.json` from a workspace member would land in
+    // `crates/<member>/` while CI and humans expect it next to the
+    // workspace `Cargo.toml`. Anchor relative paths at the topmost
+    // ancestor that has a Cargo.toml.
+    let path = &if path.is_relative() {
+        workspace_root().join(path)
+    } else {
+        path.clone()
     };
     let current = records().lock().expect("recorder poisoned").clone();
     if let Ok(prev_text) = std::fs::read_to_string(path) {
@@ -170,6 +164,23 @@ pub fn finalize() {
     match std::fs::write(path, results_to_json(&current)) {
         Ok(()) => println!("\nbench results -> {}", path.display()),
         Err(e) => eprintln!("cannot persist bench results to {}: {e}", path.display()),
+    }
+}
+
+/// The highest ancestor of the current directory that contains a
+/// `Cargo.toml` — the workspace root when run under `cargo bench`.
+fn workspace_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut root = cwd.clone();
+    let mut dir = cwd.as_path();
+    loop {
+        if dir.join("Cargo.toml").exists() {
+            root = dir.to_path_buf();
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => return root,
+        }
     }
 }
 

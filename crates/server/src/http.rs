@@ -1,0 +1,388 @@
+//! The HTTP/1.1 layer: request parsing with hard limits, response
+//! writing, and chunked transfer encoding — on nothing but `std::io`.
+//!
+//! This is deliberately a small subset of the protocol, shaped by what a
+//! generation service needs: `GET`/`POST` with optional
+//! `Content-Length` bodies in, fixed-length or chunked responses out,
+//! and keep-alive. Chunked *request* bodies, continuation lines,
+//! multiplexing and TLS are out of scope — a malformed or oversized
+//! request gets a 4xx and the connection is closed, never a hang.
+
+use std::io::{self, BufRead, Write};
+
+/// Cap on the request line plus all headers, bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Cap on a request body (`Content-Length`), bytes.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method token.
+    pub method: String,
+    /// Decoded path component of the target (no query string).
+    pub path: String,
+    /// Decoded `key=value` pairs of the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of header `name` (lower-case), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of query parameter `key`, if present.
+    pub fn query(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum ParseError {
+    /// The peer closed (or timed out) before sending a request line —
+    /// the clean end of a keep-alive connection, not an error to answer.
+    ConnectionClosed,
+    /// A protocol violation: respond with `status`/`message` and close.
+    Bad(u16, String),
+}
+
+impl ParseError {
+    fn bad(status: u16, msg: impl Into<String>) -> Self {
+        ParseError::Bad(status, msg.into())
+    }
+}
+
+/// The reason phrase for the status codes this service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Content Too Large",
+        422 => "Unprocessable Content",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        505 => "HTTP Version Not Supported",
+        _ => "",
+    }
+}
+
+/// Read one request from `reader` (buffered over the socket). Returns
+/// `ConnectionClosed` on clean EOF/timeout before the first byte, a
+/// `Bad` error (status + message) on any protocol violation.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ParseError> {
+    let head = read_head(reader)?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(ParseError::bad(
+                400,
+                format!("malformed request line {request_line:?}"),
+            ))
+        }
+    };
+    let keep_alive_default = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        v => return Err(ParseError::bad(505, format!("unsupported version {v:?}"))),
+    };
+    if method.bytes().any(|b| !b.is_ascii_uppercase()) {
+        return Err(ParseError::bad(400, format!("malformed method {method:?}")));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ParseError::bad(400, format!("malformed header {line:?}")));
+        };
+        if name.is_empty() || name.contains(' ') {
+            return Err(ParseError::bad(400, format!("malformed header {line:?}")));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let (path, query) = parse_target(target)?;
+
+    let connection = headers
+        .iter()
+        .find(|(k, _)| k == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase());
+    let keep_alive = match connection.as_deref() {
+        Some("close") => false,
+        Some("keep-alive") => true,
+        _ => keep_alive_default,
+    };
+
+    let body = match headers.iter().find(|(k, _)| k == "content-length") {
+        None => Vec::new(),
+        Some((_, v)) => {
+            let len: usize = v
+                .parse()
+                .map_err(|_| ParseError::bad(400, format!("bad content-length {v:?}")))?;
+            if len > MAX_BODY_BYTES {
+                return Err(ParseError::bad(
+                    413,
+                    format!("body of {len} bytes exceeds the {MAX_BODY_BYTES}-byte limit"),
+                ));
+            }
+            let mut body = vec![0u8; len];
+            reader.read_exact(&mut body).map_err(|e| {
+                ParseError::bad(400, format!("body shorter than content-length: {e}"))
+            })?;
+            body
+        }
+    };
+    if headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(ParseError::bad(400, "chunked request bodies not supported"));
+    }
+
+    Ok(Request {
+        method: method.to_owned(),
+        path,
+        query,
+        headers,
+        body,
+        keep_alive,
+    })
+}
+
+/// Read up to and including the blank line ending the header block,
+/// capped at [`MAX_HEAD_BYTES`]; returns the head without the final
+/// `\r\n\r\n`.
+fn read_head<R: BufRead>(reader: &mut R) -> Result<String, ParseError> {
+    let mut head: Vec<u8> = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                return if head.is_empty() {
+                    Err(ParseError::ConnectionClosed)
+                } else {
+                    Err(ParseError::bad(400, "connection closed mid-request"))
+                };
+            }
+            Ok(_) => {
+                head.push(byte[0]);
+                if head.ends_with(b"\r\n\r\n") {
+                    head.truncate(head.len() - 4);
+                    return String::from_utf8(head)
+                        .map_err(|_| ParseError::bad(400, "request head is not UTF-8"));
+                }
+                if head.len() >= MAX_HEAD_BYTES {
+                    return Err(ParseError::bad(
+                        431,
+                        format!("request head exceeds the {MAX_HEAD_BYTES}-byte limit"),
+                    ));
+                }
+            }
+            Err(e)
+                if head.is_empty()
+                    && matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+            {
+                return Err(ParseError::ConnectionClosed);
+            }
+            Err(e) => return Err(ParseError::bad(408, format!("read failed: {e}"))),
+        }
+    }
+}
+
+/// Split a request target into decoded path and query pairs.
+fn parse_target(target: &str) -> Result<(String, Vec<(String, String)>), ParseError> {
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    if !raw_path.starts_with('/') {
+        return Err(ParseError::bad(400, format!("malformed target {target:?}")));
+    }
+    let path = percent_decode(raw_path)
+        .ok_or_else(|| ParseError::bad(400, format!("malformed path {raw_path:?}")))?;
+    let mut query = Vec::new();
+    if let Some(raw) = raw_query {
+        for pair in raw.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            let k = percent_decode(k)
+                .ok_or_else(|| ParseError::bad(400, format!("malformed query key {k:?}")))?;
+            let v = percent_decode(v)
+                .ok_or_else(|| ParseError::bad(400, format!("malformed query value {v:?}")))?;
+            query.push((k, v));
+        }
+    }
+    Ok((path, query))
+}
+
+/// `%XX` and `+` decoding; `None` on truncated or non-hex escapes or
+/// non-UTF-8 results.
+fn percent_decode(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3)?;
+                let hi = (hex[0] as char).to_digit(16)?;
+                let lo = (hex[1] as char).to_digit(16)?;
+                out.push((hi * 16 + lo) as u8);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// Write a complete fixed-length response.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Write the head of a chunked streaming response; follow with
+/// [`write_chunk`] calls and one [`finish_chunked`].
+pub fn write_chunked_head(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+        reason(status),
+        if keep_alive { "keep-alive" } else { "close" },
+    )?;
+    w.flush()
+}
+
+/// Write one non-empty chunk.
+pub fn write_chunk(w: &mut impl Write, data: &[u8]) -> io::Result<()> {
+    if data.is_empty() {
+        return Ok(());
+    }
+    write!(w, "{:x}\r\n", data.len())?;
+    w.write_all(data)?;
+    w.write_all(b"\r\n")?;
+    w.flush()
+}
+
+/// Write the terminal chunk ending the body.
+pub fn finish_chunked(w: &mut impl Write) -> io::Result<()> {
+    w.write_all(b"0\r\n\r\n")?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, ParseError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_a_get_with_query() {
+        let req = parse("GET /graphs/ab?seed=7&shard=1%2F4 HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/graphs/ab");
+        assert_eq!(req.query("seed"), Some("7"));
+        assert_eq!(req.query("shard"), Some("1/4"));
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn parses_a_post_body() {
+        let req = parse("POST /graphs HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello").unwrap();
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn connection_close_is_honoured() {
+        let req = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!req.keep_alive);
+        let req = parse("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for raw in [
+            "NOT-HTTP\r\n\r\n",
+            "GET /\r\n\r\n",
+            "GET / HTTP/2.0\r\n\r\n",
+            "GET / HTTP/1.1 extra\r\n\r\n",
+            "GET / HTTP/1.1\r\nbad header\r\n\r\n",
+        ] {
+            assert!(matches!(parse(raw), Err(ParseError::Bad(..))), "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_head_and_body() {
+        let raw = format!(
+            "GET / HTTP/1.1\r\nX-Big: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES)
+        );
+        assert!(matches!(parse(&raw), Err(ParseError::Bad(431, _))));
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(parse(&raw), Err(ParseError::Bad(413, _))));
+    }
+
+    #[test]
+    fn eof_before_request_is_clean() {
+        assert!(matches!(parse(""), Err(ParseError::ConnectionClosed)));
+    }
+}

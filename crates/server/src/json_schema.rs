@@ -1,0 +1,250 @@
+//! The builder-JSON schema frontend: a structural JSON encoding of the
+//! schema model for clients that would rather emit JSON than DSL text.
+//!
+//! The shape mirrors `datasynth_schema::Schema` one-to-one:
+//!
+//! ```json
+//! {
+//!   "graph": "social",
+//!   "nodes": [
+//!     {"name": "Person", "count": 1000, "properties": [
+//!       {"name": "country", "type": "text",
+//!        "generator": {"name": "dictionary", "args": ["countries"]}}
+//!     ]}
+//!   ],
+//!   "edges": [
+//!     {"name": "knows", "source": "Person", "target": "Person",
+//!      "structure": {"name": "lfr", "args": [{"avg_degree": 20}]},
+//!      "correlate": {"property": "country",
+//!                    "with": {"name": "homophily", "args": [0.8]}}}
+//!   ]
+//! }
+//! ```
+//!
+//! Generator arguments map by JSON type: a number is a positional
+//! [`SpecArg::Num`], a string a positional [`SpecArg::Text`], a
+//! single-member object a named argument (`{"avg_degree": 20}` ⇒
+//! `avg_degree = 20`), and `{"label": L, "weight": W}` a weighted
+//! category. `given` lists dependency references as the DSL renders
+//! them (`"age"`, `"source.country"`). Everything still flows through
+//! the normal schema validation in `DataSynth::new`, so a structurally
+//! well-formed but semantically bad schema is rejected with the same
+//! messages the DSL frontend produces.
+
+use datasynth_schema::{
+    Cardinality, CorrelationSpec, DepRef, EdgeType, GeneratorSpec, NodeType, PropertyDef, Schema,
+    SpecArg,
+};
+use datasynth_tables::ValueType;
+use datasynth_telemetry::json::{Json, JsonError};
+
+/// Parse builder-JSON into a [`Schema`] (unvalidated — run it through
+/// `DataSynth::new` as usual).
+pub fn schema_from_json(src: &str) -> Result<Schema, JsonError> {
+    let root = Json::parse(src)?;
+    let name = root.key("graph")?.str_of("graph")?.to_owned();
+    let mut nodes = Vec::new();
+    if let Some(v) = root.get("nodes") {
+        for n in v.arr_of("nodes")? {
+            nodes.push(node_from_json(n)?);
+        }
+    }
+    let mut edges = Vec::new();
+    if let Some(v) = root.get("edges") {
+        for e in v.arr_of("edges")? {
+            edges.push(edge_from_json(e)?);
+        }
+    }
+    Ok(Schema { name, nodes, edges })
+}
+
+fn node_from_json(v: &Json) -> Result<NodeType, JsonError> {
+    v.obj_of("node")?;
+    Ok(NodeType {
+        name: v.key("name")?.str_of("node name")?.to_owned(),
+        count: match v.get("count") {
+            Some(c) => Some(c.u64_of("node count")?),
+            None => None,
+        },
+        properties: props_from_json(v)?,
+    })
+}
+
+fn edge_from_json(v: &Json) -> Result<EdgeType, JsonError> {
+    v.obj_of("edge")?;
+    let name = v.key("name")?.str_of("edge name")?.to_owned();
+    let cardinality = match v.get("cardinality") {
+        None => Cardinality::default(),
+        Some(c) => {
+            let kw = c.str_of("cardinality")?;
+            Cardinality::from_keyword(kw)
+                .ok_or_else(|| JsonError::msg(format!("unknown cardinality {kw:?}")))?
+        }
+    };
+    Ok(EdgeType {
+        source: v.key("source")?.str_of("edge source")?.to_owned(),
+        target: v.key("target")?.str_of("edge target")?.to_owned(),
+        directed: match v.get("directed") {
+            Some(d) => d
+                .as_bool()
+                .ok_or_else(|| JsonError::msg(format!("edge {name}: directed must be a bool")))?,
+            None => false,
+        },
+        cardinality,
+        count: match v.get("count") {
+            Some(c) => Some(c.u64_of("edge count")?),
+            None => None,
+        },
+        structure: match v.get("structure") {
+            Some(s) => Some(spec_from_json(s, "structure")?),
+            None => None,
+        },
+        correlation: match v.get("correlate") {
+            Some(c) => Some(CorrelationSpec {
+                property: c.key("property")?.str_of("correlate.property")?.to_owned(),
+                jpd: spec_from_json(c.key("with")?, "correlate.with")?,
+            }),
+            None => None,
+        },
+        properties: props_from_json(v)?,
+        name,
+    })
+}
+
+fn props_from_json(v: &Json) -> Result<Vec<PropertyDef>, JsonError> {
+    let Some(list) = v.get("properties") else {
+        return Ok(Vec::new());
+    };
+    list.arr_of("properties")?
+        .iter()
+        .map(|p| {
+            p.obj_of("property")?;
+            let name = p.key("name")?.str_of("property name")?.to_owned();
+            let ty = p.key("type")?.str_of("property type")?;
+            let value_type = ValueType::from_keyword(ty)
+                .ok_or_else(|| JsonError::msg(format!("unknown property type {ty:?}")))?;
+            let mut dependencies = Vec::new();
+            if let Some(given) = p.get("given") {
+                for d in given.arr_of("given")? {
+                    dependencies.push(dep_from_str(d.str_of("given entry")?));
+                }
+            }
+            Ok(PropertyDef {
+                name,
+                value_type,
+                generator: spec_from_json(p.key("generator")?, "generator")?,
+                dependencies,
+            })
+        })
+        .collect()
+}
+
+fn dep_from_str(s: &str) -> DepRef {
+    match s.split_once('.') {
+        Some(("source", p)) => DepRef::Source(p.to_owned()),
+        Some(("target", p)) => DepRef::Target(p.to_owned()),
+        _ => DepRef::Own(s.to_owned()),
+    }
+}
+
+fn spec_from_json(v: &Json, what: &str) -> Result<GeneratorSpec, JsonError> {
+    v.obj_of(what)?;
+    let name = v
+        .key("name")
+        .and_then(|n| n.str_of("generator name").map(str::to_owned))?;
+    let mut args = Vec::new();
+    if let Some(list) = v.get("args") {
+        for a in list.arr_of("args")? {
+            args.push(arg_from_json(a, what)?);
+        }
+    }
+    Ok(GeneratorSpec { name, args })
+}
+
+fn arg_from_json(a: &Json, what: &str) -> Result<SpecArg, JsonError> {
+    if let Some(n) = a.as_f64() {
+        return Ok(SpecArg::Num(n));
+    }
+    if let Some(s) = a.as_str() {
+        return Ok(SpecArg::Text(s.to_owned()));
+    }
+    let obj = a.obj_of(&format!("{what} argument"))?;
+    if let (Some(label), Some(weight)) = (a.get("label"), a.get("weight")) {
+        return Ok(SpecArg::Weighted(
+            label.str_of("label")?.to_owned(),
+            weight.f64_of("weight")?,
+        ));
+    }
+    if obj.len() == 1 {
+        let (key, value) = obj.iter().next().expect("len checked");
+        if let Some(n) = value.as_f64() {
+            return Ok(SpecArg::Named(key.clone(), n));
+        }
+        if let Some(s) = value.as_str() {
+            return Ok(SpecArg::NamedText(key.clone(), s.to_owned()));
+        }
+    }
+    Err(JsonError::msg(format!(
+        "{what} argument must be a number, a string, {{\"name\": value}}, \
+         or {{\"label\": .., \"weight\": ..}}"
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasynth_schema::parse_schema;
+
+    #[test]
+    fn builder_json_matches_the_dsl_frontend() {
+        let dsl = r#"
+graph social {
+  node Person [count = 100] {
+    country: text = dictionary("countries");
+    age: long = uniform(18, 90);
+  }
+  edge knows: Person -- Person {
+    structure = lfr(avg_degree = 10);
+    correlate country with homophily(0.8);
+    since: long = uniform(0, 10) given (source.age);
+  }
+}"#;
+        let json = r#"{
+  "graph": "social",
+  "nodes": [
+    {"name": "Person", "count": 100, "properties": [
+      {"name": "country", "type": "text",
+       "generator": {"name": "dictionary", "args": ["countries"]}},
+      {"name": "age", "type": "long",
+       "generator": {"name": "uniform", "args": [18, 90]}}
+    ]}
+  ],
+  "edges": [
+    {"name": "knows", "source": "Person", "target": "Person",
+     "structure": {"name": "lfr", "args": [{"avg_degree": 10}]},
+     "correlate": {"property": "country",
+                   "with": {"name": "homophily", "args": [0.8]}},
+     "properties": [
+       {"name": "since", "type": "long",
+        "generator": {"name": "uniform", "args": [0, 10]},
+        "given": ["source.age"]}
+     ]}
+  ]
+}"#;
+        let from_dsl = parse_schema(dsl).unwrap();
+        let from_json = schema_from_json(json).unwrap();
+        assert_eq!(from_json.to_dsl(), from_dsl.to_dsl());
+    }
+
+    #[test]
+    fn bad_shapes_are_named() {
+        let err = schema_from_json(r#"{"nodes": []}"#).unwrap_err();
+        assert!(err.to_string().contains("graph"), "{err}");
+        let err = schema_from_json(
+            r#"{"graph": "g", "nodes": [{"name": "A", "properties": [
+                {"name": "x", "type": "nope", "generator": {"name": "counter"}}]}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("nope"), "{err}");
+    }
+}

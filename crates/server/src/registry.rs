@@ -1,0 +1,213 @@
+//! The schema registry: parsed, validated, analyzed schemas cached by
+//! fingerprint so repeat registrations skip every expensive step.
+//!
+//! Two keys index the cache. The **schema hash** — fnv1a-64 of the
+//! canonical DSL rendering, identical to the `schema_hash` in
+//! [`RunReport`](datasynth_core::RunReport) — is the public identity a
+//! client uses in URLs. The **body hash** — fnv1a-64 of the raw request
+//! body — is a private fast path: a byte-identical re-registration is
+//! answered without even re-parsing the text. Either way a hit touches
+//! no parser and no dependency analysis; the counters
+//! `datasynth_schema_cache_hits_total` / `_misses_total` make the
+//! distinction observable (and testable) from `/metrics`.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, RwLock};
+
+use datasynth_core::{DataSynth, PipelineError, PlannedSchema};
+use datasynth_schema::Schema;
+use datasynth_telemetry::{fnv1a_64, MetricsRegistry};
+
+/// One cached schema: the validated pipeline plus its reusable plan.
+#[derive(Debug)]
+pub struct GraphEntry {
+    /// fnv1a-64 of `dsl` — the id used in `/graphs/{hash}` URLs.
+    pub hash: u64,
+    /// Canonical DSL rendering of the schema.
+    pub dsl: String,
+    /// The validated pipeline (registries attached, default seed).
+    pub synth: DataSynth,
+    /// The schema's dependency analysis + emission schedule, computed
+    /// once; sessions are minted from it without re-analysis.
+    pub planned: PlannedSchema,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    by_hash: HashMap<u64, Arc<GraphEntry>>,
+    by_body: HashMap<u64, u64>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<u64>,
+}
+
+/// The shared, thread-safe schema cache.
+#[derive(Debug)]
+pub struct GraphRegistry {
+    inner: RwLock<Inner>,
+    capacity: usize,
+    metrics: Arc<MetricsRegistry>,
+}
+
+impl GraphRegistry {
+    /// An empty registry holding at most `capacity` schemas (FIFO
+    /// eviction), recording hit/miss counters into `metrics`.
+    pub fn new(metrics: Arc<MetricsRegistry>, capacity: usize) -> Self {
+        Self {
+            inner: RwLock::new(Inner::default()),
+            capacity: capacity.max(1),
+            metrics,
+        }
+    }
+
+    fn record(&self, hit: bool) {
+        let name = if hit {
+            "datasynth_schema_cache_hits_total"
+        } else {
+            "datasynth_schema_cache_misses_total"
+        };
+        self.metrics.counter(name).inc();
+    }
+
+    /// Register the schema in `body`, parsed by `parse` on a cache miss.
+    /// Returns the entry and whether it was served from cache. The two
+    /// hit paths: a byte-identical body (no parse at all), or a body
+    /// that parses to an already-cached schema (no re-validation, no
+    /// re-analysis).
+    pub fn register(
+        &self,
+        body: &str,
+        parse: impl FnOnce(&str) -> Result<Schema, PipelineError>,
+    ) -> Result<(Arc<GraphEntry>, bool), PipelineError> {
+        let body_hash = fnv1a_64(body.as_bytes());
+        {
+            let inner = self.inner.read().expect("registry poisoned");
+            if let Some(entry) = inner
+                .by_body
+                .get(&body_hash)
+                .and_then(|h| inner.by_hash.get(h))
+            {
+                self.record(true);
+                return Ok((Arc::clone(entry), true));
+            }
+        }
+        let schema = parse(body)?;
+        let dsl = schema.to_dsl();
+        let hash = fnv1a_64(dsl.as_bytes());
+        {
+            let mut inner = self.inner.write().expect("registry poisoned");
+            if let Some(entry) = inner.by_hash.get(&hash).cloned() {
+                inner.by_body.insert(body_hash, hash);
+                self.record(true);
+                return Ok((entry, true));
+            }
+        }
+        // Full miss: validate and analyze outside any lock.
+        self.record(false);
+        let synth = DataSynth::new(schema)?;
+        let planned = synth.planned()?;
+        let entry = Arc::new(GraphEntry {
+            hash,
+            dsl,
+            synth,
+            planned,
+        });
+        let mut inner = self.inner.write().expect("registry poisoned");
+        if let Some(existing) = inner.by_hash.get(&hash).cloned() {
+            // A racing registration beat us; keep the first.
+            inner.by_body.insert(body_hash, hash);
+            return Ok((existing, true));
+        }
+        while inner.order.len() >= self.capacity {
+            if let Some(old) = inner.order.pop_front() {
+                inner.by_hash.remove(&old);
+                inner.by_body.retain(|_, h| *h != old);
+            }
+        }
+        inner.by_hash.insert(hash, Arc::clone(&entry));
+        inner.by_body.insert(body_hash, hash);
+        inner.order.push_back(hash);
+        Ok((entry, false))
+    }
+
+    /// Look up a schema by its public hash.
+    pub fn get(&self, hash: u64) -> Option<Arc<GraphEntry>> {
+        self.inner
+            .read()
+            .expect("registry poisoned")
+            .by_hash
+            .get(&hash)
+            .cloned()
+    }
+
+    /// All cached entries in insertion order.
+    pub fn list(&self) -> Vec<Arc<GraphEntry>> {
+        let inner = self.inner.read().expect("registry poisoned");
+        inner
+            .order
+            .iter()
+            .filter_map(|h| inner.by_hash.get(h).cloned())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasynth_schema::parse_schema;
+
+    const DSL: &str = "graph g { node A [count = 4] { x: long = counter(); } }";
+
+    fn registry() -> (GraphRegistry, Arc<MetricsRegistry>) {
+        let metrics = Arc::new(MetricsRegistry::new());
+        (GraphRegistry::new(Arc::clone(&metrics), 4), metrics)
+    }
+
+    fn parse(src: &str) -> Result<Schema, PipelineError> {
+        Ok(parse_schema(src)?)
+    }
+
+    #[test]
+    fn repeat_bodies_hit_without_parsing() {
+        let (reg, metrics) = registry();
+        let (a, cached) = reg.register(DSL, parse).unwrap();
+        assert!(!cached);
+        let (b, cached) = reg.register(DSL, |_| panic!("must not re-parse")).unwrap();
+        assert!(cached);
+        assert!(Arc::ptr_eq(&a, &b));
+        let snap = metrics.snapshot();
+        assert_eq!(
+            snap.counter("datasynth_schema_cache_hits_total", None),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter("datasynth_schema_cache_misses_total", None),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn equivalent_bodies_share_the_entry() {
+        let (reg, _) = registry();
+        let (a, _) = reg.register(DSL, parse).unwrap();
+        // Same schema, different whitespace: parses, then hits by hash.
+        let variant = DSL.replace("{ node", "{\n  node");
+        let (b, cached) = reg.register(&variant, parse).unwrap();
+        assert!(cached);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(reg.list().len(), 1);
+    }
+
+    #[test]
+    fn eviction_is_fifo() {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let reg = GraphRegistry::new(metrics, 2);
+        let mk = |name: &str| {
+            format!("graph {name} {{ node A [count = 1] {{ x: long = counter(); }} }}")
+        };
+        let (first, _) = reg.register(&mk("g1"), parse).unwrap();
+        reg.register(&mk("g2"), parse).unwrap();
+        reg.register(&mk("g3"), parse).unwrap();
+        assert_eq!(reg.list().len(), 2);
+        assert!(reg.get(first.hash).is_none(), "g1 must have been evicted");
+    }
+}

@@ -1,0 +1,114 @@
+//! The bounded-channel bridge between a generation thread and an HTTP
+//! response: generation writes into a [`ChunkSender`], the connection
+//! handler drains the matching receiver into chunked-encoding frames.
+//!
+//! The channel is a `std::sync::mpsc::sync_channel` with a small depth,
+//! which is where backpressure comes from: when a slow client stops
+//! draining, the channel fills, `send` blocks, and the generator's own
+//! writes stall until the client catches up — generation never runs
+//! ahead of the network by more than `CHANNEL_DEPTH` buffers. When the
+//! client disconnects, the handler drops the receiver; the next `send`
+//! fails and surfaces as a [`BrokenPipe`](std::io::ErrorKind::BrokenPipe)
+//! write error, which aborts the run cleanly through the sink's normal
+//! error path.
+
+use std::io::{self, Write};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+
+/// How many in-flight buffers a stream may hold before generation blocks.
+pub const CHANNEL_DEPTH: usize = 8;
+
+/// Target size of one buffer handed to the channel (one HTTP chunk).
+pub const CHUNK_BYTES: usize = 64 * 1024;
+
+/// Create a connected sender/receiver pair for one table stream.
+pub fn chunk_channel() -> (ChunkSender, Receiver<Vec<u8>>) {
+    let (tx, rx) = sync_channel(CHANNEL_DEPTH);
+    (
+        ChunkSender {
+            tx,
+            buf: Vec::with_capacity(CHUNK_BYTES),
+        },
+        rx,
+    )
+}
+
+/// The write half: an [`io::Write`] that batches bytes into
+/// [`CHUNK_BYTES`]-sized buffers and sends each over the bounded channel.
+pub struct ChunkSender {
+    tx: SyncSender<Vec<u8>>,
+    buf: Vec<u8>,
+}
+
+impl ChunkSender {
+    fn send_buf(&mut self) -> io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let full = std::mem::replace(&mut self.buf, Vec::with_capacity(CHUNK_BYTES));
+        self.tx
+            .send(full)
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "stream receiver disconnected"))
+    }
+}
+
+impl Write for ChunkSender {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        self.buf.extend_from_slice(data);
+        if self.buf.len() >= CHUNK_BYTES {
+            self.send_buf()?;
+        }
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.send_buf()
+    }
+}
+
+impl Drop for ChunkSender {
+    fn drop(&mut self) {
+        // Best-effort: push out whatever the sink buffered but never
+        // flushed; if the receiver is gone this is a no-op.
+        let _ = self.send_buf();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_round_trip_in_order() {
+        let (mut tx, rx) = chunk_channel();
+        tx.write_all(b"hello ").unwrap();
+        tx.write_all(b"world").unwrap();
+        tx.flush().unwrap();
+        drop(tx);
+        let got: Vec<u8> = rx.iter().flatten().collect();
+        assert_eq!(got, b"hello world");
+    }
+
+    #[test]
+    fn large_writes_split_into_chunks() {
+        let (tx, rx) = chunk_channel();
+        let payload = vec![7u8; CHUNK_BYTES * 2 + 17];
+        std::thread::scope(|s| {
+            let sent = payload.clone();
+            s.spawn(move || {
+                let mut tx = tx;
+                tx.write_all(&sent).unwrap();
+                tx.flush().unwrap();
+            });
+            let got: Vec<u8> = rx.iter().flatten().collect();
+            assert_eq!(got, payload);
+        });
+    }
+
+    #[test]
+    fn dropped_receiver_turns_into_broken_pipe() {
+        let (mut tx, rx) = chunk_channel();
+        drop(rx);
+        tx.write_all(&vec![0u8; CHUNK_BYTES]).unwrap_err();
+    }
+}

@@ -1,0 +1,213 @@
+//! Shared helpers for the server integration tests: a deliberately
+//! dumb HTTP/1.1 client over raw `std::net::TcpStream` (so the tests
+//! exercise the real socket path, not an in-process shortcut) and a
+//! small schema that generates in milliseconds.
+#![allow(dead_code)]
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use datasynth_server::{Server, ServerConfig, ServerHandle};
+use datasynth_telemetry::json::Json;
+
+/// Small enough to stream in well under a second on one thread.
+pub const TEST_DSL: &str = r#"
+graph svc {
+  node Person [count = 400] {
+    country: text = dictionary("countries");
+    creationDate: date = date_between("2010-01-01", "2013-01-01");
+  }
+  edge knows: Person -- Person [many_to_many] {
+    structure = lfr(avg_degree = 6, max_degree = 20, mixing = 0.1);
+    correlate country with homophily(0.8);
+  }
+}
+"#;
+
+/// Start a server on an ephemeral port with a small fixed pool.
+pub fn start_server() -> ServerHandle {
+    let mut config = ServerConfig::new("127.0.0.1:0");
+    config.workers = 2;
+    config.gen_threads = 2;
+    Server::start(config).expect("bind test server")
+}
+
+/// One parsed HTTP response.
+#[derive(Debug)]
+pub struct Response {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    pub fn text(&self) -> &str {
+        std::str::from_utf8(&self.body).expect("response body is UTF-8")
+    }
+
+    pub fn json(&self) -> Json {
+        Json::parse(self.text()).expect("response body is JSON")
+    }
+}
+
+/// A persistent connection; lets tests assert keep-alive reuse.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    pub fn connect(addr: SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect to test server");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        Self {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    /// Send raw request bytes and read one full response.
+    pub fn send_raw(&mut self, raw: &[u8]) -> Response {
+        self.writer.write_all(raw).expect("write request");
+        self.writer.flush().unwrap();
+        read_response(&mut self.reader)
+    }
+
+    pub fn get(&mut self, target: &str) -> Response {
+        self.send_raw(format!("GET {target} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes())
+    }
+
+    pub fn post(&mut self, target: &str, content_type: &str, body: &str) -> Response {
+        self.send_raw(
+            format!(
+                "POST {target} HTTP/1.1\r\nHost: test\r\nContent-Type: {content_type}\r\n\
+                 Content-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+    }
+}
+
+/// One-shot convenience: fresh connection, one request, `Connection: close`.
+pub fn get(addr: SocketAddr, target: &str) -> Response {
+    let mut client = Client::connect(addr);
+    client.send_raw(
+        format!("GET {target} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n").as_bytes(),
+    )
+}
+
+/// Read and decode one response: status line, headers, then a body
+/// framed by `Content-Length` or `Transfer-Encoding: chunked`.
+pub fn read_response<R: BufRead>(reader: &mut R) -> Response {
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .expect("read status line");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        let (k, v) = line.split_once(':').expect("header has a colon");
+        headers.push((k.trim().to_owned(), v.trim().to_owned()));
+    }
+
+    let chunked = headers
+        .iter()
+        .any(|(k, v)| k.eq_ignore_ascii_case("transfer-encoding") && v == "chunked");
+    let body = if chunked {
+        read_chunked_body(reader)
+    } else {
+        let len: usize = headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+            .map(|(_, v)| v.parse().expect("numeric content-length"))
+            .unwrap_or(0);
+        let mut body = vec![0u8; len];
+        reader.read_exact(&mut body).expect("read body");
+        body
+    };
+    Response {
+        status,
+        headers,
+        body,
+    }
+}
+
+fn read_chunked_body<R: BufRead>(reader: &mut R) -> Vec<u8> {
+    let mut body = Vec::new();
+    loop {
+        let mut size_line = String::new();
+        reader.read_line(&mut size_line).expect("read chunk size");
+        let size = usize::from_str_radix(size_line.trim(), 16)
+            .unwrap_or_else(|_| panic!("bad chunk size {size_line:?}"));
+        if size == 0 {
+            let mut crlf = String::new();
+            let _ = reader.read_line(&mut crlf);
+            return body;
+        }
+        let start = body.len();
+        body.resize(start + size, 0);
+        reader.read_exact(&mut body[start..]).expect("read chunk");
+        let mut crlf = [0u8; 2];
+        reader.read_exact(&mut crlf).expect("read chunk CRLF");
+        assert_eq!(&crlf, b"\r\n", "chunk not CRLF-terminated");
+    }
+}
+
+/// Register `dsl` and return the schema hash from the response body.
+pub fn register(addr: SocketAddr, dsl: &str) -> String {
+    let mut client = Client::connect(addr);
+    let resp = client.post("/graphs", "text/plain", dsl);
+    assert!(
+        resp.status == 200 || resp.status == 201,
+        "register failed: {} {}",
+        resp.status,
+        resp.text()
+    );
+    resp.json()
+        .get("hash")
+        .and_then(Json::as_str)
+        .expect("hash in register response")
+        .to_owned()
+}
+
+/// A scratch directory under the system temp dir, wiped on drop.
+pub struct TempDir(pub std::path::PathBuf);
+
+impl TempDir {
+    pub fn new(name: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "datasynth-server-test-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}

@@ -1,0 +1,235 @@
+//! HTTP-layer behaviour over real sockets: malformed requests,
+//! protocol limits, routing errors, keep-alive reuse, and mid-stream
+//! client disconnects.
+
+mod common;
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use common::{get, read_response, register, start_server, Client, TEST_DSL};
+use datasynth_server::http::{MAX_BODY_BYTES, MAX_HEAD_BYTES};
+
+#[test]
+fn malformed_request_lines_get_400() {
+    let server = start_server();
+    for raw in [
+        "NOT-HTTP\r\n\r\n".to_string(),
+        "GET /healthz\r\n\r\n".to_string(), // missing version
+        "GET /healthz HTTP/1.1 junk\r\n\r\n".to_string(), // extra token
+        "get /healthz HTTP/1.1\r\n\r\n".to_string(), // lower-case method
+        "GET nohost HTTP/1.1\r\n\r\n".to_string(), // path without slash
+        "GET /healthz HTTP/1.1\r\nbroken header\r\n\r\n".to_string(),
+    ] {
+        let mut client = Client::connect(server.addr());
+        let resp = client.send_raw(raw.as_bytes());
+        assert_eq!(resp.status, 400, "for request {raw:?}: {}", resp.text());
+    }
+    // An unsupported protocol version is its own status.
+    let mut client = Client::connect(server.addr());
+    let resp = client.send_raw(b"GET /healthz HTTP/2.0\r\n\r\n");
+    assert_eq!(resp.status, 505);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_head_and_body_are_rejected() {
+    let server = start_server();
+
+    let mut client = Client::connect(server.addr());
+    let raw = format!(
+        "GET /healthz HTTP/1.1\r\nX-Padding: {}\r\n\r\n",
+        "a".repeat(MAX_HEAD_BYTES)
+    );
+    let resp = client.send_raw(raw.as_bytes());
+    assert_eq!(resp.status, 431);
+
+    // The body limit is enforced from Content-Length alone — the server
+    // must answer 413 without us ever sending the 4 MiB.
+    let mut client = Client::connect(server.addr());
+    let raw = format!(
+        "POST /graphs HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+        MAX_BODY_BYTES + 1
+    );
+    let resp = client.send_raw(raw.as_bytes());
+    assert_eq!(resp.status, 413);
+    server.shutdown();
+}
+
+#[test]
+fn unknown_routes_and_methods() {
+    let server = start_server();
+    let addr = server.addr();
+
+    assert_eq!(get(addr, "/nope").status, 404);
+    assert_eq!(get(addr, "/graphs/zzzz-not-hex").status, 400);
+    assert_eq!(get(addr, "/graphs/0123456789abcdef").status, 404); // hex but unregistered
+
+    let mut client = Client::connect(addr);
+    let resp = client.send_raw(b"DELETE /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(resp.status, 405);
+    let resp = client.send_raw(b"PUT /graphs HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(resp.status, 405);
+
+    // Bad table / format / query parameters on a real graph.
+    let hash = register(addr, TEST_DSL);
+    assert_eq!(
+        get(addr, &format!("/graphs/{hash}/tables/Nope.csv")).status,
+        404
+    );
+    assert_eq!(
+        get(addr, &format!("/graphs/{hash}/tables/knows.xml")).status,
+        404
+    );
+    assert_eq!(
+        get(addr, &format!("/graphs/{hash}/tables/knows")).status,
+        404
+    );
+    assert_eq!(
+        get(
+            addr,
+            &format!("/graphs/{hash}/tables/knows.csv?seed=banana")
+        )
+        .status,
+        400
+    );
+    assert_eq!(
+        get(addr, &format!("/graphs/{hash}/tables/knows.csv?shard=3")).status,
+        400
+    );
+    assert_eq!(
+        get(addr, &format!("/graphs/{hash}/tables/knows.csv?shard=9/4")).status,
+        400
+    );
+
+    let unknown = server
+        .metrics()
+        .snapshot()
+        .counter("datasynth_http_requests_total", Some("unknown"))
+        .unwrap_or(0);
+    assert!(unknown >= 1, "unknown-route counter should have moved");
+    server.shutdown();
+}
+
+#[test]
+fn keep_alive_reuses_one_connection() {
+    let server = start_server();
+    let mut client = Client::connect(server.addr());
+
+    // Several requests down the same TCP connection, including a chunked
+    // streaming response in the middle — the connection must survive all
+    // of them.
+    let resp = client.get("/healthz");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("connection"), Some("keep-alive"));
+
+    let resp = client.post("/graphs", "text/plain", TEST_DSL);
+    assert_eq!(resp.status, 201);
+    let hash = resp
+        .json()
+        .get("hash")
+        .and_then(datasynth_telemetry::json::Json::as_str)
+        .unwrap()
+        .to_owned();
+
+    let resp = client.get(&format!("/graphs/{hash}/tables/Person.csv?seed=1"));
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("transfer-encoding"), Some("chunked"));
+    assert!(resp.body.starts_with(b"id,"));
+
+    let resp = client.get("/metrics");
+    assert_eq!(resp.status, 200);
+    assert!(resp.text().contains("datasynth_http_requests_total"));
+
+    // `Connection: close` is honoured: the server answers, then EOFs.
+    let resp = client.send_raw(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("connection"), Some("close"));
+    server.shutdown();
+}
+
+#[test]
+fn mid_stream_disconnect_aborts_generation_and_frees_the_slot() {
+    // A graph big enough that its edge table cannot fit in the stream
+    // channel plus the socket buffers, so the generator is still running
+    // when the client walks away.
+    const BIG_DSL: &str = r#"
+    graph big {
+      node Person [count = 20000] {
+        country: text = dictionary("countries");
+      }
+      edge knows: Person -- Person [many_to_many] {
+        structure = lfr(avg_degree = 20, max_degree = 60, mixing = 0.1);
+        correlate country with homophily(0.8);
+      }
+    }
+    "#;
+    let server = start_server();
+    let addr = server.addr();
+    let hash = register(addr, BIG_DSL);
+
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    writer
+        .write_all(
+            format!("GET /graphs/{hash}/tables/knows.csv?seed=7 HTTP/1.1\r\nHost: t\r\n\r\n")
+                .as_bytes(),
+        )
+        .unwrap();
+    writer.flush().unwrap();
+
+    // Read the response head and the first bytes of the body, then hang up.
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("HTTP/1.1 200"), "got {line:?}");
+    let mut first = [0u8; 1024];
+    reader.read_exact(&mut first).unwrap();
+    drop(reader);
+    drop(writer);
+
+    // The abort must be observed (counter) and the worker slot reclaimed
+    // (a follow-up request on a fresh connection is answered promptly).
+    let metrics = server.metrics();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let aborted = metrics
+            .snapshot()
+            .counter("datasynth_http_streams_aborted_total", None)
+            .unwrap_or(0);
+        if aborted >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "stream abort was never recorded after client disconnect"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let resp = get(addr, "/healthz");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.body, b"ok\n");
+    server.shutdown();
+}
+
+#[test]
+fn http_10_connection_closes_after_response() {
+    let server = start_server();
+    let stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    writer
+        .write_all(b"GET /healthz HTTP/1.0\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let resp = read_response(&mut reader);
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("connection"), Some("close"));
+    // EOF follows the response: the server hung up.
+    let mut rest = Vec::new();
+    assert_eq!(reader.read_to_end(&mut rest).unwrap(), 0);
+    server.shutdown();
+}

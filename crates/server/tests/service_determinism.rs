@@ -1,0 +1,182 @@
+//! Service determinism: what the HTTP endpoints stream must be
+//! byte-for-byte what the CLI writes with `--out`, shards must
+//! concatenate to the whole, and re-registering a schema must hit the
+//! cache instead of re-parsing.
+
+mod common;
+
+use common::{get, register, start_server, Client, TempDir, TEST_DSL};
+use datasynth_core::{CsvSink, DataSynth, JsonlSink};
+use datasynth_telemetry::json::Json;
+
+const SEED: u64 = 4242;
+
+/// The reference bytes: the same schema and seed run through the
+/// file-sink path the CLI uses for `--out`.
+fn cli_files(format: &str) -> (Vec<u8>, Vec<u8>) {
+    let dir = TempDir::new(&format!("cli-{format}"));
+    let synth = DataSynth::from_dsl(TEST_DSL).unwrap().with_seed(SEED);
+    let session = synth.session().unwrap();
+    match format {
+        "csv" => session.run_into(&mut CsvSink::new(&dir.0)).unwrap(),
+        "jsonl" => session.run_into(&mut JsonlSink::new(&dir.0)).unwrap(),
+        other => panic!("unknown format {other}"),
+    };
+    let person = std::fs::read(dir.0.join(format!("Person.{format}"))).unwrap();
+    let knows = std::fs::read(dir.0.join(format!("knows.{format}"))).unwrap();
+    (person, knows)
+}
+
+#[test]
+fn streamed_csv_matches_cli_output() {
+    let server = start_server();
+    let addr = server.addr();
+    let hash = register(addr, TEST_DSL);
+    let (person, knows) = cli_files("csv");
+
+    let resp = get(
+        addr,
+        &format!("/graphs/{hash}/tables/Person.csv?seed={SEED}"),
+    );
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("content-type"), Some("text/csv; charset=utf-8"));
+    assert_eq!(resp.body, person, "Person.csv differs from the CLI file");
+
+    let resp = get(
+        addr,
+        &format!("/graphs/{hash}/tables/knows.csv?seed={SEED}"),
+    );
+    assert_eq!(resp.body, knows, "knows.csv differs from the CLI file");
+    server.shutdown();
+}
+
+#[test]
+fn streamed_jsonl_matches_cli_output() {
+    let server = start_server();
+    let addr = server.addr();
+    let hash = register(addr, TEST_DSL);
+    let (person, knows) = cli_files("jsonl");
+
+    let resp = get(
+        addr,
+        &format!("/graphs/{hash}/tables/Person.jsonl?seed={SEED}"),
+    );
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("content-type"), Some("application/x-ndjson"));
+    assert_eq!(resp.body, person, "Person.jsonl differs from the CLI file");
+
+    let resp = get(
+        addr,
+        &format!("/graphs/{hash}/tables/knows.jsonl?seed={SEED}"),
+    );
+    assert_eq!(resp.body, knows, "knows.jsonl differs from the CLI file");
+    server.shutdown();
+}
+
+#[test]
+fn shard_responses_concatenate_to_the_unsharded_stream() {
+    let server = start_server();
+    let addr = server.addr();
+    let hash = register(addr, TEST_DSL);
+
+    for table in ["Person.csv", "knows.csv", "knows.jsonl"] {
+        let full = get(addr, &format!("/graphs/{hash}/tables/{table}?seed={SEED}"));
+        assert_eq!(full.status, 200);
+        let mut stitched = Vec::new();
+        for i in 0..3 {
+            let part = get(
+                addr,
+                &format!("/graphs/{hash}/tables/{table}?seed={SEED}&shard={i}/3"),
+            );
+            assert_eq!(part.status, 200, "shard {i}/3 of {table}");
+            stitched.extend_from_slice(&part.body);
+        }
+        assert_eq!(
+            stitched, full.body,
+            "{table}: shard concatenation differs from the unsharded stream"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn reregistering_a_schema_hits_the_cache() {
+    let server = start_server();
+    let addr = server.addr();
+    let metrics = server.metrics();
+    let mut client = Client::connect(addr);
+
+    let first = client.post("/graphs", "text/plain", TEST_DSL);
+    assert_eq!(first.status, 201);
+    assert_eq!(
+        first.json().get("cached").and_then(Json::as_bool),
+        Some(false)
+    );
+    let hash = first
+        .json()
+        .get("hash")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_owned();
+
+    // Byte-identical re-POST: served from the cache, same hash.
+    let second = client.post("/graphs", "text/plain", TEST_DSL);
+    assert_eq!(second.status, 200);
+    assert_eq!(
+        second.json().get("cached").and_then(Json::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        second.json().get("hash").and_then(Json::as_str),
+        Some(hash.as_str())
+    );
+
+    // A cosmetic rewrite (extra whitespace) still resolves to the same
+    // canonical schema, through the parse-then-hash path.
+    let reformatted = TEST_DSL.replace("  ", "    ");
+    assert_ne!(reformatted, TEST_DSL);
+    let third = client.post("/graphs", "text/plain", &reformatted);
+    assert_eq!(third.status, 200);
+    assert_eq!(
+        third.json().get("cached").and_then(Json::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        third.json().get("hash").and_then(Json::as_str),
+        Some(hash.as_str())
+    );
+
+    let snapshot = metrics.snapshot();
+    assert_eq!(
+        snapshot.counter("datasynth_schema_cache_misses_total", None),
+        Some(1),
+        "exactly one parse+plan for three registrations"
+    );
+    assert_eq!(
+        snapshot.counter("datasynth_schema_cache_hits_total", None),
+        Some(2),
+        "both re-registrations must be cache hits"
+    );
+
+    // And the counters surface through the Prometheus endpoint too.
+    let body = get(addr, "/metrics");
+    assert!(body.text().contains("datasynth_schema_cache_hits_total 2"));
+    server.shutdown();
+}
+
+#[test]
+fn report_is_stable_across_repeat_runs() {
+    let server = start_server();
+    let addr = server.addr();
+    let hash = register(addr, TEST_DSL);
+
+    let a = get(addr, &format!("/graphs/{hash}/report?seed={SEED}"));
+    let b = get(addr, &format!("/graphs/{hash}/report?seed={SEED}"));
+    assert_eq!(a.status, 200);
+    assert_eq!(a.body, b.body, "stable report must not vary run to run");
+    assert_eq!(
+        a.json().get("schema_hash").and_then(Json::as_str),
+        Some(hash.as_str())
+    );
+    server.shutdown();
+}

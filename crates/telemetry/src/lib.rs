@@ -11,6 +11,9 @@
 //! * [`CountingWrite`], a transparent [`std::io::Write`] wrapper that
 //!   counts bytes as they pass through — how the sinks learn their
 //!   throughput without format-specific bookkeeping;
+//! * the [`json`] module, one minimal JSON escape/parse/render shared by
+//!   every component that persists or serves small JSON documents
+//!   (manifests, bench results, HTTP bodies);
 //! * a Prometheus text-exposition encoder over registry
 //!   [`Snapshot`]s ([`Snapshot::to_prometheus`]), so a future scrape
 //!   endpoint needs no rework.
@@ -21,6 +24,7 @@
 //! uninstrumented path stays byte- and speed-identical.
 
 mod io;
+pub mod json;
 mod metrics;
 pub mod prometheus;
 

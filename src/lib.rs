@@ -69,6 +69,7 @@
 //! * [`matching`] — SBM-Part, LDG, JPDs, evaluation,
 //! * [`analysis`] — structural graph metrics,
 //! * [`core`] — the pipeline,
+//! * [`server`] — the streaming HTTP service (`datasynth serve`),
 //! * [`telemetry`] — metrics registry, byte counting, Prometheus encoding,
 //! * [`workload`] — benchmark query workloads over generated graphs.
 
@@ -78,6 +79,7 @@ pub use datasynth_matching as matching;
 pub use datasynth_prng as prng;
 pub use datasynth_props as props;
 pub use datasynth_schema as schema;
+pub use datasynth_server as server;
 pub use datasynth_structure as structure;
 pub use datasynth_tables as tables;
 pub use datasynth_telemetry as telemetry;

@@ -59,6 +59,14 @@ enum Format {
 
 const USAGE: &str = "\
 usage: datasynth <schema.dsl> [options]
+       datasynth serve --addr HOST:PORT [serve options]
+
+serve options:
+  --addr HOST:PORT  bind address (required; port 0 picks a free port)
+  --threads N       generation-thread budget shared by concurrent runs
+                    (default: all available cores)
+  --workers N       HTTP worker threads (default 4)
+  --max-graphs N    schema cache capacity (default 64, FIFO eviction)
 
 options:
   --seed N          master seed (default 42); same seed => identical output
@@ -622,7 +630,80 @@ fn run(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `datasynth serve`: bring up the HTTP service and block forever.
+fn run_serve() -> Result<(), String> {
+    use datasynth::server::{Server, ServerConfig};
+    let mut addr: Option<String> = None;
+    let mut threads: Option<usize> = None;
+    let mut workers: Option<usize> = None;
+    let mut max_graphs: Option<usize> = None;
+    let mut iter = std::env::args().skip(2);
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--addr" => addr = Some(iter.next().ok_or("--addr takes HOST:PORT")?),
+            "--threads" => {
+                threads = Some(
+                    iter.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--threads takes an integer")?,
+                );
+            }
+            "--workers" => {
+                workers = Some(
+                    iter.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--workers takes an integer")?,
+                );
+            }
+            "--max-graphs" => {
+                max_graphs = Some(
+                    iter.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--max-graphs takes an integer")?,
+                );
+            }
+            other => return Err(format!("unknown serve flag {other:?}")),
+        }
+    }
+    let mut config = ServerConfig::new(addr.ok_or("serve requires --addr HOST:PORT")?);
+    if let Some(t) = threads {
+        config.gen_threads = t;
+    }
+    if let Some(w) = workers {
+        config.workers = w;
+    }
+    if let Some(n) = max_graphs {
+        config.max_graphs = n;
+    }
+    let workers = config.workers;
+    let gen_threads = config.gen_threads;
+    let handle = Server::start(config).map_err(|e| format!("cannot start server: {e}"))?;
+    // The CI smoke job and scripts wait for this exact line to know the
+    // listener is up (and, with port 0, which port it got).
+    println!(
+        "datasynth-server listening on http://{} ({workers} workers, {gen_threads} generation threads)",
+        handle.addr()
+    );
+    handle.join();
+    Ok(())
+}
+
 fn main() -> ExitCode {
+    if std::env::args().nth(1).as_deref() == Some("serve") {
+        return match run_serve() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                if msg.is_empty() {
+                    eprint!("{USAGE}");
+                    return ExitCode::SUCCESS;
+                }
+                eprintln!("error: {msg}\n");
+                eprint!("{USAGE}");
+                ExitCode::from(2)
+            }
+        };
+    }
     match parse_args() {
         Err(msg) => {
             if !msg.is_empty() {
