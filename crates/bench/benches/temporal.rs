@@ -1,0 +1,62 @@
+//! Temporal subsystem throughput: per-row clock draws and full op-log
+//! emission (generation + timestamp assignment + global sort + CSV
+//! serialization) through `TemporalSink`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use datasynth_core::DataSynth;
+use datasynth_temporal::{OpsFormat, TemporalSink, TypeClock};
+
+const SCHEMA: &str = r#"
+graph bench {
+  node Person [count = 20000] {
+    country: text = dictionary("countries");
+    temporal { arrival = date_between("2015-01-01", "2020-01-01"); }
+  }
+  edge knows: Person -- Person {
+    structure = lfr(avg_degree = 10, max_degree = 30);
+    temporal {
+      arrival = date_between("2015-01-01", "2020-01-01");
+      lifetime = uniform(30, 365);
+    }
+  }
+}
+"#;
+
+fn bench_temporal(c: &mut Criterion) {
+    let generator = DataSynth::from_dsl(SCHEMA).unwrap().with_seed(7);
+    let schema = generator.schema().clone();
+
+    let mut group = c.benchmark_group("temporal");
+    group.sample_size(10);
+
+    let def = schema.nodes[0].temporal.as_ref().unwrap();
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("clock_100k_draws", |b| {
+        b.iter(|| {
+            let clock = TypeClock::new(7, "Person", def).unwrap();
+            let mut acc = 0i64;
+            for id in 0..100_000u64 {
+                acc = acc.wrapping_add(clock.insert_ts(id).unwrap());
+            }
+            black_box(acc)
+        })
+    });
+
+    group.throughput(Throughput::Elements(20_000));
+    group.bench_function("oplog_csv_full_run", |b| {
+        b.iter(|| {
+            let mut sink = TemporalSink::new(&schema, Vec::new(), OpsFormat::Csv).unwrap();
+            generator
+                .session()
+                .unwrap()
+                .with_ops(true)
+                .run_into(&mut sink)
+                .unwrap();
+            black_box(&mut sink);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_temporal);
+criterion_main!(benches);

@@ -15,9 +15,10 @@ pub fn gen_args_of(spec: &GeneratorSpec) -> Result<Vec<GenArg>, PipelineError> {
         .iter()
         .map(|a| match a {
             SpecArg::Num(v) => Ok(GenArg::Num(*v)),
+            SpecArg::Int(v) => Ok(GenArg::Int(*v)),
             SpecArg::Text(s) => Ok(GenArg::Text(s.clone())),
             SpecArg::Weighted(l, w) => Ok(GenArg::Weighted(l.clone(), *w)),
-            SpecArg::Named(k, _) | SpecArg::NamedText(k, _) => Err(PipelineError::Invalid(
+            SpecArg::Named(k, _) | SpecArg::NamedInt(k, _) | SpecArg::NamedText(k, _) => Err(PipelineError::Invalid(
                 format!("property generator {:?} takes positional arguments, found named argument {k:?}", spec.name),
             )),
         })
@@ -30,6 +31,7 @@ pub fn structure_params_of(spec: &GeneratorSpec) -> Result<Params, PipelineError
     for a in &spec.args {
         match a {
             SpecArg::Named(k, v) => params.insert(k.clone(), ParamValue::Num(*v)),
+            SpecArg::NamedInt(k, v) => params.insert(k.clone(), ParamValue::Int(*v)),
             SpecArg::NamedText(k, s) => params.insert(k.clone(), ParamValue::Text(s.clone())),
             other => {
                 return Err(PipelineError::Invalid(format!(
@@ -53,7 +55,9 @@ pub fn build_jpd(spec: &GeneratorSpec, frequencies: &[u64]) -> Result<Jpd, Pipel
                 .iter()
                 .find_map(|a| match a {
                     SpecArg::Num(v) => Some(*v),
+                    SpecArg::Int(v) => Some(*v as f64),
                     SpecArg::Named(k, v) if k == "diag" => Some(*v),
+                    SpecArg::NamedInt(k, v) if k == "diag" => Some(*v as f64),
                     _ => None,
                 })
                 .unwrap_or(0.8);
@@ -118,13 +122,26 @@ mod tests {
         let spec = GeneratorSpec {
             name: "lfr".into(),
             args: vec![
-                SpecArg::Named("avg_degree".into(), 20.0),
+                SpecArg::Named("mixing".into(), 0.1),
+                SpecArg::NamedInt("avg_degree".into(), 20),
                 SpecArg::NamedText("dist".into(), "zipf".into()),
             ],
         };
         let p = structure_params_of(&spec).unwrap();
+        assert_eq!(p.get_f64("mixing"), Some(0.1));
         assert_eq!(p.get_f64("avg_degree"), Some(20.0));
+        assert_eq!(p.get_u64("avg_degree"), Some(20));
         assert_eq!(p.get_str("dist"), Some("zipf"));
+    }
+
+    #[test]
+    fn gen_args_carry_integers_exactly() {
+        let spec = GeneratorSpec {
+            name: "uniform".into(),
+            args: vec![SpecArg::Int(0), SpecArg::Int(9_007_199_254_740_993)],
+        };
+        let args = gen_args_of(&spec).unwrap();
+        assert_eq!(args[1], GenArg::Int(9_007_199_254_740_993));
     }
 
     #[test]

@@ -137,7 +137,11 @@ impl RunReport {
     }
 
     fn table_kind(&self, table: &str) -> &'static str {
-        if self.manifest.nodes.iter().any(|n| n.name == table) {
+        if table.starts_with('$') {
+            // Sink-contributed tables ("$ops") — no DSL identifier can
+            // start with '$', so the prefix is unambiguous.
+            "ops"
+        } else if self.manifest.nodes.iter().any(|n| n.name == table) {
             "node"
         } else {
             "edge"

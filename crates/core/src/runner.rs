@@ -166,6 +166,7 @@ impl DataSynth {
             analysis,
             schedule,
             shard: ShardSpec::default(),
+            ops: false,
             observer: None,
             metrics: None,
         })
@@ -209,6 +210,7 @@ impl DataSynth {
             analysis: planned.analysis.clone(),
             schedule: planned.schedule.clone(),
             shard: ShardSpec::default(),
+            ops: false,
             observer: None,
             metrics: None,
         })
@@ -339,6 +341,7 @@ pub struct Session<'a> {
     analysis: Analysis,
     schedule: Vec<Vec<Artifact>>,
     shard: ShardSpec,
+    ops: bool,
     observer: Option<Observer<'a>>,
     metrics: Option<Arc<MetricsRegistry>>,
 }
@@ -384,6 +387,20 @@ impl<'a> Session<'a> {
     pub fn shard(mut self, index: u64, count: u64) -> Result<Self, PipelineError> {
         self.shard = ShardSpec::new(index, count).map_err(PipelineError::Sink)?;
         Ok(self)
+    }
+
+    /// Declare that this run emits an operation log (update stream)
+    /// alongside the static snapshot. The flag is announced to every sink
+    /// via [`SinkManifest::ops`]: op-aware sinks (`TemporalSink` in
+    /// `datasynth-temporal`) produce the log, snapshot-only streaming
+    /// sinks pass it through untouched, and [`InMemorySink`] rejects the
+    /// run rather than silently dropping the stream. Per-run like
+    /// [`with_seed`](Session::with_seed), so `DataSynth::generate` on a
+    /// temporal schema still works — the schema *annotations* only take
+    /// effect when a session opts in here.
+    pub fn with_ops(mut self, ops: bool) -> Self {
+        self.ops = ops;
+        self
     }
 
     /// Register a progress observer, called twice per task (started /
@@ -433,12 +450,15 @@ impl<'a> Session<'a> {
             analysis,
             schedule,
             shard,
+            ops,
             mut observer,
             metrics,
         } = self;
         let run_started = Instant::now();
         let modes = shard_modes(&analysis);
-        let mut manifest = SinkManifest::from_schema(schema, seed).with_shard(shard);
+        let mut manifest = SinkManifest::from_schema(schema, seed)
+            .with_shard(shard)
+            .with_ops(ops);
         sink.begin(&manifest).map_err(PipelineError::Sink)?;
         let ctx = Ctx {
             schema,
@@ -475,6 +495,12 @@ impl<'a> Session<'a> {
             )?;
         }
         sink.finish().map_err(PipelineError::Sink)?;
+        // Sinks that synthesize their own tables (the op log) report them
+        // now, so the manifest — and shard-merge validation — covers them
+        // exactly like schema tables.
+        for (name, rows) in sink.contributed_tables() {
+            manifest.tables.insert(name, rows);
+        }
         let wall = run_started.elapsed();
 
         let tasks = analysis

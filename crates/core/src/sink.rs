@@ -244,6 +244,10 @@ pub struct SinkManifest {
     /// Empty at [`GraphSink::begin`]; complete in the manifest returned by
     /// `run_into`.
     pub tables: BTreeMap<String, TableRows>,
+    /// Whether this run emits an operation log (update stream) alongside
+    /// the snapshot. Announced so sinks that cannot represent op streams
+    /// can reject the run up front instead of silently dropping ops.
+    pub ops: bool,
 }
 
 impl SinkManifest {
@@ -289,12 +293,20 @@ impl SinkManifest {
             nodes,
             edges,
             tables: BTreeMap::new(),
+            ops: false,
         }
     }
 
     /// Builder-style shard annotation (used by sharded sessions).
     pub fn with_shard(mut self, shard: ShardSpec) -> Self {
         self.shard = shard;
+        self
+    }
+
+    /// Builder-style op-log announcement (set by sessions running with
+    /// `Session::with_ops`).
+    pub fn with_ops(mut self, ops: bool) -> Self {
+        self.ops = ops;
         self
     }
 
@@ -345,6 +357,11 @@ impl SinkManifest {
                     "shard {} declares {} total shards, expected {k}",
                     m.shard.index, m.shard.count
                 )));
+            }
+            if m.ops != first.ops {
+                return Err(SinkError::invalid(
+                    "cannot merge op-log shards with snapshot-only shards",
+                ));
             }
             let slot = by_index.get_mut(m.shard.index as usize).ok_or_else(|| {
                 SinkError::invalid(format!("shard index {} >= {k}", m.shard.index))
@@ -416,6 +433,7 @@ impl SinkManifest {
             nodes: first.nodes.clone(),
             edges: first.edges.clone(),
             tables,
+            ops: first.ops,
         })
     }
 }
@@ -477,6 +495,11 @@ impl SinkManifest {
             "  \"shard\": {{\"index\": {}, \"count\": {}}},\n",
             self.shard.index, self.shard.count
         ));
+        // Only announced when set, so manifests from snapshot-only runs
+        // keep their pre-op-log byte layout.
+        if self.ops {
+            out.push_str("  \"ops\": true,\n");
+        }
         out.push_str("  \"nodes\": [");
         for (i, n) in self.nodes.iter().enumerate() {
             if i > 0 {
@@ -575,6 +598,12 @@ impl SinkManifest {
                 },
             );
         }
+        let ops = match root.get("ops") {
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| SinkError::invalid("ops must be a bool"))?,
+            None => false,
+        };
         Ok(SinkManifest {
             graph_name,
             seed,
@@ -582,6 +611,7 @@ impl SinkManifest {
             nodes,
             edges,
             tables,
+            ops,
         })
     }
 
@@ -764,6 +794,16 @@ pub trait GraphSink {
     fn finish(&mut self) -> Result<(), SinkError> {
         Ok(())
     }
+
+    /// Tables this sink *itself* produced beyond the schema's node/edge
+    /// tables (e.g. an op log), reported after [`finish`](Self::finish) so
+    /// the run manifest can carry their row windows and content hashes.
+    /// Keys must not collide with schema type names — derived tables use a
+    /// `$`-prefixed name (`"$ops"`), which no DSL identifier can spell.
+    /// Default: none.
+    fn contributed_tables(&mut self) -> Vec<(String, TableRows)> {
+        Vec::new()
+    }
 }
 
 /// Collects every event into a [`PropertyGraph`] — the sink behind
@@ -803,6 +843,13 @@ impl GraphSink for InMemorySink {
                  for sharded runs",
                 manifest.shard
             )));
+        }
+        if manifest.ops {
+            return Err(SinkError::unsupported(
+                "InMemorySink has no representation for operation logs; \
+                 route op-log runs through a TemporalSink (datasynth-temporal) \
+                 instead of silently dropping the update stream",
+            ));
         }
         Ok(())
     }
@@ -958,6 +1005,13 @@ impl GraphSink for MultiSink<'_> {
             sink.finish()?;
         }
         Ok(())
+    }
+
+    fn contributed_tables(&mut self) -> Vec<(String, TableRows)> {
+        self.sinks
+            .iter_mut()
+            .flat_map(|s| s.contributed_tables())
+            .collect()
     }
 }
 
@@ -1634,6 +1688,9 @@ macro_rules! delegate_sink {
             fn finish(&mut self) -> Result<(), SinkError> {
                 self.inner.finish()
             }
+            fn contributed_tables(&mut self) -> Vec<(String, TableRows)> {
+                self.inner.contributed_tables()
+            }
         }
     };
 }
@@ -1733,6 +1790,36 @@ mod tests {
         );
         assert_eq!(m.edges[0].source, "A");
         assert_eq!(m.edges[0].target, "B");
+    }
+
+    #[test]
+    fn ops_flag_roundtrips_json_and_gates_merge() {
+        let m = manifest();
+        // Absent by default — pre-op-log manifests keep their byte layout
+        // and parse with ops = false.
+        assert!(!m.to_json().contains("\"ops\""));
+        assert!(!SinkManifest::from_json(&m.to_json()).unwrap().ops);
+        let with_ops = manifest().with_ops(true);
+        assert!(with_ops.to_json().contains("\"ops\": true"));
+        assert!(SinkManifest::from_json(&with_ops.to_json()).unwrap().ops);
+        // Op-log shards and snapshot-only shards never merge.
+        let a = manifest().with_shard(ShardSpec::new(0, 2).unwrap());
+        let b = manifest()
+            .with_shard(ShardSpec::new(1, 2).unwrap())
+            .with_ops(true);
+        let err = SinkManifest::merge(&[a, b]).unwrap_err();
+        assert!(err.to_string().contains("op-log"), "{err}");
+    }
+
+    #[test]
+    fn in_memory_sink_rejects_op_log_runs() {
+        let mut sink = InMemorySink::new();
+        let err = sink.begin(&manifest().with_ops(true)).unwrap_err();
+        assert!(
+            matches!(err, SinkError::Unsupported(_)),
+            "expected Unsupported, got {err}"
+        );
+        assert!(err.to_string().contains("TemporalSink"), "{err}");
     }
 
     #[test]

@@ -21,6 +21,8 @@ use crate::{
 pub enum GenArg {
     /// Numeric literal.
     Num(f64),
+    /// Integer literal, carried exactly (values beyond 2^53 survive).
+    Int(i64),
     /// String literal.
     Text(String),
     /// `"label": weight` pair (categorical entries).
@@ -217,12 +219,25 @@ impl<'a> ArgReader<'a> {
     fn num(&self, i: usize) -> Option<f64> {
         match self.args.get(i)? {
             GenArg::Num(v) => Some(*v),
+            GenArg::Int(v) => Some(*v as f64),
             _ => None,
         }
     }
 
     fn num_or(&self, i: usize, default: f64) -> f64 {
         self.num(i).unwrap_or(default)
+    }
+
+    fn long(&self, i: usize) -> Option<i64> {
+        match self.args.get(i)? {
+            GenArg::Int(v) => Some(*v),
+            GenArg::Num(v) if v.fract() == 0.0 => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    fn long_or(&self, i: usize, default: i64) -> i64 {
+        self.long(i).unwrap_or(default)
     }
 
     fn text(&self, i: usize) -> Option<&'a str> {
@@ -268,6 +283,7 @@ impl<'a> ArgReader<'a> {
 fn constant(args: &[GenArg], _arity: usize) -> Result<BoxedPropertyGenerator, RegistryError> {
     let r = ArgReader::new("constant", args);
     let value = match args.first() {
+        Some(GenArg::Int(v)) => Value::Long(*v),
         Some(GenArg::Num(v)) if v.fract() == 0.0 => Value::Long(*v as i64),
         Some(GenArg::Num(v)) => Value::Double(*v),
         Some(GenArg::Text(s)) => Value::Text(s.clone()),
@@ -278,7 +294,7 @@ fn constant(args: &[GenArg], _arity: usize) -> Result<BoxedPropertyGenerator, Re
 
 fn counter(args: &[GenArg], _arity: usize) -> Result<BoxedPropertyGenerator, RegistryError> {
     let r = ArgReader::new("counter", args);
-    Ok(Box::new(CounterGen::new(r.num_or(0, 0.0) as i64)))
+    Ok(Box::new(CounterGen::new(r.long_or(0, 0))))
 }
 
 fn uuid(_args: &[GenArg], _arity: usize) -> Result<BoxedPropertyGenerator, RegistryError> {
@@ -296,8 +312,8 @@ fn bool_gen(args: &[GenArg], _arity: usize) -> Result<BoxedPropertyGenerator, Re
 
 fn uniform(args: &[GenArg], _arity: usize) -> Result<BoxedPropertyGenerator, RegistryError> {
     let r = ArgReader::new("uniform", args);
-    match (r.num(0), r.num(1)) {
-        (Some(lo), Some(hi)) if lo <= hi => Ok(Box::new(UniformLongGen::new(lo as i64, hi as i64))),
+    match (r.long(0), r.long(1)) {
+        (Some(lo), Some(hi)) if lo <= hi => Ok(Box::new(UniformLongGen::new(lo, hi))),
         _ => Err(r.bad("(lo, hi) with lo <= hi")),
     }
 }
@@ -429,8 +445,8 @@ fn date_after(args: &[GenArg], arity: usize) -> Result<BoxedPropertyGenerator, R
     if arity == 0 {
         return Err(r.bad("given (at least one date property)"));
     }
-    let spread = r.num_or(0, 365.0);
-    if spread < 1.0 {
+    let spread = r.long_or(0, 365);
+    if spread < 1 {
         return Err(r.bad("(spread_days >= 1)"));
     }
     Ok(Box::new(DateAfterDeps::new(arity, spread as u64)))
@@ -553,6 +569,23 @@ mod tests {
             let v = g.generate(0, &mut rng, &[]).unwrap();
             assert!(v.value_type().is_some(), "{name} produced null");
         }
+    }
+
+    #[test]
+    fn integer_args_are_accepted_everywhere_numbers_are() {
+        let g = build("uniform", &[GenArg::Int(0), GenArg::Int(9)], 0);
+        let mut rng = TableStream::derive(1, "int").substream(0);
+        assert!(matches!(
+            g.generate(0, &mut rng, &[]).unwrap(),
+            Value::Long(0..=9)
+        ));
+        let g = build("constant", &[GenArg::Int(9_007_199_254_740_993)], 0);
+        assert_eq!(
+            g.generate(0, &mut rng, &[]).unwrap(),
+            Value::Long(9_007_199_254_740_993)
+        );
+        let g = build("date_after", &[GenArg::Int(30)], 1);
+        assert_eq!(g.arity(), 1);
     }
 
     #[test]

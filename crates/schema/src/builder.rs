@@ -46,7 +46,7 @@ use datasynth_tables::ValueType;
 use crate::error::SchemaError;
 use crate::model::{
     Cardinality, CorrelationSpec, DepRef, EdgeType, GeneratorSpec, NodeType, PropertyDef, Schema,
-    SpecArg,
+    SpecArg, TemporalDef,
 };
 use crate::validate::validate_schema;
 
@@ -89,6 +89,7 @@ impl SchemaBuilder {
                 name: name.into(),
                 count: None,
                 properties: Vec::new(),
+                temporal: None,
             },
             errors: Vec::new(),
         });
@@ -117,6 +118,7 @@ impl SchemaBuilder {
                 structure: None,
                 correlation: None,
                 properties: Vec::new(),
+                temporal: None,
             },
             directed: None,
             errors: Vec::new(),
@@ -170,6 +172,13 @@ impl NodeBuilder {
             Ok(def) => self.node.properties.push(def),
             Err(msg) => self.errors.push(msg),
         }
+        self
+    }
+
+    /// Attach a temporal annotation (`temporal { ... }`). Overwrites any
+    /// previous annotation, like [`count`](NodeBuilder::count).
+    pub fn temporal(mut self, spec: TemporalSpec) -> Self {
+        self.node.temporal = Some(spec.def);
         self
     }
 }
@@ -257,6 +266,59 @@ impl EdgeBuilder {
         }
         self
     }
+
+    /// Attach a temporal annotation (`temporal { ... }`). Overwrites any
+    /// previous annotation, like [`count`](EdgeBuilder::count).
+    pub fn temporal(mut self, spec: TemporalSpec) -> Self {
+        self.edge.temporal = Some(spec.def);
+        self
+    }
+}
+
+/// A temporal annotation under construction: the arrival clock plus an
+/// optional lifetime distribution. Start with [`TemporalSpec::between`]
+/// (or [`TemporalSpec::arrival`] for a custom generator), optionally add
+/// a lifetime, then attach with [`NodeBuilder::temporal`] /
+/// [`EdgeBuilder::temporal`].
+#[derive(Debug, Clone)]
+pub struct TemporalSpec {
+    def: TemporalDef,
+}
+
+impl TemporalSpec {
+    /// Arrivals uniform in `[from, to)`: `arrival = date_between(...)`.
+    pub fn between(from: impl Into<String>, to: impl Into<String>) -> Self {
+        Self::arrival(GeneratorSpec {
+            name: "date_between".into(),
+            args: vec![SpecArg::Text(from.into()), SpecArg::Text(to.into())],
+        })
+    }
+
+    /// Arrivals from an explicit generator call (must produce `date`
+    /// values and take no dependencies).
+    pub fn arrival(spec: GeneratorSpec) -> Self {
+        Self {
+            def: TemporalDef {
+                arrival: spec,
+                lifetime: None,
+            },
+        }
+    }
+
+    /// Lifetimes from an explicit generator call (must produce `long`
+    /// values, interpreted as days after arrival).
+    pub fn lifetime(mut self, spec: GeneratorSpec) -> Self {
+        self.def.lifetime = Some(spec);
+        self
+    }
+
+    /// Lifetimes uniform in `[lo, hi]` days: `lifetime = uniform(lo, hi)`.
+    pub fn lifetime_uniform(self, lo: i64, hi: i64) -> Self {
+        self.lifetime(GeneratorSpec {
+            name: "uniform".into(),
+            args: vec![SpecArg::Int(lo), SpecArg::Int(hi)],
+        })
+    }
 }
 
 /// Named-parameter list for a structure generator call.
@@ -266,9 +328,16 @@ pub struct StructureParams {
 }
 
 impl StructureParams {
-    /// Add a named numeric parameter (`avg_degree = 20`).
+    /// Add a named numeric parameter (`mixing = 0.1`); integral values
+    /// normalize to the exact-integer representation.
     pub fn num(mut self, key: impl Into<String>, value: f64) -> Self {
-        self.spec.args.push(SpecArg::Named(key.into(), value));
+        self.spec.args.push(SpecArg::named(key, value));
+        self
+    }
+
+    /// Add a named integer parameter (`avg_degree = 20`), carried exactly.
+    pub fn long(mut self, key: impl Into<String>, value: i64) -> Self {
+        self.spec.args.push(SpecArg::NamedInt(key.into(), value));
         self
     }
 
@@ -338,9 +407,17 @@ impl PropertySpec {
         self
     }
 
-    /// Append a positional numeric argument.
+    /// Append a positional numeric argument; integral values normalize to
+    /// the exact-integer representation.
     pub fn arg(mut self, value: f64) -> Self {
-        self.args.push(SpecArg::Num(value));
+        self.args.push(SpecArg::num(value));
+        self
+    }
+
+    /// Append a positional integer argument, carried exactly (no f64
+    /// round-trip, so values beyond 2^53 survive builder→DSL→parse).
+    pub fn arg_long(mut self, value: i64) -> Self {
+        self.args.push(SpecArg::Int(value));
         self
     }
 
@@ -406,7 +483,7 @@ impl PropertySpec {
 
     /// `uniform(lo, hi)` — uniform integers.
     pub fn uniform(self, lo: i64, hi: i64) -> Self {
-        self.generator("uniform").arg(lo as f64).arg(hi as f64)
+        self.generator("uniform").arg_long(lo).arg_long(hi)
     }
 
     /// `uniform_double(lo, hi)` — uniform doubles.
@@ -431,7 +508,8 @@ impl PropertySpec {
 
     /// `date_after(spread_days)` — later than every date dependency.
     pub fn date_after(self, spread_days: u64) -> Self {
-        self.generator("date_after").arg(spread_days as f64)
+        self.generator("date_after")
+            .arg_long(i64::try_from(spread_days).unwrap_or(i64::MAX))
     }
 
     fn into_def(self, owner: &str, name: &str) -> Result<PropertyDef, String> {
@@ -455,7 +533,7 @@ impl PropertySpec {
 pub fn homophily(diag: f64) -> GeneratorSpec {
     GeneratorSpec {
         name: "homophily".into(),
-        args: vec![SpecArg::Num(diag)],
+        args: vec![SpecArg::num(diag)],
     }
 }
 
@@ -574,6 +652,61 @@ mod tests {
             .finish()
             .unwrap();
         assert!(schema.edge_type("e").unwrap().directed);
+    }
+
+    #[test]
+    fn integer_args_survive_builder_to_dsl_roundtrip() {
+        // 2^53 + 1 is unrepresentable as f64; the old `as f64` funnel
+        // would silently round it to 2^53.
+        let schema = Schema::build("g")
+            .node("A", |n| {
+                n.count(5)
+                    .property("x", long().uniform(0, 9_007_199_254_740_993))
+                    .property(
+                        "d",
+                        date()
+                            .generator("date_between")
+                            .arg_text("2020-01-01")
+                            .arg_text("2021-01-01"),
+                    )
+            })
+            .finish()
+            .unwrap();
+        let printed = schema.to_dsl();
+        assert!(
+            printed.contains("uniform(0, 9007199254740993)"),
+            "printed DSL:\n{printed}"
+        );
+        assert_eq!(parse_schema(&printed).unwrap(), schema);
+    }
+
+    #[test]
+    fn date_after_spread_is_exact() {
+        let spec = date().date_after(30);
+        let def = spec.into_def("A", "d").unwrap();
+        assert_eq!(def.generator.args, vec![SpecArg::Int(30)]);
+    }
+
+    #[test]
+    fn temporal_spec_builds_and_roundtrips() {
+        let schema = Schema::build("g")
+            .node("A", |n| {
+                n.count(10)
+                    .property("x", long().counter())
+                    .temporal(TemporalSpec::between("2010-01-01", "2013-01-01"))
+            })
+            .edge("e", "A", "A", |e| {
+                e.structure("gnm", |s| s.long("m", 20)).temporal(
+                    TemporalSpec::between("2010-01-01", "2013-01-01").lifetime_uniform(30, 900),
+                )
+            })
+            .finish()
+            .unwrap();
+        assert!(schema.has_temporal());
+        let t = schema.edges[0].temporal.as_ref().unwrap();
+        assert_eq!(t.lifetime.as_ref().unwrap().name, "uniform");
+        let parsed = parse_schema(&schema.to_dsl()).unwrap();
+        assert_eq!(parsed, schema);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::fmt::Write as _;
 
-use crate::model::{EdgeType, GeneratorSpec, NodeType, PropertyDef, Schema, SpecArg};
+use crate::model::{EdgeType, GeneratorSpec, NodeType, PropertyDef, Schema, SpecArg, TemporalDef};
 
 impl Schema {
     /// Render as canonical DSL text.
@@ -28,6 +28,9 @@ fn render_node(out: &mut String, node: &NodeType) {
     out.push_str(" {\n");
     for prop in &node.properties {
         render_property(out, prop);
+    }
+    if let Some(t) = &node.temporal {
+        render_temporal(out, t);
     }
     out.push_str("  }\n");
 }
@@ -61,7 +64,19 @@ fn render_edge(out: &mut String, edge: &EdgeType) {
     for prop in &edge.properties {
         render_property(out, prop);
     }
+    if let Some(t) = &edge.temporal {
+        render_temporal(out, t);
+    }
     out.push_str("  }\n");
+}
+
+fn render_temporal(out: &mut String, t: &TemporalDef) {
+    out.push_str("    temporal {\n");
+    let _ = writeln!(out, "      arrival = {};", render_call(&t.arrival));
+    if let Some(l) = &t.lifetime {
+        let _ = writeln!(out, "      lifetime = {};", render_call(l));
+    }
+    out.push_str("    }\n");
 }
 
 fn render_property(out: &mut String, prop: &PropertyDef) {
@@ -94,6 +109,9 @@ fn render_call(spec: &GeneratorSpec) -> String {
             SpecArg::Num(v) => {
                 let _ = write!(s, "{v}");
             }
+            SpecArg::Int(v) => {
+                let _ = write!(s, "{v}");
+            }
             SpecArg::Text(t) => {
                 let _ = write!(s, "\"{}\"", escape(t));
             }
@@ -101,6 +119,9 @@ fn render_call(spec: &GeneratorSpec) -> String {
                 let _ = write!(s, "\"{}\": {w}", escape(label));
             }
             SpecArg::Named(k, v) => {
+                let _ = write!(s, "{k} = {v}");
+            }
+            SpecArg::NamedInt(k, v) => {
                 let _ = write!(s, "{k} = {v}");
             }
             SpecArg::NamedText(k, v) => {
@@ -157,5 +178,37 @@ mod tests {
         assert!(text.contains("structure = lfr(avg_degree = 20)"));
         assert!(text.contains("categorical(\"M\": 0.5, \"F\": 0.5)"));
         assert!(text.contains("[count = 100]"));
+    }
+
+    #[test]
+    fn temporal_blocks_roundtrip() {
+        let src = r#"graph g {
+  node A [count = 10] {
+    x: long = counter();
+    temporal {
+      arrival = date_between("2010-01-01", "2013-01-01");
+    }
+  }
+  edge e: A -- A [many_to_many] {
+    temporal {
+      arrival = date_between("2010-01-01", "2013-01-01");
+      lifetime = uniform(30, 900);
+    }
+  }
+}"#;
+        let schema1 = parse_schema(src).unwrap();
+        let printed = schema1.to_dsl();
+        let schema2 = parse_schema(&printed).unwrap();
+        assert_eq!(schema1, schema2, "printed DSL:\n{printed}");
+        assert!(printed.contains("lifetime = uniform(30, 900)"));
+    }
+
+    #[test]
+    fn big_integer_args_roundtrip_exactly() {
+        let src = "graph g {\n  node A {\n    x: long = uniform(0, 9007199254740993);\n  }\n}";
+        let schema1 = parse_schema(src).unwrap();
+        let printed = schema1.to_dsl();
+        assert!(printed.contains("uniform(0, 9007199254740993)"));
+        assert_eq!(parse_schema(&printed).unwrap(), schema1);
     }
 }

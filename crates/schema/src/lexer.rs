@@ -7,7 +7,10 @@ use crate::error::SchemaError;
 pub enum Tok {
     /// Identifier or keyword.
     Ident(String),
-    /// Numeric literal.
+    /// Integer literal (no decimal point) — kept exact so 64-bit values
+    /// beyond 2^53 survive the lexer.
+    Int(i64),
+    /// Fractional numeric literal.
     Num(f64),
     /// Quoted string literal (unescaped).
     Str(String),
@@ -154,7 +157,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, SchemaError> {
                     Some(b) if b.is_ascii_digit() => {
                         // Negative number literal.
                         let (num, len) = lex_number(&src[i..], tl, tc)?;
-                        push(Tok::Num(num), tl, tc);
+                        push(num, tl, tc);
                         i += len;
                         col += len as u32;
                     }
@@ -198,7 +201,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, SchemaError> {
             }
             c if c.is_ascii_digit() => {
                 let (num, len) = lex_number(&src[i..], tl, tc)?;
-                push(Tok::Num(num), tl, tc);
+                push(num, tl, tc);
                 i += len;
                 col += len as u32;
             }
@@ -233,7 +236,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, SchemaError> {
     Ok(out)
 }
 
-fn lex_number(rest: &str, line: u32, col: u32) -> Result<(f64, usize), SchemaError> {
+fn lex_number(rest: &str, line: u32, col: u32) -> Result<(Tok, usize), SchemaError> {
     let bytes = rest.as_bytes();
     let mut len = 0usize;
     if bytes.first() == Some(&b'-') {
@@ -251,8 +254,15 @@ fn lex_number(rest: &str, line: u32, col: u32) -> Result<(f64, usize), SchemaErr
         }
     }
     let text: String = rest[..len].chars().filter(|&c| c != '_').collect();
+    // Dot-free literals stay integers so values beyond 2^53 are exact;
+    // an i64 overflow falls back to the f64 path rather than erroring.
+    if !seen_dot {
+        if let Ok(v) = text.parse::<i64>() {
+            return Ok((Tok::Int(v), len));
+        }
+    }
     text.parse::<f64>()
-        .map(|v| (v, len))
+        .map(|v| (Tok::Num(v), len))
         .map_err(|_| SchemaError::at(format!("bad number {text:?}"), line, col))
 }
 
@@ -296,8 +306,23 @@ mod tests {
     #[test]
     fn numbers_including_underscores_and_negatives() {
         assert_eq!(
-            kinds("10_000 0.4 -3.5"),
-            vec![Tok::Num(10_000.0), Tok::Num(0.4), Tok::Num(-3.5), Tok::Eof]
+            kinds("10_000 0.4 -3.5 -7"),
+            vec![
+                Tok::Int(10_000),
+                Tok::Num(0.4),
+                Tok::Num(-3.5),
+                Tok::Int(-7),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn integers_beyond_f64_precision_stay_exact() {
+        // 2^53 + 1 is not representable as f64; the Int token keeps it.
+        assert_eq!(
+            kinds("9007199254740993"),
+            vec![Tok::Int(9_007_199_254_740_993), Tok::Eof]
         );
     }
 

@@ -44,11 +44,13 @@ mod model;
 mod parser;
 mod validate;
 
-pub use builder::{EdgeBuilder, NodeBuilder, PropertySpec, SchemaBuilder, StructureParams};
+pub use builder::{
+    EdgeBuilder, NodeBuilder, PropertySpec, SchemaBuilder, StructureParams, TemporalSpec,
+};
 pub use error::SchemaError;
 pub use model::{
     Cardinality, CorrelationSpec, DepRef, EdgeType, GeneratorSpec, NodeType, PropertyDef, Schema,
-    SpecArg,
+    SpecArg, TemporalDef,
 };
 pub use parser::parse_schema;
 pub use validate::validate_schema;

@@ -40,16 +40,49 @@ impl Cardinality {
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SpecArg {
-    /// Positional number: `uniform(0, 100)`.
+    /// Positional fractional number: `normal(0.0, 1.5)`.
     Num(f64),
+    /// Positional integer, carried exactly (no f64 round-trip):
+    /// `uniform(0, 100)`.
+    Int(i64),
     /// Positional string: `dictionary("countries")`.
     Text(String),
     /// Weighted label: `categorical("M": 0.5, ...)`.
     Weighted(String, f64),
-    /// Named number: `lfr(avg_degree = 20)`.
+    /// Named fractional number: `rmat(noise = 0.1)`.
     Named(String, f64),
+    /// Named integer, carried exactly: `lfr(avg_degree = 20)`.
+    NamedInt(String, i64),
     /// Named string: `one_to_many(dist = "zipf")`.
     NamedText(String, String),
+}
+
+/// The largest magnitude an f64 represents exactly as an integer (2^53).
+const EXACT_F64_INT: f64 = 9_007_199_254_740_992.0;
+
+impl SpecArg {
+    /// Canonical positional numeric argument: integral values within the
+    /// exact-f64 range normalize to [`SpecArg::Int`], so `uniform(0, 100)`
+    /// compares equal whether it came from the parser, the builder or the
+    /// JSON frontend.
+    pub fn num(v: f64) -> Self {
+        match exact_i64(v) {
+            Some(i) => SpecArg::Int(i),
+            None => SpecArg::Num(v),
+        }
+    }
+
+    /// Canonical named numeric argument (see [`SpecArg::num`]).
+    pub fn named(key: impl Into<String>, v: f64) -> Self {
+        match exact_i64(v) {
+            Some(i) => SpecArg::NamedInt(key.into(), i),
+            None => SpecArg::Named(key.into(), v),
+        }
+    }
+}
+
+fn exact_i64(v: f64) -> Option<i64> {
+    (v.fract() == 0.0 && v.abs() <= EXACT_F64_INT).then_some(v as i64)
 }
 
 /// A call to a pluggable generator: name plus arguments.
@@ -71,10 +104,11 @@ impl GeneratorSpec {
         }
     }
 
-    /// Look up a named numeric argument.
+    /// Look up a named numeric argument (integer or fractional).
     pub fn named_num(&self, key: &str) -> Option<f64> {
         self.args.iter().find_map(|a| match a {
             SpecArg::Named(k, v) if k == key => Some(*v),
+            SpecArg::NamedInt(k, v) if k == key => Some(*v as f64),
             _ => None,
         })
     }
@@ -111,6 +145,21 @@ impl DepRef {
     }
 }
 
+/// Temporal annotation of a node or edge type: when instances arrive in
+/// the update stream, and (optionally) how long they live before a delete
+/// op is scheduled. `arrival` must produce `date` values (epoch days);
+/// `lifetime` must produce `long` values (days, clamped to >= 1 so every
+/// delete lands strictly after its insert).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TemporalDef {
+    /// Insert-timestamp generator (`arrival = date_between(...)`).
+    pub arrival: GeneratorSpec,
+    /// Optional lifetime generator (`lifetime = uniform(30, 900)`), in
+    /// days after arrival.
+    pub lifetime: Option<GeneratorSpec>,
+}
+
 /// A property declaration.
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -135,6 +184,8 @@ pub struct NodeType {
     pub count: Option<u64>,
     /// Properties in declaration order.
     pub properties: Vec<PropertyDef>,
+    /// Temporal annotation (`temporal { ... }`), if any.
+    pub temporal: Option<TemporalDef>,
 }
 
 impl NodeType {
@@ -178,6 +229,8 @@ pub struct EdgeType {
     pub correlation: Option<CorrelationSpec>,
     /// Edge properties in declaration order.
     pub properties: Vec<PropertyDef>,
+    /// Temporal annotation (`temporal { ... }`), if any.
+    pub temporal: Option<TemporalDef>,
 }
 
 /// A full schema.
@@ -209,6 +262,13 @@ impl Schema {
         self.nodes.iter().map(|n| n.properties.len()).sum::<usize>()
             + self.edges.iter().map(|e| e.properties.len()).sum::<usize>()
     }
+
+    /// Whether any node or edge type carries a temporal annotation —
+    /// i.e. whether the schema can produce an update stream at all.
+    pub fn has_temporal(&self) -> bool {
+        self.nodes.iter().any(|n| n.temporal.is_some())
+            || self.edges.iter().any(|e| e.temporal.is_some())
+    }
 }
 
 #[cfg(test)]
@@ -239,6 +299,30 @@ mod tests {
         assert_eq!(spec.named_num("avg_degree"), Some(20.0));
         assert_eq!(spec.named_num("missing"), None);
         assert_eq!(spec.named_text("mode"), Some("fast"));
+    }
+
+    #[test]
+    fn numeric_args_normalize_to_exact_integers() {
+        assert_eq!(SpecArg::num(20.0), SpecArg::Int(20));
+        assert_eq!(SpecArg::num(-3.0), SpecArg::Int(-3));
+        assert_eq!(SpecArg::num(0.4), SpecArg::Num(0.4));
+        assert_eq!(SpecArg::named("k", 8.0), SpecArg::NamedInt("k".into(), 8));
+        assert_eq!(SpecArg::named("k", 0.1), SpecArg::Named("k".into(), 0.1));
+        // Beyond 2^53 an f64 is no longer an exact integer: stays Num.
+        assert_eq!(SpecArg::num(1e300), SpecArg::Num(1e300));
+    }
+
+    #[test]
+    fn named_num_reads_both_integer_and_fractional_args() {
+        let spec = GeneratorSpec {
+            name: "lfr".into(),
+            args: vec![
+                SpecArg::NamedInt("avg_degree".into(), 20),
+                SpecArg::Named("mixing".into(), 0.1),
+            ],
+        };
+        assert_eq!(spec.named_num("avg_degree"), Some(20.0));
+        assert_eq!(spec.named_num("mixing"), Some(0.1));
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::error::SchemaError;
 use crate::lexer::{lex, Tok, Token};
 use crate::model::{
     Cardinality, CorrelationSpec, DepRef, EdgeType, GeneratorSpec, NodeType, PropertyDef, Schema,
-    SpecArg,
+    SpecArg, TemporalDef,
 };
 use crate::validate::validate_schema;
 
@@ -75,6 +75,17 @@ impl Parser {
         matches!(&self.peek().tok, Tok::Ident(s) if s == kw)
     }
 
+    /// Whether the cursor sits on a `temporal { ... }` block. The second
+    /// token disambiguates from a *property* named `temporal` (which is
+    /// followed by ':').
+    fn peek_temporal_block(&self) -> bool {
+        self.peek_keyword("temporal")
+            && self
+                .tokens
+                .get(self.pos + 1)
+                .is_some_and(|t| t.tok == Tok::LBrace)
+    }
+
     fn schema(&mut self) -> Result<Schema, SchemaError> {
         self.keyword("graph")?;
         let name = self.ident("graph name")?;
@@ -111,9 +122,7 @@ impl Parser {
                     "count" => {
                         self.expect(&Tok::Eq, "'='")?;
                         match self.next().tok {
-                            Tok::Num(v) if v >= 0.0 && v.fract() == 0.0 => {
-                                count = Some(v as u64);
-                            }
+                            Tok::Int(v) if v >= 0 => count = Some(v as u64),
                             _ => return Err(self.err_here("count must be a nonnegative integer")),
                         }
                     }
@@ -144,14 +153,23 @@ impl Parser {
         }
         self.expect(&Tok::LBrace, "'{'")?;
         let mut properties = Vec::new();
+        let mut temporal = None;
         while self.peek().tok != Tok::RBrace {
-            properties.push(self.property(false)?);
+            if self.peek_temporal_block() {
+                if temporal.is_some() {
+                    return Err(self.err_here("duplicate temporal block"));
+                }
+                temporal = Some(self.temporal_block()?);
+            } else {
+                properties.push(self.property(false)?);
+            }
         }
         self.next(); // consume '}'
         Ok(NodeType {
             name,
             count,
             properties,
+            temporal,
         })
     }
 
@@ -173,8 +191,14 @@ impl Parser {
         let mut structure = None;
         let mut correlation = None;
         let mut properties = Vec::new();
+        let mut temporal = None;
         while self.peek().tok != Tok::RBrace {
-            if self.peek_keyword("structure") {
+            if self.peek_temporal_block() {
+                if temporal.is_some() {
+                    return Err(self.err_here("duplicate temporal block"));
+                }
+                temporal = Some(self.temporal_block()?);
+            } else if self.peek_keyword("structure") {
                 self.next();
                 self.expect(&Tok::Eq, "'='")?;
                 structure = Some(self.generator_call()?);
@@ -201,7 +225,38 @@ impl Parser {
             structure,
             correlation,
             properties,
+            temporal,
         })
+    }
+
+    /// `temporal { arrival = ...; [lifetime = ...;] }`
+    fn temporal_block(&mut self) -> Result<TemporalDef, SchemaError> {
+        self.keyword("temporal")?;
+        self.expect(&Tok::LBrace, "'{'")?;
+        let mut arrival = None;
+        let mut lifetime = None;
+        while self.peek().tok != Tok::RBrace {
+            let clause = self.ident("temporal clause")?;
+            let slot = match clause.as_str() {
+                "arrival" => &mut arrival,
+                "lifetime" => &mut lifetime,
+                other => {
+                    return Err(self.err_here(format!(
+                        "unknown temporal clause {other:?} (expected 'arrival' or 'lifetime')"
+                    )));
+                }
+            };
+            if slot.is_some() {
+                return Err(self.err_here(format!("duplicate temporal clause {clause:?}")));
+            }
+            self.expect(&Tok::Eq, "'='")?;
+            *slot = Some(self.generator_call()?);
+            self.expect(&Tok::Semi, "';'")?;
+        }
+        self.next(); // consume '}'
+        let arrival =
+            arrival.ok_or_else(|| self.err_here("temporal block requires an 'arrival' clause"))?;
+        Ok(TemporalDef { arrival, lifetime })
     }
 
     fn property(&mut self, is_edge: bool) -> Result<PropertyDef, SchemaError> {
@@ -278,15 +333,20 @@ impl Parser {
 
     fn spec_arg(&mut self) -> Result<SpecArg, SchemaError> {
         match self.peek().tok.clone() {
+            Tok::Int(v) => {
+                self.next();
+                Ok(SpecArg::Int(v))
+            }
             Tok::Num(v) => {
                 self.next();
-                Ok(SpecArg::Num(v))
+                Ok(SpecArg::num(v))
             }
             Tok::Str(s) => {
                 self.next();
                 if self.peek().tok == Tok::Colon {
                     self.next();
                     match self.next().tok {
+                        Tok::Int(w) => Ok(SpecArg::Weighted(s, w as f64)),
                         Tok::Num(w) => Ok(SpecArg::Weighted(s, w)),
                         _ => Err(self.err_here("expected weight after ':'")),
                     }
@@ -298,7 +358,8 @@ impl Parser {
                 self.next();
                 self.expect(&Tok::Eq, "'=' (named argument)")?;
                 match self.next().tok {
-                    Tok::Num(v) => Ok(SpecArg::Named(key, v)),
+                    Tok::Int(v) => Ok(SpecArg::NamedInt(key, v)),
+                    Tok::Num(v) => Ok(SpecArg::named(key, v)),
                     Tok::Str(s) => Ok(SpecArg::NamedText(key, s)),
                     other => {
                         Err(self.err_here(format!("expected value after '=', found {other:?}")))
@@ -429,5 +490,91 @@ graph social {
         );
         let e = schema.edges[0].structure.as_ref().unwrap();
         assert_eq!(e.named_num("edge_factor"), Some(8.0));
+        assert!(e.args.contains(&SpecArg::NamedInt("edge_factor".into(), 8)));
+    }
+
+    #[test]
+    fn integer_args_stay_exact_through_parsing() {
+        let src = r#"graph g {
+            node A {
+                x: long = uniform(0, 9007199254740993);
+            }
+        }"#;
+        let schema = parse_schema(src).unwrap();
+        assert_eq!(
+            schema.nodes[0].properties[0].generator.args,
+            vec![SpecArg::Int(0), SpecArg::Int(9_007_199_254_740_993)]
+        );
+    }
+
+    #[test]
+    fn parses_temporal_blocks() {
+        let src = r#"graph g {
+            node A [count = 10] {
+                x: long = counter();
+                temporal {
+                    arrival = date_between("2010-01-01", "2013-01-01");
+                }
+            }
+            edge e: A -- A {
+                temporal {
+                    arrival = date_between("2010-01-01", "2013-01-01");
+                    lifetime = uniform(30, 900);
+                }
+            }
+        }"#;
+        let schema = parse_schema(src).unwrap();
+        let t = schema.nodes[0].temporal.as_ref().unwrap();
+        assert_eq!(t.arrival.name, "date_between");
+        assert!(t.lifetime.is_none());
+        let t = schema.edges[0].temporal.as_ref().unwrap();
+        let life = t.lifetime.as_ref().unwrap();
+        assert_eq!(life.name, "uniform");
+        assert_eq!(life.args, vec![SpecArg::Int(30), SpecArg::Int(900)]);
+        assert!(schema.has_temporal());
+    }
+
+    #[test]
+    fn property_named_temporal_still_parses() {
+        // 'temporal' only opens a block when followed by '{'.
+        let src = r#"graph g {
+            node A { temporal: long = counter(); }
+        }"#;
+        let schema = parse_schema(src).unwrap();
+        assert_eq!(schema.nodes[0].properties[0].name, "temporal");
+        assert!(schema.nodes[0].temporal.is_none());
+    }
+
+    #[test]
+    fn temporal_block_errors() {
+        let missing = r#"graph g {
+            node A { temporal { lifetime = uniform(1, 2); } }
+        }"#;
+        let err = parse_schema(missing).unwrap_err();
+        assert!(err.message.contains("arrival"));
+
+        let dup_clause = r#"graph g {
+            node A { temporal {
+                arrival = date_between("2010-01-01", "2011-01-01");
+                arrival = date_between("2010-01-01", "2011-01-01");
+            } }
+        }"#;
+        let err = parse_schema(dup_clause).unwrap_err();
+        assert!(err.message.contains("duplicate temporal clause"));
+
+        let dup_block = r#"graph g {
+            node A {
+                temporal { arrival = date_between("2010-01-01", "2011-01-01"); }
+                temporal { arrival = date_between("2010-01-01", "2011-01-01"); }
+            }
+        }"#;
+        let err = parse_schema(dup_block).unwrap_err();
+        assert!(err.message.contains("duplicate temporal block"));
+
+        let unknown = r#"graph g {
+            node A { temporal { decay = uniform(1, 2); } }
+        }"#;
+        let err = parse_schema(unknown).unwrap_err();
+        assert!(err.message.contains("unknown temporal clause"));
     }
 }

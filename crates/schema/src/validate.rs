@@ -5,7 +5,7 @@
 use std::collections::{HashMap, HashSet};
 
 use crate::error::SchemaError;
-use crate::model::{Cardinality, DepRef, EdgeType, NodeType, Schema};
+use crate::model::{Cardinality, DepRef, EdgeType, NodeType, Schema, TemporalDef};
 
 /// Validate a parsed schema. Returns the first problem found.
 pub fn validate_schema(schema: &Schema) -> Result<(), SchemaError> {
@@ -18,6 +18,9 @@ pub fn validate_schema(schema: &Schema) -> Result<(), SchemaError> {
             )));
         }
         validate_node_properties(node)?;
+        if let Some(t) = &node.temporal {
+            validate_temporal(&node.name, t)?;
+        }
     }
     let mut edge_names = HashSet::new();
     for edge in &schema.edges {
@@ -34,6 +37,27 @@ pub fn validate_schema(schema: &Schema) -> Result<(), SchemaError> {
             )));
         }
         validate_edge(schema, edge)?;
+        if let Some(t) = &edge.temporal {
+            validate_temporal(&edge.name, t)?;
+        }
+    }
+    Ok(())
+}
+
+/// Temporal generators run standalone (no `given` clause), so generators
+/// that require dependency inputs cannot serve as clocks.
+fn validate_temporal(owner: &str, t: &TemporalDef) -> Result<(), SchemaError> {
+    for (clause, spec) in [
+        ("arrival", Some(&t.arrival)),
+        ("lifetime", t.lifetime.as_ref()),
+    ] {
+        let Some(spec) = spec else { continue };
+        if spec.name == "date_after" {
+            return Err(SchemaError::general(format!(
+                "{owner}: temporal {clause} cannot use \"date_after\" — it needs dependency \
+                 inputs; use date_between or another standalone generator"
+            )));
+        }
     }
     Ok(())
 }
@@ -304,6 +328,17 @@ mod tests {
             }
         }"#;
         assert!(parse_schema(src).is_ok());
+    }
+
+    #[test]
+    fn temporal_rejects_dependent_generators() {
+        let src = r#"graph g {
+            node A {
+                d: date = date_between("2020-01-01", "2021-01-01");
+                temporal { arrival = date_after(30); }
+            }
+        }"#;
+        expect_error(src, "date_after");
     }
 
     #[test]

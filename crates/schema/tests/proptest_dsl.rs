@@ -5,7 +5,7 @@ use proptest::prelude::*;
 
 use datasynth_schema::{
     parse_schema, Cardinality, CorrelationSpec, DepRef, EdgeType, GeneratorSpec, NodeType,
-    PropertyDef, Schema, SpecArg,
+    PropertyDef, Schema, SpecArg, TemporalDef,
 };
 use datasynth_tables::ValueType;
 
@@ -26,12 +26,16 @@ fn ident() -> impl Strategy<Value = String> {
 
 fn spec_arg() -> impl Strategy<Value = SpecArg> {
     prop_oneof![
-        (-1000.0f64..1000.0).prop_map(|v| SpecArg::Num((v * 100.0).round() / 100.0)),
+        // The canonical constructor: integral values normalize to Int, so
+        // the round-trip through printed text is the identity.
+        (-1000.0f64..1000.0).prop_map(|v| SpecArg::num((v * 100.0).round() / 100.0)),
+        any::<i64>().prop_map(SpecArg::Int),
         "[a-zA-Z0-9 _.-]{0,12}".prop_map(SpecArg::Text),
         ("[a-zA-Z]{1,8}", 0.01f64..100.0)
             .prop_map(|(l, w)| SpecArg::Weighted(l, (w * 100.0).round() / 100.0)),
         (ident(), -100.0f64..100.0)
-            .prop_map(|(k, v)| SpecArg::Named(k, (v * 100.0).round() / 100.0)),
+            .prop_map(|(k, v)| SpecArg::named(k, (v * 100.0).round() / 100.0)),
+        (ident(), any::<i64>()).prop_map(|(k, v)| SpecArg::NamedInt(k, v)),
         (ident(), "[a-z0-9_]{0,10}").prop_map(|(k, v)| SpecArg::NamedText(k, v)),
     ]
 }
@@ -39,6 +43,18 @@ fn spec_arg() -> impl Strategy<Value = SpecArg> {
 fn generator_spec() -> impl Strategy<Value = GeneratorSpec> {
     (ident(), prop::collection::vec(spec_arg(), 0..4))
         .prop_map(|(name, args)| GeneratorSpec { name, args })
+}
+
+/// An optional `temporal { ... }` annotation. Generator names are
+/// arbitrary except `date_after`, which validation rejects as a clock.
+fn temporal_def() -> impl Strategy<Value = Option<TemporalDef>> {
+    fn clock() -> impl Strategy<Value = GeneratorSpec> {
+        generator_spec().prop_filter("needs deps", |g| g.name != "date_after")
+    }
+    prop::option::of(
+        (clock(), prop::option::of(clock()))
+            .prop_map(|(arrival, lifetime)| TemporalDef { arrival, lifetime }),
+    )
 }
 
 fn value_type() -> impl Strategy<Value = ValueType> {
@@ -56,27 +72,30 @@ fn value_type() -> impl Strategy<Value = ValueType> {
 /// construction).
 fn node_type(name: String) -> impl Strategy<Value = NodeType> {
     let props = prop::collection::vec((generator_spec(), value_type()), 1..5);
-    (props, prop::option::of(0u64..1_000_000)).prop_map(move |(specs, count)| {
-        let mut properties: Vec<PropertyDef> = Vec::new();
-        for (i, (generator, vt)) in specs.into_iter().enumerate() {
-            let dependencies = if i > 0 && i % 2 == 0 {
-                vec![DepRef::Own(format!("p{}", i - 1))]
-            } else {
-                Vec::new()
-            };
-            properties.push(PropertyDef {
-                name: format!("p{i}"),
-                value_type: vt,
-                generator,
-                dependencies,
-            });
-        }
-        NodeType {
-            name: name.clone(),
-            count,
-            properties,
-        }
-    })
+    (props, prop::option::of(0u64..1_000_000), temporal_def()).prop_map(
+        move |(specs, count, temporal)| {
+            let mut properties: Vec<PropertyDef> = Vec::new();
+            for (i, (generator, vt)) in specs.into_iter().enumerate() {
+                let dependencies = if i > 0 && i % 2 == 0 {
+                    vec![DepRef::Own(format!("p{}", i - 1))]
+                } else {
+                    Vec::new()
+                };
+                properties.push(PropertyDef {
+                    name: format!("p{i}"),
+                    value_type: vt,
+                    generator,
+                    dependencies,
+                });
+            }
+            NodeType {
+                name: name.clone(),
+                count,
+                properties,
+                temporal,
+            }
+        },
+    )
 }
 
 fn schema() -> impl Strategy<Value = Schema> {
@@ -112,6 +131,7 @@ fn schema() -> impl Strategy<Value = Schema> {
                     generator: GeneratorSpec::bare("normal"),
                     dependencies: vec![DepRef::Source(a.properties[0].name.clone())],
                 }],
+                temporal: None,
             };
             Schema {
                 name: "generated".to_owned(),
@@ -151,6 +171,7 @@ proptest! {
                     },
                     dependencies: vec![],
                 }],
+                temporal: None,
             }],
             edges: vec![],
         };

@@ -33,7 +33,7 @@
 
 use datasynth_schema::{
     Cardinality, CorrelationSpec, DepRef, EdgeType, GeneratorSpec, NodeType, PropertyDef, Schema,
-    SpecArg,
+    SpecArg, TemporalDef,
 };
 use datasynth_tables::ValueType;
 use datasynth_telemetry::json::{Json, JsonError};
@@ -67,6 +67,7 @@ fn node_from_json(v: &Json) -> Result<NodeType, JsonError> {
             None => None,
         },
         properties: props_from_json(v)?,
+        temporal: temporal_from_json(v)?,
     })
 }
 
@@ -107,8 +108,24 @@ fn edge_from_json(v: &Json) -> Result<EdgeType, JsonError> {
             None => None,
         },
         properties: props_from_json(v)?,
+        temporal: temporal_from_json(v)?,
         name,
     })
+}
+
+/// Optional `"temporal": {"arrival": {..}, "lifetime": {..}}` block.
+fn temporal_from_json(v: &Json) -> Result<Option<TemporalDef>, JsonError> {
+    let Some(t) = v.get("temporal") else {
+        return Ok(None);
+    };
+    t.obj_of("temporal")?;
+    Ok(Some(TemporalDef {
+        arrival: spec_from_json(t.key("arrival")?, "temporal.arrival")?,
+        lifetime: match t.get("lifetime") {
+            Some(l) => Some(spec_from_json(l, "temporal.lifetime")?),
+            None => None,
+        },
+    }))
 }
 
 fn props_from_json(v: &Json) -> Result<Vec<PropertyDef>, JsonError> {
@@ -163,7 +180,9 @@ fn spec_from_json(v: &Json, what: &str) -> Result<GeneratorSpec, JsonError> {
 
 fn arg_from_json(a: &Json, what: &str) -> Result<SpecArg, JsonError> {
     if let Some(n) = a.as_f64() {
-        return Ok(SpecArg::Num(n));
+        // The canonical constructor: integral values normalize to the
+        // exact-integer arg, matching what the DSL parser produces.
+        return Ok(SpecArg::num(n));
     }
     if let Some(s) = a.as_str() {
         return Ok(SpecArg::Text(s.to_owned()));
@@ -178,7 +197,7 @@ fn arg_from_json(a: &Json, what: &str) -> Result<SpecArg, JsonError> {
     if obj.len() == 1 {
         let (key, value) = obj.iter().next().expect("len checked");
         if let Some(n) = value.as_f64() {
-            return Ok(SpecArg::Named(key.clone(), n));
+            return Ok(SpecArg::named(key.clone(), n));
         }
         if let Some(s) = value.as_str() {
             return Ok(SpecArg::NamedText(key.clone(), s.to_owned()));

@@ -15,6 +15,7 @@
 //! | `GET` | `/graphs` | List registered schemas |
 //! | `GET` | `/graphs/{hash}` | Canonical DSL of one schema |
 //! | `GET` | `/graphs/{hash}/tables/{table}.{csv\|jsonl}?seed=S[&shard=I/K]` | Stream one table (chunked) |
+//! | `GET` | `/graphs/{hash}/ops?seed=S[&shard=I/K][&format=csv\|jsonl]` | Stream the temporal op log (chunked) |
 //! | `GET` | `/graphs/{hash}/report?seed=S[&shard=I/K]` | Run without emitting and return the stable [`RunReport`] JSON |
 //! | `GET` | `/metrics` | Prometheus text exposition of the shared registry |
 //! | `GET` | `/healthz` | Liveness |
@@ -45,6 +46,7 @@ use datasynth_core::{GraphSink, PipelineError, RunReport, Session, TableFormat, 
 use datasynth_schema::parse_schema;
 use datasynth_telemetry::json::{self, Json};
 use datasynth_telemetry::MetricsRegistry;
+use datasynth_temporal::{OpsFormat, TemporalSink};
 
 pub mod http;
 pub mod json_schema;
@@ -351,6 +353,13 @@ fn handle_request(w: &mut TcpStream, state: &ServerState, req: Request) -> io::R
                 _ => respond_error(w, state, 405, "use GET", req.keep_alive),
             }
         }
+        ["graphs", hash, "ops"] => {
+            state.count_request("graph_ops");
+            match req.method.as_str() {
+                "GET" => stream_ops(w, state, &req, hash),
+                _ => respond_error(w, state, 405, "use GET", req.keep_alive),
+            }
+        }
         _ => {
             state.count_request("unknown");
             respond_error(
@@ -629,6 +638,90 @@ fn stream_table(
                 .counter("datasynth_http_streams_aborted_total")
                 .inc();
             // The body is incomplete; the connection cannot be reused.
+            Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "stream aborted before completion",
+            ))
+        }
+    }
+}
+
+/// `GET /graphs/{hash}/ops`: chunked stream of the deterministic update
+/// log, byte-identical to the CLI's `--ops` file output. `?format=`
+/// selects csv (default) or jsonl; `?shard=I/K` streams one window of
+/// the globally ordered log.
+fn stream_ops(w: &mut TcpStream, state: &ServerState, req: &Request, hash: &str) -> io::Result<()> {
+    let entry = match lookup(state, hash) {
+        Ok(entry) => entry,
+        Err((status, msg)) => return respond_error(w, state, status, &msg, req.keep_alive),
+    };
+    let format = match req.query("format") {
+        None => OpsFormat::Csv,
+        Some(raw) => match OpsFormat::from_keyword(raw) {
+            Some(f) => f,
+            None => {
+                return respond_error(
+                    w,
+                    state,
+                    400,
+                    &format!("unknown ops format {raw:?}; use csv or jsonl"),
+                    req.keep_alive,
+                )
+            }
+        },
+    };
+    let content_type = match format {
+        OpsFormat::Csv => "text/csv; charset=utf-8",
+        OpsFormat::Jsonl => "application/x-ndjson",
+    };
+
+    let (_guard, budget) = RunGuard::claim(state);
+    let session = match session_for(state, &entry, req, budget) {
+        Ok(session) => session.with_ops(true),
+        Err((status, msg)) => return respond_error(w, state, status, &msg, req.keep_alive),
+    };
+    // Sink construction validates the schema (it must carry temporal
+    // annotations) before any header is committed, so a snapshot-only
+    // schema gets a clean 422 instead of an aborted stream.
+    let (tx, rx) = stream::chunk_channel();
+    let mut sink = match TemporalSink::new(entry.synth.schema(), tx, format) {
+        Ok(sink) => sink.with_metrics(Arc::clone(&state.metrics)),
+        Err(e) => return respond_error(w, state, 422, &e.to_string(), req.keep_alive),
+    };
+
+    state.count_response(200);
+    http::write_chunked_head(w, 200, content_type, req.keep_alive)?;
+
+    // Same scoped-drain protocol as `stream_table`: generation on this
+    // worker thread, socket writes on the drain, client disconnects
+    // surface as sink write errors that abort the run.
+    let socket = &mut *w;
+    let (run, client_gone) = thread::scope(|scope| {
+        let drain = scope.spawn(move || {
+            let mut client_gone = false;
+            for chunk in rx.iter() {
+                if http::write_chunk(socket, &chunk).is_err() {
+                    client_gone = true;
+                    break;
+                }
+            }
+            drop(rx);
+            client_gone
+        });
+        let run = session.run_into(&mut sink);
+        drop(sink);
+        let client_gone = drain.join().expect("drain thread panicked");
+        (run, client_gone)
+    });
+
+    match run {
+        // The sink records its own $ops row/byte counters at finish.
+        Ok(_) if !client_gone => http::finish_chunked(w),
+        _ => {
+            state
+                .metrics
+                .counter("datasynth_http_streams_aborted_total")
+                .inc();
             Err(io::Error::new(
                 io::ErrorKind::BrokenPipe,
                 "stream aborted before completion",

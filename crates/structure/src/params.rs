@@ -10,8 +10,10 @@ use crate::registry::BuildError;
 /// A single parameter value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ParamValue {
-    /// Numeric parameter (integers are carried exactly up to 2^53).
+    /// Fractional numeric parameter.
     Num(f64),
+    /// Integer parameter, carried exactly (no f64 round-trip).
+    Int(i64),
     /// String parameter.
     Text(String),
 }
@@ -34,6 +36,12 @@ impl Params {
         self
     }
 
+    /// Insert an exact integer parameter (builder style).
+    pub fn with_long(mut self, key: &str, value: i64) -> Self {
+        self.map.insert(key.to_owned(), ParamValue::Int(value));
+        self
+    }
+
     /// Insert a string parameter (builder style).
     pub fn with_text(mut self, key: &str, value: &str) -> Self {
         self.map
@@ -50,6 +58,7 @@ impl Params {
     pub fn get_f64(&self, key: &str) -> Option<f64> {
         match self.map.get(key)? {
             ParamValue::Num(v) => Some(*v),
+            ParamValue::Int(v) => Some(*v as f64),
             ParamValue::Text(_) => None,
         }
     }
@@ -59,10 +68,14 @@ impl Params {
         self.get_f64(key).unwrap_or(default)
     }
 
-    /// Integer lookup (rejects non-integral numerics).
+    /// Integer lookup (rejects non-integral numerics). Exact-integer
+    /// parameters convert without an f64 round-trip.
     pub fn get_u64(&self, key: &str) -> Option<u64> {
-        let v = self.get_f64(key)?;
-        (v >= 0.0 && v.fract() == 0.0).then_some(v as u64)
+        match self.map.get(key)? {
+            ParamValue::Int(v) => u64::try_from(*v).ok(),
+            ParamValue::Num(v) => (*v >= 0.0 && v.fract() == 0.0).then_some(*v as u64),
+            ParamValue::Text(_) => None,
+        }
     }
 
     /// Integer lookup with default.
@@ -74,7 +87,7 @@ impl Params {
     pub fn get_str(&self, key: &str) -> Option<&str> {
         match self.map.get(key)? {
             ParamValue::Text(s) => Some(s),
-            ParamValue::Num(_) => None,
+            ParamValue::Num(_) | ParamValue::Int(_) => None,
         }
     }
 
@@ -201,6 +214,7 @@ impl fmt::Display for Params {
             first = false;
             match v {
                 ParamValue::Num(n) => write!(f, "{k} = {n}")?,
+                ParamValue::Int(n) => write!(f, "{k} = {n}")?,
                 ParamValue::Text(s) => write!(f, "{k} = \"{s}\"")?,
             }
         }
@@ -225,6 +239,14 @@ mod tests {
         assert_eq!(p.get_f64("mode"), None);
         assert_eq!(p.u64_or("missing", 7), 7);
         assert!(p.contains("scale"));
+    }
+
+    #[test]
+    fn exact_integer_params_skip_the_f64_funnel() {
+        let p = Params::new().with_long("n", 9_007_199_254_740_993);
+        assert_eq!(p.get_u64("n"), Some(9_007_199_254_740_993));
+        assert_eq!(Params::new().with_long("n", -3).get_u64("n"), None);
+        assert_eq!(Params::new().with_long("n", 20).get_f64("n"), Some(20.0));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 pub mod csv;
 pub mod jsonl;
+pub mod ops;
 
 pub use csv::CsvExporter;
 pub use jsonl::JsonlExporter;

@@ -1,0 +1,97 @@
+//! Streaming writers for operation-log rows (update streams).
+//!
+//! An op log is the dynamic counterpart of the static snapshot: one row
+//! per graph mutation, globally ordered by timestamp. Rows reference the
+//! snapshot by `(table, row)` — the payload (property values, endpoints)
+//! lives in the snapshot tables, so the log stays narrow and the
+//! snapshot stays the single source of truth for values.
+//!
+//! Like the node/edge table writers, these are plain `io::Write`
+//! streamers shared by whole-run export and chunked HTTP streaming, so
+//! both paths produce byte-identical files.
+
+use std::io::{self, Write};
+
+use crate::date::format_date;
+use crate::export::{csv_escape, json_escape};
+
+/// One operation-log row, ready to serialize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpRow<'a> {
+    /// Zero-based position in the global op order (stable across shards:
+    /// shard `i` emits ops `[window.lo, window.hi)` of the same global
+    /// sequence).
+    pub op: u64,
+    /// Timestamp as days since 1970-01-01 (serialized ISO `YYYY-MM-DD`).
+    pub ts: i64,
+    /// Operation keyword: `INSERT_NODE`, `INSERT_EDGE`, `DELETE_EDGE`,
+    /// `DELETE_NODE`.
+    pub kind: &'a str,
+    /// The snapshot table the op refers to.
+    pub table: &'a str,
+    /// Global row index within `table` that this op inserts or deletes.
+    pub row: u64,
+}
+
+/// The CSV header line for op logs. Written once per full file (shard 0
+/// only, like the per-table exporters, so shard concatenation yields one
+/// well-formed file).
+pub fn write_ops_header(out: &mut dyn Write) -> io::Result<()> {
+    writeln!(out, "op,ts,kind,table,row")
+}
+
+/// Serialize one op as a CSV record.
+pub fn write_op_row_csv(out: &mut dyn Write, op: &OpRow<'_>) -> io::Result<()> {
+    writeln!(
+        out,
+        "{},{},{},{},{}",
+        op.op,
+        format_date(op.ts),
+        csv_escape(op.kind),
+        csv_escape(op.table),
+        op.row
+    )
+}
+
+/// Serialize one op as a JSON-lines record.
+pub fn write_op_row_jsonl(out: &mut dyn Write, op: &OpRow<'_>) -> io::Result<()> {
+    writeln!(
+        out,
+        "{{\"op\":{},\"ts\":\"{}\",\"kind\":\"{}\",\"table\":\"{}\",\"row\":{}}}",
+        op.op,
+        format_date(op.ts),
+        json_escape(op.kind),
+        json_escape(op.table),
+        op.row
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::date::days_from_civil;
+
+    #[test]
+    fn op_rows_serialize_to_both_formats() {
+        let op = OpRow {
+            op: 3,
+            ts: days_from_civil(2012, 6, 15),
+            kind: "INSERT_EDGE",
+            table: "knows",
+            row: 41,
+        };
+        let mut csv = Vec::new();
+        write_ops_header(&mut csv).unwrap();
+        write_op_row_csv(&mut csv, &op).unwrap();
+        assert_eq!(
+            String::from_utf8(csv).unwrap(),
+            "op,ts,kind,table,row\n3,2012-06-15,INSERT_EDGE,knows,41\n"
+        );
+        let mut jsonl = Vec::new();
+        write_op_row_jsonl(&mut jsonl, &op).unwrap();
+        assert_eq!(
+            String::from_utf8(jsonl).unwrap(),
+            "{\"op\":3,\"ts\":\"2012-06-15\",\"kind\":\"INSERT_EDGE\",\"table\":\"knows\",\"row\":41}\n"
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Dynamic graphs: deterministic, shardable update streams.
+//!
+//! The paper's framework generates *static* snapshots; real benchmark
+//! suites also need the graph's *evolution* — a stream of inserts and
+//! deletes a system under test can replay. This crate turns a schema's
+//! `temporal { ... }` annotations into exactly that: a globally
+//! timestamp-ordered **operation log** emitted alongside the snapshot.
+//!
+//! The design inherits the generator's core property: every timestamp is
+//! a pure function of `(seed, table, row)` via the same per-table
+//! [`TableStream`](datasynth_prng::TableStream) derivation the property
+//! pipeline uses. A [`TypeClock`] encapsulates that recipe — arrival
+//! (insert) timestamps and optional lifetime (delete) offsets — so the
+//! sink that writes the log and the workload curator that samples
+//! parameters from it can never disagree about when a row exists.
+//!
+//! [`TemporalSink`] is a peer of the stats and workload sinks: it
+//! consumes the normal `GraphSink` event stream, and at `finish`
+//! *reconstructs the complete global op sequence from table totals
+//! alone*, sorts it by `(ts, kind, table, row)`, and writes only its
+//! shard's op-index window. Concatenating the `k` shard files in index
+//! order is byte-identical to one full run, at any thread count —
+//! the same contract the snapshot exporters honor.
+
+mod clock;
+mod sink;
+
+pub use clock::TypeClock;
+pub use sink::{ops_file_name, OpsFormat, TemporalSink};
+
+/// One kind of graph mutation in the op log.
+///
+/// The `rank` doubles as the tie-break after the timestamp in the global
+/// op order: at equal timestamps, node inserts land before the edge
+/// inserts that may reference them, and edge deletes before node deletes
+/// — so a replayer never sees a dangling endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OpKind {
+    /// A node row comes into existence.
+    InsertNode,
+    /// An edge row comes into existence.
+    InsertEdge,
+    /// An edge row is removed (requires a `lifetime` clause).
+    DeleteEdge,
+    /// A node row is removed (requires a `lifetime` clause).
+    DeleteNode,
+}
+
+impl OpKind {
+    /// The keyword serialized into op-log rows.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            OpKind::InsertNode => "INSERT_NODE",
+            OpKind::InsertEdge => "INSERT_EDGE",
+            OpKind::DeleteEdge => "DELETE_EDGE",
+            OpKind::DeleteNode => "DELETE_NODE",
+        }
+    }
+
+    /// Position in the equal-timestamp tie-break order.
+    pub fn rank(self) -> u8 {
+        match self {
+            OpKind::InsertNode => 0,
+            OpKind::InsertEdge => 1,
+            OpKind::DeleteEdge => 2,
+            OpKind::DeleteNode => 3,
+        }
+    }
+}

@@ -5,13 +5,23 @@
 
 use datasynth_analysis::DegreeStats;
 use datasynth_prng::TableStream;
+use datasynth_schema::Schema;
 use datasynth_tables::{PropertyGraph, Value};
+use datasynth_temporal::TypeClock;
 
 use crate::error::WorkloadError;
 use crate::template::{QueryTemplate, SelectivityClass, TemplateKind};
 
 /// Cap on sampled id candidates per template.
 const MAX_CANDIDATES: u64 = 256;
+
+/// Rows whose insert timestamps seed the window estimator per edge type.
+const TS_SAMPLE: u64 = 64;
+
+/// Stream-index base for window draws, far past the id-sampling range
+/// (`sample_ids` consumes at most `16 * MAX_CANDIDATES` indices) so the
+/// two draw families never overlap.
+const WINDOW_DRAW_BASE: u64 = u64::MAX / 4;
 
 /// One curated parameter value.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,10 +71,49 @@ pub struct Binding {
     pub band: (u64, u64),
 }
 
-/// A candidate parameter with its result-size estimate.
+/// A candidate parameter set with its result-size estimate.
 struct Candidate {
-    value: ParamValue,
+    params: Vec<CuratedParam>,
     est: u64,
+}
+
+impl Candidate {
+    fn id(id: u64, est: u64) -> Self {
+        Candidate {
+            params: vec![CuratedParam {
+                name: "id".to_owned(),
+                value: ParamValue::Id(id),
+            }],
+            est,
+        }
+    }
+
+    fn value(value: Value, est: u64) -> Self {
+        Candidate {
+            params: vec![CuratedParam {
+                name: "value".to_owned(),
+                value: ParamValue::Value(value),
+            }],
+            est,
+        }
+    }
+
+    /// Deterministic tie-break key after the estimate.
+    fn render_key(&self) -> String {
+        let parts: Vec<String> = self.params.iter().map(|p| p.value.render()).collect();
+        parts.join("|")
+    }
+}
+
+fn date_param(name: &str, days: i64) -> CuratedParam {
+    CuratedParam {
+        name: name.to_owned(),
+        value: ParamValue::Value(Value::Date(days)),
+    }
+}
+
+fn temporal_err(e: impl std::fmt::Display) -> WorkloadError {
+    WorkloadError::Temporal(e.to_string())
 }
 
 /// Shared, lazily built degree vectors keyed by `(edge, directed)`.
@@ -80,6 +129,9 @@ type FrequencyCache = std::cell::RefCell<
 pub struct Curator<'a> {
     graph: &'a PropertyGraph,
     seed: u64,
+    /// Schema backing the graph; required only for temporal templates,
+    /// whose timestamp parameters replay the [`TypeClock`] draws.
+    schema: Option<&'a Schema>,
     /// Degree vectors are O(E) to build and shared by every template
     /// touching the same edge type (Expand1/Expand2/CommunityAgg plus
     /// each Path2 pair), so cache them per `(edge, directed)`.
@@ -97,9 +149,45 @@ impl<'a> Curator<'a> {
         Self {
             graph,
             seed,
+            schema: None,
             degree_cache: Default::default(),
             frequency_cache: Default::default(),
         }
+    }
+
+    /// Attach the schema so temporal templates can rebuild per-type
+    /// clocks. The seed must match the one the graph was generated
+    /// under, or curated timestamps will miss the emitted op log.
+    pub fn with_schema(mut self, schema: &'a Schema) -> Self {
+        self.schema = Some(schema);
+        self
+    }
+
+    /// Rebuild the insert/delete clock for a temporal table, replaying
+    /// the same streams the [`TemporalSink`](datasynth_temporal) drew
+    /// from during generation.
+    fn clock_for(&self, table: &str) -> Result<TypeClock, WorkloadError> {
+        let schema = self.schema.ok_or_else(|| {
+            WorkloadError::Temporal(format!(
+                "template over {table:?} needs a schema (Curator::with_schema)"
+            ))
+        })?;
+        let def = schema
+            .nodes
+            .iter()
+            .find(|n| n.name == table)
+            .and_then(|n| n.temporal.as_ref())
+            .or_else(|| {
+                schema
+                    .edges
+                    .iter()
+                    .find(|e| e.name == table)
+                    .and_then(|e| e.temporal.as_ref())
+            })
+            .ok_or_else(|| {
+                WorkloadError::Temporal(format!("type {table:?} has no temporal annotation"))
+            })?;
+        TypeClock::new(self.seed, table, def).map_err(temporal_err)
     }
 
     /// Produce `count` curated bindings for `template`. Returns an empty
@@ -180,10 +268,7 @@ impl<'a> Curator<'a> {
                 let n = self.node_count(node_type)?;
                 Ok(sample_ids(n, stream)
                     .into_iter()
-                    .map(|id| Candidate {
-                        value: ParamValue::Id(id),
-                        est: 1,
-                    })
+                    .map(|id| Candidate::id(id, 1))
                     .collect())
             }
             TemplateKind::Expand1 {
@@ -233,10 +318,7 @@ impl<'a> Curator<'a> {
                     .into_iter()
                     .map(|i| {
                         let (v, freq) = &freqs[i];
-                        Candidate {
-                            value: ParamValue::Value(v.clone()),
-                            est: *freq,
-                        }
+                        Candidate::value(v.clone(), *freq)
                     })
                     .collect())
             }
@@ -255,15 +337,123 @@ impl<'a> Curator<'a> {
                     .into_iter()
                     .map(|i| {
                         let (v, freq) = &freqs[i];
+                        Candidate::value(v.clone(), (*freq as f64 * mean).round() as u64)
+                    })
+                    .collect())
+            }
+            TemplateKind::AsOfLookup { node_type } => {
+                let n = self.node_count(node_type)?;
+                let clock = self.clock_for(node_type)?;
+                sample_ids(n, stream)
+                    .into_iter()
+                    .map(|id| {
+                        // As-of exactly the row's own insert day: the
+                        // lookup observes the node the moment it appears.
+                        let ts = clock.insert_ts(id).map_err(temporal_err)?;
+                        Ok(Candidate {
+                            params: vec![
+                                CuratedParam {
+                                    name: "id".to_owned(),
+                                    value: ParamValue::Id(id),
+                                },
+                                date_param("ts", ts),
+                            ],
+                            est: 1,
+                        })
+                    })
+                    .collect()
+            }
+            TemplateKind::WindowExpand {
+                edge,
+                source,
+                directed,
+                ..
+            } => {
+                let n = self.node_count(source)?;
+                let deg = self.source_degrees(edge, *directed)?;
+                let sample = self.edge_ts_sample(edge)?;
+                if sample.is_empty() {
+                    return Ok(Vec::new());
+                }
+                Ok(sample_ids(n, stream)
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, id)| {
+                        let (from, to, covered) = draw_window(&sample, stream, i as u64);
+                        let d = f64::from(deg[id as usize]);
+                        let est = (d * covered as f64 / sample.len() as f64).round() as u64;
                         Candidate {
-                            value: ParamValue::Value(v.clone()),
-                            est: (*freq as f64 * mean).round() as u64,
+                            params: vec![
+                                CuratedParam {
+                                    name: "id".to_owned(),
+                                    value: ParamValue::Id(id),
+                                },
+                                date_param("from", from),
+                                date_param("to", to),
+                            ],
+                            est,
+                        }
+                    })
+                    .collect())
+            }
+            TemplateKind::WindowAgg { edge, .. } => {
+                let rows = self.edge_rows(edge)?;
+                let sample = self.edge_ts_sample(edge)?;
+                if sample.is_empty() {
+                    return Ok(Vec::new());
+                }
+                Ok((0..rows.min(MAX_CANDIDATES))
+                    .map(|i| {
+                        let (from, to, covered) = draw_window(&sample, stream, i);
+                        let est =
+                            (rows as f64 * covered as f64 / sample.len() as f64).round() as u64;
+                        Candidate {
+                            params: vec![date_param("from", from), date_param("to", to)],
+                            est,
                         }
                     })
                     .collect())
             }
         }
     }
+
+    fn edge_rows(&self, edge: &str) -> Result<u64, WorkloadError> {
+        Ok(self
+            .graph
+            .edges(edge)
+            .ok_or_else(|| WorkloadError::MissingEdgeType(edge.to_owned()))?
+            .len())
+    }
+
+    /// Sorted insert timestamps of up to [`TS_SAMPLE`] evenly spaced edge
+    /// rows: a cheap empirical picture of the arrival distribution that
+    /// window bounds and coverage estimates are drawn from.
+    fn edge_ts_sample(&self, edge: &str) -> Result<Vec<i64>, WorkloadError> {
+        let rows = self.edge_rows(edge)?;
+        if rows == 0 {
+            return Ok(Vec::new());
+        }
+        let clock = self.clock_for(edge)?;
+        let take = rows.min(TS_SAMPLE);
+        let mut out = Vec::with_capacity(take as usize);
+        for i in 0..take {
+            let ts = clock.insert_ts(i * rows / take).map_err(temporal_err)?;
+            out.push(ts);
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+}
+
+/// Draw an inclusive `[from, to]` window over the sampled timestamps for
+/// candidate `i`, returning the bounds and the number of sample points
+/// covered (the coverage fraction drives the result-size estimate).
+fn draw_window(sample: &[i64], stream: &TableStream, i: u64) -> (i64, i64, usize) {
+    let len = sample.len() as u64;
+    let a = (stream.value(WINDOW_DRAW_BASE + 2 * i) % len) as usize;
+    let b = (stream.value(WINDOW_DRAW_BASE + 2 * i + 1) % len) as usize;
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    (sample[lo], sample[hi], hi - lo + 1)
 }
 
 /// Up to [`MAX_CANDIDATES`] distinct ids in `0..n`, deterministic in the
@@ -310,10 +500,7 @@ fn id_candidates_by_degree(
         .into_iter()
         .map(|id| {
             let d = f64::from(degrees[id as usize]);
-            Candidate {
-                value: ParamValue::Id(id),
-                est: (d * fanout.max(1.0)).round() as u64,
-            }
+            Candidate::id(id, (d * fanout.max(1.0)).round() as u64)
         })
         .collect()
 }
@@ -332,7 +519,7 @@ fn select(
     candidates.sort_by(|a, b| {
         a.est
             .cmp(&b.est)
-            .then_with(|| a.value.render().cmp(&b.value.render()))
+            .then_with(|| a.render_key().cmp(&b.render_key()))
     });
     let len = candidates.len();
     let (lo, hi) = match class {
@@ -349,13 +536,7 @@ fn select(
         .map(|i| {
             let c = &bin[(offset + i) % bin.len()];
             Binding {
-                params: vec![CuratedParam {
-                    name: match c.value {
-                        ParamValue::Id(_) => "id".to_owned(),
-                        ParamValue::Value(_) => "value".to_owned(),
-                    },
-                    value: c.value.clone(),
-                }],
+                params: c.params.clone(),
                 expected_rows: c.est,
                 band,
             }
@@ -535,6 +716,125 @@ mod tests {
             // Out-degrees are 17 or 16; a mixed-space count would differ.
             assert!((16..=17).contains(&b.expected_rows), "{b:?}");
         }
+    }
+
+    fn temporal_schema() -> Schema {
+        datasynth_schema::parse_schema(
+            r#"graph g {
+                node Person [count = 6] {
+                    country: text = one_of("ES", "FR", "DE");
+                    temporal { arrival = date_between("2010-01-01", "2011-01-01"); }
+                }
+                edge knows: Person -> Person {
+                    structure = erdos_renyi(p = 0.2);
+                    temporal {
+                        arrival = date_between("2012-01-01", "2013-01-01");
+                        lifetime = uniform(10, 100);
+                    }
+                }
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn as_of_params_replay_the_generation_clock() {
+        let g = graph();
+        let schema = temporal_schema();
+        let c = Curator::new(&g, 42).with_schema(&schema);
+        let t = template(TemplateKind::AsOfLookup {
+            node_type: "Person".into(),
+        });
+        let clock =
+            TypeClock::new(42, "Person", schema.nodes[0].temporal.as_ref().unwrap()).unwrap();
+        let bindings = c.bindings(&t, 6).unwrap();
+        assert_eq!(bindings.len(), 6);
+        for b in &bindings {
+            let ParamValue::Id(id) = b.params[0].value else {
+                panic!("first param must be the node id: {b:?}");
+            };
+            assert_eq!(b.params[1].name, "ts");
+            assert_eq!(
+                b.params[1].value,
+                ParamValue::Value(Value::Date(clock.insert_ts(id).unwrap())),
+                "as-of bound must be the row's own arrival"
+            );
+            assert_eq!(b.expected_rows, 1);
+        }
+    }
+
+    #[test]
+    fn window_params_stay_inside_the_generated_range() {
+        let g = graph();
+        let schema = temporal_schema();
+        let c = Curator::new(&g, 42).with_schema(&schema);
+        let clock =
+            TypeClock::new(42, "knows", schema.edges[0].temporal.as_ref().unwrap()).unwrap();
+        // The generated edge timestamps the windows must bracket.
+        let all_ts: Vec<i64> = (0..6).map(|r| clock.insert_ts(r).unwrap()).collect();
+        let (min_ts, max_ts) = (*all_ts.iter().min().unwrap(), *all_ts.iter().max().unwrap());
+        for kind in [
+            TemplateKind::WindowExpand {
+                edge: "knows".into(),
+                source: "Person".into(),
+                target: "Person".into(),
+                directed: true,
+            },
+            TemplateKind::WindowAgg {
+                edge: "knows".into(),
+                source: "Person".into(),
+                target: "Person".into(),
+                directed: true,
+            },
+        ] {
+            let t = template(kind);
+            let bindings = c.bindings(&t, 5).unwrap();
+            assert_eq!(bindings.len(), 5, "{}", t.id);
+            for b in &bindings {
+                let from = param_date(b, "from");
+                let to = param_date(b, "to");
+                assert!(from <= to, "inverted window in {b:?}");
+                assert!(
+                    from >= min_ts && to <= max_ts,
+                    "window [{from}, {to}] escapes generated range [{min_ts}, {max_ts}]"
+                );
+            }
+        }
+    }
+
+    fn param_date(b: &Binding, name: &str) -> i64 {
+        match b.params.iter().find(|p| p.name == name) {
+            Some(CuratedParam {
+                value: ParamValue::Value(Value::Date(d)),
+                ..
+            }) => *d,
+            other => panic!("expected date param {name:?}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn temporal_templates_demand_schema_and_annotations() {
+        let g = graph();
+        let t = template(TemplateKind::AsOfLookup {
+            node_type: "Person".into(),
+        });
+        // No schema attached at all.
+        let err = Curator::new(&g, 42).bindings(&t, 1).unwrap_err();
+        assert!(matches!(err, WorkloadError::Temporal(_)), "{err}");
+        assert!(err.to_string().contains("with_schema"), "{err}");
+        // Schema attached, but the type lacks a temporal annotation.
+        let bare = datasynth_schema::parse_schema(
+            r#"graph g {
+                node Person [count = 6] { country: text = one_of("ES", "FR"); }
+            }"#,
+        )
+        .unwrap();
+        let err = Curator::new(&g, 42)
+            .with_schema(&bare)
+            .bindings(&t, 1)
+            .unwrap_err();
+        assert!(matches!(err, WorkloadError::Temporal(_)), "{err}");
+        assert!(err.to_string().contains("temporal annotation"), "{err}");
     }
 
     #[test]

@@ -13,6 +13,9 @@ pub enum WorkloadError {
     MissingProperty(String, String),
     /// A malformed `--query-mix` specification.
     BadMix(String),
+    /// A temporal template could not be curated (no schema attached to
+    /// the curator, missing temporal annotation, or a clock failure).
+    Temporal(String),
     /// The schema derives no templates (no node or edge types).
     NoTemplates,
 }
@@ -30,6 +33,7 @@ impl fmt::Display for WorkloadError {
                 write!(f, "graph has no property table {t}.{p}")
             }
             WorkloadError::BadMix(msg) => write!(f, "bad query mix: {msg}"),
+            WorkloadError::Temporal(msg) => write!(f, "temporal curation: {msg}"),
             WorkloadError::NoTemplates => {
                 write!(f, "schema derives no query templates")
             }

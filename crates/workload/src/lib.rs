@@ -10,6 +10,9 @@
 //!    edge types and derive pattern templates: point lookups, 1-hop and
 //!    2-hop neighborhood expansions, property-filtered scans, two-edge
 //!    path queries, and aggregation over structure-correlated communities.
+//!    Temporally annotated types additionally derive as-of point lookups
+//!    and time-windowed expansion/aggregation templates whose timestamp
+//!    parameters replay the op-log clocks (`datasynth-temporal`).
 //!    Each template carries a selectivity class (point / medium / scan).
 //! 2. **Parameter curation** ([`Curator`]) — sample real node ids and
 //!    property values from the generated tables, estimate each
@@ -98,7 +101,7 @@ impl<'a> WorkloadGenerator<'a> {
             return Err(WorkloadError::NoTemplates);
         }
         let quotas = self.mix.apportion(&templates, count)?;
-        let curator = Curator::new(self.graph, self.seed);
+        let curator = Curator::new(self.graph, self.seed).with_schema(self.schema);
         let mut per_template: Vec<Vec<crate::curate::Binding>> = Vec::new();
         for (template, quota) in templates.iter().zip(&quotas) {
             per_template.push(if *quota == 0 {

@@ -14,6 +14,9 @@ const KINDS: &[(&str, &str)] = &[
     ("property_scan", "scan"),
     ("path_2", "path"),
     ("community_agg", "agg"),
+    ("as_of_lookup", "asof"),
+    ("expand_window", "window"),
+    ("window_agg", "wagg"),
 ];
 
 fn canonical(key: &str) -> Option<&'static str> {

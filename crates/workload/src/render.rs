@@ -4,7 +4,10 @@
 //! for engines that prefer prepared statements). Node ids are the
 //! *type-local* dense ids the exporters write into each type's `id`
 //! column, so `id(n)`/`has('id', ...)` refer to that property after
-//! import.
+//! import. Temporal templates filter on the pseudo-property `_ts`: the
+//! insert timestamp the op log (`datasynth-temporal`) assigns each row,
+//! which importers replaying the update stream are expected to stamp
+//! onto the element.
 
 use crate::curate::{Binding, ParamValue};
 use crate::template::{QueryTemplate, TemplateKind};
@@ -131,6 +134,44 @@ pub fn render_cypher(template: &QueryTemplate, binding: &Binding) -> String {
                  RETURN m.{property} AS grp, count(*) AS cnt ORDER BY cnt DESC;"
             )
         }
+        TemplateKind::AsOfLookup { node_type } => {
+            let id = literal(param(binding, "id"));
+            let ts = literal(param(binding, "ts"));
+            format!(
+                "MATCH (n:{node_type}) WHERE n.id = {id} AND n._ts <= {ts} \
+                 RETURN n;"
+            )
+        }
+        TemplateKind::WindowExpand {
+            edge,
+            source,
+            target,
+            directed,
+        } => {
+            let id = literal(param(binding, "id"));
+            let from = literal(param(binding, "from"));
+            let to = literal(param(binding, "to"));
+            let arrow = if *directed { "->" } else { "-" };
+            format!(
+                "MATCH (n:{source})-[r:{edge}]{arrow}(m:{target}) WHERE n.id = {id} \
+                 AND r._ts >= {from} AND r._ts <= {to} RETURN m;"
+            )
+        }
+        TemplateKind::WindowAgg {
+            edge,
+            source,
+            target,
+            directed,
+        } => {
+            let from = literal(param(binding, "from"));
+            let to = literal(param(binding, "to"));
+            let arrow = if *directed { "->" } else { "-" };
+            format!(
+                "MATCH (:{source})-[r:{edge}]{arrow}(:{target}) \
+                 WHERE r._ts >= {from} AND r._ts <= {to} \
+                 RETURN r._ts AS day, count(*) AS cnt ORDER BY day;"
+            )
+        }
     }
 }
 
@@ -219,6 +260,43 @@ pub fn render_gremlin(template: &QueryTemplate, binding: &Binding) -> String {
                 quote(property),
                 gr_step(edge, *directed),
                 quote(property)
+            )
+        }
+        TemplateKind::AsOfLookup { node_type } => {
+            let id = literal(param(binding, "id"));
+            let ts = literal(param(binding, "ts"));
+            format!(
+                "g.V().hasLabel({}).has('id', {id}).has('_ts', lte({ts}))",
+                quote(node_type)
+            )
+        }
+        TemplateKind::WindowExpand {
+            edge,
+            source,
+            directed,
+            ..
+        } => {
+            let id = literal(param(binding, "id"));
+            let from = literal(param(binding, "from"));
+            let to = literal(param(binding, "to"));
+            let (edge_step, vertex_step) = if *directed {
+                (format!(".outE({})", quote(edge)), ".inV()")
+            } else {
+                (format!(".bothE({})", quote(edge)), ".otherV()")
+            };
+            format!(
+                "g.V().hasLabel({}).has('id', {id}){edge_step}\
+                 .has('_ts', gte({from})).has('_ts', lte({to})){vertex_step}",
+                quote(source)
+            )
+        }
+        TemplateKind::WindowAgg { edge, .. } => {
+            let from = literal(param(binding, "from"));
+            let to = literal(param(binding, "to"));
+            format!(
+                "g.E().hasLabel({}).has('_ts', gte({from})).has('_ts', lte({to}))\
+                 .groupCount().by('_ts')",
+                quote(edge)
             )
         }
     }
@@ -349,6 +427,59 @@ mod tests {
         assert_eq!(gd.matches(".out('follows')").count(), 2, "{gd}");
         assert!(!gd.contains("neq"), "{gd}");
         assert!(gd.ends_with(".dedup()"));
+    }
+
+    #[test]
+    fn temporal_kinds_render_ts_filters() {
+        let t = template(TemplateKind::AsOfLookup {
+            node_type: "Person".into(),
+        });
+        let b = binding(vec![
+            ("id", ParamValue::Id(3)),
+            ("ts", ParamValue::Value(Value::Date(14610))), // 2010-01-01
+        ]);
+        let cy = render_cypher(&t, &b);
+        assert!(cy.contains("n._ts <= '2010-01-01'"), "{cy}");
+        let gr = render_gremlin(&t, &b);
+        assert!(gr.contains(".has('_ts', lte('2010-01-01'))"), "{gr}");
+
+        let t = template(TemplateKind::WindowExpand {
+            edge: "knows".into(),
+            source: "Person".into(),
+            target: "Person".into(),
+            directed: true,
+        });
+        let b = binding(vec![
+            ("id", ParamValue::Id(3)),
+            ("from", ParamValue::Value(Value::Date(14610))),
+            ("to", ParamValue::Value(Value::Date(14640))),
+        ]);
+        let cy = render_cypher(&t, &b);
+        assert!(cy.contains("-[r:knows]->(m:Person)"), "{cy}");
+        assert!(
+            cy.contains("r._ts >= '2010-01-01' AND r._ts <= '2010-01-31'"),
+            "{cy}"
+        );
+        let gr = render_gremlin(&t, &b);
+        assert!(gr.contains(".outE('knows')"), "{gr}");
+        assert!(gr.ends_with(".inV()"), "{gr}");
+
+        let t = template(TemplateKind::WindowAgg {
+            edge: "knows".into(),
+            source: "Person".into(),
+            target: "Person".into(),
+            directed: false,
+        });
+        let b = binding(vec![
+            ("from", ParamValue::Value(Value::Date(14610))),
+            ("to", ParamValue::Value(Value::Date(14640))),
+        ]);
+        let cy = render_cypher(&t, &b);
+        assert!(cy.contains("-[r:knows]-(:Person)"), "{cy}");
+        assert!(cy.contains("RETURN r._ts AS day"), "{cy}");
+        let gr = render_gremlin(&t, &b);
+        assert!(gr.starts_with("g.E().hasLabel('knows')"), "{gr}");
+        assert!(gr.ends_with(".groupCount().by('_ts')"), "{gr}");
     }
 
     #[test]

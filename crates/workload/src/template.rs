@@ -99,6 +99,40 @@ pub enum TemplateKind {
         /// Whether the edge is directed.
         directed: bool,
     },
+    /// Fetch one node by id *as of* a point in time: returns it only if
+    /// its insert timestamp is at or before the bound `ts`. Derived for
+    /// temporally-annotated node types; `ts` is curated as the sampled
+    /// node's own arrival, so the lookup always observes a live row.
+    AsOfLookup {
+        /// Node type to look up.
+        node_type: String,
+    },
+    /// 1-hop expansion restricted to edges whose insert timestamp falls
+    /// inside a curated `[from, to]` window. Derived for
+    /// temporally-annotated edge types.
+    WindowExpand {
+        /// Edge type name.
+        edge: String,
+        /// Source node type.
+        source: String,
+        /// Target node type.
+        target: String,
+        /// Whether the edge is directed.
+        directed: bool,
+    },
+    /// Per-day count of edges inserted inside a curated `[from, to]`
+    /// window — the temporal analogue of a scan. Derived for
+    /// temporally-annotated edge types.
+    WindowAgg {
+        /// Edge type name.
+        edge: String,
+        /// Source node type.
+        source: String,
+        /// Target node type.
+        target: String,
+        /// Whether the edge is directed.
+        directed: bool,
+    },
 }
 
 impl TemplateKind {
@@ -111,6 +145,9 @@ impl TemplateKind {
             TemplateKind::PropertyScan { .. } => "property_scan",
             TemplateKind::Path2 { .. } => "path_2",
             TemplateKind::CommunityAgg { .. } => "community_agg",
+            TemplateKind::AsOfLookup { .. } => "as_of_lookup",
+            TemplateKind::WindowExpand { .. } => "expand_window",
+            TemplateKind::WindowAgg { .. } => "window_agg",
         }
     }
 
@@ -123,6 +160,9 @@ impl TemplateKind {
             TemplateKind::PropertyScan { .. } => SelectivityClass::Medium,
             TemplateKind::Path2 { .. } => SelectivityClass::Medium,
             TemplateKind::CommunityAgg { .. } => SelectivityClass::Scan,
+            TemplateKind::AsOfLookup { .. } => SelectivityClass::Point,
+            TemplateKind::WindowExpand { .. } => SelectivityClass::Medium,
+            TemplateKind::WindowAgg { .. } => SelectivityClass::Scan,
         }
     }
 }
@@ -157,7 +197,10 @@ impl QueryTemplate {
 /// * a 2-hop expansion per same-type edge type,
 /// * a property-filtered scan per `(node type, property)`,
 /// * a two-edge path per composable ordered pair of distinct edge types,
-/// * a community aggregation per structure-correlated edge type.
+/// * a community aggregation per structure-correlated edge type,
+/// * and, for temporally-annotated types, an as-of point lookup per node
+///   type plus a time-windowed expansion and a window aggregation per
+///   edge type.
 pub fn derive_templates(schema: &Schema) -> Vec<QueryTemplate> {
     let mut out = Vec::new();
 
@@ -168,6 +211,14 @@ pub fn derive_templates(schema: &Schema) -> Vec<QueryTemplate> {
             },
             &node.name,
         ));
+        if node.temporal.is_some() {
+            out.push(QueryTemplate::new(
+                TemplateKind::AsOfLookup {
+                    node_type: node.name.clone(),
+                },
+                &node.name,
+            ));
+        }
         for prop in &node.properties {
             out.push(QueryTemplate::new(
                 TemplateKind::PropertyScan {
@@ -194,6 +245,26 @@ pub fn derive_templates(schema: &Schema) -> Vec<QueryTemplate> {
                 TemplateKind::Expand2 {
                     edge: edge.name.clone(),
                     node_type: edge.source.clone(),
+                    directed: edge.directed,
+                },
+                &edge.name,
+            ));
+        }
+        if edge.temporal.is_some() {
+            out.push(QueryTemplate::new(
+                TemplateKind::WindowExpand {
+                    edge: edge.name.clone(),
+                    source: edge.source.clone(),
+                    target: edge.target.clone(),
+                    directed: edge.directed,
+                },
+                &edge.name,
+            ));
+            out.push(QueryTemplate::new(
+                TemplateKind::WindowAgg {
+                    edge: edge.name.clone(),
+                    source: edge.source.clone(),
+                    target: edge.target.clone(),
                     directed: edge.directed,
                 },
                 &edge.name,
@@ -309,6 +380,41 @@ graph social {
         assert!(templates.iter().any(|t| t.id == "path_2:knows-creates"));
         // creates: Person -> Message cannot be followed by knows.
         assert!(!templates.iter().any(|t| t.id == "path_2:creates-knows"));
+    }
+
+    #[test]
+    fn temporal_templates_require_temporal_annotations() {
+        // The base DSL has none: no temporal kinds may appear.
+        let schema = parse_schema(DSL).unwrap();
+        assert!(!derive_templates(&schema).iter().any(|t| matches!(
+            t.kind,
+            TemplateKind::AsOfLookup { .. }
+                | TemplateKind::WindowExpand { .. }
+                | TemplateKind::WindowAgg { .. }
+        )));
+        let temporal = parse_schema(
+            r#"graph g {
+                node Person [count = 10] {
+                    age: long = uniform(1, 9);
+                    temporal { arrival = date_between("2010-01-01", "2011-01-01"); }
+                }
+                edge knows: Person -- Person {
+                    structure = erdos_renyi(p = 0.2);
+                    temporal {
+                        arrival = date_between("2010-01-01", "2011-01-01");
+                        lifetime = uniform(10, 100);
+                    }
+                }
+            }"#,
+        )
+        .unwrap();
+        let ids: Vec<String> = derive_templates(&temporal)
+            .iter()
+            .map(|t| t.id.clone())
+            .collect();
+        assert!(ids.contains(&"as_of_lookup:Person".to_owned()), "{ids:?}");
+        assert!(ids.contains(&"expand_window:knows".to_owned()), "{ids:?}");
+        assert!(ids.contains(&"window_agg:knows".to_owned()), "{ids:?}");
     }
 
     #[test]

@@ -4,6 +4,7 @@ graph social {
     sex: text = categorical("M": 0.5, "F": 0.5);
     name: text = first_names() given (country, sex);
     creationDate: date = date_between("2010-01-01", "2013-01-01");
+    temporal { arrival = date_between("2010-01-01", "2013-01-01"); }
   }
   node Message {
     topic: text = dictionary("topics");
@@ -13,6 +14,10 @@ graph social {
     structure = lfr(avg_degree = 10, max_degree = 30, mixing = 0.1);
     correlate country with homophily(0.8);
     creationDate: date = date_after(30) given (source.creationDate, target.creationDate);
+    temporal {
+      arrival = date_between("2010-06-01", "2013-01-01");
+      lifetime = uniform(30, 365);
+    }
   }
   edge creates: Person -> Message [one_to_many] {
     structure = one_to_many(dist = "zipf", exponent = 1.5, max = 40);

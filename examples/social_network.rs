@@ -11,6 +11,10 @@
 //! * countries of `knows`-connected pairs follow the requested homophilous
 //!   `P'(X,Y)`.
 //!
+//! The `temporal { ... }` blocks on `Person` and `knows` additionally make
+//! the schema a *dynamic* graph: the same seed also yields a deterministic
+//! update stream (see `examples/update_stream.rs`).
+//!
 //! ```sh
 //! cargo run --release --example social_network
 //! ```
@@ -28,6 +32,7 @@ graph social {
     name: text = first_names() given (country, sex);
     interest: text = dictionary("topics");
     creationDate: date = date_between("2010-01-01", "2013-01-01");
+    temporal { arrival = date_between("2010-01-01", "2013-01-01"); }
   }
   node Message {
     topic: text = dictionary("topics");
@@ -37,6 +42,10 @@ graph social {
     structure = lfr(avg_degree = 20, max_degree = 50, mixing = 0.1);
     correlate country with homophily(0.8);
     creationDate: date = date_after(60) given (source.creationDate, target.creationDate);
+    temporal {
+      arrival = date_between("2010-06-01", "2013-01-01");
+      lifetime = uniform(30, 365);
+    }
   }
   edge creates: Person -> Message [one_to_many] {
     structure = one_to_many(dist = "zipf", exponent = 1.6, max = 50);

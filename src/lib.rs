@@ -71,6 +71,7 @@
 //! * [`core`] — the pipeline,
 //! * [`server`] — the streaming HTTP service (`datasynth serve`),
 //! * [`telemetry`] — metrics registry, byte counting, Prometheus encoding,
+//! * [`temporal`] — deterministic update streams (op logs) for dynamic graphs,
 //! * [`workload`] — benchmark query workloads over generated graphs.
 
 pub use datasynth_analysis as analysis;
@@ -83,6 +84,7 @@ pub use datasynth_server as server;
 pub use datasynth_structure as structure;
 pub use datasynth_tables as tables;
 pub use datasynth_telemetry as telemetry;
+pub use datasynth_temporal as temporal;
 pub use datasynth_workload as workload;
 
 pub use datasynth_core::{

@@ -5,6 +5,7 @@
 //! datasynth schema.dsl --plan           # show the dependency analysis
 //! datasynth schema.dsl --stats          # print structural statistics
 //! datasynth schema.dsl --workload q/ --queries 100   # benchmark queries
+//! datasynth schema.dsl --ops updates/                # update-stream op log
 //! datasynth schema.dsl --shard 0/3 --out ./data      # one shard of three
 //! datasynth --merge-manifests d/shard-0-of-3 d/shard-1-of-3 d/shard-2-of-3
 //! ```
@@ -30,6 +31,7 @@ use std::sync::Arc;
 
 use datasynth::analysis::StatsSink;
 use datasynth::prelude::*;
+use datasynth::temporal::{ops_file_name, OpsFormat, TemporalSink};
 use datasynth::workload::{QueryMix, WorkloadSink};
 
 struct Args {
@@ -48,6 +50,8 @@ struct Args {
     workload: Option<PathBuf>,
     queries: Option<usize>,
     query_mix: Option<QueryMix>,
+    ops: Option<PathBuf>,
+    ops_format: OpsFormat,
 }
 
 #[derive(PartialEq, Clone, Copy)]
@@ -99,8 +103,16 @@ options:
                     (Cypher + Gremlin per query, plus workload.json)
   --queries N       number of workload queries (default 100)
   --query-mix SPEC  kind:weight list, e.g. point:2,expand1:5,scan:1
-                    (kinds: point, expand1, expand2, scan, path, agg;
+                    (kinds: point, expand1, expand2, scan, path, agg,
+                     asof, window, wagg;
                      default: uniform over the kinds the schema derives)
+  --ops DIR         write the deterministic update-stream op log (the
+                    dynamic-graph companion of the snapshot) to DIR;
+                    requires temporal { ... } annotations in the schema.
+                    With --shard, the file lands in a shard-I-of-K/
+                    subdirectory and concatenating all K shards' op files
+                    in order is byte-identical to the full run
+  --ops-format F    csv | jsonl op-log encoding (default csv)
   --help            this text
 ";
 
@@ -135,6 +147,8 @@ fn parse_args() -> Result<Args, String> {
         workload: None,
         queries: None,
         query_mix: None,
+        ops: None,
+        ops_format: OpsFormat::Csv,
     };
     let mut positional = Vec::new();
     let mut iter = std::env::args().skip(1).peekable();
@@ -201,6 +215,14 @@ fn parse_args() -> Result<Args, String> {
             "--query-mix" => {
                 let spec = iter.next().ok_or("--query-mix takes a kind:weight list")?;
                 args.query_mix = Some(QueryMix::parse(&spec).map_err(|e| e.to_string())?);
+            }
+            "--ops" => {
+                args.ops = Some(iter.next().ok_or("--ops takes a directory")?.into());
+            }
+            "--ops-format" => {
+                let kw = iter.next().ok_or("--ops-format takes csv or jsonl")?;
+                args.ops_format = OpsFormat::from_keyword(&kw)
+                    .ok_or_else(|| format!("unknown ops format {kw:?} (csv | jsonl)"))?;
             }
             other if !other.starts_with('-') => positional.push(PathBuf::from(other)),
             other => return Err(format!("unknown flag {other:?}")),
@@ -311,6 +333,10 @@ impl GraphSink for SummarySink<'_> {
 
     fn finish(&mut self) -> Result<(), SinkError> {
         self.inner.finish()
+    }
+
+    fn contributed_tables(&mut self) -> Vec<(String, datasynth::core::TableRows)> {
+        self.inner.contributed_tables()
     }
 }
 
@@ -467,6 +493,32 @@ fn run(args: &Args) -> Result<(), String> {
             }
         })
     });
+    // The op log mirrors --out's sharding layout so K shard runs can
+    // target the same --ops directory.
+    let ops_dir: Option<PathBuf> = args.ops.as_ref().map(|dir| match args.shard {
+        Some(spec) => dir.join(format!("shard-{}-of-{}", spec.index, spec.count)),
+        None => dir.clone(),
+    });
+    let mut temporal_sink = match &ops_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+            let path = dir.join(ops_file_name(args.ops_format));
+            let file = std::fs::File::create(&path)
+                .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+            let sink = TemporalSink::new(
+                generator.schema(),
+                std::io::BufWriter::new(file),
+                args.ops_format,
+            )
+            .map_err(|e| e.to_string())?;
+            Some(match &metrics {
+                Some(m) => sink.with_metrics(Arc::clone(m)),
+                None => sink,
+            })
+        }
+        None => None,
+    };
     let mut stats_sink = args.stats.then(StatsSink::new);
     let mut workload_sink = args.workload.as_ref().map(|_| {
         WorkloadSink::new(generator.schema())
@@ -496,8 +548,14 @@ fn run(args: &Args) -> Result<(), String> {
     if let Some(s) = workload_sink.as_mut() {
         sinks.push(s);
     }
+    if let Some(s) = temporal_sink.as_mut() {
+        sinks.push(s);
+    }
 
     let mut session = generator.session().map_err(|e| e.to_string())?;
+    if args.ops.is_some() {
+        session = session.with_ops(true);
+    }
     if let Some(spec) = args.shard {
         session = session
             .shard(spec.index, spec.count)
@@ -610,6 +668,17 @@ fn run(args: &Args) -> Result<(), String> {
 
     if let Some(dir) = &out_dir {
         eprintln!("exported to {}", dir.display());
+    }
+
+    if let (Some(dir), Some(rows)) = (&ops_dir, report.tables.get("$ops")) {
+        eprintln!(
+            "op log: {} ops (window {}..{} of {}) -> {}",
+            rows.hi - rows.lo,
+            rows.lo,
+            rows.hi,
+            rows.total,
+            dir.join(ops_file_name(args.ops_format)).display()
+        );
     }
 
     if let (Some(dir), Some(sink)) = (&args.workload, workload_sink.as_mut()) {

@@ -1,0 +1,284 @@
+//! Dynamic-graph update streams: the `TemporalSink` op log must be a
+//! deterministic artifact of `(schema, seed)` — byte-identical at any
+//! thread count, tiled exactly by shard windows, globally ordered by
+//! timestamp with every delete strictly after its insert — and the
+//! curated temporal workload parameters must land inside the timestamp
+//! range the log actually generated.
+
+use std::collections::BTreeMap;
+
+use datasynth::prelude::*;
+use datasynth::temporal::{OpsFormat, TemporalSink};
+use datasynth::workload::{ParamValue, WorkloadGenerator};
+use proptest::prelude::*;
+
+/// Two temporal types (node with insert-only arrivals, edge with
+/// lifetimes) next to two snapshot-only types that must never appear in
+/// the log.
+const SCHEMA: &str = r#"
+graph temporalmix {
+  node Person [count = 300] {
+    country: text = dictionary("countries");
+    temporal { arrival = date_between("2015-01-01", "2017-01-01"); }
+  }
+  node Tag {
+    name: text = dictionary("topics");
+  }
+  edge knows: Person -- Person {
+    structure = rmat(edge_factor = 4);
+    temporal {
+      arrival = date_between("2015-01-01", "2017-01-01");
+      lifetime = uniform(10, 200);
+    }
+  }
+  edge tagged: Person -> Tag [one_to_many] {
+    structure = one_to_many(dist = "geometric", p = 0.5);
+  }
+}
+"#;
+
+fn matrix_threads() -> usize {
+    std::env::var("DATASYNTH_TEST_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7)
+}
+
+/// Run the schema into an in-memory op log, returning (bytes, manifest).
+fn op_log(
+    schema: &str,
+    seed: u64,
+    threads: usize,
+    shard: Option<(u64, u64)>,
+    format: OpsFormat,
+) -> (Vec<u8>, SinkManifest) {
+    let generator = DataSynth::from_dsl(schema)
+        .unwrap()
+        .with_seed(seed)
+        .with_threads(threads);
+    let mut sink = TemporalSink::new(generator.schema(), Vec::new(), format).unwrap();
+    let mut session = generator.session().unwrap().with_ops(true);
+    if let Some((i, k)) = shard {
+        session = session.shard(i, k).unwrap();
+    }
+    let manifest = session.run_into(&mut sink).unwrap().into_manifest();
+    (sink.into_inner(), manifest)
+}
+
+/// Parsed CSV op row: (op, ts, kind, table, row).
+fn parse_csv(log: &[u8]) -> Vec<(u64, String, String, String, u64)> {
+    let text = std::str::from_utf8(log).unwrap();
+    text.lines()
+        .skip(1) // header
+        .map(|line| {
+            let mut f = line.split(',');
+            (
+                f.next().unwrap().parse().unwrap(),
+                f.next().unwrap().to_owned(),
+                f.next().unwrap().to_owned(),
+                f.next().unwrap().to_owned(),
+                f.next().unwrap().parse().unwrap(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn op_log_is_byte_identical_across_thread_counts() {
+    for format in [OpsFormat::Csv, OpsFormat::Jsonl] {
+        let (one, m1) = op_log(SCHEMA, 42, 1, None, format);
+        let (two, m2) = op_log(SCHEMA, 42, 2, None, format);
+        let (many, m3) = op_log(SCHEMA, 42, matrix_threads(), None, format);
+        assert_eq!(one, two);
+        assert_eq!(one, many);
+        assert_eq!(m1.to_json(), m2.to_json());
+        assert_eq!(m1.to_json(), m3.to_json());
+        assert!(!one.is_empty());
+    }
+}
+
+#[test]
+fn shard_concatenation_tiles_the_full_log() {
+    for format in [OpsFormat::Csv, OpsFormat::Jsonl] {
+        let (full, full_manifest) = op_log(SCHEMA, 7, 2, None, format);
+        for k in [1u64, 2, 3] {
+            let mut concat = Vec::new();
+            let mut manifests = Vec::new();
+            for i in 0..k {
+                let (part, m) = op_log(SCHEMA, 7, matrix_threads(), Some((i, k)), format);
+                concat.extend_from_slice(&part);
+                manifests.push(m);
+            }
+            assert_eq!(concat, full, "k={k} concat diverges");
+            let merged = SinkManifest::merge(&manifests).unwrap();
+            assert_eq!(
+                merged.to_json(),
+                full_manifest.to_json(),
+                "k={k} merged manifest diverges"
+            );
+        }
+    }
+}
+
+#[test]
+fn ops_are_ordered_and_deletes_follow_inserts() {
+    let (log, manifest) = op_log(SCHEMA, 42, matrix_threads(), None, OpsFormat::Csv);
+    let ops = parse_csv(&log);
+    assert_eq!(ops.len() as u64, manifest.tables["$ops"].total);
+
+    let mut inserted: BTreeMap<(String, u64), String> = BTreeMap::new();
+    let mut prev_ts = String::new();
+    for (i, (op, ts, kind, table, row)) in ops.iter().enumerate() {
+        assert_eq!(*op, i as u64, "op indices must be dense and sequential");
+        assert!(*ts >= prev_ts, "timestamps must be non-decreasing");
+        prev_ts = ts.clone();
+        // Snapshot-only types never enter the stream.
+        assert!(
+            table == "Person" || table == "knows",
+            "non-temporal table {table:?} leaked into the op log"
+        );
+        match kind.as_str() {
+            "INSERT_NODE" | "INSERT_EDGE" => {
+                inserted.insert((table.clone(), *row), ts.clone());
+            }
+            "DELETE_NODE" | "DELETE_EDGE" => {
+                let born = inserted
+                    .get(&(table.clone(), *row))
+                    .expect("delete of a row never inserted");
+                assert!(
+                    ts > born,
+                    "{table}[{row}] deleted at {ts}, not strictly after insert at {born}"
+                );
+            }
+            other => panic!("unknown op kind {other:?}"),
+        }
+    }
+    // Person has no lifetime distribution: insert-only.
+    assert!(!ops
+        .iter()
+        .any(|(_, _, k, t, _)| t == "Person" && k == "DELETE_NODE"));
+    // knows has one: every edge dies.
+    let knows_inserts = ops
+        .iter()
+        .filter(|(_, _, k, _, _)| k == "INSERT_EDGE")
+        .count();
+    let knows_deletes = ops
+        .iter()
+        .filter(|(_, _, k, _, _)| k == "DELETE_EDGE")
+        .count();
+    assert_eq!(knows_inserts, knows_deletes);
+    assert!(knows_inserts > 0);
+}
+
+#[test]
+fn in_memory_sink_rejects_ops_and_snapshots_ignore_temporal() {
+    let generator = DataSynth::from_dsl(SCHEMA).unwrap().with_seed(42);
+    // Temporal annotations don't disturb snapshot-only generation.
+    let graph = generator.generate().unwrap();
+    assert_eq!(graph.node_count("Person"), Some(300));
+    // But an op-log run cannot be silently dropped into memory.
+    let mut sink = InMemorySink::new();
+    let err = generator
+        .session()
+        .unwrap()
+        .with_ops(true)
+        .run_into(&mut sink)
+        .map(|_| ())
+        .unwrap_err();
+    assert!(err.to_string().contains("TemporalSink"), "{err}");
+}
+
+#[test]
+fn workload_temporal_params_land_in_generated_range() {
+    let seed = 11;
+    let (log, _) = op_log(SCHEMA, seed, 1, None, OpsFormat::Csv);
+    // Per-table insert-timestamp ranges actually generated.
+    let mut range: BTreeMap<String, (String, String)> = BTreeMap::new();
+    for (_, ts, kind, table, _) in parse_csv(&log) {
+        if !kind.starts_with("INSERT") {
+            continue;
+        }
+        let entry = range
+            .entry(table)
+            .or_insert_with(|| (ts.clone(), ts.clone()));
+        if ts < entry.0 {
+            entry.0 = ts.clone();
+        }
+        if ts > entry.1 {
+            entry.1 = ts;
+        }
+    }
+
+    let generator = DataSynth::from_dsl(SCHEMA).unwrap().with_seed(seed);
+    let graph = generator.generate().unwrap();
+    let workload = WorkloadGenerator::new(generator.schema(), &graph)
+        .with_seed(seed)
+        .generate(80)
+        .unwrap();
+
+    let mut temporal_queries = 0;
+    for q in &workload.queries {
+        let table = match q.template.split_once(':') {
+            Some(("as_of_lookup", t)) => t,
+            Some(("expand_window" | "window_agg", t)) => t,
+            _ => continue,
+        };
+        temporal_queries += 1;
+        let (lo, hi) = &range[table];
+        for p in &q.binding.params {
+            if let ParamValue::Value(Value::Date(_)) = p.value {
+                let ts = p.value.render();
+                assert!(
+                    ts >= *lo && ts <= *hi,
+                    "{} param {}={ts} outside generated range [{lo}, {hi}]",
+                    q.template,
+                    p.name
+                );
+            }
+        }
+    }
+    assert!(temporal_queries > 0, "workload derived no temporal queries");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Ordering invariants hold for arbitrary seeds at mixed thread
+    /// counts, and the log stays thread-count-invariant.
+    #[test]
+    fn op_log_invariants_hold_for_any_seed(seed: u64, threads in 1usize..5) {
+        const SMALL: &str = r#"
+        graph tiny {
+          node Person [count = 60] {
+            country: text = dictionary("countries");
+            temporal { arrival = date_between("2019-01-01", "2020-01-01"); }
+          }
+          edge knows: Person -- Person {
+            structure = rmat(edge_factor = 2);
+            temporal {
+              arrival = date_between("2019-01-01", "2020-01-01");
+              lifetime = uniform(1, 30);
+            }
+          }
+        }
+        "#;
+        let (log, manifest) = op_log(SMALL, seed, threads, None, OpsFormat::Csv);
+        let (base, _) = op_log(SMALL, seed, 1, None, OpsFormat::Csv);
+        prop_assert_eq!(&log, &base);
+        let ops = parse_csv(&log);
+        prop_assert_eq!(ops.len() as u64, manifest.tables["$ops"].total);
+        let mut inserted: BTreeMap<(String, u64), String> = BTreeMap::new();
+        let mut prev = String::new();
+        for (i, (op, ts, kind, table, row)) in ops.iter().enumerate() {
+            prop_assert_eq!(*op, i as u64);
+            prop_assert!(*ts >= prev);
+            prev = ts.clone();
+            if kind.starts_with("INSERT") {
+                inserted.insert((table.clone(), *row), ts.clone());
+            } else {
+                let born = &inserted[&(table.clone(), *row)];
+                prop_assert!(ts > born);
+            }
+        }
+    }
+}
