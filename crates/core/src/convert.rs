@@ -92,6 +92,7 @@ pub fn build_jpd(spec: &GeneratorSpec, frequencies: &[u64]) -> Result<Jpd, Pipel
 #[cfg(test)]
 mod tests {
     use super::*;
+    use datasynth_schema::Span;
 
     #[test]
     fn gen_args_convert_positional() {
@@ -102,6 +103,7 @@ mod tests {
                 SpecArg::Num(3.0),
                 SpecArg::Text("x".into()),
             ],
+            span: Span::SYNTHETIC,
         };
         let args = gen_args_of(&spec).unwrap();
         assert_eq!(args.len(), 3);
@@ -113,6 +115,7 @@ mod tests {
         let spec = GeneratorSpec {
             name: "uniform".into(),
             args: vec![SpecArg::Named("lo".into(), 0.0)],
+            span: Span::SYNTHETIC,
         };
         assert!(gen_args_of(&spec).is_err());
     }
@@ -126,6 +129,7 @@ mod tests {
                 SpecArg::NamedInt("avg_degree".into(), 20),
                 SpecArg::NamedText("dist".into(), "zipf".into()),
             ],
+            span: Span::SYNTHETIC,
         };
         let p = structure_params_of(&spec).unwrap();
         assert_eq!(p.get_f64("mixing"), Some(0.1));
@@ -139,6 +143,7 @@ mod tests {
         let spec = GeneratorSpec {
             name: "uniform".into(),
             args: vec![SpecArg::Int(0), SpecArg::Int(9_007_199_254_740_993)],
+            span: Span::SYNTHETIC,
         };
         let args = gen_args_of(&spec).unwrap();
         assert_eq!(args[1], GenArg::Int(9_007_199_254_740_993));
@@ -149,6 +154,7 @@ mod tests {
         let spec = GeneratorSpec {
             name: "lfr".into(),
             args: vec![SpecArg::Num(5.0)],
+            span: Span::SYNTHETIC,
         };
         assert!(structure_params_of(&spec).is_err());
     }
@@ -160,6 +166,7 @@ mod tests {
             &GeneratorSpec {
                 name: "homophily".into(),
                 args: vec![SpecArg::Num(0.7)],
+                span: Span::SYNTHETIC,
             },
             &freqs,
         )

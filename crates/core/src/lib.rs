@@ -79,8 +79,8 @@ mod sink;
 
 pub use convert::{build_jpd, gen_args_of, structure_params_of};
 pub use dependency::{
-    analyze, emission_schedule, shard_modes, Analysis, Artifact, ExecutionPlan, ShardMode,
-    ShardPlan, ShardTaskPlan, Task,
+    analyze, emission_schedule, shard_modes, Analysis, Artifact, CountSource, ExecutionPlan,
+    ShardMode, ShardPlan, ShardTaskPlan, Task,
 };
 pub use error::PipelineError;
 pub use parallel::{default_threads, parallel_chunks};

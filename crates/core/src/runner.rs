@@ -1073,7 +1073,6 @@ fn emit_slot(
 /// Single-threaded execution: tasks run in plan order on the calling
 /// thread, with real-time observer events. Shares gather/execute/commit
 /// with the parallel path, so both produce identical bytes.
-#[allow(clippy::too_many_arguments)]
 fn run_sequential(
     ctx: &Ctx<'_>,
     analysis: &Analysis,
@@ -1187,7 +1186,6 @@ impl JobQueue {
 /// Task-parallel execution: a scoped worker pool runs every ready task;
 /// the coordinator commits results, dispatches newly unblocked tasks, and
 /// drains a reorder buffer so the sink sees plan-order delivery.
-#[allow(clippy::too_many_arguments)]
 fn run_parallel(
     ctx: &Ctx<'_>,
     analysis: &Analysis,

@@ -1,0 +1,99 @@
+//! Rustc-style text rendering of a [`LintReport`].
+
+use std::fmt::Write as _;
+
+use crate::diagnostic::{LintReport, Severity};
+
+/// Render `report` as human-readable text. `origin` names the schema
+/// (usually the file path); `source` is the DSL text, used to print the
+/// offending line with a caret. Both are optional — diagnostics from
+/// builder/JSON schemas have no source text and degrade to the headline
+/// form.
+pub fn render_text(report: &LintReport, origin: Option<&str>, source: Option<&str>) -> String {
+    let lines: Option<Vec<&str>> = source.map(|s| s.lines().collect());
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        let _ = writeln!(out, "{}[{}]: {}", d.severity, d.code, d.message);
+        if d.span.is_real() {
+            match origin {
+                Some(o) => {
+                    let _ = writeln!(out, "  --> {o}:{}:{}", d.span.line, d.span.column);
+                }
+                None => {
+                    let _ = writeln!(out, "  --> {}:{}", d.span.line, d.span.column);
+                }
+            }
+            if let Some(text) = lines
+                .as_ref()
+                .and_then(|ls| ls.get(d.span.line as usize - 1))
+            {
+                let gutter = d.span.line.to_string();
+                let pad = " ".repeat(gutter.len());
+                let _ = writeln!(out, "{pad} |");
+                let _ = writeln!(out, "{gutter} | {text}");
+                let caret = " ".repeat(d.span.column.saturating_sub(1) as usize);
+                let _ = writeln!(out, "{pad} | {caret}^");
+            }
+        }
+        let _ = writeln!(out, "  = subject: {}", d.subject);
+        if let Some(help) = &d.help {
+            let _ = writeln!(out, "  = help: {help}");
+        }
+        out.push('\n');
+    }
+    let errors = report.count(Severity::Error);
+    let warnings = report.count(Severity::Warning);
+    let notes = report.count(Severity::Note);
+    if report.is_clean() {
+        out.push_str("no diagnostics\n");
+    } else {
+        let _ = writeln!(
+            out,
+            "{errors} error(s), {warnings} warning(s), {notes} note(s)"
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic::Diagnostic;
+    use datasynth_schema::Span;
+
+    #[test]
+    fn caret_lands_under_the_offending_column() {
+        let source = "graph g {\n  node Person [count = 3] {\n  }\n}\n";
+        let report = LintReport::from_diagnostics(vec![Diagnostic::new(
+            "DS004",
+            Severity::Warning,
+            Span::at(2, 8),
+            "node Person",
+            "dead table",
+        )]);
+        let text = render_text(&report, Some("g.dsl"), Some(source));
+        assert!(text.contains("warning[DS004]: dead table"), "{text}");
+        assert!(text.contains("--> g.dsl:2:8"), "{text}");
+        assert!(text.contains("2 |   node Person [count = 3] {"), "{text}");
+        // Caret: 7 spaces after the "  | " gutter puts ^ under column 8.
+        assert!(text.contains("  |        ^"), "{text}");
+        assert!(
+            text.contains("0 error(s), 1 warning(s), 0 note(s)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn synthetic_spans_render_without_position() {
+        let report = LintReport::from_diagnostics(vec![Diagnostic::new(
+            "DS007",
+            Severity::Note,
+            Span::SYNTHETIC,
+            "graph g",
+            "big",
+        )]);
+        let text = render_text(&report, Some("g.dsl"), None);
+        assert!(!text.contains("-->"), "{text}");
+        assert!(text.contains("note[DS007]: big"), "{text}");
+    }
+}

@@ -1,0 +1,8 @@
+graph g {
+  node Person [count = 5000] {
+    age: long = uniform(0, 90);
+  }
+  edge knows: Person -- Person [many_to_many] {
+    structure = barabasi_albert(m = 6000);
+  }
+}

@@ -1,0 +1,14 @@
+graph mixed {
+  node Person [count = 100] {
+    country: text = dictionarry("countries");
+    born: date = normal(0, 10);
+  }
+  node Orphan [count = 5] {
+  }
+  edge knows: Person -- Person [many_to_many] {
+    structure = lfr(avg_degree = 10, max_degree = 30, mixing = 0.1);
+    temporal {
+      arrival = date_between("2020-01-01", "2021-01-01");
+    }
+  }
+}

@@ -70,7 +70,6 @@ impl Jpd {
             }
         }
         // Symmetrize exactly (w[i]w[j] already is, up to fp noise).
-        #[allow(clippy::needless_range_loop)] // matrix (i, j) indexing
         for i in 0..k {
             for j in (i + 1)..k {
                 let m = 0.5 * (rows[i][j] + rows[j][i]);

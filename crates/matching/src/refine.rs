@@ -116,7 +116,6 @@ pub fn refine_assignment(
 /// Entry deltas from moving `node` from `from` to `to`, ignoring edges to
 /// `partner` (swap-invariant) and self-loops (their entry `(g,g)` moves to
 /// `(g',g')`, handled here too).
-#[allow(clippy::too_many_arguments)]
 fn push_move_deltas(
     csr: &Csr,
     group_of: &[u32],

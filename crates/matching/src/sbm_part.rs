@@ -128,7 +128,6 @@ pub fn sbm_part_with(input: &MatchInput<'_>, order: &[u64], config: SbmPartConfi
         }
 
         let mut best: Option<(f64, f64, u32)> = None; // (-score, fill, group)
-        #[allow(clippy::needless_range_loop)] // t indexes several arrays
         for t in 0..k {
             if sizes[t] >= input.group_sizes[t] {
                 continue;

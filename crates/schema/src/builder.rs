@@ -46,7 +46,7 @@ use datasynth_tables::ValueType;
 use crate::error::SchemaError;
 use crate::model::{
     Cardinality, CorrelationSpec, DepRef, EdgeType, GeneratorSpec, NodeType, PropertyDef, Schema,
-    SpecArg, TemporalDef,
+    Span, SpecArg, TemporalDef,
 };
 use crate::validate::validate_schema;
 
@@ -90,6 +90,7 @@ impl SchemaBuilder {
                 count: None,
                 properties: Vec::new(),
                 temporal: None,
+                span: Span::SYNTHETIC,
             },
             errors: Vec::new(),
         });
@@ -119,6 +120,7 @@ impl SchemaBuilder {
                 correlation: None,
                 properties: Vec::new(),
                 temporal: None,
+                span: Span::SYNTHETIC,
             },
             directed: None,
             errors: Vec::new(),
@@ -291,6 +293,7 @@ impl TemporalSpec {
         Self::arrival(GeneratorSpec {
             name: "date_between".into(),
             args: vec![SpecArg::Text(from.into()), SpecArg::Text(to.into())],
+            span: Span::SYNTHETIC,
         })
     }
 
@@ -301,6 +304,7 @@ impl TemporalSpec {
             def: TemporalDef {
                 arrival: spec,
                 lifetime: None,
+                span: Span::SYNTHETIC,
             },
         }
     }
@@ -317,6 +321,7 @@ impl TemporalSpec {
         self.lifetime(GeneratorSpec {
             name: "uniform".into(),
             args: vec![SpecArg::Int(lo), SpecArg::Int(hi)],
+            span: Span::SYNTHETIC,
         })
     }
 }
@@ -522,8 +527,10 @@ impl PropertySpec {
             generator: GeneratorSpec {
                 name: gen_name,
                 args: self.args,
+                span: Span::SYNTHETIC,
             },
             dependencies: self.dependencies,
+            span: Span::SYNTHETIC,
         })
     }
 }
@@ -534,6 +541,7 @@ pub fn homophily(diag: f64) -> GeneratorSpec {
     GeneratorSpec {
         name: "homophily".into(),
         args: vec![SpecArg::num(diag)],
+        span: Span::SYNTHETIC,
     }
 }
 

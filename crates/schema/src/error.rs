@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::model::Span;
+
 /// An error raised while lexing, parsing or validating a schema.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SchemaError {
@@ -23,13 +25,28 @@ impl SchemaError {
         }
     }
 
-    /// Position-free error (validation).
+    /// Error at a declaration's [`Span`]. Synthetic spans (builder/JSON
+    /// schemas) degrade gracefully to a position-free error.
+    pub fn at_span(message: impl Into<String>, span: Span) -> Self {
+        Self {
+            message: message.into(),
+            line: span.line,
+            column: span.column,
+        }
+    }
+
+    /// Position-free error (e.g. builder misuse with no source text).
     pub fn general(message: impl Into<String>) -> Self {
         Self {
             message: message.into(),
             line: 0,
             column: 0,
         }
+    }
+
+    /// The error's position as a [`Span`] (synthetic when positionless).
+    pub fn span(&self) -> Span {
+        Span::at(self.line, self.column)
     }
 }
 

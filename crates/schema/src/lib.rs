@@ -50,7 +50,7 @@ pub use builder::{
 pub use error::SchemaError;
 pub use model::{
     Cardinality, CorrelationSpec, DepRef, EdgeType, GeneratorSpec, NodeType, PropertyDef, Schema,
-    SpecArg, TemporalDef,
+    Span, SpecArg, TemporalDef,
 };
 pub use parser::parse_schema;
 pub use validate::validate_schema;

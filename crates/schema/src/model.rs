@@ -2,6 +2,49 @@
 
 use datasynth_tables::ValueType;
 
+/// A 1-based source position (line, column) attached to schema
+/// declarations so diagnostics can point at the DSL text.
+///
+/// Spans are *metadata*, not content: equality between schema values
+/// deliberately ignores them (`PartialEq` on `Span` always returns
+/// `true`), so a builder-made schema (synthetic spans) compares equal to
+/// its parsed `to_dsl()` round-trip and schema caches dedup on content
+/// alone. Anything that needs positional ordering must compare the
+/// `line`/`column` fields explicitly.
+#[derive(Debug, Clone, Copy, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Span {
+    /// 1-based source line; 0 for synthetic (builder/JSON) declarations.
+    pub line: u32,
+    /// 1-based source column; 0 for synthetic declarations.
+    pub column: u32,
+}
+
+impl Span {
+    /// The span of declarations with no source text (builder, JSON
+    /// frontend, tests).
+    pub const SYNTHETIC: Span = Span { line: 0, column: 0 };
+
+    /// Span at a 1-based source position.
+    pub fn at(line: u32, column: u32) -> Self {
+        Self { line, column }
+    }
+
+    /// Whether the span carries a real source position.
+    pub fn is_real(&self) -> bool {
+        self.line > 0
+    }
+}
+
+impl PartialEq for Span {
+    /// Always equal: spans never participate in schema equality.
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for Span {}
+
 /// Edge cardinality (the paper's `*→*`, `1→*`, `1→1`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -93,6 +136,9 @@ pub struct GeneratorSpec {
     pub name: String,
     /// Arguments in call order.
     pub args: Vec<SpecArg>,
+    /// Source position of the call (the generator name token).
+    #[cfg_attr(feature = "serde", serde(default, skip_serializing))]
+    pub span: Span,
 }
 
 impl GeneratorSpec {
@@ -101,6 +147,7 @@ impl GeneratorSpec {
         Self {
             name: name.into(),
             args: Vec::new(),
+            span: Span::SYNTHETIC,
         }
     }
 
@@ -158,6 +205,9 @@ pub struct TemporalDef {
     /// Optional lifetime generator (`lifetime = uniform(30, 900)`), in
     /// days after arrival.
     pub lifetime: Option<GeneratorSpec>,
+    /// Source position of the `temporal` keyword.
+    #[cfg_attr(feature = "serde", serde(default, skip_serializing))]
+    pub span: Span,
 }
 
 /// A property declaration.
@@ -172,6 +222,9 @@ pub struct PropertyDef {
     pub generator: GeneratorSpec,
     /// Declared dependencies (`given (...)`).
     pub dependencies: Vec<DepRef>,
+    /// Source position of the declaration (the property name token).
+    #[cfg_attr(feature = "serde", serde(default, skip_serializing))]
+    pub span: Span,
 }
 
 /// A node type declaration.
@@ -186,6 +239,9 @@ pub struct NodeType {
     pub properties: Vec<PropertyDef>,
     /// Temporal annotation (`temporal { ... }`), if any.
     pub temporal: Option<TemporalDef>,
+    /// Source position of the declaration (the type name token).
+    #[cfg_attr(feature = "serde", serde(default, skip_serializing))]
+    pub span: Span,
 }
 
 impl NodeType {
@@ -231,6 +287,9 @@ pub struct EdgeType {
     pub properties: Vec<PropertyDef>,
     /// Temporal annotation (`temporal { ... }`), if any.
     pub temporal: Option<TemporalDef>,
+    /// Source position of the declaration (the type name token).
+    #[cfg_attr(feature = "serde", serde(default, skip_serializing))]
+    pub span: Span,
 }
 
 /// A full schema.
@@ -295,6 +354,7 @@ mod tests {
                 SpecArg::Named("avg_degree".into(), 20.0),
                 SpecArg::NamedText("mode".into(), "fast".into()),
             ],
+            span: Span::SYNTHETIC,
         };
         assert_eq!(spec.named_num("avg_degree"), Some(20.0));
         assert_eq!(spec.named_num("missing"), None);
@@ -320,9 +380,25 @@ mod tests {
                 SpecArg::NamedInt("avg_degree".into(), 20),
                 SpecArg::Named("mixing".into(), 0.1),
             ],
+            span: Span::SYNTHETIC,
         };
         assert_eq!(spec.named_num("avg_degree"), Some(20.0));
         assert_eq!(spec.named_num("mixing"), Some(0.1));
+    }
+
+    #[test]
+    fn spans_are_metadata_not_content() {
+        // Same content at different positions: equal.
+        let mut a = GeneratorSpec::bare("counter");
+        let mut b = GeneratorSpec::bare("counter");
+        a.span = Span::at(3, 7);
+        b.span = Span::SYNTHETIC;
+        assert_eq!(a, b);
+        assert!(a.span.is_real());
+        assert!(!b.span.is_real());
+        // Different content: unequal, regardless of spans.
+        b.name = "uuid".into();
+        assert_ne!(a, b);
     }
 
     #[test]

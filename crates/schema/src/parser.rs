@@ -6,7 +6,7 @@ use crate::error::SchemaError;
 use crate::lexer::{lex, Tok, Token};
 use crate::model::{
     Cardinality, CorrelationSpec, DepRef, EdgeType, GeneratorSpec, NodeType, PropertyDef, Schema,
-    SpecArg, TemporalDef,
+    Span, SpecArg, TemporalDef,
 };
 use crate::validate::validate_schema;
 
@@ -40,6 +40,13 @@ impl Parser {
     fn err_here(&self, msg: impl Into<String>) -> SchemaError {
         let t = self.peek();
         SchemaError::at(msg, t.line, t.column)
+    }
+
+    /// Source position of the token under the cursor (captured *before*
+    /// consuming a declaration's name so the span points at it).
+    fn span_here(&self) -> Span {
+        let t = self.peek();
+        Span::at(t.line, t.column)
     }
 
     fn expect(&mut self, tok: &Tok, what: &str) -> Result<(), SchemaError> {
@@ -146,6 +153,7 @@ impl Parser {
 
     fn node_type(&mut self) -> Result<NodeType, SchemaError> {
         self.keyword("node")?;
+        let span = self.span_here();
         let name = self.ident("node type name")?;
         let (count, cardinality) = self.attributes()?;
         if cardinality.is_some() {
@@ -170,11 +178,13 @@ impl Parser {
             count,
             properties,
             temporal,
+            span,
         })
     }
 
     fn edge_type(&mut self) -> Result<EdgeType, SchemaError> {
         self.keyword("edge")?;
+        let span = self.span_here();
         let name = self.ident("edge type name")?;
         self.expect(&Tok::Colon, "':'")?;
         let source = self.ident("source node type")?;
@@ -226,11 +236,13 @@ impl Parser {
             correlation,
             properties,
             temporal,
+            span,
         })
     }
 
     /// `temporal { arrival = ...; [lifetime = ...;] }`
     fn temporal_block(&mut self) -> Result<TemporalDef, SchemaError> {
+        let span = self.span_here();
         self.keyword("temporal")?;
         self.expect(&Tok::LBrace, "'{'")?;
         let mut arrival = None;
@@ -256,10 +268,15 @@ impl Parser {
         self.next(); // consume '}'
         let arrival =
             arrival.ok_or_else(|| self.err_here("temporal block requires an 'arrival' clause"))?;
-        Ok(TemporalDef { arrival, lifetime })
+        Ok(TemporalDef {
+            arrival,
+            lifetime,
+            span,
+        })
     }
 
     fn property(&mut self, is_edge: bool) -> Result<PropertyDef, SchemaError> {
+        let span = self.span_here();
         let name = self.ident("property name")?;
         self.expect(&Tok::Colon, "':'")?;
         let ty_name = self.ident("value type")?;
@@ -287,6 +304,7 @@ impl Parser {
             value_type,
             generator,
             dependencies,
+            span,
         })
     }
 
@@ -312,6 +330,7 @@ impl Parser {
     }
 
     fn generator_call(&mut self) -> Result<GeneratorSpec, SchemaError> {
+        let span = self.span_here();
         let name = self.ident("generator name")?;
         let mut args = Vec::new();
         if self.peek().tok == Tok::LParen {
@@ -328,7 +347,7 @@ impl Parser {
             }
             self.expect(&Tok::RParen, "')'")?;
         }
-        Ok(GeneratorSpec { name, args })
+        Ok(GeneratorSpec { name, args, span })
     }
 
     fn spec_arg(&mut self) -> Result<SpecArg, SchemaError> {
@@ -432,6 +451,35 @@ graph social {
         );
         // The paper counts 8 property tables for this schema.
         assert_eq!(schema.property_table_count(), 5 + 2 + 1 + 1);
+    }
+
+    #[test]
+    fn declaration_spans_point_at_the_source() {
+        let schema = parse_schema(RUNNING_EXAMPLE).unwrap();
+        // RUNNING_EXAMPLE starts with a newline, so `graph` is on line 2.
+        let person = schema.node_type("Person").unwrap();
+        assert_eq!((person.span.line, person.span.column), (3, 8));
+        let country = person.property("country").unwrap();
+        assert_eq!((country.span.line, country.span.column), (4, 5));
+        // Generator spans point at the call, after `name: type = `.
+        assert_eq!(
+            (country.generator.span.line, country.generator.span.column),
+            (4, 21)
+        );
+        let knows = schema.edge_type("knows").unwrap();
+        assert_eq!((knows.span.line, knows.span.column), (14, 8));
+        let lfr = knows.structure.as_ref().unwrap();
+        assert_eq!((lfr.span.line, lfr.span.column), (15, 17));
+        assert!(knows.correlation.as_ref().unwrap().jpd.span.is_real());
+    }
+
+    #[test]
+    fn temporal_spans_point_at_the_block() {
+        let src = "graph g {\n  node A [count = 1] {\n    x: long = counter();\n    temporal { arrival = date_between(\"2020-01-01\", \"2021-01-01\"); }\n  }\n}";
+        let schema = parse_schema(src).unwrap();
+        let t = schema.nodes[0].temporal.as_ref().unwrap();
+        assert_eq!((t.span.line, t.span.column), (4, 5));
+        assert_eq!((t.arrival.span.line, t.arrival.span.column), (4, 26));
     }
 
     #[test]

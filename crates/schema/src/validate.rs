@@ -12,10 +12,10 @@ pub fn validate_schema(schema: &Schema) -> Result<(), SchemaError> {
     let mut node_names = HashSet::new();
     for node in &schema.nodes {
         if !node_names.insert(&node.name) {
-            return Err(SchemaError::general(format!(
-                "duplicate node type {:?}",
-                node.name
-            )));
+            return Err(SchemaError::at_span(
+                format!("duplicate node type {:?}", node.name),
+                node.span,
+            ));
         }
         validate_node_properties(node)?;
         if let Some(t) = &node.temporal {
@@ -25,16 +25,16 @@ pub fn validate_schema(schema: &Schema) -> Result<(), SchemaError> {
     let mut edge_names = HashSet::new();
     for edge in &schema.edges {
         if !edge_names.insert(&edge.name) {
-            return Err(SchemaError::general(format!(
-                "duplicate edge type {:?}",
-                edge.name
-            )));
+            return Err(SchemaError::at_span(
+                format!("duplicate edge type {:?}", edge.name),
+                edge.span,
+            ));
         }
         if node_names.contains(&edge.name) {
-            return Err(SchemaError::general(format!(
-                "edge type {:?} collides with a node type name",
-                edge.name
-            )));
+            return Err(SchemaError::at_span(
+                format!("edge type {:?} collides with a node type name", edge.name),
+                edge.span,
+            ));
         }
         validate_edge(schema, edge)?;
         if let Some(t) = &edge.temporal {
@@ -53,10 +53,13 @@ fn validate_temporal(owner: &str, t: &TemporalDef) -> Result<(), SchemaError> {
     ] {
         let Some(spec) = spec else { continue };
         if spec.name == "date_after" {
-            return Err(SchemaError::general(format!(
-                "{owner}: temporal {clause} cannot use \"date_after\" — it needs dependency \
-                 inputs; use date_between or another standalone generator"
-            )));
+            return Err(SchemaError::at_span(
+                format!(
+                    "{owner}: temporal {clause} cannot use \"date_after\" — it needs dependency \
+                     inputs; use date_between or another standalone generator"
+                ),
+                spec.span,
+            ));
         }
     }
     Ok(())
@@ -66,26 +69,32 @@ fn validate_node_properties(node: &NodeType) -> Result<(), SchemaError> {
     let mut names = HashSet::new();
     for prop in &node.properties {
         if !names.insert(&prop.name) {
-            return Err(SchemaError::general(format!(
-                "duplicate property {}.{}",
-                node.name, prop.name
-            )));
+            return Err(SchemaError::at_span(
+                format!("duplicate property {}.{}", node.name, prop.name),
+                prop.span,
+            ));
         }
         for dep in &prop.dependencies {
             match dep {
                 DepRef::Own(p) => {
                     if node.property(p).is_none() {
-                        return Err(SchemaError::general(format!(
-                            "{}.{} depends on unknown property {:?}",
-                            node.name, prop.name, p
-                        )));
+                        return Err(SchemaError::at_span(
+                            format!(
+                                "{}.{} depends on unknown property {:?}",
+                                node.name, prop.name, p
+                            ),
+                            prop.span,
+                        ));
                     }
                 }
                 _ => {
-                    return Err(SchemaError::general(format!(
-                        "{}.{} uses a source./target. dependency outside an edge",
-                        node.name, prop.name
-                    )));
+                    return Err(SchemaError::at_span(
+                        format!(
+                            "{}.{} uses a source./target. dependency outside an edge",
+                            node.name, prop.name
+                        ),
+                        prop.span,
+                    ));
                 }
             }
         }
@@ -121,10 +130,13 @@ fn detect_cycles(node: &NodeType) -> Result<(), SchemaError> {
                 let j = index[p.as_str()];
                 match color[j] {
                     Color::Gray => {
-                        return Err(SchemaError::general(format!(
-                            "dependency cycle through {}.{}",
-                            node.name, node.properties[j].name
-                        )));
+                        return Err(SchemaError::at_span(
+                            format!(
+                                "dependency cycle through {}.{}",
+                                node.name, node.properties[j].name
+                            ),
+                            node.properties[j].span,
+                        ));
                     }
                     Color::White => visit(node, index, color, j)?,
                     Color::Black => {}
@@ -144,79 +156,103 @@ fn detect_cycles(node: &NodeType) -> Result<(), SchemaError> {
 
 fn validate_edge(schema: &Schema, edge: &EdgeType) -> Result<(), SchemaError> {
     let source = schema.node_type(&edge.source).ok_or_else(|| {
-        SchemaError::general(format!(
-            "edge {:?} references unknown source type {:?}",
-            edge.name, edge.source
-        ))
+        SchemaError::at_span(
+            format!(
+                "edge {:?} references unknown source type {:?}",
+                edge.name, edge.source
+            ),
+            edge.span,
+        )
     })?;
     let target = schema.node_type(&edge.target).ok_or_else(|| {
-        SchemaError::general(format!(
-            "edge {:?} references unknown target type {:?}",
-            edge.name, edge.target
-        ))
+        SchemaError::at_span(
+            format!(
+                "edge {:?} references unknown target type {:?}",
+                edge.name, edge.target
+            ),
+            edge.span,
+        )
     })?;
     if edge.cardinality == Cardinality::ManyToMany
         && edge.source != edge.target
         && edge.structure.is_none()
     {
-        return Err(SchemaError::general(format!(
-            "edge {:?}: many-to-many edges between different types need an explicit structure",
-            edge.name
-        )));
+        return Err(SchemaError::at_span(
+            format!(
+                "edge {:?}: many-to-many edges between different types need an explicit structure",
+                edge.name
+            ),
+            edge.span,
+        ));
     }
     if let Some(corr) = &edge.correlation {
         if edge.source != edge.target {
-            return Err(SchemaError::general(format!(
-                "edge {:?}: DSL correlations require both endpoints of type {:?}; \
-                 use the bipartite matching API for mixed-type edges",
-                edge.name, edge.source
-            )));
+            return Err(SchemaError::at_span(
+                format!(
+                    "edge {:?}: DSL correlations require both endpoints of type {:?}; \
+                     use the bipartite matching API for mixed-type edges",
+                    edge.name, edge.source
+                ),
+                corr.jpd.span,
+            ));
         }
         if source.property(&corr.property).is_none() {
-            return Err(SchemaError::general(format!(
-                "edge {:?} correlates on unknown property {}.{}",
-                edge.name, edge.source, corr.property
-            )));
+            return Err(SchemaError::at_span(
+                format!(
+                    "edge {:?} correlates on unknown property {}.{}",
+                    edge.name, edge.source, corr.property
+                ),
+                corr.jpd.span,
+            ));
         }
     }
     let mut names = HashSet::new();
     for prop in &edge.properties {
         if !names.insert(&prop.name) {
-            return Err(SchemaError::general(format!(
-                "duplicate property {}.{}",
-                edge.name, prop.name
-            )));
+            return Err(SchemaError::at_span(
+                format!("duplicate property {}.{}", edge.name, prop.name),
+                prop.span,
+            ));
         }
         for dep in &prop.dependencies {
             match dep {
                 DepRef::Own(p) => {
                     if !edge.properties.iter().any(|q| &q.name == p) {
-                        return Err(SchemaError::general(format!(
-                            "{}.{} depends on unknown edge property {:?}",
-                            edge.name, prop.name, p
-                        )));
+                        return Err(SchemaError::at_span(
+                            format!(
+                                "{}.{} depends on unknown edge property {:?}",
+                                edge.name, prop.name, p
+                            ),
+                            prop.span,
+                        ));
                     }
                     if p == &prop.name {
-                        return Err(SchemaError::general(format!(
-                            "{}.{} depends on itself",
-                            edge.name, prop.name
-                        )));
+                        return Err(SchemaError::at_span(
+                            format!("{}.{} depends on itself", edge.name, prop.name),
+                            prop.span,
+                        ));
                     }
                 }
                 DepRef::Source(p) => {
                     if source.property(p).is_none() {
-                        return Err(SchemaError::general(format!(
-                            "{}.{} depends on unknown property {}.{}",
-                            edge.name, prop.name, edge.source, p
-                        )));
+                        return Err(SchemaError::at_span(
+                            format!(
+                                "{}.{} depends on unknown property {}.{}",
+                                edge.name, prop.name, edge.source, p
+                            ),
+                            prop.span,
+                        ));
                     }
                 }
                 DepRef::Target(p) => {
                     if target.property(p).is_none() {
-                        return Err(SchemaError::general(format!(
-                            "{}.{} depends on unknown property {}.{}",
-                            edge.name, prop.name, edge.target, p
-                        )));
+                        return Err(SchemaError::at_span(
+                            format!(
+                                "{}.{} depends on unknown property {}.{}",
+                                edge.name, prop.name, edge.target, p
+                            ),
+                            prop.span,
+                        ));
                     }
                 }
             }
@@ -236,6 +272,55 @@ mod tests {
             "expected {needle:?} in {:?}",
             err.message
         );
+    }
+
+    /// Satellite pin: validation errors carry the 1-based position of the
+    /// offending declaration, not line 0.
+    #[test]
+    fn validation_errors_carry_source_positions() {
+        // Duplicate node type: points at the *second* `A` (line 3, after
+        // `node ` at column 8).
+        let err = parse_schema(
+            "graph g {\n  node A { x: long = counter(); }\n  node A { y: long = counter(); }\n}",
+        )
+        .unwrap_err();
+        assert_eq!((err.line, err.column), (3, 8), "{err}");
+
+        // Unknown dependency: points at the property declaration.
+        let err =
+            parse_schema("graph g {\n  node A {\n    x: long = counter() given (ghost);\n  }\n}")
+                .unwrap_err();
+        assert_eq!((err.line, err.column), (3, 5), "{err}");
+
+        // Unknown endpoint type: points at the edge declaration.
+        let err =
+            parse_schema("graph g {\n  node A { x: long = counter(); }\n  edge e: A -- B { }\n}")
+                .unwrap_err();
+        assert_eq!((err.line, err.column), (3, 8), "{err}");
+
+        // Temporal clock misuse: points at the offending generator call.
+        let err = parse_schema(
+            "graph g {\n  node A {\n    x: long = counter();\n    temporal { arrival = date_after(3); }\n  }\n}",
+        )
+        .unwrap_err();
+        assert_eq!((err.line, err.column), (4, 26), "{err}");
+
+        // Display renders the position prefix.
+        assert!(err.to_string().starts_with("4:26: "), "{err}");
+    }
+
+    /// Builder-made schemas have no source text: their validation errors
+    /// stay position-free instead of inventing line 0-ish nonsense.
+    #[test]
+    fn builder_validation_errors_are_position_free() {
+        let err = crate::Schema::build("g")
+            .node("A", |n| {
+                n.property("x", crate::builder::long().counter().given(["ghost"]))
+            })
+            .finish()
+            .unwrap_err();
+        assert_eq!((err.line, err.column), (0, 0), "{err}");
+        assert!(!err.span().is_real());
     }
 
     #[test]

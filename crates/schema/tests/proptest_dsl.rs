@@ -5,7 +5,7 @@ use proptest::prelude::*;
 
 use datasynth_schema::{
     parse_schema, Cardinality, CorrelationSpec, DepRef, EdgeType, GeneratorSpec, NodeType,
-    PropertyDef, Schema, SpecArg, TemporalDef,
+    PropertyDef, Schema, Span, SpecArg, TemporalDef,
 };
 use datasynth_tables::ValueType;
 
@@ -41,8 +41,11 @@ fn spec_arg() -> impl Strategy<Value = SpecArg> {
 }
 
 fn generator_spec() -> impl Strategy<Value = GeneratorSpec> {
-    (ident(), prop::collection::vec(spec_arg(), 0..4))
-        .prop_map(|(name, args)| GeneratorSpec { name, args })
+    (ident(), prop::collection::vec(spec_arg(), 0..4)).prop_map(|(name, args)| GeneratorSpec {
+        name,
+        args,
+        span: Span::SYNTHETIC,
+    })
 }
 
 /// An optional `temporal { ... }` annotation. Generator names are
@@ -52,8 +55,11 @@ fn temporal_def() -> impl Strategy<Value = Option<TemporalDef>> {
         generator_spec().prop_filter("needs deps", |g| g.name != "date_after")
     }
     prop::option::of(
-        (clock(), prop::option::of(clock()))
-            .prop_map(|(arrival, lifetime)| TemporalDef { arrival, lifetime }),
+        (clock(), prop::option::of(clock())).prop_map(|(arrival, lifetime)| TemporalDef {
+            arrival,
+            lifetime,
+            span: Span::SYNTHETIC,
+        }),
     )
 }
 
@@ -86,6 +92,7 @@ fn node_type(name: String) -> impl Strategy<Value = NodeType> {
                     value_type: vt,
                     generator,
                     dependencies,
+                    span: Span::SYNTHETIC,
                 });
             }
             NodeType {
@@ -93,6 +100,7 @@ fn node_type(name: String) -> impl Strategy<Value = NodeType> {
                 count,
                 properties,
                 temporal,
+                span: Span::SYNTHETIC,
             }
         },
     )
@@ -130,8 +138,10 @@ fn schema() -> impl Strategy<Value = Schema> {
                     value_type: ValueType::Double,
                     generator: GeneratorSpec::bare("normal"),
                     dependencies: vec![DepRef::Source(a.properties[0].name.clone())],
+                    span: Span::SYNTHETIC,
                 }],
                 temporal: None,
+                span: Span::SYNTHETIC,
             };
             Schema {
                 name: "generated".to_owned(),
@@ -168,10 +178,13 @@ proptest! {
                     generator: GeneratorSpec {
                         name: "constant".into(),
                         args: vec![SpecArg::Text(text)],
+                        span: Span::SYNTHETIC,
                     },
                     dependencies: vec![],
+                    span: Span::SYNTHETIC,
                 }],
                 temporal: None,
+                span: Span::SYNTHETIC,
             }],
             edges: vec![],
         };

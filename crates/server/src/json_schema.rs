@@ -33,7 +33,7 @@
 
 use datasynth_schema::{
     Cardinality, CorrelationSpec, DepRef, EdgeType, GeneratorSpec, NodeType, PropertyDef, Schema,
-    SpecArg, TemporalDef,
+    Span, SpecArg, TemporalDef,
 };
 use datasynth_tables::ValueType;
 use datasynth_telemetry::json::{Json, JsonError};
@@ -68,6 +68,7 @@ fn node_from_json(v: &Json) -> Result<NodeType, JsonError> {
         },
         properties: props_from_json(v)?,
         temporal: temporal_from_json(v)?,
+        span: Span::SYNTHETIC,
     })
 }
 
@@ -109,6 +110,7 @@ fn edge_from_json(v: &Json) -> Result<EdgeType, JsonError> {
         },
         properties: props_from_json(v)?,
         temporal: temporal_from_json(v)?,
+        span: Span::SYNTHETIC,
         name,
     })
 }
@@ -125,6 +127,7 @@ fn temporal_from_json(v: &Json) -> Result<Option<TemporalDef>, JsonError> {
             Some(l) => Some(spec_from_json(l, "temporal.lifetime")?),
             None => None,
         },
+        span: Span::SYNTHETIC,
     }))
 }
 
@@ -151,6 +154,7 @@ fn props_from_json(v: &Json) -> Result<Vec<PropertyDef>, JsonError> {
                 value_type,
                 generator: spec_from_json(p.key("generator")?, "generator")?,
                 dependencies,
+                span: Span::SYNTHETIC,
             })
         })
         .collect()
@@ -175,7 +179,11 @@ fn spec_from_json(v: &Json, what: &str) -> Result<GeneratorSpec, JsonError> {
             args.push(arg_from_json(a, what)?);
         }
     }
-    Ok(GeneratorSpec { name, args })
+    Ok(GeneratorSpec {
+        name,
+        args,
+        span: Span::SYNTHETIC,
+    })
 }
 
 fn arg_from_json(a: &Json, what: &str) -> Result<SpecArg, JsonError> {

@@ -43,6 +43,7 @@ use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
 use datasynth_core::{GraphSink, PipelineError, RunReport, Session, TableFormat, TableSink};
+use datasynth_lint::LintReport;
 use datasynth_schema::parse_schema;
 use datasynth_telemetry::json::{self, Json};
 use datasynth_telemetry::MetricsRegistry;
@@ -374,7 +375,11 @@ fn handle_request(w: &mut TcpStream, state: &ServerState, req: Request) -> io::R
 }
 
 /// `POST /graphs`: DSL text, or builder-JSON when the Content-Type says
-/// JSON. 201 on first registration, 200 on a cache hit.
+/// JSON. 201 on first registration, 200 on a cache hit. Every cache miss
+/// is linted before the schema is admitted: error-severity diagnostics
+/// reject the registration with a 422 whose body is the lint report's
+/// canonical JSON — byte-identical to `datasynth lint --format json` on
+/// the same schema — emitted before any response headers commit.
 fn register_graph(w: &mut TcpStream, state: &ServerState, req: &Request) -> io::Result<()> {
     let Ok(body) = std::str::from_utf8(&req.body) else {
         return respond_error(w, state, 400, "body is not UTF-8", req.keep_alive);
@@ -382,14 +387,36 @@ fn register_graph(w: &mut TcpStream, state: &ServerState, req: &Request) -> io::
     let is_json = req
         .header("content-type")
         .is_some_and(|ct| ct.to_ascii_lowercase().contains("json"));
+    // The parse closure only runs on a cache miss, which is exactly when
+    // lint must run; the report is smuggled out so the 422 body can carry
+    // the diagnostics instead of a generic error envelope.
+    let lint_report: std::cell::RefCell<Option<LintReport>> = std::cell::RefCell::new(None);
     let result = state.registry.register(body, |src| {
-        if is_json {
+        let schema = if is_json {
             json_schema::schema_from_json(src)
-                .map_err(|e| PipelineError::Invalid(format!("builder-JSON: {e}")))
+                .map_err(|e| PipelineError::Invalid(format!("builder-JSON: {e}")))?
         } else {
-            Ok(parse_schema(src)?)
+            parse_schema(src)?
+        };
+        let report = datasynth_lint::lint(&schema);
+        let rejected = report.has_errors();
+        *lint_report.borrow_mut() = Some(report);
+        if rejected {
+            return Err(PipelineError::Invalid("schema rejected by lint".into()));
         }
+        Ok(schema)
     });
+    if let Some(report) = lint_report.into_inner() {
+        for d in &report.diagnostics {
+            state
+                .metrics
+                .counter_with("datasynth_lint_diagnostics_total", Some(("code", d.code)))
+                .inc();
+        }
+        if report.has_errors() {
+            return respond_json(w, state, 422, &report.to_json(), req);
+        }
+    }
     match result {
         Err(e) => respond_error(w, state, 422, &e.to_string(), req.keep_alive),
         Ok((entry, cached)) => {

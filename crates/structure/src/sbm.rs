@@ -32,7 +32,6 @@ impl PlantedSbm {
                 assert!((0.0..=1.0).contains(&p), "density out of range");
             }
         }
-        #[allow(clippy::needless_range_loop)] // matrix (i, j) indexing
         for i in 0..k {
             for j in 0..k {
                 assert!(

@@ -2,14 +2,42 @@
 //! histograms behind `Arc` handles whose operations are single relaxed
 //! atomics — cheap enough to live inside the scheduler and sink hot
 //! paths.
+//!
+//! # Why `Ordering::Relaxed` everywhere is sound
+//!
+//! Every metric is a statistical aggregate, never a synchronization
+//! primitive, and the code is written so three invariants hold:
+//!
+//! 1. **No metric load ever guards another memory access.** Nothing
+//!    branches on a counter to decide whether some other write has
+//!    happened; readers (the Prometheus encoder, tests) only *report*
+//!    values. A relaxed load may be stale, never torn.
+//! 2. **Per-location totals are exact.** `fetch_add`/`fetch_max` are
+//!    read-modify-write operations, and RMWs on a single atomic
+//!    participate in that atomic's total modification order, so no
+//!    increment is ever lost regardless of ordering.
+//! 3. **Cross-metric skew is declared, not accidental.** A scrape may
+//!    observe histogram `count` without the matching `sum`/bucket add
+//!    (see [`Histogram::record`]) or one counter ahead of another; the
+//!    exposition format tolerates that, and consistency is only
+//!    guaranteed for quiescent registries (what the tests assert).
+//!
+//! These invariants are machine-checked in CI: the `miri` job runs this
+//! crate's test suite under the interpreter's weak-memory model, and a
+//! ThreadSanitizer smoke job runs it with `-Zsanitizer=thread` at
+//! `DATASYNTH_TEST_THREADS=7`. A change that makes a metric load-bearing
+//! for ordering (e.g. publish-by-counter) must upgrade that site to
+//! acquire/release — and will be caught by those jobs if it races.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// A monotonically increasing count (rows emitted, bytes written, tasks
-/// run). All operations are relaxed atomics: totals are exact, ordering
-/// against other metrics is not promised.
+/// run). All operations are relaxed atomics: totals are exact (RMWs on
+/// one atomic are never lost), ordering against other metrics is not
+/// promised, and no load of a counter may be used to infer that any
+/// other memory write has happened (see the module docs).
 #[derive(Debug, Default)]
 pub struct Counter(AtomicU64);
 
@@ -71,7 +99,10 @@ pub const HISTOGRAM_BUCKETS: usize = 32;
 
 /// A power-of-two-bucketed histogram of `u64` observations (typically
 /// microsecond durations). Recording is three relaxed atomic adds —
-/// count, sum, and one bucket — with no locking.
+/// count, sum, and one bucket — with no locking. The three adds are
+/// individually exact but mutually unordered: a concurrent scrape can
+/// see `count` without the matching `sum` or bucket increment. Totals
+/// agree exactly once recording threads quiesce.
 #[derive(Debug)]
 pub struct Histogram {
     count: AtomicU64,

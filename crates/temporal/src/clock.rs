@@ -107,7 +107,7 @@ fn build_clock_generator(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use datasynth_schema::SpecArg;
+    use datasynth_schema::{Span, SpecArg};
 
     fn def() -> TemporalDef {
         TemporalDef {
@@ -117,11 +117,14 @@ mod tests {
                     SpecArg::Text("2010-01-01".into()),
                     SpecArg::Text("2013-01-01".into()),
                 ],
+                span: Span::SYNTHETIC,
             },
             lifetime: Some(GeneratorSpec {
                 name: "uniform".into(),
                 args: vec![SpecArg::Int(0), SpecArg::Int(400)],
+                span: Span::SYNTHETIC,
             }),
+            span: Span::SYNTHETIC,
         }
     }
 
@@ -151,6 +154,7 @@ mod tests {
             lifetime: Some(GeneratorSpec {
                 name: "uniform".into(),
                 args: vec![SpecArg::Int(0), SpecArg::Int(0)],
+                span: Span::SYNTHETIC,
             }),
             ..def()
         };
@@ -168,8 +172,10 @@ mod tests {
             arrival: GeneratorSpec {
                 name: "uniform".into(),
                 args: vec![SpecArg::Int(0), SpecArg::Int(10)],
+                span: Span::SYNTHETIC,
             },
             lifetime: None,
+            span: Span::SYNTHETIC,
         };
         let err = TypeClock::new(1, "Person", &bad_arrival)
             .map(|_| ())
@@ -182,6 +188,7 @@ mod tests {
                     SpecArg::Text("2010-01-01".into()),
                     SpecArg::Text("2011-01-01".into()),
                 ],
+                span: Span::SYNTHETIC,
             }),
             ..def()
         };

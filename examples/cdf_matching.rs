@@ -67,7 +67,6 @@ fn main() {
     let height = 20usize;
     let m = cmp.pairs.len();
     let mut canvas = vec![vec![' '; width]; height];
-    #[allow(clippy::needless_range_loop)] // col drives the x-axis mapping
     for col in 0..width {
         let idx = (col * (m - 1)) / (width - 1);
         let e_row = ((1.0 - cmp.expected_cdf[idx]) * (height - 1) as f64).round() as usize;

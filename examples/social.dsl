@@ -11,7 +11,7 @@ graph social {
     text: text = sentence_about(5, 12) given (topic);
   }
   edge knows: Person -- Person [many_to_many] {
-    structure = lfr(avg_degree = 10, max_degree = 30, mixing = 0.1);
+    structure = erdos_renyi(p = 0.002);
     correlate country with homophily(0.8);
     creationDate: date = date_after(30) given (source.creationDate, target.creationDate);
     temporal {

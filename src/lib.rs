@@ -66,6 +66,7 @@
 //! * [`structure`] — graph structure generators,
 //! * [`props`] — property generators and sample dictionaries,
 //! * [`schema`] — the DSL,
+//! * [`lint`] — static schema/plan diagnostics (`DS0xx` codes),
 //! * [`matching`] — SBM-Part, LDG, JPDs, evaluation,
 //! * [`analysis`] — structural graph metrics,
 //! * [`core`] — the pipeline,
@@ -76,6 +77,7 @@
 
 pub use datasynth_analysis as analysis;
 pub use datasynth_core as core;
+pub use datasynth_lint as lint;
 pub use datasynth_matching as matching;
 pub use datasynth_prng as prng;
 pub use datasynth_props as props;
@@ -95,6 +97,7 @@ pub use datasynth_core::{
 pub mod prelude {
     pub use datasynth_analysis::StatsSink;
     pub use datasynth_core::prelude::*;
+    pub use datasynth_lint::{lint, Diagnostic, LintReport, Linter};
     pub use datasynth_workload::{
         derive_templates, QueryMix, QueryTemplate, SelectivityClass, Workload, WorkloadGenerator,
         WorkloadSink,

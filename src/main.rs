@@ -63,7 +63,13 @@ enum Format {
 
 const USAGE: &str = "\
 usage: datasynth <schema.dsl> [options]
+       datasynth lint <schema.dsl> [lint options]
        datasynth serve --addr HOST:PORT [serve options]
+
+lint options:
+  --format F        text | json (default text); json is deterministic and
+                    byte-identical to the server's 422 lint response
+  --deny warnings   treat warnings as errors (exit code 1)
 
 serve options:
   --addr HOST:PORT  bind address (required; port 0 picks a free port)
@@ -413,6 +419,21 @@ fn run(args: &Args) -> Result<(), String> {
         generator = generator.with_threads(t);
     }
 
+    // Every run is linted first: error diagnostics abort before any row
+    // is generated, warnings/notes go to stderr. `datasynth lint` gives
+    // the same report standalone (and as JSON).
+    {
+        let report = datasynth::lint::lint(generator.schema());
+        if !report.is_clean() {
+            let origin = args.schema_path.display().to_string();
+            let text = datasynth::lint::render_text(&report, Some(&origin), Some(&src));
+            if report.has_errors() {
+                return Err(format!("schema rejected by lint:\n{text}"));
+            }
+            eprint!("{text}");
+        }
+    }
+
     if args.plan_only {
         match args.shard {
             None => {
@@ -699,6 +720,60 @@ fn run(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `datasynth lint`: run static analysis over a schema file and exit
+/// 0 (clean / advisory only) or 1 (errors, or warnings under
+/// `--deny warnings`). `--format json` prints the same canonical JSON
+/// the server returns in its 422 lint response.
+fn run_lint() -> Result<ExitCode, String> {
+    use datasynth::lint::{lint, render_text};
+
+    let mut path: Option<PathBuf> = None;
+    let mut deny_warnings = false;
+    let mut json = false;
+    let mut iter = std::env::args().skip(2);
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--deny" => match iter.next().as_deref() {
+                Some("warnings") => deny_warnings = true,
+                other => return Err(format!("--deny takes `warnings`, got {other:?}")),
+            },
+            "--format" => {
+                json = match iter.next().as_deref() {
+                    Some("text") => false,
+                    Some("json") => true,
+                    other => return Err(format!("unknown lint format {other:?} (text | json)")),
+                };
+            }
+            other if !other.starts_with('-') => {
+                if path.replace(PathBuf::from(other)).is_some() {
+                    return Err("lint takes exactly one schema file".into());
+                }
+            }
+            other => return Err(format!("unknown lint flag {other:?}")),
+        }
+    }
+    let path = path.ok_or("lint takes a schema file")?;
+    let src = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let schema =
+        datasynth::schema::parse_schema(&src).map_err(|e| format!("{}:{e}", path.display()))?;
+    let report = lint(&schema);
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!(
+            "{}",
+            render_text(&report, Some(&path.display().to_string()), Some(&src))
+        );
+    }
+    Ok(if report.fails(deny_warnings) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
 /// `datasynth serve`: bring up the HTTP service and block forever.
 fn run_serve() -> Result<(), String> {
     use datasynth::server::{Server, ServerConfig};
@@ -759,6 +834,20 @@ fn run_serve() -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
+    if std::env::args().nth(1).as_deref() == Some("lint") {
+        return match run_lint() {
+            Ok(code) => code,
+            Err(msg) => {
+                if msg.is_empty() {
+                    eprint!("{USAGE}");
+                    return ExitCode::SUCCESS;
+                }
+                eprintln!("error: {msg}\n");
+                eprint!("{USAGE}");
+                ExitCode::from(2)
+            }
+        };
+    }
     if std::env::args().nth(1).as_deref() == Some("serve") {
         return match run_serve() {
             Ok(()) => ExitCode::SUCCESS,

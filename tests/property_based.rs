@@ -94,7 +94,6 @@ proptest! {
         let mut rng = SplitMix64::new(seed);
         let mut rows = vec![vec![0.0f64; k]; k];
         let mut any = false;
-        #[allow(clippy::needless_range_loop)] // matrix (i, j) indexing
         for i in 0..k {
             for j in i..k {
                 let v = rng.next_f64();
