@@ -1,0 +1,86 @@
+//! Embedded engine throughput: loading a generated graph into the
+//! query-ready store, and per-template query execution over a curated
+//! workload (the same mix `datasynth bench-workload` runs).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use datasynth_core::DataSynth;
+use datasynth_engine::{Executor, GraphStore, StoreSink};
+use datasynth_workload::WorkloadGenerator;
+
+const SCHEMA: &str = r#"
+graph bench {
+  node Person [count = 2000] {
+    country: text = dictionary("countries");
+    age: long = uniform(18, 90);
+    temporal {
+      arrival = date_between("2020-01-01", "2022-01-01");
+    }
+  }
+  node Message {
+    topic: text = dictionary("topics");
+  }
+  edge knows: Person -- Person [many_to_many] {
+    structure = erdos_renyi(p = 0.005);
+    correlate country with homophily(0.8);
+    temporal {
+      arrival = date_between("2020-01-01", "2022-01-01");
+      lifetime = uniform(30, 365);
+    }
+  }
+  edge creates: Person -> Message [one_to_many] {
+    structure = one_to_many(dist = "geometric", p = 0.4);
+  }
+}
+"#;
+
+fn bench_engine(c: &mut Criterion) {
+    let synth = DataSynth::from_dsl(SCHEMA).unwrap().with_seed(7);
+    let schema = synth.schema().clone();
+    let mut sink = StoreSink::new();
+    synth.session().unwrap().run_into(&mut sink).unwrap();
+    let graph = sink.into_graph();
+    let rows = graph.total_nodes() + graph.total_edges();
+
+    let mut load = c.benchmark_group("engine_load");
+    load.sample_size(10);
+    load.throughput(Throughput::Elements(rows));
+    load.bench_function("store_build", |b| {
+        b.iter(|| black_box(GraphStore::build(&schema, 7, graph.clone()).unwrap()))
+    });
+    load.finish();
+
+    let store = GraphStore::build(&schema, 7, graph).unwrap();
+    let workload = WorkloadGenerator::new(&schema, store.graph())
+        .with_seed(7)
+        .generate(64)
+        .unwrap();
+    let exec = Executor::new(&store);
+
+    // One bench per derived template, in the workload's deterministic
+    // template order, executing that template's curated instances.
+    let mut query = c.benchmark_group("engine_query");
+    query.sample_size(10);
+    for template in &workload.templates {
+        let plans: Vec<_> = workload
+            .queries
+            .iter()
+            .filter(|q| q.template_id() == template.id)
+            .map(|q| &q.plan)
+            .collect();
+        if plans.is_empty() {
+            continue;
+        }
+        query.throughput(Throughput::Elements(plans.len() as u64));
+        query.bench_function(template.id.as_str(), |b| {
+            b.iter(|| {
+                for plan in &plans {
+                    black_box(exec.execute(plan).unwrap());
+                }
+            })
+        });
+    }
+    query.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Anything that can go wrong loading a store or executing a plan.
+#[derive(Debug)]
+pub enum EngineError {
+    /// A plan referenced a node type the store does not hold.
+    MissingNodeType(String),
+    /// A plan referenced an edge type the store does not hold.
+    MissingEdgeType(String),
+    /// A plan referenced a property the store does not hold.
+    MissingProperty(String, String),
+    /// A plan is missing a parameter its kind requires.
+    MissingParam(&'static str, String),
+    /// A temporal plan ran against a type without `_ts` columns.
+    NotTemporal(String),
+    /// Rebuilding a temporal clock failed.
+    Temporal(String),
+    /// The generation pipeline failed while producing the graph.
+    Pipeline(String),
+    /// Workload derivation or curation failed.
+    Workload(datasynth_workload::WorkloadError),
+    /// An on-disk graph directory could not be read back.
+    Read(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::MissingNodeType(t) => write!(f, "store has no node type {t:?}"),
+            EngineError::MissingEdgeType(e) => write!(f, "store has no edge type {e:?}"),
+            EngineError::MissingProperty(t, p) => {
+                write!(f, "store has no property {t}.{p}")
+            }
+            EngineError::MissingParam(name, template) => {
+                write!(f, "plan for {template:?} lacks required parameter {name:?}")
+            }
+            EngineError::NotTemporal(t) => {
+                write!(
+                    f,
+                    "type {t:?} has no _ts columns (not temporally annotated)"
+                )
+            }
+            EngineError::Temporal(msg) => write!(f, "temporal clock: {msg}"),
+            EngineError::Pipeline(msg) => write!(f, "generation failed: {msg}"),
+            EngineError::Workload(e) => write!(f, "workload: {e}"),
+            EngineError::Read(msg) => write!(f, "reading graph directory: {msg}"),
+            EngineError::Io(e) => write!(f, "i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Workload(e) => Some(e),
+            EngineError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<datasynth_workload::WorkloadError> for EngineError {
+    fn from(e: datasynth_workload::WorkloadError) -> Self {
+        EngineError::Workload(e)
+    }
+}
+
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        EngineError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_missing_piece() {
+        assert!(EngineError::MissingNodeType("Person".into())
+            .to_string()
+            .contains("Person"));
+        assert!(EngineError::MissingProperty("Person".into(), "name".into())
+            .to_string()
+            .contains("Person.name"));
+        assert!(
+            EngineError::MissingParam("id", "point_lookup:Person".into())
+                .to_string()
+                .contains("\"id\"")
+        );
+        assert!(EngineError::NotTemporal("knows".into())
+            .to_string()
+            .contains("_ts"));
+    }
+}

@@ -1,0 +1,48 @@
+//! Embedded property-graph engine: execute generated workloads
+//! end-to-end and measure them.
+//!
+//! Generating a graph plus a query workload is only half of a benchmark —
+//! something has to *run* the queries. This crate closes the loop with an
+//! in-memory store and executor, so every generated workload is
+//! executable out of the box and its curated cardinalities are
+//! machine-checked, not just emitted:
+//!
+//! 1. **Store** ([`GraphStore`]) — typed node/edge columns (the generated
+//!    [`PropertyGraph`](datasynth_tables::PropertyGraph)) plus the access
+//!    paths queries need: row-aware CSR adjacency, per-property hash and
+//!    sorted-range indexes, and `_ts` insert/delete columns replayed from
+//!    the schema's temporal clocks. Load it straight from a generation
+//!    session via [`StoreSink`], or from an exported `--out` directory
+//!    via [`read_graph_dir`] (CSV or JSONL, shard-concatenated or not).
+//! 2. **Executor** ([`Executor`]) — evaluates every workload
+//!    [`TemplateKind`](datasynth_workload::TemplateKind) against the
+//!    store, under exactly the count semantics the curator predicts
+//!    with: `expected_rows` is what [`Executor::execute`] returns.
+//! 3. **Harness** ([`Bench`]) — generate, load, execute the mix with
+//!    warmup and measured rounds, and emit a [`BenchReport`] whose
+//!    non-timing half is byte-stable across reruns and thread counts
+//!    (`datasynth bench-workload` on the CLI).
+//!
+//! ```no_run
+//! use datasynth_engine::Bench;
+//! # let schema = datasynth_schema::parse_schema(
+//! #     "graph g { node A [count = 10] { x: long = uniform(0, 9); } }").unwrap();
+//! let report = Bench::new(&schema).with_seed(42).with_iters(5).run()?;
+//! assert!(report.all_in_band());
+//! println!("{}", report.to_json());
+//! # Ok::<(), datasynth_engine::EngineError>(())
+//! ```
+
+mod error;
+mod exec;
+mod harness;
+mod reader;
+mod sink;
+mod store;
+
+pub use error::EngineError;
+pub use exec::{Executor, QueryOutcome};
+pub use harness::{Bench, BenchReport, TemplateBench, QUERY_MICROS_METRIC};
+pub use reader::read_graph_dir;
+pub use sink::StoreSink;
+pub use store::{GraphStore, PropertyIndex, RowCsr, TsColumns};

@@ -1,0 +1,391 @@
+//! Read a generated `--out` directory back into a [`PropertyGraph`]:
+//! the exact inverse of the streaming CSV/JSONL export sinks.
+//!
+//! The directory's `manifest.json` names every table, its column order
+//! and column types, and the generation seed — so a graph exported once
+//! can be benchmarked any number of times without regenerating. Both
+//! formats are recognized per table (`<Type>.csv` preferred, then
+//! `<Type>.jsonl`), and shard-concatenated directories read identically
+//! to single-run ones: the CSV header is written by shard 0 only and
+//! JSONL has no header, so `cat shard*/T.x > T.x` *is* the full table.
+
+use std::path::Path;
+
+use datasynth_core::{PropertyInfo, SinkManifest};
+use datasynth_tables::{parse_date, EdgeTable, PropertyGraph, PropertyTable, Value, ValueType};
+use datasynth_telemetry::json::Json;
+
+use crate::error::EngineError;
+
+/// Read `dir` (a `datasynth --out` directory with its `manifest.json`)
+/// back into the graph it exported, plus the loaded manifest.
+pub fn read_graph_dir(dir: &Path) -> Result<(PropertyGraph, SinkManifest), EngineError> {
+    let manifest = SinkManifest::load(dir)
+        .map_err(|e| EngineError::Read(format!("{}: {e}", dir.display())))?;
+    let mut graph = PropertyGraph::new();
+    for node in &manifest.nodes {
+        let rows = read_table(dir, &node.name, &node.properties, false)?;
+        graph.add_node_type(&node.name, rows.count);
+        for (info, values) in node.properties.iter().zip(rows.columns) {
+            let table = PropertyTable::from_values(
+                format!("{}.{}", node.name, info.name),
+                info.value_type,
+                values,
+            )
+            .map_err(|e| EngineError::Read(format!("{}.{}: {e}", node.name, info.name)))?;
+            graph.insert_node_property(&node.name, &info.name, table);
+        }
+    }
+    for edge in &manifest.edges {
+        let rows = read_table(dir, &edge.name, &edge.properties, true)?;
+        let pairs: Vec<(u64, u64)> = rows.endpoints;
+        graph.insert_edge_table(
+            &edge.name,
+            &edge.source,
+            &edge.target,
+            EdgeTable::from_pairs(&edge.name, pairs),
+        );
+        for (info, values) in edge.properties.iter().zip(rows.columns) {
+            let table = PropertyTable::from_values(
+                format!("{}.{}", edge.name, info.name),
+                info.value_type,
+                values,
+            )
+            .map_err(|e| EngineError::Read(format!("{}.{}: {e}", edge.name, info.name)))?;
+            graph.insert_edge_property(&edge.name, &info.name, table);
+        }
+    }
+    Ok((graph, manifest))
+}
+
+/// One table read back: row count, endpoint pairs (edges only), and one
+/// value vector per property column, in manifest order.
+#[derive(Debug)]
+struct TableData {
+    count: u64,
+    endpoints: Vec<(u64, u64)>,
+    columns: Vec<Vec<Value>>,
+}
+
+fn read_table(
+    dir: &Path,
+    table: &str,
+    props: &[PropertyInfo],
+    is_edge: bool,
+) -> Result<TableData, EngineError> {
+    let csv = dir.join(format!("{table}.csv"));
+    let jsonl = dir.join(format!("{table}.jsonl"));
+    if csv.is_file() {
+        read_csv_table(&csv, table, props, is_edge)
+    } else if jsonl.is_file() {
+        read_jsonl_table(&jsonl, table, props, is_edge)
+    } else {
+        Err(EngineError::Read(format!(
+            "table {table:?}: neither {table}.csv nor {table}.jsonl exists in {}",
+            dir.display()
+        )))
+    }
+}
+
+fn bad(table: &str, row: usize, msg: impl std::fmt::Display) -> EngineError {
+    EngineError::Read(format!("{table}, row {row}: {msg}"))
+}
+
+fn parse_value(table: &str, row: usize, vt: ValueType, field: &str) -> Result<Value, EngineError> {
+    match vt {
+        ValueType::Bool => match field {
+            "true" => Ok(Value::Bool(true)),
+            "false" => Ok(Value::Bool(false)),
+            _ => Err(bad(table, row, format!("bad bool {field:?}"))),
+        },
+        ValueType::Long => field
+            .parse::<i64>()
+            .map(Value::Long)
+            .map_err(|e| bad(table, row, format!("bad long {field:?}: {e}"))),
+        ValueType::Double => field
+            .parse::<f64>()
+            .map(Value::Double)
+            .map_err(|e| bad(table, row, format!("bad double {field:?}: {e}"))),
+        ValueType::Text => Ok(Value::Text(field.to_owned())),
+        ValueType::Date => parse_date(field)
+            .map(Value::Date)
+            .ok_or_else(|| bad(table, row, format!("bad date {field:?}"))),
+    }
+}
+
+fn read_csv_table(
+    path: &Path,
+    table: &str,
+    props: &[PropertyInfo],
+    is_edge: bool,
+) -> Result<TableData, EngineError> {
+    let src = std::fs::read_to_string(path)?;
+    let mut records = CsvRecords::new(&src);
+    let header = records
+        .next()
+        .transpose()
+        .map_err(|e| bad(table, 0, e))?
+        .ok_or_else(|| bad(table, 0, "empty file (missing header)"))?;
+    let mut expect = if is_edge {
+        vec!["id".to_owned(), "tail".to_owned(), "head".to_owned()]
+    } else {
+        vec!["id".to_owned()]
+    };
+    expect.extend(props.iter().map(|p| p.name.clone()));
+    if header != expect {
+        return Err(bad(
+            table,
+            0,
+            format!("header {header:?} does not match manifest columns {expect:?}"),
+        ));
+    }
+    let mut data = TableData {
+        count: 0,
+        endpoints: Vec::new(),
+        columns: vec![Vec::new(); props.len()],
+    };
+    let fixed = expect.len() - props.len();
+    for (row, record) in records.enumerate() {
+        let record = record.map_err(|e| bad(table, row, e))?;
+        if record.len() != expect.len() {
+            return Err(bad(
+                table,
+                row,
+                format!("{} fields, expected {}", record.len(), expect.len()),
+            ));
+        }
+        let id: u64 = record[0]
+            .parse()
+            .map_err(|e| bad(table, row, format!("bad id {:?}: {e}", record[0])))?;
+        if id != row as u64 {
+            return Err(bad(
+                table,
+                row,
+                format!("id {id} out of order (ids must be dense 0..n)"),
+            ));
+        }
+        if is_edge {
+            let t: u64 = record[1]
+                .parse()
+                .map_err(|e| bad(table, row, format!("bad tail: {e}")))?;
+            let h: u64 = record[2]
+                .parse()
+                .map_err(|e| bad(table, row, format!("bad head: {e}")))?;
+            data.endpoints.push((t, h));
+        }
+        for (i, info) in props.iter().enumerate() {
+            data.columns[i].push(parse_value(
+                table,
+                row,
+                info.value_type,
+                &record[fixed + i],
+            )?);
+        }
+        data.count += 1;
+    }
+    Ok(data)
+}
+
+fn read_jsonl_table(
+    path: &Path,
+    table: &str,
+    props: &[PropertyInfo],
+    is_edge: bool,
+) -> Result<TableData, EngineError> {
+    let src = std::fs::read_to_string(path)?;
+    let mut data = TableData {
+        count: 0,
+        endpoints: Vec::new(),
+        columns: vec![Vec::new(); props.len()],
+    };
+    for (row, line) in src.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let obj = Json::parse(line).map_err(|e| bad(table, row, e))?;
+        let id = obj
+            .get("id")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad(table, row, "object lacks a numeric \"id\""))?;
+        if id != row as u64 {
+            return Err(bad(
+                table,
+                row,
+                format!("id {id} out of order (ids must be dense 0..n)"),
+            ));
+        }
+        if is_edge {
+            let t = obj
+                .get("tail")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad(table, row, "edge object lacks \"tail\""))?;
+            let h = obj
+                .get("head")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad(table, row, "edge object lacks \"head\""))?;
+            data.endpoints.push((t, h));
+        }
+        for (i, info) in props.iter().enumerate() {
+            let v = obj
+                .get(&info.name)
+                .ok_or_else(|| bad(table, row, format!("object lacks {:?}", info.name)))?;
+            data.columns[i].push(json_value(table, row, info.value_type, v)?);
+        }
+        data.count += 1;
+    }
+    Ok(data)
+}
+
+fn json_value(table: &str, row: usize, vt: ValueType, v: &Json) -> Result<Value, EngineError> {
+    let mismatch = || bad(table, row, format!("JSON value {v:?} is not a {vt:?}"));
+    match (vt, v) {
+        (ValueType::Bool, Json::Bool(b)) => Ok(Value::Bool(*b)),
+        (ValueType::Long, Json::Int(x)) => Ok(Value::Long(*x as i64)),
+        (ValueType::Long, Json::Float(x)) if x.fract() == 0.0 => Ok(Value::Long(*x as i64)),
+        (ValueType::Double, Json::Int(x)) => Ok(Value::Double(*x as f64)),
+        (ValueType::Double, Json::Float(x)) => Ok(Value::Double(*x)),
+        // The writer emits non-finite doubles as null; NaN is the only
+        // lossless-enough readback (comparisons already treat it apart).
+        (ValueType::Double, Json::Null) => Ok(Value::Double(f64::NAN)),
+        (ValueType::Text, Json::Str(s)) => Ok(Value::Text(s.clone())),
+        (ValueType::Date, Json::Str(s)) => parse_date(s)
+            .map(Value::Date)
+            .ok_or_else(|| bad(table, row, format!("bad date {s:?}"))),
+        _ => Err(mismatch()),
+    }
+}
+
+/// An RFC 4180 record iterator: splits on newlines *outside* quotes, so
+/// quoted fields may span lines, and undoubles `""` inside quotes —
+/// exactly inverting `csv_escape`.
+struct CsvRecords<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> CsvRecords<'a> {
+    fn new(src: &'a str) -> Self {
+        CsvRecords { src, pos: 0 }
+    }
+}
+
+impl Iterator for CsvRecords<'_> {
+    type Item = Result<Vec<String>, String>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let bytes = self.src.as_bytes();
+        if self.pos >= bytes.len() {
+            return None;
+        }
+        let mut fields = Vec::new();
+        let mut field = String::new();
+        let mut quoted = false;
+        let mut i = self.pos;
+        loop {
+            match bytes.get(i) {
+                None => {
+                    if quoted {
+                        return Some(Err("unterminated quoted field".into()));
+                    }
+                    fields.push(std::mem::take(&mut field));
+                    self.pos = i;
+                    return Some(Ok(fields));
+                }
+                Some(b'"') if quoted => {
+                    if bytes.get(i + 1) == Some(&b'"') {
+                        field.push('"');
+                        i += 2;
+                    } else {
+                        quoted = false;
+                        i += 1;
+                    }
+                }
+                Some(b'"') if field.is_empty() && !quoted => {
+                    quoted = true;
+                    i += 1;
+                }
+                Some(b',') if !quoted => {
+                    fields.push(std::mem::take(&mut field));
+                    i += 1;
+                }
+                Some(b'\n') if !quoted => {
+                    fields.push(std::mem::take(&mut field));
+                    self.pos = i + 1;
+                    return Some(Ok(fields));
+                }
+                Some(b'\r') if !quoted && bytes.get(i + 1) == Some(&b'\n') => {
+                    fields.push(std::mem::take(&mut field));
+                    self.pos = i + 2;
+                    return Some(Ok(fields));
+                }
+                Some(&b) => {
+                    // Safe to push raw bytes: multi-byte UTF-8 sequences
+                    // contain no ASCII metacharacters, so they pass
+                    // through unsplit.
+                    let start = i;
+                    let ch_len = utf8_len(b);
+                    field.push_str(&self.src[start..start + ch_len]);
+                    i += ch_len;
+                }
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn records(src: &str) -> Vec<Vec<String>> {
+        CsvRecords::new(src).map(|r| r.unwrap()).collect()
+    }
+
+    #[test]
+    fn csv_records_invert_escaping() {
+        assert_eq!(records("a,b\n1,2\n"), vec![vec!["a", "b"], vec!["1", "2"]]);
+        assert_eq!(records("\"a,b\",c\n"), vec![vec!["a,b", "c"]]);
+        assert_eq!(records("\"say \"\"hi\"\"\"\n"), vec![vec!["say \"hi\""]]);
+        assert_eq!(
+            records("\"line\nbreak\",x\n"),
+            vec![vec!["line\nbreak", "x"]]
+        );
+        assert_eq!(records("a\r\nb\n"), vec![vec!["a"], vec!["b"]]);
+        assert_eq!(records("ünïcode,ok\n"), vec![vec!["ünïcode", "ok"]]);
+    }
+
+    #[test]
+    fn csv_unterminated_quote_is_an_error() {
+        let mut it = CsvRecords::new("\"oops\n");
+        assert!(it.next().unwrap().is_err());
+    }
+
+    #[test]
+    fn value_parsing_round_trips_each_type() {
+        let p = |vt, s| parse_value("t", 0, vt, s).unwrap();
+        assert_eq!(p(ValueType::Bool, "true"), Value::Bool(true));
+        assert_eq!(p(ValueType::Long, "-7"), Value::Long(-7));
+        assert_eq!(p(ValueType::Double, "1.5"), Value::Double(1.5));
+        assert_eq!(p(ValueType::Date, "1970-01-02"), Value::Date(1));
+        assert_eq!(p(ValueType::Text, "x,y"), Value::Text("x,y".into()));
+        assert!(parse_value("t", 0, ValueType::Long, "abc").is_err());
+        assert!(parse_value("t", 0, ValueType::Date, "not-a-date").is_err());
+    }
+
+    #[test]
+    fn missing_table_file_is_reported() {
+        let dir = std::env::temp_dir().join(format!("ds-engine-missing-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = read_table(&dir, "Ghost", &[], false).unwrap_err();
+        assert!(err.to_string().contains("Ghost"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

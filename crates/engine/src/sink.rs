@@ -1,0 +1,146 @@
+//! [`StoreSink`]: loads a generation session straight into a
+//! [`GraphStore`], no intermediate files.
+
+use datasynth_core::{GraphSink, SinkError, SinkManifest};
+use datasynth_schema::Schema;
+use datasynth_tables::{EdgeTable, PropertyGraph, PropertyTable};
+
+use crate::error::EngineError;
+use crate::store::GraphStore;
+
+/// A [`GraphSink`] that accumulates every table — including edge
+/// properties, which the workload sink drops — and hands the assembled
+/// graph to [`GraphStore::build`].
+///
+/// Like every whole-graph consumer, it rejects sharded runs up front:
+/// pairing full node counts with one shard's column windows would read
+/// silently wrong. Op-log runs are accepted — the store re-derives the
+/// same `_ts` columns from the schema's clocks, so the announcement
+/// carries no extra information for it.
+#[derive(Debug, Default)]
+pub struct StoreSink {
+    graph: PropertyGraph,
+    seed: Option<u64>,
+}
+
+impl StoreSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The generation seed announced at [`GraphSink::begin`].
+    pub fn seed(&self) -> Option<u64> {
+        self.seed
+    }
+
+    /// Consume the sink, yielding the accumulated graph.
+    pub fn into_graph(self) -> PropertyGraph {
+        self.graph
+    }
+
+    /// Consume the sink into a query-ready store. The schema must be the
+    /// one the run generated from (its temporal annotations drive the
+    /// `_ts` columns); the seed is the one the run announced.
+    pub fn into_store(self, schema: &Schema) -> Result<GraphStore, EngineError> {
+        let seed = self.seed.ok_or_else(|| {
+            EngineError::Pipeline("StoreSink saw no begin event (no run executed)".into())
+        })?;
+        GraphStore::build(schema, seed, self.graph)
+    }
+}
+
+impl GraphSink for StoreSink {
+    fn begin(&mut self, manifest: &SinkManifest) -> Result<(), SinkError> {
+        if !manifest.shard.is_full() {
+            return Err(SinkError::unsupported(format!(
+                "StoreSink loads the full graph, not shard {}; run unsharded \
+                 or concatenate shard exports and load the directory instead",
+                manifest.shard
+            )));
+        }
+        self.seed = Some(manifest.seed);
+        Ok(())
+    }
+
+    fn node_count(&mut self, node_type: &str, count: u64) -> Result<(), SinkError> {
+        self.graph.add_node_type(node_type, count);
+        Ok(())
+    }
+
+    fn node_property(
+        &mut self,
+        node_type: &str,
+        property: &str,
+        table: PropertyTable,
+    ) -> Result<(), SinkError> {
+        self.graph.insert_node_property(node_type, property, table);
+        Ok(())
+    }
+
+    fn edges(
+        &mut self,
+        edge_type: &str,
+        source: &str,
+        target: &str,
+        table: EdgeTable,
+    ) -> Result<(), SinkError> {
+        self.graph
+            .insert_edge_table(edge_type, source, target, table);
+        Ok(())
+    }
+
+    fn edge_property(
+        &mut self,
+        edge_type: &str,
+        property: &str,
+        table: PropertyTable,
+    ) -> Result<(), SinkError> {
+        self.graph.insert_edge_property(edge_type, property, table);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasynth_core::DataSynth;
+
+    const DSL: &str = r#"graph g {
+        node Person [count = 20] { country: text = categorical("ES": 0.5, "FR": 0.5); }
+        edge knows: Person -> Person { structure = erdos_renyi(p = 0.1); }
+    }"#;
+
+    #[test]
+    fn loads_a_session_into_a_store() {
+        let synth = DataSynth::from_dsl(DSL).unwrap().with_seed(11);
+        let mut sink = StoreSink::new();
+        synth.session().unwrap().run_into(&mut sink).unwrap();
+        assert_eq!(sink.seed(), Some(11));
+        let store = sink.into_store(synth.schema()).unwrap();
+        assert_eq!(store.node_count("Person").unwrap(), 20);
+        assert_eq!(store.seed(), 11);
+        assert!(store.adjacency("knows", true).is_ok());
+    }
+
+    #[test]
+    fn rejects_sharded_runs() {
+        let synth = DataSynth::from_dsl(DSL).unwrap();
+        let mut sink = StoreSink::new();
+        let err = synth
+            .session()
+            .unwrap()
+            .shard(0, 2)
+            .unwrap()
+            .run_into(&mut sink)
+            .unwrap_err();
+        assert!(err.to_string().contains("StoreSink"), "{err}");
+    }
+
+    #[test]
+    fn into_store_without_a_run_is_an_error() {
+        let schema = datasynth_schema::parse_schema(DSL).unwrap();
+        let err = StoreSink::new().into_store(&schema).unwrap_err();
+        assert!(err.to_string().contains("no run"), "{err}");
+    }
+}

@@ -31,6 +31,7 @@
 //! | DS005 | warning  | shard-hostile structure generators (full recompute per shard) |
 //! | DS006 | warning  | temporal edges whose endpoints are excluded from the op log |
 //! | DS007 | note     | estimated peak working set above 10 M live rows |
+//! | DS008 | note     | schema derives zero executable workload templates (`--workload` / `bench-workload` would be empty) |
 //!
 //! # Use
 //!
@@ -62,7 +63,7 @@ use datasynth_core::{analyze, emission_schedule};
 use datasynth_schema::{Schema, Span};
 
 /// An extensible rule registry. [`Linter::builtin`] loads the shipped
-/// `DS001`–`DS007` set; [`Linter::register`] adds custom rules beside
+/// `DS001`–`DS008` set; [`Linter::register`] adds custom rules beside
 /// them. Output order is always canonical `(code, line, column)`, so
 /// registration order does not matter.
 pub struct Linter {
@@ -339,6 +340,29 @@ graph g {
             report.diagnostics
         );
         assert!(!report.fails(true), "notes never fail a run");
+    }
+
+    #[test]
+    fn ds008_empty_schema_derives_no_workload() {
+        let schema = parse_schema("graph g { }").unwrap();
+        let report = lint(&schema);
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "DS008")
+            .expect("DS008 missing");
+        assert_eq!(d.severity, Severity::Note);
+        assert!(d.message.contains("workload"), "{}", d.message);
+        assert!(!report.fails(true), "notes never fail a run");
+
+        // Any node type derives at least a point lookup: no DS008.
+        let populated = parse_schema(
+            "graph g {
+               node A [count = 10] { x: long = uniform(0, 9); }
+             }",
+        )
+        .unwrap();
+        assert!(!codes(&lint(&populated)).contains(&"DS008"));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The built-in lint rules (`DS001`–`DS007`).
+//! The built-in lint rules (`DS001`–`DS008`).
 //!
 //! Rules are deliberately small, independent functions behind the
 //! [`LintRule`] trait so downstream users can register their own checks
@@ -50,6 +50,7 @@ pub fn builtin_rules() -> Vec<Box<dyn LintRule>> {
         Box::new(ShardHostileStructure),
         Box::new(TemporalOpLogExclusion),
         Box::new(PeakMemoryEstimate),
+        Box::new(WorkloadCoverage),
     ]
 }
 
@@ -763,5 +764,38 @@ fn mean_degree(spec: &GeneratorSpec) -> f64 {
         }
         // Heavy-tailed families concentrate near their minimum.
         _ => 2.0 * spec.named_num("min").unwrap_or(1.0).max(1.0),
+    }
+}
+
+/// `DS008`: a schema from which zero workload templates derive —
+/// `--workload` and `datasynth bench-workload` would have nothing to
+/// execute, and the failure only surfaces after generation otherwise.
+pub struct WorkloadCoverage;
+
+impl LintRule for WorkloadCoverage {
+    fn name(&self) -> &'static str {
+        "workload-coverage"
+    }
+
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        if !datasynth_workload::derive_templates(ctx.schema).is_empty() {
+            return;
+        }
+        out.push(
+            Diagnostic::new(
+                "DS008",
+                Severity::Note,
+                datasynth_schema::Span::SYNTHETIC,
+                format!("graph {}", ctx.schema.name),
+                "schema derives no executable workload templates; --workload and \
+                 bench-workload will have nothing to run"
+                    .to_string(),
+            )
+            .with_help(
+                "declare at least one node type (point lookups derive from nodes, \
+                 scans from properties, expansions from edges, 2-hop expansions \
+                 from same-type edges, temporal kinds from temporal { ... } blocks)",
+            ),
+        );
     }
 }

@@ -1,9 +1,15 @@
 //! Parameter curation: sample real node ids and property values from the
-//! generated tables, estimate each candidate's result size from degree
-//! statistics, and bin candidates so every query instance lands in its
-//! template's selectivity class.
+//! generated tables, compute each candidate's **exact** result size
+//! against the graph, and bin candidates so every query instance lands in
+//! its template's selectivity class.
+//!
+//! Cardinalities are exact, not heuristic: `expected_rows` is the number
+//! of rows the reference executor (`datasynth-engine`) produces for the
+//! binding, counted with the same traversal semantics (for aggregation
+//! templates, the rows *aggregated* — the work — rather than the
+//! collapsed group rows). This is what lets the bench harness
+//! machine-check every executed query against its curated band.
 
-use datasynth_analysis::DegreeStats;
 use datasynth_prng::TableStream;
 use datasynth_schema::Schema;
 use datasynth_tables::{PropertyGraph, Value};
@@ -125,6 +131,15 @@ type FrequencyCache = std::cell::RefCell<
     std::collections::BTreeMap<(String, String), std::rc::Rc<Vec<(Value, u64)>>>,
 >;
 
+/// Source-side adjacency: per source row, the `(neighbor id, edge row)`
+/// entries reachable in one hop. Keyed by `(edge, directed)`.
+type Adjacency = std::rc::Rc<Vec<Vec<(u64, u64)>>>;
+type AdjacencyCache = std::cell::RefCell<std::collections::BTreeMap<(String, bool), Adjacency>>;
+
+/// Sorted insert timestamps of *every* row of an edge type, keyed by edge
+/// name — the exact arrival picture window aggregates count against.
+type EdgeTsCache = std::cell::RefCell<std::collections::BTreeMap<String, std::rc::Rc<Vec<i64>>>>;
+
 /// Curates parameters for templates against one generated graph.
 pub struct Curator<'a> {
     graph: &'a PropertyGraph,
@@ -140,6 +155,11 @@ pub struct Curator<'a> {
     /// CommunityAgg over the same property (and by the redistribution
     /// pass calling `bindings` again), so cache them too.
     frequency_cache: FrequencyCache,
+    /// Adjacency lists power the exact 2-hop / path / window counts;
+    /// O(E) to build and shared across templates on the same edge type.
+    adjacency_cache: AdjacencyCache,
+    /// Sorted per-row insert timestamps per edge type (window aggregates).
+    edge_ts_cache: EdgeTsCache,
 }
 
 impl<'a> Curator<'a> {
@@ -152,6 +172,8 @@ impl<'a> Curator<'a> {
             schema: None,
             degree_cache: Default::default(),
             frequency_cache: Default::default(),
+            adjacency_cache: Default::default(),
+            edge_ts_cache: Default::default(),
         }
     }
 
@@ -238,6 +260,35 @@ impl<'a> Curator<'a> {
         Ok(deg)
     }
 
+    /// Source-side adjacency with edge-row provenance, under the same
+    /// direction rules as [`Self::source_degrees`]: undirected same-type
+    /// edges list both endpoints' views, everything else lists the tail
+    /// side only. `adj[row]` holds `(neighbor id, edge row)` pairs, so
+    /// exact 2-hop, path and per-edge timestamp counts all read off it.
+    fn source_adjacency(&self, edge: &str, directed: bool) -> Result<Adjacency, WorkloadError> {
+        let key = (edge.to_owned(), directed);
+        if let Some(cached) = self.adjacency_cache.borrow().get(&key) {
+            return Ok(cached.clone());
+        }
+        let table = self
+            .graph
+            .edges(edge)
+            .ok_or_else(|| WorkloadError::MissingEdgeType(edge.to_owned()))?;
+        let meta = self.graph.edge_meta(edge).expect("meta exists with table");
+        let n = self.node_count(&meta.source)? as usize;
+        let both = !directed && meta.source == meta.target;
+        let mut adj: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n];
+        for (row, (t, h)) in table.iter().enumerate() {
+            adj[t as usize].push((h, row as u64));
+            if both {
+                adj[h as usize].push((t, row as u64));
+            }
+        }
+        let adj = std::rc::Rc::new(adj);
+        self.adjacency_cache.borrow_mut().insert(key, adj.clone());
+        Ok(adj)
+    }
+
     fn value_frequencies(
         &self,
         node_type: &str,
@@ -279,7 +330,7 @@ impl<'a> Curator<'a> {
             } => {
                 let n = self.node_count(source)?;
                 let deg = self.source_degrees(edge, *directed)?;
-                Ok(id_candidates_by_degree(n, &deg, 1.0, stream))
+                Ok(id_candidates_by_degree(n, &deg, stream))
             }
             TemplateKind::Expand2 {
                 edge,
@@ -287,10 +338,25 @@ impl<'a> Curator<'a> {
                 directed,
             } => {
                 let n = self.node_count(node_type)?;
-                let deg = self.source_degrees(edge, *directed)?;
-                // Second hop multiplies by the mean degree.
-                let mean = DegreeStats::from_degrees(&deg).map_or(0.0, |s| s.mean);
-                Ok(id_candidates_by_degree(n, &deg, mean, stream))
+                let adj = self.source_adjacency(edge, *directed)?;
+                // Exact distinct 2-hop count, with the renderers'
+                // relationship-uniqueness convention: the undirected walk
+                // excludes the start vertex it backtracks to, the directed
+                // walk keeps a start reachable over reciprocal edges.
+                Ok(sample_ids(n, stream)
+                    .into_iter()
+                    .map(|id| {
+                        let mut seen = std::collections::BTreeSet::new();
+                        for &(v, _) in &adj[id as usize] {
+                            for &(w, _) in &adj[v as usize] {
+                                if *directed || w != id {
+                                    seen.insert(w);
+                                }
+                            }
+                        }
+                        Candidate::id(id, seen.len() as u64)
+                    })
+                    .collect())
             }
             TemplateKind::Path2 {
                 first_edge,
@@ -302,12 +368,22 @@ impl<'a> Curator<'a> {
                 ..
             } => {
                 let n = self.node_count(start)?;
-                let deg1 = self.source_degrees(first_edge, *first_directed)?;
+                let adj1 = self.source_adjacency(first_edge, *first_directed)?;
                 let mid_n = self.node_count(mid)?;
                 let deg2 = self.source_degrees(second_edge, *second_directed)?;
                 debug_assert_eq!(deg2.len() as u64, mid_n);
-                let mean2 = DegreeStats::from_degrees(&deg2).map_or(0.0, |s| s.mean);
-                Ok(id_candidates_by_degree(n, &deg1, mean2, stream))
+                // Exact path count: one result row per (first hop, second
+                // hop) pair, so sum the mid vertices' second-hop degrees.
+                Ok(sample_ids(n, stream)
+                    .into_iter()
+                    .map(|id| {
+                        let est = adj1[id as usize]
+                            .iter()
+                            .map(|&(v, _)| u64::from(deg2[v as usize]))
+                            .sum();
+                        Candidate::id(id, est)
+                    })
+                    .collect())
             }
             TemplateKind::PropertyScan {
                 node_type,
@@ -330,14 +406,25 @@ impl<'a> Curator<'a> {
             } => {
                 let freqs = self.value_frequencies(node_type, property)?;
                 let deg = self.source_degrees(edge, *directed)?;
-                let mean = DegreeStats::from_degrees(&deg).map_or(0.0, |s| s.mean);
-                // Result rows ~ community size x mean degree (edges touched
-                // before the group-by collapses them).
+                let col = self
+                    .graph
+                    .node_property(node_type, property)
+                    .ok_or_else(|| {
+                        WorkloadError::MissingProperty(node_type.to_owned(), property.to_owned())
+                    })?;
+                // Exact edges touched before the group-by collapses them:
+                // the summed degree of the value's community.
                 Ok(sampled_indices(freqs.len(), stream)
                     .into_iter()
                     .map(|i| {
-                        let (v, freq) = &freqs[i];
-                        Candidate::value(v.clone(), (*freq as f64 * mean).round() as u64)
+                        let (value, _) = &freqs[i];
+                        let est = col
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, v)| v == value)
+                            .map(|(row, _)| u64::from(deg[row]))
+                            .sum();
+                        Candidate::value(value.clone(), est)
                     })
                     .collect())
             }
@@ -370,19 +457,27 @@ impl<'a> Curator<'a> {
                 ..
             } => {
                 let n = self.node_count(source)?;
-                let deg = self.source_degrees(edge, *directed)?;
+                let adj = self.source_adjacency(edge, *directed)?;
                 let sample = self.edge_ts_sample(edge)?;
                 if sample.is_empty() {
                     return Ok(Vec::new());
                 }
-                Ok(sample_ids(n, stream)
+                let clock = self.clock_for(edge)?;
+                // Exact per-candidate count: incident edges whose insert
+                // timestamp falls inside the drawn window.
+                sample_ids(n, stream)
                     .into_iter()
                     .enumerate()
                     .map(|(i, id)| {
-                        let (from, to, covered) = draw_window(&sample, stream, i as u64);
-                        let d = f64::from(deg[id as usize]);
-                        let est = (d * covered as f64 / sample.len() as f64).round() as u64;
-                        Candidate {
+                        let (from, to) = draw_window(&sample, stream, i as u64);
+                        let mut est = 0u64;
+                        for &(_, row) in &adj[id as usize] {
+                            let ts = clock.insert_ts(row).map_err(temporal_err)?;
+                            if (from..=to).contains(&ts) {
+                                est += 1;
+                            }
+                        }
+                        Ok(Candidate {
                             params: vec![
                                 CuratedParam {
                                     name: "id".to_owned(),
@@ -392,9 +487,9 @@ impl<'a> Curator<'a> {
                                 date_param("to", to),
                             ],
                             est,
-                        }
+                        })
                     })
-                    .collect())
+                    .collect()
             }
             TemplateKind::WindowAgg { edge, .. } => {
                 let rows = self.edge_rows(edge)?;
@@ -402,11 +497,14 @@ impl<'a> Curator<'a> {
                 if sample.is_empty() {
                     return Ok(Vec::new());
                 }
+                let all_ts = self.edge_all_ts(edge)?;
                 Ok((0..rows.min(MAX_CANDIDATES))
                     .map(|i| {
-                        let (from, to, covered) = draw_window(&sample, stream, i);
-                        let est =
-                            (rows as f64 * covered as f64 / sample.len() as f64).round() as u64;
+                        let (from, to) = draw_window(&sample, stream, i);
+                        // Exact rows aggregated: edges arriving in window.
+                        let est = (all_ts.partition_point(|&t| t <= to)
+                            - all_ts.partition_point(|&t| t < from))
+                            as u64;
                         Candidate {
                             params: vec![date_param("from", from), date_param("to", to)],
                             est,
@@ -443,17 +541,37 @@ impl<'a> Curator<'a> {
         out.sort_unstable();
         Ok(out)
     }
+
+    /// Sorted insert timestamps of **every** row of an edge type — the
+    /// exact population window aggregates are counted against. Built once
+    /// per edge (one clock replay over the table) and cached.
+    fn edge_all_ts(&self, edge: &str) -> Result<std::rc::Rc<Vec<i64>>, WorkloadError> {
+        if let Some(cached) = self.edge_ts_cache.borrow().get(edge) {
+            return Ok(cached.clone());
+        }
+        let rows = self.edge_rows(edge)?;
+        let clock = self.clock_for(edge)?;
+        let mut out = Vec::with_capacity(rows as usize);
+        for row in 0..rows {
+            out.push(clock.insert_ts(row).map_err(temporal_err)?);
+        }
+        out.sort_unstable();
+        let out = std::rc::Rc::new(out);
+        self.edge_ts_cache
+            .borrow_mut()
+            .insert(edge.to_owned(), out.clone());
+        Ok(out)
+    }
 }
 
 /// Draw an inclusive `[from, to]` window over the sampled timestamps for
-/// candidate `i`, returning the bounds and the number of sample points
-/// covered (the coverage fraction drives the result-size estimate).
-fn draw_window(sample: &[i64], stream: &TableStream, i: u64) -> (i64, i64, usize) {
+/// candidate `i`.
+fn draw_window(sample: &[i64], stream: &TableStream, i: u64) -> (i64, i64) {
     let len = sample.len() as u64;
     let a = (stream.value(WINDOW_DRAW_BASE + 2 * i) % len) as usize;
     let b = (stream.value(WINDOW_DRAW_BASE + 2 * i + 1) % len) as usize;
     let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-    (sample[lo], sample[hi], hi - lo + 1)
+    (sample[lo], sample[hi])
 }
 
 /// Up to [`MAX_CANDIDATES`] distinct ids in `0..n`, deterministic in the
@@ -490,18 +608,10 @@ fn sampled_indices(len: usize, stream: &TableStream) -> Vec<usize> {
         .collect()
 }
 
-fn id_candidates_by_degree(
-    n: u64,
-    degrees: &[u32],
-    fanout: f64,
-    stream: &TableStream,
-) -> Vec<Candidate> {
+fn id_candidates_by_degree(n: u64, degrees: &[u32], stream: &TableStream) -> Vec<Candidate> {
     sample_ids(n, stream)
         .into_iter()
-        .map(|id| {
-            let d = f64::from(degrees[id as usize]);
-            Candidate::id(id, (d * fanout.max(1.0)).round() as u64)
-        })
+        .map(|id| Candidate::id(id, u64::from(degrees[id as usize])))
         .collect()
 }
 
@@ -835,6 +945,60 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, WorkloadError::Temporal(_)), "{err}");
         assert!(err.to_string().contains("temporal annotation"), "{err}");
+    }
+
+    /// The estimates the bands are built from are exact result counts —
+    /// hand-checked here on the 6-node fixture — because the bench
+    /// harness asserts executed row counts against these very numbers.
+    #[test]
+    fn multi_hop_and_aggregate_estimates_are_exact() {
+        let g = graph();
+        let c = Curator::new(&g, 42);
+        let stream = TableStream::derive(42, "test");
+        let by_key = |t: &QueryTemplate| -> std::collections::BTreeMap<String, u64> {
+            c.candidates(t, &stream)
+                .unwrap()
+                .iter()
+                .map(|c| (c.render_key(), c.est))
+                .collect()
+        };
+
+        // Directed 2-hop from 0: {1,2,3} -> {2,4} u {5} u {} = 3 distinct.
+        let est = by_key(&template(TemplateKind::Expand2 {
+            edge: "knows".into(),
+            node_type: "Person".into(),
+            directed: true,
+        }));
+        assert_eq!(est["0"], 3);
+        // Undirected 2-hop from 0 excludes the start: {1,2,4,5}.
+        let est = by_key(&template(TemplateKind::Expand2 {
+            edge: "knows".into(),
+            node_type: "Person".into(),
+            directed: false,
+        }));
+        assert_eq!(est["0"], 4);
+
+        // Paths 0 -> {1,2,3} -> *: out-degrees 2 + 1 + 0 = 3 rows.
+        let est = by_key(&template(TemplateKind::Path2 {
+            first_edge: "knows".into(),
+            second_edge: "knows".into(),
+            start: "Person".into(),
+            mid: "Person".into(),
+            end: "Person".into(),
+            first_directed: true,
+            second_directed: true,
+        }));
+        assert_eq!(est["0"], 3);
+
+        // Community ES = rows {0,1,2}, summed out-degrees 3 + 2 + 1 = 6.
+        let est = by_key(&template(TemplateKind::CommunityAgg {
+            edge: "knows".into(),
+            node_type: "Person".into(),
+            property: "country".into(),
+            directed: true,
+        }));
+        assert_eq!(est["ES"], 6);
+        assert_eq!(est["DE"], 0);
     }
 
     #[test]

@@ -41,6 +41,7 @@ mod curate;
 mod error;
 mod manifest;
 mod mix;
+mod plan;
 mod render;
 mod sink;
 mod template;
@@ -49,6 +50,7 @@ pub use curate::{Binding, CuratedParam, Curator, ParamValue};
 pub use error::WorkloadError;
 pub use manifest::{QueryInstance, Workload};
 pub use mix::QueryMix;
+pub use plan::QueryPlan;
 pub use render::{render_cypher, render_gremlin};
 pub use sink::WorkloadSink;
 pub use template::{derive_templates, QueryTemplate, SelectivityClass, TemplateKind};
@@ -152,12 +154,18 @@ impl<'a> WorkloadGenerator<'a> {
         for (template, bindings) in templates.iter().zip(per_template) {
             for binding in bindings {
                 let id = format!("q{:04}", queries.len() + 1);
+                // The plan is the primary artifact; both text dialects are
+                // rendered *from* it (as the engine executes from it).
+                let plan = QueryPlan {
+                    template_id: template.id.clone(),
+                    kind: template.kind.clone(),
+                    binding,
+                };
                 queries.push(QueryInstance {
                     id,
-                    template: template.id.clone(),
-                    cypher: render_cypher(template, &binding),
-                    gremlin: render_gremlin(template, &binding),
-                    binding,
+                    cypher: render_cypher(&plan),
+                    gremlin: render_gremlin(&plan),
+                    plan,
                 });
             }
         }

@@ -10,21 +10,34 @@ use std::path::Path;
 use datasynth_tables::export::json_escape;
 
 use crate::curate::Binding;
+use crate::plan::QueryPlan;
 use crate::template::QueryTemplate;
 
-/// One instantiated query.
+/// One instantiated query: the structured plan plus its two text
+/// renderings. The plan is the primary artifact — the engine executes it
+/// directly — and the Cypher/Gremlin strings are derived views.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryInstance {
     /// Stable instance id (`q0001`, ...).
     pub id: String,
-    /// Id of the template this instantiates.
-    pub template: String,
-    /// The curated binding (parameters + cardinality estimate).
-    pub binding: Binding,
+    /// The renderer-independent plan: template kind + curated binding.
+    pub plan: QueryPlan,
     /// Rendered Cypher text.
     pub cypher: String,
     /// Rendered Gremlin text.
     pub gremlin: String,
+}
+
+impl QueryInstance {
+    /// Id of the template this instantiates.
+    pub fn template_id(&self) -> &str {
+        &self.plan.template_id
+    }
+
+    /// The curated binding (parameters + cardinality estimate).
+    pub fn binding(&self) -> &Binding {
+        &self.plan.binding
+    }
 }
 
 /// A complete generated workload.
@@ -46,11 +59,9 @@ impl Workload {
     pub fn instantiated_kinds(&self) -> Vec<&'static str> {
         let mut kinds: Vec<&'static str> = Vec::new();
         for q in &self.queries {
-            if let Some(t) = self.templates.iter().find(|t| t.id == q.template) {
-                let kw = t.kind.keyword();
-                if !kinds.contains(&kw) {
-                    kinds.push(kw);
-                }
+            let kw = q.plan.kind.keyword();
+            if !kinds.contains(&kw) {
+                kinds.push(kw);
             }
         }
         kinds.sort_unstable();
@@ -74,10 +85,10 @@ impl Workload {
             // of a template's queries are genuinely distinct probes.
             let mut total = 0usize;
             let mut distinct = std::collections::BTreeSet::new();
-            for q in self.queries.iter().filter(|q| q.template == t.id) {
+            for q in self.queries.iter().filter(|q| q.template_id() == t.id) {
                 total += 1;
                 distinct.insert(
-                    q.binding
+                    q.binding()
                         .params
                         .iter()
                         .map(|p| p.value.render())
@@ -103,7 +114,7 @@ impl Workload {
         s.push_str("  \"queries\": [\n");
         for (i, q) in self.queries.iter().enumerate() {
             let params: Vec<String> = q
-                .binding
+                .binding()
                 .params
                 .iter()
                 .map(|p| {
@@ -124,11 +135,11 @@ impl Workload {
                  \"expected_rows\": {}, \"cardinality_band\": [{}, {}], \
                  \"cypher\": \"cypher/{}.cypher\", \"gremlin\": \"gremlin/{}.gremlin\"}}{}\n",
                 json_escape(&q.id),
-                json_escape(&q.template),
+                json_escape(q.template_id()),
                 params.join(", "),
-                q.binding.expected_rows,
-                q.binding.band.0,
-                q.binding.band.1,
+                q.binding().expected_rows,
+                q.binding().band.0,
+                q.binding().band.1,
                 json_escape(&q.id),
                 json_escape(&q.id),
                 if i + 1 < self.queries.len() { "," } else { "" }
@@ -185,20 +196,25 @@ mod tests {
             templates: vec![template],
             queries: vec![QueryInstance {
                 id: "q0001".into(),
-                template: "point_lookup:Person".into(),
-                binding: Binding {
-                    params: vec![
-                        CuratedParam {
-                            name: "id".into(),
-                            value: ParamValue::Id(7),
-                        },
-                        CuratedParam {
-                            name: "value".into(),
-                            value: ParamValue::Value(Value::Text("a\"b".into())),
-                        },
-                    ],
-                    expected_rows: 1,
-                    band: (1, 3),
+                plan: QueryPlan {
+                    template_id: "point_lookup:Person".into(),
+                    kind: TemplateKind::PointLookup {
+                        node_type: "Person".into(),
+                    },
+                    binding: Binding {
+                        params: vec![
+                            CuratedParam {
+                                name: "id".into(),
+                                value: ParamValue::Id(7),
+                            },
+                            CuratedParam {
+                                name: "value".into(),
+                                value: ParamValue::Value(Value::Text("a\"b".into())),
+                            },
+                        ],
+                        expected_rows: 1,
+                        band: (1, 3),
+                    },
                 },
                 cypher: "MATCH (n) RETURN n;".into(),
                 gremlin: "g.V()".into(),

@@ -1,0 +1,98 @@
+//! The structured, renderer-independent form of an instantiated query.
+//!
+//! A [`QueryPlan`] is what a query *is* — the template kind (pattern
+//! shape) plus the curated parameter binding — divorced from any query
+//! language. The Cypher and Gremlin renderers consume plans to produce
+//! text; the embedded engine (`datasynth-engine`) consumes the very same
+//! plans to *execute* the query, so text rendering and execution can
+//! never drift apart.
+
+use datasynth_tables::Value;
+
+use crate::curate::{Binding, ParamValue};
+use crate::template::TemplateKind;
+
+/// One instantiated query in structured form: pattern + parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryPlan {
+    /// Id of the template this instantiates (`kind:discriminator`).
+    pub template_id: String,
+    /// The pattern shape, with all type/edge names resolved.
+    pub kind: TemplateKind,
+    /// The curated parameter binding (values + cardinality estimate).
+    pub binding: Binding,
+}
+
+impl QueryPlan {
+    /// Look up a parameter by name.
+    pub fn param(&self, name: &str) -> Option<&ParamValue> {
+        self.binding
+            .params
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| &p.value)
+    }
+
+    /// The `id` parameter as a node id, when present and id-typed.
+    pub fn id_param(&self) -> Option<u64> {
+        match self.param("id") {
+            Some(ParamValue::Id(id)) => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// The `value` parameter, when present and value-typed.
+    pub fn value_param(&self) -> Option<&Value> {
+        match self.param("value") {
+            Some(ParamValue::Value(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// A named date parameter (`ts`, `from`, `to`) as days since epoch.
+    pub fn date_param(&self, name: &str) -> Option<i64> {
+        match self.param(name) {
+            Some(ParamValue::Value(Value::Date(d))) => Some(*d),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curate::CuratedParam;
+
+    fn plan() -> QueryPlan {
+        QueryPlan {
+            template_id: "as_of_lookup:Person".into(),
+            kind: TemplateKind::AsOfLookup {
+                node_type: "Person".into(),
+            },
+            binding: Binding {
+                params: vec![
+                    CuratedParam {
+                        name: "id".into(),
+                        value: ParamValue::Id(7),
+                    },
+                    CuratedParam {
+                        name: "ts".into(),
+                        value: ParamValue::Value(Value::Date(14610)),
+                    },
+                ],
+                expected_rows: 1,
+                band: (1, 1),
+            },
+        }
+    }
+
+    #[test]
+    fn typed_param_accessors() {
+        let p = plan();
+        assert_eq!(p.id_param(), Some(7));
+        assert_eq!(p.date_param("ts"), Some(14610));
+        assert_eq!(p.date_param("from"), None);
+        assert_eq!(p.value_param(), None);
+        assert!(p.param("ghost").is_none());
+    }
+}

@@ -1,16 +1,20 @@
-//! Render instantiated query templates to Cypher and Gremlin text.
+//! Render instantiated query plans to Cypher and Gremlin text.
 //!
-//! Parameters are inlined as literals (the manifest keeps them separately
-//! for engines that prefer prepared statements). Node ids are the
-//! *type-local* dense ids the exporters write into each type's `id`
-//! column, so `id(n)`/`has('id', ...)` refer to that property after
+//! Both renderers are *consumers* of the structured [`QueryPlan`] — the
+//! same object the embedded engine (`datasynth-engine`) executes — so the
+//! emitted text and the reference execution can never disagree about what
+//! a query means. Parameters are inlined as literals (the manifest keeps
+//! them separately for engines that prefer prepared statements). Node ids
+//! are the *type-local* dense ids the exporters write into each type's
+//! `id` column, so `id(n)`/`has('id', ...)` refer to that property after
 //! import. Temporal templates filter on the pseudo-property `_ts`: the
 //! insert timestamp the op log (`datasynth-temporal`) assigns each row,
 //! which importers replaying the update stream are expected to stamp
 //! onto the element.
 
 use crate::curate::{Binding, ParamValue};
-use crate::template::{QueryTemplate, TemplateKind};
+use crate::plan::QueryPlan;
+use crate::template::TemplateKind;
 
 /// Escape a single-quoted string literal (shared by both dialects).
 fn quote(s: &str) -> String {
@@ -68,9 +72,10 @@ fn gr_step(edge: &str, directed: bool) -> String {
     }
 }
 
-/// Render one instantiated template to Cypher.
-pub fn render_cypher(template: &QueryTemplate, binding: &Binding) -> String {
-    match &template.kind {
+/// Render one instantiated plan to Cypher.
+pub fn render_cypher(plan: &QueryPlan) -> String {
+    let binding = &plan.binding;
+    match &plan.kind {
         TemplateKind::PointLookup { node_type } => {
             let id = literal(param(binding, "id"));
             format!("MATCH (n:{node_type}) WHERE n.id = {id} RETURN n;")
@@ -175,9 +180,10 @@ pub fn render_cypher(template: &QueryTemplate, binding: &Binding) -> String {
     }
 }
 
-/// Render one instantiated template to Gremlin.
-pub fn render_gremlin(template: &QueryTemplate, binding: &Binding) -> String {
-    match &template.kind {
+/// Render one instantiated plan to Gremlin.
+pub fn render_gremlin(plan: &QueryPlan) -> String {
+    let binding = &plan.binding;
+    match &plan.kind {
         TemplateKind::PointLookup { node_type } => {
             let id = literal(param(binding, "id"));
             format!("g.V().hasLabel({}).has('id', {id})", quote(node_type))
@@ -306,8 +312,26 @@ pub fn render_gremlin(template: &QueryTemplate, binding: &Binding) -> String {
 mod tests {
     use super::*;
     use crate::curate::CuratedParam;
-    use crate::template::SelectivityClass;
+    use crate::template::{QueryTemplate, SelectivityClass};
     use datasynth_tables::Value;
+
+    /// Test-local shims: build the plan from (template, binding) so each
+    /// case below reads as "this pattern + these params => this text".
+    fn render_cypher(t: &QueryTemplate, b: &Binding) -> String {
+        super::render_cypher(&QueryPlan {
+            template_id: t.id.clone(),
+            kind: t.kind.clone(),
+            binding: b.clone(),
+        })
+    }
+
+    fn render_gremlin(t: &QueryTemplate, b: &Binding) -> String {
+        super::render_gremlin(&QueryPlan {
+            template_id: t.id.clone(),
+            kind: t.kind.clone(),
+            binding: b.clone(),
+        })
+    }
 
     fn binding(params: Vec<(&str, ParamValue)>) -> Binding {
         Binding {

@@ -129,8 +129,8 @@ fn hundred_queries_cover_all_kinds() {
     );
     for q in &wl.queries {
         assert!(!q.cypher.is_empty() && !q.gremlin.is_empty());
-        assert!(q.binding.band.0 <= q.binding.expected_rows);
-        assert!(q.binding.expected_rows <= q.binding.band.1);
+        assert!(q.binding().band.0 <= q.binding().expected_rows);
+        assert!(q.binding().expected_rows <= q.binding().band.1);
     }
 }
 
@@ -172,12 +172,19 @@ fn point_class_instances_stay_small() {
     // query's band *within the same template family sharing a candidate
     // pool*; globally we at least check point lookups are singletons.
     for q in &wl.queries {
-        let t = wl.templates.iter().find(|t| t.id == q.template).unwrap();
+        let t = wl
+            .templates
+            .iter()
+            .find(|t| t.id == q.template_id())
+            .unwrap();
         if t.id.starts_with("point_lookup") {
-            assert_eq!(q.binding.expected_rows, 1);
+            assert_eq!(q.binding().expected_rows, 1);
         }
         if t.selectivity == SelectivityClass::Scan {
-            assert!(q.binding.band.1 >= q.binding.band.0, "band must be ordered");
+            assert!(
+                q.binding().band.1 >= q.binding().band.0,
+                "band must be ordered"
+            );
         }
     }
 }
@@ -226,7 +233,7 @@ fn empty_types_forfeit_quota_to_producing_templates() {
     assert!(wl
         .queries
         .iter()
-        .all(|q| !q.template.contains("Message") || q.template.contains("creates")));
+        .all(|q| !q.template_id().contains("Message") || q.template_id().contains("creates")));
 }
 
 #[test]
@@ -271,7 +278,10 @@ graph sparse {
             .generate(count)
             .unwrap();
         assert_eq!(wl.queries.len(), count, "count {count}");
-        assert!(wl.queries.iter().all(|q| q.template.contains("Person")));
+        assert!(wl
+            .queries
+            .iter()
+            .all(|q| q.template_id().contains("Person")));
     }
 }
 

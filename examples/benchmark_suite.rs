@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let count = workload
             .queries
             .iter()
-            .filter(|q| q.template == template.id)
+            .filter(|q| q.template_id() == template.id)
             .count();
         if count > 0 {
             println!(

@@ -73,10 +73,13 @@
 //! * [`server`] — the streaming HTTP service (`datasynth serve`),
 //! * [`telemetry`] — metrics registry, byte counting, Prometheus encoding,
 //! * [`temporal`] — deterministic update streams (op logs) for dynamic graphs,
-//! * [`workload`] — benchmark query workloads over generated graphs.
+//! * [`workload`] — benchmark query workloads over generated graphs,
+//! * [`engine`] — the embedded property-graph engine that executes those
+//!   workloads end-to-end (`datasynth bench-workload`).
 
 pub use datasynth_analysis as analysis;
 pub use datasynth_core as core;
+pub use datasynth_engine as engine;
 pub use datasynth_lint as lint;
 pub use datasynth_matching as matching;
 pub use datasynth_prng as prng;
@@ -97,6 +100,7 @@ pub use datasynth_core::{
 pub mod prelude {
     pub use datasynth_analysis::StatsSink;
     pub use datasynth_core::prelude::*;
+    pub use datasynth_engine::{Bench, BenchReport, Executor, GraphStore, StoreSink};
     pub use datasynth_lint::{lint, Diagnostic, LintReport, Linter};
     pub use datasynth_workload::{
         derive_templates, QueryMix, QueryTemplate, SelectivityClass, Workload, WorkloadGenerator,

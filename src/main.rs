@@ -65,6 +65,25 @@ const USAGE: &str = "\
 usage: datasynth <schema.dsl> [options]
        datasynth lint <schema.dsl> [lint options]
        datasynth serve --addr HOST:PORT [serve options]
+       datasynth bench-workload <schema.dsl> [bench options]
+
+bench options:
+  --seed N          generation seed (default 42; ignored with --from,
+                    which replays the directory manifest's seed)
+  --threads N       generation thread budget; timing-side only — the
+                    stable half of the report is byte-identical at any
+                    thread count
+  --mix SPEC        kind:weight list, same kinds as --query-mix
+                    (default: uniform over the kinds the schema derives)
+  --queries N       query instances to curate (default 64)
+  --warmup N        unmeasured full-mix rounds before timing (default 1)
+  --iters N         measured full-mix rounds (default 10)
+  --from DIR        load the graph from an exported --out directory
+                    (CSV or JSONL + manifest.json) instead of generating
+  --report FILE     bench report path (default bench_report.json);
+                    '-' prints to stdout
+  --metrics FILE    write the Prometheus-encoded per-template query
+                    latency histograms to FILE; '-' prints to stdout
 
 lint options:
   --format F        text | json (default text); json is deterministic and
@@ -774,6 +793,187 @@ fn run_lint() -> Result<ExitCode, String> {
     })
 }
 
+/// `datasynth bench-workload`: generate (or read back) a graph, load it
+/// into the embedded engine, execute the derived query mix, and write a
+/// bench report. The report's stable half (result counts, cardinality
+/// bands, store sizes) is deterministic per schema + seed; timings live
+/// under separate `timing` keys so CI can diff the rest.
+fn run_bench_workload() -> Result<ExitCode, String> {
+    use datasynth::engine::Bench;
+
+    let mut path: Option<PathBuf> = None;
+    let mut seed: u64 = 42;
+    let mut threads: Option<usize> = None;
+    let mut mix: Option<QueryMix> = None;
+    let mut queries: Option<usize> = None;
+    let mut warmup: Option<u32> = None;
+    let mut iters: Option<u32> = None;
+    let mut from: Option<PathBuf> = None;
+    let mut report_path = PathBuf::from("bench_report.json");
+    let mut metrics_path: Option<PathBuf> = None;
+    let mut iter = std::env::args().skip(2);
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--seed" => {
+                seed = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--seed takes an integer")?;
+            }
+            "--threads" => {
+                threads = Some(
+                    iter.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--threads takes an integer")?,
+                );
+            }
+            "--mix" => {
+                let spec = iter.next().ok_or("--mix takes a kind:weight list")?;
+                mix = Some(QueryMix::parse(&spec).map_err(|e| e.to_string())?);
+            }
+            "--queries" => {
+                queries = Some(
+                    iter.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--queries takes an integer")?,
+                );
+            }
+            "--warmup" => {
+                warmup = Some(
+                    iter.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--warmup takes an integer")?,
+                );
+            }
+            "--iters" => {
+                iters = Some(
+                    iter.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--iters takes an integer")?,
+                );
+            }
+            "--from" => {
+                from = Some(iter.next().ok_or("--from takes a directory")?.into());
+            }
+            "--report" => {
+                report_path = iter.next().ok_or("--report takes a file path")?.into();
+            }
+            "--metrics" => {
+                metrics_path = Some(iter.next().ok_or("--metrics takes a file path")?.into());
+            }
+            other if !other.starts_with('-') => {
+                if path.replace(PathBuf::from(other)).is_some() {
+                    return Err("bench-workload takes exactly one schema file".into());
+                }
+            }
+            other => return Err(format!("unknown bench-workload flag {other:?}")),
+        }
+    }
+    let path = path.ok_or("bench-workload takes a schema file")?;
+    let src = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let schema =
+        datasynth::schema::parse_schema(&src).map_err(|e| format!("{}:{e}", path.display()))?;
+
+    // Same lint gate as a generation run: errors abort, the rest goes to
+    // stderr (DS008 notes when a schema derives no executable workload).
+    {
+        let report = datasynth::lint::lint(&schema);
+        if !report.is_clean() {
+            let origin = path.display().to_string();
+            let text = datasynth::lint::render_text(&report, Some(&origin), Some(&src));
+            if report.has_errors() {
+                return Err(format!("schema rejected by lint:\n{text}"));
+            }
+            eprint!("{text}");
+        }
+    }
+
+    let metrics = Arc::new(MetricsRegistry::new());
+    let mut bench = Bench::new(&schema)
+        .with_seed(seed)
+        .with_metrics(Arc::clone(&metrics));
+    if let Some(t) = threads {
+        bench = bench.with_threads(t);
+    }
+    if let Some(m) = mix {
+        bench = bench.with_mix(m);
+    }
+    if let Some(q) = queries {
+        bench = bench.with_queries(q);
+    }
+    if let Some(w) = warmup {
+        bench = bench.with_warmup(w);
+    }
+    if let Some(i) = iters {
+        bench = bench.with_iters(i);
+    }
+    if let Some(d) = &from {
+        bench = bench.from_dir(d);
+    }
+    let report = bench.run().map_err(|e| e.to_string())?;
+
+    eprintln!(
+        "loaded {} ({} nodes, {} edges, ~{} KiB store) in {:.1} ms + {:.1} ms index build (seed {})",
+        report.graph,
+        report.nodes,
+        report.edges,
+        report.memory_bytes / 1024,
+        report.load_micros as f64 / 1e3,
+        report.store_build_micros as f64 / 1e3,
+        report.seed
+    );
+    eprintln!(
+        "executed {} queries x {} rounds ({} warmup) over {} templates:",
+        report.query_count,
+        report.iters,
+        report.warmup,
+        report.templates.len()
+    );
+    for t in &report.templates {
+        eprintln!(
+            "  {:<28} {:>8.0} ops/s  p50 {:>6}us p95 {:>6}us p99 {:>6}us  \
+             rows {} (expected {}), {}/{} in band",
+            t.id,
+            t.ops_per_sec,
+            t.p50_micros,
+            t.p95_micros,
+            t.p99_micros,
+            t.rows,
+            t.expected_rows,
+            t.in_band,
+            t.queries
+        );
+    }
+
+    if report_path.as_os_str() == "-" {
+        print!("{}", report.to_json());
+    } else {
+        report
+            .save(&report_path)
+            .map_err(|e| format!("cannot write report {}: {e}", report_path.display()))?;
+        eprintln!("bench report -> {}", report_path.display());
+    }
+    if let Some(p) = &metrics_path {
+        let prom = metrics.snapshot().to_prometheus();
+        if p.as_os_str() == "-" {
+            print!("{prom}");
+        } else {
+            std::fs::write(p, &prom)
+                .map_err(|e| format!("cannot write metrics {}: {e}", p.display()))?;
+            eprintln!("query metrics -> {}", p.display());
+        }
+    }
+
+    Ok(if report.all_in_band() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("error: executed row counts fell outside the curated cardinality bands");
+        ExitCode::FAILURE
+    })
+}
+
 /// `datasynth serve`: bring up the HTTP service and block forever.
 fn run_serve() -> Result<(), String> {
     use datasynth::server::{Server, ServerConfig};
@@ -836,6 +1036,20 @@ fn run_serve() -> Result<(), String> {
 fn main() -> ExitCode {
     if std::env::args().nth(1).as_deref() == Some("lint") {
         return match run_lint() {
+            Ok(code) => code,
+            Err(msg) => {
+                if msg.is_empty() {
+                    eprint!("{USAGE}");
+                    return ExitCode::SUCCESS;
+                }
+                eprintln!("error: {msg}\n");
+                eprint!("{USAGE}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    if std::env::args().nth(1).as_deref() == Some("bench-workload") {
+        return match run_bench_workload() {
             Ok(code) => code,
             Err(msg) => {
                 if msg.is_empty() {

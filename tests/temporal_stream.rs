@@ -218,20 +218,20 @@ fn workload_temporal_params_land_in_generated_range() {
 
     let mut temporal_queries = 0;
     for q in &workload.queries {
-        let table = match q.template.split_once(':') {
+        let table = match q.template_id().split_once(':') {
             Some(("as_of_lookup", t)) => t,
             Some(("expand_window" | "window_agg", t)) => t,
             _ => continue,
         };
         temporal_queries += 1;
         let (lo, hi) = &range[table];
-        for p in &q.binding.params {
+        for p in &q.binding().params {
             if let ParamValue::Value(Value::Date(_)) = p.value {
                 let ts = p.value.render();
                 assert!(
                     ts >= *lo && ts <= *hi,
                     "{} param {}={ts} outside generated range [{lo}, {hi}]",
-                    q.template,
+                    q.template_id(),
                     p.name
                 );
             }
